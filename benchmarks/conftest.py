@@ -1,0 +1,53 @@
+"""Shared configuration for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper at the
+paper's scale: a Trust-Hub-sized population of real designs (96), GAN
+amplification to ~500 data points and a held-out test split of ~109 points.
+The prepared dataset is memoised inside ``repro.experiments.common``, so the
+expensive generation/extraction/GAN work is paid once per pytest session
+and shared by all benchmark modules.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig, prepare_experiment_data
+
+#: Where each benchmark stores the table/figure data it regenerated, so the
+#: artefacts survive pytest's stdout capture (see EXPERIMENTS.md).
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> ExperimentConfig:
+    """The paper-scale experiment configuration shared by every benchmark."""
+    config = ExperimentConfig()
+    config.n_scenarios = 3
+    config.validate()
+    return config
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_dataset_cache(paper_config) -> None:
+    """Generate and cache the benchmark dataset once per session."""
+    prepare_experiment_data(paper_config)
+
+
+@pytest.fixture(scope="session")
+def record_artifact():
+    """Persist a regenerated table/figure as ``results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _record

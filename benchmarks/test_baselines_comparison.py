@@ -1,0 +1,34 @@
+"""Benchmark B1 — classical-ML baseline comparison.
+
+Trains the related-work model families (logistic regression, linear SVM,
+decision tree, random forest, gradient boosting, MLP) on single modalities
+and compares them with NOODLE's uncertainty-aware late fusion on the same
+train/test split.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_baseline_comparison
+
+
+def test_baselines_comparison(benchmark, paper_config, record_artifact) -> None:
+    result = benchmark.pedantic(
+        run_baseline_comparison,
+        args=(paper_config,),
+        kwargs={"feature_sets": ["tabular", "graph"]},
+        rounds=1,
+        iterations=1,
+    )
+
+    report = f"{result.format()}\nNOODLE late-fusion rank by Brier score: {result.noodle_rank}"
+    print()
+    print(report)
+    record_artifact("baselines_comparison", report)
+
+    assert "noodle_late_fusion" in result.scores
+    # Every model produces usable probabilistic output on this benchmark.
+    for name, metrics in result.scores.items():
+        assert 0.0 <= metrics["brier"] <= 0.6, f"{name} produced unusable forecasts"
+    # NOODLE should sit in the top half of the comparison (the paper's claim is
+    # that multimodal fusion with uncertainty is competitive, not magic).
+    assert result.noodle_rank <= max(2, len(result.scores) // 2)

@@ -1,0 +1,34 @@
+"""Benchmark E2 — Fig. 2: Brier score distribution for early vs late fusion.
+
+Regenerates the per-scenario Brier score distributions (with mean interval)
+the paper shows as violin plots, over reseeded train/test scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_brier_distribution(benchmark, paper_config, record_artifact) -> None:
+    config = replace(paper_config, n_scenarios=5)
+
+    result = benchmark.pedantic(run_fig2, args=(config,), rounds=1, iterations=1)
+
+    print()
+    print(result.format())
+    record_artifact("fig2_brier_distribution", result.format())
+
+    early = result.early_fusion
+    late = result.late_fusion
+    assert len(early.scores) == config.n_scenarios
+    assert len(late.scores) == config.n_scenarios
+    # Distribution sanity: spread is finite and the summary brackets the mean.
+    for distribution in (early, late):
+        summary = distribution.summary()
+        assert summary["min"] <= summary["median"] <= summary["max"]
+        assert summary["mean_low"] <= summary["mean"] <= summary["mean_high"]
+        assert 0.0 <= summary["mean"] <= 0.5
+    # Paper shape: late fusion's mean Brier is at least as good as early fusion's.
+    assert result.late_fusion_wins

@@ -1,0 +1,28 @@
+"""Benchmark E4 — Fig. 4: ROC-AUC curve of NOODLE under late fusion.
+
+Regenerates the ROC curve of the late-fusion model on the held-out test set
+and compares the AUC against the paper's reported 0.928.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import PAPER_ROC_AUC, run_fig4
+
+
+def test_fig4_roc_auc(benchmark, paper_config, record_artifact) -> None:
+    result = benchmark.pedantic(run_fig4, args=(paper_config,), rounds=1, iterations=1)
+
+    print()
+    print(result.format())
+    record_artifact("fig4_roc", result.format())
+
+    curve = result.curve
+    # Structural properties of a valid ROC curve.
+    assert curve.false_positive_rate[0] == 0.0 and curve.true_positive_rate[0] == 0.0
+    assert curve.false_positive_rate[-1] == 1.0 and curve.true_positive_rate[-1] == 1.0
+    assert (curve.true_positive_rate[1:] >= curve.true_positive_rate[:-1]).all()
+    # The paper reports AUC = 0.928 ("the model is performing well"); the
+    # synthetic benchmark is cleaner than Trust-Hub so we require at least the
+    # same regime, i.e. clearly better than 0.85.
+    assert result.auc >= 0.85, f"late-fusion AUC {result.auc:.3f} below the paper regime"
+    print(f"measured AUC = {result.auc:.3f} (paper: {PAPER_ROC_AUC})")

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``pip install -e . --no-build-isolation`` works on environments without
+the ``wheel`` package (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

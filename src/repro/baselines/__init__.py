@@ -1,0 +1,36 @@
+"""Classical ML baselines used for comparison against NOODLE.
+
+These correspond to the model families the paper's related-work section
+cites for hardware-Trojan detection: SVM, plain neural networks, gradient
+boosting (XGBoost-style) and random forests, plus logistic regression and a
+single decision tree as simpler reference points.
+"""
+
+from .base import BaseClassifier
+from .boosting import GradientBoostingClassifier
+from .forest import RandomForestClassifier
+from .logistic import LogisticRegression
+from .mlp import MLPClassifier
+from .svm import LinearSVM
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BaseClassifier",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "LinearSVM",
+    "LogisticRegression",
+    "MLPClassifier",
+    "RandomForestClassifier",
+]
+
+#: Registry used by the baseline-comparison benchmark.
+BASELINE_REGISTRY = {
+    "logistic_regression": LogisticRegression,
+    "linear_svm": LinearSVM,
+    "decision_tree": DecisionTreeClassifier,
+    "random_forest": RandomForestClassifier,
+    "gradient_boosting": GradientBoostingClassifier,
+    "mlp": MLPClassifier,
+}

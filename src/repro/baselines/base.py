@@ -1,0 +1,57 @@
+"""Common interface for the classical-ML baseline classifiers.
+
+Every baseline follows the same minimal protocol as the CNN modality
+classifiers, so the conformal layer and the experiments can treat them
+interchangeably:
+
+* ``fit(x, y)``            -- train on a feature matrix and binary labels;
+* ``predict_proba(x)``     -- ``(N, 2)`` class-probability matrix;
+* ``predict(x)``           -- hard 0/1 labels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class BaseClassifier:
+    """Abstract base class for binary classifiers."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "BaseClassifier":
+        raise NotImplementedError
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels from the positive-class probability."""
+        return (self.predict_proba(x)[:, 1] >= threshold).astype(int)
+
+    # -- shared validation -------------------------------------------------
+    @staticmethod
+    def _validate_xy(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=int).reshape(-1)
+        if x.ndim != 2:
+            raise ValueError("x must be a 2-D feature matrix")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of samples")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if not set(np.unique(y)) <= {0, 1}:
+            raise ValueError("labels must be binary (0/1)")
+        return x, y
+
+    @staticmethod
+    def _validate_x(x: np.ndarray, n_features: int) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != n_features:
+            raise ValueError(f"expected shape (N, {n_features}), got {x.shape}")
+        return x
+
+    @staticmethod
+    def _stack_proba(positive: np.ndarray) -> np.ndarray:
+        positive = np.clip(np.asarray(positive, dtype=np.float64).reshape(-1), 0.0, 1.0)
+        return np.column_stack([1.0 - positive, positive])

@@ -1,0 +1,80 @@
+"""Gradient-boosted trees with logistic loss (XGBoost-style baseline).
+
+Each boosting round fits a small regression tree to the negative gradient of
+the log-loss (the residual ``y - p``) and adds it to the additive logit
+model with a shrinkage factor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import BaseClassifier
+from .logistic import _sigmoid
+from .tree import DecisionTreeRegressor
+
+
+class GradientBoostingClassifier(BaseClassifier):
+    """Additive logit model of shallow regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators <= 0 or learning_rate <= 0:
+            raise ValueError("n_estimators and learning_rate must be positive")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self._trees: List[DecisionTreeRegressor] = []
+        self._initial_logit: float = 0.0
+        self._n_features: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        x, y = self._validate_xy(x, y)
+        self._n_features = x.shape[1]
+        rng = np.random.default_rng(self.seed)
+        base_rate = float(np.clip(y.mean(), 1e-6, 1 - 1e-6))
+        self._initial_logit = float(np.log(base_rate / (1.0 - base_rate)))
+        logits = np.full(x.shape[0], self._initial_logit)
+        self._trees = []
+        n = x.shape[0]
+        for i in range(self.n_estimators):
+            residual = y - _sigmoid(logits)
+            if self.subsample < 1.0:
+                sample = rng.choice(n, size=max(2, int(self.subsample * n)), replace=False)
+            else:
+                sample = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=self.seed + i + 1,
+            )
+            tree.fit(x[sample], residual[sample])
+            self._trees.append(tree)
+            logits = logits + self.learning_rate * tree.predict(x)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("GradientBoostingClassifier must be fitted first")
+        x = self._validate_x(x, self._n_features)
+        logits = np.full(x.shape[0], self._initial_logit)
+        for tree in self._trees:
+            logits = logits + self.learning_rate * tree.predict(x)
+        return logits
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._stack_proba(_sigmoid(self.decision_function(x)))

@@ -1,0 +1,69 @@
+"""Random forest classifier: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import BaseClassifier
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bootstrap-aggregated decision trees, probabilities averaged."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str] = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_estimators <= 0:
+            raise ValueError("n_estimators must be positive")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[DecisionTreeClassifier] = []
+        self._n_features: int = 0
+
+    def _resolve_max_features(self, n_features: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(self.max_features, int):
+            return min(self.max_features, n_features)
+        raise ValueError(f"unsupported max_features {self.max_features!r}")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x, y = self._validate_xy(x, y)
+        self._n_features = x.shape[1]
+        rng = np.random.default_rng(self.seed)
+        max_features = self._resolve_max_features(x.shape[1])
+        self._trees = []
+        n = x.shape[0]
+        for i in range(self.n_estimators):
+            bootstrap = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed + i + 1,
+            )
+            tree.fit(x[bootstrap], y[bootstrap])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("RandomForestClassifier must be fitted first")
+        x = self._validate_x(x, self._n_features)
+        positive = np.mean([tree.predict_proba(x)[:, 1] for tree in self._trees], axis=0)
+        return self._stack_proba(positive)

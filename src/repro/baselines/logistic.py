@@ -1,0 +1,86 @@
+"""L2-regularised logistic regression trained with full-batch gradient descent."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseClassifier
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression(BaseClassifier):
+    """Binary logistic regression.
+
+    Features are standardised internally so the fixed learning rate behaves
+    across the very differently scaled RTL features.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        n_iterations: int = 500,
+        l2: float = 1e-3,
+        tol: float = 1e-7,
+    ) -> None:
+        if learning_rate <= 0 or n_iterations <= 0 or l2 < 0:
+            raise ValueError("invalid hyper-parameters for LogisticRegression")
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.tol = tol
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def _standardize(self, x: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._scale is not None
+        return (x - self._mean) / self._scale
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x, y = self._validate_xy(x, y)
+        self._mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        self._scale = np.where(std > 1e-12, std, 1.0)
+        x_scaled = self._standardize(x)
+        n_samples, n_features = x_scaled.shape
+        self.weights = np.zeros(n_features)
+        self.bias = 0.0
+        previous_loss = np.inf
+        for _ in range(self.n_iterations):
+            logits = x_scaled @ self.weights + self.bias
+            probabilities = _sigmoid(logits)
+            error = probabilities - y
+            grad_w = x_scaled.T @ error / n_samples + self.l2 * self.weights
+            grad_b = error.mean()
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+            loss = float(
+                -np.mean(
+                    y * np.log(np.clip(probabilities, 1e-12, 1.0))
+                    + (1 - y) * np.log(np.clip(1 - probabilities, 1e-12, 1.0))
+                )
+            )
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("LogisticRegression must be fitted first")
+        x = self._validate_x(x, self.weights.shape[0])
+        return self._standardize(x) @ self.weights + self.bias
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._stack_proba(_sigmoid(self.decision_function(x)))

@@ -1,0 +1,80 @@
+"""Multi-layer perceptron baseline, wrapping :mod:`repro.nn`.
+
+This is the "plain neural network" model family of the related work: a
+standardising front-end plus a small fully-connected network trained with
+Adam, exposed through the common baseline interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..features.scaling import StandardScaler
+from ..nn import Dense, Dropout, ReLU, Sequential, Sigmoid
+from .base import BaseClassifier
+
+
+class MLPClassifier(BaseClassifier):
+    """Fully connected binary classifier with configurable hidden layers."""
+
+    def __init__(
+        self,
+        hidden_layers: Sequence[int] = (64, 32),
+        epochs: int = 150,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not hidden_layers:
+            raise ValueError("hidden_layers must contain at least one layer size")
+        if any(size <= 0 for size in hidden_layers):
+            raise ValueError("hidden layer sizes must be positive")
+        self.hidden_layers = tuple(hidden_layers)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.dropout = dropout
+        self.seed = seed
+        self._model: Optional[Sequential] = None
+        self._scaler = StandardScaler()
+        self._n_features: int = 0
+
+    def _build(self, n_features: int) -> Sequential:
+        rng = np.random.default_rng(self.seed)
+        layers = []
+        previous = n_features
+        for size in self.hidden_layers:
+            layers.append(Dense(previous, size, rng=rng))
+            layers.append(ReLU())
+            if self.dropout > 0:
+                layers.append(Dropout(self.dropout, rng=rng))
+            previous = size
+        layers.append(Dense(previous, 1, rng=rng))
+        layers.append(Sigmoid())
+        return Sequential(
+            layers, loss="bce", optimizer="adam", learning_rate=self.learning_rate
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        x, y = self._validate_xy(x, y)
+        self._n_features = x.shape[1]
+        x_scaled = self._scaler.fit_transform(x)
+        self._model = self._build(x.shape[1])
+        self._model.fit(
+            x_scaled,
+            y.astype(np.float64),
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            rng=np.random.default_rng(self.seed + 1),
+        )
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("MLPClassifier must be fitted first")
+        x = self._validate_x(x, self._n_features)
+        positive = self._model.predict_proba(self._scaler.transform(x)).reshape(-1)
+        return self._stack_proba(positive)

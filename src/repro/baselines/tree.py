@@ -1,0 +1,226 @@
+"""CART-style decision trees (classification and regression).
+
+The classification tree is the building block for the random-forest baseline
+and the regression tree for the gradient-boosting baseline — the two
+tree-ensemble model families the related work applies to Trojan detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseClassifier
+
+
+@dataclass
+class _Node:
+    """A tree node: either an internal split or a leaf carrying a value."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0  # positive-class fraction (classification) or mean (regression)
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+def _gini(y: np.ndarray) -> float:
+    if y.size == 0:
+        return 0.0
+    p = y.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+def _variance(y: np.ndarray) -> float:
+    if y.size == 0:
+        return 0.0
+    return float(np.var(y))
+
+
+class _TreeBuilder:
+    """Shared recursive splitting logic for both tree types."""
+
+    def __init__(
+        self,
+        impurity,
+        max_depth: int,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: Optional[int],
+        rng: np.random.Generator,
+    ) -> None:
+        self.impurity = impurity
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+
+    def build(self, x: np.ndarray, y: np.ndarray, depth: int = 0) -> _Node:
+        node = _Node(value=float(y.mean()), n_samples=y.size)
+        if (
+            depth >= self.max_depth
+            or y.size < self.min_samples_split
+            or self.impurity(y) == 0.0
+        ):
+            return node
+        feature, threshold = self._best_split(x, y)
+        if feature < 0:
+            return node
+        mask = x[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self.build(x[mask], y[mask], depth + 1)
+        node.right = self.build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self.rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray) -> tuple:
+        best_gain = 1e-12
+        best_feature, best_threshold = -1, 0.0
+        parent_impurity = self.impurity(y)
+        n = y.size
+        for feature in self._candidate_features(x.shape[1]):
+            values = np.unique(x[:, feature])
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            # Cap the number of candidate thresholds for wide numeric features.
+            if thresholds.size > 32:
+                thresholds = np.quantile(x[:, feature], np.linspace(0.05, 0.95, 32))
+                thresholds = np.unique(thresholds)
+            for threshold in thresholds:
+                mask = x[:, feature] <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == n:
+                    continue
+                gain = parent_impurity - (
+                    n_left / n * self.impurity(y[mask])
+                    + (n - n_left) / n * self.impurity(y[~mask])
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best_feature = int(feature)
+                    best_threshold = float(threshold)
+        return best_feature, best_threshold
+
+
+def _predict_node(node: _Node, row: np.ndarray) -> float:
+    while not node.is_leaf:
+        node = node.left if row[node.feature] <= node.threshold else node.right
+    return node.value
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """Binary CART classification tree (gini impurity)."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self._n_features: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x, y = self._validate_xy(x, y)
+        self._n_features = x.shape[1]
+        builder = _TreeBuilder(
+            impurity=_gini,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=np.random.default_rng(self.seed),
+        )
+        self._root = builder.build(x, y.astype(np.float64))
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("DecisionTreeClassifier must be fitted first")
+        x = self._validate_x(x, self._n_features)
+        positive = np.array([_predict_node(self._root, row) for row in x])
+        return self._stack_proba(positive)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        if self._root is None:
+            raise RuntimeError("DecisionTreeClassifier must be fitted first")
+        return _depth(self._root)
+
+
+class DecisionTreeRegressor:
+    """CART regression tree (variance reduction), used by gradient boosting."""
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self._n_features: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.ndim != 2 or x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise ValueError("invalid training data for DecisionTreeRegressor")
+        self._n_features = x.shape[1]
+        builder = _TreeBuilder(
+            impurity=_variance,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=np.random.default_rng(self.seed),
+        )
+        self._root = builder.build(x, y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("DecisionTreeRegressor must be fitted first")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self._n_features:
+            raise ValueError(f"expected shape (N, {self._n_features}), got {x.shape}")
+        return np.array([_predict_node(self._root, row) for row in x])

@@ -1,0 +1,69 @@
+"""(Mondrian) inductive conformal prediction and p-value fusion.
+
+Provides the uncertainty-quantification machinery of the NOODLE framework:
+nonconformity scores, split/Mondrian conformal predictors, p-value
+combination methods for multimodal fusion, prediction regions and the
+set-valued evaluation metrics that go with them.
+"""
+
+from .combination import (
+    arithmetic_mean_combination,
+    available_combiners,
+    combine_p_value_matrices,
+    fisher_combination,
+    geometric_mean_combination,
+    get_combiner,
+    maximum_combination,
+    minimum_combination,
+    stouffer_combination,
+)
+from .icp import InductiveConformalClassifier
+from .metrics import (
+    ConformalEvaluation,
+    evaluate_p_values,
+    evaluate_regions,
+    set_confusion_matrix,
+    validity_curve,
+)
+from .nonconformity import (
+    get_nonconformity,
+    inverse_probability_score,
+    margin_score,
+)
+from .regions import (
+    PredictionRegion,
+    confidence_scores,
+    credibility,
+    forced_predictions,
+    p_values_to_probabilities,
+    prediction_regions,
+    region_kind_counts,
+)
+
+__all__ = [
+    "ConformalEvaluation",
+    "InductiveConformalClassifier",
+    "PredictionRegion",
+    "arithmetic_mean_combination",
+    "available_combiners",
+    "combine_p_value_matrices",
+    "confidence_scores",
+    "credibility",
+    "evaluate_p_values",
+    "evaluate_regions",
+    "fisher_combination",
+    "forced_predictions",
+    "geometric_mean_combination",
+    "get_combiner",
+    "get_nonconformity",
+    "inverse_probability_score",
+    "margin_score",
+    "maximum_combination",
+    "minimum_combination",
+    "p_values_to_probabilities",
+    "prediction_regions",
+    "region_kind_counts",
+    "set_confusion_matrix",
+    "stouffer_combination",
+    "validity_curve",
+]

@@ -1,0 +1,141 @@
+"""Inductive (split) conformal prediction, plain and Mondrian.
+
+The inductive conformal predictor (ICP) calibrates on a held-out calibration
+set: for a new sample and a candidate label, its p-value is the fraction of
+calibration nonconformity scores at least as large as the sample's own score
+(with the +1 smoothing that guarantees validity).
+
+The *Mondrian* (label-conditional) variant computes each label's p-value
+against only the calibration scores of that label, which restores per-class
+validity under heavy class imbalance — exactly the situation Trojan
+detection is in (few infected samples) and the reason the paper adopts
+Mondrian ICP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .nonconformity import NonconformityFn, _validate_probabilities, get_nonconformity
+
+
+class InductiveConformalClassifier:
+    """Split conformal predictor on top of any probabilistic classifier.
+
+    Parameters
+    ----------
+    nonconformity:
+        Score name or callable (see :mod:`repro.conformal.nonconformity`).
+    mondrian:
+        If ``True`` (default), p-values are label-conditional.
+    smoothing:
+        If ``True``, tie-broken (smoothed) p-values are produced using a
+        random tie weight, giving exact validity; deterministic otherwise.
+    """
+
+    def __init__(
+        self,
+        nonconformity: Union[str, NonconformityFn] = "inverse_probability",
+        mondrian: bool = True,
+        smoothing: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.nonconformity = get_nonconformity(nonconformity)
+        self.mondrian = mondrian
+        self.smoothing = smoothing
+        self._rng = rng or np.random.default_rng()
+        self._calibration_scores: Optional[np.ndarray] = None
+        self._calibration_labels: Optional[np.ndarray] = None
+        self._n_classes: Optional[int] = None
+
+    # -- calibration -----------------------------------------------------------
+    def calibrate(
+        self, calibration_probabilities: np.ndarray, calibration_labels: np.ndarray
+    ) -> "InductiveConformalClassifier":
+        """Store nonconformity scores of the calibration set."""
+        probabilities = _validate_probabilities(calibration_probabilities)
+        labels = np.asarray(calibration_labels, dtype=int)
+        if probabilities.shape[0] != labels.shape[0]:
+            raise ValueError("calibration probabilities and labels must align")
+        if probabilities.shape[0] == 0:
+            raise ValueError("calibration set must not be empty")
+        self._n_classes = probabilities.shape[1]
+        if labels.min() < 0 or labels.max() >= self._n_classes:
+            raise ValueError("calibration labels out of range")
+        self._calibration_scores = self.nonconformity(probabilities, labels)
+        self._calibration_labels = labels
+        return self
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._calibration_scores is not None
+
+    @property
+    def n_classes(self) -> int:
+        if self._n_classes is None:
+            raise RuntimeError("classifier has not been calibrated")
+        return self._n_classes
+
+    def calibration_summary(self) -> Dict[int, int]:
+        """Number of calibration examples per class (Mondrian category sizes)."""
+        if self._calibration_labels is None:
+            raise RuntimeError("classifier has not been calibrated")
+        classes, counts = np.unique(self._calibration_labels, return_counts=True)
+        return dict(zip(classes.tolist(), counts.tolist()))
+
+    # -- p-values ---------------------------------------------------------------
+    def _reference_scores(self, label: int) -> np.ndarray:
+        assert self._calibration_scores is not None and self._calibration_labels is not None
+        if self.mondrian:
+            member_scores = self._calibration_scores[self._calibration_labels == label]
+            if member_scores.size:
+                return member_scores
+            # Fall back to the marginal distribution when a class is absent
+            # from the calibration set (tiny datasets).
+            return self._calibration_scores
+        return self._calibration_scores
+
+    def p_values(self, test_probabilities: np.ndarray) -> np.ndarray:
+        """p-value matrix ``(N, n_classes)`` for candidate labels of each sample."""
+        if not self.is_calibrated:
+            raise RuntimeError("calibrate() must be called before p_values()")
+        probabilities = _validate_probabilities(test_probabilities)
+        if probabilities.shape[1] != self.n_classes:
+            raise ValueError(
+                f"expected {self.n_classes} classes, got {probabilities.shape[1]}"
+            )
+        n_samples = probabilities.shape[0]
+        p_values = np.empty((n_samples, self.n_classes))
+        tolerance = 1e-12
+        for label in range(self.n_classes):
+            labels = np.full(n_samples, label, dtype=int)
+            scores = self.nonconformity(probabilities, labels)
+            reference = self._reference_scores(label)
+            differences = reference[None, :] - scores[:, None]
+            greater = (differences > tolerance).sum(axis=1)
+            equal = (np.abs(differences) <= tolerance).sum(axis=1)
+            if self.smoothing:
+                tau = self._rng.random(n_samples)
+                p_values[:, label] = (greater + tau * (equal + 1)) / (reference.size + 1)
+            else:
+                p_values[:, label] = (greater + equal + 1) / (reference.size + 1)
+        return np.clip(p_values, 0.0, 1.0)
+
+    # -- convenience -------------------------------------------------------------
+    def predict_point(self, test_probabilities: np.ndarray) -> np.ndarray:
+        """Forced point prediction: the label with the largest p-value."""
+        return self.p_values(test_probabilities).argmax(axis=1)
+
+    def credibility(self, test_probabilities: np.ndarray) -> np.ndarray:
+        """Credibility: the largest p-value per sample (how typical the sample is)."""
+        return self.p_values(test_probabilities).max(axis=1)
+
+    def confidence(self, test_probabilities: np.ndarray) -> np.ndarray:
+        """Confidence: one minus the second-largest p-value per sample."""
+        p = self.p_values(test_probabilities)
+        if p.shape[1] < 2:
+            return np.ones(p.shape[0])
+        sorted_p = np.sort(p, axis=1)
+        return 1.0 - sorted_p[:, -2]

@@ -1,0 +1,153 @@
+"""Evaluation metrics specific to conformal (set-valued) predictions.
+
+Conformal predictors are evaluated differently from point classifiers: the
+key questions are *validity* (does the region contain the true label at the
+promised rate, marginally and per class?) and *efficiency* (how small are
+the regions / how often are they informative singletons?).  The paper notes
+that the conformal confusion matrix differs from the conventional one
+because prediction sets may hold several labels; :func:`set_confusion_matrix`
+implements that set-valued bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .regions import PredictionRegion, prediction_regions
+
+
+@dataclass
+class ConformalEvaluation:
+    """Summary of a conformal predictor's behaviour on a labelled test set."""
+
+    confidence: float
+    coverage: float
+    per_class_coverage: Dict[int, float]
+    average_region_size: float
+    singleton_fraction: float
+    empty_fraction: float
+    uncertain_fraction: float
+    singleton_accuracy: float
+
+    def as_dict(self) -> Dict[str, float]:
+        flat = {
+            "confidence": self.confidence,
+            "coverage": self.coverage,
+            "average_region_size": self.average_region_size,
+            "singleton_fraction": self.singleton_fraction,
+            "empty_fraction": self.empty_fraction,
+            "uncertain_fraction": self.uncertain_fraction,
+            "singleton_accuracy": self.singleton_accuracy,
+        }
+        for label, value in self.per_class_coverage.items():
+            flat[f"coverage_class_{label}"] = value
+        return flat
+
+
+def evaluate_regions(
+    regions: Sequence[PredictionRegion], labels: np.ndarray
+) -> ConformalEvaluation:
+    """Validity/efficiency metrics for a list of prediction regions."""
+    labels = np.asarray(labels, dtype=int)
+    if len(regions) != len(labels):
+        raise ValueError("regions and labels must align")
+    if len(regions) == 0:
+        raise ValueError("cannot evaluate an empty set of regions")
+    confidence = regions[0].confidence
+    hits = np.array([int(label) in region for region, label in zip(regions, labels)])
+    sizes = np.array([len(region) for region in regions])
+    singletons = sizes == 1
+    singleton_correct = np.array(
+        [
+            len(region) == 1 and region.labels[0] == label
+            for region, label in zip(regions, labels)
+        ]
+    )
+    per_class: Dict[int, float] = {}
+    for label in np.unique(labels):
+        members = labels == label
+        per_class[int(label)] = float(hits[members].mean())
+    return ConformalEvaluation(
+        confidence=confidence,
+        coverage=float(hits.mean()),
+        per_class_coverage=per_class,
+        average_region_size=float(sizes.mean()),
+        singleton_fraction=float(singletons.mean()),
+        empty_fraction=float((sizes == 0).mean()),
+        uncertain_fraction=float((sizes > 1).mean()),
+        singleton_accuracy=float(singleton_correct.sum() / max(singletons.sum(), 1)),
+    )
+
+
+def evaluate_p_values(
+    p_values: np.ndarray, labels: np.ndarray, confidence: float = 0.9
+) -> ConformalEvaluation:
+    """Convenience wrapper: build regions from p-values, then evaluate them."""
+    regions = prediction_regions(p_values, confidence=confidence)
+    return evaluate_regions(regions, labels)
+
+
+def set_confusion_matrix(
+    regions: Sequence[PredictionRegion], labels: np.ndarray, n_classes: int = 2
+) -> Dict[str, int]:
+    """Set-valued confusion bookkeeping for binary Trojan detection.
+
+    Categories follow the conformal-confusion-matrix convention: singleton
+    regions are credited/blamed like ordinary predictions, while uncertain
+    (both labels) and empty regions are tracked separately instead of being
+    force-assigned.
+    """
+    labels = np.asarray(labels, dtype=int)
+    if len(regions) != len(labels):
+        raise ValueError("regions and labels must align")
+    counts = {
+        "true_positive": 0,
+        "true_negative": 0,
+        "false_positive": 0,
+        "false_negative": 0,
+        "uncertain": 0,
+        "empty": 0,
+    }
+    for region, label in zip(regions, labels):
+        if region.is_empty:
+            counts["empty"] += 1
+        elif region.is_uncertain:
+            counts["uncertain"] += 1
+        else:
+            predicted = region.labels[0]
+            if predicted == 1 and label == 1:
+                counts["true_positive"] += 1
+            elif predicted == 0 and label == 0:
+                counts["true_negative"] += 1
+            elif predicted == 1 and label == 0:
+                counts["false_positive"] += 1
+            else:
+                counts["false_negative"] += 1
+    return counts
+
+
+def validity_curve(
+    p_values: np.ndarray,
+    labels: np.ndarray,
+    confidences: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99),
+) -> List[Dict[str, float]]:
+    """Coverage and efficiency across a sweep of confidence levels.
+
+    Useful for checking the (near-)diagonal validity behaviour that a
+    well-calibrated conformal predictor must exhibit.
+    """
+    results = []
+    for confidence in confidences:
+        evaluation = evaluate_p_values(p_values, labels, confidence=confidence)
+        results.append(
+            {
+                "confidence": float(confidence),
+                "coverage": evaluation.coverage,
+                "average_region_size": evaluation.average_region_size,
+                "singleton_fraction": evaluation.singleton_fraction,
+            }
+        )
+    return results

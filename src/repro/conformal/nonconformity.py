@@ -1,0 +1,76 @@
+"""Nonconformity scores for conformal prediction.
+
+A nonconformity score measures how unusual a (sample, label) pair looks to
+an underlying classifier: larger means stranger.  All scores here are
+computed from the classifier's predicted class-probability matrix, which is
+the interface every classifier in this library exposes (``predict_proba``).
+
+Two standard scores are provided:
+
+* ``inverse_probability`` — ``1 - p(label)``: the paper's choice (Eq. 4 sums
+  per-classifier scores; with a single classifier per modality this reduces
+  to the plain score).
+* ``margin`` — ``(max_{y' != y} p(y') - p(y) + 1) / 2``: penalises both a low
+  probability for the candidate label and a strong competitor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+NonconformityFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _validate_probabilities(probabilities: np.ndarray) -> np.ndarray:
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim == 1:
+        # Binary classifiers returning p(class 1) only.
+        probabilities = np.column_stack([1.0 - probabilities, probabilities])
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be a (N, n_classes) matrix")
+    if np.any(probabilities < -1e-9) or np.any(probabilities > 1 + 1e-9):
+        raise ValueError("probabilities must lie in [0, 1]")
+    return np.clip(probabilities, 0.0, 1.0)
+
+
+def inverse_probability_score(
+    probabilities: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """``1 - p(label)`` for each row; the classic conformal score."""
+    probabilities = _validate_probabilities(probabilities)
+    labels = np.asarray(labels, dtype=int)
+    if labels.shape[0] != probabilities.shape[0]:
+        raise ValueError("labels and probabilities must align")
+    return 1.0 - probabilities[np.arange(len(labels)), labels]
+
+
+def margin_score(probabilities: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Margin-based score: high when a competing label dominates."""
+    probabilities = _validate_probabilities(probabilities)
+    labels = np.asarray(labels, dtype=int)
+    if labels.shape[0] != probabilities.shape[0]:
+        raise ValueError("labels and probabilities must align")
+    own = probabilities[np.arange(len(labels)), labels]
+    masked = probabilities.copy()
+    masked[np.arange(len(labels)), labels] = -np.inf
+    best_other = masked.max(axis=1)
+    return (best_other - own + 1.0) / 2.0
+
+
+_SCORES = {
+    "inverse_probability": inverse_probability_score,
+    "margin": margin_score,
+}
+
+
+def get_nonconformity(spec: Union[str, NonconformityFn]) -> NonconformityFn:
+    """Resolve a nonconformity score by name or pass through a callable."""
+    if callable(spec):
+        return spec
+    try:
+        return _SCORES[spec]
+    except KeyError as exc:
+        known = ", ".join(sorted(_SCORES))
+        raise ValueError(f"Unknown nonconformity score {spec!r}; known: {known}") from exc

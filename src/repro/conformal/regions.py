@@ -1,0 +1,107 @@
+"""Conformal prediction regions and set-valued predictions.
+
+Given a p-value matrix, the prediction region at confidence level ``E``
+contains every label whose p-value exceeds ``1 - E`` (Algorithm 1 of the
+paper).  Regions may contain zero, one or several labels; the helpers here
+build them, classify their kind and derive forced point predictions plus
+credibility/confidence, which the fusion layer and the evaluation metrics
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PredictionRegion:
+    """The set of labels not rejected at the requested confidence level."""
+
+    labels: tuple
+    confidence: float
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.labels) == 0
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.labels) == 1
+
+    @property
+    def is_uncertain(self) -> bool:
+        """True when more than one label could not be rejected."""
+        return len(self.labels) > 1
+
+    def __contains__(self, label: int) -> bool:
+        return label in self.labels
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def prediction_regions(
+    p_values: np.ndarray, confidence: float = 0.9
+) -> List[PredictionRegion]:
+    """Build the prediction region of every sample at the given confidence."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    p_values = np.asarray(p_values, dtype=np.float64)
+    if p_values.ndim != 2:
+        raise ValueError("p_values must be a (N, n_classes) matrix")
+    significance = 1.0 - confidence
+    regions: List[PredictionRegion] = []
+    for row in p_values:
+        labels = tuple(int(i) for i in np.flatnonzero(row > significance))
+        regions.append(PredictionRegion(labels=labels, confidence=confidence))
+    return regions
+
+
+def forced_predictions(p_values: np.ndarray) -> np.ndarray:
+    """Single-point predictions: the label with the highest p-value."""
+    p_values = np.asarray(p_values, dtype=np.float64)
+    return p_values.argmax(axis=1)
+
+
+def credibility(p_values: np.ndarray) -> np.ndarray:
+    """Largest p-value per sample."""
+    return np.asarray(p_values, dtype=np.float64).max(axis=1)
+
+
+def confidence_scores(p_values: np.ndarray) -> np.ndarray:
+    """One minus the second-largest p-value per sample."""
+    p_values = np.asarray(p_values, dtype=np.float64)
+    if p_values.shape[1] < 2:
+        return np.ones(p_values.shape[0])
+    sorted_p = np.sort(p_values, axis=1)
+    return 1.0 - sorted_p[:, -2]
+
+
+def p_values_to_probabilities(p_values: np.ndarray) -> np.ndarray:
+    """Normalise p-values into a pseudo-probability distribution per sample.
+
+    Conformal p-values are not probabilities, but fusion needs a calibrated
+    score in [0, 1] per class for Brier-style evaluation; normalising the
+    p-values row-wise is the standard post-processing used when a single
+    probabilistic output is required from a conformal predictor.
+    """
+    p_values = np.asarray(p_values, dtype=np.float64)
+    totals = p_values.sum(axis=1, keepdims=True)
+    safe_totals = np.where(totals > 0, totals, 1.0)
+    probabilities = p_values / safe_totals
+    # Rows that were all-zero get a uniform distribution.
+    uniform = np.full(p_values.shape[1], 1.0 / p_values.shape[1])
+    probabilities[totals.reshape(-1) == 0] = uniform
+    return probabilities
+
+
+def region_kind_counts(regions: Sequence[PredictionRegion]) -> dict:
+    """Counts of empty / singleton / uncertain regions."""
+    return {
+        "empty": sum(1 for r in regions if r.is_empty),
+        "singleton": sum(1 for r in regions if r.is_singleton),
+        "uncertain": sum(1 for r in regions if r.is_uncertain),
+    }

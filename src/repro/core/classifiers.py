@@ -1,0 +1,169 @@
+"""Per-modality CNN classifiers.
+
+The paper uses CNN-based classifiers for both modalities.  Here each
+modality's flat feature vector is treated as a one-channel 1-D signal and
+classified by a small convolutional network (two conv blocks, global
+average pooling, a dense head); a 2-D variant consumes the adjacency-image
+representation of the graph modality.  Both expose the
+``fit`` / ``predict_proba`` protocol the conformal layer expects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..features.scaling import StandardScaler
+from ..nn import (
+    Conv1d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool1d,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+from .config import ClassifierConfig
+
+
+class CNNModalityClassifier:
+    """1-D CNN over a flat feature vector (one modality)."""
+
+    def __init__(self, n_features: int, config: Optional[ClassifierConfig] = None) -> None:
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        self.config = config or ClassifierConfig()
+        self.config.validate()
+        self.n_features = n_features
+        self._scaler = StandardScaler()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._model = self._build()
+
+    def _build(self) -> Sequential:
+        c1, c2 = self.config.channels
+        k = self.config.kernel_size
+        padding = k // 2
+        pooled_length = self.n_features // 2
+        if pooled_length < 1:
+            raise ValueError("n_features too small for the CNN architecture")
+        layers = [
+            Conv1d(1, c1, kernel_size=k, padding=padding, rng=self._rng),
+            ReLU(),
+            MaxPool1d(2),
+            Conv1d(c1, c2, kernel_size=k, padding=padding, rng=self._rng),
+            ReLU(),
+            Flatten(),
+            Dense(c2 * pooled_length, self.config.dense_units, rng=self._rng),
+            ReLU(),
+        ]
+        if self.config.dropout > 0:
+            layers.append(Dropout(self.config.dropout, rng=self._rng))
+        layers.extend([Dense(self.config.dense_units, 1, rng=self._rng), Sigmoid()])
+        return Sequential(
+            layers,
+            loss="bce",
+            optimizer="adam",
+            learning_rate=self.config.learning_rate,
+        )
+
+    # -- data plumbing ------------------------------------------------------
+    def _reshape(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], 1, self.n_features)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "CNNModalityClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(f"expected shape (N, {self.n_features}), got {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must align")
+        scaled = self._scaler.fit_transform(x)
+        self._model.fit(
+            self._reshape(scaled),
+            y,
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+            rng=np.random.default_rng(self.config.seed + 1),
+        )
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(f"expected shape (N, {self.n_features}), got {x.shape}")
+        scaled = self._scaler.transform(x)
+        positive = self._model.predict_proba(self._reshape(scaled)).reshape(-1)
+        positive = np.clip(positive, 0.0, 1.0)
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(x)[:, 1] >= threshold).astype(int)
+
+
+class ImageCNNClassifier:
+    """2-D CNN over adjacency images ``(N, 1, K, K)`` (graph modality variant)."""
+
+    def __init__(self, image_size: int, config: Optional[ClassifierConfig] = None) -> None:
+        if image_size < 4:
+            raise ValueError("image_size must be at least 4")
+        self.config = config or ClassifierConfig()
+        self.config.validate()
+        self.image_size = image_size
+        self._rng = np.random.default_rng(self.config.seed)
+        self._model = self._build()
+
+    def _build(self) -> Sequential:
+        c1, c2 = self.config.channels
+        k = self.config.kernel_size
+        padding = k // 2
+        pooled = self.image_size // 2 // 2
+        if pooled < 1:
+            raise ValueError("image_size too small for two pooling stages")
+        layers = [
+            Conv2d(1, c1, kernel_size=k, padding=padding, rng=self._rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, kernel_size=k, padding=padding, rng=self._rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(c2 * pooled * pooled, self.config.dense_units, rng=self._rng),
+            ReLU(),
+        ]
+        if self.config.dropout > 0:
+            layers.append(Dropout(self.config.dropout, rng=self._rng))
+        layers.extend([Dense(self.config.dense_units, 1, rng=self._rng), Sigmoid()])
+        return Sequential(
+            layers,
+            loss="bce",
+            optimizer="adam",
+            learning_rate=self.config.learning_rate,
+        )
+
+    def fit(self, images: np.ndarray, y: np.ndarray) -> "ImageCNNClassifier":
+        images = np.asarray(images, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        expected = (1, self.image_size, self.image_size)
+        if images.ndim != 4 or images.shape[1:] != expected:
+            raise ValueError(f"expected images of shape (N, {expected}), got {images.shape}")
+        self._model.fit(
+            images,
+            y,
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+            rng=np.random.default_rng(self.config.seed + 1),
+        )
+        return self
+
+    def predict_proba(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        positive = self._model.predict_proba(images).reshape(-1)
+        positive = np.clip(positive, 0.0, 1.0)
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, images: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(images)[:, 1] >= threshold).astype(int)

@@ -1,0 +1,94 @@
+"""Configuration objects for the NOODLE pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..gan.augmentation import AmplificationConfig
+
+
+@dataclass
+class ClassifierConfig:
+    """Hyper-parameters of the per-modality CNN classifier.
+
+    The paper deliberately keeps the classifier simple ("any ML model can be
+    optimised through hyper-parameter tuning...; our primary emphasis is on
+    assessing the effectiveness of uncertainty-aware multimodality"), so the
+    defaults here are a small 1-D CNN that trains in seconds on CPU.
+    """
+
+    channels: Tuple[int, int] = (16, 32)
+    kernel_size: int = 3
+    dense_units: int = 32
+    dropout: float = 0.1
+    epochs: int = 60
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    seed: int = 0
+
+    def validate(self) -> None:
+        if len(self.channels) != 2 or min(self.channels) <= 0:
+            raise ValueError("channels must be a pair of positive integers")
+        if self.kernel_size <= 0 or self.dense_units <= 0:
+            raise ValueError("kernel_size and dense_units must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.epochs <= 0 or self.batch_size <= 0 or self.learning_rate <= 0:
+            raise ValueError("epochs, batch_size and learning_rate must be positive")
+
+
+@dataclass
+class NoodleConfig:
+    """Top-level configuration of the NOODLE framework (Algorithm 2)."""
+
+    #: Modalities to fuse, by name (see :mod:`repro.features.pipeline`).
+    modalities: Sequence[str] = ("graph", "tabular")
+    #: Per-modality classifier settings.
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    #: p-value combination method for uncertainty-aware fusion (Algorithm 1).
+    combination_method: str = "fisher"
+    #: Confidence level E for conformal prediction regions.
+    confidence_level: float = 0.9
+    #: Fraction of the training data held out for conformal calibration.
+    calibration_fraction: float = 0.3
+    #: Fraction of the training data held out to pick the winning fusion.
+    validation_fraction: float = 0.2
+    #: Whether to GAN-amplify the training data before fitting.
+    amplify: bool = False
+    #: Amplification settings (used when ``amplify`` is True).
+    amplification: AmplificationConfig = field(default_factory=AmplificationConfig)
+    #: Use Mondrian (label-conditional) conformal prediction.
+    mondrian: bool = True
+    #: Nonconformity score name.
+    nonconformity: str = "inverse_probability"
+    #: Random seed controlling splits and model initialisation.
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not self.modalities:
+            raise ValueError("at least one modality is required")
+        if len(set(self.modalities)) != len(self.modalities):
+            raise ValueError("modalities must be unique")
+        if not 0.0 < self.confidence_level < 1.0:
+            raise ValueError("confidence_level must be in (0, 1)")
+        if not 0.0 < self.calibration_fraction < 1.0:
+            raise ValueError("calibration_fraction must be in (0, 1)")
+        if not 0.0 <= self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        if self.calibration_fraction + self.validation_fraction >= 0.9:
+            raise ValueError(
+                "calibration and validation fractions leave too little training data"
+            )
+        self.classifier.validate()
+        self.amplification.validate()
+
+
+def default_config(seed: Optional[int] = None, **overrides) -> NoodleConfig:
+    """A validated default configuration, optionally reseeded / overridden."""
+    config = NoodleConfig(**overrides)
+    if seed is not None:
+        config.seed = seed
+        config.classifier.seed = seed
+    config.validate()
+    return config

@@ -1,0 +1,200 @@
+"""The NOODLE framework (Algorithm 2 of the paper).
+
+``NOODLE.fit`` takes a multimodal training set and:
+
+1. imputes missing modalities with the conditional GAN imputer (if any);
+2. optionally amplifies the training data with per-class GANs;
+3. holds out a validation slice, trains an early-fusion and a late-fusion
+   model on the remainder;
+4. evaluates both on the validation slice and keeps the one with the better
+   (lower) Brier score — Algorithm 2, step 8;
+5. refits the winning strategy on the full training data.
+
+``NOODLE.decide`` then produces risk-aware :class:`TrojanDecision` objects
+— label, fused probability, conformal prediction region, credibility and
+confidence — for new designs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..conformal import evaluate_p_values
+from ..conformal.regions import confidence_scores, credibility, prediction_regions
+from ..features.pipeline import MODALITIES, MultimodalFeatures
+from ..gan.augmentation import amplify_multimodal
+from ..gan.imputation import impute_missing_modalities
+from ..metrics.brier import brier_score
+from ..metrics.classification import accuracy
+from ..metrics.roc import roc_auc
+from .config import NoodleConfig
+from .fusion import ConformalFusionModel, EarlyFusionModel, LateFusionModel
+from .results import FusionEvaluation, NoodleReport, TrojanDecision
+
+
+def _stratified_holdout(
+    labels: np.ndarray, fraction: float, rng: np.random.Generator
+) -> tuple:
+    """(fit_indices, holdout_indices) preserving class proportions."""
+    fit_idx: List[int] = []
+    holdout_idx: List[int] = []
+    for label in np.unique(labels):
+        members = np.flatnonzero(labels == label)
+        rng.shuffle(members)
+        n_holdout = max(1, int(round(len(members) * fraction)))
+        if n_holdout >= len(members):
+            n_holdout = max(len(members) - 1, 1)
+        holdout_idx.extend(int(i) for i in members[:n_holdout])
+        fit_idx.extend(int(i) for i in members[n_holdout:])
+    return np.asarray(sorted(fit_idx)), np.asarray(sorted(holdout_idx))
+
+
+def evaluate_fusion_model(
+    model: ConformalFusionModel,
+    features: MultimodalFeatures,
+    confidence: Optional[float] = None,
+) -> FusionEvaluation:
+    """Standard evaluation of any fitted fusion model on a labelled split."""
+    level = confidence if confidence is not None else model.config.confidence_level
+    p_values = model.p_values(features)
+    probabilities = model.predict_proba(features)[:, 1]
+    predictions = model.predict(features)
+    labels = features.labels
+    conformal = evaluate_p_values(p_values, labels, confidence=level)
+    return FusionEvaluation(
+        strategy=model.strategy,
+        brier_score=brier_score(probabilities, labels),
+        auc=roc_auc(probabilities, labels),
+        accuracy=accuracy(predictions, labels),
+        coverage=conformal.coverage,
+        average_region_size=conformal.average_region_size,
+        uncertain_fraction=conformal.uncertain_fraction,
+    )
+
+
+class NOODLE:
+    """Uncertainty-aware multimodal hardware-Trojan detector."""
+
+    def __init__(self, config: Optional[NoodleConfig] = None) -> None:
+        self.config = config or NoodleConfig()
+        self.config.validate()
+        self._model: Optional[ConformalFusionModel] = None
+        self._report: Optional[NoodleReport] = None
+        self._candidates: Dict[str, ConformalFusionModel] = {}
+
+    # -- training -------------------------------------------------------------
+    def _prepare_training_data(self, features: MultimodalFeatures) -> MultimodalFeatures:
+        """Impute missing modalities, then optionally GAN-amplify."""
+        has_missing = any(features.missing_mask(m).any() for m in MODALITIES)
+        if has_missing:
+            features = impute_missing_modalities(features)
+        if self.config.amplify:
+            features = amplify_multimodal(features, self.config.amplification)
+        return features
+
+    def fit(self, features: MultimodalFeatures) -> NoodleReport:
+        """Run Algorithm 2 on the training data and keep the winning fusion."""
+        original_size = len(features)
+        prepared = self._prepare_training_data(features)
+        rng = np.random.default_rng(self.config.seed + 1)
+
+        validation_fraction = self.config.validation_fraction
+        if validation_fraction > 0:
+            fit_idx, validation_idx = _stratified_holdout(
+                prepared.labels, validation_fraction, rng
+            )
+            fit_features = prepared.subset(fit_idx)
+            validation_features = prepared.subset(validation_idx)
+        else:
+            fit_features = prepared
+            validation_features = prepared
+
+        candidates: Dict[str, ConformalFusionModel] = {
+            "early_fusion": EarlyFusionModel(self.config),
+            "late_fusion": LateFusionModel(self.config),
+        }
+        validation_scores: Dict[str, float] = {}
+        for name, model in candidates.items():
+            model.fit(fit_features)
+            probabilities = model.predict_proba(validation_features)[:, 1]
+            validation_scores[name] = brier_score(probabilities, validation_features.labels)
+        winner = min(validation_scores, key=validation_scores.get)
+
+        # Refit the winner (and keep the runner-up fitted for inspection) on
+        # the full prepared training data.
+        final_model = (
+            EarlyFusionModel(self.config) if winner == "early_fusion" else LateFusionModel(self.config)
+        )
+        final_model.fit(prepared)
+        self._candidates = candidates
+        self._model = final_model
+        self._report = NoodleReport(
+            winner=winner,
+            validation_scores=validation_scores,
+            strategies=list(candidates),
+            amplified_training_size=len(prepared),
+            original_training_size=original_size,
+        )
+        return self._report
+
+    # -- inference ---------------------------------------------------------------
+    @property
+    def report(self) -> NoodleReport:
+        if self._report is None:
+            raise RuntimeError("NOODLE has not been fitted yet")
+        return self._report
+
+    @property
+    def model(self) -> ConformalFusionModel:
+        """The winning fusion model."""
+        if self._model is None:
+            raise RuntimeError("NOODLE has not been fitted yet")
+        return self._model
+
+    def candidate(self, name: str) -> ConformalFusionModel:
+        """Access one of the candidate models fitted during selection."""
+        if name not in self._candidates:
+            raise KeyError(f"unknown candidate {name!r}; have {sorted(self._candidates)}")
+        return self._candidates[name]
+
+    def predict_proba(self, features: MultimodalFeatures) -> np.ndarray:
+        return self.model.predict_proba(features)
+
+    def predict(self, features: MultimodalFeatures) -> np.ndarray:
+        return self.model.predict(features)
+
+    def p_values(self, features: MultimodalFeatures) -> np.ndarray:
+        return self.model.p_values(features)
+
+    def evaluate(self, features: MultimodalFeatures) -> FusionEvaluation:
+        """Evaluate the winning model on a labelled split."""
+        return evaluate_fusion_model(self.model, features, self.config.confidence_level)
+
+    def decide(
+        self, features: MultimodalFeatures, include_truth: bool = True
+    ) -> List[TrojanDecision]:
+        """Produce a risk-aware decision per design (Algorithm 2 output)."""
+        p_values = self.p_values(features)
+        probabilities = p_values / np.maximum(p_values.sum(axis=1, keepdims=True), 1e-12)
+        regions = prediction_regions(p_values, confidence=self.config.confidence_level)
+        cred = credibility(p_values)
+        conf = confidence_scores(p_values)
+        names = features.names or [f"design{i}" for i in range(len(features))]
+        decisions: List[TrojanDecision] = []
+        for i, region in enumerate(regions):
+            decisions.append(
+                TrojanDecision(
+                    name=names[i],
+                    predicted_label=int(p_values[i].argmax()),
+                    probability_infected=float(probabilities[i, 1]),
+                    p_value_trojan_free=float(p_values[i, 0]),
+                    p_value_trojan_infected=float(p_values[i, 1]),
+                    region_labels=region.labels,
+                    credibility=float(cred[i]),
+                    confidence=float(conf[i]),
+                    true_label=int(features.labels[i]) if include_truth else None,
+                )
+            )
+        return decisions

@@ -1,0 +1,98 @@
+"""Result containers produced by the NOODLE pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class TrojanDecision:
+    """Risk-aware decision for one design (Algorithm 2's output ``D``).
+
+    Besides the binary decision, the conformal machinery contributes the
+    quantities a decision-maker needs for triage: the fused probability, the
+    per-class p-values, the prediction region at the configured confidence
+    and the credibility/confidence scores.
+    """
+
+    name: str
+    predicted_label: int
+    probability_infected: float
+    p_value_trojan_free: float
+    p_value_trojan_infected: float
+    region_labels: Tuple[int, ...]
+    credibility: float
+    confidence: float
+    true_label: Optional[int] = None
+
+    @property
+    def is_uncertain(self) -> bool:
+        """True when the prediction region contains more than one label."""
+        return len(self.region_labels) > 1
+
+    @property
+    def is_empty(self) -> bool:
+        """True when every label was rejected at the confidence level."""
+        return len(self.region_labels) == 0
+
+    @property
+    def verdict(self) -> str:
+        """Human-readable decision string used by the examples and reports."""
+        if self.is_empty:
+            return "anomalous (no label fits)"
+        if self.is_uncertain:
+            return "uncertain (needs manual review)"
+        return "trojan_infected" if self.predicted_label == 1 else "trojan_free"
+
+
+@dataclass
+class FusionEvaluation:
+    """Evaluation of one fusion strategy on one dataset split."""
+
+    strategy: str
+    brier_score: float
+    auc: float
+    accuracy: float
+    coverage: float
+    average_region_size: float
+    uncertain_fraction: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        base = {
+            "brier_score": self.brier_score,
+            "auc": self.auc,
+            "accuracy": self.accuracy,
+            "coverage": self.coverage,
+            "average_region_size": self.average_region_size,
+            "uncertain_fraction": self.uncertain_fraction,
+        }
+        base.update(self.extra)
+        return base
+
+
+@dataclass
+class NoodleReport:
+    """What NOODLE.fit() learned: per-strategy validation scores and the winner."""
+
+    winner: str
+    validation_scores: Dict[str, float]
+    strategies: List[str]
+    amplified_training_size: int
+    original_training_size: int
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"training designs: {self.original_training_size}"
+            + (
+                f" (amplified to {self.amplified_training_size})"
+                if self.amplified_training_size != self.original_training_size
+                else ""
+            ),
+            f"strategies evaluated: {', '.join(self.strategies)}",
+        ]
+        for name, score in sorted(self.validation_scores.items(), key=lambda kv: kv[1]):
+            marker = " <- winner" if name == self.winner else ""
+            lines.append(f"  validation Brier[{name}] = {score:.4f}{marker}")
+        return lines

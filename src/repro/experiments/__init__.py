@@ -1,0 +1,73 @@
+"""Experiment runners that regenerate each table and figure of the paper.
+
+* E1 — :func:`run_table1` (Table I, Brier score comparison)
+* E2 — :func:`run_fig2` (Brier score distribution, early vs late fusion)
+* E3 — :func:`run_fig3` (confidence calibration curve + histogram)
+* E4 — :func:`run_fig4` (ROC-AUC curve under late fusion)
+* E5 — :func:`run_fig5` (radar plot of consolidated metrics)
+* A1-A3 — ablations (p-value combination, GAN amplification, missing modality)
+* B1 — :func:`run_baseline_comparison`
+"""
+
+from .ablations import (
+    AmplificationAblationResult,
+    CombinationAblationResult,
+    MissingModalityAblationResult,
+    run_amplification_ablation,
+    run_combination_ablation,
+    run_missing_modality_ablation,
+)
+from .baselines_exp import BaselineComparisonResult, run_baseline_comparison
+from .common import (
+    PAPER_ROC_AUC,
+    PAPER_TABLE1,
+    PAPER_TEST_SIZE,
+    STRATEGIES,
+    ExperimentConfig,
+    build_strategies,
+    clear_prepared_cache,
+    fit_and_split,
+    prepare_experiment_data,
+    quick_config,
+    run_scenario,
+    scenario_seeds,
+)
+from .fig2 import BrierDistribution, Fig2Result, run_fig2
+from .fig3 import Fig3Result, run_fig3
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import Fig5Result, run_fig5
+from .table1 import Table1Result, run_table1
+
+__all__ = [
+    "AmplificationAblationResult",
+    "BaselineComparisonResult",
+    "BrierDistribution",
+    "CombinationAblationResult",
+    "ExperimentConfig",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "MissingModalityAblationResult",
+    "PAPER_ROC_AUC",
+    "PAPER_TABLE1",
+    "PAPER_TEST_SIZE",
+    "STRATEGIES",
+    "Table1Result",
+    "build_strategies",
+    "clear_prepared_cache",
+    "fit_and_split",
+    "prepare_experiment_data",
+    "quick_config",
+    "run_amplification_ablation",
+    "run_baseline_comparison",
+    "run_combination_ablation",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_missing_modality_ablation",
+    "run_scenario",
+    "run_table1",
+    "scenario_seeds",
+]

@@ -1,0 +1,88 @@
+"""Experiment B1 — baseline comparison.
+
+The paper's related work applies classical single-modality models (SVM,
+neural networks, XGBoost-style boosting, random forests) to Trojan
+detection.  This experiment trains each baseline on a single modality (and
+on naively concatenated features) and compares Brier/AUC against NOODLE's
+late fusion, all on the same train/test split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import BASELINE_REGISTRY
+from ..core import LateFusionModel, evaluate_fusion_model
+from ..metrics.brier import brier_score
+from ..metrics.report import format_table
+from ..metrics.roc import roc_auc
+from .common import ExperimentConfig, prepare_experiment_data
+
+
+@dataclass
+class BaselineComparisonResult:
+    """Brier/AUC of each baseline (per feature set) and of NOODLE late fusion."""
+
+    scores: Dict[str, Dict[str, float]]
+
+    def format(self) -> str:
+        rows = [{"model": name, **metrics} for name, metrics in self.scores.items()]
+        rows.sort(key=lambda row: row["brier"])
+        return format_table(
+            rows,
+            columns=["model", "brier", "auc"],
+            title="Baseline comparison (sorted by Brier score)",
+        )
+
+    @property
+    def noodle_rank(self) -> int:
+        """1-based rank of NOODLE late fusion by Brier score (1 = best)."""
+        ordered = sorted(self.scores.items(), key=lambda kv: kv[1]["brier"])
+        for rank, (name, _) in enumerate(ordered, start=1):
+            if name == "noodle_late_fusion":
+                return rank
+        raise RuntimeError("NOODLE results missing from the comparison")
+
+
+def run_baseline_comparison(
+    config: Optional[ExperimentConfig] = None,
+    baseline_names: Optional[List[str]] = None,
+    feature_sets: Optional[List[str]] = None,
+) -> BaselineComparisonResult:
+    """Train every requested baseline and NOODLE on the same split."""
+    config = config or ExperimentConfig()
+    config.validate()
+    baseline_names = baseline_names or sorted(BASELINE_REGISTRY)
+    feature_sets = feature_sets or ["tabular", "graph"]
+    _, amplified = prepare_experiment_data(config)
+    rng = np.random.default_rng(config.seed)
+    train, test = amplified.stratified_split(config.test_fraction, rng)
+
+    scores: Dict[str, Dict[str, float]] = {}
+    for feature_set in feature_sets:
+        if feature_set == "concat":
+            x_train = np.hstack([train.graph, train.tabular])
+            x_test = np.hstack([test.graph, test.tabular])
+        else:
+            x_train = train.modality(feature_set)
+            x_test = test.modality(feature_set)
+        for name in baseline_names:
+            model = BASELINE_REGISTRY[name]()
+            model.fit(x_train, train.labels)
+            probabilities = model.predict_proba(x_test)[:, 1]
+            scores[f"{name}[{feature_set}]"] = {
+                "brier": brier_score(probabilities, test.labels),
+                "auc": roc_auc(probabilities, test.labels),
+            }
+
+    noodle = LateFusionModel(config.noodle)
+    noodle.fit(train)
+    evaluation = evaluate_fusion_model(noodle, test)
+    scores["noodle_late_fusion"] = {
+        "brier": evaluation.brier_score,
+        "auc": evaluation.auc,
+    }
+    return BaselineComparisonResult(scores=scores)

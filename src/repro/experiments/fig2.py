@@ -1,0 +1,115 @@
+"""Experiment E2 — Fig. 2: Brier score distribution for early and late fusion.
+
+The paper's Fig. 2a/2b show the distribution of the Brier score (with its
+mean interval) across scenarios for the two fusion strategies.  Here a
+scenario is one reseeded train/test split of the amplified dataset; the
+experiment collects the per-scenario Brier scores and summarises the
+distribution (mean, standard deviation, a normal-approximation confidence
+interval and the quartiles used for a box-style view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..metrics.report import format_table
+from .common import ExperimentConfig, run_scenario, scenario_seeds
+
+
+@dataclass
+class BrierDistribution:
+    """Distribution of the Brier score across scenarios for one strategy."""
+
+    strategy: str
+    scores: List[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.scores))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.scores))
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.scores))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.scores))
+
+    def quartiles(self) -> Dict[str, float]:
+        q1, median, q3 = np.percentile(self.scores, [25, 50, 75])
+        return {"q1": float(q1), "median": float(median), "q3": float(q3)}
+
+    def mean_interval(self, z: float = 1.96) -> Dict[str, float]:
+        """Normal-approximation interval around the mean (the 'mean interval'
+        shown in the paper's violin plots)."""
+        half_width = z * self.std / np.sqrt(max(len(self.scores), 1))
+        return {"low": self.mean - half_width, "high": self.mean + half_width}
+
+    def summary(self) -> Dict[str, float]:
+        summary = {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        summary.update(self.quartiles())
+        interval = self.mean_interval()
+        summary["mean_low"] = interval["low"]
+        summary["mean_high"] = interval["high"]
+        return summary
+
+
+@dataclass
+class Fig2Result:
+    """Brier distributions for the early- and late-fusion strategies."""
+
+    early_fusion: BrierDistribution
+    late_fusion: BrierDistribution
+    n_scenarios: int
+
+    def format(self) -> str:
+        rows = []
+        for distribution in (self.early_fusion, self.late_fusion):
+            row: Dict[str, object] = {"strategy": distribution.strategy}
+            row.update(distribution.summary())
+            rows.append(row)
+        return format_table(
+            rows,
+            columns=["strategy", "mean", "std", "q1", "median", "q3", "mean_low", "mean_high"],
+            title=(
+                "Fig. 2: Brier score distribution across "
+                f"{self.n_scenarios} scenarios (early vs late fusion)"
+            ),
+        )
+
+    @property
+    def late_fusion_wins(self) -> bool:
+        return self.late_fusion.mean <= self.early_fusion.mean
+
+
+def run_fig2(
+    config: Optional[ExperimentConfig] = None, n_scenarios: Optional[int] = None
+) -> Fig2Result:
+    """Run experiment E2 and return the per-strategy Brier distributions."""
+    config = config or ExperimentConfig()
+    if n_scenarios is not None:
+        config.n_scenarios = n_scenarios
+    config.validate()
+    early: List[float] = []
+    late: List[float] = []
+    for seed in scenario_seeds(config):
+        results = run_scenario(config, seed, strategies=["early_fusion", "late_fusion"])
+        early.append(results["early_fusion"].brier_score)
+        late.append(results["late_fusion"].brier_score)
+    return Fig2Result(
+        early_fusion=BrierDistribution("early_fusion", early),
+        late_fusion=BrierDistribution("late_fusion", late),
+        n_scenarios=config.n_scenarios,
+    )

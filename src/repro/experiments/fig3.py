@@ -1,0 +1,95 @@
+"""Experiment E3 — Fig. 3: confidence calibration curve and forecast histogram.
+
+The paper plots the reliability (calibration) curve of the winning fusion
+model on its held-out test set together with a histogram of the predicted
+probabilities (sharpness).  This experiment produces both data series, plus
+the scalar calibration summaries (ECE, MCE, sharpness) used in the write-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..metrics.brier import brier_score, sharpness
+from ..metrics.calibration import (
+    CalibrationCurve,
+    calibration_curve,
+    expected_calibration_error,
+    maximum_calibration_error,
+    probability_histogram,
+)
+from ..metrics.report import format_curve, format_metric_block
+from .common import ExperimentConfig, fit_and_split
+
+
+@dataclass
+class Fig3Result:
+    """Calibration curve, probability histogram and summary statistics."""
+
+    strategy: str
+    curve: CalibrationCurve
+    histogram: Dict[str, List[float]]
+    expected_calibration_error: float
+    maximum_calibration_error: float
+    sharpness: float
+    brier_score: float
+    n_test: int
+
+    def format(self) -> str:
+        sections = [
+            format_metric_block(
+                {
+                    "strategy": self.strategy,
+                    "n_test": self.n_test,
+                    "ECE": self.expected_calibration_error,
+                    "MCE": self.maximum_calibration_error,
+                    "sharpness": self.sharpness,
+                    "brier": self.brier_score,
+                },
+                title="Fig. 3: confidence calibration summary",
+            ),
+            format_curve(
+                self.curve.mean_predicted,
+                self.curve.observed_frequency,
+                x_label="mean predicted probability",
+                y_label="observed frequency",
+            ),
+            format_curve(
+                self.histogram["bin_centers"],
+                [float(c) for c in self.histogram["counts"]],
+                x_label="predicted probability",
+                y_label="count",
+            ),
+        ]
+        return "\n".join(sections)
+
+
+def run_fig3(
+    config: Optional[ExperimentConfig] = None,
+    strategy: str = "late_fusion",
+    n_bins: int = 10,
+) -> Fig3Result:
+    """Run experiment E3 for the requested fusion strategy (default: late)."""
+    config = config or ExperimentConfig()
+    config.validate()
+    models, _, test = fit_and_split(config)
+    if strategy not in models:
+        raise ValueError(f"unknown strategy {strategy!r}; have {sorted(models)}")
+    model = models[strategy]
+    probabilities = model.predict_proba(test)[:, 1]
+    labels = test.labels
+    return Fig3Result(
+        strategy=strategy,
+        curve=calibration_curve(probabilities, labels, n_bins=n_bins),
+        histogram=probability_histogram(probabilities, n_bins=n_bins),
+        expected_calibration_error=expected_calibration_error(
+            probabilities, labels, n_bins=n_bins
+        ),
+        maximum_calibration_error=maximum_calibration_error(
+            probabilities, labels, n_bins=n_bins
+        ),
+        sharpness=sharpness(probabilities),
+        brier_score=brier_score(probabilities, labels),
+        n_test=len(test),
+    )

@@ -1,0 +1,65 @@
+"""Experiment E4 — Fig. 4: ROC-AUC curve of NOODLE under late fusion.
+
+The paper reports AUC = 0.928 for the late-fusion model on the held-out
+test set.  This experiment computes the full ROC curve plus the AUC and a
+comparison against the paper value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metrics.report import format_curve, format_metric_block
+from ..metrics.roc import ROCCurve, roc_curve
+from .common import PAPER_ROC_AUC, ExperimentConfig, fit_and_split
+
+
+@dataclass
+class Fig4Result:
+    """ROC curve and AUC for one fusion strategy."""
+
+    strategy: str
+    curve: ROCCurve
+    paper_auc: float
+    n_test: int
+
+    @property
+    def auc(self) -> float:
+        return self.curve.auc
+
+    def format(self) -> str:
+        header = format_metric_block(
+            {
+                "strategy": self.strategy,
+                "n_test": self.n_test,
+                "auc": self.auc,
+                "paper_auc": self.paper_auc,
+            },
+            title="Fig. 4: ROC-AUC under late fusion",
+        )
+        curve = format_curve(
+            list(self.curve.false_positive_rate),
+            list(self.curve.true_positive_rate),
+            x_label="false positive rate",
+            y_label="true positive rate",
+        )
+        return f"{header}\n{curve}"
+
+
+def run_fig4(
+    config: Optional[ExperimentConfig] = None, strategy: str = "late_fusion"
+) -> Fig4Result:
+    """Run experiment E4 (ROC of the late-fusion model by default)."""
+    config = config or ExperimentConfig()
+    config.validate()
+    models, _, test = fit_and_split(config)
+    if strategy not in models:
+        raise ValueError(f"unknown strategy {strategy!r}; have {sorted(models)}")
+    probabilities = models[strategy].predict_proba(test)[:, 1]
+    return Fig4Result(
+        strategy=strategy,
+        curve=roc_curve(probabilities, test.labels),
+        paper_auc=PAPER_ROC_AUC,
+        n_test=len(test),
+    )

@@ -1,0 +1,51 @@
+"""Experiment E5 — Fig. 5: radar plot of consolidated metrics.
+
+The paper's radar plot gathers discrimination metrics (AUC, resolution,
+refinement loss), combined calibration+discrimination metrics (Brier score,
+Brier skill score) and point metrics (sensitivity, accuracy) for the winning
+model on one normalised 0-1 scale.  This experiment computes the raw metrics
+and the normalised polygon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.radar import consolidated_metrics, radar_polygon
+from ..metrics.report import format_metric_block, format_radar
+from .common import ExperimentConfig, fit_and_split
+
+
+@dataclass
+class Fig5Result:
+    """Raw consolidated metrics plus the normalised radar polygon."""
+
+    strategy: str
+    metrics: Dict[str, float]
+    polygon: List[Tuple[str, float]]
+    n_test: int
+
+    def format(self) -> str:
+        raw = format_metric_block(self.metrics, title="Fig. 5: consolidated metrics (raw)")
+        radar = format_radar(self.polygon, title="Fig. 5: radar axes (normalised, higher=better)")
+        return f"{raw}\n{radar}"
+
+
+def run_fig5(
+    config: Optional[ExperimentConfig] = None, strategy: str = "late_fusion"
+) -> Fig5Result:
+    """Run experiment E5 for the requested strategy (default: late fusion)."""
+    config = config or ExperimentConfig()
+    config.validate()
+    models, _, test = fit_and_split(config)
+    if strategy not in models:
+        raise ValueError(f"unknown strategy {strategy!r}; have {sorted(models)}")
+    probabilities = models[strategy].predict_proba(test)[:, 1]
+    metrics = consolidated_metrics(probabilities, test.labels)
+    return Fig5Result(
+        strategy=strategy,
+        metrics=metrics,
+        polygon=radar_polygon(metrics),
+        n_test=len(test),
+    )

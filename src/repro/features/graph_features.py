@@ -1,0 +1,171 @@
+"""Graph modality: fixed-length feature embedding of the data-flow graph.
+
+The CNN classifiers need a fixed-size numeric representation per design.
+Two complementary representations are produced from the data-flow graph:
+
+* :func:`graph_feature_vector` — a vector of structural graph statistics
+  (size, degree profile, connectivity, spectral summary, role counts),
+  loosely following the statistics graph-kernel methods aggregate;
+* :mod:`repro.features.image` — a 2-D "adjacency image" fed to the Conv2d
+  classifier (see that module).
+
+Trojan logic perturbs these statistics: triggers add high-fan-in comparator
+nodes and weakly connected counter chains; payload muxes add edges from the
+trigger wire into otherwise stable output cones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+import networkx as nx
+import numpy as np
+
+from ..hdl import ast_nodes as ast
+from .graph_builder import build_dataflow_graph
+
+#: Number of histogram bins used for the degree profile.
+_DEGREE_BINS = 6
+#: Number of leading Laplacian eigenvalues included in the embedding.
+_SPECTRAL_COMPONENTS = 6
+
+
+def _degree_histogram(degrees: List[int]) -> np.ndarray:
+    """Histogram of degrees over fixed bins [0,1,2,3,4-7,8+]."""
+    bins = np.zeros(_DEGREE_BINS)
+    for degree in degrees:
+        if degree <= 3:
+            bins[degree] += 1
+        elif degree <= 7:
+            bins[4] += 1
+        else:
+            bins[5] += 1
+    total = max(len(degrees), 1)
+    return bins / total
+
+
+def _spectral_summary(graph: nx.DiGraph) -> np.ndarray:
+    """Leading eigenvalues of the normalised Laplacian of the undirected view."""
+    if graph.number_of_nodes() < 2:
+        return np.zeros(_SPECTRAL_COMPONENTS)
+    undirected = graph.to_undirected()
+    laplacian = nx.normalized_laplacian_matrix(undirected).toarray()
+    eigenvalues = np.sort(np.linalg.eigvalsh(laplacian))[::-1]
+    summary = np.zeros(_SPECTRAL_COMPONENTS)
+    count = min(_SPECTRAL_COMPONENTS, eigenvalues.shape[0])
+    summary[:count] = eigenvalues[:count]
+    return summary
+
+
+def _longest_path_estimate(graph: nx.DiGraph) -> float:
+    """Longest path in the acyclic condensation (logic-depth proxy)."""
+    if graph.number_of_nodes() == 0:
+        return 0.0
+    condensation = nx.condensation(graph)
+    if condensation.number_of_nodes() == 0:
+        return 0.0
+    return float(nx.dag_longest_path_length(condensation))
+
+
+def extract_graph_features(graph: nx.DiGraph) -> Dict[str, float]:
+    """Structural feature dictionary for one data-flow graph."""
+    n_nodes = graph.number_of_nodes()
+    n_edges = graph.number_of_edges()
+    in_degrees = [d for _, d in graph.in_degree()]
+    out_degrees = [d for _, d in graph.out_degree()]
+    roles = [data.get("role", "implicit") for _, data in graph.nodes(data=True)]
+    widths = [data.get("width", 1) or 1 for _, data in graph.nodes(data=True)]
+    sequential = sum(1 for _, data in graph.nodes(data=True) if data.get("sequential"))
+    control_edges = sum(
+        1 for _, _, data in graph.edges(data=True) if data.get("kind") == "control"
+    )
+    undirected = graph.to_undirected()
+
+    # Control-role statistics: signals that *steer* other signals (mux selects
+    # and branch guards).  A Trojan trigger wire is the extreme case — its only
+    # use is a single control edge into the payload's target — so these
+    # features give the graph modality a view of trigger/payload wiring.
+    control_sources = set()
+    control_only = []
+    single_use_control = 0
+    for node in graph.nodes:
+        out_edges = list(graph.out_edges(node, data=True))
+        control_out = [e for e in out_edges if e[2].get("kind") == "control"]
+        if control_out:
+            control_sources.add(node)
+            if len(control_out) == len(out_edges):
+                control_only.append(node)
+                if len(out_edges) == 1:
+                    single_use_control += 1
+
+    features: Dict[str, float] = {
+        "n_nodes": float(n_nodes),
+        "n_edges": float(n_edges),
+        "density": nx.density(graph) if n_nodes > 1 else 0.0,
+        "avg_in_degree": float(np.mean(in_degrees)) if in_degrees else 0.0,
+        "avg_out_degree": float(np.mean(out_degrees)) if out_degrees else 0.0,
+        "max_in_degree": float(max(in_degrees)) if in_degrees else 0.0,
+        "max_out_degree": float(max(out_degrees)) if out_degrees else 0.0,
+        "std_in_degree": float(np.std(in_degrees)) if in_degrees else 0.0,
+        "high_fanin_nodes": float(sum(1 for d in in_degrees if d >= 5)),
+        "isolated_nodes": float(sum(1 for d in undirected.degree() if d[1] == 0)),
+        "n_weakly_connected": float(nx.number_weakly_connected_components(graph))
+        if n_nodes
+        else 0.0,
+        "n_strongly_connected": float(nx.number_strongly_connected_components(graph))
+        if n_nodes
+        else 0.0,
+        "avg_clustering": float(nx.average_clustering(undirected)) if n_nodes > 1 else 0.0,
+        "longest_path": _longest_path_estimate(graph),
+        "n_self_loops": float(nx.number_of_selfloops(graph)),
+        "n_sequential_nodes": float(sequential),
+        "sequential_fraction": float(sequential) / max(n_nodes, 1),
+        "control_edge_fraction": float(control_edges) / max(n_edges, 1),
+        "n_control_edges": float(control_edges),
+        "n_control_sources": float(len(control_sources)),
+        "n_control_only_signals": float(len(control_only)),
+        "n_single_use_control_signals": float(single_use_control),
+        "control_source_fraction": float(len(control_sources)) / max(n_nodes, 1),
+        "n_input_nodes": float(roles.count("input")),
+        "n_output_nodes": float(roles.count("output")),
+        "n_reg_nodes": float(roles.count("reg")),
+        "n_wire_nodes": float(roles.count("wire")),
+        "n_implicit_nodes": float(roles.count("implicit")),
+        "n_instance_nodes": float(roles.count("instance")),
+        "total_signal_width": float(sum(widths)),
+        "max_signal_width": float(max(widths)) if widths else 0.0,
+        "avg_signal_width": float(np.mean(widths)) if widths else 0.0,
+    }
+    for i, value in enumerate(_degree_histogram(in_degrees)):
+        features[f"in_degree_hist_{i}"] = float(value)
+    for i, value in enumerate(_degree_histogram(out_degrees)):
+        features[f"out_degree_hist_{i}"] = float(value)
+    for i, value in enumerate(_spectral_summary(graph)):
+        features[f"laplacian_eig_{i}"] = float(value)
+    return features
+
+
+#: Canonical feature ordering for the graph modality, derived from a probe
+#: design the same way as the tabular ordering.
+GRAPH_FEATURE_NAMES: List[str] = sorted(
+    extract_graph_features(
+        build_dataflow_graph(
+            "module __probe (clk, a, y); input clk; input [3:0] a; output y;\n"
+            "  assign y = a == 4'd3;\nendmodule\n"
+        )
+    )
+)
+
+
+def graph_feature_vector(design: Union[str, ast.Module, nx.DiGraph]) -> np.ndarray:
+    """Graph statistics as a fixed-order numpy vector for one design."""
+    graph = design if isinstance(design, nx.DiGraph) else build_dataflow_graph(design)
+    features = extract_graph_features(graph)
+    return np.asarray([features[name] for name in GRAPH_FEATURE_NAMES], dtype=np.float64)
+
+
+def graph_feature_matrix(designs: List[Union[str, ast.Module, nx.DiGraph]]) -> np.ndarray:
+    """Stack graph feature vectors into an ``(N, G)`` matrix."""
+    if not designs:
+        return np.empty((0, len(GRAPH_FEATURE_NAMES)))
+    return np.vstack([graph_feature_vector(design) for design in designs])

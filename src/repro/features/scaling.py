@@ -1,0 +1,76 @@
+"""Feature scaling utilities.
+
+Small fit/transform scalers in the scikit-learn style, kept dependency-free.
+The tabular and graph feature matrices mix counts, densities and widths with
+wildly different ranges, so scaling is required both for the CNN classifiers
+and for the GAN (which generates samples in scaled space).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling per feature column."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("StandardScaler expects a 2-D matrix")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Constant columns keep their value (scale of 1) instead of dividing by 0.
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform")
+        return np.asarray(x, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each feature column to the [0, 1] range."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("MinMaxScaler expects a 2-D matrix")
+        self.min_ = x.min(axis=0)
+        span = x.max(axis=0) - self.min_
+        self.range_ = np.where(span > 1e-12, span, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform")
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.min_) / self.range_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before inverse_transform")
+        return np.asarray(x, dtype=np.float64) * self.range_ + self.min_

@@ -1,0 +1,22 @@
+"""GAN-based data amplification and missing-modality imputation.
+
+Implements the paper's answer to the small-data / imbalanced-data problem:
+per-class GANs expand the dataset to a target size (~500 samples) and a
+conditional generator fills in missing modalities.
+"""
+
+from .augmentation import AmplificationConfig, amplify_features, amplify_multimodal
+from .gan import GANConfig, GANHistory, TabularGAN
+from .imputation import ImputerConfig, ModalityImputer, impute_missing_modalities
+
+__all__ = [
+    "AmplificationConfig",
+    "GANConfig",
+    "GANHistory",
+    "ImputerConfig",
+    "ModalityImputer",
+    "TabularGAN",
+    "amplify_features",
+    "amplify_multimodal",
+    "impute_missing_modalities",
+]

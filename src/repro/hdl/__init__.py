@@ -1,0 +1,48 @@
+"""Verilog front-end: lexer, parser, AST, visitors and emitter.
+
+This subpackage is the RTL substrate the rest of the library builds on.  The
+supported subset of Verilog-2001 covers the constructs found in RTL Trojan
+benchmarks: module/port/net/parameter declarations, continuous assigns,
+always blocks with if/case/for statements, blocking and non-blocking
+assignments, expressions and module instantiations.
+"""
+
+from . import ast_nodes as ast
+from .ast_nodes import Module, SourceFile
+from .emitter import VerilogEmitter, emit_module, emit_source
+from .errors import HDLError, LexerError, ParseError
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_module, parse_source
+from .visitor import (
+    NodeVisitor,
+    collect,
+    count_nodes,
+    identifiers_in,
+    max_depth,
+    node_kind_histogram,
+    walk,
+)
+
+__all__ = [
+    "HDLError",
+    "Lexer",
+    "LexerError",
+    "Module",
+    "NodeVisitor",
+    "ParseError",
+    "Parser",
+    "SourceFile",
+    "VerilogEmitter",
+    "ast",
+    "collect",
+    "count_nodes",
+    "emit_module",
+    "emit_source",
+    "identifiers_in",
+    "max_depth",
+    "node_kind_histogram",
+    "parse_module",
+    "parse_source",
+    "tokenize",
+    "walk",
+]

@@ -1,0 +1,466 @@
+"""AST node classes for the Verilog subset.
+
+The node hierarchy is intentionally flat and dataclass-based: nodes carry
+children either directly (expressions) or in lists (module items, statement
+blocks).  ``children()`` gives a uniform way to walk any node, which the
+feature extractors in :mod:`repro.features` rely on heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Node:
+    """Base class for every AST node."""
+
+    def children(self) -> List["Node"]:
+        """Child nodes in source order (empty for leaves)."""
+        return []
+
+    @property
+    def kind(self) -> str:
+        """Short node-kind name used by feature extraction and reporting."""
+        return type(self).__name__
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Identifier(Node):
+    """A signal, parameter or instance reference."""
+
+    name: str
+
+
+@dataclass
+class Number(Node):
+    """A numeric literal, kept verbatim plus a best-effort integer value."""
+
+    text: str
+    value: Optional[int] = None
+    width: Optional[int] = None
+
+    @staticmethod
+    def parse(text: str) -> "Number":
+        """Parse a Verilog literal such as ``8'hFF`` or ``42``."""
+        width: Optional[int] = None
+        value: Optional[int] = None
+        if "'" in text:
+            size_part, rest = text.split("'", 1)
+            if size_part:
+                width = int(size_part.replace("_", ""))
+            rest = rest.lstrip("sS")
+            base_char = rest[0].lower()
+            digits = rest[1:].replace("_", "")
+            base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
+            try:
+                value = int(digits, base)
+            except ValueError:
+                value = None  # x/z digits: value unknown
+        else:
+            value = int(text.replace("_", ""))
+        return Number(text=text, value=value, width=width)
+
+
+@dataclass
+class StringLiteral(Node):
+    """A quoted string (rare in the subset, e.g. ``$display`` arguments)."""
+
+    value: str
+
+
+@dataclass
+class UnaryOp(Node):
+    """Unary operator, including reduction operators (``&a``, ``|a`` ...)."""
+
+    op: str
+    operand: Node
+
+    def children(self) -> List[Node]:
+        return [self.operand]
+
+
+@dataclass
+class BinaryOp(Node):
+    """Binary operator expression."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def children(self) -> List[Node]:
+        return [self.left, self.right]
+
+
+@dataclass
+class Ternary(Node):
+    """Conditional expression ``cond ? a : b``."""
+
+    condition: Node
+    if_true: Node
+    if_false: Node
+
+    def children(self) -> List[Node]:
+        return [self.condition, self.if_true, self.if_false]
+
+
+@dataclass
+class Concat(Node):
+    """Concatenation ``{a, b, c}``."""
+
+    parts: List[Node] = field(default_factory=list)
+
+    def children(self) -> List[Node]:
+        return list(self.parts)
+
+
+@dataclass
+class Replicate(Node):
+    """Replication ``{4{a}}``."""
+
+    count: Node
+    value: Node
+
+    def children(self) -> List[Node]:
+        return [self.count, self.value]
+
+
+@dataclass
+class BitSelect(Node):
+    """Single-bit select ``a[3]``."""
+
+    base: Node
+    index: Node
+
+    def children(self) -> List[Node]:
+        return [self.base, self.index]
+
+
+@dataclass
+class PartSelect(Node):
+    """Part select ``a[7:0]``."""
+
+    base: Node
+    msb: Node
+    lsb: Node
+
+    def children(self) -> List[Node]:
+        return [self.base, self.msb, self.lsb]
+
+
+@dataclass
+class FunctionCall(Node):
+    """System or user function call, e.g. ``$random`` (kept opaque)."""
+
+    name: str
+    args: List[Node] = field(default_factory=list)
+
+    def children(self) -> List[Node]:
+        return list(self.args)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Block(Node):
+    """``begin ... end`` statement block."""
+
+    statements: List[Node] = field(default_factory=list)
+
+    def children(self) -> List[Node]:
+        return list(self.statements)
+
+
+@dataclass
+class BlockingAssign(Node):
+    """Procedural blocking assignment ``lhs = rhs;``."""
+
+    target: Node
+    value: Node
+
+    def children(self) -> List[Node]:
+        return [self.target, self.value]
+
+
+@dataclass
+class NonBlockingAssign(Node):
+    """Procedural non-blocking assignment ``lhs <= rhs;``."""
+
+    target: Node
+    value: Node
+
+    def children(self) -> List[Node]:
+        return [self.target, self.value]
+
+
+@dataclass
+class If(Node):
+    """``if``/``else`` statement; ``else_branch`` may be another :class:`If`."""
+
+    condition: Node
+    then_branch: Node
+    else_branch: Optional[Node] = None
+
+    def children(self) -> List[Node]:
+        nodes = [self.condition, self.then_branch]
+        if self.else_branch is not None:
+            nodes.append(self.else_branch)
+        return nodes
+
+
+@dataclass
+class CaseItem(Node):
+    """One arm of a case statement; ``labels`` empty means ``default``."""
+
+    labels: List[Node]
+    body: Node
+
+    def children(self) -> List[Node]:
+        return list(self.labels) + [self.body]
+
+    @property
+    def is_default(self) -> bool:
+        return not self.labels
+
+
+@dataclass
+class Case(Node):
+    """``case``/``casez``/``casex`` statement."""
+
+    subject: Node
+    items: List[CaseItem] = field(default_factory=list)
+    variant: str = "case"
+
+    def children(self) -> List[Node]:
+        return [self.subject] + list(self.items)
+
+
+@dataclass
+class ForLoop(Node):
+    """``for (init; cond; step) body`` loop."""
+
+    init: Node
+    condition: Node
+    step: Node
+    body: Node
+
+    def children(self) -> List[Node]:
+        return [self.init, self.condition, self.step, self.body]
+
+
+@dataclass
+class SystemTaskCall(Node):
+    """System task statement such as ``$display(...);``."""
+
+    name: str
+    args: List[Node] = field(default_factory=list)
+
+    def children(self) -> List[Node]:
+        return list(self.args)
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Range(Node):
+    """Bit range ``[msb:lsb]`` used in declarations."""
+
+    msb: Node
+    lsb: Node
+
+    def children(self) -> List[Node]:
+        return [self.msb, self.lsb]
+
+    def width(self) -> Optional[int]:
+        """Best-effort static width (``None`` when not constant)."""
+        if isinstance(self.msb, Number) and isinstance(self.lsb, Number):
+            if self.msb.value is not None and self.lsb.value is not None:
+                return abs(self.msb.value - self.lsb.value) + 1
+        return None
+
+
+@dataclass
+class PortDeclaration(Node):
+    """``input``/``output``/``inout`` declaration (possibly also ``reg``)."""
+
+    direction: str
+    names: List[str]
+    range: Optional[Range] = None
+    is_reg: bool = False
+    is_signed: bool = False
+
+    def children(self) -> List[Node]:
+        return [self.range] if self.range is not None else []
+
+    def width(self) -> int:
+        if self.range is None:
+            return 1
+        return self.range.width() or 1
+
+
+@dataclass
+class NetDeclaration(Node):
+    """``wire``/``reg``/``integer`` declaration."""
+
+    net_type: str
+    names: List[str]
+    range: Optional[Range] = None
+    is_signed: bool = False
+
+    def children(self) -> List[Node]:
+        return [self.range] if self.range is not None else []
+
+    def width(self) -> int:
+        if self.range is None:
+            return 1
+        return self.range.width() or 1
+
+
+@dataclass
+class ParameterDeclaration(Node):
+    """``parameter``/``localparam`` declaration."""
+
+    name: str
+    value: Node
+    local: bool = False
+
+    def children(self) -> List[Node]:
+        return [self.value]
+
+
+@dataclass
+class ContinuousAssign(Node):
+    """``assign lhs = rhs;``."""
+
+    target: Node
+    value: Node
+
+    def children(self) -> List[Node]:
+        return [self.target, self.value]
+
+
+@dataclass
+class SensitivityItem(Node):
+    """One item of an always sensitivity list."""
+
+    signal: Node
+    edge: Optional[str] = None  # "posedge", "negedge" or None (level)
+
+    def children(self) -> List[Node]:
+        return [self.signal]
+
+
+@dataclass
+class Always(Node):
+    """``always @(...) statement`` block."""
+
+    sensitivity: List[SensitivityItem]
+    body: Node
+    is_star: bool = False  # always @(*)
+
+    def children(self) -> List[Node]:
+        return list(self.sensitivity) + [self.body]
+
+    @property
+    def is_sequential(self) -> bool:
+        """True when any sensitivity item is edge-triggered."""
+        return any(item.edge for item in self.sensitivity)
+
+
+@dataclass
+class Initial(Node):
+    """``initial`` block (testbench style, rarely present in designs)."""
+
+    body: Node
+
+    def children(self) -> List[Node]:
+        return [self.body]
+
+
+@dataclass
+class PortConnection(Node):
+    """Named port connection ``.port(expr)`` in an instantiation."""
+
+    port: str
+    expr: Optional[Node]
+
+    def children(self) -> List[Node]:
+        return [self.expr] if self.expr is not None else []
+
+
+@dataclass
+class Instantiation(Node):
+    """Module instantiation ``modname inst (.a(x), .b(y));``."""
+
+    module_name: str
+    instance_name: str
+    connections: List[PortConnection] = field(default_factory=list)
+    parameter_overrides: List[Tuple[str, Node]] = field(default_factory=list)
+
+    def children(self) -> List[Node]:
+        nodes: List[Node] = list(self.connections)
+        nodes.extend(value for _, value in self.parameter_overrides)
+        return nodes
+
+
+@dataclass
+class Module(Node):
+    """A Verilog module: header ports plus the ordered list of items."""
+
+    name: str
+    ports: List[str] = field(default_factory=list)
+    items: List[Node] = field(default_factory=list)
+
+    def children(self) -> List[Node]:
+        return list(self.items)
+
+    # -- convenience accessors used across the library -------------------
+    def port_declarations(self) -> List[PortDeclaration]:
+        return [item for item in self.items if isinstance(item, PortDeclaration)]
+
+    def net_declarations(self) -> List[NetDeclaration]:
+        return [item for item in self.items if isinstance(item, NetDeclaration)]
+
+    def always_blocks(self) -> List[Always]:
+        return [item for item in self.items if isinstance(item, Always)]
+
+    def continuous_assigns(self) -> List[ContinuousAssign]:
+        return [item for item in self.items if isinstance(item, ContinuousAssign)]
+
+    def instantiations(self) -> List[Instantiation]:
+        return [item for item in self.items if isinstance(item, Instantiation)]
+
+    def parameters(self) -> List[ParameterDeclaration]:
+        return [item for item in self.items if isinstance(item, ParameterDeclaration)]
+
+
+@dataclass
+class SourceFile(Node):
+    """A parsed source file: one or more modules."""
+
+    modules: List[Module] = field(default_factory=list)
+
+    def children(self) -> List[Node]:
+        return list(self.modules)
+
+    def module(self, name: Optional[str] = None) -> Module:
+        """Return the named module, or the single/top module when omitted."""
+        if not self.modules:
+            raise ValueError("source file contains no modules")
+        if name is None:
+            return self.modules[0]
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"module {name!r} not found")

@@ -1,0 +1,216 @@
+"""Verilog source emission (AST -> text).
+
+The emitter produces deterministic, readable Verilog for any AST the parser
+can build.  It is used in two places:
+
+* the Trojan insertion engine (:mod:`repro.trojan.insertion`) modifies ASTs
+  and re-emits source so the full pipeline — generate, infect, re-parse,
+  extract features — exercises the parser on its own output;
+* round-trip tests (`emit(parse(emit(parse(src))))` is a fixpoint), which
+  pin down both the parser and the emitter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast_nodes as ast
+
+_INDENT = "  "
+
+
+class VerilogEmitter:
+    """Convert AST nodes back into Verilog source text."""
+
+    def emit_source(self, source: ast.SourceFile) -> str:
+        return "\n\n".join(self.emit_module(module) for module in source.modules) + "\n"
+
+    # -- modules ------------------------------------------------------------
+    def emit_module(self, module: ast.Module) -> str:
+        lines: List[str] = []
+        port_list = ", ".join(module.ports)
+        lines.append(f"module {module.name} ({port_list});")
+        for item in module.items:
+            lines.append(self._emit_item(item, 1))
+        lines.append("endmodule")
+        return "\n".join(lines)
+
+    def _emit_item(self, item: ast.Node, level: int) -> str:
+        pad = _INDENT * level
+        if isinstance(item, ast.PortDeclaration):
+            return pad + self._emit_port_declaration(item)
+        if isinstance(item, ast.NetDeclaration):
+            return pad + self._emit_net_declaration(item)
+        if isinstance(item, ast.ParameterDeclaration):
+            keyword = "localparam" if item.local else "parameter"
+            return f"{pad}{keyword} {item.name} = {self.emit_expression(item.value)};"
+        if isinstance(item, ast.ContinuousAssign):
+            target = self.emit_expression(item.target)
+            value = self.emit_expression(item.value)
+            return f"{pad}assign {target} = {value};"
+        if isinstance(item, ast.Always):
+            return self._emit_always(item, level)
+        if isinstance(item, ast.Initial):
+            return f"{pad}initial\n{self._emit_statement(item.body, level + 1)}"
+        if isinstance(item, ast.Instantiation):
+            return pad + self._emit_instantiation(item)
+        raise TypeError(f"Cannot emit module item of type {type(item).__name__}")
+
+    def _emit_port_declaration(self, decl: ast.PortDeclaration) -> str:
+        parts = [decl.direction]
+        if decl.is_reg:
+            parts.append("reg")
+        if decl.is_signed:
+            parts.append("signed")
+        if decl.range is not None:
+            parts.append(self._emit_range(decl.range))
+        parts.append(", ".join(decl.names))
+        return " ".join(parts) + ";"
+
+    def _emit_net_declaration(self, decl: ast.NetDeclaration) -> str:
+        parts = [decl.net_type]
+        if decl.is_signed:
+            parts.append("signed")
+        if decl.range is not None:
+            parts.append(self._emit_range(decl.range))
+        parts.append(", ".join(decl.names))
+        return " ".join(parts) + ";"
+
+    def _emit_range(self, rng: ast.Range) -> str:
+        return f"[{self.emit_expression(rng.msb)}:{self.emit_expression(rng.lsb)}]"
+
+    def _emit_always(self, always: ast.Always, level: int) -> str:
+        pad = _INDENT * level
+        if always.is_star:
+            sensitivity = "*"
+        else:
+            items = []
+            for item in always.sensitivity:
+                signal = self.emit_expression(item.signal)
+                items.append(f"{item.edge} {signal}" if item.edge else signal)
+            sensitivity = " or ".join(items)
+        header = f"{pad}always @({sensitivity})"
+        body = self._emit_statement(always.body, level + 1)
+        return f"{header}\n{body}"
+
+    def _emit_instantiation(self, inst: ast.Instantiation) -> str:
+        params = ""
+        if inst.parameter_overrides:
+            rendered = []
+            for name, value in inst.parameter_overrides:
+                expr = self.emit_expression(value)
+                rendered.append(f".{name}({expr})" if name else expr)
+            params = " #(" + ", ".join(rendered) + ")"
+        connections = []
+        for conn in inst.connections:
+            expr = self.emit_expression(conn.expr) if conn.expr is not None else ""
+            if conn.port.startswith("__pos"):
+                connections.append(expr)
+            else:
+                connections.append(f".{conn.port}({expr})")
+        return f"{inst.module_name}{params} {inst.instance_name} ({', '.join(connections)});"
+
+    # -- statements -----------------------------------------------------------
+    def _emit_statement(self, statement: ast.Node, level: int) -> str:
+        pad = _INDENT * level
+        if isinstance(statement, ast.Block):
+            lines = [f"{pad}begin"]
+            for inner in statement.statements:
+                lines.append(self._emit_statement(inner, level + 1))
+            lines.append(f"{pad}end")
+            return "\n".join(lines)
+        if isinstance(statement, ast.BlockingAssign):
+            return (
+                f"{pad}{self.emit_expression(statement.target)} = "
+                f"{self.emit_expression(statement.value)};"
+            )
+        if isinstance(statement, ast.NonBlockingAssign):
+            return (
+                f"{pad}{self.emit_expression(statement.target)} <= "
+                f"{self.emit_expression(statement.value)};"
+            )
+        if isinstance(statement, ast.If):
+            lines = [f"{pad}if ({self.emit_expression(statement.condition)})"]
+            lines.append(self._emit_statement(statement.then_branch, level + 1))
+            if statement.else_branch is not None:
+                lines.append(f"{pad}else")
+                lines.append(self._emit_statement(statement.else_branch, level + 1))
+            return "\n".join(lines)
+        if isinstance(statement, ast.Case):
+            lines = [f"{pad}{statement.variant} ({self.emit_expression(statement.subject)})"]
+            for item in statement.items:
+                if item.is_default:
+                    lines.append(f"{pad}{_INDENT}default:")
+                else:
+                    labels = ", ".join(self.emit_expression(label) for label in item.labels)
+                    lines.append(f"{pad}{_INDENT}{labels}:")
+                lines.append(self._emit_statement(item.body, level + 2))
+            lines.append(f"{pad}endcase")
+            return "\n".join(lines)
+        if isinstance(statement, ast.ForLoop):
+            init = self._emit_inline_assign(statement.init)
+            cond = self.emit_expression(statement.condition)
+            step = self._emit_inline_assign(statement.step)
+            header = f"{pad}for ({init}; {cond}; {step})"
+            return f"{header}\n{self._emit_statement(statement.body, level + 1)}"
+        if isinstance(statement, ast.SystemTaskCall):
+            args = ", ".join(self.emit_expression(arg) for arg in statement.args)
+            return f"{pad}{statement.name}({args});" if statement.args else f"{pad}{statement.name};"
+        raise TypeError(f"Cannot emit statement of type {type(statement).__name__}")
+
+    def _emit_inline_assign(self, assign: ast.Node) -> str:
+        if not isinstance(assign, ast.BlockingAssign):
+            raise TypeError("for-loop init/step must be blocking assignments")
+        return f"{self.emit_expression(assign.target)} = {self.emit_expression(assign.value)}"
+
+    # -- expressions ------------------------------------------------------------
+    def emit_expression(self, expr: ast.Node) -> str:
+        if isinstance(expr, ast.Identifier):
+            return expr.name
+        if isinstance(expr, ast.Number):
+            return expr.text
+        if isinstance(expr, ast.StringLiteral):
+            return f'"{expr.value}"'
+        if isinstance(expr, ast.UnaryOp):
+            return f"{expr.op}{self._parenthesize(expr.operand)}"
+        if isinstance(expr, ast.BinaryOp):
+            left = self._parenthesize(expr.left)
+            right = self._parenthesize(expr.right)
+            return f"{left} {expr.op} {right}"
+        if isinstance(expr, ast.Ternary):
+            return (
+                f"{self._parenthesize(expr.condition)} ? "
+                f"{self._parenthesize(expr.if_true)} : {self._parenthesize(expr.if_false)}"
+            )
+        if isinstance(expr, ast.Concat):
+            return "{" + ", ".join(self.emit_expression(p) for p in expr.parts) + "}"
+        if isinstance(expr, ast.Replicate):
+            return "{" + self.emit_expression(expr.count) + "{" + self.emit_expression(expr.value) + "}}"
+        if isinstance(expr, ast.BitSelect):
+            return f"{self.emit_expression(expr.base)}[{self.emit_expression(expr.index)}]"
+        if isinstance(expr, ast.PartSelect):
+            return (
+                f"{self.emit_expression(expr.base)}"
+                f"[{self.emit_expression(expr.msb)}:{self.emit_expression(expr.lsb)}]"
+            )
+        if isinstance(expr, ast.FunctionCall):
+            args = ", ".join(self.emit_expression(arg) for arg in expr.args)
+            return f"{expr.name}({args})"
+        raise TypeError(f"Cannot emit expression of type {type(expr).__name__}")
+
+    def _parenthesize(self, expr: ast.Node) -> str:
+        """Wrap compound sub-expressions so emitted text never changes meaning."""
+        text = self.emit_expression(expr)
+        if isinstance(expr, (ast.BinaryOp, ast.Ternary, ast.UnaryOp)):
+            return f"({text})"
+        return text
+
+
+def emit_source(source: ast.SourceFile) -> str:
+    """Emit a whole source file."""
+    return VerilogEmitter().emit_source(source)
+
+
+def emit_module(module: ast.Module) -> str:
+    """Emit a single module."""
+    return VerilogEmitter().emit_module(module)

@@ -1,0 +1,27 @@
+"""Exception types raised by the Verilog front-end."""
+
+from __future__ import annotations
+
+
+class HDLError(Exception):
+    """Base class for all HDL front-end errors."""
+
+
+class LexerError(HDLError):
+    """Raised when the source text contains a character sequence that is not
+    part of the supported Verilog subset."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(HDLError):
+    """Raised when the token stream cannot be parsed into an AST."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column

@@ -1,0 +1,166 @@
+"""Lexer for the Verilog-2001 subset used throughout the library.
+
+The lexer converts raw source text into a flat list of
+:class:`repro.hdl.tokens.Token`.  It understands:
+
+* line (``//``) and block (``/* */``) comments,
+* sized and unsized numeric literals (``8'hFF``, ``4'b10_10``, ``42``),
+* identifiers and the keyword subset,
+* multi- and single-character operators,
+* string literals (used only in rare ``$display`` style statements).
+
+Anything outside this set raises :class:`repro.hdl.errors.LexerError` with a
+precise source position, which keeps failures debuggable when the Trojan
+generator and the parser disagree about the accepted subset.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexerError
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+
+class Lexer:
+    """Tokenize Verilog source text."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low level helpers -------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self.source[self.pos : self.pos + count]
+        for char in consumed:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return consumed
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self.line, self.column)
+
+    # -- token scanners ----------------------------------------------------
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise self._error("Unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def _scan_identifier(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() in "_$"):
+            self._advance()
+        text = self.source[start : self.pos]
+        token_type = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENTIFIER
+        return Token(token_type, text, line, column)
+
+    def _scan_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        # Optional decimal size prefix.
+        while self.pos < len(self.source) and (self._peek().isdigit() or self._peek() == "_"):
+            self._advance()
+        if self._peek() == "'":
+            self._advance()
+            if self._peek() in "sS":
+                self._advance()
+            base = self._peek().lower()
+            if base not in "bodh":
+                raise self._error(f"Invalid numeric base {base!r}")
+            self._advance()
+            digits_start = self.pos
+            while self.pos < len(self.source) and (
+                self._peek().isalnum() or self._peek() in "_xXzZ?"
+            ):
+                self._advance()
+            if self.pos == digits_start:
+                raise self._error("Numeric literal missing digits after base")
+        text = self.source[start : self.pos]
+        return Token(TokenType.NUMBER, text, line, column)
+
+    def _scan_string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != '"':
+            if self._peek() == "\n":
+                raise self._error("Unterminated string literal")
+            self._advance()
+        if self.pos >= len(self.source):
+            raise self._error("Unterminated string literal")
+        text = self.source[start : self.pos]
+        self._advance()  # closing quote
+        return Token(TokenType.STRING, text, line, column)
+
+    def _scan_operator_or_punctuation(self) -> Token:
+        line, column = self.line, self.column
+        for op in MULTI_CHAR_OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        char = self._peek()
+        if char in PUNCTUATION:
+            self._advance()
+            return Token(TokenType.PUNCTUATION, char, line, column)
+        if char in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenType.OPERATOR, char, line, column)
+        raise self._error(f"Unexpected character {char!r}")
+
+    # -- public API ----------------------------------------------------------
+    def tokenize(self) -> List[Token]:
+        """Scan the entire source and return the token list (EOF-terminated)."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                break
+            char = self._peek()
+            if char.isalpha() or char in "_$":
+                tokens.append(self._scan_identifier())
+            elif char.isdigit() or (char == "'" and self._peek(1).lower() in "sbodh"):
+                tokens.append(self._scan_number())
+            elif char == '"':
+                tokens.append(self._scan_string())
+            else:
+                tokens.append(self._scan_operator_or_punctuation())
+        tokens.append(Token(TokenType.EOF, "", self.line, self.column))
+        return tokens
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` in one call."""
+    return Lexer(source).tokenize()

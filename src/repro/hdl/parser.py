@@ -1,0 +1,550 @@
+"""Recursive-descent parser for the Verilog subset.
+
+The grammar intentionally covers the constructs the synthetic Trust-Hub-style
+benchmarks (``repro.trojan``) emit and that real RTL Trojan benchmarks rely
+on: module headers, port/net/parameter declarations, continuous assigns,
+always blocks with if/case/for statements, blocking and non-blocking
+assignments, rich expressions, and module instantiations.
+
+Anything else raises :class:`repro.hdl.errors.ParseError` with the offending
+source position.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+# Binary operator precedence, higher binds tighter.  The ternary operator is
+# handled separately above this table.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "~^": 4,
+    "^~": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "===": 6,
+    "!==": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "<<<": 8,
+    ">>>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+    "**": 11,
+}
+
+_UNARY_OPERATORS = {"!", "~", "-", "+", "&", "|", "^", "~&", "~|", "~^"}
+
+
+class Parser:
+    """Parse a token stream into a :class:`repro.hdl.ast_nodes.SourceFile`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token stream helpers ---------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, value: str, offset: int = 0) -> bool:
+        return self._peek(offset).value == value and self._peek(offset).type is not TokenType.EOF
+
+    def _check_type(self, token_type: TokenType, offset: int = 0) -> bool:
+        return self._peek(offset).type is token_type
+
+    def _accept(self, value: str) -> Optional[Token]:
+        if self._check(value):
+            return self._advance()
+        return None
+
+    def _expect(self, value: str) -> Token:
+        token = self._peek()
+        if token.value != value:
+            raise ParseError(
+                f"Expected {value!r} but found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError(
+                f"Expected identifier but found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- top level ----------------------------------------------------------
+    def parse(self) -> ast.SourceFile:
+        modules: List[ast.Module] = []
+        while not self._check_type(TokenType.EOF):
+            if self._check("module"):
+                modules.append(self._parse_module())
+            else:
+                raise self._error(
+                    f"Expected 'module' at top level, found {self._peek().value!r}"
+                )
+        return ast.SourceFile(modules=modules)
+
+    def _parse_module(self) -> ast.Module:
+        self._expect("module")
+        name = self._expect_identifier().value
+        ports: List[str] = []
+        items: List[ast.Node] = []
+        if self._accept("#"):
+            # parameter port list: #(parameter A = 1, ...)
+            self._expect("(")
+            while not self._check(")"):
+                self._accept("parameter")
+                param_name = self._expect_identifier().value
+                self._expect("=")
+                value = self._parse_expression()
+                items.append(ast.ParameterDeclaration(name=param_name, value=value))
+                if not self._accept(","):
+                    break
+            self._expect(")")
+        if self._accept("("):
+            while not self._check(")"):
+                header_items, header_ports = self._parse_port_list_entry()
+                items.extend(header_items)
+                ports.extend(header_ports)
+                if not self._accept(","):
+                    break
+            self._expect(")")
+        self._expect(";")
+        while not self._check("endmodule"):
+            if self._check_type(TokenType.EOF):
+                raise self._error(f"Unterminated module {name!r}")
+            items.extend(self._parse_module_item())
+        self._expect("endmodule")
+        return ast.Module(name=name, ports=ports, items=items)
+
+    def _parse_port_list_entry(self) -> Tuple[List[ast.Node], List[str]]:
+        """Parse one entry of the module header port list.
+
+        Supports both the Verilog-1995 style (bare identifiers, directions
+        declared in the body) and the ANSI-2001 style (direction inline).
+        """
+        if self._peek().value in ("input", "output", "inout"):
+            direction = self._advance().value
+            is_reg = bool(self._accept("reg"))
+            if not is_reg:
+                self._accept("wire")
+            is_signed = bool(self._accept("signed"))
+            port_range = self._parse_optional_range()
+            name = self._expect_identifier().value
+            decl = ast.PortDeclaration(
+                direction=direction,
+                names=[name],
+                range=port_range,
+                is_reg=is_reg,
+                is_signed=is_signed,
+            )
+            return [decl], [name]
+        name = self._expect_identifier().value
+        return [], [name]
+
+    # -- module items ---------------------------------------------------------
+    def _parse_module_item(self) -> List[ast.Node]:
+        token = self._peek()
+        if token.value in ("input", "output", "inout"):
+            return [self._parse_port_declaration()]
+        if token.value in ("wire", "reg", "integer"):
+            return [self._parse_net_declaration()]
+        if token.value in ("parameter", "localparam"):
+            return self._parse_parameter_declaration()
+        if token.value == "assign":
+            return [self._parse_continuous_assign()]
+        if token.value == "always":
+            return [self._parse_always()]
+        if token.value == "initial":
+            self._advance()
+            return [ast.Initial(body=self._parse_statement())]
+        if token.type is TokenType.IDENTIFIER:
+            return [self._parse_instantiation()]
+        raise self._error(f"Unexpected token {token.value!r} in module body")
+
+    def _parse_optional_range(self) -> Optional[ast.Range]:
+        if not self._check("["):
+            return None
+        self._expect("[")
+        msb = self._parse_expression()
+        self._expect(":")
+        lsb = self._parse_expression()
+        self._expect("]")
+        return ast.Range(msb=msb, lsb=lsb)
+
+    def _parse_name_list(self) -> List[str]:
+        names = [self._expect_identifier().value]
+        while self._accept(","):
+            names.append(self._expect_identifier().value)
+        return names
+
+    def _parse_port_declaration(self) -> ast.PortDeclaration:
+        direction = self._advance().value
+        is_reg = bool(self._accept("reg"))
+        if not is_reg:
+            self._accept("wire")
+        is_signed = bool(self._accept("signed"))
+        port_range = self._parse_optional_range()
+        names = self._parse_name_list()
+        self._expect(";")
+        return ast.PortDeclaration(
+            direction=direction,
+            names=names,
+            range=port_range,
+            is_reg=is_reg,
+            is_signed=is_signed,
+        )
+
+    def _parse_net_declaration(self) -> ast.NetDeclaration:
+        net_type = self._advance().value
+        is_signed = bool(self._accept("signed"))
+        net_range = self._parse_optional_range()
+        names = [self._expect_identifier().value]
+        # Optional initialisation (``reg [3:0] x = 0``) is parsed and dropped;
+        # it does not affect detection features.
+        if self._accept("="):
+            self._parse_expression()
+        while self._accept(","):
+            names.append(self._expect_identifier().value)
+            if self._accept("="):
+                self._parse_expression()
+        self._expect(";")
+        return ast.NetDeclaration(
+            net_type=net_type, names=names, range=net_range, is_signed=is_signed
+        )
+
+    def _parse_parameter_declaration(self) -> List[ast.Node]:
+        keyword = self._advance().value
+        local = keyword == "localparam"
+        self._parse_optional_range()
+        declarations: List[ast.Node] = []
+        while True:
+            name = self._expect_identifier().value
+            self._expect("=")
+            value = self._parse_expression()
+            declarations.append(ast.ParameterDeclaration(name=name, value=value, local=local))
+            if not self._accept(","):
+                break
+        self._expect(";")
+        return declarations
+
+    def _parse_continuous_assign(self) -> ast.ContinuousAssign:
+        self._expect("assign")
+        target = self._parse_primary()
+        self._expect("=")
+        value = self._parse_expression()
+        self._expect(";")
+        return ast.ContinuousAssign(target=target, value=value)
+
+    def _parse_always(self) -> ast.Always:
+        self._expect("always")
+        self._expect("@")
+        sensitivity: List[ast.SensitivityItem] = []
+        is_star = False
+        if self._accept("*"):
+            is_star = True
+        else:
+            self._expect("(")
+            if self._accept("*"):
+                is_star = True
+            else:
+                sensitivity.append(self._parse_sensitivity_item())
+                while self._accept("or") or self._accept(","):
+                    sensitivity.append(self._parse_sensitivity_item())
+            self._expect(")")
+        body = self._parse_statement()
+        return ast.Always(sensitivity=sensitivity, body=body, is_star=is_star)
+
+    def _parse_sensitivity_item(self) -> ast.SensitivityItem:
+        edge = None
+        if self._check("posedge") or self._check("negedge"):
+            edge = self._advance().value
+        signal = self._parse_expression()
+        return ast.SensitivityItem(signal=signal, edge=edge)
+
+    def _parse_instantiation(self) -> ast.Instantiation:
+        module_name = self._expect_identifier().value
+        parameter_overrides: List[Tuple[str, ast.Node]] = []
+        if self._accept("#"):
+            self._expect("(")
+            while not self._check(")"):
+                if self._accept("."):
+                    pname = self._expect_identifier().value
+                    self._expect("(")
+                    parameter_overrides.append((pname, self._parse_expression()))
+                    self._expect(")")
+                else:
+                    parameter_overrides.append(("", self._parse_expression()))
+                if not self._accept(","):
+                    break
+            self._expect(")")
+        instance_name = self._expect_identifier().value
+        self._expect("(")
+        connections: List[ast.PortConnection] = []
+        position = 0
+        while not self._check(")"):
+            if self._accept("."):
+                port = self._expect_identifier().value
+                self._expect("(")
+                expr = None if self._check(")") else self._parse_expression()
+                self._expect(")")
+                connections.append(ast.PortConnection(port=port, expr=expr))
+            else:
+                expr = self._parse_expression()
+                connections.append(ast.PortConnection(port=f"__pos{position}", expr=expr))
+                position += 1
+            if not self._accept(","):
+                break
+        self._expect(")")
+        self._expect(";")
+        return ast.Instantiation(
+            module_name=module_name,
+            instance_name=instance_name,
+            connections=connections,
+            parameter_overrides=parameter_overrides,
+        )
+
+    # -- statements -----------------------------------------------------------
+    def _parse_statement(self) -> ast.Node:
+        token = self._peek()
+        if token.value == "begin":
+            return self._parse_block()
+        if token.value == "if":
+            return self._parse_if()
+        if token.value in ("case", "casez", "casex"):
+            return self._parse_case()
+        if token.value == "for":
+            return self._parse_for()
+        if token.value.startswith("$"):
+            return self._parse_system_task()
+        return self._parse_procedural_assignment()
+
+    def _parse_block(self) -> ast.Block:
+        self._expect("begin")
+        # Optional block label ``begin : name``.
+        if self._accept(":"):
+            self._expect_identifier()
+        statements: List[ast.Node] = []
+        while not self._check("end"):
+            if self._check_type(TokenType.EOF):
+                raise self._error("Unterminated begin/end block")
+            statements.append(self._parse_statement())
+        self._expect("end")
+        return ast.Block(statements=statements)
+
+    def _parse_if(self) -> ast.If:
+        self._expect("if")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        then_branch = self._parse_statement()
+        else_branch = None
+        if self._accept("else"):
+            else_branch = self._parse_statement()
+        return ast.If(condition=condition, then_branch=then_branch, else_branch=else_branch)
+
+    def _parse_case(self) -> ast.Case:
+        variant = self._advance().value
+        self._expect("(")
+        subject = self._parse_expression()
+        self._expect(")")
+        items: List[ast.CaseItem] = []
+        while not self._check("endcase"):
+            if self._check_type(TokenType.EOF):
+                raise self._error("Unterminated case statement")
+            if self._accept("default"):
+                self._accept(":")
+                items.append(ast.CaseItem(labels=[], body=self._parse_statement()))
+                continue
+            labels = [self._parse_expression()]
+            while self._accept(","):
+                labels.append(self._parse_expression())
+            self._expect(":")
+            items.append(ast.CaseItem(labels=labels, body=self._parse_statement()))
+        self._expect("endcase")
+        return ast.Case(subject=subject, items=items, variant=variant)
+
+    def _parse_for(self) -> ast.ForLoop:
+        self._expect("for")
+        self._expect("(")
+        init = self._parse_assignment_expression()
+        self._expect(";")
+        condition = self._parse_expression()
+        self._expect(";")
+        step = self._parse_assignment_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return ast.ForLoop(init=init, condition=condition, step=step, body=body)
+
+    def _parse_system_task(self) -> ast.SystemTaskCall:
+        name = self._advance().value
+        args: List[ast.Node] = []
+        if self._accept("("):
+            while not self._check(")"):
+                if self._check_type(TokenType.STRING):
+                    args.append(ast.StringLiteral(value=self._advance().value))
+                else:
+                    args.append(self._parse_expression())
+                if not self._accept(","):
+                    break
+            self._expect(")")
+        self._expect(";")
+        return ast.SystemTaskCall(name=name, args=args)
+
+    def _parse_assignment_expression(self) -> ast.Node:
+        """An assignment without the trailing semicolon (for-loop init/step)."""
+        target = self._parse_primary()
+        self._expect("=")
+        value = self._parse_expression()
+        return ast.BlockingAssign(target=target, value=value)
+
+    def _parse_procedural_assignment(self) -> ast.Node:
+        target = self._parse_primary()
+        if self._accept("<="):
+            value = self._parse_expression()
+            self._expect(";")
+            return ast.NonBlockingAssign(target=target, value=value)
+        if self._accept("="):
+            value = self._parse_expression()
+            self._expect(";")
+            return ast.BlockingAssign(target=target, value=value)
+        raise self._error("Expected '=' or '<=' in procedural assignment")
+
+    # -- expressions ------------------------------------------------------------
+    def _parse_expression(self) -> ast.Node:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Node:
+        condition = self._parse_binary(1)
+        if self._accept("?"):
+            if_true = self._parse_expression()
+            self._expect(":")
+            if_false = self._parse_expression()
+            return ast.Ternary(condition=condition, if_true=if_true, if_false=if_false)
+        return condition
+
+    def _parse_binary(self, min_precedence: int) -> ast.Node:
+        left = self._parse_unary()
+        while True:
+            op = self._peek().value
+            precedence = _BINARY_PRECEDENCE.get(op)
+            if (
+                precedence is None
+                or precedence < min_precedence
+                or self._peek().type is TokenType.EOF
+            ):
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.BinaryOp(op=op, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _UNARY_OPERATORS:
+            op = self._advance().value
+            operand = self._parse_unary()
+            return ast.UnaryOp(op=op, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.Number.parse(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLiteral(value=token.value)
+        if token.value == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(")")
+            return self._parse_select_suffix(expr)
+        if token.value == "{":
+            return self._parse_concat_or_replicate()
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            name = token.value
+            if name.startswith("$") or self._check("("):
+                if self._accept("("):
+                    args: List[ast.Node] = []
+                    while not self._check(")"):
+                        args.append(self._parse_expression())
+                        if not self._accept(","):
+                            break
+                    self._expect(")")
+                    return ast.FunctionCall(name=name, args=args)
+                return ast.FunctionCall(name=name, args=[])
+            return self._parse_select_suffix(ast.Identifier(name=name))
+        raise self._error(f"Unexpected token {token.value!r} in expression")
+
+    def _parse_select_suffix(self, base: ast.Node) -> ast.Node:
+        while self._check("["):
+            self._expect("[")
+            first = self._parse_expression()
+            if self._accept(":"):
+                second = self._parse_expression()
+                self._expect("]")
+                base = ast.PartSelect(base=base, msb=first, lsb=second)
+            else:
+                self._expect("]")
+                base = ast.BitSelect(base=base, index=first)
+        return base
+
+    def _parse_concat_or_replicate(self) -> ast.Node:
+        self._expect("{")
+        first = self._parse_expression()
+        if self._check("{"):
+            # Replication: {count{value}}
+            self._expect("{")
+            value = self._parse_expression()
+            while self._accept(","):
+                value = ast.Concat(parts=[value, self._parse_expression()])
+            self._expect("}")
+            self._expect("}")
+            return ast.Replicate(count=first, value=value)
+        parts = [first]
+        while self._accept(","):
+            parts.append(self._parse_expression())
+        self._expect("}")
+        if len(parts) == 1:
+            return parts[0]
+        return ast.Concat(parts=parts)
+
+
+def parse_source(source: str) -> ast.SourceFile:
+    """Parse Verilog source text into a :class:`SourceFile`."""
+    return Parser(tokenize(source)).parse()
+
+
+def parse_module(source: str, name: Optional[str] = None) -> ast.Module:
+    """Parse source text and return one module (the first, or by name)."""
+    return parse_source(source).module(name)

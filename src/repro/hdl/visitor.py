@@ -1,0 +1,77 @@
+"""AST traversal utilities.
+
+Two complementary mechanisms are provided:
+
+* :func:`walk` — a simple pre-order generator over every node, used by the
+  feature extractors that only need counts and structural statistics.
+* :class:`NodeVisitor` — a dispatching visitor (``visit_<ClassName>``
+  methods), used where node-type-specific behaviour is needed (e.g. the
+  data-flow graph builder).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Type
+
+from . import ast_nodes as ast
+
+
+def walk(node: ast.Node) -> Iterator[ast.Node]:
+    """Yield ``node`` and every descendant in pre-order."""
+    stack: List[ast.Node] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        children = current.children()
+        # Reversed keeps pre-order left-to-right despite the LIFO stack.
+        stack.extend(reversed(children))
+
+
+def count_nodes(node: ast.Node, node_type: Optional[Type[ast.Node]] = None) -> int:
+    """Count descendants (inclusive), optionally restricted to one type."""
+    if node_type is None:
+        return sum(1 for _ in walk(node))
+    return sum(1 for n in walk(node) if isinstance(n, node_type))
+
+
+def collect(node: ast.Node, node_type: Type[ast.Node]) -> List[ast.Node]:
+    """All descendants of ``node`` of the given type, in pre-order."""
+    return [n for n in walk(node) if isinstance(n, node_type)]
+
+
+def identifiers_in(node: ast.Node) -> List[str]:
+    """Names of all identifiers referenced below ``node`` (with repeats)."""
+    return [n.name for n in walk(node) if isinstance(n, ast.Identifier)]
+
+
+def max_depth(node: ast.Node) -> int:
+    """Height of the AST rooted at ``node`` (a leaf has depth 1)."""
+    children = node.children()
+    if not children:
+        return 1
+    return 1 + max(max_depth(child) for child in children)
+
+
+class NodeVisitor:
+    """Dispatch ``visit_<ClassName>`` methods, defaulting to generic_visit.
+
+    Subclasses override the ``visit_*`` methods they care about; unhandled
+    node types fall through to :meth:`generic_visit`, which recurses into
+    children.
+    """
+
+    def visit(self, node: ast.Node):
+        method: Callable = getattr(self, f"visit_{type(node).__name__}", self.generic_visit)
+        return method(node)
+
+    def generic_visit(self, node: ast.Node) -> None:
+        for child in node.children():
+            self.visit(child)
+
+
+def node_kind_histogram(node: ast.Node) -> Dict[str, int]:
+    """Histogram of node-kind names below ``node`` — a cheap AST fingerprint."""
+    histogram: Dict[str, int] = {}
+    for item in walk(node):
+        histogram[item.kind] = histogram.get(item.kind, 0) + 1
+    return histogram

@@ -1,0 +1,72 @@
+"""Evaluation metrics: Brier family, calibration, ROC/AUC, classification,
+radar consolidation and plain-text reporting."""
+
+from .brier import (
+    BrierDecomposition,
+    brier_decomposition,
+    brier_score,
+    brier_skill_score,
+    sharpness,
+)
+from .calibration import (
+    CalibrationCurve,
+    calibration_curve,
+    expected_calibration_error,
+    maximum_calibration_error,
+    probability_histogram,
+)
+from .classification import (
+    ConfusionMatrix,
+    accuracy,
+    balanced_accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+    specificity,
+)
+from .radar import RADAR_AXES, consolidated_metrics, radar_axes, radar_polygon
+from .report import (
+    format_comparison,
+    format_curve,
+    format_metric_block,
+    format_radar,
+    format_table,
+)
+from .roc import ROCCurve, rank_auc, roc_auc, roc_curve
+
+__all__ = [
+    "BrierDecomposition",
+    "CalibrationCurve",
+    "ConfusionMatrix",
+    "RADAR_AXES",
+    "ROCCurve",
+    "accuracy",
+    "balanced_accuracy",
+    "brier_decomposition",
+    "brier_score",
+    "brier_skill_score",
+    "calibration_curve",
+    "classification_report",
+    "confusion_matrix",
+    "consolidated_metrics",
+    "expected_calibration_error",
+    "f1_score",
+    "format_comparison",
+    "format_curve",
+    "format_metric_block",
+    "format_radar",
+    "format_table",
+    "maximum_calibration_error",
+    "precision",
+    "probability_histogram",
+    "radar_axes",
+    "radar_polygon",
+    "rank_auc",
+    "recall",
+    "roc_auc",
+    "roc_curve",
+    "sharpness",
+    "specificity",
+]

@@ -1,0 +1,118 @@
+"""Brier score, Brier skill score and the Murphy decomposition.
+
+The Brier score is the paper's headline metric (Table I): the mean squared
+error between predicted probabilities and binary outcomes.  The Murphy
+decomposition splits it into reliability (calibration error), resolution
+(how much the forecasts separate the outcomes) and uncertainty (the outcome
+base-rate variance); resolution and refinement also feed the radar plot
+(Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+def _validate(probabilities: np.ndarray, outcomes: np.ndarray) -> tuple:
+    probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+    outcomes = np.asarray(outcomes, dtype=np.float64).reshape(-1)
+    if probabilities.shape != outcomes.shape:
+        raise ValueError("probabilities and outcomes must have the same length")
+    if probabilities.size == 0:
+        raise ValueError("cannot compute the Brier score of an empty set")
+    if np.any(probabilities < -1e-9) or np.any(probabilities > 1 + 1e-9):
+        raise ValueError("probabilities must lie in [0, 1]")
+    if not set(np.unique(outcomes)) <= {0.0, 1.0}:
+        raise ValueError("outcomes must be binary (0/1)")
+    return np.clip(probabilities, 0.0, 1.0), outcomes
+
+
+def brier_score(probabilities: np.ndarray, outcomes: np.ndarray) -> float:
+    """Mean squared difference between predicted probability and outcome."""
+    probabilities, outcomes = _validate(probabilities, outcomes)
+    return float(np.mean((probabilities - outcomes) ** 2))
+
+
+def brier_skill_score(probabilities: np.ndarray, outcomes: np.ndarray) -> float:
+    """Skill relative to the climatological (base-rate) forecast.
+
+    1 is a perfect forecast, 0 matches always predicting the base rate, and
+    negative values are worse than the base-rate forecast.
+    """
+    probabilities, outcomes = _validate(probabilities, outcomes)
+    base_rate = outcomes.mean()
+    reference = brier_score(np.full_like(outcomes, base_rate), outcomes)
+    if reference == 0.0:
+        return 0.0
+    return 1.0 - brier_score(probabilities, outcomes) / reference
+
+
+@dataclass
+class BrierDecomposition:
+    """Murphy (1973) three-way decomposition of the Brier score."""
+
+    reliability: float
+    resolution: float
+    uncertainty: float
+    refinement_loss: float
+    brier: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "reliability": self.reliability,
+            "resolution": self.resolution,
+            "uncertainty": self.uncertainty,
+            "refinement_loss": self.refinement_loss,
+            "brier": self.brier,
+        }
+
+
+def brier_decomposition(
+    probabilities: np.ndarray, outcomes: np.ndarray, n_bins: int = 10
+) -> BrierDecomposition:
+    """Compute the binned Murphy decomposition.
+
+    ``brier ≈ reliability - resolution + uncertainty`` (exactly, for binned
+    forecasts).  The *refinement loss* is ``uncertainty - resolution``: the
+    part of the Brier score that calibration alone cannot remove.
+    """
+    probabilities, outcomes = _validate(probabilities, outcomes)
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bin_index = np.clip(np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1)
+    n = probabilities.size
+    base_rate = outcomes.mean()
+
+    reliability = 0.0
+    resolution = 0.0
+    for b in range(n_bins):
+        members = bin_index == b
+        count = members.sum()
+        if count == 0:
+            continue
+        mean_forecast = probabilities[members].mean()
+        mean_outcome = outcomes[members].mean()
+        reliability += count * (mean_forecast - mean_outcome) ** 2
+        resolution += count * (mean_outcome - base_rate) ** 2
+    reliability /= n
+    resolution /= n
+    uncertainty = base_rate * (1.0 - base_rate)
+    return BrierDecomposition(
+        reliability=float(reliability),
+        resolution=float(resolution),
+        uncertainty=float(uncertainty),
+        refinement_loss=float(uncertainty - resolution),
+        brier=brier_score(probabilities, outcomes),
+    )
+
+
+def sharpness(probabilities: np.ndarray) -> float:
+    """Variance of the forecasts: the tendency to predict near 0 or 1."""
+    probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+    if probabilities.size == 0:
+        raise ValueError("cannot compute sharpness of an empty set")
+    return float(np.var(probabilities))

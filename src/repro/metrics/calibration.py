@@ -1,0 +1,100 @@
+"""Confidence calibration diagnostics (reliability curves, ECE/MCE).
+
+These back the paper's Fig. 3: the calibration curve plots observed outcome
+frequency against predicted probability per bin, alongside a histogram of
+the predicted probabilities (forecast sharpness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class CalibrationCurve:
+    """Binned reliability data: one entry per non-empty probability bin."""
+
+    bin_centers: List[float] = field(default_factory=list)
+    mean_predicted: List[float] = field(default_factory=list)
+    observed_frequency: List[float] = field(default_factory=list)
+    counts: List[int] = field(default_factory=list)
+    n_bins: int = 10
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "bin_centers": list(self.bin_centers),
+            "mean_predicted": list(self.mean_predicted),
+            "observed_frequency": list(self.observed_frequency),
+            "counts": list(self.counts),
+        }
+
+    @property
+    def max_deviation(self) -> float:
+        """Largest |observed - predicted| gap over the non-empty bins."""
+        if not self.mean_predicted:
+            return 0.0
+        gaps = np.abs(
+            np.asarray(self.observed_frequency) - np.asarray(self.mean_predicted)
+        )
+        return float(gaps.max())
+
+
+def calibration_curve(
+    probabilities: np.ndarray, outcomes: np.ndarray, n_bins: int = 10
+) -> CalibrationCurve:
+    """Compute the reliability (calibration) curve over equal-width bins."""
+    probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+    outcomes = np.asarray(outcomes, dtype=np.float64).reshape(-1)
+    if probabilities.shape != outcomes.shape:
+        raise ValueError("probabilities and outcomes must align")
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bin_index = np.clip(np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1)
+    curve = CalibrationCurve(n_bins=n_bins)
+    for b in range(n_bins):
+        members = bin_index == b
+        count = int(members.sum())
+        if count == 0:
+            continue
+        curve.bin_centers.append(float((edges[b] + edges[b + 1]) / 2.0))
+        curve.mean_predicted.append(float(probabilities[members].mean()))
+        curve.observed_frequency.append(float(outcomes[members].mean()))
+        curve.counts.append(count)
+    return curve
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, outcomes: np.ndarray, n_bins: int = 10
+) -> float:
+    """Count-weighted average |observed - predicted| over bins (ECE)."""
+    curve = calibration_curve(probabilities, outcomes, n_bins=n_bins)
+    if not curve.counts:
+        return 0.0
+    counts = np.asarray(curve.counts, dtype=np.float64)
+    gaps = np.abs(
+        np.asarray(curve.observed_frequency) - np.asarray(curve.mean_predicted)
+    )
+    return float((counts * gaps).sum() / counts.sum())
+
+
+def maximum_calibration_error(
+    probabilities: np.ndarray, outcomes: np.ndarray, n_bins: int = 10
+) -> float:
+    """Worst-bin calibration gap (MCE)."""
+    return calibration_curve(probabilities, outcomes, n_bins=n_bins).max_deviation
+
+
+def probability_histogram(
+    probabilities: np.ndarray, n_bins: int = 10
+) -> Dict[str, List[float]]:
+    """Histogram of predicted probabilities (the bottom panel of Fig. 3)."""
+    probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    counts, edges = np.histogram(probabilities, bins=n_bins, range=(0.0, 1.0))
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return {"bin_centers": centers.tolist(), "counts": counts.astype(int).tolist()}

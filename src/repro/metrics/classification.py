@@ -1,0 +1,109 @@
+"""Point-prediction classification metrics.
+
+The standard accuracy / precision / recall / specificity / F1 family for the
+binary Trojan-free vs Trojan-infected decision, plus the confusion matrix.
+Used both for reporting and as inputs to the consolidated radar plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class ConfusionMatrix:
+    """Binary confusion matrix (positive class = Trojan-infected = 1)."""
+
+    true_positive: int
+    true_negative: int
+    false_positive: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive + self.true_negative + self.false_positive + self.false_negative
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "true_positive": self.true_positive,
+            "true_negative": self.true_negative,
+            "false_positive": self.false_positive,
+            "false_negative": self.false_negative,
+        }
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray) -> ConfusionMatrix:
+    """Build the binary confusion matrix from hard predictions."""
+    predictions = np.asarray(predictions, dtype=int).reshape(-1)
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    return ConfusionMatrix(
+        true_positive=int(np.sum((predictions == 1) & (labels == 1))),
+        true_negative=int(np.sum((predictions == 0) & (labels == 0))),
+        false_positive=int(np.sum((predictions == 1) & (labels == 0))),
+        false_negative=int(np.sum((predictions == 0) & (labels == 1))),
+    )
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    predictions = np.asarray(predictions, dtype=int).reshape(-1)
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty set")
+    return float(np.mean(predictions == labels))
+
+
+def precision(predictions: np.ndarray, labels: np.ndarray) -> float:
+    cm = confusion_matrix(predictions, labels)
+    denominator = cm.true_positive + cm.false_positive
+    return cm.true_positive / denominator if denominator else 0.0
+
+
+def recall(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Sensitivity / true-positive rate: fraction of Trojans caught."""
+    cm = confusion_matrix(predictions, labels)
+    denominator = cm.true_positive + cm.false_negative
+    return cm.true_positive / denominator if denominator else 0.0
+
+
+def specificity(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """True-negative rate: fraction of clean designs passed."""
+    cm = confusion_matrix(predictions, labels)
+    denominator = cm.true_negative + cm.false_positive
+    return cm.true_negative / denominator if denominator else 0.0
+
+
+def f1_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    p = precision(predictions, labels)
+    r = recall(predictions, labels)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def balanced_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Mean of sensitivity and specificity; robust to class imbalance."""
+    return (recall(predictions, labels) + specificity(predictions, labels)) / 2.0
+
+
+def classification_report(predictions: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
+    """All point metrics in one dictionary."""
+    cm = confusion_matrix(predictions, labels)
+    report: Dict[str, float] = {
+        "accuracy": accuracy(predictions, labels),
+        "precision": precision(predictions, labels),
+        "recall": recall(predictions, labels),
+        "specificity": specificity(predictions, labels),
+        "f1": f1_score(predictions, labels),
+        "balanced_accuracy": balanced_accuracy(predictions, labels),
+    }
+    report.update({key: float(value) for key, value in cm.as_dict().items()})
+    return report

@@ -1,0 +1,80 @@
+"""Consolidated (radar-plot) metrics — paper Fig. 5.
+
+The radar plot groups discrimination metrics (AUC, resolution, refinement
+loss), combined calibration+discrimination metrics (Brier score, Brier skill
+score) and point metrics (sensitivity, accuracy) on one normalised 0-1
+scale.  :func:`consolidated_metrics` computes the raw values and
+:func:`radar_axes` normalises them the way the figure presents them (metrics
+where lower is better are inverted so that "bigger is better" on every
+axis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .brier import brier_decomposition, brier_score, brier_skill_score, sharpness
+from .classification import accuracy, recall, specificity
+from .roc import roc_auc
+
+#: Radar axes in display order, with a flag saying whether the raw metric is
+#: "higher is better" (True) or "lower is better" (False, inverted for display).
+RADAR_AXES: List[Tuple[str, bool]] = [
+    ("auc", True),
+    ("resolution", True),
+    ("refinement_loss", False),
+    ("brier_score", False),
+    ("brier_skill_score", True),
+    ("sensitivity", True),
+    ("accuracy", True),
+]
+
+
+def consolidated_metrics(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    threshold: float = 0.5,
+    n_bins: int = 10,
+) -> Dict[str, float]:
+    """All metrics backing the radar plot, in raw (un-normalised) form."""
+    probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    predictions = (probabilities >= threshold).astype(int)
+    decomposition = brier_decomposition(probabilities, labels, n_bins=n_bins)
+    return {
+        "auc": roc_auc(probabilities, labels),
+        "resolution": decomposition.resolution,
+        "refinement_loss": decomposition.refinement_loss,
+        "reliability": decomposition.reliability,
+        "brier_score": brier_score(probabilities, labels),
+        "brier_skill_score": brier_skill_score(probabilities, labels),
+        "sensitivity": recall(predictions, labels),
+        "specificity": specificity(predictions, labels),
+        "accuracy": accuracy(predictions, labels),
+        "sharpness": sharpness(probabilities),
+    }
+
+
+def radar_axes(metrics: Dict[str, float]) -> Dict[str, float]:
+    """Normalise the consolidated metrics onto the radar plot's 0-1 axes.
+
+    Already-bounded metrics (AUC, accuracy, sensitivity) pass through;
+    unbounded / small-scale ones (resolution, refinement loss, Brier skill
+    score) are clipped into [0, 1]; "lower is better" metrics are inverted
+    (``1 - value``) so a larger polygon is always better.
+    """
+    axes: Dict[str, float] = {}
+    for name, higher_is_better in RADAR_AXES:
+        if name not in metrics:
+            raise KeyError(f"metric {name!r} missing from consolidated metrics")
+        value = float(np.clip(metrics[name], 0.0, 1.0))
+        axes[name] = value if higher_is_better else 1.0 - value
+    return axes
+
+
+def radar_polygon(metrics: Dict[str, float]) -> List[Tuple[str, float]]:
+    """The radar polygon as an ordered list of ``(axis_name, value)`` pairs."""
+    axes = radar_axes(metrics)
+    return [(name, axes[name]) for name, _ in RADAR_AXES]

@@ -1,0 +1,107 @@
+"""Plain-text reporting helpers.
+
+The benchmark harness prints the same rows/series the paper reports.  These
+formatters keep that output consistent: an aligned table for Table I-style
+comparisons, an ASCII sparkline-ish rendering for curves, and a simple radar
+summary — all dependency-free so they run anywhere the tests run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(column), *(len(r[i]) for r in rendered_rows)) for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(rendered[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_metric_block(metrics: Mapping[str, float], title: str = "") -> str:
+    """Render a name->value mapping as aligned ``name: value`` lines."""
+    if not metrics:
+        return title
+    width = max(len(name) for name in metrics)
+    lines = [title] if title else []
+    for name, value in metrics.items():
+        if isinstance(value, float):
+            lines.append(f"{name.ljust(width)} : {value:.4f}")
+        else:
+            lines.append(f"{name.ljust(width)} : {value}")
+    return "\n".join(lines)
+
+
+def format_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 20,
+) -> str:
+    """Render a curve as a compact list of (x, y) points, subsampled."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    n = len(xs)
+    if n == 0:
+        return f"{y_label} vs {x_label}: (empty)"
+    step = max(1, n // max_points)
+    picked = list(range(0, n, step))
+    if picked[-1] != n - 1:
+        picked.append(n - 1)
+    points = ", ".join(f"({xs[i]:.3f}, {ys[i]:.3f})" for i in picked)
+    return f"{y_label} vs {x_label}: {points}"
+
+
+def format_radar(polygon: Sequence[Tuple[str, float]], title: str = "Radar") -> str:
+    """Render radar axes as horizontal bars of '#' characters."""
+    lines = [title]
+    width = max(len(name) for name, _ in polygon) if polygon else 0
+    for name, value in polygon:
+        bar = "#" * int(round(value * 30))
+        lines.append(f"{name.ljust(width)} | {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    paper_values: Mapping[str, float],
+    measured_values: Mapping[str, float],
+    title: str = "Paper vs measured",
+) -> str:
+    """Side-by-side comparison of paper-reported and measured values."""
+    rows: List[Dict[str, object]] = []
+    for key in paper_values:
+        rows.append(
+            {
+                "quantity": key,
+                "paper": paper_values[key],
+                "measured": measured_values.get(key, float("nan")),
+            }
+        )
+    return format_table(rows, columns=["quantity", "paper", "measured"], title=title)

@@ -1,0 +1,91 @@
+"""A small, self-contained neural-network library on top of numpy.
+
+This package replaces the deep-learning framework the NOODLE paper uses
+(PyTorch) with an explicit, gradient-checked implementation: layers with
+hand-derived backward passes, standard losses and optimizers, and a
+``Sequential`` training container.  Everything the rest of ``repro`` trains —
+per-modality CNN classifiers, the GAN generator/discriminator, the MLP
+baseline — is built from these pieces.
+"""
+
+from .activations import (
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    get_activation,
+)
+from .data import iterate_minibatches, one_hot, stratified_indices, train_test_split
+from .initializers import available_initializers, get_initializer
+from .layers import (
+    BatchNorm1d,
+    Conv1d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool1d,
+    Layer,
+    MaxPool1d,
+    MaxPool2d,
+)
+from .losses import (
+    BinaryCrossEntropy,
+    BinaryCrossEntropyWithLogits,
+    CategoricalCrossEntropy,
+    HingeLoss,
+    Loss,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+    get_loss,
+)
+from .model import Sequential, TrainingHistory
+from .optimizers import SGD, Adam, Optimizer, RMSProp, get_optimizer
+from .serialize import load_state_dict, load_weights, save_weights, state_dict
+
+__all__ = [
+    "Adam",
+    "BatchNorm1d",
+    "BinaryCrossEntropy",
+    "BinaryCrossEntropyWithLogits",
+    "CategoricalCrossEntropy",
+    "Conv1d",
+    "Conv2d",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAveragePool1d",
+    "HingeLoss",
+    "Identity",
+    "Layer",
+    "LeakyReLU",
+    "Loss",
+    "MaxPool1d",
+    "MaxPool2d",
+    "MeanSquaredError",
+    "Optimizer",
+    "ReLU",
+    "RMSProp",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Softmax",
+    "SoftmaxCrossEntropy",
+    "Tanh",
+    "TrainingHistory",
+    "available_initializers",
+    "get_activation",
+    "get_initializer",
+    "get_loss",
+    "get_optimizer",
+    "iterate_minibatches",
+    "load_state_dict",
+    "load_weights",
+    "one_hot",
+    "save_weights",
+    "state_dict",
+    "stratified_indices",
+    "train_test_split",
+]

@@ -1,0 +1,147 @@
+"""Activation layers for the numpy neural-network substrate.
+
+Activations are stateless layers (no trainable parameters); they cache the
+values required by their analytic derivative during ``forward`` and apply it
+in ``backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit ``max(0, x)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with negative slope ``alpha`` (default 0.01)."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * np.where(self._mask, 1.0, self.alpha)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid, numerically stabilised for large magnitudes."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.empty_like(np.asarray(x, dtype=np.float64))
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        exp_x = np.exp(x[~pos])
+        out[~pos] = exp_x / (1.0 + exp_x)
+        self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Softmax(Layer):
+    """Row-wise softmax over the last axis.
+
+    The backward pass implements the full Jacobian-vector product; when the
+    softmax is paired with a cross-entropy loss the combined gradient in
+    :mod:`repro.nn.losses` is preferred for numerical stability, but this
+    layer remains usable stand-alone.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        self._output = exp / exp.sum(axis=-1, keepdims=True)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        s = self._output
+        dot = (grad_output * s).sum(axis=-1, keepdims=True)
+        return s * (grad_output - dot)
+
+
+class Identity(Layer):
+    """Pass-through layer, useful as a configurable no-op."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "softmax": Softmax,
+    "identity": Identity,
+    "linear": Identity,
+}
+
+
+def get_activation(name: str) -> Layer:
+    """Instantiate an activation layer by name."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError as exc:
+        known = ", ".join(sorted(_ACTIVATIONS))
+        raise ValueError(f"Unknown activation {name!r}; known: {known}") from exc

@@ -1,0 +1,113 @@
+"""Small data utilities shared by the model trainer and experiments.
+
+These replace the handful of helpers a deep-learning framework would
+normally provide: mini-batch iteration, train/validation splitting,
+one-hot encoding and stratified shuffling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def one_hot(labels: Sequence[int], n_classes: Optional[int] = None) -> np.ndarray:
+    """Encode integer labels as one-hot rows.
+
+    ``n_classes`` defaults to ``max(labels) + 1``; passing it explicitly is
+    recommended whenever a split might not contain every class.
+    """
+    labels = np.asarray(labels, dtype=int)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D sequence of class indices")
+    if n_classes is None:
+        n_classes = int(labels.max()) + 1 if labels.size else 0
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError("labels out of range for the requested number of classes")
+    encoded = np.zeros((labels.shape[0], n_classes))
+    if labels.size:
+        encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` pairs covering the whole dataset once."""
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same number of samples")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(len(x))
+    if shuffle:
+        rng = rng or np.random.default_rng()
+        rng.shuffle(indices)
+    for start in range(0, len(x), batch_size):
+        batch = indices[start : start + batch_size]
+        yield x[batch], y[batch]
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    stratify: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split arrays into train/test partitions.
+
+    With ``stratify=True`` (the default) the class proportions of ``y`` are
+    preserved in both partitions, which matters for the heavily imbalanced
+    Trojan datasets this library targets.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same number of samples")
+    rng = rng or np.random.default_rng()
+    y = np.asarray(y)
+    if stratify:
+        train_idx: list = []
+        test_idx: list = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            n_test = max(1, int(round(len(members) * test_fraction)))
+            if n_test >= len(members):
+                n_test = len(members) - 1 if len(members) > 1 else 0
+            test_idx.extend(members[:n_test])
+            train_idx.extend(members[n_test:])
+        train_idx = np.asarray(sorted(train_idx))
+        test_idx = np.asarray(sorted(test_idx))
+    else:
+        indices = rng.permutation(len(x))
+        n_test = max(1, int(round(len(x) * test_fraction)))
+        test_idx = np.sort(indices[:n_test])
+        train_idx = np.sort(indices[n_test:])
+    return x[train_idx], x[test_idx], y[train_idx], y[test_idx]
+
+
+def stratified_indices(
+    y: np.ndarray, n_splits: int, rng: Optional[np.random.Generator] = None
+) -> list:
+    """Return ``n_splits`` disjoint index folds with per-class balance.
+
+    Used by the cross-validation style scenario sweeps in
+    :mod:`repro.experiments.fig2`.
+    """
+    if n_splits < 2:
+        raise ValueError("n_splits must be at least 2")
+    rng = rng or np.random.default_rng()
+    y = np.asarray(y)
+    folds: list = [[] for _ in range(n_splits)]
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        rng.shuffle(members)
+        for i, idx in enumerate(members):
+            folds[i % n_splits].append(int(idx))
+    return [np.asarray(sorted(fold)) for fold in folds]

@@ -1,0 +1,117 @@
+"""Weight initialization schemes for the numpy neural-network substrate.
+
+Every initializer is a callable ``init(shape, rng) -> np.ndarray`` so layers
+can accept either a name (string) or a custom callable.  The schemes follow
+the standard definitions:
+
+* ``zeros`` / ``ones``     -- constant tensors, mostly for biases.
+* ``uniform`` / ``normal`` -- scaled random tensors.
+* ``xavier_uniform`` / ``xavier_normal`` (Glorot) -- variance preserved for
+  tanh/sigmoid style activations.
+* ``he_uniform`` / ``he_normal`` (Kaiming) -- variance preserved for ReLU
+  style activations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+Initializer = Callable[[Sequence[int], np.random.Generator], np.ndarray]
+
+
+def _fan_in_fan_out(shape: Sequence[int]) -> tuple:
+    """Compute fan-in / fan-out for dense and convolutional weight shapes.
+
+    Dense weights are ``(in, out)``.  Convolutional kernels are
+    ``(filters, channels, *kernel_dims)`` so the receptive field size
+    multiplies into both fans.
+    """
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = 1
+    for dim in shape[2:]:
+        receptive *= dim
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def zeros(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)
+
+
+def uniform(shape: Sequence[int], rng: np.random.Generator, scale: float = 0.05) -> np.ndarray:
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def normal(shape: Sequence[int], rng: np.random.Generator, scale: float = 0.05) -> np.ndarray:
+    return rng.normal(0.0, scale, size=shape)
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fan_in_fan_out(shape)
+    limit = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+_REGISTRY = {
+    "zeros": zeros,
+    "ones": ones,
+    "uniform": uniform,
+    "normal": normal,
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "glorot_uniform": xavier_uniform,
+    "glorot_normal": xavier_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "kaiming_uniform": he_uniform,
+    "kaiming_normal": he_normal,
+}
+
+
+def get_initializer(spec: Union[str, Initializer]) -> Initializer:
+    """Resolve an initializer name or pass through a callable.
+
+    Raises ``ValueError`` for unknown names so configuration typos fail
+    loudly instead of silently producing untrained-looking models.
+    """
+    if callable(spec):
+        return spec
+    try:
+        return _REGISTRY[spec]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"Unknown initializer {spec!r}; known: {known}") from exc
+
+
+def available_initializers() -> list:
+    """Names accepted by :func:`get_initializer`."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,524 @@
+"""Layers for the numpy neural-network substrate.
+
+Every layer implements the minimal interface used by
+:class:`repro.nn.model.Sequential`:
+
+* ``forward(x, training)`` -- compute the output and cache whatever the
+  backward pass needs.
+* ``backward(grad_output)`` -- given dL/d(output), accumulate parameter
+  gradients and return dL/d(input).
+* ``parameters()`` / ``gradients()`` -- aligned lists of arrays, consumed by
+  the optimizers in :mod:`repro.nn.optimizers`.
+
+The layers are deliberately simple and explicit (no autograd engine); each
+backward pass is hand-derived and verified with finite-difference tests in
+``tests/test_nn_gradients.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .initializers import get_initializer
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses that own trainable parameters must populate ``self._params``
+    and ``self._grads`` with aligned lists of arrays.  Stateless layers can
+    rely on the default empty lists.
+    """
+
+    def __init__(self) -> None:
+        self._params: List[np.ndarray] = []
+        self._grads: List[np.ndarray] = []
+
+    # -- interface -------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[np.ndarray]:
+        return self._params
+
+    def gradients(self) -> List[np.ndarray]:
+        return self._grads
+
+    def zero_grad(self) -> None:
+        for grad in self._grads:
+            grad[...] = 0.0
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def n_parameters(self) -> int:
+        return int(sum(p.size for p in self._params))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    weight_init, bias_init:
+        Initializer names or callables (see :mod:`repro.nn.initializers`).
+    use_bias:
+        If ``False`` the layer is a pure linear map.
+    rng:
+        Random generator used for initialization; pass one for
+        reproducibility.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        weight_init: str = "he_normal",
+        bias_init: str = "zeros",
+        use_bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense layer dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = use_bias
+        self.weight = get_initializer(weight_init)((in_features, out_features), rng)
+        self.grad_weight = np.zeros_like(self.weight)
+        self._params = [self.weight]
+        self._grads = [self.grad_weight]
+        if use_bias:
+            self.bias = get_initializer(bias_init)((out_features,), rng)
+            self.grad_bias = np.zeros_like(self.bias)
+            self._params.append(self.bias)
+            self._grads.append(self.grad_bias)
+        self._cache_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._cache_input = x
+        out = x @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache_input
+        self.grad_weight += x.T @ grad_output
+        if self.use_bias:
+            self.grad_bias += grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}, {self.out_features}, bias={self.use_bias})"
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions into one."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training=True``."""
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("Dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class BatchNorm1d(Layer):
+    """Batch normalization over the feature axis of ``(N, F)`` inputs.
+
+    Keeps running estimates of mean/variance for inference, exactly as in
+    Ioffe & Szegedy (2015).
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(num_features)
+        self.beta = np.zeros(num_features)
+        self.grad_gamma = np.zeros_like(self.gamma)
+        self.grad_beta = np.zeros_like(self.beta)
+        self._params = [self.gamma, self.beta]
+        self._grads = [self.grad_gamma, self.grad_beta]
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expected input (N, {self.num_features}), got {x.shape}"
+            )
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        x_hat = (x - mean) / np.sqrt(var + self.eps)
+        self._cache = (x_hat, var, x - mean) if training else None
+        return self.gamma * x_hat + self.beta
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward requires a preceding training-mode forward")
+        x_hat, var, x_centered = self._cache
+        n = grad_output.shape[0]
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        self.grad_gamma += (grad_output * x_hat).sum(axis=0)
+        self.grad_beta += grad_output.sum(axis=0)
+        dx_hat = grad_output * self.gamma
+        # Standard batch-norm backward (sum over batch of the coupled terms).
+        grad_input = (
+            inv_std / n
+        ) * (n * dx_hat - dx_hat.sum(axis=0) - x_hat * (dx_hat * x_hat).sum(axis=0))
+        return grad_input
+
+
+def _as_pair(value: Union[int, Sequence[int]]) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return value, value
+    pair = tuple(value)
+    if len(pair) != 2:
+        raise ValueError(f"Expected an int or pair, got {value!r}")
+    return int(pair[0]), int(pair[1])
+
+
+class Conv1d(Layer):
+    """1-D convolution over inputs of shape ``(N, C, L)``.
+
+    Implemented with an explicit sliding-window expansion (im2col) so both
+    forward and backward are expressed as dense matrix products.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        weight_init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("kernel_size/stride must be positive, padding non-negative")
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = get_initializer(weight_init)(
+            (out_channels, in_channels, kernel_size), rng
+        )
+        self.bias = np.zeros(out_channels)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._params = [self.weight, self.bias]
+        self._grads = [self.grad_weight, self.grad_bias]
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def _output_length(self, length: int) -> int:
+        return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv1d expected input (N, {self.in_channels}, L), got {x.shape}"
+            )
+        n, _, length = x.shape
+        out_len = self._output_length(length)
+        if out_len <= 0:
+            raise ValueError("Conv1d output length would be non-positive")
+        if self.padding:
+            x_pad = np.pad(x, ((0, 0), (0, 0), (self.padding, self.padding)))
+        else:
+            x_pad = x
+        # columns: (N, out_len, C * K)
+        cols = np.empty((n, out_len, self.in_channels * self.kernel_size))
+        for i in range(out_len):
+            start = i * self.stride
+            cols[:, i, :] = x_pad[:, :, start : start + self.kernel_size].reshape(n, -1)
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.bias  # (N, out_len, F)
+        self._cache = (cols, x.shape)
+        return out.transpose(0, 2, 1)  # (N, F, out_len)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, input_shape = self._cache
+        n, _, length = input_shape
+        out_len = grad_output.shape[2]
+        grad = grad_output.transpose(0, 2, 1)  # (N, out_len, F)
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        self.grad_bias += grad.sum(axis=(0, 1))
+        self.grad_weight += (
+            grad.reshape(-1, self.out_channels).T @ cols.reshape(-1, cols.shape[2])
+        ).reshape(self.weight.shape)
+        grad_cols = grad @ w_mat  # (N, out_len, C*K)
+        padded_len = length + 2 * self.padding
+        grad_x_pad = np.zeros((n, self.in_channels, padded_len))
+        for i in range(out_len):
+            start = i * self.stride
+            grad_x_pad[:, :, start : start + self.kernel_size] += grad_cols[:, i, :].reshape(
+                n, self.in_channels, self.kernel_size
+            )
+        if self.padding:
+            return grad_x_pad[:, :, self.padding : -self.padding]
+        return grad_x_pad
+
+
+class Conv2d(Layer):
+    """2-D convolution over inputs of shape ``(N, C, H, W)`` using im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, Sequence[int]],
+        stride: Union[int, Sequence[int]] = 1,
+        padding: Union[int, Sequence[int]] = 0,
+        weight_init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _as_pair(kernel_size)
+        self.stride = _as_pair(stride)
+        self.padding = _as_pair(padding)
+        if min(self.kernel_size) <= 0 or min(self.stride) <= 0 or min(self.padding) < 0:
+            raise ValueError("invalid kernel/stride/padding for Conv2d")
+        kh, kw = self.kernel_size
+        self.weight = get_initializer(weight_init)((out_channels, in_channels, kh, kw), rng)
+        self.bias = np.zeros(out_channels)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._params = [self.weight, self.bias]
+        self._grads = [self.grad_weight, self.grad_bias]
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...], Tuple[int, int]]] = None
+
+    def _output_size(self, h: int, w: int) -> Tuple[int, int]:
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        ph, pw = self.padding
+        out_h = (h + 2 * ph - kh) // sh + 1
+        out_w = (w + 2 * pw - kw) // sw + 1
+        return out_h, out_w
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected input (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        out_h, out_w = self._output_size(h, w)
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError("Conv2d output size would be non-positive")
+        ph, pw = self.padding
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        x_pad = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x
+        cols = np.empty((n, out_h * out_w, self.in_channels * kh * kw))
+        idx = 0
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = x_pad[:, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+                cols[:, idx, :] = patch.reshape(n, -1)
+                idx += 1
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.bias  # (N, out_h*out_w, F)
+        self._cache = (cols, x.shape, (out_h, out_w))
+        return out.transpose(0, 2, 1).reshape(n, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, input_shape, (out_h, out_w) = self._cache
+        n, _, h, w = input_shape
+        ph, pw = self.padding
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        grad = grad_output.reshape(n, self.out_channels, out_h * out_w).transpose(0, 2, 1)
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        self.grad_bias += grad.sum(axis=(0, 1))
+        self.grad_weight += (
+            grad.reshape(-1, self.out_channels).T @ cols.reshape(-1, cols.shape[2])
+        ).reshape(self.weight.shape)
+        grad_cols = grad @ w_mat  # (N, out_h*out_w, C*kh*kw)
+        grad_x_pad = np.zeros((n, self.in_channels, h + 2 * ph, w + 2 * pw))
+        idx = 0
+        for i in range(out_h):
+            for j in range(out_w):
+                grad_x_pad[:, :, i * sh : i * sh + kh, j * sw : j * sw + kw] += grad_cols[
+                    :, idx, :
+                ].reshape(n, self.in_channels, kh, kw)
+                idx += 1
+        if ph or pw:
+            return grad_x_pad[:, :, ph : ph + h, pw : pw + w]
+        return grad_x_pad
+
+
+class MaxPool1d(Layer):
+    """1-D max pooling over ``(N, C, L)`` inputs."""
+
+    def __init__(self, pool_size: int = 2, stride: Optional[int] = None) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self.stride = stride or pool_size
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, length = x.shape
+        out_len = (length - self.pool_size) // self.stride + 1
+        if out_len <= 0:
+            raise ValueError("MaxPool1d output length would be non-positive")
+        windows = np.empty((n, c, out_len, self.pool_size))
+        for i in range(out_len):
+            start = i * self.stride
+            windows[:, :, i, :] = x[:, :, start : start + self.pool_size]
+        argmax = windows.argmax(axis=3)
+        self._cache = (argmax, x.shape)
+        return windows.max(axis=3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        argmax, input_shape = self._cache
+        n, c, length = input_shape
+        out_len = grad_output.shape[2]
+        grad_input = np.zeros(input_shape)
+        n_idx = np.arange(n)[:, None, None]
+        c_idx = np.arange(c)[None, :, None]
+        pos = np.arange(out_len)[None, None, :] * self.stride + argmax
+        np.add.at(grad_input, (n_idx, c_idx, pos), grad_output)
+        return grad_input
+
+
+class MaxPool2d(Layer):
+    """2-D max pooling over ``(N, C, H, W)`` inputs."""
+
+    def __init__(
+        self,
+        pool_size: Union[int, Sequence[int]] = 2,
+        stride: Optional[Union[int, Sequence[int]]] = None,
+    ) -> None:
+        super().__init__()
+        self.pool_size = _as_pair(pool_size)
+        self.stride = _as_pair(stride) if stride is not None else self.pool_size
+        if min(self.pool_size) <= 0 or min(self.stride) <= 0:
+            raise ValueError("pool_size and stride must be positive")
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...], Tuple[int, int]]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        ph, pw = self.pool_size
+        sh, sw = self.stride
+        out_h = (h - ph) // sh + 1
+        out_w = (w - pw) // sw + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError("MaxPool2d output size would be non-positive")
+        windows = np.empty((n, c, out_h, out_w, ph * pw))
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = x[:, :, i * sh : i * sh + ph, j * sw : j * sw + pw]
+                windows[:, :, i, j, :] = patch.reshape(n, c, -1)
+        argmax = windows.argmax(axis=4)
+        self._cache = (argmax, x.shape, (out_h, out_w))
+        return windows.max(axis=4)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        argmax, input_shape, (out_h, out_w) = self._cache
+        n, c, h, w = input_shape
+        ph, pw = self.pool_size
+        sh, sw = self.stride
+        grad_input = np.zeros(input_shape)
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        row_in_window = argmax // pw
+        col_in_window = argmax % pw
+        rows = np.arange(out_h)[None, None, :, None] * sh + row_in_window
+        cols = np.arange(out_w)[None, None, None, :] * sw + col_in_window
+        np.add.at(grad_input, (n_idx, c_idx, rows, cols), grad_output)
+        return grad_input
+
+
+class GlobalAveragePool1d(Layer):
+    """Average over the length dimension of ``(N, C, L)`` inputs -> ``(N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._length: Optional[int] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._length = x.shape[2]
+        return x.mean(axis=2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._length is None:
+            raise RuntimeError("backward called before forward")
+        return np.repeat(grad_output[:, :, None], self._length, axis=2) / self._length

@@ -1,0 +1,175 @@
+"""Loss functions for the numpy neural-network substrate.
+
+Each loss exposes ``loss(pred, target) -> float`` and
+``gradient(pred, target) -> array`` where the gradient is dL/d(pred) averaged
+over the batch, matching the convention used by
+:class:`repro.nn.model.Sequential`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _clip_probabilities(p: np.ndarray) -> np.ndarray:
+    return np.clip(p, _EPS, 1.0 - _EPS)
+
+
+class Loss:
+    """Base class for losses."""
+
+    def loss(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return self.loss(pred, target)
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, averaged over every element."""
+
+    def loss(self, pred: np.ndarray, target: np.ndarray) -> float:
+        diff = np.asarray(pred, dtype=np.float64) - np.asarray(target, dtype=np.float64)
+        return float(np.mean(diff**2))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        return 2.0 * (pred - target) / pred.size
+
+
+class BinaryCrossEntropy(Loss):
+    """Binary cross-entropy on probabilities (i.e. after a sigmoid).
+
+    ``pred`` may be shaped ``(N,)`` or ``(N, 1)``; ``target`` holds 0/1
+    labels (floats accepted).
+    """
+
+    def loss(self, pred: np.ndarray, target: np.ndarray) -> float:
+        p = _clip_probabilities(np.asarray(pred, dtype=np.float64).reshape(-1))
+        t = np.asarray(target, dtype=np.float64).reshape(-1)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch: pred {p.shape} vs target {t.shape}")
+        return float(-np.mean(t * np.log(p) + (1.0 - t) * np.log(1.0 - p)))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        original_shape = np.asarray(pred).shape
+        p = _clip_probabilities(np.asarray(pred, dtype=np.float64).reshape(-1))
+        t = np.asarray(target, dtype=np.float64).reshape(-1)
+        grad = (p - t) / (p * (1.0 - p)) / p.size
+        return grad.reshape(original_shape)
+
+
+class BinaryCrossEntropyWithLogits(Loss):
+    """Numerically stable binary cross-entropy on raw logits."""
+
+    def loss(self, pred: np.ndarray, target: np.ndarray) -> float:
+        z = np.asarray(pred, dtype=np.float64).reshape(-1)
+        t = np.asarray(target, dtype=np.float64).reshape(-1)
+        if z.shape != t.shape:
+            raise ValueError(f"shape mismatch: pred {z.shape} vs target {t.shape}")
+        # log(1 + exp(-|z|)) + max(z, 0) - z*t is the standard stable form.
+        return float(np.mean(np.maximum(z, 0.0) - z * t + np.log1p(np.exp(-np.abs(z)))))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        original_shape = np.asarray(pred).shape
+        z = np.asarray(pred, dtype=np.float64).reshape(-1)
+        t = np.asarray(target, dtype=np.float64).reshape(-1)
+        sigma = np.where(z >= 0, 1.0 / (1.0 + np.exp(-z)), np.exp(z) / (1.0 + np.exp(z)))
+        return ((sigma - t) / z.size).reshape(original_shape)
+
+
+class CategoricalCrossEntropy(Loss):
+    """Cross-entropy on class probabilities with one-hot or index targets."""
+
+    @staticmethod
+    def _one_hot(target: np.ndarray, n_classes: int) -> np.ndarray:
+        target = np.asarray(target)
+        if target.ndim == 2:
+            return target.astype(np.float64)
+        one_hot = np.zeros((target.shape[0], n_classes))
+        one_hot[np.arange(target.shape[0]), target.astype(int)] = 1.0
+        return one_hot
+
+    def loss(self, pred: np.ndarray, target: np.ndarray) -> float:
+        p = _clip_probabilities(np.asarray(pred, dtype=np.float64))
+        t = self._one_hot(target, p.shape[1])
+        return float(-np.mean(np.sum(t * np.log(p), axis=1)))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        p = _clip_probabilities(np.asarray(pred, dtype=np.float64))
+        t = self._one_hot(target, p.shape[1])
+        return -(t / p) / p.shape[0]
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Fused softmax + cross-entropy on raw logits (stable combined gradient)."""
+
+    @staticmethod
+    def _softmax(z: np.ndarray) -> np.ndarray:
+        shifted = z - z.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def loss(self, pred: np.ndarray, target: np.ndarray) -> float:
+        z = np.asarray(pred, dtype=np.float64)
+        probs = _clip_probabilities(self._softmax(z))
+        t = CategoricalCrossEntropy._one_hot(target, z.shape[1])
+        return float(-np.mean(np.sum(t * np.log(probs), axis=1)))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        z = np.asarray(pred, dtype=np.float64)
+        probs = self._softmax(z)
+        t = CategoricalCrossEntropy._one_hot(target, z.shape[1])
+        return (probs - t) / z.shape[0]
+
+
+class HingeLoss(Loss):
+    """Binary hinge loss on raw scores with targets in {0, 1} or {-1, +1}."""
+
+    @staticmethod
+    def _to_signed(target: np.ndarray) -> np.ndarray:
+        t = np.asarray(target, dtype=np.float64).reshape(-1)
+        if set(np.unique(t)) <= {0.0, 1.0}:
+            return 2.0 * t - 1.0
+        return t
+
+    def loss(self, pred: np.ndarray, target: np.ndarray) -> float:
+        scores = np.asarray(pred, dtype=np.float64).reshape(-1)
+        t = self._to_signed(target)
+        return float(np.mean(np.maximum(0.0, 1.0 - t * scores)))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        original_shape = np.asarray(pred).shape
+        scores = np.asarray(pred, dtype=np.float64).reshape(-1)
+        t = self._to_signed(target)
+        grad = np.where(t * scores < 1.0, -t, 0.0) / scores.size
+        return grad.reshape(original_shape)
+
+
+_LOSSES = {
+    "mse": MeanSquaredError,
+    "bce": BinaryCrossEntropy,
+    "bce_logits": BinaryCrossEntropyWithLogits,
+    "categorical_crossentropy": CategoricalCrossEntropy,
+    "softmax_crossentropy": SoftmaxCrossEntropy,
+    "hinge": HingeLoss,
+}
+
+
+def get_loss(spec: Union[str, Loss]) -> Loss:
+    """Resolve a loss by name or pass through an instance."""
+    if isinstance(spec, Loss):
+        return spec
+    try:
+        return _LOSSES[spec]()
+    except KeyError as exc:
+        known = ", ".join(sorted(_LOSSES))
+        raise ValueError(f"Unknown loss {spec!r}; known: {known}") from exc

@@ -1,0 +1,185 @@
+"""Sequential model and training loop for the numpy neural-network substrate.
+
+The :class:`Sequential` container chains layers, wires their parameters to an
+optimizer, and provides the familiar ``fit`` / ``predict_proba`` / ``predict``
+workflow.  It is intentionally framework-agnostic so the same model type can
+serve the per-modality CNN classifiers, the GAN generator/discriminator and
+the baseline MLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .data import iterate_minibatches
+from .layers import Layer
+from .losses import Loss, get_loss
+from .optimizers import Optimizer, get_optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded by :meth:`Sequential.fit`."""
+
+    loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.loss)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {"loss": list(self.loss), "val_loss": list(self.val_loss)}
+
+
+class Sequential:
+    """A plain stack of layers trained with mini-batch gradient descent.
+
+    Parameters
+    ----------
+    layers:
+        Ordered list of :class:`repro.nn.layers.Layer` instances.
+    loss:
+        Loss name or instance (see :mod:`repro.nn.losses`).
+    optimizer:
+        Optimizer name or instance (see :mod:`repro.nn.optimizers`).
+    learning_rate:
+        Convenience override applied when the optimizer is given by name.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        loss: Union[str, Loss] = "bce",
+        optimizer: Union[str, Optimizer] = "adam",
+        learning_rate: Optional[float] = None,
+    ) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self.loss_fn: Loss = get_loss(loss)
+        self.optimizer: Optimizer = get_optimizer(optimizer, learning_rate)
+        self.optimizer.bind(self.parameters(), self.gradients())
+        self.history = TrainingHistory()
+
+    # -- parameter plumbing ----------------------------------------------
+    def parameters(self) -> List[np.ndarray]:
+        params: List[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def gradients(self) -> List[np.ndarray]:
+        grads: List[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend(layer.gradients())
+        return grads
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    @property
+    def n_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    # -- forward / backward ----------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # -- training ----------------------------------------------------------
+    def train_on_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Single optimization step on one mini-batch; returns the batch loss."""
+        self.zero_grad()
+        pred = self.forward(x, training=True)
+        loss_value = self.loss_fn.loss(pred, y)
+        grad = self.loss_fn.gradient(pred, y)
+        self.backward(grad)
+        self.optimizer.step()
+        return float(loss_value)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 32,
+        validation_data: Optional[tuple] = None,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        early_stopping_patience: Optional[int] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``(x, y)``.
+
+        ``early_stopping_patience`` stops training when the validation loss
+        (or the training loss if no validation data is given) has not
+        improved for that many consecutive epochs.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rng = rng or np.random.default_rng()
+        best_metric = np.inf
+        epochs_without_improvement = 0
+        for epoch in range(epochs):
+            batch_losses = []
+            for xb, yb in iterate_minibatches(x, y, batch_size, shuffle=shuffle, rng=rng):
+                batch_losses.append(self.train_on_batch(xb, yb))
+            epoch_loss = float(np.mean(batch_losses)) if batch_losses else float("nan")
+            self.history.loss.append(epoch_loss)
+            monitored = epoch_loss
+            if validation_data is not None:
+                val_x, val_y = validation_data
+                val_pred = self.forward(np.asarray(val_x, dtype=np.float64), training=False)
+                val_loss = self.loss_fn.loss(val_pred, np.asarray(val_y, dtype=np.float64))
+                self.history.val_loss.append(float(val_loss))
+                monitored = float(val_loss)
+            if verbose:  # pragma: no cover - logging only
+                print(f"epoch {epoch + 1}/{epochs} loss={epoch_loss:.4f}")
+            if early_stopping_patience is not None:
+                if monitored < best_metric - 1e-9:
+                    best_metric = monitored
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= early_stopping_patience:
+                        break
+        return self.history
+
+    # -- inference ----------------------------------------------------------
+    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Forward pass in inference mode, batched to bound memory."""
+        x = np.asarray(x, dtype=np.float64)
+        outputs = []
+        for start in range(0, len(x), batch_size):
+            outputs.append(self.forward(x[start : start + batch_size], training=False))
+        return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard predictions.
+
+        For a single-output (binary, sigmoid) head the ``threshold`` is
+        applied; for a multi-output head the argmax is taken.
+        """
+        proba = self.predict_proba(x)
+        if proba.ndim == 1 or proba.shape[1] == 1:
+            return (proba.reshape(-1) >= threshold).astype(int)
+        return proba.argmax(axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential([{inner}], n_parameters={self.n_parameters})"

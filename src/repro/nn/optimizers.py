@@ -1,0 +1,174 @@
+"""First-order optimizers for the numpy neural-network substrate.
+
+An optimizer is bound to a list of parameter arrays and the aligned list of
+gradient arrays (as returned by ``Sequential.parameters()`` /
+``Sequential.gradients()``) and updates the parameters *in place* on each
+``step()`` call.  Updating in place is what lets the layers keep referencing
+the same arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+
+class Optimizer:
+    """Base class holding references to parameters and their gradients."""
+
+    def __init__(self, learning_rate: float = 0.01, weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self._params: List[np.ndarray] = []
+        self._grads: List[np.ndarray] = []
+
+    def bind(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        """Attach the optimizer to model parameters; called by the model."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must be aligned lists")
+        self._params = params
+        self._grads = grads
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses to allocate per-parameter state."""
+
+    def _decayed(self, param: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            return grad + self.weight_decay * param
+        return grad
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for grad in self._grads:
+            grad[...] = 0.0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: List[np.ndarray] = []
+
+    def _on_bind(self) -> None:
+        self._velocity = [np.zeros_like(p) for p in self._params]
+
+    def step(self) -> None:
+        for param, grad, vel in zip(self._params, self._grads, self._velocity):
+            g = self._decayed(param, grad)
+            if self.momentum:
+                vel *= self.momentum
+                vel -= self.learning_rate * g
+                param += vel
+            else:
+                param -= self.learning_rate * g
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially decayed squared-gradient accumulator."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        decay: float = 0.9,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.decay = decay
+        self.eps = eps
+        self._cache: List[np.ndarray] = []
+
+    def _on_bind(self) -> None:
+        self._cache = [np.zeros_like(p) for p in self._params]
+
+    def step(self) -> None:
+        for param, grad, cache in zip(self._params, self._grads, self._cache):
+            g = self._decayed(param, grad)
+            cache *= self.decay
+            cache += (1.0 - self.decay) * g**2
+            param -= self.learning_rate * g / (np.sqrt(cache) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1/beta2 must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: List[np.ndarray] = []
+        self._v: List[np.ndarray] = []
+        self._t = 0
+
+    def _on_bind(self) -> None:
+        self._m = [np.zeros_like(p) for p in self._params]
+        self._v = [np.zeros_like(p) for p in self._params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, grad, m, v in zip(self._params, self._grads, self._m, self._v):
+            g = self._decayed(param, grad)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "rmsprop": RMSProp,
+    "adam": Adam,
+}
+
+
+def get_optimizer(
+    spec: Union[str, Optimizer], learning_rate: Optional[float] = None
+) -> Optimizer:
+    """Resolve an optimizer by name (optionally overriding the learning rate)."""
+    if isinstance(spec, Optimizer):
+        if learning_rate is not None:
+            spec.learning_rate = learning_rate
+        return spec
+    try:
+        cls = _OPTIMIZERS[spec]
+    except KeyError as exc:
+        known = ", ".join(sorted(_OPTIMIZERS))
+        raise ValueError(f"Unknown optimizer {spec!r}; known: {known}") from exc
+    if learning_rate is None:
+        return cls()
+    return cls(learning_rate=learning_rate)

@@ -1,0 +1,61 @@
+"""Weight serialization for :class:`repro.nn.model.Sequential`.
+
+Only the numerical parameters are stored (as an ``.npz`` archive); the
+architecture itself is code, so loading requires constructing an identically
+shaped model first.  This mirrors the common "state dict" pattern.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .model import Sequential
+
+
+def state_dict(model: Sequential) -> Dict[str, np.ndarray]:
+    """Return a copy of all parameters keyed by ``param_<index>``."""
+    return {f"param_{i}": p.copy() for i, p in enumerate(model.parameters())}
+
+
+def load_state_dict(model: Sequential, state: Dict[str, np.ndarray]) -> None:
+    """Copy parameters from ``state`` into ``model`` in place.
+
+    Raises ``ValueError`` on any count or shape mismatch so silently loading
+    weights into the wrong architecture is impossible.
+    """
+    params = model.parameters()
+    expected_keys = [f"param_{i}" for i in range(len(params))]
+    missing = [k for k in expected_keys if k not in state]
+    if missing:
+        raise ValueError(f"state dict is missing parameters: {missing}")
+    extra = [k for k in state if k not in expected_keys]
+    if extra:
+        raise ValueError(f"state dict has unexpected parameters: {extra}")
+    for key, param in zip(expected_keys, params):
+        value = np.asarray(state[key])
+        if value.shape != param.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: expected {param.shape}, got {value.shape}"
+            )
+        param[...] = value
+
+
+def save_weights(model: Sequential, path: Union[str, Path]) -> Path:
+    """Persist model parameters to ``path`` (``.npz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state_dict(model))
+    # ``np.savez`` appends .npz when absent; normalise the returned path.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_weights(model: Sequential, path: Union[str, Path]) -> None:
+    """Load parameters saved by :func:`save_weights` into ``model``."""
+    with np.load(Path(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    load_state_dict(model, state)

@@ -1,0 +1,57 @@
+"""Synthetic Trust-Hub-style RTL Trojan benchmark substrate.
+
+Generates parameterised Trojan-free host designs (crypto, UART, MCU, bus,
+DSP families), inserts Trojans (trigger + payload) into copies of them, and
+packages the resulting population as a labelled dataset with the imbalance
+characteristic of real hardware-security data.
+"""
+
+from .dataset import TrojanDataset
+from .hosts import HOST_FAMILIES, generate_host
+from .insertion import (
+    InsertionError,
+    InsertionResult,
+    TrojanSpec,
+    available_trojan_kinds,
+    insert_trojan,
+)
+from .instrumentation import INSTRUMENTATION_BUILDERS, add_benign_instrumentation
+from .payloads import PAYLOAD_BUILDERS, PayloadEffect, PayloadError, apply_payload
+from .suite import (
+    LABEL_NAMES,
+    TROJAN_FREE,
+    TROJAN_INFECTED,
+    Benchmark,
+    SuiteConfig,
+    build_suite,
+    suite_summary,
+)
+from .triggers import TRIGGER_BUILDERS, TriggerError, TriggerLogic, build_trigger
+
+__all__ = [
+    "Benchmark",
+    "HOST_FAMILIES",
+    "INSTRUMENTATION_BUILDERS",
+    "InsertionError",
+    "InsertionResult",
+    "LABEL_NAMES",
+    "PAYLOAD_BUILDERS",
+    "PayloadEffect",
+    "PayloadError",
+    "SuiteConfig",
+    "TROJAN_FREE",
+    "TROJAN_INFECTED",
+    "TRIGGER_BUILDERS",
+    "TriggerError",
+    "TriggerLogic",
+    "TrojanDataset",
+    "TrojanSpec",
+    "add_benign_instrumentation",
+    "apply_payload",
+    "available_trojan_kinds",
+    "build_suite",
+    "build_trigger",
+    "generate_host",
+    "insert_trojan",
+    "suite_summary",
+]

@@ -1,0 +1,99 @@
+"""Dataset container for RTL Trojan benchmarks.
+
+:class:`TrojanDataset` wraps a list of :class:`repro.trojan.suite.Benchmark`
+objects and provides the label array, stratified splitting and filtering
+operations the experiments need, without committing to any particular
+feature representation (the modalities are extracted later by
+:mod:`repro.features`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .suite import Benchmark, SuiteConfig, build_suite, suite_summary
+
+
+@dataclass
+class TrojanDataset:
+    """A labelled population of RTL designs."""
+
+    benchmarks: List[Benchmark]
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def generate(cls, config: Optional[SuiteConfig] = None) -> "TrojanDataset":
+        """Generate a synthetic Trust-Hub-style dataset (see ``SuiteConfig``)."""
+        return cls(benchmarks=build_suite(config))
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.benchmarks)
+
+    def __iter__(self) -> Iterator[Benchmark]:
+        return iter(self.benchmarks)
+
+    def __getitem__(self, index: int) -> Benchmark:
+        return self.benchmarks[index]
+
+    # -- views -------------------------------------------------------------
+    @property
+    def labels(self) -> np.ndarray:
+        """Ground-truth labels (0 = Trojan-free, 1 = Trojan-infected)."""
+        return np.asarray([b.label for b in self.benchmarks], dtype=int)
+
+    @property
+    def names(self) -> List[str]:
+        return [b.name for b in self.benchmarks]
+
+    @property
+    def sources(self) -> List[str]:
+        return [b.source for b in self.benchmarks]
+
+    def infected(self) -> "TrojanDataset":
+        return TrojanDataset([b for b in self.benchmarks if b.is_infected])
+
+    def clean(self) -> "TrojanDataset":
+        return TrojanDataset([b for b in self.benchmarks if not b.is_infected])
+
+    def by_family(self, family: str) -> "TrojanDataset":
+        return TrojanDataset([b for b in self.benchmarks if b.family == family])
+
+    def subset(self, indices: Sequence[int]) -> "TrojanDataset":
+        return TrojanDataset([self.benchmarks[i] for i in indices])
+
+    def summary(self) -> dict:
+        return suite_summary(self.benchmarks)
+
+    # -- splitting -----------------------------------------------------------
+    def stratified_split(
+        self, test_fraction: float = 0.25, rng: Optional[np.random.Generator] = None
+    ) -> Tuple["TrojanDataset", "TrojanDataset"]:
+        """Split into train/test datasets preserving the class imbalance."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = rng or np.random.default_rng()
+        labels = self.labels
+        train_idx: List[int] = []
+        test_idx: List[int] = []
+        for label in np.unique(labels):
+            members = np.flatnonzero(labels == label)
+            rng.shuffle(members)
+            n_test = max(1, int(round(len(members) * test_fraction)))
+            if n_test >= len(members):
+                n_test = max(len(members) - 1, 0)
+            test_idx.extend(int(i) for i in members[:n_test])
+            train_idx.extend(int(i) for i in members[n_test:])
+        return self.subset(sorted(train_idx)), self.subset(sorted(test_idx))
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """``n_trojan_free / n_trojan_infected`` (inf when no infected samples)."""
+        n_infected = int(self.labels.sum())
+        n_clean = len(self) - n_infected
+        if n_infected == 0:
+            return float("inf")
+        return n_clean / n_infected

@@ -1,0 +1,522 @@
+"""Synthetic host-design generators.
+
+Trust-Hub RTL Trojan benchmarks insert Trojans into a handful of host design
+families (AES cores, the RS232/UART core, the PIC micro-controller, the
+wb_conmax bus matrix, ...).  The generators below synthesise parameterised
+Verilog designs of the same flavours so that the whole pipeline — parse,
+extract both modalities, train, fuse — runs on a realistic population of
+Trojan-free circuits without redistributing the licensed benchmarks.
+
+Every generator takes a ``numpy`` random generator and draws widths, state
+counts and constants from it, so repeated calls produce *different but
+structurally related* designs, mimicking the variation across Trust-Hub
+design versions.  All emitted code stays inside the Verilog subset accepted
+by :mod:`repro.hdl.parser` (no memories, no generate blocks, no tasks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+
+def _hex(value: int, width_bits: int) -> str:
+    """A sized hex literal, e.g. ``8'h3c``."""
+    return f"{width_bits}'h{value & ((1 << width_bits) - 1):x}"
+
+
+def generate_crypto_core(rng: np.random.Generator, name: str = "crypto_core") -> str:
+    """An AES-flavoured round-based cipher core.
+
+    Structure: state/key registers, a byte substitution implemented as a
+    case statement (S-box slice), a round counter, and a diffusion step built
+    from XOR/rotate expressions.
+    """
+    width = int(rng.choice([16, 32, 64]))
+    rounds = int(rng.integers(6, 14))
+    sbox_bits = 4
+    sbox = rng.permutation(1 << sbox_bits)
+    round_const = int(rng.integers(1, 1 << sbox_bits))
+    rot = int(rng.integers(1, max(2, width // 4)))
+
+    sbox_cases = "\n".join(
+        f"        {_hex(i, sbox_bits)}: sbox_out = {_hex(int(v), sbox_bits)};"
+        for i, v in enumerate(sbox)
+    )
+    weak_key = int(rng.integers(1, (1 << min(width, 30)) - 1))
+    return f"""
+// Synthetic AES-style round cipher (host family: crypto)
+module {name} (clk, rst, load, key_in, data_in, busy, weak_key, data_out);
+  input clk;
+  input rst;
+  input load;
+  input [{width - 1}:0] key_in;
+  input [{width - 1}:0] data_in;
+  output busy;
+  output weak_key;
+  output [{width - 1}:0] data_out;
+
+  reg [{width - 1}:0] state_reg;
+  reg [{width - 1}:0] key_reg;
+  reg [4:0] round_cnt;
+  reg running;
+  reg [{sbox_bits - 1}:0] sbox_out;
+  wire [{sbox_bits - 1}:0] sbox_in;
+  wire [{width - 1}:0] mixed;
+  wire [{width - 1}:0] key_mixed;
+  wire round_done;
+
+  assign sbox_in = state_reg[{sbox_bits - 1}:0];
+  assign mixed = {{state_reg[{width - 1 - rot}:0], state_reg[{width - 1}:{width - rot}]}} ^ key_reg;
+  assign key_mixed = {{key_reg[0], key_reg[{width - 1}:1]}} ^ {{{width - sbox_bits}'d0, sbox_out}};
+  assign round_done = round_cnt == 5'd{rounds};
+  assign busy = running;
+  // Benign key-quality check: compares the full key against a known weak key.
+  assign weak_key = (key_in == {_hex(weak_key, width)}) || (key_in == {width}'d0);
+  assign data_out = running ? {width}'d0 : state_reg;
+
+  always @(*)
+    begin
+      case (sbox_in)
+{sbox_cases}
+        default: sbox_out = {_hex(round_const, sbox_bits)};
+      endcase
+    end
+
+  always @(posedge clk or posedge rst)
+    begin
+      if (rst)
+        begin
+          state_reg <= {width}'d0;
+          key_reg <= {width}'d0;
+          round_cnt <= 5'd0;
+          running <= 1'b0;
+        end
+      else
+        begin
+          if (load)
+            begin
+              state_reg <= data_in;
+              key_reg <= key_in;
+              round_cnt <= 5'd0;
+              running <= 1'b1;
+            end
+          else
+            begin
+              if (running)
+                begin
+                  state_reg <= mixed ^ {{{width - sbox_bits}'d0, sbox_out}};
+                  key_reg <= key_mixed;
+                  round_cnt <= round_cnt + 5'd1;
+                  if (round_done)
+                    running <= 1'b0;
+                end
+            end
+        end
+    end
+endmodule
+"""
+
+
+def generate_uart(rng: np.random.Generator, name: str = "uart_core") -> str:
+    """An RS232-flavoured UART transmitter/receiver with a baud generator."""
+    data_bits = int(rng.choice([7, 8, 9]))
+    divider = int(rng.integers(20, 200))
+    div_bits = max(4, int(np.ceil(np.log2(divider + 1))))
+    idle, start, shift, stop = 0, 1, 2, 3
+    sync_byte = int(rng.integers(1, (1 << data_bits) - 1))
+
+    return f"""
+// Synthetic RS232-style UART core (host family: uart)
+module {name} (clk, rst, tx_start, tx_data, rx, tx, tx_busy, rx_data, rx_valid, sync_seen);
+  input clk;
+  input rst;
+  input tx_start;
+  input [{data_bits - 1}:0] tx_data;
+  input rx;
+  output tx;
+  output tx_busy;
+  output [{data_bits - 1}:0] rx_data;
+  output rx_valid;
+  output sync_seen;
+
+  reg [{div_bits - 1}:0] baud_cnt;
+  wire baud_tick;
+  reg [1:0] tx_state;
+  reg [{data_bits - 1}:0] tx_shift;
+  reg [3:0] tx_bit_cnt;
+  reg tx_out;
+  reg [1:0] rx_state;
+  reg [{data_bits - 1}:0] rx_shift;
+  reg [3:0] rx_bit_cnt;
+  reg rx_done;
+
+  assign baud_tick = baud_cnt == {div_bits}'d{divider};
+  assign tx = tx_busy ? tx_out : 1'b1;
+  assign tx_busy = tx_state != 2'd{idle};
+  assign rx_data = rx_shift;
+  assign rx_valid = rx_done;
+  // Benign framing helper: flags reception of the protocol sync byte.
+  assign sync_seen = rx_done && (rx_shift == {_hex(sync_byte, data_bits)});
+
+  always @(posedge clk or posedge rst)
+    begin
+      if (rst)
+        baud_cnt <= {div_bits}'d0;
+      else
+        begin
+          if (baud_tick)
+            baud_cnt <= {div_bits}'d0;
+          else
+            baud_cnt <= baud_cnt + {div_bits}'d1;
+        end
+    end
+
+  always @(posedge clk or posedge rst)
+    begin
+      if (rst)
+        begin
+          tx_state <= 2'd{idle};
+          tx_shift <= {data_bits}'d0;
+          tx_bit_cnt <= 4'd0;
+          tx_out <= 1'b1;
+        end
+      else
+        begin
+          case (tx_state)
+            2'd{idle}:
+              begin
+                tx_out <= 1'b1;
+                if (tx_start)
+                  begin
+                    tx_shift <= tx_data;
+                    tx_bit_cnt <= 4'd0;
+                    tx_state <= 2'd{start};
+                  end
+              end
+            2'd{start}:
+              begin
+                if (baud_tick)
+                  begin
+                    tx_out <= 1'b0;
+                    tx_state <= 2'd{shift};
+                  end
+              end
+            2'd{shift}:
+              begin
+                if (baud_tick)
+                  begin
+                    tx_out <= tx_shift[0];
+                    tx_shift <= {{1'b0, tx_shift[{data_bits - 1}:1]}};
+                    tx_bit_cnt <= tx_bit_cnt + 4'd1;
+                    if (tx_bit_cnt == 4'd{data_bits - 1})
+                      tx_state <= 2'd{stop};
+                  end
+              end
+            default:
+              begin
+                if (baud_tick)
+                  begin
+                    tx_out <= 1'b1;
+                    tx_state <= 2'd{idle};
+                  end
+              end
+          endcase
+        end
+    end
+
+  always @(posedge clk or posedge rst)
+    begin
+      if (rst)
+        begin
+          rx_state <= 2'd{idle};
+          rx_shift <= {data_bits}'d0;
+          rx_bit_cnt <= 4'd0;
+          rx_done <= 1'b0;
+        end
+      else
+        begin
+          rx_done <= 1'b0;
+          case (rx_state)
+            2'd{idle}:
+              begin
+                if (!rx)
+                  rx_state <= 2'd{start};
+              end
+            2'd{start}:
+              begin
+                if (baud_tick)
+                  begin
+                    rx_bit_cnt <= 4'd0;
+                    rx_state <= 2'd{shift};
+                  end
+              end
+            2'd{shift}:
+              begin
+                if (baud_tick)
+                  begin
+                    rx_shift <= {{rx, rx_shift[{data_bits - 1}:1]}};
+                    rx_bit_cnt <= rx_bit_cnt + 4'd1;
+                    if (rx_bit_cnt == 4'd{data_bits - 1})
+                      rx_state <= 2'd{stop};
+                  end
+              end
+            default:
+              begin
+                if (baud_tick)
+                  begin
+                    rx_done <= 1'b1;
+                    rx_state <= 2'd{idle};
+                  end
+              end
+          endcase
+        end
+    end
+endmodule
+"""
+
+
+def generate_micro_controller(rng: np.random.Generator, name: str = "mcu_core") -> str:
+    """A PIC-flavoured accumulator machine: fetch register, opcode decode,
+    tiny ALU, program counter and a status flag."""
+    data_width = int(rng.choice([8, 16]))
+    pc_width = int(rng.choice([8, 10, 12]))
+    opcodes = ["ADD", "SUB", "AND", "OR", "XOR", "LOAD", "STORE", "JMP"]
+    n_ops = int(rng.integers(5, len(opcodes) + 1))
+
+    alu_cases: List[str] = []
+    for code in range(n_ops):
+        op = opcodes[code]
+        if op == "ADD":
+            expr = "acc + operand"
+        elif op == "SUB":
+            expr = "acc - operand"
+        elif op == "AND":
+            expr = "acc & operand"
+        elif op == "OR":
+            expr = "acc | operand"
+        elif op == "XOR":
+            expr = "acc ^ operand"
+        elif op == "LOAD":
+            expr = "operand"
+        elif op == "STORE":
+            expr = "acc"
+        else:
+            expr = "acc"
+        alu_cases.append(f"        4'd{code}: alu_out = {expr};")
+    alu_body = "\n".join(alu_cases)
+
+    halt_code = int(rng.integers(1, (1 << (data_width + 4)) - 1))
+    return f"""
+// Synthetic PIC-style accumulator micro-controller (host family: mcu)
+module {name} (clk, rst, instr, mem_data, pc_out, acc_out, mem_write, status_z, halted);
+  input clk;
+  input rst;
+  input [{data_width + 3}:0] instr;
+  input [{data_width - 1}:0] mem_data;
+  output [{pc_width - 1}:0] pc_out;
+  output [{data_width - 1}:0] acc_out;
+  output mem_write;
+  output status_z;
+  output halted;
+
+  reg [{pc_width - 1}:0] pc;
+  reg [{data_width - 1}:0] acc;
+  reg zero_flag;
+  reg [{data_width - 1}:0] alu_out;
+  wire [3:0] opcode;
+  wire [{data_width - 1}:0] operand;
+  wire is_jump;
+  wire is_store;
+
+  assign opcode = instr[{data_width + 3}:{data_width}];
+  assign operand = instr[{data_width - 1}:0];
+  assign is_jump = opcode == 4'd7;
+  assign is_store = opcode == 4'd6;
+  assign pc_out = pc;
+  assign acc_out = is_store ? mem_data : acc;
+  assign mem_write = is_store;
+  assign status_z = zero_flag;
+  // Benign architectural feature: the documented HALT encoding stops the core.
+  assign halted = instr == {_hex(halt_code, data_width + 4)};
+
+  always @(*)
+    begin
+      case (opcode)
+{alu_body}
+        default: alu_out = mem_data;
+      endcase
+    end
+
+  always @(posedge clk or posedge rst)
+    begin
+      if (rst)
+        begin
+          pc <= {pc_width}'d0;
+          acc <= {data_width}'d0;
+          zero_flag <= 1'b0;
+        end
+      else
+        begin
+          if (is_jump)
+            pc <= operand[{pc_width - 1}:0];
+          else
+            pc <= pc + {pc_width}'d1;
+          if (!is_store)
+            acc <= alu_out;
+          zero_flag <= alu_out == {data_width}'d0;
+        end
+    end
+endmodule
+"""
+
+
+def generate_bus_arbiter(rng: np.random.Generator, name: str = "bus_bridge") -> str:
+    """A wb_conmax-flavoured bus bridge: priority arbitration over N masters,
+    address window decoding and data muxing."""
+    n_masters = int(rng.integers(2, 5))
+    addr_width = int(rng.choice([8, 12, 16]))
+    data_width = int(rng.choice([8, 16, 32]))
+    window = int(rng.integers(1, 1 << 3))
+
+    master_inputs = "\n".join(
+        f"  input [{data_width - 1}:0] m{i}_data;\n  input m{i}_req;" for i in range(n_masters)
+    )
+    grant_chain = []
+    for i in range(n_masters):
+        conditions = " && ".join([f"!m{j}_req" for j in range(i)] + [f"m{i}_req"])
+        grant_chain.append(
+            f"  assign grant[{i}] = {conditions};" if i else f"  assign grant[0] = m0_req;"
+        )
+    grants = "\n".join(grant_chain)
+    mux_terms = " | ".join(
+        f"({{{data_width}{{grant[{i}]}}}} & m{i}_data)" for i in range(n_masters)
+    )
+
+    return f"""
+// Synthetic wb_conmax-style bus bridge (host family: bus)
+module {name} (clk, rst, addr, {', '.join(f'm{i}_data, m{i}_req' for i in range(n_masters))}, sel_out, bus_data, bus_valid, err);
+  input clk;
+  input rst;
+  input [{addr_width - 1}:0] addr;
+{master_inputs}
+  output [{n_masters - 1}:0] sel_out;
+  output [{data_width - 1}:0] bus_data;
+  output bus_valid;
+  output err;
+
+  wire [{n_masters - 1}:0] grant;
+  reg [{n_masters - 1}:0] grant_reg;
+  reg [{data_width - 1}:0] data_reg;
+  reg valid_reg;
+  wire window_hit;
+  wire any_req;
+
+{grants}
+  assign any_req = {' || '.join(f'm{i}_req' for i in range(n_masters))};
+  assign window_hit = addr[{addr_width - 1}:{addr_width - 3}] == 3'd{window & 7};
+  assign sel_out = grant_reg;
+  assign bus_data = valid_reg ? data_reg : {data_width}'d0;
+  assign bus_valid = valid_reg;
+  // Benign protection: the boot ROM window and the null address always fault.
+  assign err = (any_req && !window_hit) || (addr == {_hex((1 << addr_width) - 1, addr_width)});
+
+  always @(posedge clk or posedge rst)
+    begin
+      if (rst)
+        begin
+          grant_reg <= {n_masters}'d0;
+          data_reg <= {data_width}'d0;
+          valid_reg <= 1'b0;
+        end
+      else
+        begin
+          grant_reg <= grant;
+          valid_reg <= any_req && window_hit;
+          data_reg <= {mux_terms};
+        end
+    end
+endmodule
+"""
+
+
+def generate_dsp_filter(rng: np.random.Generator, name: str = "fir_filter") -> str:
+    """A FIR-flavoured DSP pipeline: tap shift registers, constant
+    coefficients and an accumulating adder tree."""
+    n_taps = int(rng.integers(3, 7))
+    width = int(rng.choice([8, 12, 16]))
+    acc_width = width + 4
+    coeffs = [int(rng.integers(1, 1 << (width // 2))) for _ in range(n_taps)]
+
+    tap_decls = "\n".join(f"  reg [{width - 1}:0] tap{i};" for i in range(n_taps))
+    tap_shift = "\n".join(
+        f"          tap{i} <= tap{i - 1};" if i else "          tap0 <= sample_in;"
+        for i in range(n_taps)
+    )
+    tap_reset = "\n".join(f"          tap{i} <= {width}'d0;" for i in range(n_taps))
+    products = " + ".join(
+        f"(tap{i} * {_hex(coeffs[i], width)})" for i in range(n_taps)
+    )
+
+    return f"""
+// Synthetic FIR-style DSP filter (host family: dsp)
+module {name} (clk, rst, sample_valid, sample_in, filtered, overflow);
+  input clk;
+  input rst;
+  input sample_valid;
+  input [{width - 1}:0] sample_in;
+  output [{acc_width - 1}:0] filtered;
+  output overflow;
+
+{tap_decls}
+  reg [{acc_width - 1}:0] acc;
+  wire [{acc_width - 1}:0] sum;
+  wire saturate;
+
+  assign sum = {products};
+  // Benign saturation: clamp the accumulator output instead of wrapping.
+  assign saturate = acc > {_hex((1 << (acc_width - 1)) - 1, acc_width)};
+  assign filtered = saturate ? {_hex((1 << (acc_width - 1)) - 1, acc_width)} : acc;
+  assign overflow = acc[{acc_width - 1}];
+
+  always @(posedge clk or posedge rst)
+    begin
+      if (rst)
+        begin
+{tap_reset}
+          acc <= {acc_width}'d0;
+        end
+      else
+        begin
+          if (sample_valid)
+            begin
+{tap_shift}
+              acc <= sum;
+            end
+        end
+    end
+endmodule
+"""
+
+
+#: Host family registry used by the benchmark suite builder.
+HOST_FAMILIES: Dict[str, Callable[[np.random.Generator, str], str]] = {
+    "crypto": generate_crypto_core,
+    "uart": generate_uart,
+    "mcu": generate_micro_controller,
+    "bus": generate_bus_arbiter,
+    "dsp": generate_dsp_filter,
+}
+
+
+def generate_host(
+    family: str, rng: np.random.Generator, name: str = "host"
+) -> str:
+    """Generate one host design of the requested family."""
+    try:
+        generator = HOST_FAMILIES[family]
+    except KeyError as exc:
+        known = ", ".join(sorted(HOST_FAMILIES))
+        raise ValueError(f"Unknown host family {family!r}; known: {known}") from exc
+    return generator(rng, name)

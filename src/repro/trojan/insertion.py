@@ -1,0 +1,125 @@
+"""Trojan insertion engine.
+
+Given a Trojan-free host design (Verilog source), :func:`insert_trojan`
+parses it, splices in a trigger (:mod:`repro.trojan.triggers`), applies a
+payload (:mod:`repro.trojan.payloads`) and re-emits Verilog source.  The
+result is a Trojan-infected variant of the host that the downstream feature
+extractors treat exactly like any other design — there is no side channel
+telling the detector where the Trojan is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..hdl import ast_nodes as ast
+from ..hdl.emitter import emit_module
+from ..hdl.parser import parse_module
+from .payloads import PAYLOAD_BUILDERS, PayloadEffect, PayloadError, apply_payload
+from .triggers import TRIGGER_BUILDERS, TriggerError, TriggerLogic, build_trigger
+
+
+@dataclass
+class TrojanSpec:
+    """What was inserted: trigger and payload kinds plus their descriptions."""
+
+    trigger_kind: str
+    payload_kind: str
+    trigger_description: str
+    payload_description: str
+    payload_target: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.trigger_kind}+{self.payload_kind}"
+
+
+@dataclass
+class InsertionResult:
+    """The infected source plus a record of what was inserted."""
+
+    source: str
+    spec: TrojanSpec
+    module_name: str
+
+
+class InsertionError(ValueError):
+    """Raised when no trigger/payload combination fits the host design."""
+
+
+def _insertion_point(module: ast.Module) -> int:
+    """Index in ``module.items`` after the last declaration.
+
+    Trojan declarations are placed with the host's own declarations and the
+    Trojan logic after them, so the infected source keeps the conventional
+    declarations-then-logic layout and offers no positional give-away.
+    """
+    last_decl = 0
+    for i, item in enumerate(module.items):
+        if isinstance(
+            item, (ast.PortDeclaration, ast.NetDeclaration, ast.ParameterDeclaration)
+        ):
+            last_decl = i + 1
+    return last_decl
+
+
+def _splice(module: ast.Module, trigger: TriggerLogic) -> None:
+    insert_at = _insertion_point(module)
+    module.items[insert_at:insert_at] = trigger.declarations
+    module.items.extend(trigger.logic)
+
+
+def insert_trojan(
+    source: str,
+    rng: np.random.Generator,
+    trigger_kind: Optional[str] = None,
+    payload_kind: Optional[str] = None,
+    module_name: Optional[str] = None,
+) -> InsertionResult:
+    """Insert a Trojan into ``source`` and return the infected design.
+
+    When ``trigger_kind``/``payload_kind`` are omitted a random viable
+    combination is chosen.  Raises :class:`InsertionError` when no
+    combination applies (which for the built-in host families never
+    happens, but matters for user-supplied designs).
+    """
+    trigger_kinds = [trigger_kind] if trigger_kind else list(TRIGGER_BUILDERS)
+    payload_kinds = [payload_kind] if payload_kind else list(PAYLOAD_BUILDERS)
+    # Shuffle so the random choice is uniform over viable combinations.
+    trigger_kinds = list(rng.permutation(trigger_kinds))
+    payload_kinds = list(rng.permutation(payload_kinds))
+
+    errors: List[str] = []
+    for t_kind in trigger_kinds:
+        for p_kind in payload_kinds:
+            module = parse_module(source, module_name)
+            try:
+                trigger = build_trigger(t_kind, module, rng)
+                effect = apply_payload(p_kind, module, trigger.trigger_wire, rng)
+            except (TriggerError, PayloadError) as exc:
+                errors.append(f"{t_kind}+{p_kind}: {exc}")
+                continue
+            _splice(module, trigger)
+            spec = TrojanSpec(
+                trigger_kind=t_kind,
+                payload_kind=p_kind,
+                trigger_description=trigger.description,
+                payload_description=effect.description,
+                payload_target=effect.target,
+            )
+            return InsertionResult(
+                source=emit_module(module) + "\n",
+                spec=spec,
+                module_name=module.name,
+            )
+    raise InsertionError(
+        "No viable trigger/payload combination for this design: " + "; ".join(errors)
+    )
+
+
+def available_trojan_kinds() -> Tuple[List[str], List[str]]:
+    """``(trigger_kinds, payload_kinds)`` supported by the insertion engine."""
+    return sorted(TRIGGER_BUILDERS), sorted(PAYLOAD_BUILDERS)

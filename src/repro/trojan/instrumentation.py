@@ -1,0 +1,169 @@
+"""Benign instrumentation generator.
+
+Real RTL designs are full of logic that *structurally* resembles Trojan
+triggers: watchdog timers counting to large constants, debug event counters,
+magic-number status decoders.  A detector that merely flags "counter
+compared against a wide constant" drowns in false positives on such designs.
+
+To keep the synthetic benchmark honest, the suite builder sprinkles this
+benign instrumentation over Trojan-free *and* Trojan-infected designs alike,
+so the learned models must separate malicious payload wiring from ordinary
+housekeeping logic rather than keying on the mere presence of a counter.
+
+Unlike a Trojan payload, instrumentation never rewires existing outputs — it
+only adds new, documented status outputs, which is exactly how legitimate
+designers add debug visibility.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..hdl import ast_nodes as ast
+from ..hdl.emitter import emit_module
+from ..hdl.parser import parse_module
+from . import primitives as p
+
+
+def _add_output_port(module: ast.Module, name: str, width: int = 1) -> None:
+    """Declare and expose a new output port on the module."""
+    rng = p.bit_range(width - 1) if width > 1 else None
+    module.ports.append(name)
+    declaration = ast.PortDeclaration(direction="output", names=[name], range=rng)
+    insert_at = 0
+    for i, item in enumerate(module.items):
+        if isinstance(item, ast.PortDeclaration):
+            insert_at = i + 1
+    module.items.insert(insert_at, declaration)
+
+
+def add_watchdog_timer(module: ast.Module, rng: np.random.Generator) -> bool:
+    """A timeout counter that raises a status output at a large count."""
+    clock = p.find_clock(module)
+    if clock is None:
+        return False
+    reset = p.find_reset(module)
+    width = int(rng.integers(10, 20))
+    timeout = int(rng.integers(1 << (width - 2), (1 << width) - 1))
+    counter = p.fresh_name(module, "wd_counter")
+    flag = p.fresh_name(module, "wd_timeout")
+
+    increment = p.nonblocking(p.ident(counter), p.binop("+", p.ident(counter), p.num(1, width)))
+    if reset is not None:
+        body = p.block(
+            [
+                p.if_stmt(
+                    p.ident(reset),
+                    p.block([p.nonblocking(p.ident(counter), p.num(0, width))]),
+                    p.block([increment]),
+                )
+            ]
+        )
+        always = p.clocked_always(body, clock=clock, reset=reset)
+    else:
+        always = p.clocked_always(p.block([increment]), clock=clock)
+
+    _add_output_port(module, flag)
+    module.items.append(p.reg_decl(counter, width))
+    module.items.append(always)
+    module.items.append(
+        p.assign(p.ident(flag), p.eq(p.ident(counter), p.num(timeout, width, base="h")))
+    )
+    return True
+
+
+def add_event_counter(module: ast.Module, rng: np.random.Generator) -> bool:
+    """A performance/debug counter gated by an existing 1-bit signal."""
+    clock = p.find_clock(module)
+    if clock is None:
+        return False
+    reset = p.find_reset(module)
+    narrow_inputs = [name for name, width in p.input_ports(module) if width == 1]
+    skip = {clock, reset}
+    candidates = [name for name in narrow_inputs if name not in skip]
+    if not candidates:
+        return False
+    gate = candidates[int(rng.integers(0, len(candidates)))]
+    width = int(rng.integers(8, 16))
+    counter = p.fresh_name(module, "evt_count")
+    out = p.fresh_name(module, "evt_snapshot")
+
+    increment = p.if_stmt(
+        p.ident(gate),
+        p.block(
+            [p.nonblocking(p.ident(counter), p.binop("+", p.ident(counter), p.num(1, width)))]
+        ),
+    )
+    if reset is not None:
+        body = p.block(
+            [
+                p.if_stmt(
+                    p.ident(reset),
+                    p.block([p.nonblocking(p.ident(counter), p.num(0, width))]),
+                    p.block([increment]),
+                )
+            ]
+        )
+        always = p.clocked_always(body, clock=clock, reset=reset)
+    else:
+        always = p.clocked_always(p.block([increment]), clock=clock)
+
+    _add_output_port(module, out, width)
+    module.items.append(p.reg_decl(counter, width))
+    module.items.append(always)
+    module.items.append(p.assign(p.ident(out), p.ident(counter)))
+    return True
+
+
+def add_status_decoder(module: ast.Module, rng: np.random.Generator) -> bool:
+    """A magic-value decoder on a data input driving a benign status output."""
+    candidates = p.data_inputs(module, min_width=4)
+    if not candidates:
+        return False
+    name, width = candidates[int(rng.integers(0, len(candidates)))]
+    magic = int(rng.integers(1, (1 << min(width, 30)) - 1))
+    alt = int(rng.integers(1, (1 << min(width, 30)) - 1))
+    flag = p.fresh_name(module, "dbg_match")
+
+    condition = p.binop(
+        "||",
+        p.eq(p.ident(name), p.num(magic, width, base="h")),
+        p.eq(p.ident(name), p.num(alt, width, base="h")),
+    )
+    _add_output_port(module, flag)
+    module.items.append(p.assign(p.ident(flag), condition))
+    return True
+
+
+INSTRUMENTATION_BUILDERS: Dict[str, Callable[[ast.Module, np.random.Generator], bool]] = {
+    "watchdog": add_watchdog_timer,
+    "event_counter": add_event_counter,
+    "status_decoder": add_status_decoder,
+}
+
+
+def add_benign_instrumentation(
+    source: str,
+    rng: np.random.Generator,
+    max_features: int = 2,
+) -> str:
+    """Add up to ``max_features`` random benign instrumentation blocks.
+
+    Returns the re-emitted source; the design's label is unchanged (the
+    instrumentation is not a Trojan — it only adds new status outputs).
+    """
+    if max_features <= 0:
+        return source
+    module = parse_module(source)
+    kinds: List[str] = list(rng.permutation(sorted(INSTRUMENTATION_BUILDERS)))
+    added = 0
+    for kind in kinds:
+        if added >= max_features:
+            break
+        if INSTRUMENTATION_BUILDERS[kind](module, rng):
+            added += 1
+    if added == 0:
+        return source
+    return emit_module(module) + "\n"

@@ -1,0 +1,177 @@
+"""Trojan payload application.
+
+A payload is the malicious effect a Trojan has once its trigger fires.  Each
+payload builder *mutates the host module's AST in place*, guarded by the
+trigger wire produced in :mod:`repro.trojan.triggers`, and returns a
+:class:`PayloadEffect` describing the modification.  The three families
+mirror the dominant payload styles of the Trust-Hub RTL benchmarks:
+
+* ``leak``    -- information leakage: an internal (secret-carrying) register
+  is multiplexed onto an existing output when the trigger fires.
+* ``corrupt`` -- functional corruption: a state-holding register update is
+  bit-flipped when the trigger fires.
+* ``dos``     -- denial of service: an output or state register is forced to
+  zero when the trigger fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..hdl import ast_nodes as ast
+from . import primitives as p
+
+
+@dataclass
+class PayloadEffect:
+    """Description of the applied payload (for dataset metadata)."""
+
+    kind: str
+    target: str
+    description: str = ""
+
+
+class PayloadError(ValueError):
+    """Raised when a payload cannot be applied to the given host module."""
+
+
+def _target_name(node: ast.Node) -> str:
+    base = node
+    while isinstance(base, (ast.BitSelect, ast.PartSelect)):
+        base = base.base
+    if isinstance(base, ast.Identifier):
+        return base.name
+    return "<expr>"
+
+
+def _internal_registers(module: ast.Module) -> List[str]:
+    """Multi-bit internal ``reg`` signals, the usual leak sources (keys,
+    state registers, shift registers)."""
+    names: List[str] = []
+    for decl in module.net_declarations():
+        if decl.net_type == "reg" and decl.width() >= 4:
+            names.extend(decl.names)
+    return names
+
+
+def _choose_output_assign(
+    module: ast.Module, rng: np.random.Generator
+) -> Optional[ast.ContinuousAssign]:
+    assigns = p.output_continuous_assigns(module)
+    if not assigns:
+        return None
+    return assigns[int(rng.integers(0, len(assigns)))]
+
+
+def _choose_nonblocking(
+    module: ast.Module, rng: np.random.Generator
+) -> Optional[ast.NonBlockingAssign]:
+    assigns = p.nonblocking_assigns(module)
+    # Prefer multi-bit targets so the corruption is meaningful.
+    wide = [a for a in assigns if p.signal_width(module, _target_name(a.target)) >= 2]
+    pool = wide or assigns
+    if not pool:
+        return None
+    return pool[int(rng.integers(0, len(pool)))]
+
+
+def apply_leak_payload(
+    module: ast.Module, trigger_wire: str, rng: np.random.Generator
+) -> PayloadEffect:
+    """Leak an internal register through an existing output when triggered."""
+    assign = _choose_output_assign(module, rng)
+    if assign is None:
+        raise PayloadError("leak payload needs a continuous assign driving an output")
+    secrets = _internal_registers(module)
+    if not secrets:
+        raise PayloadError("leak payload needs an internal multi-bit register to leak")
+    secret = secrets[int(rng.integers(0, len(secrets)))]
+    target = _target_name(assign.target)
+    target_width = p.signal_width(module, target)
+    secret_width = p.signal_width(module, secret)
+    leak_expr: ast.Node = p.ident(secret)
+    if secret_width > target_width and target_width >= 1:
+        leak_expr = ast.PartSelect(
+            base=p.ident(secret), msb=p.num(target_width - 1), lsb=p.num(0)
+        )
+    original = assign.value
+    assign.value = p.ternary(
+        p.ident(trigger_wire), p.binop("^", original, leak_expr), original
+    )
+    return PayloadEffect(
+        kind="leak",
+        target=target,
+        description=f"leaks register {secret} onto output {target} when triggered",
+    )
+
+
+def apply_corrupt_payload(
+    module: ast.Module, trigger_wire: str, rng: np.random.Generator
+) -> PayloadEffect:
+    """Flip the bits of a register update when triggered."""
+    assign = _choose_nonblocking(module, rng)
+    if assign is None:
+        raise PayloadError("corrupt payload needs a non-blocking assignment to subvert")
+    target = _target_name(assign.target)
+    original = assign.value
+    assign.value = p.ternary(
+        p.ident(trigger_wire), ast.UnaryOp(op="~", operand=original), original
+    )
+    return PayloadEffect(
+        kind="corrupt",
+        target=target,
+        description=f"inverts the update of register {target} when triggered",
+    )
+
+
+def apply_dos_payload(
+    module: ast.Module, trigger_wire: str, rng: np.random.Generator
+) -> PayloadEffect:
+    """Force an output (or register update) to zero when triggered."""
+    assign = _choose_output_assign(module, rng)
+    if assign is not None:
+        target = _target_name(assign.target)
+        width = p.signal_width(module, target)
+        original = assign.value
+        assign.value = p.ternary(p.ident(trigger_wire), p.num(0, width), original)
+        return PayloadEffect(
+            kind="dos",
+            target=target,
+            description=f"forces output {target} to zero when triggered",
+        )
+    nb = _choose_nonblocking(module, rng)
+    if nb is None:
+        raise PayloadError("dos payload needs an output assign or register update")
+    target = _target_name(nb.target)
+    width = p.signal_width(module, target)
+    original = nb.value
+    nb.value = p.ternary(p.ident(trigger_wire), p.num(0, width), original)
+    return PayloadEffect(
+        kind="dos",
+        target=target,
+        description=f"freezes register {target} at zero when triggered",
+    )
+
+
+PAYLOAD_BUILDERS: Dict[
+    str, Callable[[ast.Module, str, np.random.Generator], PayloadEffect]
+] = {
+    "leak": apply_leak_payload,
+    "corrupt": apply_corrupt_payload,
+    "dos": apply_dos_payload,
+}
+
+
+def apply_payload(
+    kind: str, module: ast.Module, trigger_wire: str, rng: np.random.Generator
+) -> PayloadEffect:
+    """Apply a payload of the requested kind, guarded by ``trigger_wire``."""
+    try:
+        builder = PAYLOAD_BUILDERS[kind]
+    except KeyError as exc:
+        known = ", ".join(sorted(PAYLOAD_BUILDERS))
+        raise ValueError(f"Unknown payload kind {kind!r}; known: {known}") from exc
+    return builder(module, trigger_wire, rng)

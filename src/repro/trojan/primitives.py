@@ -1,0 +1,228 @@
+"""AST-building primitives and module-inspection helpers.
+
+The Trojan insertion engine (and a few host generators) build Verilog AST
+fragments programmatically.  These helpers keep that code compact and
+readable: ``ident("clk")`` instead of ``ast.Identifier(name="clk")`` and so
+on.  The inspection helpers answer the questions an attacker inserting a
+Trojan would ask about a host design: where is the clock, which inputs are
+wide enough to hide a comparator trigger on, which assignments drive outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..hdl import ast_nodes as ast
+from ..hdl.visitor import collect, walk
+
+
+# ---------------------------------------------------------------------------
+# Expression / statement builders
+# ---------------------------------------------------------------------------
+
+
+def ident(name: str) -> ast.Identifier:
+    """An identifier reference."""
+    return ast.Identifier(name=name)
+
+
+def num(value: int, width: Optional[int] = None, base: str = "d") -> ast.Number:
+    """A numeric literal; with ``width`` the sized Verilog form is emitted."""
+    if width is None:
+        text = str(value)
+    else:
+        if base == "h":
+            digits = format(value, "x")
+        elif base == "b":
+            digits = format(value, "b")
+        else:
+            digits = str(value)
+        text = f"{width}'{base}{digits}"
+    return ast.Number(text=text, value=value, width=width)
+
+
+def binop(op: str, left: ast.Node, right: ast.Node) -> ast.BinaryOp:
+    return ast.BinaryOp(op=op, left=left, right=right)
+
+
+def eq(left: ast.Node, right: ast.Node) -> ast.BinaryOp:
+    return binop("==", left, right)
+
+
+def land(left: ast.Node, right: ast.Node) -> ast.BinaryOp:
+    return binop("&&", left, right)
+
+
+def ternary(cond: ast.Node, if_true: ast.Node, if_false: ast.Node) -> ast.Ternary:
+    return ast.Ternary(condition=cond, if_true=if_true, if_false=if_false)
+
+
+def bit_range(msb: int, lsb: int = 0) -> ast.Range:
+    return ast.Range(msb=num(msb), lsb=num(lsb))
+
+
+def wire_decl(name: str, width: int = 1) -> ast.NetDeclaration:
+    rng = bit_range(width - 1) if width > 1 else None
+    return ast.NetDeclaration(net_type="wire", names=[name], range=rng)
+
+
+def reg_decl(name: str, width: int = 1) -> ast.NetDeclaration:
+    rng = bit_range(width - 1) if width > 1 else None
+    return ast.NetDeclaration(net_type="reg", names=[name], range=rng)
+
+
+def assign(target: ast.Node, value: ast.Node) -> ast.ContinuousAssign:
+    return ast.ContinuousAssign(target=target, value=value)
+
+
+def nonblocking(target: ast.Node, value: ast.Node) -> ast.NonBlockingAssign:
+    return ast.NonBlockingAssign(target=target, value=value)
+
+
+def blocking(target: ast.Node, value: ast.Node) -> ast.BlockingAssign:
+    return ast.BlockingAssign(target=target, value=value)
+
+
+def block(statements: Sequence[ast.Node]) -> ast.Block:
+    return ast.Block(statements=list(statements))
+
+
+def if_stmt(
+    condition: ast.Node, then_branch: ast.Node, else_branch: Optional[ast.Node] = None
+) -> ast.If:
+    return ast.If(condition=condition, then_branch=then_branch, else_branch=else_branch)
+
+
+def clocked_always(
+    body: ast.Node, clock: str = "clk", reset: Optional[str] = None, reset_edge: str = "posedge"
+) -> ast.Always:
+    """An ``always @(posedge clk [or <edge> reset])`` block."""
+    sensitivity = [ast.SensitivityItem(signal=ident(clock), edge="posedge")]
+    if reset is not None:
+        sensitivity.append(ast.SensitivityItem(signal=ident(reset), edge=reset_edge))
+    return ast.Always(sensitivity=sensitivity, body=body)
+
+
+def combinational_always(body: ast.Node) -> ast.Always:
+    """An ``always @(*)`` block."""
+    return ast.Always(sensitivity=[], body=body, is_star=True)
+
+
+# ---------------------------------------------------------------------------
+# Module inspection
+# ---------------------------------------------------------------------------
+
+
+def declared_names(module: ast.Module) -> List[str]:
+    """Every port, net and parameter name declared in the module."""
+    names: List[str] = []
+    for item in module.items:
+        if isinstance(item, (ast.PortDeclaration, ast.NetDeclaration)):
+            names.extend(item.names)
+        elif isinstance(item, ast.ParameterDeclaration):
+            names.append(item.name)
+    return names
+
+
+def fresh_name(module: ast.Module, base: str) -> str:
+    """A signal name derived from ``base`` that does not clash with existing ones."""
+    existing = set(declared_names(module))
+    if base not in existing:
+        return base
+    suffix = 0
+    while f"{base}_{suffix}" in existing:
+        suffix += 1
+    return f"{base}_{suffix}"
+
+
+def input_ports(module: ast.Module) -> List[Tuple[str, int]]:
+    """``(name, width)`` pairs for every input port."""
+    ports: List[Tuple[str, int]] = []
+    for decl in module.port_declarations():
+        if decl.direction == "input":
+            for name in decl.names:
+                ports.append((name, decl.width()))
+    return ports
+
+
+def output_ports(module: ast.Module) -> List[Tuple[str, int]]:
+    """``(name, width)`` pairs for every output port."""
+    ports: List[Tuple[str, int]] = []
+    for decl in module.port_declarations():
+        if decl.direction == "output":
+            for name in decl.names:
+                ports.append((name, decl.width()))
+    return ports
+
+
+def find_clock(module: ast.Module) -> Optional[str]:
+    """Best-effort clock signal name (an input named like a clock, or the
+    signal used with ``posedge`` in sequential always blocks)."""
+    for name, _ in input_ports(module):
+        if name in ("clk", "clock", "clk_i", "wb_clk_i"):
+            return name
+    for always in module.always_blocks():
+        for item in always.sensitivity:
+            if item.edge == "posedge" and isinstance(item.signal, ast.Identifier):
+                return item.signal.name
+    return None
+
+
+def find_reset(module: ast.Module) -> Optional[str]:
+    """Best-effort reset signal name."""
+    candidates = ("rst", "reset", "rst_n", "resetn", "rst_i", "wb_rst_i")
+    for name, _ in input_ports(module):
+        if name in candidates:
+            return name
+    return None
+
+
+def data_inputs(module: ast.Module, min_width: int = 2) -> List[Tuple[str, int]]:
+    """Input ports wide enough to host a comparator trigger (excludes clock
+    and reset)."""
+    skip = {find_clock(module), find_reset(module)}
+    return [
+        (name, width)
+        for name, width in input_ports(module)
+        if name not in skip and width >= min_width
+    ]
+
+
+def output_continuous_assigns(module: ast.Module) -> List[ast.ContinuousAssign]:
+    """Continuous assigns whose target drives an output port."""
+    outputs = {name for name, _ in output_ports(module)}
+    result = []
+    for item in module.continuous_assigns():
+        target = item.target
+        base = target
+        while isinstance(base, (ast.BitSelect, ast.PartSelect)):
+            base = base.base
+        if isinstance(base, ast.Identifier) and base.name in outputs:
+            result.append(item)
+    return result
+
+
+def nonblocking_assigns(module: ast.Module) -> List[ast.NonBlockingAssign]:
+    """All non-blocking assignments in the module's always blocks."""
+    result: List[ast.NonBlockingAssign] = []
+    for always in module.always_blocks():
+        result.extend(
+            node for node in walk(always.body) if isinstance(node, ast.NonBlockingAssign)
+        )
+    return result
+
+
+def signal_width(module: ast.Module, name: str) -> int:
+    """Declared width of a signal (1 when not found or unranged)."""
+    for decl in module.port_declarations():
+        if name in decl.names:
+            return decl.width()
+    for decl in module.net_declarations():
+        if name in decl.names:
+            return decl.width()
+    return 1
+
+
+def referenced_signals(module: ast.Module) -> List[str]:
+    """All identifier names referenced anywhere in the module body."""
+    return [node.name for node in collect(module, ast.Identifier)]

@@ -1,0 +1,161 @@
+"""Benchmark suite builder.
+
+Builds a population of named RTL designs in the style of the Trust-Hub RTL
+Trojan suites: a set of Trojan-free host designs (several variants per host
+family, mimicking design revisions) plus a smaller, *imbalanced* set of
+Trojan-infected variants (each a host with one inserted trigger/payload
+combination).  Names follow the Trust-Hub convention ``<FAMILY>-T<number>``
+for infected designs and ``<FAMILY>-free<number>`` for clean ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .hosts import HOST_FAMILIES, generate_host
+from .insertion import InsertionResult, insert_trojan
+from .instrumentation import add_benign_instrumentation
+
+#: Class labels used across the library.
+TROJAN_FREE = 0
+TROJAN_INFECTED = 1
+
+LABEL_NAMES = {TROJAN_FREE: "trojan_free", TROJAN_INFECTED: "trojan_infected"}
+
+
+@dataclass
+class Benchmark:
+    """One named RTL design with its ground-truth label and metadata."""
+
+    name: str
+    family: str
+    source: str
+    label: int
+    trigger_kind: Optional[str] = None
+    payload_kind: Optional[str] = None
+    description: str = ""
+
+    @property
+    def is_infected(self) -> bool:
+        return self.label == TROJAN_INFECTED
+
+
+@dataclass
+class SuiteConfig:
+    """Configuration of the synthetic benchmark suite.
+
+    The defaults give the small, imbalanced population the paper starts
+    from (tens of designs, roughly one third infected) before GAN
+    amplification brings the usable dataset to ~500 points.
+    """
+
+    n_trojan_free: int = 40
+    n_trojan_infected: int = 20
+    families: List[str] = field(default_factory=lambda: sorted(HOST_FAMILIES))
+    trigger_kinds: Optional[List[str]] = None
+    payload_kinds: Optional[List[str]] = None
+    #: Probability that a design (of either class) receives benign
+    #: instrumentation (watchdogs, debug counters) that structurally
+    #: resembles Trojan trigger logic.  This is the main difficulty knob.
+    instrumentation_probability: float = 0.6
+    #: Maximum number of benign instrumentation blocks per design.
+    max_instrumentation: int = 2
+    seed: int = 7
+
+    def validate(self) -> None:
+        if self.n_trojan_free <= 0 or self.n_trojan_infected <= 0:
+            raise ValueError("suite must contain at least one design of each class")
+        unknown = [f for f in self.families if f not in HOST_FAMILIES]
+        if unknown:
+            raise ValueError(f"unknown host families: {unknown}")
+        if not 0.0 <= self.instrumentation_probability <= 1.0:
+            raise ValueError("instrumentation_probability must be in [0, 1]")
+        if self.max_instrumentation < 0:
+            raise ValueError("max_instrumentation must be non-negative")
+
+
+def _family_prefix(family: str) -> str:
+    return {
+        "crypto": "AES",
+        "uart": "RS232",
+        "mcu": "PIC",
+        "bus": "WB",
+        "dsp": "FIR",
+    }.get(family, family.upper())
+
+
+def build_suite(config: Optional[SuiteConfig] = None) -> List[Benchmark]:
+    """Generate the full benchmark population described by ``config``."""
+    config = config or SuiteConfig()
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+    benchmarks: List[Benchmark] = []
+
+    def maybe_instrument(source: str) -> str:
+        if rng.random() < config.instrumentation_probability:
+            n_blocks = int(rng.integers(1, config.max_instrumentation + 1))
+            return add_benign_instrumentation(source, rng, max_features=n_blocks)
+        return source
+
+    # Trojan-free designs: cycle through families, varying parameters.
+    for i in range(config.n_trojan_free):
+        family = config.families[i % len(config.families)]
+        module_name = f"{family}_v{i}"
+        source = maybe_instrument(generate_host(family, rng, name=module_name))
+        benchmarks.append(
+            Benchmark(
+                name=f"{_family_prefix(family)}-free{i:03d}",
+                family=family,
+                source=source,
+                label=TROJAN_FREE,
+                description=f"clean {family} host variant {i}",
+            )
+        )
+
+    # Trojan-infected designs: fresh host variant + one inserted Trojan each.
+    trigger_kinds = config.trigger_kinds
+    payload_kinds = config.payload_kinds
+    for i in range(config.n_trojan_infected):
+        family = config.families[i % len(config.families)]
+        module_name = f"{family}_ti{i}"
+        host_source = generate_host(family, rng, name=module_name)
+        trigger_kind = (
+            trigger_kinds[i % len(trigger_kinds)] if trigger_kinds else None
+        )
+        payload_kind = (
+            payload_kinds[i % len(payload_kinds)] if payload_kinds else None
+        )
+        result: InsertionResult = insert_trojan(
+            host_source, rng, trigger_kind=trigger_kind, payload_kind=payload_kind
+        )
+        infected_source = maybe_instrument(result.source)
+        benchmarks.append(
+            Benchmark(
+                name=f"{_family_prefix(family)}-T{100 + i}",
+                family=family,
+                source=infected_source,
+                label=TROJAN_INFECTED,
+                trigger_kind=result.spec.trigger_kind,
+                payload_kind=result.spec.payload_kind,
+                description=(
+                    f"{result.spec.trigger_description}; {result.spec.payload_description}"
+                ),
+            )
+        )
+    return benchmarks
+
+
+def suite_summary(benchmarks: List[Benchmark]) -> Dict[str, int]:
+    """Counts per class and per family, for quick reporting."""
+    summary: Dict[str, int] = {
+        "total": len(benchmarks),
+        "trojan_free": sum(1 for b in benchmarks if not b.is_infected),
+        "trojan_infected": sum(1 for b in benchmarks if b.is_infected),
+    }
+    for benchmark in benchmarks:
+        key = f"family_{benchmark.family}"
+        summary[key] = summary.get(key, 0) + 1
+    return summary

@@ -1,0 +1,188 @@
+"""Trojan trigger generators.
+
+A trigger is the stealthy activation condition of a hardware Trojan.  Each
+builder returns a :class:`TriggerLogic`: the new declarations and logic items
+to splice into the host module plus the name of the 1-bit wire that goes high
+when the Trojan activates.  The three families implemented here mirror the
+dominant trigger styles in the Trust-Hub RTL benchmarks:
+
+* ``counter``    -- a time bomb: a free-running counter that fires at a rare
+  count value (e.g. AES-T1000 style).
+* ``comparator`` -- a cheat code: fires when data inputs carry specific rare
+  values (e.g. RS232-T300 style).
+* ``sequence``   -- a state chain: fires only after a specific *sequence* of
+  rare input values has been observed (multi-stage trigger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..hdl import ast_nodes as ast
+from . import primitives as p
+
+
+@dataclass
+class TriggerLogic:
+    """The AST items implementing a trigger and its activation wire."""
+
+    kind: str
+    trigger_wire: str
+    declarations: List[ast.Node] = field(default_factory=list)
+    logic: List[ast.Node] = field(default_factory=list)
+    description: str = ""
+
+    @property
+    def items(self) -> List[ast.Node]:
+        return self.declarations + self.logic
+
+
+class TriggerError(ValueError):
+    """Raised when a trigger cannot be built for the given host module."""
+
+
+def _require_clock(module: ast.Module, kind: str) -> str:
+    clock = p.find_clock(module)
+    if clock is None:
+        raise TriggerError(f"{kind} trigger requires a clocked host module")
+    return clock
+
+
+def build_counter_trigger(
+    module: ast.Module, rng: np.random.Generator
+) -> TriggerLogic:
+    """Time-bomb trigger: counts clock cycles and fires at a rare value."""
+    clock = _require_clock(module, "counter")
+    reset = p.find_reset(module)
+    width = int(rng.integers(12, 24))
+    fire_value = int(rng.integers((1 << (width - 1)), (1 << width) - 1))
+    cnt = p.fresh_name(module, "troj_cnt")
+    trig = p.fresh_name(module, "troj_trig")
+
+    increment = p.nonblocking(p.ident(cnt), p.binop("+", p.ident(cnt), p.num(1, width)))
+    if reset is not None:
+        body = p.block(
+            [
+                p.if_stmt(
+                    p.ident(reset),
+                    p.block([p.nonblocking(p.ident(cnt), p.num(0, width))]),
+                    p.block([increment]),
+                )
+            ]
+        )
+        always = p.clocked_always(body, clock=clock, reset=reset)
+    else:
+        always = p.clocked_always(p.block([increment]), clock=clock)
+
+    compare = p.eq(p.ident(cnt), p.num(fire_value, width, base="h"))
+    return TriggerLogic(
+        kind="counter",
+        trigger_wire=trig,
+        declarations=[p.reg_decl(cnt, width), p.wire_decl(trig)],
+        logic=[always, p.assign(p.ident(trig), compare)],
+        description=f"time-bomb counter, fires at {fire_value:#x} of {width} bits",
+    )
+
+
+def build_comparator_trigger(
+    module: ast.Module, rng: np.random.Generator
+) -> TriggerLogic:
+    """Cheat-code trigger: fires when data inputs equal rare constants."""
+    candidates = p.data_inputs(module, min_width=2)
+    if not candidates:
+        raise TriggerError("comparator trigger needs at least one multi-bit data input")
+    n_terms = min(len(candidates), int(rng.integers(1, 3)))
+    chosen_idx = rng.choice(len(candidates), size=n_terms, replace=False)
+    trig = p.fresh_name(module, "troj_trig")
+
+    condition: Optional[ast.Node] = None
+    picked = []
+    for idx in chosen_idx:
+        name, width = candidates[int(idx)]
+        value = int(rng.integers(1, (1 << min(width, 30)) - 1))
+        term = p.eq(p.ident(name), p.num(value, width, base="h"))
+        condition = term if condition is None else p.land(condition, term)
+        picked.append(name)
+
+    assert condition is not None
+    return TriggerLogic(
+        kind="comparator",
+        trigger_wire=trig,
+        declarations=[p.wire_decl(trig)],
+        logic=[p.assign(p.ident(trig), condition)],
+        description=f"cheat-code comparator on inputs {', '.join(picked)}",
+    )
+
+
+def build_sequence_trigger(
+    module: ast.Module, rng: np.random.Generator
+) -> TriggerLogic:
+    """State-chain trigger: advances through hidden states on rare input
+    values and fires only when the final state is reached."""
+    clock = _require_clock(module, "sequence")
+    reset = p.find_reset(module)
+    candidates = p.data_inputs(module, min_width=2)
+    if not candidates:
+        raise TriggerError("sequence trigger needs at least one multi-bit data input")
+    name, width = candidates[int(rng.integers(0, len(candidates)))]
+    n_stages = int(rng.integers(2, 4))
+    keys = [int(rng.integers(1, (1 << min(width, 30)) - 1)) for _ in range(n_stages)]
+    state = p.fresh_name(module, "troj_state")
+    trig = p.fresh_name(module, "troj_trig")
+    state_width = 2
+
+    # Build the nested if chain: in state i, seeing keys[i] advances to i+1.
+    stages: List[ast.Node] = []
+    for i, key in enumerate(keys):
+        advance = p.nonblocking(p.ident(state), p.num(i + 1, state_width))
+        cond = p.land(
+            p.eq(p.ident(state), p.num(i, state_width)),
+            p.eq(p.ident(name), p.num(key, width, base="h")),
+        )
+        stages.append(p.if_stmt(cond, p.block([advance])))
+    chain = p.block(stages)
+
+    if reset is not None:
+        body = p.block(
+            [
+                p.if_stmt(
+                    p.ident(reset),
+                    p.block([p.nonblocking(p.ident(state), p.num(0, state_width))]),
+                    chain,
+                )
+            ]
+        )
+        always = p.clocked_always(body, clock=clock, reset=reset)
+    else:
+        always = p.clocked_always(chain, clock=clock)
+
+    fire = p.eq(p.ident(state), p.num(n_stages, state_width))
+    return TriggerLogic(
+        kind="sequence",
+        trigger_wire=trig,
+        declarations=[p.reg_decl(state, state_width), p.wire_decl(trig)],
+        logic=[always, p.assign(p.ident(trig), fire)],
+        description=f"{n_stages}-stage sequence trigger watching input {name}",
+    )
+
+
+TRIGGER_BUILDERS: Dict[str, Callable[[ast.Module, np.random.Generator], TriggerLogic]] = {
+    "counter": build_counter_trigger,
+    "comparator": build_comparator_trigger,
+    "sequence": build_sequence_trigger,
+}
+
+
+def build_trigger(
+    kind: str, module: ast.Module, rng: np.random.Generator
+) -> TriggerLogic:
+    """Build a trigger of the requested kind for ``module``."""
+    try:
+        builder = TRIGGER_BUILDERS[kind]
+    except KeyError as exc:
+        known = ", ".join(sorted(TRIGGER_BUILDERS))
+        raise ValueError(f"Unknown trigger kind {kind!r}; known: {known}") from exc
+    return builder(module, rng)

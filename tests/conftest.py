@@ -1,0 +1,113 @@
+"""Shared fixtures for the test suite.
+
+The expensive artefacts (benchmark suite generation, feature extraction) are
+session-scoped so the many tests that need "some realistic designs" or "some
+extracted features" share one copy instead of regenerating them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import extract_modalities
+from repro.trojan import SuiteConfig, TrojanDataset
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_suite_config() -> SuiteConfig:
+    """A small but class-complete benchmark configuration."""
+    return SuiteConfig(
+        n_trojan_free=14,
+        n_trojan_infected=8,
+        instrumentation_probability=0.5,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_suite_config) -> TrojanDataset:
+    """A generated Trojan benchmark dataset shared across tests."""
+    return TrojanDataset.generate(small_suite_config)
+
+
+@pytest.fixture(scope="session")
+def small_features(small_dataset):
+    """Both modalities extracted for the shared dataset."""
+    return extract_modalities(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def sample_verilog() -> str:
+    """A hand-written Verilog module exercising most supported constructs."""
+    return """
+// A small control unit used as a parser/feature fixture.
+module ctrl_unit (clk, rst, start, mode, data_in, done, result);
+  input clk;
+  input rst;
+  input start;
+  input [1:0] mode;
+  input [7:0] data_in;
+  output done;
+  output reg [7:0] result;
+
+  parameter IDLE = 0;
+  localparam RUN = 1;
+  reg [1:0] state;
+  reg [3:0] count;
+  wire timeout;
+
+  assign timeout = count == 4'hF;
+  assign done = (state == IDLE) && !start;
+
+  always @(*)
+    begin
+      case (mode)
+        2'b00: result = data_in;
+        2'b01: result = data_in << 1;
+        2'b10: result = ~data_in;
+        default: result = 8'd0;
+      endcase
+    end
+
+  always @(posedge clk or posedge rst)
+    begin
+      if (rst)
+        begin
+          state <= IDLE;
+          count <= 4'd0;
+        end
+      else
+        begin
+          if (state == IDLE)
+            begin
+              if (start)
+                state <= RUN;
+            end
+          else
+            begin
+              count <= count + 4'd1;
+              if (timeout)
+                state <= IDLE;
+            end
+        end
+    end
+endmodule
+"""
+
+
+@pytest.fixture(scope="session")
+def binary_classification_data():
+    """A simple separable binary dataset for classifier tests."""
+    generator = np.random.default_rng(7)
+    n = 300
+    x = generator.normal(size=(n, 6))
+    weights = generator.normal(size=6)
+    logits = x @ weights + 0.4 * generator.normal(size=n)
+    y = (logits > 0).astype(int)
+    return x, y

@@ -1,0 +1,186 @@
+"""Tests for the classical-ML baseline classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_REGISTRY,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from repro.metrics import roc_auc
+
+
+@pytest.fixture(scope="module")
+def xor_free_data():
+    """A linearly separable dataset every baseline should master."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(240, 5))
+    weights = np.array([2.0, -1.5, 0.5, 0.0, 1.0])
+    y = (x @ weights + 0.3 * rng.normal(size=240) > 0).astype(int)
+    return x[:180], y[:180], x[180:], y[180:]
+
+
+@pytest.fixture(scope="module")
+def nonlinear_data():
+    """A dataset with an interaction term linear models cannot capture."""
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, size=(300, 4))
+    y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+    return x[:220], y[:220], x[220:], y[220:]
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_fit_predict_proba_contract(self, name, xor_free_data) -> None:
+        x_train, y_train, x_test, _ = xor_free_data
+        model = BASELINE_REGISTRY[name]()
+        assert model.fit(x_train, y_train) is model
+        proba = model.predict_proba(x_test)
+        assert proba.shape == (len(x_test), 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+        predictions = model.predict(x_test)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_learns_separable_problem(self, name, xor_free_data) -> None:
+        x_train, y_train, x_test, y_test = xor_free_data
+        model = BASELINE_REGISTRY[name]()
+        model.fit(x_train, y_train)
+        # Tree ensembles with axis-aligned splits need more data to nail an
+        # oblique linear boundary, hence the slightly lower bar.
+        minimum_accuracy = 0.75 if name in ("gradient_boosting", "decision_tree") else 0.8
+        assert np.mean(model.predict(x_test) == y_test) > minimum_accuracy
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_predict_before_fit_raises(self, name) -> None:
+        model = BASELINE_REGISTRY[name]()
+        with pytest.raises(RuntimeError):
+            model.predict_proba(np.ones((2, 3)))
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_rejects_non_binary_labels(self, name) -> None:
+        model = BASELINE_REGISTRY[name]()
+        with pytest.raises(ValueError):
+            model.fit(np.ones((4, 2)), np.array([0, 1, 2, 1]))
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_rejects_wrong_feature_count_at_predict(self, name, xor_free_data) -> None:
+        x_train, y_train, _, _ = xor_free_data
+        model = BASELINE_REGISTRY[name]()
+        model.fit(x_train, y_train)
+        with pytest.raises(ValueError):
+            model.predict_proba(np.ones((3, x_train.shape[1] + 1)))
+
+
+class TestTreeModels:
+    def test_tree_handles_nonlinear_interaction(self, nonlinear_data) -> None:
+        x_train, y_train, x_test, y_test = nonlinear_data
+        tree = DecisionTreeClassifier(max_depth=6)
+        tree.fit(x_train, y_train)
+        assert np.mean(tree.predict(x_test) == y_test) > 0.8
+
+    def test_forest_beats_single_tree_auc(self, nonlinear_data) -> None:
+        x_train, y_train, x_test, y_test = nonlinear_data
+        tree = DecisionTreeClassifier(max_depth=3, seed=0).fit(x_train, y_train)
+        forest = RandomForestClassifier(n_estimators=30, max_depth=3, seed=0).fit(
+            x_train, y_train
+        )
+        tree_auc = roc_auc(tree.predict_proba(x_test)[:, 1], y_test)
+        forest_auc = roc_auc(forest.predict_proba(x_test)[:, 1], y_test)
+        assert forest_auc >= tree_auc - 0.02
+
+    def test_tree_depth_limit_respected(self, nonlinear_data) -> None:
+        x_train, y_train, _, _ = nonlinear_data
+        tree = DecisionTreeClassifier(max_depth=2)
+        tree.fit(x_train, y_train)
+        assert tree.depth <= 2
+
+    def test_pure_node_stops_splitting(self) -> None:
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 0, 0])
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.depth == 0
+        np.testing.assert_allclose(tree.predict_proba(x)[:, 1], 0.0)
+
+    def test_regression_tree_fits_step_function(self) -> None:
+        x = np.linspace(0, 1, 60).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 3.0
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        predictions = tree.predict(x)
+        assert np.abs(predictions - y).mean() < 0.1
+
+    def test_regression_tree_validates_input(self) -> None:
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.ones((3, 2)), np.ones(4))
+        tree = DecisionTreeRegressor().fit(np.ones((3, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            tree.predict(np.ones((2, 3)))
+
+    def test_boosting_improves_with_more_estimators(self, nonlinear_data) -> None:
+        x_train, y_train, x_test, y_test = nonlinear_data
+        weak = GradientBoostingClassifier(n_estimators=3, max_depth=2, seed=0).fit(
+            x_train, y_train
+        )
+        strong = GradientBoostingClassifier(n_estimators=80, max_depth=2, seed=0).fit(
+            x_train, y_train
+        )
+        weak_auc = roc_auc(weak.predict_proba(x_test)[:, 1], y_test)
+        strong_auc = roc_auc(strong.predict_proba(x_test)[:, 1], y_test)
+        assert strong_auc > weak_auc
+
+    def test_invalid_hyperparameters(self) -> None:
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+
+class TestLinearAndMLPModels:
+    def test_logistic_weights_reflect_feature_importance(self, xor_free_data) -> None:
+        x_train, y_train, _, _ = xor_free_data
+        model = LogisticRegression(n_iterations=800).fit(x_train, y_train)
+        # Feature 0 (weight 2.0) matters more than feature 3 (weight 0.0).
+        assert abs(model.weights[0]) > abs(model.weights[3])
+
+    def test_logistic_probabilities_calibrated_direction(self, xor_free_data) -> None:
+        x_train, y_train, x_test, y_test = xor_free_data
+        model = LogisticRegression().fit(x_train, y_train)
+        proba = model.predict_proba(x_test)[:, 1]
+        assert proba[y_test == 1].mean() > proba[y_test == 0].mean()
+
+    def test_svm_decision_function_sign(self, xor_free_data) -> None:
+        x_train, y_train, x_test, y_test = xor_free_data
+        model = LinearSVM(seed=0).fit(x_train, y_train)
+        scores = model.decision_function(x_test)
+        assert np.mean((scores > 0).astype(int) == y_test) > 0.8
+
+    def test_mlp_hidden_layer_validation(self) -> None:
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layers=())
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layers=(8, 0))
+
+    def test_mlp_solves_nonlinear_problem(self, nonlinear_data) -> None:
+        x_train, y_train, x_test, y_test = nonlinear_data
+        model = MLPClassifier(hidden_layers=(32, 16), epochs=200, seed=0)
+        model.fit(x_train, y_train)
+        assert np.mean(model.predict(x_test) == y_test) > 0.75
+
+    def test_deterministic_given_seed(self, xor_free_data) -> None:
+        x_train, y_train, x_test, _ = xor_free_data
+        first = MLPClassifier(epochs=30, seed=5).fit(x_train, y_train).predict_proba(x_test)
+        second = MLPClassifier(epochs=30, seed=5).fit(x_train, y_train).predict_proba(x_test)
+        np.testing.assert_allclose(first, second)

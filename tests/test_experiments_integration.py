@@ -1,0 +1,176 @@
+"""Integration tests: the end-to-end experiment runners on a small configuration.
+
+These exercise the full pipeline — RTL generation, Trojan insertion, feature
+extraction, GAN amplification, CNN training, conformal calibration, fusion
+and metric computation — with the `quick_config` settings so the whole file
+stays within a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE1,
+    STRATEGIES,
+    ExperimentConfig,
+    prepare_experiment_data,
+    quick_config,
+    run_amplification_ablation,
+    run_baseline_comparison,
+    run_combination_ablation,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_missing_modality_ablation,
+    run_scenario,
+    run_table1,
+    scenario_seeds,
+)
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return quick_config(seed=3)
+
+
+class TestCommonInfrastructure:
+    def test_prepare_experiment_data_cached(self, config) -> None:
+        real_1, amplified_1 = prepare_experiment_data(config)
+        real_2, amplified_2 = prepare_experiment_data(config)
+        assert real_1 is real_2 and amplified_1 is amplified_2
+        assert len(amplified_1) == config.amplification.target_total
+        assert len(real_1) == config.suite.n_trojan_free + config.suite.n_trojan_infected
+
+    def test_scenario_seeds_deterministic(self, config) -> None:
+        assert scenario_seeds(config) == scenario_seeds(config)
+        assert len(scenario_seeds(config)) == config.n_scenarios
+
+    def test_run_scenario_returns_all_strategies(self, config) -> None:
+        results = run_scenario(config, scenario_seed=11)
+        assert set(results) == set(STRATEGIES)
+        for evaluation in results.values():
+            assert 0.0 <= evaluation.brier_score <= 1.0
+            assert 0.0 <= evaluation.auc <= 1.0
+
+    def test_quick_config_is_valid_and_small(self) -> None:
+        config = quick_config()
+        config.validate()
+        assert config.amplification.target_total <= 100
+
+    def test_paper_reference_values_present(self) -> None:
+        assert set(PAPER_TABLE1) == set(STRATEGIES)
+        assert PAPER_TABLE1["late_fusion"] < PAPER_TABLE1["tabular"]
+
+
+class TestTable1:
+    def test_structure_and_plausibility(self, config) -> None:
+        result = run_table1(config)
+        assert set(result.brier_scores) == set(STRATEGIES)
+        for value in result.brier_scores.values():
+            assert 0.0 <= value <= 1.0
+        assert len(result.ranking) == 4
+        text = result.format()
+        assert "Table I" in text and "Late Fusion" in text
+
+    def test_detection_quality_reasonable(self, config) -> None:
+        """Even the quick configuration must detect Trojans well above chance."""
+        result = run_table1(config)
+        assert max(result.auc_scores.values()) > 0.7
+        assert min(result.brier_scores.values()) < 0.3
+
+
+class TestFigures:
+    def test_fig2_distributions(self, config) -> None:
+        result = run_fig2(config)
+        assert len(result.early_fusion.scores) == config.n_scenarios
+        assert len(result.late_fusion.scores) == config.n_scenarios
+        summary = result.late_fusion.summary()
+        assert summary["mean_low"] <= summary["mean"] <= summary["mean_high"]
+        assert "Fig. 2" in result.format()
+
+    def test_fig3_calibration(self, config) -> None:
+        result = run_fig3(config)
+        assert result.n_test > 0
+        assert 0.0 <= result.expected_calibration_error <= 1.0
+        assert 0.0 <= result.maximum_calibration_error <= 1.0
+        assert sum(result.histogram["counts"]) == result.n_test
+        assert "calibration" in result.format()
+
+    def test_fig4_roc(self, config) -> None:
+        result = run_fig4(config)
+        assert 0.5 <= result.auc <= 1.0
+        assert result.paper_auc == pytest.approx(0.928)
+        assert result.curve.false_positive_rate[0] == 0.0
+        assert "ROC-AUC" in result.format()
+
+    def test_fig4_unknown_strategy(self, config) -> None:
+        with pytest.raises(ValueError):
+            run_fig4(config, strategy="mid_fusion")
+
+    def test_fig5_radar(self, config) -> None:
+        result = run_fig5(config)
+        assert len(result.polygon) == 7
+        assert all(0.0 <= value <= 1.0 for _, value in result.polygon)
+        assert "radar" in result.format().lower()
+
+
+class TestAblationsAndBaselines:
+    def test_combination_ablation(self, config) -> None:
+        result = run_combination_ablation(config, methods=["fisher", "minimum"])
+        assert set(result.scores) == {"fisher", "minimum"}
+        assert result.best_method() in result.scores
+        assert "combination" in result.format()
+
+    def test_amplification_ablation(self, config) -> None:
+        result = run_amplification_ablation(config, target_sizes=[60])
+        assert "no_amplification" in result.scores
+        assert "gan_to_60" in result.scores
+        assert result.scores["gan_to_60"]["train_size"] >= result.scores[
+            "no_amplification"
+        ]["train_size"]
+
+    def test_missing_modality_ablation(self, config) -> None:
+        result = run_missing_modality_ablation(config, missing_fraction=0.3)
+        assert set(result.scores) == {"complete_data", "zero_fill", "gan_imputation"}
+        for metrics in result.scores.values():
+            assert 0.0 <= metrics["brier"] <= 1.0
+
+    def test_baseline_comparison(self, config) -> None:
+        result = run_baseline_comparison(
+            config,
+            baseline_names=["logistic_regression", "random_forest"],
+            feature_sets=["tabular"],
+        )
+        assert "noodle_late_fusion" in result.scores
+        assert "logistic_regression[tabular]" in result.scores
+        assert 1 <= result.noodle_rank <= len(result.scores)
+
+
+class TestEndToEndPublicAPI:
+    def test_readme_quickstart_flow(self) -> None:
+        """The flow advertised in the README works end to end."""
+        from repro import NOODLE, SuiteConfig, TrojanDataset, default_config, extract_modalities
+        from repro.gan import AmplificationConfig, GANConfig
+
+        dataset = TrojanDataset.generate(
+            SuiteConfig(n_trojan_free=20, n_trojan_infected=10, seed=2)
+        )
+        features = extract_modalities(dataset)
+        train, test = features.stratified_split(0.25, np.random.default_rng(0))
+        config = default_config(seed=0)
+        config.classifier.epochs = 25
+        config.amplify = True
+        config.amplification = AmplificationConfig(target_total=100, gan=GANConfig(epochs=80))
+        detector = NOODLE(config)
+        report = detector.fit(train)
+        assert report.winner in ("early_fusion", "late_fusion")
+        decisions = detector.decide(test)
+        assert len(decisions) == len(test)
+        # Every decision carries the risk-aware fields the README advertises;
+        # with this tiny training population only a weak accuracy floor is
+        # asserted (the paper-scale configuration is tested in benchmarks).
+        correct = sum(d.predicted_label == d.true_label for d in decisions)
+        assert correct / len(decisions) >= 0.5

@@ -1,0 +1,163 @@
+"""Tests for data-flow graph construction, graph features and adjacency images."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.features import (
+    DEFAULT_IMAGE_SIZE,
+    GRAPH_FEATURE_NAMES,
+    adjacency_image,
+    adjacency_image_batch,
+    build_dataflow_graph,
+    extract_graph_features,
+    graph_feature_matrix,
+    graph_feature_vector,
+    graph_summary,
+)
+from repro.trojan import generate_host, insert_trojan
+
+
+class TestGraphBuilder:
+    def test_nodes_are_declared_signals(self, sample_verilog) -> None:
+        graph = build_dataflow_graph(sample_verilog)
+        for signal in ("clk", "rst", "data_in", "result", "state", "count", "timeout"):
+            assert signal in graph
+
+    def test_node_roles(self, sample_verilog) -> None:
+        graph = build_dataflow_graph(sample_verilog)
+        assert graph.nodes["clk"]["role"] == "input"
+        assert graph.nodes["result"]["role"] == "output"
+        assert graph.nodes["state"]["role"] == "reg"
+        assert graph.nodes["timeout"]["role"] == "wire"
+
+    def test_data_edges_from_assigns(self, sample_verilog) -> None:
+        graph = build_dataflow_graph(sample_verilog)
+        assert graph.has_edge("count", "timeout")
+        assert graph.has_edge("data_in", "result")
+
+    def test_control_edges_from_conditions(self, sample_verilog) -> None:
+        graph = build_dataflow_graph(sample_verilog)
+        # ``mode`` is the case subject steering ``result``.
+        assert graph.has_edge("mode", "result")
+        assert graph["mode"]["result"]["kind"] == "control"
+        # ``start`` guards the state transition.
+        assert graph.has_edge("start", "state")
+
+    def test_clock_contributes_control_edges(self, sample_verilog) -> None:
+        graph = build_dataflow_graph(sample_verilog)
+        assert graph.has_edge("clk", "state")
+
+    def test_sequential_annotation(self, sample_verilog) -> None:
+        graph = build_dataflow_graph(sample_verilog)
+        assert graph.nodes["state"].get("sequential") is True
+        assert graph.nodes["timeout"].get("sequential") is None
+
+    def test_ternary_condition_is_control_edge(self) -> None:
+        graph = build_dataflow_graph(
+            "module mux (input s, input [3:0] a, input [3:0] b, output [3:0] y);\n"
+            "  assign y = s ? a : b;\nendmodule\n"
+        )
+        assert graph["s"]["y"]["kind"] == "control"
+        assert graph["a"]["y"]["kind"] == "data"
+
+    def test_edge_weights_accumulate(self) -> None:
+        graph = build_dataflow_graph(
+            "module w (input [3:0] a, output [3:0] y);\n  assign y = a + a;\nendmodule\n"
+        )
+        assert graph["a"]["y"]["weight"] == 2
+
+    def test_instantiation_creates_instance_node(self) -> None:
+        graph = build_dataflow_graph(
+            "module top (input clk, output y);\n  wire w;\n"
+            "  sub u1 (.c(clk), .o(w));\n  assign y = w;\nendmodule\n"
+        )
+        assert "sub.u1" in graph
+        assert graph.nodes["sub.u1"]["role"] == "instance"
+
+    def test_graph_summary(self, sample_verilog) -> None:
+        summary = graph_summary(build_dataflow_graph(sample_verilog))
+        assert summary["n_nodes"] > 0
+        assert summary["n_inputs"] == 5
+        assert summary["n_outputs"] == 2
+
+
+class TestGraphFeatures:
+    def test_feature_names_sorted_unique(self) -> None:
+        assert GRAPH_FEATURE_NAMES == sorted(GRAPH_FEATURE_NAMES)
+        assert len(GRAPH_FEATURE_NAMES) == len(set(GRAPH_FEATURE_NAMES))
+
+    def test_vector_matches_names(self, sample_verilog) -> None:
+        graph = build_dataflow_graph(sample_verilog)
+        features = extract_graph_features(graph)
+        vector = graph_feature_vector(graph)
+        assert vector.shape == (len(GRAPH_FEATURE_NAMES),)
+        for i, name in enumerate(GRAPH_FEATURE_NAMES):
+            assert vector[i] == pytest.approx(features[name])
+
+    def test_accepts_source_module_or_graph(self, sample_verilog) -> None:
+        from_source = graph_feature_vector(sample_verilog)
+        from_graph = graph_feature_vector(build_dataflow_graph(sample_verilog))
+        np.testing.assert_allclose(from_source, from_graph)
+
+    def test_all_finite_on_suite(self, small_features) -> None:
+        assert np.all(np.isfinite(small_features.graph))
+
+    def test_degree_histogram_normalised(self, sample_verilog) -> None:
+        features = extract_graph_features(build_dataflow_graph(sample_verilog))
+        in_hist = [features[f"in_degree_hist_{i}"] for i in range(6)]
+        out_hist = [features[f"out_degree_hist_{i}"] for i in range(6)]
+        assert sum(in_hist) == pytest.approx(1.0)
+        assert sum(out_hist) == pytest.approx(1.0)
+
+    def test_empty_graph_features(self) -> None:
+        features = extract_graph_features(nx.DiGraph())
+        assert features["n_nodes"] == 0.0
+        assert features["density"] == 0.0
+        assert np.isfinite(list(features.values())).all()
+
+    def test_matrix_shape(self, small_dataset) -> None:
+        matrix = graph_feature_matrix(small_dataset.sources[:4])
+        assert matrix.shape == (4, len(GRAPH_FEATURE_NAMES))
+
+    def test_control_only_signal_detection(self) -> None:
+        rng = np.random.default_rng(3)
+        host = generate_host("crypto", rng, name="h")
+        infected = insert_trojan(host, rng, trigger_kind="comparator", payload_kind="dos")
+        clean = extract_graph_features(build_dataflow_graph(host))
+        dirty = extract_graph_features(build_dataflow_graph(infected.source))
+        assert dirty["n_control_only_signals"] >= clean["n_control_only_signals"]
+        assert dirty["n_nodes"] > clean["n_nodes"]
+
+
+class TestAdjacencyImage:
+    def test_shape_and_range(self, sample_verilog) -> None:
+        image = adjacency_image(sample_verilog)
+        assert image.shape == (1, DEFAULT_IMAGE_SIZE, DEFAULT_IMAGE_SIZE)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_custom_size_padding_and_pooling(self, sample_verilog) -> None:
+        small = adjacency_image(sample_verilog, size=8)
+        large = adjacency_image(sample_verilog, size=64)
+        assert small.shape == (1, 8, 8)
+        assert large.shape == (1, 64, 64)
+
+    def test_empty_graph_image_is_zero(self) -> None:
+        image = adjacency_image(nx.DiGraph(), size=8)
+        assert image.shape == (1, 8, 8)
+        assert np.all(image == 0.0)
+
+    def test_batch_stacking(self, small_dataset) -> None:
+        batch = adjacency_image_batch(small_dataset.sources[:3], size=12)
+        assert batch.shape == (3, 1, 12, 12)
+
+    def test_invalid_size_rejected(self, sample_verilog) -> None:
+        with pytest.raises(ValueError):
+            adjacency_image(sample_verilog, size=0)
+
+    def test_deterministic(self, sample_verilog) -> None:
+        np.testing.assert_array_equal(
+            adjacency_image(sample_verilog), adjacency_image(sample_verilog)
+        )

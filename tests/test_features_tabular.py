@@ -1,0 +1,119 @@
+"""Tests for the tabular (code-branching) feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    TABULAR_FEATURE_NAMES,
+    extract_tabular_features,
+    tabular_feature_matrix,
+    tabular_feature_vector,
+)
+from repro.hdl import parse_module
+from repro.trojan import generate_host, insert_trojan
+
+
+class TestFeatureValues:
+    def test_fixture_counts(self, sample_verilog) -> None:
+        features = extract_tabular_features(sample_verilog)
+        assert features["n_always"] == 2
+        assert features["n_sequential_always"] == 1
+        assert features["n_combinational_always"] == 1
+        assert features["n_case"] == 1
+        assert features["n_case_items"] == 4
+        assert features["n_default_items"] == 1
+        assert features["n_continuous_assigns"] == 2
+        assert features["n_parameters"] == 2
+        assert features["n_inputs"] == 5
+        assert features["n_outputs"] == 2
+
+    def test_width_features(self, sample_verilog) -> None:
+        features = extract_tabular_features(sample_verilog)
+        assert features["total_input_width"] == 1 + 1 + 1 + 2 + 8
+        assert features["total_output_width"] == 1 + 8
+        assert features["max_reg_width"] >= 4
+
+    def test_counter_increment_detection(self, sample_verilog) -> None:
+        features = extract_tabular_features(sample_verilog)
+        assert features["n_counter_increments"] == 1
+
+    def test_accepts_parsed_module(self, sample_verilog) -> None:
+        module = parse_module(sample_verilog)
+        assert extract_tabular_features(module) == extract_tabular_features(sample_verilog)
+
+    def test_minimal_module(self) -> None:
+        features = extract_tabular_features(
+            "module tiny (input a, output y);\n  assign y = a;\nendmodule\n"
+        )
+        assert features["n_always"] == 0
+        assert features["branch_density"] == 0.0
+        assert features["n_continuous_assigns"] == 1
+
+    def test_all_values_finite(self, small_dataset) -> None:
+        for benchmark in small_dataset:
+            vector = tabular_feature_vector(benchmark.source)
+            assert np.all(np.isfinite(vector))
+
+    def test_densities_bounded(self, small_dataset) -> None:
+        for benchmark in small_dataset:
+            features = extract_tabular_features(benchmark.source)
+            assert 0.0 <= features["comparison_density"] <= 1.0
+            assert 0.0 <= features["constant_density"] <= 1.0
+            assert features["xor_density"] >= 0.0
+
+
+class TestVectorisation:
+    def test_feature_names_sorted_and_stable(self) -> None:
+        assert TABULAR_FEATURE_NAMES == sorted(TABULAR_FEATURE_NAMES)
+        assert len(TABULAR_FEATURE_NAMES) == len(set(TABULAR_FEATURE_NAMES))
+
+    def test_vector_matches_names(self, sample_verilog) -> None:
+        features = extract_tabular_features(sample_verilog)
+        vector = tabular_feature_vector(sample_verilog)
+        assert vector.shape == (len(TABULAR_FEATURE_NAMES),)
+        for i, name in enumerate(TABULAR_FEATURE_NAMES):
+            assert vector[i] == pytest.approx(features[name])
+
+    def test_matrix_shape(self, small_dataset) -> None:
+        matrix = tabular_feature_matrix(small_dataset.sources[:5])
+        assert matrix.shape == (5, len(TABULAR_FEATURE_NAMES))
+
+    def test_empty_matrix(self) -> None:
+        assert tabular_feature_matrix([]).shape == (0, len(TABULAR_FEATURE_NAMES))
+
+    def test_deterministic(self, sample_verilog) -> None:
+        np.testing.assert_array_equal(
+            tabular_feature_vector(sample_verilog), tabular_feature_vector(sample_verilog)
+        )
+
+
+class TestTrojanSensitivity:
+    """Inserting a Trojan must move the features in the expected direction."""
+
+    def test_trojan_increases_structure_counts(self) -> None:
+        rng = np.random.default_rng(5)
+        host = generate_host("crypto", rng, name="h")
+        infected = insert_trojan(host, rng, trigger_kind="counter", payload_kind="corrupt")
+        clean_features = extract_tabular_features(host)
+        infected_features = extract_tabular_features(infected.source)
+        assert infected_features["ast_node_count"] > clean_features["ast_node_count"]
+        assert infected_features["n_ternary"] >= clean_features["n_ternary"]
+
+    def test_comparator_trigger_adds_constant_comparison(self) -> None:
+        rng = np.random.default_rng(6)
+        host = generate_host("uart", rng, name="h")
+        infected = insert_trojan(host, rng, trigger_kind="comparator", payload_kind="dos")
+        clean = extract_tabular_features(host)
+        dirty = extract_tabular_features(infected.source)
+        assert dirty["n_constant_comparisons"] > clean["n_constant_comparisons"]
+
+    def test_population_separability(self, small_features) -> None:
+        """Class means must differ on at least a few features (weak check)."""
+        x = small_features.tabular
+        y = small_features.labels
+        scale = x.std(axis=0)
+        scale[scale < 1e-9] = 1.0
+        gap = np.abs(x[y == 1].mean(axis=0) - x[y == 0].mean(axis=0)) / scale
+        assert (gap > 0.5).sum() >= 3

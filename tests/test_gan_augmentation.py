@@ -1,0 +1,194 @@
+"""Tests for the GAN, class-conditional amplification and modality imputation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.pipeline import MODALITY_GRAPH, MODALITY_TABULAR
+from repro.gan import (
+    AmplificationConfig,
+    GANConfig,
+    ImputerConfig,
+    ModalityImputer,
+    TabularGAN,
+    amplify_features,
+    amplify_multimodal,
+    impute_missing_modalities,
+)
+
+
+def _two_cluster_data(rng: np.random.Generator, n0: int = 30, n1: int = 12):
+    x0 = rng.normal(loc=[0.0, 0.0, 0.0, 0.0], scale=0.6, size=(n0, 4))
+    x1 = rng.normal(loc=[3.0, -2.0, 1.5, 4.0], scale=0.6, size=(n1, 4))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * n0 + [1] * n1)
+    return x, y
+
+
+class TestTabularGAN:
+    def test_sample_shape_and_determinism_of_training(self) -> None:
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=2.0, size=(40, 5))
+        gan = TabularGAN(5, GANConfig(epochs=120, seed=1))
+        gan.fit(data)
+        samples = gan.sample(25)
+        assert samples.shape == (25, 5)
+        assert np.all(np.isfinite(samples))
+
+    def test_samples_match_training_distribution(self) -> None:
+        rng = np.random.default_rng(1)
+        data = rng.normal(loc=[5.0, -3.0, 2.0], scale=[0.5, 1.0, 2.0], size=(60, 3))
+        gan = TabularGAN(3, GANConfig(epochs=250, seed=2))
+        gan.fit(data)
+        samples = gan.sample(200)
+        np.testing.assert_allclose(samples.mean(axis=0), data.mean(axis=0), atol=1.0)
+        np.testing.assert_allclose(samples.std(axis=0), data.std(axis=0), rtol=0.6)
+
+    def test_history_recorded(self) -> None:
+        rng = np.random.default_rng(2)
+        gan = TabularGAN(2, GANConfig(epochs=50, seed=0))
+        history = gan.fit(rng.normal(size=(20, 2)))
+        assert len(history.discriminator_loss) == 50
+        assert len(history.generator_loss) == 50
+        assert gan.history is history
+
+    def test_sample_zero_and_negative(self) -> None:
+        gan = TabularGAN(3, GANConfig(epochs=10, seed=0))
+        gan.fit(np.random.default_rng(0).normal(size=(10, 3)))
+        assert gan.sample(0).shape == (0, 3)
+
+    def test_rejects_bad_inputs(self) -> None:
+        with pytest.raises(ValueError):
+            TabularGAN(0)
+        gan = TabularGAN(3, GANConfig(epochs=5))
+        with pytest.raises(ValueError):
+            gan.fit(np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            gan.fit(np.ones((1, 3)))
+
+    def test_invalid_config(self) -> None:
+        with pytest.raises(ValueError):
+            GANConfig(latent_dim=0).validate()
+        with pytest.raises(ValueError):
+            GANConfig(epochs=0).validate()
+
+
+class TestAmplification:
+    def test_reaches_target_and_balances(self) -> None:
+        rng = np.random.default_rng(3)
+        x, y = _two_cluster_data(rng)
+        config = AmplificationConfig(target_total=100, gan=GANConfig(epochs=100, seed=1))
+        x_aug, y_aug, synthetic = amplify_features(x, y, config)
+        assert len(x_aug) == 100
+        counts = np.bincount(y_aug)
+        assert abs(counts[0] - counts[1]) <= 2
+        assert synthetic.sum() == 100 - len(x)
+
+    def test_original_samples_preserved_first(self) -> None:
+        rng = np.random.default_rng(4)
+        x, y = _two_cluster_data(rng)
+        config = AmplificationConfig(target_total=80, gan=GANConfig(epochs=60, seed=1))
+        x_aug, y_aug, synthetic = amplify_features(x, y, config)
+        np.testing.assert_array_equal(x_aug[: len(x)], x)
+        np.testing.assert_array_equal(y_aug[: len(y)], y)
+        assert not synthetic[: len(x)].any()
+
+    def test_synthetic_points_near_their_class(self) -> None:
+        rng = np.random.default_rng(5)
+        x, y = _two_cluster_data(rng)
+        config = AmplificationConfig(target_total=120, gan=GANConfig(epochs=200, seed=2))
+        x_aug, y_aug, synthetic = amplify_features(x, y, config)
+        for cls in (0, 1):
+            real_centre = x[y == cls].mean(axis=0)
+            other_centre = x[y == 1 - cls].mean(axis=0)
+            synth_points = x_aug[synthetic & (y_aug == cls)]
+            to_own = np.linalg.norm(synth_points - real_centre, axis=1).mean()
+            to_other = np.linalg.norm(synth_points - other_centre, axis=1).mean()
+            assert to_own < to_other
+
+    def test_no_amplification_needed(self) -> None:
+        rng = np.random.default_rng(6)
+        x, y = _two_cluster_data(rng, n0=60, n1=60)
+        config = AmplificationConfig(target_total=100, gan=GANConfig(epochs=10))
+        x_aug, y_aug, synthetic = amplify_features(x, y, config)
+        assert len(x_aug) == len(x)
+        assert synthetic.sum() == 0
+
+    def test_multimodal_amplification(self, small_features) -> None:
+        config = AmplificationConfig(target_total=60, gan=GANConfig(epochs=80, seed=0))
+        amplified = amplify_multimodal(small_features, config)
+        assert len(amplified) == 60
+        assert amplified.tabular.shape[1] == small_features.tabular.shape[1]
+        assert amplified.graph.shape[1] == small_features.graph.shape[1]
+        assert len(amplified.names) == 60
+        counts = np.bincount(amplified.labels)
+        assert abs(counts[0] - counts[1]) <= 2
+        # The original rows come first and are unchanged.
+        np.testing.assert_array_equal(
+            amplified.tabular[: len(small_features)], small_features.tabular
+        )
+
+    def test_invalid_target(self) -> None:
+        with pytest.raises(ValueError):
+            AmplificationConfig(target_total=0).validate()
+
+
+class TestImputation:
+    def test_imputer_learns_linear_map(self) -> None:
+        rng = np.random.default_rng(7)
+        observed = rng.normal(size=(80, 4))
+        mapping = rng.normal(size=(4, 6))
+        target = observed @ mapping + 0.05 * rng.normal(size=(80, 6))
+        imputer = ModalityImputer(4, 6, ImputerConfig(epochs=300, seed=1))
+        imputer.fit(observed, target)
+        predicted = imputer.impute(observed)
+        relative_error = np.abs(predicted - target).mean() / np.abs(target).std()
+        assert relative_error < 0.5
+
+    def test_impute_before_fit_raises(self) -> None:
+        imputer = ModalityImputer(3, 3)
+        with pytest.raises(RuntimeError):
+            imputer.impute(np.ones((2, 3)))
+
+    def test_fit_validates_shapes(self) -> None:
+        imputer = ModalityImputer(3, 2, ImputerConfig(epochs=5))
+        with pytest.raises(ValueError):
+            imputer.fit(np.ones((5, 3)), np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            imputer.fit(np.ones((5, 2)), np.ones((5, 2)))
+
+    def test_impute_missing_modalities_fills_all_nans(self, small_features) -> None:
+        damaged = small_features.with_missing_modality(
+            MODALITY_TABULAR, 0.4, rng=np.random.default_rng(0)
+        )
+        config = ImputerConfig(epochs=60, seed=0)
+        repaired = impute_missing_modalities(damaged, config)
+        assert not repaired.missing_mask(MODALITY_TABULAR).any()
+        assert not repaired.missing_mask(MODALITY_GRAPH).any()
+        # Rows that were present are untouched.
+        present = ~damaged.missing_mask(MODALITY_TABULAR)
+        np.testing.assert_array_equal(
+            repaired.tabular[present], small_features.tabular[present]
+        )
+
+    def test_impute_missing_graph_modality(self, small_features) -> None:
+        damaged = small_features.with_missing_modality(
+            MODALITY_GRAPH, 0.3, rng=np.random.default_rng(1)
+        )
+        repaired = impute_missing_modalities(damaged, ImputerConfig(epochs=60, seed=0))
+        assert not repaired.missing_mask(MODALITY_GRAPH).any()
+
+    def test_imputed_values_plausible(self, small_features) -> None:
+        """Imputed tabular rows stay within a broad envelope of the real data."""
+        damaged = small_features.with_missing_modality(
+            MODALITY_TABULAR, 0.4, rng=np.random.default_rng(2)
+        )
+        repaired = impute_missing_modalities(damaged, ImputerConfig(epochs=150, seed=0))
+        missing = damaged.missing_mask(MODALITY_TABULAR)
+        real = small_features.tabular
+        span = real.max(axis=0) - real.min(axis=0) + 1.0
+        lower = real.min(axis=0) - 3 * span
+        upper = real.max(axis=0) + 3 * span
+        imputed = repaired.tabular[missing]
+        assert np.all(imputed >= lower) and np.all(imputed <= upper)

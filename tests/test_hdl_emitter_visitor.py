@@ -1,0 +1,135 @@
+"""Tests for the Verilog emitter (round-trip stability) and AST visitors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import (
+    NodeVisitor,
+    ast,
+    collect,
+    count_nodes,
+    emit_module,
+    emit_source,
+    identifiers_in,
+    max_depth,
+    node_kind_histogram,
+    parse_module,
+    parse_source,
+    walk,
+)
+from repro.trojan import HOST_FAMILIES, generate_host
+
+
+class TestEmitterRoundTrip:
+    def test_fixture_round_trip_is_stable(self, sample_verilog) -> None:
+        first = emit_module(parse_module(sample_verilog))
+        second = emit_module(parse_module(first))
+        assert first == second
+
+    def test_round_trip_preserves_structure(self, sample_verilog) -> None:
+        original = parse_module(sample_verilog)
+        reparsed = parse_module(emit_module(original))
+        assert node_kind_histogram(original) == node_kind_histogram(reparsed)
+
+    @pytest.mark.parametrize("family", sorted(HOST_FAMILIES))
+    def test_generated_hosts_round_trip(self, family: str) -> None:
+        rng = np.random.default_rng(99)
+        source = generate_host(family, rng, name=f"{family}_rt")
+        first = emit_module(parse_module(source))
+        second = emit_module(parse_module(first))
+        assert first == second
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property_over_random_hosts(self, seed: int) -> None:
+        """Any generated host re-parses to a structurally identical AST."""
+        rng = np.random.default_rng(seed)
+        family = sorted(HOST_FAMILIES)[seed % len(HOST_FAMILIES)]
+        source = generate_host(family, rng, name="prop_host")
+        module = parse_module(source)
+        reparsed = parse_module(emit_module(module))
+        assert node_kind_histogram(module) == node_kind_histogram(reparsed)
+        assert reparsed.name == module.name
+        assert reparsed.ports == module.ports
+
+    def test_emit_source_multiple_modules(self) -> None:
+        source = "module a (input x); endmodule\nmodule b (output y); assign y = 1'b0; endmodule\n"
+        emitted = emit_source(parse_source(source))
+        reparsed = parse_source(emitted)
+        assert [m.name for m in reparsed.modules] == ["a", "b"]
+
+    def test_emitted_expressions_preserve_meaning(self) -> None:
+        # Parenthesisation must keep the original grouping.
+        module = parse_module(
+            "module e (input [3:0] a, input [3:0] b, output [3:0] y);\n"
+            "  assign y = (a + b) * a;\nendmodule\n"
+        )
+        reparsed = parse_module(emit_module(module))
+        expr = reparsed.continuous_assigns()[0].value
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "*"
+        assert isinstance(expr.left, ast.BinaryOp) and expr.left.op == "+"
+
+    def test_emit_unknown_node_raises(self) -> None:
+        class Strange(ast.Node):
+            pass
+
+        module = ast.Module(name="m", ports=[], items=[Strange()])
+        with pytest.raises(TypeError):
+            emit_module(module)
+
+
+class TestVisitors:
+    def test_walk_visits_every_node(self, sample_verilog) -> None:
+        module = parse_module(sample_verilog)
+        visited = list(walk(module))
+        assert visited[0] is module
+        assert len(visited) == count_nodes(module)
+
+    def test_collect_by_type(self, sample_verilog) -> None:
+        module = parse_module(sample_verilog)
+        assert all(isinstance(n, ast.If) for n in collect(module, ast.If))
+        assert len(collect(module, ast.Case)) == 1
+
+    def test_identifiers_in(self) -> None:
+        module = parse_module(
+            "module i (input a, input b, output y);\n  assign y = a & b & a;\nendmodule\n"
+        )
+        names = identifiers_in(module.continuous_assigns()[0].value)
+        assert names.count("a") == 2 and names.count("b") == 1
+
+    def test_max_depth_monotonic(self) -> None:
+        shallow = parse_module("module s (output y); assign y = 1'b0; endmodule")
+        deep = parse_module(
+            "module d (input a, output y); assign y = ((a ? 1'b0 : 1'b1) & a) | a; endmodule"
+        )
+        assert max_depth(deep) > max_depth(shallow)
+
+    def test_node_kind_histogram_counts(self, sample_verilog) -> None:
+        histogram = node_kind_histogram(parse_module(sample_verilog))
+        assert histogram["Module"] == 1
+        assert histogram["Always"] == 2
+        assert histogram["Case"] == 1
+
+    def test_node_visitor_dispatch(self, sample_verilog) -> None:
+        class AssignCounter(NodeVisitor):
+            def __init__(self) -> None:
+                self.count = 0
+
+            def visit_NonBlockingAssign(self, node) -> None:
+                self.count += 1
+                self.generic_visit(node)
+
+        counter = AssignCounter()
+        counter.visit(parse_module(sample_verilog))
+        assert counter.count == len(collect(parse_module(sample_verilog), ast.NonBlockingAssign))
+
+    def test_module_accessors(self, sample_verilog) -> None:
+        module = parse_module(sample_verilog)
+        assert len(module.port_declarations()) == 7
+        assert len(module.always_blocks()) == 2
+        assert len(module.parameters()) == 2
+        assert module.instantiations() == []

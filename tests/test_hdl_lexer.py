@@ -1,0 +1,114 @@
+"""Unit tests for the Verilog lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hdl import Lexer, LexerError, tokenize
+from repro.hdl.tokens import TokenType
+
+
+def _values(source: str):
+    return [t.value for t in tokenize(source) if t.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_and_identifiers(self) -> None:
+        tokens = tokenize("module foo; endmodule")
+        kinds = [(t.type, t.value) for t in tokens[:-1]]
+        assert kinds[0] == (TokenType.KEYWORD, "module")
+        assert kinds[1] == (TokenType.IDENTIFIER, "foo")
+        assert kinds[3] == (TokenType.KEYWORD, "endmodule")
+
+    def test_eof_terminates_stream(self) -> None:
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("wire x;")[-1].type is TokenType.EOF
+
+    def test_identifier_with_dollar_and_underscore(self) -> None:
+        values = _values("$display _sig core$net")
+        assert values == ["$display", "_sig", "core$net"]
+
+    def test_simple_decimal_number(self) -> None:
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.NUMBER and tokens[0].value == "42"
+
+    def test_sized_hex_number(self) -> None:
+        tokens = tokenize("8'hFF")
+        assert tokens[0].value == "8'hFF"
+
+    def test_sized_binary_with_underscores(self) -> None:
+        tokens = tokenize("4'b10_10")
+        assert tokens[0].value == "4'b10_10"
+
+    def test_signed_literal(self) -> None:
+        assert tokenize("8'sd5")[0].type is TokenType.NUMBER
+
+    def test_string_literal(self) -> None:
+        tokens = tokenize('"hello world"')
+        assert tokens[0].type is TokenType.STRING and tokens[0].value == "hello world"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op", ["<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "===", "!==", "<<<", ">>>"]
+    )
+    def test_multi_character_operators(self, op: str) -> None:
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1].value == op and tokens[1].type is TokenType.OPERATOR
+
+    def test_greedy_matching(self) -> None:
+        # "<<<" must lex as one token, not "<<" then "<".
+        assert _values("a <<< b") == ["a", "<<<", "b"]
+
+    def test_single_char_operators_and_punctuation(self) -> None:
+        values = _values("assign y = (a & b) | ~c;")
+        assert values == ["assign", "y", "=", "(", "a", "&", "b", ")", "|", "~", "c", ";"]
+
+    def test_reduction_operator_split(self) -> None:
+        # ~& is a distinct token (reduction NAND).
+        assert "~&" in _values("assign y = ~&a;")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comments_ignored(self) -> None:
+        assert _values("wire x; // a comment\nwire y;") == ["wire", "x", ";", "wire", "y", ";"]
+
+    def test_block_comments_ignored(self) -> None:
+        assert _values("wire /* hidden */ x;") == ["wire", "x", ";"]
+
+    def test_multiline_block_comment(self) -> None:
+        assert _values("/* line1\nline2\n*/ reg r;") == ["reg", "r", ";"]
+
+    def test_unterminated_block_comment_raises(self) -> None:
+        with pytest.raises(LexerError, match="Unterminated block comment"):
+            tokenize("wire x; /* never closed")
+
+    def test_unterminated_string_raises(self) -> None:
+        with pytest.raises(LexerError, match="Unterminated string"):
+            tokenize('"no closing quote')
+
+
+class TestPositionsAndErrors:
+    def test_line_and_column_tracking(self) -> None:
+        tokens = tokenize("wire a;\n  reg b;")
+        reg_token = next(t for t in tokens if t.value == "reg")
+        assert reg_token.line == 2
+        assert reg_token.column == 3
+
+    def test_unexpected_character_raises_with_position(self) -> None:
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("wire a;\nwire `b;")
+        assert excinfo.value.line == 2
+
+    def test_invalid_base_raises(self) -> None:
+        with pytest.raises(LexerError, match="Invalid numeric base"):
+            tokenize("8'q12")
+
+    def test_missing_digits_after_base_raises(self) -> None:
+        with pytest.raises(LexerError, match="missing digits"):
+            tokenize("8'h ;")
+
+    def test_lexer_object_reusable_state(self) -> None:
+        lexer = Lexer("wire x;")
+        first = lexer.tokenize()
+        assert [t.value for t in first[:-1]] == ["wire", "x", ";"]

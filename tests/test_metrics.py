@@ -1,0 +1,281 @@
+"""Tests for the evaluation metrics: Brier family, calibration, ROC, radar."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    RADAR_AXES,
+    accuracy,
+    balanced_accuracy,
+    brier_decomposition,
+    brier_score,
+    brier_skill_score,
+    calibration_curve,
+    classification_report,
+    confusion_matrix,
+    consolidated_metrics,
+    expected_calibration_error,
+    f1_score,
+    format_comparison,
+    format_curve,
+    format_metric_block,
+    format_radar,
+    format_table,
+    maximum_calibration_error,
+    precision,
+    probability_histogram,
+    radar_axes,
+    radar_polygon,
+    rank_auc,
+    recall,
+    roc_auc,
+    roc_curve,
+    sharpness,
+    specificity,
+)
+
+
+class TestBrier:
+    def test_perfect_and_worst_scores(self) -> None:
+        outcomes = np.array([1, 0, 1, 0])
+        assert brier_score(outcomes.astype(float), outcomes) == 0.0
+        assert brier_score(1.0 - outcomes, outcomes) == 1.0
+
+    def test_known_value(self) -> None:
+        assert brier_score(np.array([0.7, 0.3]), np.array([1, 0])) == pytest.approx(0.09)
+
+    def test_base_rate_forecast_has_zero_skill(self) -> None:
+        outcomes = np.array([1, 1, 0, 0, 0, 0, 1, 0])
+        base = np.full_like(outcomes, outcomes.mean(), dtype=float)
+        assert brier_skill_score(base, outcomes) == pytest.approx(0.0, abs=1e-12)
+
+    def test_good_forecast_has_positive_skill(self) -> None:
+        outcomes = np.array([1, 0, 1, 0, 1, 0])
+        good = np.array([0.9, 0.1, 0.8, 0.2, 0.95, 0.05])
+        assert brier_skill_score(good, outcomes) > 0.5
+
+    def test_decomposition_consistency(self) -> None:
+        rng = np.random.default_rng(0)
+        probabilities = rng.uniform(size=500)
+        outcomes = (rng.uniform(size=500) < probabilities).astype(int)
+        decomposition = brier_decomposition(probabilities, outcomes, n_bins=10)
+        reconstructed = (
+            decomposition.reliability - decomposition.resolution + decomposition.uncertainty
+        )
+        assert reconstructed == pytest.approx(decomposition.brier, abs=0.01)
+        assert decomposition.refinement_loss == pytest.approx(
+            decomposition.uncertainty - decomposition.resolution
+        )
+
+    def test_calibrated_forecast_low_reliability(self) -> None:
+        rng = np.random.default_rng(1)
+        probabilities = rng.uniform(size=2000)
+        outcomes = (rng.uniform(size=2000) < probabilities).astype(int)
+        assert brier_decomposition(probabilities, outcomes).reliability < 0.01
+
+    def test_sharpness(self) -> None:
+        assert sharpness(np.array([0.0, 1.0, 0.0, 1.0])) == pytest.approx(0.25)
+        assert sharpness(np.full(10, 0.5)) == 0.0
+
+    def test_input_validation(self) -> None:
+        with pytest.raises(ValueError):
+            brier_score(np.array([0.5]), np.array([2]))
+        with pytest.raises(ValueError):
+            brier_score(np.array([1.5]), np.array([1]))
+        with pytest.raises(ValueError):
+            brier_score(np.array([]), np.array([]))
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 1.0), st.integers(0, 1)), min_size=2, max_size=100
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_brier_bounds_property(self, pairs) -> None:
+        probabilities = np.array([p for p, _ in pairs])
+        outcomes = np.array([o for _, o in pairs])
+        assert 0.0 <= brier_score(probabilities, outcomes) <= 1.0
+
+
+class TestCalibration:
+    def test_curve_bins_and_counts(self) -> None:
+        probabilities = np.array([0.05, 0.15, 0.95, 0.85, 0.5])
+        outcomes = np.array([0, 0, 1, 1, 1])
+        curve = calibration_curve(probabilities, outcomes, n_bins=10)
+        assert sum(curve.counts) == 5
+        assert len(curve.bin_centers) == len(curve.observed_frequency)
+
+    def test_perfectly_calibrated_low_ece(self) -> None:
+        rng = np.random.default_rng(2)
+        probabilities = rng.uniform(size=5000)
+        outcomes = (rng.uniform(size=5000) < probabilities).astype(int)
+        assert expected_calibration_error(probabilities, outcomes) < 0.05
+
+    def test_miscalibrated_high_ece(self) -> None:
+        probabilities = np.full(100, 0.9)
+        outcomes = np.zeros(100, dtype=int)
+        assert expected_calibration_error(probabilities, outcomes) > 0.8
+        assert maximum_calibration_error(probabilities, outcomes) > 0.8
+
+    def test_histogram(self) -> None:
+        histogram = probability_histogram(np.array([0.05, 0.06, 0.95]), n_bins=10)
+        assert sum(histogram["counts"]) == 3
+        assert histogram["counts"][0] == 2
+
+    def test_invalid_inputs(self) -> None:
+        with pytest.raises(ValueError):
+            calibration_curve(np.array([0.5]), np.array([1, 0]))
+        with pytest.raises(ValueError):
+            probability_histogram(np.array([0.5]), n_bins=0)
+
+
+class TestROC:
+    def test_perfect_separation(self) -> None:
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 1.0
+
+    def test_inverted_scores(self) -> None:
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 0.0
+
+    def test_random_scores_near_half(self) -> None:
+        rng = np.random.default_rng(3)
+        scores = rng.uniform(size=2000)
+        labels = rng.integers(0, 2, size=2000)
+        assert abs(roc_auc(scores, labels) - 0.5) < 0.05
+
+    def test_curve_endpoints_and_monotonicity(self) -> None:
+        rng = np.random.default_rng(4)
+        scores = rng.uniform(size=50)
+        labels = rng.integers(0, 2, size=50)
+        curve = roc_curve(scores, labels)
+        assert curve.false_positive_rate[0] == 0.0 and curve.true_positive_rate[0] == 0.0
+        assert curve.false_positive_rate[-1] == 1.0 and curve.true_positive_rate[-1] == 1.0
+        assert np.all(np.diff(curve.false_positive_rate) >= 0)
+        assert np.all(np.diff(curve.true_positive_rate) >= 0)
+
+    def test_requires_both_classes(self) -> None:
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.9]), np.array([1, 1]))
+
+    def test_trapezoid_matches_rank_formulation(self) -> None:
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            scores = rng.normal(size=60)
+            labels = rng.integers(0, 2, size=60)
+            if labels.sum() in (0, 60):
+                continue
+            assert roc_auc(scores, labels) == pytest.approx(rank_auc(scores, labels))
+
+    @given(
+        st.lists(st.tuples(st.floats(-5, 5), st.integers(0, 1)), min_size=4, max_size=80)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_auc_implementations_agree_property(self, pairs) -> None:
+        scores = np.array([s for s, _ in pairs])
+        labels = np.array([l for _, l in pairs])
+        if labels.sum() == 0 or labels.sum() == len(labels):
+            return
+        assert roc_auc(scores, labels) == pytest.approx(rank_auc(scores, labels), abs=1e-9)
+
+
+class TestClassification:
+    def test_confusion_matrix_counts(self) -> None:
+        predictions = np.array([1, 0, 1, 0, 1])
+        labels = np.array([1, 0, 0, 1, 1])
+        cm = confusion_matrix(predictions, labels)
+        assert (cm.true_positive, cm.true_negative, cm.false_positive, cm.false_negative) == (
+            2,
+            1,
+            1,
+            1,
+        )
+        assert cm.total == 5
+
+    def test_metric_values(self) -> None:
+        predictions = np.array([1, 0, 1, 0, 1])
+        labels = np.array([1, 0, 0, 1, 1])
+        assert accuracy(predictions, labels) == pytest.approx(0.6)
+        assert precision(predictions, labels) == pytest.approx(2 / 3)
+        assert recall(predictions, labels) == pytest.approx(2 / 3)
+        assert specificity(predictions, labels) == pytest.approx(1 / 2)
+        assert f1_score(predictions, labels) == pytest.approx(2 / 3)
+        assert balanced_accuracy(predictions, labels) == pytest.approx((2 / 3 + 0.5) / 2)
+
+    def test_degenerate_cases(self) -> None:
+        assert precision(np.zeros(4, dtype=int), np.array([0, 0, 1, 1])) == 0.0
+        assert f1_score(np.zeros(4, dtype=int), np.array([0, 0, 1, 1])) == 0.0
+
+    def test_report_keys(self) -> None:
+        report = classification_report(np.array([1, 0]), np.array([1, 1]))
+        assert {"accuracy", "precision", "recall", "f1", "true_positive"} <= set(report)
+
+    def test_input_validation(self) -> None:
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 0]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestRadarAndReport:
+    def test_consolidated_metrics_keys(self) -> None:
+        rng = np.random.default_rng(6)
+        labels = rng.integers(0, 2, size=200)
+        probabilities = np.clip(labels * 0.7 + rng.uniform(size=200) * 0.3, 0, 1)
+        metrics = consolidated_metrics(probabilities, labels)
+        for axis, _ in RADAR_AXES:
+            assert axis in metrics
+
+    def test_radar_axes_normalised_and_inverted(self) -> None:
+        rng = np.random.default_rng(7)
+        labels = rng.integers(0, 2, size=300)
+        probabilities = np.clip(labels * 0.8 + rng.uniform(size=300) * 0.2, 0, 1)
+        metrics = consolidated_metrics(probabilities, labels)
+        axes = radar_axes(metrics)
+        assert all(0.0 <= value <= 1.0 for value in axes.values())
+        # Lower-is-better metrics are inverted: a small Brier gives a large axis value.
+        assert axes["brier_score"] == pytest.approx(1.0 - min(metrics["brier_score"], 1.0))
+
+    def test_radar_polygon_order(self) -> None:
+        rng = np.random.default_rng(8)
+        labels = rng.integers(0, 2, size=100)
+        probabilities = np.clip(labels + rng.normal(0, 0.2, 100), 0, 1)
+        polygon = radar_polygon(consolidated_metrics(probabilities, labels))
+        assert [name for name, _ in polygon] == [name for name, _ in RADAR_AXES]
+
+    def test_radar_axes_missing_metric(self) -> None:
+        with pytest.raises(KeyError):
+            radar_axes({"auc": 0.9})
+
+    def test_format_table(self) -> None:
+        text = format_table(
+            [{"name": "a", "value": 1.2345}, {"name": "bb", "value": 2.0}],
+            columns=["name", "value"],
+            title="T",
+        )
+        assert "T" in text and "1.2345" in text and "bb" in text
+
+    def test_format_table_empty(self) -> None:
+        assert "(no rows)" in format_table([], columns=["a"], title="x")
+
+    def test_format_metric_block_and_curve(self) -> None:
+        block = format_metric_block({"auc": 0.9, "n": 5}, title="metrics")
+        assert "auc" in block and "0.9000" in block
+        curve = format_curve([0.0, 0.5, 1.0], [0.0, 0.7, 1.0], "fpr", "tpr")
+        assert "tpr vs fpr" in curve
+
+    def test_format_radar_and_comparison(self) -> None:
+        radar = format_radar([("auc", 0.9), ("acc", 0.5)])
+        assert "auc" in radar and "#" in radar
+        comparison = format_comparison({"auc": 0.928}, {"auc": 0.95})
+        assert "0.9280" in comparison and "0.9500" in comparison
+
+    def test_format_curve_validates(self) -> None:
+        with pytest.raises(ValueError):
+            format_curve([1.0], [1.0, 2.0])

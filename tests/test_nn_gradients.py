@@ -1,0 +1,190 @@
+"""Finite-difference gradient checks for every layer and loss.
+
+These are the load-bearing tests of the ``repro.nn`` substrate: a layer with
+a subtly wrong backward pass can still "train" yet silently degrade every
+model built on top of it, so each backward implementation is compared
+against a central-difference numerical gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    Conv1d,
+    Conv2d,
+    Dense,
+    Flatten,
+    GlobalAveragePool1d,
+    LeakyReLU,
+    MaxPool1d,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    BinaryCrossEntropyWithLogits,
+    CategoricalCrossEntropy,
+    HingeLoss,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+)
+
+_EPS = 1e-6
+_TOL = 1e-5
+
+
+def _numerical_gradient(func, array: np.ndarray) -> np.ndarray:
+    """Central-difference gradient of a scalar function w.r.t. ``array``."""
+    gradient = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + _EPS
+        plus = func()
+        flat[i] = original - _EPS
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * _EPS)
+    return gradient
+
+
+def _check_layer_gradients(layer, x: np.ndarray, training: bool = True) -> None:
+    """Compare analytic input/parameter gradients with numerical ones.
+
+    The scalar objective is ``sum(forward(x))`` so the upstream gradient is a
+    tensor of ones.
+    """
+    def objective() -> float:
+        return float(np.sum(layer.forward(x, training=training)))
+
+    output = layer.forward(x, training=training)
+    layer.zero_grad()
+    grad_input = layer.backward(np.ones_like(output))
+
+    numerical_input = _numerical_gradient(objective, x)
+    np.testing.assert_allclose(grad_input, numerical_input, atol=_TOL, rtol=1e-4)
+
+    for param, grad in zip(layer.parameters(), layer.gradients()):
+        numerical_param = _numerical_gradient(objective, param)
+        np.testing.assert_allclose(grad, numerical_param, atol=_TOL, rtol=1e-4)
+
+
+@pytest.fixture
+def generator() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+class TestLayerGradients:
+    def test_dense(self, generator) -> None:
+        layer = Dense(5, 4, rng=generator)
+        _check_layer_gradients(layer, generator.normal(size=(3, 5)))
+
+    def test_dense_without_bias(self, generator) -> None:
+        layer = Dense(4, 3, use_bias=False, rng=generator)
+        _check_layer_gradients(layer, generator.normal(size=(2, 4)))
+
+    def test_conv1d(self, generator) -> None:
+        layer = Conv1d(2, 3, kernel_size=3, rng=generator)
+        _check_layer_gradients(layer, generator.normal(size=(2, 2, 7)))
+
+    def test_conv1d_with_padding_and_stride(self, generator) -> None:
+        layer = Conv1d(2, 2, kernel_size=3, stride=2, padding=1, rng=generator)
+        _check_layer_gradients(layer, generator.normal(size=(2, 2, 8)))
+
+    def test_conv2d(self, generator) -> None:
+        layer = Conv2d(2, 3, kernel_size=3, rng=generator)
+        _check_layer_gradients(layer, generator.normal(size=(2, 2, 5, 5)))
+
+    def test_conv2d_with_padding(self, generator) -> None:
+        layer = Conv2d(1, 2, kernel_size=3, padding=1, rng=generator)
+        _check_layer_gradients(layer, generator.normal(size=(2, 1, 4, 4)))
+
+    def test_maxpool1d(self, generator) -> None:
+        # Distinct values avoid ties, which a numerical gradient cannot resolve.
+        x = generator.permutation(np.linspace(-1.0, 1.0, 2 * 2 * 8)).reshape(2, 2, 8)
+        _check_layer_gradients(MaxPool1d(2), x)
+
+    def test_maxpool2d(self, generator) -> None:
+        x = generator.permutation(np.linspace(-1.0, 1.0, 2 * 1 * 6 * 6)).reshape(2, 1, 6, 6)
+        _check_layer_gradients(MaxPool2d(2), x)
+
+    def test_global_average_pool(self, generator) -> None:
+        _check_layer_gradients(GlobalAveragePool1d(), generator.normal(size=(3, 4, 6)))
+
+    def test_flatten(self, generator) -> None:
+        _check_layer_gradients(Flatten(), generator.normal(size=(2, 3, 4)))
+
+    def test_relu(self, generator) -> None:
+        x = generator.normal(size=(4, 5))
+        x[np.abs(x) < 0.05] = 0.2  # keep away from the kink
+        _check_layer_gradients(ReLU(), x)
+
+    def test_leaky_relu(self, generator) -> None:
+        x = generator.normal(size=(4, 5))
+        x[np.abs(x) < 0.05] = -0.3
+        _check_layer_gradients(LeakyReLU(0.1), x)
+
+    def test_sigmoid(self, generator) -> None:
+        _check_layer_gradients(Sigmoid(), generator.normal(size=(4, 5)))
+
+    def test_tanh(self, generator) -> None:
+        _check_layer_gradients(Tanh(), generator.normal(size=(4, 5)))
+
+    def test_softmax(self, generator) -> None:
+        _check_layer_gradients(Softmax(), generator.normal(size=(4, 5)))
+
+    def test_batchnorm(self, generator) -> None:
+        layer = BatchNorm1d(5)
+        _check_layer_gradients(layer, generator.normal(size=(8, 5)), training=True)
+
+
+class TestLossGradients:
+    def _check(self, loss, pred: np.ndarray, target: np.ndarray) -> None:
+        analytic = loss.gradient(pred, target)
+
+        def objective() -> float:
+            return float(loss.loss(pred, target))
+
+        numerical = _numerical_gradient(objective, pred)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-5, rtol=1e-4)
+
+    def test_mse(self, generator) -> None:
+        self._check(
+            MeanSquaredError(),
+            generator.normal(size=(6, 3)),
+            generator.normal(size=(6, 3)),
+        )
+
+    def test_binary_crossentropy(self, generator) -> None:
+        pred = generator.uniform(0.1, 0.9, size=(8, 1))
+        target = generator.integers(0, 2, size=(8, 1)).astype(float)
+        self._check(BinaryCrossEntropy(), pred, target)
+
+    def test_binary_crossentropy_logits(self, generator) -> None:
+        pred = generator.normal(size=(8,))
+        target = generator.integers(0, 2, size=(8,)).astype(float)
+        self._check(BinaryCrossEntropyWithLogits(), pred, target)
+
+    def test_categorical_crossentropy(self, generator) -> None:
+        raw = generator.uniform(0.1, 1.0, size=(5, 3))
+        pred = raw / raw.sum(axis=1, keepdims=True)
+        target = np.eye(3)[generator.integers(0, 3, size=5)]
+        self._check(CategoricalCrossEntropy(), pred, target)
+
+    def test_softmax_crossentropy(self, generator) -> None:
+        pred = generator.normal(size=(5, 4))
+        target = generator.integers(0, 4, size=5)
+        self._check(SoftmaxCrossEntropy(), pred, target)
+
+    def test_hinge(self, generator) -> None:
+        pred = generator.normal(size=(10,)) * 2
+        pred[np.abs(np.abs(pred) - 1.0) < 0.05] = 0.5  # keep away from the hinge point
+        target = generator.integers(0, 2, size=10)
+        self._check(HingeLoss(), pred, target)

@@ -1,0 +1,219 @@
+"""Unit tests for layer shapes, modes and error handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    Conv1d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool1d,
+    MaxPool1d,
+    MaxPool2d,
+    ReLU,
+    get_activation,
+)
+
+
+@pytest.fixture
+def generator() -> np.random.Generator:
+    return np.random.default_rng(3)
+
+
+class TestDense:
+    def test_output_shape(self, generator) -> None:
+        layer = Dense(7, 3, rng=generator)
+        assert layer.forward(generator.normal(size=(5, 7))).shape == (5, 3)
+
+    def test_rejects_wrong_input_width(self, generator) -> None:
+        layer = Dense(4, 2, rng=generator)
+        with pytest.raises(ValueError, match="expected input"):
+            layer.forward(generator.normal(size=(5, 3)))
+
+    def test_rejects_non_positive_dimensions(self) -> None:
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, -1)
+
+    def test_backward_before_forward_raises(self, generator) -> None:
+        layer = Dense(3, 2, rng=generator)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_parameter_count(self, generator) -> None:
+        layer = Dense(10, 4, rng=generator)
+        assert layer.n_parameters == 10 * 4 + 4
+
+    def test_no_bias_parameter_count(self, generator) -> None:
+        layer = Dense(10, 4, use_bias=False, rng=generator)
+        assert layer.n_parameters == 40
+
+    def test_zero_grad_clears_gradients(self, generator) -> None:
+        layer = Dense(3, 2, rng=generator)
+        out = layer.forward(generator.normal(size=(4, 3)))
+        layer.backward(np.ones_like(out))
+        assert np.any(layer.grad_weight != 0)
+        layer.zero_grad()
+        assert np.all(layer.grad_weight == 0)
+
+
+class TestConvolutions:
+    def test_conv1d_output_length(self, generator) -> None:
+        layer = Conv1d(2, 4, kernel_size=3, rng=generator)
+        assert layer.forward(generator.normal(size=(2, 2, 10))).shape == (2, 4, 8)
+
+    def test_conv1d_padding_preserves_length(self, generator) -> None:
+        layer = Conv1d(1, 2, kernel_size=3, padding=1, rng=generator)
+        assert layer.forward(generator.normal(size=(2, 1, 9))).shape == (2, 2, 9)
+
+    def test_conv1d_stride(self, generator) -> None:
+        layer = Conv1d(1, 1, kernel_size=2, stride=2, rng=generator)
+        assert layer.forward(generator.normal(size=(1, 1, 10))).shape == (1, 1, 5)
+
+    def test_conv1d_rejects_wrong_channels(self, generator) -> None:
+        layer = Conv1d(3, 2, kernel_size=3, rng=generator)
+        with pytest.raises(ValueError):
+            layer.forward(generator.normal(size=(1, 2, 10)))
+
+    def test_conv1d_rejects_too_short_input(self, generator) -> None:
+        layer = Conv1d(1, 1, kernel_size=5, rng=generator)
+        with pytest.raises(ValueError):
+            layer.forward(generator.normal(size=(1, 1, 3)))
+
+    def test_conv2d_output_shape(self, generator) -> None:
+        layer = Conv2d(1, 3, kernel_size=3, rng=generator)
+        assert layer.forward(generator.normal(size=(2, 1, 8, 8))).shape == (2, 3, 6, 6)
+
+    def test_conv2d_padding_preserves_shape(self, generator) -> None:
+        layer = Conv2d(2, 2, kernel_size=3, padding=1, rng=generator)
+        assert layer.forward(generator.normal(size=(1, 2, 5, 5))).shape == (1, 2, 5, 5)
+
+    def test_conv2d_known_values(self) -> None:
+        """A 1x1x2x2 all-ones kernel applied to a known image sums windows."""
+        layer = Conv2d(1, 1, kernel_size=2)
+        layer.weight[...] = 1.0
+        layer.bias[...] = 0.0
+        image = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        out = layer.forward(image)
+        expected = np.array([[0 + 1 + 3 + 4, 1 + 2 + 4 + 5], [3 + 4 + 6 + 7, 4 + 5 + 7 + 8]])
+        np.testing.assert_allclose(out[0, 0], expected)
+
+    def test_conv1d_known_values(self) -> None:
+        layer = Conv1d(1, 1, kernel_size=2)
+        layer.weight[...] = 1.0
+        layer.bias[...] = 0.5
+        signal = np.array([[[1.0, 2.0, 3.0, 4.0]]])
+        np.testing.assert_allclose(layer.forward(signal)[0, 0], [3.5, 5.5, 7.5])
+
+
+class TestPooling:
+    def test_maxpool1d_values(self) -> None:
+        layer = MaxPool1d(2)
+        x = np.array([[[1.0, 5.0, 2.0, 3.0, 7.0, 0.0]]])
+        np.testing.assert_allclose(layer.forward(x)[0, 0], [5.0, 3.0, 7.0])
+
+    def test_maxpool2d_values(self) -> None:
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        np.testing.assert_allclose(layer.forward(x)[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_maxpool_backward_routes_to_argmax(self) -> None:
+        layer = MaxPool1d(2)
+        x = np.array([[[1.0, 5.0, 2.0, 3.0]]])
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(grad[0, 0], [0.0, 1.0, 0.0, 1.0])
+
+    def test_global_average_pool(self) -> None:
+        layer = GlobalAveragePool1d()
+        x = np.array([[[2.0, 4.0], [1.0, 3.0]]])
+        np.testing.assert_allclose(layer.forward(x), [[3.0, 2.0]])
+
+    def test_maxpool_rejects_invalid_size(self) -> None:
+        with pytest.raises(ValueError):
+            MaxPool1d(0)
+        with pytest.raises(ValueError):
+            MaxPool2d((0, 2))
+
+
+class TestDropoutAndBatchNorm:
+    def test_dropout_inactive_in_inference(self, generator) -> None:
+        layer = Dropout(0.5, rng=generator)
+        x = generator.normal(size=(10, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_zeroes_in_training(self, generator) -> None:
+        layer = Dropout(0.5, rng=generator)
+        x = np.ones((200, 50))
+        out = layer.forward(x, training=True)
+        dropped_fraction = np.mean(out == 0.0)
+        assert 0.35 < dropped_fraction < 0.65
+
+    def test_dropout_preserves_expectation(self, generator) -> None:
+        layer = Dropout(0.3, rng=generator)
+        x = np.ones((500, 100))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_dropout_rejects_invalid_rate(self) -> None:
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_batchnorm_normalises_training_batch(self, generator) -> None:
+        layer = BatchNorm1d(4)
+        x = generator.normal(loc=3.0, scale=2.0, size=(64, 4))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm_uses_running_stats_in_inference(self, generator) -> None:
+        layer = BatchNorm1d(3, momentum=0.0)  # running stats = last batch
+        x = generator.normal(loc=5.0, size=(32, 3))
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_batchnorm_rejects_wrong_width(self) -> None:
+        layer = BatchNorm1d(3)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((4, 5)), training=True)
+
+
+class TestFlattenAndActivations:
+    def test_flatten_round_trip(self, generator) -> None:
+        layer = Flatten()
+        x = generator.normal(size=(3, 2, 4))
+        out = layer.forward(x)
+        assert out.shape == (3, 8)
+        assert layer.backward(out).shape == x.shape
+
+    def test_relu_clips_negative(self) -> None:
+        out = ReLU().forward(np.array([-1.0, 0.5, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 2.0])
+
+    def test_get_activation_known_names(self) -> None:
+        for name in ("relu", "sigmoid", "tanh", "softmax", "leaky_relu", "identity"):
+            layer = get_activation(name)
+            assert hasattr(layer, "forward")
+
+    def test_get_activation_unknown_name(self) -> None:
+        with pytest.raises(ValueError, match="Unknown activation"):
+            get_activation("swishish")
+
+    def test_softmax_rows_sum_to_one(self, generator) -> None:
+        out = get_activation("softmax").forward(generator.normal(size=(6, 4)))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+        assert np.all(out >= 0)
+
+    def test_sigmoid_extreme_values_stable(self) -> None:
+        out = get_activation("sigmoid").forward(np.array([-1000.0, 0.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-9)

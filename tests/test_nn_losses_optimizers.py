@@ -1,0 +1,185 @@
+"""Unit tests for loss values, optimizer updates and initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    available_initializers,
+    get_initializer,
+    get_loss,
+    get_optimizer,
+)
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    BinaryCrossEntropyWithLogits,
+    HingeLoss,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.optimizers import SGD, Adam, RMSProp
+
+
+class TestLossValues:
+    def test_mse_zero_for_perfect_prediction(self) -> None:
+        pred = np.array([1.0, 2.0, 3.0])
+        assert MeanSquaredError().loss(pred, pred) == 0.0
+
+    def test_mse_known_value(self) -> None:
+        assert MeanSquaredError().loss(np.array([1.0, 3.0]), np.array([0.0, 1.0])) == pytest.approx(2.5)
+
+    def test_bce_known_value(self) -> None:
+        loss = BinaryCrossEntropy().loss(np.array([0.5, 0.5]), np.array([1.0, 0.0]))
+        assert loss == pytest.approx(np.log(2.0))
+
+    def test_bce_penalises_confident_mistakes(self) -> None:
+        confident_wrong = BinaryCrossEntropy().loss(np.array([0.99]), np.array([0.0]))
+        hesitant_wrong = BinaryCrossEntropy().loss(np.array([0.6]), np.array([0.0]))
+        assert confident_wrong > hesitant_wrong
+
+    def test_bce_logits_matches_probability_form(self) -> None:
+        logits = np.array([-2.0, 0.3, 1.5, -0.7])
+        targets = np.array([0.0, 1.0, 1.0, 0.0])
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        assert BinaryCrossEntropyWithLogits().loss(logits, targets) == pytest.approx(
+            BinaryCrossEntropy().loss(probabilities, targets)
+        )
+
+    def test_bce_shape_mismatch_raises(self) -> None:
+        with pytest.raises(ValueError):
+            BinaryCrossEntropy().loss(np.array([0.5, 0.5]), np.array([1.0]))
+
+    def test_softmax_crossentropy_prefers_correct_class(self) -> None:
+        loss = SoftmaxCrossEntropy()
+        good = loss.loss(np.array([[5.0, 0.0]]), np.array([0]))
+        bad = loss.loss(np.array([[0.0, 5.0]]), np.array([0]))
+        assert good < bad
+
+    def test_hinge_zero_beyond_margin(self) -> None:
+        assert HingeLoss().loss(np.array([2.0, -3.0]), np.array([1, 0])) == 0.0
+
+    def test_hinge_accepts_signed_targets(self) -> None:
+        loss01 = HingeLoss().loss(np.array([0.5, -0.5]), np.array([1, 0]))
+        loss_pm = HingeLoss().loss(np.array([0.5, -0.5]), np.array([1, -1]))
+        assert loss01 == pytest.approx(loss_pm)
+
+    def test_get_loss_by_name_and_instance(self) -> None:
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        instance = BinaryCrossEntropy()
+        assert get_loss(instance) is instance
+
+    def test_get_loss_unknown(self) -> None:
+        with pytest.raises(ValueError, match="Unknown loss"):
+            get_loss("absolute")
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_minimisation(optimizer, steps: int = 300) -> float:
+        """Minimise ||w - 3||^2 by feeding the optimizer explicit gradients."""
+        w = np.array([10.0, -10.0])
+        grad = np.zeros_like(w)
+        optimizer.bind([w], [grad])
+        for _ in range(steps):
+            grad[...] = 2.0 * (w - 3.0)
+            optimizer.step()
+        return float(np.abs(w - 3.0).max())
+
+    def test_sgd_converges(self) -> None:
+        assert self._quadratic_minimisation(SGD(learning_rate=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self) -> None:
+        assert self._quadratic_minimisation(SGD(learning_rate=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self) -> None:
+        assert self._quadratic_minimisation(Adam(learning_rate=0.2)) < 1e-2
+
+    def test_rmsprop_converges(self) -> None:
+        assert self._quadratic_minimisation(RMSProp(learning_rate=0.05)) < 1e-2
+
+    def test_weight_decay_shrinks_weights(self) -> None:
+        w = np.array([5.0])
+        grad = np.zeros_like(w)
+        optimizer = SGD(learning_rate=0.1, weight_decay=1.0)
+        optimizer.bind([w], [grad])
+        for _ in range(50):
+            grad[...] = 0.0
+            optimizer.step()
+        assert abs(w[0]) < 0.1
+
+    def test_updates_happen_in_place(self) -> None:
+        layer = Dense(2, 2, rng=np.random.default_rng(0))
+        weight_reference = layer.weight
+        optimizer = get_optimizer("sgd", learning_rate=0.1)
+        optimizer.bind(layer.parameters(), layer.gradients())
+        layer.grad_weight[...] = 1.0
+        optimizer.step()
+        assert layer.weight is weight_reference
+        assert np.all(layer.weight != get_initializer("zeros")((2, 2), np.random.default_rng()))
+
+    def test_zero_grad(self) -> None:
+        w = np.array([1.0])
+        grad = np.array([5.0])
+        optimizer = SGD()
+        optimizer.bind([w], [grad])
+        optimizer.zero_grad()
+        assert grad[0] == 0.0
+
+    def test_invalid_hyperparameters(self) -> None:
+        with pytest.raises(ValueError):
+            SGD(learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.2)
+        with pytest.raises(ValueError):
+            RMSProp(decay=0.0)
+
+    def test_get_optimizer_unknown(self) -> None:
+        with pytest.raises(ValueError, match="Unknown optimizer"):
+            get_optimizer("adagradish")
+
+    def test_bind_misaligned_lists(self) -> None:
+        with pytest.raises(ValueError):
+            SGD().bind([np.zeros(2)], [])
+
+
+class TestInitializers:
+    def test_registry_names_resolve(self) -> None:
+        rng = np.random.default_rng(0)
+        for name in available_initializers():
+            array = get_initializer(name)((4, 5), rng)
+            assert array.shape == (4, 5)
+
+    def test_zeros_and_ones(self) -> None:
+        rng = np.random.default_rng(0)
+        assert np.all(get_initializer("zeros")((3,), rng) == 0.0)
+        assert np.all(get_initializer("ones")((3,), rng) == 1.0)
+
+    def test_he_normal_scale(self) -> None:
+        rng = np.random.default_rng(0)
+        samples = get_initializer("he_normal")((200, 100), rng)
+        expected_std = np.sqrt(2.0 / 200)
+        assert abs(samples.std() - expected_std) / expected_std < 0.1
+
+    def test_xavier_uniform_bounds(self) -> None:
+        rng = np.random.default_rng(0)
+        samples = get_initializer("xavier_uniform")((50, 50), rng)
+        limit = np.sqrt(6.0 / 100)
+        assert samples.max() <= limit and samples.min() >= -limit
+
+    def test_conv_fan_in_uses_receptive_field(self) -> None:
+        rng = np.random.default_rng(0)
+        kernel = get_initializer("he_normal")((8, 4, 3, 3), rng)
+        expected_std = np.sqrt(2.0 / (4 * 9))
+        assert abs(kernel.std() - expected_std) / expected_std < 0.15
+
+    def test_unknown_initializer(self) -> None:
+        with pytest.raises(ValueError, match="Unknown initializer"):
+            get_initializer("lecun_fancy")
+
+    def test_callable_passthrough(self) -> None:
+        custom = lambda shape, rng: np.full(shape, 7.0)  # noqa: E731
+        assert np.all(get_initializer(custom)((2, 2), np.random.default_rng()) == 7.0)

@@ -1,0 +1,210 @@
+"""Tests for the Sequential model, training loop, serialization and data utils."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Dense,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    iterate_minibatches,
+    load_state_dict,
+    load_weights,
+    one_hot,
+    save_weights,
+    state_dict,
+    stratified_indices,
+    train_test_split,
+)
+
+
+def _make_model(seed: int = 0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Dense(6, 16, rng=rng), ReLU(), Dense(16, 1, rng=rng), Sigmoid()],
+        loss="bce",
+        optimizer="adam",
+        learning_rate=0.01,
+    )
+
+
+class TestSequential:
+    def test_training_reduces_loss(self, binary_classification_data) -> None:
+        x, y = binary_classification_data
+        model = _make_model()
+        history = model.fit(x, y, epochs=25, batch_size=32, rng=np.random.default_rng(0))
+        assert history.loss[-1] < history.loss[0]
+
+    def test_learns_separable_problem(self, binary_classification_data) -> None:
+        x, y = binary_classification_data
+        model = _make_model()
+        model.fit(x, y, epochs=40, batch_size=32, rng=np.random.default_rng(0))
+        assert np.mean(model.predict(x) == y) > 0.9
+
+    def test_validation_history_recorded(self, binary_classification_data) -> None:
+        x, y = binary_classification_data
+        model = _make_model()
+        history = model.fit(
+            x[:200], y[:200], epochs=5, validation_data=(x[200:], y[200:]),
+            rng=np.random.default_rng(0),
+        )
+        assert len(history.val_loss) == len(history.loss) == 5
+
+    def test_early_stopping_stops_before_max_epochs(self, binary_classification_data) -> None:
+        x, y = binary_classification_data
+        model = _make_model()
+        history = model.fit(
+            x, y, epochs=200, batch_size=64, early_stopping_patience=3,
+            rng=np.random.default_rng(0),
+        )
+        assert history.n_epochs < 200
+
+    def test_predict_proba_shape_and_range(self, binary_classification_data) -> None:
+        x, _ = binary_classification_data
+        model = _make_model()
+        proba = model.predict_proba(x)
+        assert proba.shape == (len(x), 1)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+
+    def test_predict_threshold(self, binary_classification_data) -> None:
+        x, _ = binary_classification_data
+        model = _make_model()
+        strict = model.predict(x, threshold=0.9).sum()
+        lenient = model.predict(x, threshold=0.1).sum()
+        assert lenient >= strict
+
+    def test_requires_at_least_one_layer(self) -> None:
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_invalid_epochs(self, binary_classification_data) -> None:
+        x, y = binary_classification_data
+        with pytest.raises(ValueError):
+            _make_model().fit(x, y, epochs=0)
+
+    def test_n_parameters(self) -> None:
+        model = _make_model()
+        assert model.n_parameters == (6 * 16 + 16) + (16 * 1 + 1)
+
+    def test_multiclass_head(self) -> None:
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(120, 4))
+        y = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)  # 3 classes
+        model = Sequential(
+            [Dense(4, 16, rng=rng), ReLU(), Dense(16, 3, rng=rng)],
+            loss="softmax_crossentropy",
+            optimizer="adam",
+            learning_rate=0.02,
+        )
+        model.fit(x, y, epochs=60, batch_size=16, rng=rng)
+        assert np.mean(model.predict(x) == y) > 0.8
+
+
+class TestSerialization:
+    def test_state_dict_round_trip(self) -> None:
+        source = _make_model(seed=1)
+        target = _make_model(seed=2)
+        load_state_dict(target, state_dict(source))
+        for p_source, p_target in zip(source.parameters(), target.parameters()):
+            np.testing.assert_array_equal(p_source, p_target)
+
+    def test_save_and_load_weights(self, tmp_path, binary_classification_data) -> None:
+        x, y = binary_classification_data
+        source = _make_model(seed=1)
+        source.fit(x, y, epochs=5, rng=np.random.default_rng(0))
+        path = save_weights(source, tmp_path / "model.npz")
+        target = _make_model(seed=9)
+        load_weights(target, path)
+        np.testing.assert_allclose(source.predict_proba(x), target.predict_proba(x))
+
+    def test_load_rejects_shape_mismatch(self) -> None:
+        source = _make_model()
+        state = state_dict(source)
+        state["param_0"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_state_dict(source, state)
+
+    def test_load_rejects_missing_and_extra_keys(self) -> None:
+        source = _make_model()
+        state = state_dict(source)
+        del state["param_0"]
+        with pytest.raises(ValueError, match="missing"):
+            load_state_dict(source, state)
+        state = state_dict(source)
+        state["param_99"] = np.zeros(1)
+        with pytest.raises(ValueError, match="unexpected"):
+            load_state_dict(source, state)
+
+
+class TestDataUtilities:
+    def test_one_hot_basic(self) -> None:
+        encoded = one_hot([0, 2, 1], n_classes=3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_one_hot_rejects_out_of_range(self) -> None:
+        with pytest.raises(ValueError):
+            one_hot([0, 3], n_classes=3)
+
+    def test_minibatches_cover_everything(self) -> None:
+        x = np.arange(10).reshape(-1, 1)
+        y = np.arange(10)
+        seen = []
+        for xb, yb in iterate_minibatches(x, y, batch_size=3, shuffle=False):
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_minibatch_sizes(self) -> None:
+        x = np.zeros((10, 2))
+        y = np.zeros(10)
+        sizes = [len(xb) for xb, _ in iterate_minibatches(x, y, batch_size=4, shuffle=False)]
+        assert sizes == [4, 4, 2]
+
+    def test_minibatches_validate_inputs(self) -> None:
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((3, 1)), np.zeros(2), batch_size=1))
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((3, 1)), np.zeros(3), batch_size=0))
+
+    def test_train_test_split_stratified_preserves_classes(self) -> None:
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 2))
+        y = np.array([0] * 45 + [1] * 15)
+        _, x_test, _, y_test = train_test_split(x, y, test_fraction=0.2, rng=rng)
+        assert set(np.unique(y_test)) == {0, 1}
+
+    def test_train_test_split_disjoint_and_complete(self) -> None:
+        rng = np.random.default_rng(0)
+        x = np.arange(40).reshape(-1, 1).astype(float)
+        y = np.array([0, 1] * 20)
+        x_train, x_test, _, _ = train_test_split(x, y, test_fraction=0.25, rng=rng)
+        combined = sorted(np.concatenate([x_train, x_test]).reshape(-1).tolist())
+        assert combined == list(range(40))
+
+    def test_train_test_split_invalid_fraction(self) -> None:
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.5)
+
+    def test_stratified_indices_partition(self) -> None:
+        y = np.array([0] * 20 + [1] * 10)
+        folds = stratified_indices(y, n_splits=5, rng=np.random.default_rng(0))
+        all_indices = sorted(int(i) for fold in folds for i in fold)
+        assert all_indices == list(range(30))
+        for fold in folds:
+            fold_labels = y[fold]
+            assert (fold_labels == 1).sum() == 2
+
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=3), min_size=8, max_size=60),
+        n_classes=st.just(4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_one_hot_property(self, labels, n_classes) -> None:
+        encoded = one_hot(labels, n_classes=n_classes)
+        assert encoded.shape == (len(labels), n_classes)
+        np.testing.assert_array_equal(encoded.sum(axis=1), 1.0)
+        np.testing.assert_array_equal(encoded.argmax(axis=1), labels)

@@ -1,0 +1,194 @@
+"""Tests for host generation, trigger/payload construction and Trojan insertion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hdl import ast, emit_module, parse_module
+from repro.hdl.visitor import collect
+from repro.trojan import (
+    HOST_FAMILIES,
+    INSTRUMENTATION_BUILDERS,
+    PAYLOAD_BUILDERS,
+    TRIGGER_BUILDERS,
+    InsertionError,
+    add_benign_instrumentation,
+    apply_payload,
+    available_trojan_kinds,
+    build_trigger,
+    generate_host,
+    insert_trojan,
+)
+from repro.trojan.payloads import PayloadError
+from repro.trojan.triggers import TriggerError
+from repro.trojan import primitives as prim
+
+
+@pytest.fixture
+def generator() -> np.random.Generator:
+    return np.random.default_rng(21)
+
+
+class TestHostGeneration:
+    @pytest.mark.parametrize("family", sorted(HOST_FAMILIES))
+    def test_every_family_parses(self, family: str, generator) -> None:
+        module = parse_module(generate_host(family, generator, name=f"{family}_u"))
+        assert module.name == f"{family}_u"
+        assert len(module.ports) >= 4
+
+    @pytest.mark.parametrize("family", sorted(HOST_FAMILIES))
+    def test_every_family_is_clocked_with_reset(self, family: str, generator) -> None:
+        module = parse_module(generate_host(family, generator, name="h"))
+        assert prim.find_clock(module) == "clk"
+        assert prim.find_reset(module) == "rst"
+
+    @pytest.mark.parametrize("family", sorted(HOST_FAMILIES))
+    def test_every_family_has_data_inputs_and_outputs(self, family: str, generator) -> None:
+        module = parse_module(generate_host(family, generator, name="h"))
+        assert prim.data_inputs(module), "comparator triggers need multi-bit inputs"
+        assert prim.output_ports(module)
+        assert prim.output_continuous_assigns(module)
+
+    def test_variants_differ(self, generator) -> None:
+        first = generate_host("crypto", generator, name="c")
+        second = generate_host("crypto", generator, name="c")
+        assert first != second
+
+    def test_unknown_family_raises(self, generator) -> None:
+        with pytest.raises(ValueError, match="Unknown host family"):
+            generate_host("gpu", generator)
+
+
+class TestTriggers:
+    @pytest.mark.parametrize("kind", sorted(TRIGGER_BUILDERS))
+    @pytest.mark.parametrize("family", sorted(HOST_FAMILIES))
+    def test_triggers_build_on_every_family(self, kind: str, family: str, generator) -> None:
+        module = parse_module(generate_host(family, generator, name="h"))
+        trigger = build_trigger(kind, module, generator)
+        assert trigger.trigger_wire
+        assert trigger.declarations and trigger.logic
+
+    def test_trigger_wire_name_is_fresh(self, generator) -> None:
+        module = parse_module(generate_host("uart", generator, name="h"))
+        trigger = build_trigger("counter", module, generator)
+        assert trigger.trigger_wire not in prim.declared_names(module)
+
+    def test_counter_trigger_requires_clock(self, generator) -> None:
+        module = parse_module(
+            "module comb (input [7:0] a, output y);\n  assign y = a[0];\nendmodule\n"
+        )
+        with pytest.raises(TriggerError):
+            build_trigger("counter", module, generator)
+
+    def test_comparator_trigger_requires_wide_input(self, generator) -> None:
+        module = parse_module(
+            "module narrow (input clk, input a, output reg y);\n"
+            "  always @(posedge clk) y <= a;\nendmodule\n"
+        )
+        with pytest.raises(TriggerError):
+            build_trigger("comparator", module, generator)
+
+    def test_unknown_trigger_kind(self, generator) -> None:
+        module = parse_module(generate_host("dsp", generator, name="h"))
+        with pytest.raises(ValueError, match="Unknown trigger kind"):
+            build_trigger("thermal", module, generator)
+
+
+class TestPayloads:
+    @pytest.mark.parametrize("kind", sorted(PAYLOAD_BUILDERS))
+    def test_payloads_modify_the_module(self, kind: str, generator) -> None:
+        module = parse_module(generate_host("crypto", generator, name="h"))
+        before = emit_module(module)
+        effect = apply_payload(kind, module, "troj_trig", generator)
+        after = emit_module(module)
+        assert before != after
+        assert effect.kind == kind
+        assert "troj_trig" in after
+
+    def test_leak_payload_requires_internal_register(self, generator) -> None:
+        module = parse_module(
+            "module tiny (input [7:0] a, output y);\n  assign y = a[0];\nendmodule\n"
+        )
+        with pytest.raises(PayloadError):
+            apply_payload("leak", module, "trig", generator)
+
+    def test_unknown_payload_kind(self, generator) -> None:
+        module = parse_module(generate_host("bus", generator, name="h"))
+        with pytest.raises(ValueError, match="Unknown payload kind"):
+            apply_payload("ransom", module, "trig", generator)
+
+
+class TestInsertion:
+    @pytest.mark.parametrize("family", sorted(HOST_FAMILIES))
+    def test_insertion_produces_parseable_verilog(self, family: str, generator) -> None:
+        host = generate_host(family, generator, name="h")
+        result = insert_trojan(host, generator)
+        infected = parse_module(result.source)
+        assert infected.name == "h"
+
+    def test_insertion_matrix(self, generator) -> None:
+        """Every (trigger, payload) combination works on the crypto host."""
+        triggers, payloads = available_trojan_kinds()
+        for trigger in triggers:
+            for payload in payloads:
+                host = generate_host("crypto", generator, name="h")
+                result = insert_trojan(
+                    host, generator, trigger_kind=trigger, payload_kind=payload
+                )
+                assert result.spec.trigger_kind == trigger
+                assert result.spec.payload_kind == payload
+
+    def test_infected_design_is_larger(self, generator) -> None:
+        host = generate_host("uart", generator, name="h")
+        result = insert_trojan(host, generator)
+        clean_nodes = len(list(collect(parse_module(host), ast.Node)))
+        infected_nodes = len(list(collect(parse_module(result.source), ast.Node)))
+        assert infected_nodes > clean_nodes
+
+    def test_infected_design_keeps_interface(self, generator) -> None:
+        """Trojans must not add or remove ports (that would be conspicuous)."""
+        host = generate_host("mcu", generator, name="h")
+        result = insert_trojan(host, generator)
+        assert parse_module(result.source).ports == parse_module(host).ports
+
+    def test_trigger_wire_present_in_source(self, generator) -> None:
+        host = generate_host("dsp", generator, name="h")
+        result = insert_trojan(host, generator, trigger_kind="comparator")
+        assert "troj_trig" in result.source
+
+    def test_insertion_fails_gracefully_on_unsuitable_design(self, generator) -> None:
+        source = "module empty (input a, output y);\n  assign y = a;\nendmodule\n"
+        with pytest.raises(InsertionError):
+            insert_trojan(source, generator)
+
+    def test_spec_label(self, generator) -> None:
+        host = generate_host("bus", generator, name="h")
+        result = insert_trojan(host, generator, trigger_kind="counter", payload_kind="dos")
+        assert result.spec.label == "counter+dos"
+
+
+class TestInstrumentation:
+    @pytest.mark.parametrize("kind", sorted(INSTRUMENTATION_BUILDERS))
+    @pytest.mark.parametrize("family", ["crypto", "uart", "mcu"])
+    def test_builders_apply(self, kind: str, family: str, generator) -> None:
+        module = parse_module(generate_host(family, generator, name="h"))
+        applied = INSTRUMENTATION_BUILDERS[kind](module, generator)
+        if applied:
+            emit_module(module)  # must still be emittable
+            assert len(module.ports) >= 5
+
+    def test_instrumented_source_parses(self, generator) -> None:
+        host = generate_host("crypto", generator, name="h")
+        instrumented = add_benign_instrumentation(host, generator, max_features=2)
+        module = parse_module(instrumented)
+        assert module.name == "h"
+
+    def test_instrumentation_adds_ports(self, generator) -> None:
+        host = generate_host("uart", generator, name="h")
+        instrumented = add_benign_instrumentation(host, generator, max_features=2)
+        assert len(parse_module(instrumented).ports) > len(parse_module(host).ports)
+
+    def test_zero_features_is_identity(self, generator) -> None:
+        host = generate_host("dsp", generator, name="h")
+        assert add_benign_instrumentation(host, generator, max_features=0) == host

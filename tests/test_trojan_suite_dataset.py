@@ -1,0 +1,132 @@
+"""Tests for the benchmark suite builder and the TrojanDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hdl import parse_module
+from repro.trojan import (
+    TROJAN_FREE,
+    TROJAN_INFECTED,
+    SuiteConfig,
+    TrojanDataset,
+    build_suite,
+    suite_summary,
+)
+
+
+class TestSuiteBuilder:
+    def test_counts_match_config(self, small_dataset, small_suite_config) -> None:
+        summary = small_dataset.summary()
+        assert summary["trojan_free"] == small_suite_config.n_trojan_free
+        assert summary["trojan_infected"] == small_suite_config.n_trojan_infected
+        assert summary["total"] == len(small_dataset)
+
+    def test_every_design_parses(self, small_dataset) -> None:
+        for benchmark in small_dataset:
+            module = parse_module(benchmark.source)
+            assert module.name
+
+    def test_names_follow_trusthub_convention(self, small_dataset) -> None:
+        infected_names = [b.name for b in small_dataset if b.is_infected]
+        clean_names = [b.name for b in small_dataset if not b.is_infected]
+        assert all("-T" in name for name in infected_names)
+        assert all("-free" in name for name in clean_names)
+        assert len(set(infected_names + clean_names)) == len(small_dataset)
+
+    def test_infected_designs_record_trojan_metadata(self, small_dataset) -> None:
+        for benchmark in small_dataset.infected():
+            assert benchmark.trigger_kind is not None
+            assert benchmark.payload_kind is not None
+            assert benchmark.description
+
+    def test_clean_designs_have_no_trojan_metadata(self, small_dataset) -> None:
+        for benchmark in small_dataset.clean():
+            assert benchmark.trigger_kind is None
+            assert benchmark.payload_kind is None
+
+    def test_deterministic_for_same_seed(self) -> None:
+        config = SuiteConfig(n_trojan_free=4, n_trojan_infected=3, seed=3)
+        first = build_suite(config)
+        second = build_suite(config)
+        assert [b.source for b in first] == [b.source for b in second]
+
+    def test_different_seed_changes_designs(self) -> None:
+        first = build_suite(SuiteConfig(n_trojan_free=4, n_trojan_infected=2, seed=1))
+        second = build_suite(SuiteConfig(n_trojan_free=4, n_trojan_infected=2, seed=2))
+        assert [b.source for b in first] != [b.source for b in second]
+
+    def test_restricted_trigger_and_payload_kinds(self) -> None:
+        config = SuiteConfig(
+            n_trojan_free=3,
+            n_trojan_infected=4,
+            trigger_kinds=["counter"],
+            payload_kinds=["dos"],
+            seed=5,
+        )
+        suite = build_suite(config)
+        infected = [b for b in suite if b.is_infected]
+        assert all(b.trigger_kind == "counter" for b in infected)
+        assert all(b.payload_kind == "dos" for b in infected)
+
+    def test_invalid_config_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            SuiteConfig(n_trojan_free=0, n_trojan_infected=1).validate()
+        with pytest.raises(ValueError):
+            SuiteConfig(families=["gpu"]).validate()
+        with pytest.raises(ValueError):
+            SuiteConfig(instrumentation_probability=1.5).validate()
+
+    def test_suite_summary_family_counts(self, small_dataset) -> None:
+        summary = suite_summary(small_dataset.benchmarks)
+        family_total = sum(v for k, v in summary.items() if k.startswith("family_"))
+        assert family_total == summary["total"]
+
+
+class TestTrojanDataset:
+    def test_labels_and_constants(self, small_dataset) -> None:
+        labels = small_dataset.labels
+        assert set(np.unique(labels)) == {TROJAN_FREE, TROJAN_INFECTED}
+        assert labels.sum() == small_dataset.summary()["trojan_infected"]
+
+    def test_filtering_views(self, small_dataset) -> None:
+        assert len(small_dataset.infected()) + len(small_dataset.clean()) == len(small_dataset)
+        for family in {b.family for b in small_dataset}:
+            subset = small_dataset.by_family(family)
+            assert all(b.family == family for b in subset)
+
+    def test_subset_preserves_order(self, small_dataset) -> None:
+        subset = small_dataset.subset([2, 0, 5])
+        assert subset.names == [
+            small_dataset[2].name,
+            small_dataset[0].name,
+            small_dataset[5].name,
+        ]
+
+    def test_imbalance_ratio(self, small_dataset, small_suite_config) -> None:
+        expected = small_suite_config.n_trojan_free / small_suite_config.n_trojan_infected
+        assert small_dataset.imbalance_ratio == pytest.approx(expected)
+
+    def test_imbalance_ratio_without_infected(self, small_dataset) -> None:
+        assert small_dataset.clean().imbalance_ratio == float("inf")
+
+    def test_stratified_split_keeps_both_classes(self, small_dataset) -> None:
+        rng = np.random.default_rng(0)
+        train, test = small_dataset.stratified_split(0.25, rng)
+        assert set(np.unique(train.labels)) == {0, 1}
+        assert set(np.unique(test.labels)) == {0, 1}
+        assert len(train) + len(test) == len(small_dataset)
+
+    def test_stratified_split_disjoint(self, small_dataset) -> None:
+        rng = np.random.default_rng(0)
+        train, test = small_dataset.stratified_split(0.3, rng)
+        assert set(train.names).isdisjoint(test.names)
+
+    def test_split_rejects_bad_fraction(self, small_dataset) -> None:
+        with pytest.raises(ValueError):
+            small_dataset.stratified_split(0.0)
+
+    def test_iteration_and_indexing(self, small_dataset) -> None:
+        assert small_dataset[0].name == next(iter(small_dataset)).name
+        assert len(list(small_dataset)) == len(small_dataset)

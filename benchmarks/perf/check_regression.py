@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI perf smoke: fail if Conv2d forward regresses vs the golden loop kernel.
+
+Re-times the optimized Conv2d forward *and* the seed's golden loop
+implementation at the exact shape recorded in the committed
+``BENCH_nn.json``, in the same process, and exits non-zero when the
+optimized kernel is less than ``--min-speedup`` (default 2.0) times faster
+than the loop.  Gating on the in-process ratio rather than absolute
+wall-clock makes the check machine-independent: a slow CI runner slows both
+sides equally, while re-introducing a per-position Python loop (a >4x
+cliff at these shapes) trips it reliably.
+
+The committed baseline's absolute numbers are printed for context only.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py [--min-speedup 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from bench_nn import conv2d_forward_loop  # noqa: E402
+from repro.nn.layers import Conv2d  # noqa: E402
+from repro.perf import load_benchmark_json, speedup, time_callable  # noqa: E402
+
+BENCHMARK = "conv2d_forward"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, default=ROOT / "BENCH_nn.json")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--repeats", type=int, default=30)
+    args = parser.parse_args()
+
+    try:
+        baseline = load_benchmark_json(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"ERROR: baseline {args.baseline} not found; generate it with "
+            "benchmarks/perf/bench_nn.py",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        recorded = baseline["results"][BENCHMARK]
+    except KeyError:
+        print(f"ERROR: {args.baseline} has no '{BENCHMARK}' result", file=sys.stderr)
+        return 2
+
+    n, c, h, w = recorded["meta"]["input"]
+    kernel = recorded["meta"]["kernel"]
+    padding = recorded["meta"]["padding"]
+    rng = np.random.default_rng(0)
+    conv = Conv2d(c, 16, kernel_size=kernel, padding=padding, rng=rng)
+    x = rng.standard_normal((n, c, h, w))
+    fast = time_callable(
+        lambda: conv.forward(x), BENCHMARK, repeats=args.repeats, warmup=2
+    )
+    loop = time_callable(
+        lambda: conv2d_forward_loop(conv, x),
+        f"{BENCHMARK}_loop",
+        repeats=args.repeats,
+        warmup=2,
+    )
+
+    ratio = speedup(loop, fast)
+    recorded_ratio = baseline.get("speedups", {}).get(BENCHMARK)
+    verdict = "OK" if ratio >= args.min_speedup else "REGRESSION"
+    print(
+        f"{BENCHMARK}: optimized best {fast.best_s * 1e6:.1f}us, golden loop best "
+        f"{loop.best_s * 1e6:.1f}us -> {ratio:.1f}x (required >= {args.min_speedup:.1f}x, "
+        f"recorded {recorded_ratio:.1f}x at best {recorded['best_s'] * 1e6:.1f}us) -> {verdict}"
+        if recorded_ratio is not None
+        else f"{BENCHMARK}: {ratio:.1f}x vs golden loop "
+        f"(required >= {args.min_speedup:.1f}x) -> {verdict}"
+    )
+    if ratio < args.min_speedup:
+        print(
+            "Perf smoke failed: the optimized Conv2d forward no longer clears "
+            f"{args.min_speedup:.1f}x over the golden loop kernel. If a slowdown is "
+            "intentional, regenerate the baselines with benchmarks/perf/bench_nn.py "
+            "and adjust --min-speedup in .github/workflows/ci.yml.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -118,7 +118,14 @@ def combine_p_value_matrices(
         raise ValueError(f"p-value matrices must share a shape, got {shapes}")
     combiner = get_combiner(method)
     stacked = np.stack([np.asarray(m, dtype=np.float64) for m in per_modality], axis=2)
-    n_samples, n_classes, _ = stacked.shape
+    n_samples, n_classes, n_modalities = stacked.shape
+    if isinstance(method, str):
+        # The built-in combiners are all row-wise, so one flattened call
+        # covers every class at once instead of a Python loop per class.
+        flat = stacked.reshape(n_samples * n_classes, n_modalities)
+        return np.asarray(combiner(flat), dtype=np.float64).reshape(n_samples, n_classes)
+    # User-supplied callables may use cross-row statistics within a class,
+    # so they keep the historical one-call-per-class contract.
     combined = np.empty((n_samples, n_classes))
     for class_index in range(n_classes):
         combined[:, class_index] = combiner(stacked[:, class_index, :])

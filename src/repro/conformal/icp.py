@@ -14,11 +14,15 @@ Mondrian ICP.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from .nonconformity import NonconformityFn, _validate_probabilities, get_nonconformity
+
+#: Scores closer than this are treated as ties (matches the historical loop
+#: implementation, kept in :meth:`InductiveConformalClassifier.p_values_reference`).
+_TIE_TOLERANCE = 1e-12
 
 
 class InductiveConformalClassifier:
@@ -49,6 +53,10 @@ class InductiveConformalClassifier:
         self._calibration_scores: Optional[np.ndarray] = None
         self._calibration_labels: Optional[np.ndarray] = None
         self._n_classes: Optional[int] = None
+        # Sorted calibration scores, cached at calibrate() time so p_values()
+        # can binary-search instead of materialising an (N, n_cal) matrix.
+        self._sorted_marginal: Optional[np.ndarray] = None
+        self._sorted_by_label: Optional[List[np.ndarray]] = None
 
     # -- calibration -----------------------------------------------------------
     def calibrate(
@@ -66,6 +74,14 @@ class InductiveConformalClassifier:
             raise ValueError("calibration labels out of range")
         self._calibration_scores = self.nonconformity(probabilities, labels)
         self._calibration_labels = labels
+        self._sorted_marginal = np.sort(self._calibration_scores)
+        if self.mondrian:
+            self._sorted_by_label = [
+                np.sort(self._calibration_scores[labels == label])
+                for label in range(self._n_classes)
+            ]
+        else:
+            self._sorted_by_label = None
         return self
 
     @property
@@ -97,8 +113,18 @@ class InductiveConformalClassifier:
             return self._calibration_scores
         return self._calibration_scores
 
-    def p_values(self, test_probabilities: np.ndarray) -> np.ndarray:
-        """p-value matrix ``(N, n_classes)`` for candidate labels of each sample."""
+    def _sorted_reference_scores(self, label: int) -> np.ndarray:
+        assert self._sorted_marginal is not None
+        if self.mondrian:
+            assert self._sorted_by_label is not None
+            member_scores = self._sorted_by_label[label]
+            if member_scores.size:
+                return member_scores
+            # Same tiny-dataset fallback as the reference implementation.
+            return self._sorted_marginal
+        return self._sorted_marginal
+
+    def _validate_test_probabilities(self, test_probabilities: np.ndarray) -> np.ndarray:
         if not self.is_calibrated:
             raise RuntimeError("calibrate() must be called before p_values()")
         probabilities = _validate_probabilities(test_probabilities)
@@ -106,16 +132,57 @@ class InductiveConformalClassifier:
             raise ValueError(
                 f"expected {self.n_classes} classes, got {probabilities.shape[1]}"
             )
+        return probabilities
+
+    def p_values(self, test_probabilities: np.ndarray) -> np.ndarray:
+        """p-value matrix ``(N, n_classes)`` for candidate labels of each sample.
+
+        Runs in ``O((N + n_cal) log n_cal)`` per label: the calibration
+        scores are sorted once at :meth:`calibrate` time and each label's
+        rank counts come from two ``np.searchsorted`` calls — no Python loop
+        over samples and no ``(N, n_cal)`` difference matrix.  The counts
+        are identical (same tie tolerance) to the quadratic loop kept in
+        :meth:`p_values_reference`.
+        """
+        probabilities = self._validate_test_probabilities(test_probabilities)
         n_samples = probabilities.shape[0]
         p_values = np.empty((n_samples, self.n_classes))
-        tolerance = 1e-12
+        for label in range(self.n_classes):
+            labels = np.full(n_samples, label, dtype=int)
+            scores = self.nonconformity(probabilities, labels)
+            reference = self._sorted_reference_scores(label)
+            # greater = #{ref : ref > score + tol}; equal = #{ref : |ref - score| <= tol}
+            upper = np.searchsorted(reference, scores + _TIE_TOLERANCE, side="right")
+            lower = np.searchsorted(reference, scores - _TIE_TOLERANCE, side="left")
+            greater = reference.size - upper
+            equal = upper - lower
+            if self.smoothing:
+                tau = self._rng.random(n_samples)
+                p_values[:, label] = (greater + tau * (equal + 1)) / (reference.size + 1)
+            else:
+                p_values[:, label] = (greater + equal + 1) / (reference.size + 1)
+        return np.clip(p_values, 0.0, 1.0)
+
+    def p_values_reference(self, test_probabilities: np.ndarray) -> np.ndarray:
+        """Golden quadratic implementation of :meth:`p_values`.
+
+        The seed repository's original per-label difference-matrix loop,
+        kept for the exact-match equivalence tests and as the baseline the
+        perf harness (``benchmarks/perf/bench_conformal.py``) measures the
+        searchsorted implementation against.  Draws the smoothing ``tau``
+        in the same order as the fast path, so two predictors seeded
+        identically produce bit-identical smoothed p-values.
+        """
+        probabilities = self._validate_test_probabilities(test_probabilities)
+        n_samples = probabilities.shape[0]
+        p_values = np.empty((n_samples, self.n_classes))
         for label in range(self.n_classes):
             labels = np.full(n_samples, label, dtype=int)
             scores = self.nonconformity(probabilities, labels)
             reference = self._reference_scores(label)
             differences = reference[None, :] - scores[:, None]
-            greater = (differences > tolerance).sum(axis=1)
-            equal = (np.abs(differences) <= tolerance).sum(axis=1)
+            greater = (differences > _TIE_TOLERANCE).sum(axis=1)
+            equal = (np.abs(differences) <= _TIE_TOLERANCE).sum(axis=1)
             if self.smoothing:
                 tau = self._rng.random(n_samples)
                 p_values[:, label] = (greater + tau * (equal + 1)) / (reference.size + 1)

@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from ..features.scaling import StandardScaler
+from ..nn.dtype import as_float
 from ..nn import (
     Conv1d,
     Conv2d,
@@ -75,8 +76,8 @@ class CNNModalityClassifier:
         return x.reshape(x.shape[0], 1, self.n_features)
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "CNNModalityClassifier":
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        x = as_float(x)
+        y = as_float(y).reshape(-1)
         if x.ndim != 2 or x.shape[1] != self.n_features:
             raise ValueError(f"expected shape (N, {self.n_features}), got {x.shape}")
         if x.shape[0] != y.shape[0]:
@@ -92,7 +93,7 @@ class CNNModalityClassifier:
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if x.ndim != 2 or x.shape[1] != self.n_features:
             raise ValueError(f"expected shape (N, {self.n_features}), got {x.shape}")
         scaled = self._scaler.transform(x)
@@ -145,8 +146,8 @@ class ImageCNNClassifier:
         )
 
     def fit(self, images: np.ndarray, y: np.ndarray) -> "ImageCNNClassifier":
-        images = np.asarray(images, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        images = as_float(images)
+        y = as_float(y).reshape(-1)
         expected = (1, self.image_size, self.image_size)
         if images.ndim != 4 or images.shape[1:] != expected:
             raise ValueError(f"expected images of shape (N, {expected}), got {images.shape}")
@@ -160,7 +161,7 @@ class ImageCNNClassifier:
         return self
 
     def predict_proba(self, images: np.ndarray) -> np.ndarray:
-        images = np.asarray(images, dtype=np.float64)
+        images = as_float(images)
         positive = self._model.predict_proba(images).reshape(-1)
         positive = np.clip(positive, 0.0, 1.0)
         return np.column_stack([1.0 - positive, positive])

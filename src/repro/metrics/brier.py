@@ -87,19 +87,19 @@ def brier_decomposition(
     n = probabilities.size
     base_rate = outcomes.mean()
 
-    reliability = 0.0
-    resolution = 0.0
-    for b in range(n_bins):
-        members = bin_index == b
-        count = members.sum()
-        if count == 0:
-            continue
-        mean_forecast = probabilities[members].mean()
-        mean_outcome = outcomes[members].mean()
-        reliability += count * (mean_forecast - mean_outcome) ** 2
-        resolution += count * (mean_outcome - base_rate) ** 2
-    reliability /= n
-    resolution /= n
+    # Per-bin sums in one bincount pass each (no Python loop over bins).
+    counts = np.bincount(bin_index, minlength=n_bins).astype(np.float64)
+    sum_forecast = np.bincount(bin_index, weights=probabilities, minlength=n_bins)
+    sum_outcome = np.bincount(bin_index, weights=outcomes, minlength=n_bins)
+    occupied = counts > 0
+    mean_forecast = np.divide(sum_forecast, counts, out=np.zeros(n_bins), where=occupied)
+    mean_outcome = np.divide(sum_outcome, counts, out=np.zeros(n_bins), where=occupied)
+    reliability = float(
+        (counts[occupied] * (mean_forecast - mean_outcome)[occupied] ** 2).sum() / n
+    )
+    resolution = float(
+        (counts[occupied] * (mean_outcome[occupied] - base_rate) ** 2).sum() / n
+    )
     uncertainty = base_rate * (1.0 - base_rate)
     return BrierDecomposition(
         reliability=float(reliability),

@@ -54,16 +54,18 @@ def calibration_curve(
         raise ValueError("n_bins must be positive")
     edges = np.linspace(0.0, 1.0, n_bins + 1)
     bin_index = np.clip(np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1)
+    # Per-bin aggregates via bincount (no Python loop over bins); only the
+    # occupied bins are kept, matching the historical output exactly.
+    counts = np.bincount(bin_index, minlength=n_bins)
+    sum_predicted = np.bincount(bin_index, weights=probabilities, minlength=n_bins)
+    sum_observed = np.bincount(bin_index, weights=outcomes, minlength=n_bins)
+    occupied = np.flatnonzero(counts)
+    centers = (edges[:-1] + edges[1:]) / 2.0
     curve = CalibrationCurve(n_bins=n_bins)
-    for b in range(n_bins):
-        members = bin_index == b
-        count = int(members.sum())
-        if count == 0:
-            continue
-        curve.bin_centers.append(float((edges[b] + edges[b + 1]) / 2.0))
-        curve.mean_predicted.append(float(probabilities[members].mean()))
-        curve.observed_frequency.append(float(outcomes[members].mean()))
-        curve.counts.append(count)
+    curve.bin_centers = centers[occupied].tolist()
+    curve.mean_predicted = (sum_predicted[occupied] / counts[occupied]).tolist()
+    curve.observed_frequency = (sum_observed[occupied] / counts[occupied]).tolist()
+    curve.counts = counts[occupied].tolist()
     return curve
 
 

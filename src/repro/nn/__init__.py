@@ -18,8 +18,11 @@ from .activations import (
     get_activation,
 )
 from .data import iterate_minibatches, one_hot, stratified_indices, train_test_split
+from .dtype import as_float, default_dtype, get_default_dtype, set_default_dtype
 from .initializers import available_initializers, get_initializer
 from .layers import (
+    AvgPool1d,
+    AvgPool2d,
     BatchNorm1d,
     Conv1d,
     Conv2d,
@@ -47,6 +50,8 @@ from .serialize import load_state_dict, load_weights, save_weights, state_dict
 
 __all__ = [
     "Adam",
+    "AvgPool1d",
+    "AvgPool2d",
     "BatchNorm1d",
     "BinaryCrossEntropy",
     "BinaryCrossEntropyWithLogits",
@@ -75,8 +80,12 @@ __all__ = [
     "SoftmaxCrossEntropy",
     "Tanh",
     "TrainingHistory",
+    "as_float",
     "available_initializers",
+    "default_dtype",
     "get_activation",
+    "get_default_dtype",
+    "set_default_dtype",
     "get_initializer",
     "get_loss",
     "get_optimizer",

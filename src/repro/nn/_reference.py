@@ -1,0 +1,126 @@
+"""Golden loop implementations of the convolution/pooling kernels.
+
+These are the seed repository's original per-output-position Python loops,
+extracted verbatim as pure functions.  They are *not* used on any hot path:
+the layers in :mod:`repro.nn.layers` run the vectorized
+``sliding_window_view`` kernels instead.  The loops survive here for two
+reasons:
+
+* the equivalence tests (``tests/test_nn_vectorized_equivalence.py``) check
+  the optimized kernels against them to 1e-8 across a grid of
+  stride/padding/kernel shapes, and
+* the perf harness (``benchmarks/perf/bench_nn.py``) times optimized vs
+  golden to record the speedup evidence in ``BENCH_nn.json``.
+
+Every function takes explicit arrays/hyper-parameters so no layer state is
+needed to drive them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def im2col_1d_loop(
+    x_pad: np.ndarray, kernel_size: int, stride: int, out_len: int
+) -> np.ndarray:
+    """Per-position im2col for ``(N, C, L_pad)`` inputs -> ``(N, out_len, C*K)``."""
+    n, c, _ = x_pad.shape
+    cols = np.empty((n, out_len, c * kernel_size), dtype=x_pad.dtype)
+    for i in range(out_len):
+        start = i * stride
+        cols[:, i, :] = x_pad[:, :, start : start + kernel_size].reshape(n, -1)
+    return cols
+
+
+def col2im_1d_loop(
+    grad_cols: np.ndarray,
+    in_channels: int,
+    kernel_size: int,
+    stride: int,
+    padded_len: int,
+) -> np.ndarray:
+    """Per-position col2im scatter: ``(N, out_len, C*K)`` -> ``(N, C, L_pad)``."""
+    n, out_len, _ = grad_cols.shape
+    grad_x_pad = np.zeros((n, in_channels, padded_len), dtype=grad_cols.dtype)
+    for i in range(out_len):
+        start = i * stride
+        grad_x_pad[:, :, start : start + kernel_size] += grad_cols[:, i, :].reshape(
+            n, in_channels, kernel_size
+        )
+    return grad_x_pad
+
+
+def im2col_2d_loop(
+    x_pad: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    out_size: Tuple[int, int],
+) -> np.ndarray:
+    """Per-position im2col for ``(N, C, H_pad, W_pad)`` -> ``(N, oH*oW, C*kh*kw)``."""
+    n, c, _, _ = x_pad.shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    out_h, out_w = out_size
+    cols = np.empty((n, out_h * out_w, c * kh * kw), dtype=x_pad.dtype)
+    idx = 0
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = x_pad[:, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+            cols[:, idx, :] = patch.reshape(n, -1)
+            idx += 1
+    return cols
+
+
+def col2im_2d_loop(
+    grad_cols: np.ndarray,
+    in_channels: int,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    out_size: Tuple[int, int],
+    padded_shape: Tuple[int, int],
+) -> np.ndarray:
+    """Per-position col2im scatter: ``(N, oH*oW, C*kh*kw)`` -> ``(N, C, H_pad, W_pad)``."""
+    n = grad_cols.shape[0]
+    kh, kw = kernel_size
+    sh, sw = stride
+    out_h, out_w = out_size
+    grad_x_pad = np.zeros((n, in_channels) + padded_shape, dtype=grad_cols.dtype)
+    idx = 0
+    for i in range(out_h):
+        for j in range(out_w):
+            grad_x_pad[:, :, i * sh : i * sh + kh, j * sw : j * sw + kw] += grad_cols[
+                :, idx, :
+            ].reshape(n, in_channels, kh, kw)
+            idx += 1
+    return grad_x_pad
+
+
+def pool_windows_1d_loop(x: np.ndarray, pool_size: int, stride: int) -> np.ndarray:
+    """Per-position window gather for ``(N, C, L)`` -> ``(N, C, out_len, P)``."""
+    n, c, length = x.shape
+    out_len = (length - pool_size) // stride + 1
+    windows = np.empty((n, c, out_len, pool_size), dtype=x.dtype)
+    for i in range(out_len):
+        start = i * stride
+        windows[:, :, i, :] = x[:, :, start : start + pool_size]
+    return windows
+
+
+def pool_windows_2d_loop(
+    x: np.ndarray, pool_size: Tuple[int, int], stride: Tuple[int, int]
+) -> np.ndarray:
+    """Per-position window gather for ``(N, C, H, W)`` -> ``(N, C, oH, oW, ph*pw)``."""
+    n, c, h, w = x.shape
+    ph, pw = pool_size
+    sh, sw = stride
+    out_h = (h - ph) // sh + 1
+    out_w = (w - pw) // sw + 1
+    windows = np.empty((n, c, out_h, out_w, ph * pw), dtype=x.dtype)
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = x[:, :, i * sh : i * sh + ph, j * sw : j * sw + pw]
+            windows[:, :, i, j, :] = patch.reshape(n, c, -1)
+    return windows

@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from .dtype import as_float
 from .layers import Layer
 
 
@@ -59,7 +60,8 @@ class Sigmoid(Layer):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        out = np.empty_like(np.asarray(x, dtype=np.float64))
+        x = as_float(x)
+        out = np.empty_like(x)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
         exp_x = np.exp(x[~pos])

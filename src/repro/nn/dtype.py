@@ -1,0 +1,92 @@
+"""Floating-point dtype policy for the numpy neural-network substrate.
+
+Historically every ``Layer.forward`` began with ``np.asarray(x,
+dtype=np.float64)``, which silently promoted ``float32`` inputs to
+``float64`` (an allocation plus a full conversion pass on the hot path) and
+pinned the whole stack to double precision.  This module centralises the
+policy instead:
+
+* The *default* float dtype is ``float64`` so every existing caller keeps
+  bit-identical numerics.
+* ``set_default_dtype(np.float32)`` (or the :func:`default_dtype` context
+  manager) opts a process — or a block — into single precision.  Layers
+  constructed while the policy is ``float32`` cast their parameters once at
+  init time, so forward/backward then run end-to-end in ``float32``.
+* :func:`as_float` is the conversion used at every layer boundary: an input
+  that already holds the policy dtype passes through untouched (no copy, no
+  cast); anything else (ints, lists, off-policy floats) is converted to the
+  policy dtype exactly once.  Under the default ``float64`` policy this is
+  bit-identical to the historical ``np.asarray(x, dtype=np.float64)`` —
+  ``float32`` inputs still upcast — minus the redundant conversion pass for
+  already-``float64`` arrays.
+
+The policy is deliberately process-global rather than per-layer: mixing
+precisions inside one model buys nothing on CPU and makes the gradient
+checks ambiguous.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+#: Float dtypes that may pass through :func:`as_float` unconverted.
+ACCEPTED_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_default_dtype = np.dtype(np.float64)
+
+
+def _validate(dtype: DTypeLike) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in ACCEPTED_FLOAT_DTYPES:
+        accepted = ", ".join(str(d) for d in ACCEPTED_FLOAT_DTYPES)
+        raise ValueError(f"dtype policy accepts only {accepted}, got {resolved}")
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new parameters are created with and inputs are converted to."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype: DTypeLike) -> np.dtype:
+    """Set the process-wide default float dtype (``float32`` or ``float64``)."""
+    global _default_dtype
+    _default_dtype = _validate(dtype)
+    return _default_dtype
+
+
+@contextmanager
+def default_dtype(dtype: DTypeLike) -> Iterator[np.dtype]:
+    """Temporarily switch the default float dtype within a ``with`` block."""
+    previous = _default_dtype
+    try:
+        yield set_default_dtype(dtype)
+    finally:
+        set_default_dtype(previous)
+
+
+def as_float(x: np.ndarray, dtype: DTypeLike = None) -> np.ndarray:
+    """Convert ``x`` to the policy float dtype without churn.
+
+    If ``x`` is already an ndarray of the policy dtype (``dtype``, or the
+    process default when omitted), it is returned as-is — zero copies, zero
+    casts — so repeated layer boundaries cost nothing.  Anything else is
+    converted in a single pass, so the compute dtype is always exactly the
+    policy dtype and existing ``float64`` pipelines stay bit-identical.
+    """
+    target = _validate(dtype) if dtype is not None else _default_dtype
+    arr = np.asarray(x)
+    if arr.dtype == target:
+        return arr
+    return arr.astype(target)
+
+
+def as_param(x: np.ndarray) -> np.ndarray:
+    """Cast a freshly-initialised parameter to the policy dtype (no copy if
+    it already conforms)."""
+    return np.asarray(x).astype(_default_dtype, copy=False)

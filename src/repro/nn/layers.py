@@ -13,6 +13,14 @@ Every layer implements the minimal interface used by
 The layers are deliberately simple and explicit (no autograd engine); each
 backward pass is hand-derived and verified with finite-difference tests in
 ``tests/test_nn_gradients.py``.
+
+The convolution and pooling kernels are fully vectorized: im2col is built
+from a single ``numpy.lib.stride_tricks.sliding_window_view`` (no Python
+loop over output positions) and col2im scatters gradients with one strided
+add per *kernel tap* (at most ``kh * kw`` iterations, independent of the
+spatial output size).  The original loop implementations survive in
+:mod:`repro.nn._reference` as the golden baseline for the equivalence tests
+and the perf harness (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -20,8 +28,130 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
+from .dtype import as_float, as_param, get_default_dtype
 from .initializers import get_initializer
+
+
+# ---------------------------------------------------------------------------
+# Vectorized im2col / col2im kernels (shared by conv and pooling layers)
+# ---------------------------------------------------------------------------
+
+
+def _im2col_1d(
+    x_pad: np.ndarray, kernel_size: int, stride: int, out_len: int
+) -> np.ndarray:
+    """``(N, C, L_pad)`` -> ``(C*K, N*out_len)`` with one strided gather.
+
+    The column matrix is laid out kernel-major so the convolution becomes a
+    single contiguous 2-D GEMM (``weight_matrix @ cols``) instead of a
+    batched 3-D matmul, which BLAS handles far better at these shapes.
+    """
+    n, c = x_pad.shape[:2]
+    windows = sliding_window_view(x_pad, kernel_size, axis=2)[:, :, ::stride, :]
+    return np.ascontiguousarray(windows.transpose(1, 3, 0, 2)).reshape(
+        c * kernel_size, n * out_len
+    )
+
+
+def _col2im_1d(
+    grad_cols: np.ndarray,
+    n: int,
+    in_channels: int,
+    kernel_size: int,
+    stride: int,
+    out_len: int,
+    padded_len: int,
+) -> np.ndarray:
+    """``(C*K, N*out_len)`` -> ``(N, C, L_pad)`` via one strided add per tap."""
+    g = grad_cols.reshape(in_channels, kernel_size, n, out_len)
+    grad_x_pad = np.zeros((n, in_channels, padded_len), dtype=grad_cols.dtype)
+    transposed = grad_x_pad.transpose(1, 0, 2)
+    span = (out_len - 1) * stride + 1
+    for k in range(kernel_size):
+        transposed[:, :, k : k + span : stride] += g[:, k]
+    return grad_x_pad
+
+
+def _im2col_2d(
+    x_pad: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    out_size: Tuple[int, int],
+) -> np.ndarray:
+    """``(N, C, H_pad, W_pad)`` -> ``(C*kh*kw, N*oH*oW)`` with one strided gather.
+
+    Kernel-major layout for the same single-GEMM reason as :func:`_im2col_1d`.
+    """
+    kh, kw = kernel_size
+    sh, sw = stride
+    out_h, out_w = out_size
+    n, c = x_pad.shape[:2]
+    windows = sliding_window_view(x_pad, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    return np.ascontiguousarray(windows.transpose(1, 4, 5, 0, 2, 3)).reshape(
+        c * kh * kw, n * out_h * out_w
+    )
+
+
+def _col2im_2d(
+    grad_cols: np.ndarray,
+    n: int,
+    in_channels: int,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    out_size: Tuple[int, int],
+    padded_shape: Tuple[int, int],
+) -> np.ndarray:
+    """``(C*kh*kw, N*oH*oW)`` -> ``(N, C, H_pad, W_pad)``, one add per tap."""
+    kh, kw = kernel_size
+    sh, sw = stride
+    out_h, out_w = out_size
+    g = grad_cols.reshape(in_channels, kh, kw, n, out_h, out_w)
+    grad_x_pad = np.zeros((n, in_channels) + padded_shape, dtype=grad_cols.dtype)
+    transposed = grad_x_pad.transpose(1, 0, 2, 3)
+    span_h = (out_h - 1) * sh + 1
+    span_w = (out_w - 1) * sw + 1
+    for a in range(kh):
+        for b in range(kw):
+            transposed[:, :, a : a + span_h : sh, b : b + span_w : sw] += g[:, a, b]
+    return grad_x_pad
+
+
+def _pad_1d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the length axis (cheaper than ``np.pad`` on the hot path)."""
+    if not padding:
+        return x
+    n, c, length = x.shape
+    x_pad = np.zeros((n, c, length + 2 * padding), dtype=x.dtype)
+    x_pad[:, :, padding : padding + length] = x
+    return x_pad
+
+
+def _pad_2d(x: np.ndarray, padding: Tuple[int, int]) -> np.ndarray:
+    """Zero-pad the two spatial axes (cheaper than ``np.pad`` on the hot path)."""
+    ph, pw = padding
+    if not (ph or pw):
+        return x
+    n, c, h, w = x.shape
+    x_pad = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x.dtype)
+    x_pad[:, :, ph : ph + h, pw : pw + w] = x
+    return x_pad
+
+
+def _pool_windows_1d(x: np.ndarray, pool_size: int, stride: int) -> np.ndarray:
+    """Zero-copy ``(N, C, out_len, P)`` window view over ``(N, C, L)``."""
+    return sliding_window_view(x, pool_size, axis=2)[:, :, ::stride, :]
+
+
+def _pool_windows_2d(
+    x: np.ndarray, pool_size: Tuple[int, int], stride: Tuple[int, int]
+) -> np.ndarray:
+    """``(N, C, oH, oW, ph*pw)`` windows over ``(N, C, H, W)`` (single gather)."""
+    ph, pw = pool_size
+    sh, sw = stride
+    windows = sliding_window_view(x, (ph, pw), axis=(2, 3))[:, :, ::sh, ::sw]
+    return windows.reshape(windows.shape[:4] + (ph * pw,))
 
 
 class Layer:
@@ -94,19 +224,19 @@ class Dense(Layer):
         self.in_features = in_features
         self.out_features = out_features
         self.use_bias = use_bias
-        self.weight = get_initializer(weight_init)((in_features, out_features), rng)
+        self.weight = as_param(get_initializer(weight_init)((in_features, out_features), rng))
         self.grad_weight = np.zeros_like(self.weight)
         self._params = [self.weight]
         self._grads = [self.grad_weight]
         if use_bias:
-            self.bias = get_initializer(bias_init)((out_features,), rng)
+            self.bias = as_param(get_initializer(bias_init)((out_features,), rng))
             self.grad_bias = np.zeros_like(self.bias)
             self._params.append(self.bias)
             self._grads.append(self.grad_bias)
         self._cache_input: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"Dense expected input of shape (N, {self.in_features}), got {x.shape}"
@@ -186,14 +316,15 @@ class BatchNorm1d(Layer):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = np.ones(num_features)
-        self.beta = np.zeros(num_features)
+        dtype = get_default_dtype()
+        self.gamma = np.ones(num_features, dtype=dtype)
+        self.beta = np.zeros(num_features, dtype=dtype)
         self.grad_gamma = np.zeros_like(self.gamma)
         self.grad_beta = np.zeros_like(self.beta)
         self._params = [self.gamma, self.beta]
         self._grads = [self.grad_gamma, self.grad_beta]
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.running_mean = np.zeros(num_features, dtype=dtype)
+        self.running_var = np.ones(num_features, dtype=dtype)
         self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -264,10 +395,10 @@ class Conv1d(Layer):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        self.weight = get_initializer(weight_init)(
-            (out_channels, in_channels, kernel_size), rng
+        self.weight = as_param(
+            get_initializer(weight_init)((out_channels, in_channels, kernel_size), rng)
         )
-        self.bias = np.zeros(out_channels)
+        self.bias = np.zeros(out_channels, dtype=self.weight.dtype)
         self.grad_weight = np.zeros_like(self.weight)
         self.grad_bias = np.zeros_like(self.bias)
         self._params = [self.weight, self.bias]
@@ -278,7 +409,7 @@ class Conv1d(Layer):
         return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv1d expected input (N, {self.in_channels}, L), got {x.shape}"
@@ -287,40 +418,34 @@ class Conv1d(Layer):
         out_len = self._output_length(length)
         if out_len <= 0:
             raise ValueError("Conv1d output length would be non-positive")
-        if self.padding:
-            x_pad = np.pad(x, ((0, 0), (0, 0), (self.padding, self.padding)))
-        else:
-            x_pad = x
-        # columns: (N, out_len, C * K)
-        cols = np.empty((n, out_len, self.in_channels * self.kernel_size))
-        for i in range(out_len):
-            start = i * self.stride
-            cols[:, i, :] = x_pad[:, :, start : start + self.kernel_size].reshape(n, -1)
+        x_pad = _pad_1d(x, self.padding)
+        # columns: (C*K, N*out_len) built from a single strided window view
+        cols = _im2col_1d(x_pad, self.kernel_size, self.stride, out_len)
         w_mat = self.weight.reshape(self.out_channels, -1)
-        out = cols @ w_mat.T + self.bias  # (N, out_len, F)
-        self._cache = (cols, x.shape)
-        return out.transpose(0, 2, 1)  # (N, F, out_len)
+        out = w_mat @ cols  # (F, N*out_len), one contiguous GEMM
+        out += self.bias[:, None]
+        self._cache = (cols, x.shape, out_len)
+        return out.reshape(self.out_channels, n, out_len).transpose(1, 0, 2)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        cols, input_shape = self._cache
+        cols, input_shape, out_len = self._cache
         n, _, length = input_shape
-        out_len = grad_output.shape[2]
-        grad = grad_output.transpose(0, 2, 1)  # (N, out_len, F)
-        w_mat = self.weight.reshape(self.out_channels, -1)
-        self.grad_bias += grad.sum(axis=(0, 1))
-        self.grad_weight += (
-            grad.reshape(-1, self.out_channels).T @ cols.reshape(-1, cols.shape[2])
-        ).reshape(self.weight.shape)
-        grad_cols = grad @ w_mat  # (N, out_len, C*K)
+        grad = grad_output.transpose(1, 0, 2).reshape(self.out_channels, -1)
+        self.grad_bias += grad.sum(axis=1)
+        self.grad_weight += (grad @ cols.T).reshape(self.weight.shape)
+        grad_cols = self.weight.reshape(self.out_channels, -1).T @ grad
         padded_len = length + 2 * self.padding
-        grad_x_pad = np.zeros((n, self.in_channels, padded_len))
-        for i in range(out_len):
-            start = i * self.stride
-            grad_x_pad[:, :, start : start + self.kernel_size] += grad_cols[:, i, :].reshape(
-                n, self.in_channels, self.kernel_size
-            )
+        grad_x_pad = _col2im_1d(
+            grad_cols,
+            n,
+            self.in_channels,
+            self.kernel_size,
+            self.stride,
+            out_len,
+            padded_len,
+        )
         if self.padding:
             return grad_x_pad[:, :, self.padding : -self.padding]
         return grad_x_pad
@@ -349,8 +474,10 @@ class Conv2d(Layer):
         if min(self.kernel_size) <= 0 or min(self.stride) <= 0 or min(self.padding) < 0:
             raise ValueError("invalid kernel/stride/padding for Conv2d")
         kh, kw = self.kernel_size
-        self.weight = get_initializer(weight_init)((out_channels, in_channels, kh, kw), rng)
-        self.bias = np.zeros(out_channels)
+        self.weight = as_param(
+            get_initializer(weight_init)((out_channels, in_channels, kh, kw), rng)
+        )
+        self.bias = np.zeros(out_channels, dtype=self.weight.dtype)
         self.grad_weight = np.zeros_like(self.weight)
         self.grad_bias = np.zeros_like(self.bias)
         self._params = [self.weight, self.bias]
@@ -366,7 +493,7 @@ class Conv2d(Layer):
         return out_h, out_w
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2d expected input (N, {self.in_channels}, H, W), got {x.shape}"
@@ -376,20 +503,13 @@ class Conv2d(Layer):
         if out_h <= 0 or out_w <= 0:
             raise ValueError("Conv2d output size would be non-positive")
         ph, pw = self.padding
-        kh, kw = self.kernel_size
-        sh, sw = self.stride
-        x_pad = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x
-        cols = np.empty((n, out_h * out_w, self.in_channels * kh * kw))
-        idx = 0
-        for i in range(out_h):
-            for j in range(out_w):
-                patch = x_pad[:, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
-                cols[:, idx, :] = patch.reshape(n, -1)
-                idx += 1
+        x_pad = _pad_2d(x, self.padding)
+        cols = _im2col_2d(x_pad, self.kernel_size, self.stride, (out_h, out_w))
         w_mat = self.weight.reshape(self.out_channels, -1)
-        out = cols @ w_mat.T + self.bias  # (N, out_h*out_w, F)
+        out = w_mat @ cols  # (F, N*oH*oW), one contiguous GEMM
+        out += self.bias[:, None]
         self._cache = (cols, x.shape, (out_h, out_w))
-        return out.transpose(0, 2, 1).reshape(n, self.out_channels, out_h, out_w)
+        return out.reshape(self.out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -397,23 +517,19 @@ class Conv2d(Layer):
         cols, input_shape, (out_h, out_w) = self._cache
         n, _, h, w = input_shape
         ph, pw = self.padding
-        kh, kw = self.kernel_size
-        sh, sw = self.stride
-        grad = grad_output.reshape(n, self.out_channels, out_h * out_w).transpose(0, 2, 1)
-        w_mat = self.weight.reshape(self.out_channels, -1)
-        self.grad_bias += grad.sum(axis=(0, 1))
-        self.grad_weight += (
-            grad.reshape(-1, self.out_channels).T @ cols.reshape(-1, cols.shape[2])
-        ).reshape(self.weight.shape)
-        grad_cols = grad @ w_mat  # (N, out_h*out_w, C*kh*kw)
-        grad_x_pad = np.zeros((n, self.in_channels, h + 2 * ph, w + 2 * pw))
-        idx = 0
-        for i in range(out_h):
-            for j in range(out_w):
-                grad_x_pad[:, :, i * sh : i * sh + kh, j * sw : j * sw + kw] += grad_cols[
-                    :, idx, :
-                ].reshape(n, self.in_channels, kh, kw)
-                idx += 1
+        grad = grad_output.transpose(1, 0, 2, 3).reshape(self.out_channels, -1)
+        self.grad_bias += grad.sum(axis=1)
+        self.grad_weight += (grad @ cols.T).reshape(self.weight.shape)
+        grad_cols = self.weight.reshape(self.out_channels, -1).T @ grad
+        grad_x_pad = _col2im_2d(
+            grad_cols,
+            n,
+            self.in_channels,
+            self.kernel_size,
+            self.stride,
+            (out_h, out_w),
+            (h + 2 * ph, w + 2 * pw),
+        )
         if ph or pw:
             return grad_x_pad[:, :, ph : ph + h, pw : pw + w]
         return grad_x_pad
@@ -431,17 +547,15 @@ class MaxPool1d(Layer):
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = as_float(x)
         n, c, length = x.shape
         out_len = (length - self.pool_size) // self.stride + 1
         if out_len <= 0:
             raise ValueError("MaxPool1d output length would be non-positive")
-        windows = np.empty((n, c, out_len, self.pool_size))
-        for i in range(out_len):
-            start = i * self.stride
-            windows[:, :, i, :] = x[:, :, start : start + self.pool_size]
+        windows = _pool_windows_1d(x, self.pool_size, self.stride)
         argmax = windows.argmax(axis=3)
         self._cache = (argmax, x.shape)
-        return windows.max(axis=3)
+        return np.take_along_axis(windows, argmax[..., None], axis=3)[..., 0]
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -449,7 +563,7 @@ class MaxPool1d(Layer):
         argmax, input_shape = self._cache
         n, c, length = input_shape
         out_len = grad_output.shape[2]
-        grad_input = np.zeros(input_shape)
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
         n_idx = np.arange(n)[:, None, None]
         c_idx = np.arange(c)[None, :, None]
         pos = np.arange(out_len)[None, None, :] * self.stride + argmax
@@ -473,6 +587,7 @@ class MaxPool2d(Layer):
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...], Tuple[int, int]]] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = as_float(x)
         n, c, h, w = x.shape
         ph, pw = self.pool_size
         sh, sw = self.stride
@@ -480,14 +595,10 @@ class MaxPool2d(Layer):
         out_w = (w - pw) // sw + 1
         if out_h <= 0 or out_w <= 0:
             raise ValueError("MaxPool2d output size would be non-positive")
-        windows = np.empty((n, c, out_h, out_w, ph * pw))
-        for i in range(out_h):
-            for j in range(out_w):
-                patch = x[:, :, i * sh : i * sh + ph, j * sw : j * sw + pw]
-                windows[:, :, i, j, :] = patch.reshape(n, c, -1)
+        windows = _pool_windows_2d(x, self.pool_size, self.stride)
         argmax = windows.argmax(axis=4)
         self._cache = (argmax, x.shape, (out_h, out_w))
-        return windows.max(axis=4)
+        return np.take_along_axis(windows, argmax[..., None], axis=4)[..., 0]
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -496,7 +607,7 @@ class MaxPool2d(Layer):
         n, c, h, w = input_shape
         ph, pw = self.pool_size
         sh, sw = self.stride
-        grad_input = np.zeros(input_shape)
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
         n_idx = np.arange(n)[:, None, None, None]
         c_idx = np.arange(c)[None, :, None, None]
         row_in_window = argmax // pw
@@ -504,6 +615,83 @@ class MaxPool2d(Layer):
         rows = np.arange(out_h)[None, None, :, None] * sh + row_in_window
         cols = np.arange(out_w)[None, None, None, :] * sw + col_in_window
         np.add.at(grad_input, (n_idx, c_idx, rows, cols), grad_output)
+        return grad_input
+
+
+class AvgPool1d(Layer):
+    """1-D average pooling over ``(N, C, L)`` inputs."""
+
+    def __init__(self, pool_size: int = 2, stride: Optional[int] = None) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self.stride = stride or pool_size
+        self._cache: Optional[Tuple[Tuple[int, ...], int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = as_float(x)
+        n, c, length = x.shape
+        out_len = (length - self.pool_size) // self.stride + 1
+        if out_len <= 0:
+            raise ValueError("AvgPool1d output length would be non-positive")
+        windows = _pool_windows_1d(x, self.pool_size, self.stride)
+        self._cache = (x.shape, out_len)
+        return windows.mean(axis=3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, out_len = self._cache
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
+        share = grad_output / self.pool_size
+        span = (out_len - 1) * self.stride + 1
+        for k in range(self.pool_size):
+            grad_input[:, :, k : k + span : self.stride] += share
+        return grad_input
+
+
+class AvgPool2d(Layer):
+    """2-D average pooling over ``(N, C, H, W)`` inputs."""
+
+    def __init__(
+        self,
+        pool_size: Union[int, Sequence[int]] = 2,
+        stride: Optional[Union[int, Sequence[int]]] = None,
+    ) -> None:
+        super().__init__()
+        self.pool_size = _as_pair(pool_size)
+        self.stride = _as_pair(stride) if stride is not None else self.pool_size
+        if min(self.pool_size) <= 0 or min(self.stride) <= 0:
+            raise ValueError("pool_size and stride must be positive")
+        self._cache: Optional[Tuple[Tuple[int, ...], Tuple[int, int]]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = as_float(x)
+        n, c, h, w = x.shape
+        ph, pw = self.pool_size
+        sh, sw = self.stride
+        out_h = (h - ph) // sh + 1
+        out_w = (w - pw) // sw + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError("AvgPool2d output size would be non-positive")
+        windows = _pool_windows_2d(x, self.pool_size, self.stride)
+        self._cache = (x.shape, (out_h, out_w))
+        return windows.mean(axis=4)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, (out_h, out_w) = self._cache
+        ph, pw = self.pool_size
+        sh, sw = self.stride
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
+        share = grad_output / (ph * pw)
+        span_h = (out_h - 1) * sh + 1
+        span_w = (out_w - 1) * sw + 1
+        for a in range(ph):
+            for b in range(pw):
+                grad_input[:, :, a : a + span_h : sh, b : b + span_w : sw] += share
         return grad_input
 
 
@@ -521,4 +709,8 @@ class GlobalAveragePool1d(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._length is None:
             raise RuntimeError("backward called before forward")
-        return np.repeat(grad_output[:, :, None], self._length, axis=2) / self._length
+        # Broadcast (no np.repeat materialisation until the division runs).
+        expanded = np.broadcast_to(
+            grad_output[:, :, None], grad_output.shape + (self._length,)
+        )
+        return expanded / self._length

@@ -12,6 +12,8 @@ from typing import Union
 
 import numpy as np
 
+from .dtype import as_float
+
 _EPS = 1e-12
 
 
@@ -40,8 +42,8 @@ class MeanSquaredError(Loss):
         return float(np.mean(diff**2))
 
     def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        pred = np.asarray(pred, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
+        pred = as_float(pred)
+        target = as_float(target)
         return 2.0 * (pred - target) / pred.size
 
 
@@ -61,8 +63,8 @@ class BinaryCrossEntropy(Loss):
 
     def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
         original_shape = np.asarray(pred).shape
-        p = _clip_probabilities(np.asarray(pred, dtype=np.float64).reshape(-1))
-        t = np.asarray(target, dtype=np.float64).reshape(-1)
+        p = _clip_probabilities(as_float(pred).reshape(-1))
+        t = as_float(target).reshape(-1)
         grad = (p - t) / (p * (1.0 - p)) / p.size
         return grad.reshape(original_shape)
 
@@ -80,8 +82,8 @@ class BinaryCrossEntropyWithLogits(Loss):
 
     def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
         original_shape = np.asarray(pred).shape
-        z = np.asarray(pred, dtype=np.float64).reshape(-1)
-        t = np.asarray(target, dtype=np.float64).reshape(-1)
+        z = as_float(pred).reshape(-1)
+        t = as_float(target).reshape(-1)
         sigma = np.where(z >= 0, 1.0 / (1.0 + np.exp(-z)), np.exp(z) / (1.0 + np.exp(z)))
         return ((sigma - t) / z.size).reshape(original_shape)
 
@@ -90,11 +92,11 @@ class CategoricalCrossEntropy(Loss):
     """Cross-entropy on class probabilities with one-hot or index targets."""
 
     @staticmethod
-    def _one_hot(target: np.ndarray, n_classes: int) -> np.ndarray:
+    def _one_hot(target: np.ndarray, n_classes: int, dtype=np.float64) -> np.ndarray:
         target = np.asarray(target)
         if target.ndim == 2:
-            return target.astype(np.float64)
-        one_hot = np.zeros((target.shape[0], n_classes))
+            return target.astype(dtype, copy=False)
+        one_hot = np.zeros((target.shape[0], n_classes), dtype=dtype)
         one_hot[np.arange(target.shape[0]), target.astype(int)] = 1.0
         return one_hot
 
@@ -104,8 +106,8 @@ class CategoricalCrossEntropy(Loss):
         return float(-np.mean(np.sum(t * np.log(p), axis=1)))
 
     def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        p = _clip_probabilities(np.asarray(pred, dtype=np.float64))
-        t = self._one_hot(target, p.shape[1])
+        p = _clip_probabilities(as_float(pred))
+        t = self._one_hot(target, p.shape[1], dtype=p.dtype)
         return -(t / p) / p.shape[0]
 
 
@@ -125,9 +127,9 @@ class SoftmaxCrossEntropy(Loss):
         return float(-np.mean(np.sum(t * np.log(probs), axis=1)))
 
     def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        z = np.asarray(pred, dtype=np.float64)
+        z = as_float(pred)
         probs = self._softmax(z)
-        t = CategoricalCrossEntropy._one_hot(target, z.shape[1])
+        t = CategoricalCrossEntropy._one_hot(target, z.shape[1], dtype=z.dtype)
         return (probs - t) / z.shape[0]
 
 
@@ -148,8 +150,8 @@ class HingeLoss(Loss):
 
     def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
         original_shape = np.asarray(pred).shape
-        scores = np.asarray(pred, dtype=np.float64).reshape(-1)
-        t = self._to_signed(target)
+        scores = as_float(pred).reshape(-1)
+        t = self._to_signed(target).astype(scores.dtype, copy=False)
         grad = np.where(t * scores < 1.0, -t, 0.0) / scores.size
         return grad.reshape(original_shape)
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from .data import iterate_minibatches
+from .dtype import as_float
 from .layers import Layer
 from .losses import Loss, get_loss
 from .optimizers import Optimizer, get_optimizer
@@ -88,7 +89,7 @@ class Sequential:
 
     # -- forward / backward ----------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        out = np.asarray(x, dtype=np.float64)
+        out = as_float(x)
         for layer in self.layers:
             out = layer.forward(out, training=training)
         return out
@@ -130,8 +131,8 @@ class Sequential:
         """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        x = as_float(x)
+        y = as_float(y)
         rng = rng or np.random.default_rng()
         best_metric = np.inf
         epochs_without_improvement = 0
@@ -144,8 +145,8 @@ class Sequential:
             monitored = epoch_loss
             if validation_data is not None:
                 val_x, val_y = validation_data
-                val_pred = self.forward(np.asarray(val_x, dtype=np.float64), training=False)
-                val_loss = self.loss_fn.loss(val_pred, np.asarray(val_y, dtype=np.float64))
+                val_pred = self.forward(as_float(val_x), training=False)
+                val_loss = self.loss_fn.loss(val_pred, as_float(val_y))
                 self.history.val_loss.append(float(val_loss))
                 monitored = float(val_loss)
             if verbose:  # pragma: no cover - logging only
@@ -163,7 +164,7 @@ class Sequential:
     # -- inference ----------------------------------------------------------
     def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Forward pass in inference mode, batched to bound memory."""
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         outputs = []
         for start in range(0, len(x), batch_size):
             outputs.append(self.forward(x[start : start + batch_size], training=False))

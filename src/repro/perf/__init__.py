@@ -1,0 +1,19 @@
+"""Perf-tracking utilities: micro-benchmark timing and BENCH_*.json I/O."""
+
+from .timing import (
+    BENCH_SCHEMA_VERSION,
+    BenchmarkSuite,
+    TimingResult,
+    load_benchmark_json,
+    speedup,
+    time_callable,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchmarkSuite",
+    "TimingResult",
+    "load_benchmark_json",
+    "speedup",
+    "time_callable",
+]

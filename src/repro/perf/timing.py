@@ -1,0 +1,141 @@
+"""Micro-benchmark timing utilities for the perf harness.
+
+Used by the scripts under ``benchmarks/perf/`` to measure the vectorized
+compute kernels against their golden loop baselines and to persist the
+results as ``BENCH_*.json`` files, so the repository carries an auditable
+perf trajectory from PR to PR (see ``docs/PERFORMANCE.md``).
+
+The measurement strategy is the usual micro-benchmark discipline: a warmup
+call to populate caches/allocator pools, then ``repeats`` timed calls with
+``time.perf_counter``, reporting best/mean/std.  ``best_s`` is the headline
+number — the minimum is the least noisy estimator of the achievable time on
+a busy machine — and speedups are always computed best-vs-best.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+import numpy as np
+
+#: Schema version stamped into every BENCH_*.json artefact.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass
+class TimingResult:
+    """Statistics of one timed callable."""
+
+    name: str
+    best_s: float
+    mean_s: float
+    std_s: float
+    repeats: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def time_callable(
+    fn: Callable[[], Any],
+    name: str = "",
+    repeats: int = 5,
+    warmup: int = 1,
+    meta: Optional[Dict[str, Any]] = None,
+) -> TimingResult:
+    """Time ``fn()`` with warmup, returning best/mean/std over ``repeats`` runs."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    for _ in range(warmup):
+        fn()
+    samples = np.empty(repeats)
+    for i in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples[i] = time.perf_counter() - start
+    return TimingResult(
+        name=name or getattr(fn, "__name__", "callable"),
+        best_s=float(samples.min()),
+        mean_s=float(samples.mean()),
+        std_s=float(samples.std()),
+        repeats=repeats,
+        meta=dict(meta or {}),
+    )
+
+
+def speedup(baseline: TimingResult, optimized: TimingResult) -> float:
+    """Best-vs-best speedup factor of ``optimized`` over ``baseline``."""
+    if optimized.best_s <= 0.0:
+        return float("inf")
+    return baseline.best_s / optimized.best_s
+
+
+class BenchmarkSuite:
+    """Accumulates :class:`TimingResult` entries and writes one BENCH_*.json.
+
+    The JSON layout::
+
+        {
+          "schema_version": 1,
+          "suite": "nn",
+          "environment": {"python": ..., "numpy": ..., "machine": ...},
+          "results": {"<name>": {"best_s": ..., "mean_s": ..., ...}, ...},
+          "speedups": {"<name>": <factor>, ...}
+        }
+    """
+
+    def __init__(self, suite: str) -> None:
+        self.suite = suite
+        self.results: Dict[str, TimingResult] = {}
+        self.speedups: Dict[str, float] = {}
+
+    def add(self, result: TimingResult) -> TimingResult:
+        self.results[result.name] = result
+        return result
+
+    def time(
+        self,
+        fn: Callable[[], Any],
+        name: str,
+        repeats: int = 5,
+        warmup: int = 1,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> TimingResult:
+        return self.add(time_callable(fn, name=name, repeats=repeats, warmup=warmup, meta=meta))
+
+    def record_speedup(self, name: str, baseline: TimingResult, optimized: TimingResult) -> float:
+        factor = speedup(baseline, optimized)
+        self.speedups[name] = factor
+        return factor
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "suite": self.suite,
+            "environment": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "machine": platform.machine(),
+                "system": platform.system(),
+            },
+            "results": {name: result.as_dict() for name, result in self.results.items()},
+            "speedups": dict(self.speedups),
+        }
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def load_benchmark_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a BENCH_*.json artefact back (used by the CI regression smoke)."""
+    return json.loads(Path(path).read_text())

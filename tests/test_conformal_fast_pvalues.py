@@ -1,0 +1,118 @@
+"""Exact-match tests for the searchsorted ICP p-values and vectorized fusion.
+
+The fast ``p_values`` (sorted calibration scores + ``np.searchsorted``) must
+reproduce the golden quadratic loop (``p_values_reference``) *exactly* —
+same rank counts, same smoothing draws — for every variant: smoothed and
+unsmoothed, Mondrian and plain, with and without score ties, and under the
+marginal fallback for classes absent from the calibration set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conformal import InductiveConformalClassifier
+from repro.conformal.combination import (
+    available_combiners,
+    combine_p_value_matrices,
+    get_combiner,
+)
+
+
+def _random_probabilities(rng, n, n_classes=3):
+    raw = rng.random((n, n_classes))
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+@pytest.mark.parametrize("mondrian", [True, False])
+@pytest.mark.parametrize("nonconformity", ["inverse_probability", "margin"])
+def test_unsmoothed_p_values_match_loop_exactly(mondrian, nonconformity):
+    rng = np.random.default_rng(0)
+    icp = InductiveConformalClassifier(
+        nonconformity=nonconformity, mondrian=mondrian, smoothing=False
+    )
+    icp.calibrate(_random_probabilities(rng, 200), rng.integers(0, 3, size=200))
+    test_probs = _random_probabilities(rng, 150)
+    np.testing.assert_array_equal(
+        icp.p_values(test_probs), icp.p_values_reference(test_probs)
+    )
+
+
+@pytest.mark.parametrize("mondrian", [True, False])
+def test_smoothed_p_values_match_loop_exactly(mondrian):
+    rng = np.random.default_rng(1)
+    cal_probs = _random_probabilities(rng, 120)
+    cal_labels = rng.integers(0, 3, size=120)
+    test_probs = _random_probabilities(rng, 80)
+    # Two identically-seeded predictors: the fast and reference paths draw
+    # the smoothing tau in the same order, so outputs must be bit-identical.
+    fast = InductiveConformalClassifier(
+        mondrian=mondrian, smoothing=True, rng=np.random.default_rng(42)
+    ).calibrate(cal_probs, cal_labels)
+    loop = InductiveConformalClassifier(
+        mondrian=mondrian, smoothing=True, rng=np.random.default_rng(42)
+    ).calibrate(cal_probs, cal_labels)
+    np.testing.assert_array_equal(
+        fast.p_values(test_probs), loop.p_values_reference(test_probs)
+    )
+
+
+def test_p_values_with_ties_match_loop_exactly():
+    # Duplicate probability rows create exact score ties, exercising the
+    # equal-count (searchsorted window) logic.
+    rng = np.random.default_rng(2)
+    base = _random_probabilities(rng, 30)
+    cal_probs = np.concatenate([base, base, base])
+    cal_labels = np.concatenate([rng.integers(0, 3, size=30)] * 3)
+    icp = InductiveConformalClassifier(mondrian=True, smoothing=False)
+    icp.calibrate(cal_probs, cal_labels)
+    test_probs = np.concatenate([base[:10], _random_probabilities(rng, 10)])
+    np.testing.assert_array_equal(
+        icp.p_values(test_probs), icp.p_values_reference(test_probs)
+    )
+
+
+def test_missing_class_fallback_matches_loop():
+    # No calibration examples of class 2 -> Mondrian falls back to the
+    # marginal scores for that label; both paths must agree exactly.
+    rng = np.random.default_rng(3)
+    cal_probs = _random_probabilities(rng, 60)
+    cal_labels = rng.integers(0, 2, size=60)  # only classes 0 and 1
+    icp = InductiveConformalClassifier(mondrian=True, smoothing=False)
+    icp.calibrate(cal_probs, cal_labels)
+    test_probs = _random_probabilities(rng, 40)
+    np.testing.assert_array_equal(
+        icp.p_values(test_probs), icp.p_values_reference(test_probs)
+    )
+
+
+def test_p_values_still_valid_uniformly():
+    # Coverage sanity: under exchangeability the true-label p-value is
+    # (super-)uniform, so P(p <= eps) <= eps up to finite-sample noise.
+    rng = np.random.default_rng(4)
+    n = 400
+    probs = _random_probabilities(rng, n, n_classes=2)
+    labels = (rng.random(n) < probs[:, 1]).astype(int)
+    icp = InductiveConformalClassifier(mondrian=False, smoothing=False)
+    icp.calibrate(probs[: n // 2], labels[: n // 2])
+    p = icp.p_values(probs[n // 2 :])
+    true_p = p[np.arange(n // 2), labels[n // 2 :]]
+    for eps in (0.1, 0.2, 0.5):
+        assert (true_p <= eps).mean() <= eps + 0.1
+
+
+@pytest.mark.parametrize("method", available_combiners())
+def test_combine_matrices_matches_per_class_loop(method):
+    rng = np.random.default_rng(5)
+    matrices = [np.clip(rng.random((40, 4)), 1e-9, 1.0) for _ in range(3)]
+    combined = combine_p_value_matrices(matrices, method)
+    combiner = get_combiner(method)
+    stacked = np.stack(matrices, axis=2)
+    for class_index in range(4):
+        np.testing.assert_allclose(
+            combined[:, class_index],
+            combiner(stacked[:, class_index, :]),
+            atol=0,
+            rtol=0,
+        )

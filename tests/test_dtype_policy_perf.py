@@ -1,0 +1,103 @@
+"""Tests for the dtype policy (repro.nn.dtype) and the perf harness utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Dense, ReLU, Sequential, Sigmoid
+from repro.nn.dtype import as_float, as_param, default_dtype, get_default_dtype, set_default_dtype
+from repro.perf import BenchmarkSuite, TimingResult, load_benchmark_json, speedup, time_callable
+
+
+class TestDtypePolicy:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+
+    def test_as_float_is_copy_free_for_conforming_input(self):
+        x64 = np.ones((4, 4))
+        assert as_float(x64) is x64
+        with default_dtype(np.float32):
+            x32 = np.ones((4, 4), dtype=np.float32)
+            assert as_float(x32) is x32
+
+    def test_as_float_converts_non_conforming_input(self):
+        converted = as_float(np.arange(6, dtype=np.int64))
+        assert converted.dtype == np.float64
+        assert as_float([1.0, 2.0]).dtype == np.float64
+        # Off-policy floats upcast, exactly like the seed's forced asarray.
+        assert as_float(np.ones(3, dtype=np.float32)).dtype == np.float64
+
+    def test_policy_rejects_non_float_dtypes(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+        with pytest.raises(ValueError):
+            set_default_dtype(np.float16)
+
+    def test_context_manager_restores_previous_policy(self):
+        with default_dtype(np.float32):
+            assert get_default_dtype() == np.float32
+            assert as_param(np.ones(3)).dtype == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_float32_policy_threads_through_layers(self):
+        with default_dtype(np.float32):
+            rng = np.random.default_rng(0)
+            layer = Dense(4, 3, rng=rng)
+            assert layer.weight.dtype == np.float32
+            out = layer.forward(np.ones((2, 4), dtype=np.float32))
+            assert out.dtype == np.float32
+            conv = Conv2d(1, 2, kernel_size=3, padding=1, rng=rng)
+            assert conv.weight.dtype == np.float32
+            out = conv.forward(np.ones((2, 1, 5, 5), dtype=np.float32))
+            assert out.dtype == np.float32
+            grad = conv.backward(np.ones_like(out))
+            assert grad.dtype == np.float32
+
+    def test_float32_model_end_to_end(self):
+        with default_dtype(np.float32):
+            rng = np.random.default_rng(1)
+            model = Sequential(
+                [Dense(6, 4, rng=rng), ReLU(), Dense(4, 1, rng=rng), Sigmoid()],
+                loss="bce",
+                optimizer="sgd",
+                learning_rate=0.1,
+            )
+            x = rng.standard_normal((16, 6)).astype(np.float32)
+            y = (rng.random(16) < 0.5).astype(np.float32)
+            model.fit(x, y, epochs=2, batch_size=8, rng=np.random.default_rng(2))
+            proba = model.predict_proba(x)
+            assert proba.dtype == np.float32
+            assert np.isfinite(proba).all()
+
+
+class TestPerfHarness:
+    def test_time_callable_returns_sane_stats(self):
+        result = time_callable(lambda: sum(range(100)), name="sum", repeats=3)
+        assert result.name == "sum"
+        assert result.repeats == 3
+        assert 0 <= result.best_s <= result.mean_s
+
+    def test_time_callable_validates_arguments(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, warmup=-1)
+
+    def test_speedup_is_best_vs_best(self):
+        slow = TimingResult("slow", best_s=1.0, mean_s=1.1, std_s=0.0, repeats=1)
+        fast = TimingResult("fast", best_s=0.25, mean_s=0.3, std_s=0.0, repeats=1)
+        assert speedup(slow, fast) == pytest.approx(4.0)
+
+    def test_suite_json_round_trip(self, tmp_path):
+        suite = BenchmarkSuite("unit")
+        baseline = suite.time(lambda: None, "baseline", repeats=2)
+        optimized = suite.time(lambda: None, "optimized", repeats=2)
+        suite.record_speedup("kernel", baseline, optimized)
+        path = suite.write_json(tmp_path / "BENCH_unit.json")
+        data = load_benchmark_json(path)
+        assert data["suite"] == "unit"
+        assert set(data["results"]) == {"baseline", "optimized"}
+        assert "kernel" in data["speedups"]
+        assert data["environment"]["numpy"] == np.__version__
+        assert data["results"]["baseline"]["best_s"] >= 0.0

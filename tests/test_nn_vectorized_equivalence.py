@@ -1,0 +1,257 @@
+"""Golden-vs-optimized equivalence for the vectorized conv/pool kernels.
+
+The vectorized ``sliding_window_view`` kernels in ``repro.nn.layers`` must
+reproduce the seed's per-position loop implementations (preserved in
+``repro.nn._reference``) to 1e-8 — forward outputs, parameter gradients and
+input gradients — across a grid of kernel/stride/padding shapes.  Numerical
+(central-difference) gradient checks guard the hand-derived backwards
+independently of both implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import _reference as golden
+from repro.nn.layers import (
+    AvgPool1d,
+    AvgPool2d,
+    Conv1d,
+    Conv2d,
+    MaxPool1d,
+    MaxPool2d,
+)
+
+ATOL = 1e-8
+
+CONV1D_GRID = [
+    # (kernel, stride, padding, length)
+    (1, 1, 0, 11),
+    (2, 1, 1, 12),
+    (3, 1, 1, 16),
+    (3, 2, 0, 17),
+    (4, 3, 2, 19),
+    (5, 2, 2, 23),
+]
+
+CONV2D_GRID = [
+    # (kernel, stride, padding, height, width)
+    ((1, 1), (1, 1), (0, 0), 7, 9),
+    ((3, 3), (1, 1), (1, 1), 8, 8),
+    ((3, 3), (2, 2), (0, 0), 11, 9),
+    ((2, 3), (1, 2), (1, 0), 9, 12),
+    ((5, 5), (2, 2), (2, 2), 13, 13),
+    ((4, 2), (3, 1), (2, 1), 12, 10),
+]
+
+POOL1D_GRID = [(2, 2, 12), (3, 1, 10), (3, 3, 15), (4, 2, 18)]
+POOL2D_GRID = [((2, 2), (2, 2), 8, 8), ((3, 3), (1, 1), 7, 9), ((3, 2), (2, 2), 11, 10)]
+
+
+def _seed_conv1d_forward(layer: Conv1d, x: np.ndarray) -> np.ndarray:
+    """The seed's Conv1d forward: golden im2col + batched matmul."""
+    n, _, length = x.shape
+    out_len = layer._output_length(length)
+    x_pad = (
+        np.pad(x, ((0, 0), (0, 0), (layer.padding, layer.padding)))
+        if layer.padding
+        else x
+    )
+    cols = golden.im2col_1d_loop(x_pad, layer.kernel_size, layer.stride, out_len)
+    w_mat = layer.weight.reshape(layer.out_channels, -1)
+    out = cols @ w_mat.T + layer.bias
+    return out.transpose(0, 2, 1)
+
+
+def _seed_conv1d_backward(layer: Conv1d, x: np.ndarray, grad_output: np.ndarray):
+    """The seed's Conv1d backward, returning (grad_input, grad_w, grad_b)."""
+    n, _, length = x.shape
+    out_len = layer._output_length(length)
+    x_pad = (
+        np.pad(x, ((0, 0), (0, 0), (layer.padding, layer.padding)))
+        if layer.padding
+        else x
+    )
+    cols = golden.im2col_1d_loop(x_pad, layer.kernel_size, layer.stride, out_len)
+    grad = grad_output.transpose(0, 2, 1)
+    w_mat = layer.weight.reshape(layer.out_channels, -1)
+    grad_b = grad.sum(axis=(0, 1))
+    grad_w = (
+        grad.reshape(-1, layer.out_channels).T @ cols.reshape(-1, cols.shape[2])
+    ).reshape(layer.weight.shape)
+    grad_cols = grad @ w_mat
+    padded_len = length + 2 * layer.padding
+    grad_x_pad = golden.col2im_1d_loop(
+        grad_cols, layer.in_channels, layer.kernel_size, layer.stride, padded_len
+    )
+    if layer.padding:
+        grad_x = grad_x_pad[:, :, layer.padding : -layer.padding]
+    else:
+        grad_x = grad_x_pad
+    return grad_x, grad_w, grad_b
+
+
+def _seed_conv2d_forward(layer: Conv2d, x: np.ndarray) -> np.ndarray:
+    """The seed's Conv2d forward: golden im2col + batched matmul."""
+    n, _, h, w = x.shape
+    out_h, out_w = layer._output_size(h, w)
+    ph, pw = layer.padding
+    x_pad = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x
+    cols = golden.im2col_2d_loop(x_pad, layer.kernel_size, layer.stride, (out_h, out_w))
+    w_mat = layer.weight.reshape(layer.out_channels, -1)
+    out = cols @ w_mat.T + layer.bias
+    return out.transpose(0, 2, 1).reshape(n, layer.out_channels, out_h, out_w)
+
+
+def _seed_conv2d_backward(layer: Conv2d, x: np.ndarray, grad_output: np.ndarray):
+    """The seed's Conv2d backward, returning (grad_input, grad_w, grad_b)."""
+    n, _, h, w = x.shape
+    out_h, out_w = layer._output_size(h, w)
+    ph, pw = layer.padding
+    x_pad = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x
+    cols = golden.im2col_2d_loop(x_pad, layer.kernel_size, layer.stride, (out_h, out_w))
+    grad = grad_output.reshape(n, layer.out_channels, out_h * out_w).transpose(0, 2, 1)
+    w_mat = layer.weight.reshape(layer.out_channels, -1)
+    grad_b = grad.sum(axis=(0, 1))
+    grad_w = (
+        grad.reshape(-1, layer.out_channels).T @ cols.reshape(-1, cols.shape[2])
+    ).reshape(layer.weight.shape)
+    grad_cols = grad @ w_mat
+    grad_x_pad = golden.col2im_2d_loop(
+        grad_cols,
+        layer.in_channels,
+        layer.kernel_size,
+        layer.stride,
+        (out_h, out_w),
+        (h + 2 * ph, w + 2 * pw),
+    )
+    if ph or pw:
+        grad_x = grad_x_pad[:, :, ph : ph + h, pw : pw + w]
+    else:
+        grad_x = grad_x_pad
+    return grad_x, grad_w, grad_b
+
+
+@pytest.mark.parametrize("kernel,stride,padding,length", CONV1D_GRID)
+def test_conv1d_matches_golden(kernel, stride, padding, length):
+    rng = np.random.default_rng(7)
+    layer = Conv1d(3, 5, kernel_size=kernel, stride=stride, padding=padding, rng=rng)
+    x = rng.standard_normal((4, 3, length))
+    out = layer.forward(x)
+    expected = _seed_conv1d_forward(layer, x)
+    np.testing.assert_allclose(out, expected, atol=ATOL, rtol=0)
+
+    grad_output = rng.standard_normal(out.shape)
+    layer.zero_grad()
+    grad_input = layer.backward(grad_output)
+    ref_x, ref_w, ref_b = _seed_conv1d_backward(layer, x, grad_output)
+    np.testing.assert_allclose(grad_input, ref_x, atol=ATOL, rtol=0)
+    np.testing.assert_allclose(layer.grad_weight, ref_w, atol=ATOL, rtol=0)
+    np.testing.assert_allclose(layer.grad_bias, ref_b, atol=ATOL, rtol=0)
+
+
+@pytest.mark.parametrize("kernel,stride,padding,height,width", CONV2D_GRID)
+def test_conv2d_matches_golden(kernel, stride, padding, height, width):
+    rng = np.random.default_rng(11)
+    layer = Conv2d(2, 4, kernel_size=kernel, stride=stride, padding=padding, rng=rng)
+    x = rng.standard_normal((3, 2, height, width))
+    out = layer.forward(x)
+    expected = _seed_conv2d_forward(layer, x)
+    np.testing.assert_allclose(out, expected, atol=ATOL, rtol=0)
+
+    grad_output = rng.standard_normal(out.shape)
+    layer.zero_grad()
+    grad_input = layer.backward(grad_output)
+    ref_x, ref_w, ref_b = _seed_conv2d_backward(layer, x, grad_output)
+    np.testing.assert_allclose(grad_input, ref_x, atol=ATOL, rtol=0)
+    np.testing.assert_allclose(layer.grad_weight, ref_w, atol=ATOL, rtol=0)
+    np.testing.assert_allclose(layer.grad_bias, ref_b, atol=ATOL, rtol=0)
+
+
+@pytest.mark.parametrize("pool,stride,length", POOL1D_GRID)
+def test_maxpool1d_matches_golden(pool, stride, length):
+    rng = np.random.default_rng(3)
+    layer = MaxPool1d(pool, stride)
+    x = rng.standard_normal((5, 4, length))
+    out = layer.forward(x)
+    windows = golden.pool_windows_1d_loop(x, pool, stride)
+    np.testing.assert_allclose(out, windows.max(axis=3), atol=ATOL, rtol=0)
+
+    # Backward must route each gradient to the seed's argmax position.
+    grad_output = rng.standard_normal(out.shape)
+    grad_input = layer.backward(grad_output)
+    argmax = windows.argmax(axis=3)
+    expected = np.zeros_like(x)
+    n, c, out_len = out.shape
+    n_idx = np.arange(n)[:, None, None]
+    c_idx = np.arange(c)[None, :, None]
+    pos = np.arange(out_len)[None, None, :] * stride + argmax
+    np.add.at(expected, (n_idx, c_idx, pos), grad_output)
+    np.testing.assert_allclose(grad_input, expected, atol=ATOL, rtol=0)
+
+
+@pytest.mark.parametrize("pool,stride,height,width", POOL2D_GRID)
+def test_maxpool2d_matches_golden(pool, stride, height, width):
+    rng = np.random.default_rng(5)
+    layer = MaxPool2d(pool, stride)
+    x = rng.standard_normal((4, 3, height, width))
+    out = layer.forward(x)
+    windows = golden.pool_windows_2d_loop(x, pool, stride)
+    np.testing.assert_allclose(out, windows.max(axis=4), atol=ATOL, rtol=0)
+
+
+@pytest.mark.parametrize("pool,stride,length", POOL1D_GRID)
+def test_avgpool1d_matches_golden_windows(pool, stride, length):
+    rng = np.random.default_rng(13)
+    layer = AvgPool1d(pool, stride)
+    x = rng.standard_normal((5, 4, length))
+    out = layer.forward(x)
+    windows = golden.pool_windows_1d_loop(x, pool, stride)
+    np.testing.assert_allclose(out, windows.mean(axis=3), atol=ATOL, rtol=0)
+
+
+@pytest.mark.parametrize("pool,stride,height,width", POOL2D_GRID)
+def test_avgpool2d_matches_golden_windows(pool, stride, height, width):
+    rng = np.random.default_rng(17)
+    layer = AvgPool2d(pool, stride)
+    x = rng.standard_normal((4, 3, height, width))
+    out = layer.forward(x)
+    windows = golden.pool_windows_2d_loop(x, pool, stride)
+    np.testing.assert_allclose(out, windows.mean(axis=4), atol=ATOL, rtol=0)
+
+
+def _numerical_input_gradient(layer, x: np.ndarray, grad_output: np.ndarray, eps=1e-6):
+    """Central-difference gradient of sum(forward(x) * grad_output) w.r.t. x."""
+    gradient = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float((layer.forward(x) * grad_output).sum())
+        flat[i] = original - eps
+        minus = float((layer.forward(x) * grad_output).sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return gradient
+
+
+@pytest.mark.parametrize(
+    "layer_factory,shape",
+    [
+        (lambda rng: Conv1d(2, 3, kernel_size=3, stride=2, padding=1, rng=rng), (2, 2, 9)),
+        (lambda rng: Conv2d(2, 3, kernel_size=3, stride=2, padding=1, rng=rng), (2, 2, 7, 7)),
+        (lambda rng: AvgPool1d(3, 2), (2, 2, 9)),
+        (lambda rng: AvgPool2d(2), (2, 2, 6, 6)),
+    ],
+)
+def test_numerical_input_gradients(layer_factory, shape):
+    rng = np.random.default_rng(23)
+    layer = layer_factory(rng)
+    x = rng.standard_normal(shape)
+    out = layer.forward(x)
+    grad_output = rng.standard_normal(out.shape)
+    analytic = layer.backward(grad_output)
+    numerical = _numerical_input_gradient(layer, x, grad_output)
+    np.testing.assert_allclose(analytic, numerical, atol=1e-6, rtol=1e-6)

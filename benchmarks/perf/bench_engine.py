@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""End-to-end scan engine benchmark (batched vs sequential per-design scans).
+
+Trains a quick late-fusion detector, persists it, then times the same
+multi-design workload served three ways (see
+:mod:`repro.engine.bench` for exactly what each mode measures):
+
+* ``engine_scan_sequential`` — N independent invocations, each loading the
+  artifact and scanning one design;
+* ``engine_scan_batched``    — one engine, one batched call;
+* ``engine_scan_cached``     — the batched call against a warm content cache.
+
+Writes the results to ``BENCH_engine.json`` at the repository root.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py [--output ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.engine.bench import DEFAULT_N_DESIGNS, run_engine_benchmark  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=ROOT / "BENCH_engine.json")
+    parser.add_argument("--designs", type=int, default=DEFAULT_N_DESIGNS)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+
+    suite = run_engine_benchmark(
+        args.output, n_designs=args.designs, workers=args.workers, repeats=args.repeats
+    )
+    print(f"wrote {args.output}")
+    for name, factor in sorted(suite.speedups.items()):
+        print(f"  {name}: {factor:.1f}x vs sequential per-design scans")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,15 +12,23 @@ suite:
 4. classify held-out designs and print the risk-aware decision for each.
 
 Run with:  python examples/quickstart.py
+
+Set ``REPRO_SMOKE=1`` for a miniature configuration (used by the CI docs
+job to smoke-test the example in seconds).
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro import NOODLE, SuiteConfig, TrojanDataset, default_config, extract_modalities
 from repro.gan import AmplificationConfig, GANConfig
 from repro.metrics import brier_score, roc_auc
+
+#: Miniature sizes for CI smoke runs (REPRO_SMOKE=1).
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 
 
 def main() -> None:
@@ -30,7 +38,7 @@ def main() -> None:
     #    many clean design revisions, fewer Trojan-infected ones).
     print("== Generating benchmark suite ==")
     dataset = TrojanDataset.generate(
-        SuiteConfig(n_trojan_free=32, n_trojan_infected=16, seed=7)
+        SuiteConfig(n_trojan_free=12 if SMOKE else 32, n_trojan_infected=6 if SMOKE else 16, seed=7)
     )
     summary = dataset.summary()
     print(
@@ -53,7 +61,11 @@ def main() -> None:
     train, test = features.stratified_split(test_fraction=0.25, rng=rng)
     config = default_config(seed=1)
     config.amplify = True
-    config.amplification = AmplificationConfig(target_total=300, gan=GANConfig(epochs=250))
+    if SMOKE:
+        config.classifier.epochs = 10
+        config.amplification = AmplificationConfig(target_total=60, gan=GANConfig(epochs=40))
+    else:
+        config.amplification = AmplificationConfig(target_total=300, gan=GANConfig(epochs=250))
 
     print("\n== Training NOODLE (early + late fusion, winner by Brier score) ==")
     detector = NOODLE(config)

@@ -1,33 +1,37 @@
 #!/usr/bin/env python3
-"""Security-audit campaign: scan a batch of third-party IP cores.
+"""Security-audit campaign: scan a batch of third-party IP cores via the CLI.
 
 Scenario (the paper's motivating zero-trust fabless setting): an integration
 team receives RTL deliveries from several vendors and wants to vet each one
-before tape-in.  A NOODLE model is trained on an in-house labelled corpus,
-then applied to the incoming (unlabelled) deliveries.  Designs whose
-conformal prediction region is *uncertain* or *empty* are routed to manual
-review instead of being silently accepted or rejected — the risk-aware
-decision flow the paper argues for.
+before tape-in.  This used to be a hand-rolled script that retrained a NOODLE
+model on every run; it is now a thin driver for the scan engine's CLI
+(``python -m repro``), demonstrating the production workflow:
+
+1. ``train``  — fit the in-house detector once and persist it as an artifact;
+2. ``scan``   — run the batched pipeline over the delivered ``.v`` files
+   (content-hash cached, so a re-run of the campaign is nearly free);
+3. ``report`` — print the triage queues (accept / reject / manual review).
 
 Run with:  python examples/trojan_scan_campaign.py
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import json
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
-from repro import NOODLE, SuiteConfig, TrojanDataset, default_config, extract_modalities
-from repro.gan import AmplificationConfig, GANConfig
-from repro.hdl import parse_module
+from repro.engine.cli import main as repro_cli
 from repro.trojan import generate_host, insert_trojan
 
 
-def build_incoming_deliveries(rng: np.random.Generator):
-    """Simulate a batch of vendor deliveries: mostly clean, a few infected."""
+def write_incoming_deliveries(rng: np.random.Generator, directory: Path):
+    """Simulate vendor deliveries: mostly clean, a few infected ``.v`` files."""
     deliveries = []
     vendors = ["acme", "bitwise", "coreforge", "darkfab"]
+    directory.mkdir(parents=True, exist_ok=True)
     for i in range(12):
         family = ["crypto", "uart", "mcu", "bus", "dsp"][i % 5]
         vendor = vendors[i % len(vendors)]
@@ -35,91 +39,79 @@ def build_incoming_deliveries(rng: np.random.Generator):
         infected = rng.random() < 0.25
         if infected:
             source = insert_trojan(source, rng).source
-        deliveries.append(
-            {"name": f"{vendor}/{family}_ip{i}", "source": source, "truly_infected": infected}
-        )
+        path = directory / f"{vendor}_{family}_ip{i}.v"
+        path.write_text(source)
+        deliveries.append({"name": path.stem, "truly_infected": infected})
     return deliveries
 
 
 def main() -> None:
     rng = np.random.default_rng(11)
+    with tempfile.TemporaryDirectory() as tmp:
+        workspace = Path(tmp)
+        artifact = workspace / "detector"
+        inbox = workspace / "inbox"
+        results = workspace / "scan_results.json"
 
-    # -- 1. Train the in-house detector on a labelled corpus -----------------
-    print("== Training the in-house NOODLE detector ==")
-    corpus = TrojanDataset.generate(SuiteConfig(n_trojan_free=36, n_trojan_infected=18, seed=3))
-    corpus_features = extract_modalities(corpus)
-    config = default_config(seed=5)
-    config.amplify = True
-    config.amplification = AmplificationConfig(target_total=300, gan=GANConfig(epochs=250))
-    detector = NOODLE(config)
-    report = detector.fit(corpus_features)
-    print(f"winning fusion strategy: {report.winner}")
+        # -- 1. Train the in-house detector once and persist it --------------
+        print("== Training the in-house NOODLE detector (python -m repro train) ==")
+        repro_cli(
+            [
+                "train",
+                "--artifact", str(artifact),
+                "--strategy", "noodle",
+                "--quick",
+                "--amplify",
+                "--trojan-free", "36",
+                "--trojan-infected", "18",
+                "--suite-seed", "3",
+                "--seed", "5",
+            ]
+        )
 
-    # -- 2. Receive vendor deliveries and extract their modalities -----------
-    print("\n== Scanning incoming vendor deliveries ==")
-    deliveries = build_incoming_deliveries(rng)
-    from repro.trojan.suite import Benchmark
-    from repro.trojan.dataset import TrojanDataset as _DS
+        # -- 2. Receive vendor deliveries and scan them in one batch ---------
+        print("\n== Scanning incoming vendor deliveries (python -m repro scan) ==")
+        deliveries = write_incoming_deliveries(rng, inbox)
+        repro_cli(
+            [
+                "scan",
+                str(inbox),
+                "--artifact", str(artifact),
+                "--cache-dir", str(workspace / "cache"),
+                "--output", str(results),
+            ]
+        )
 
-    incoming = _DS(
-        benchmarks=[
-            Benchmark(
-                name=d["name"],
-                family="unknown",
-                source=d["source"],
-                label=int(d["truly_infected"]),  # ground truth kept only for the report
-            )
-            for d in deliveries
-        ]
-    )
-    incoming_features = extract_modalities(incoming)
+        # -- 3. Triage report --------------------------------------------------
+        print("\n== Campaign triage (python -m repro report) ==")
+        repro_cli(["report", "--input", str(results)])
 
-    # -- 3. Triage every delivery ---------------------------------------------
-    decisions = detector.decide(incoming_features, include_truth=False)
-    accepted, rejected, review = [], [], []
-    for delivery, decision in zip(deliveries, decisions):
-        if decision.is_uncertain or decision.is_empty:
-            queue = review
-        elif decision.predicted_label == 1:
-            queue = rejected
-        else:
-            queue = accepted
-        queue.append((delivery, decision))
-
-    def show(title: str, entries) -> None:
-        print(f"\n{title} ({len(entries)})")
-        for delivery, decision in entries:
-            module = parse_module(delivery["source"])
-            print(
-                f"  {delivery['name']:<24} P(infected)={decision.probability_infected:.3f} "
-                f"confidence={decision.confidence:.2f} ports={len(module.ports)}"
-            )
-
-    show("ACCEPT — confidently Trojan-free", accepted)
-    show("REJECT — confidently Trojan-infected", rejected)
-    show("MANUAL REVIEW — conformal region is uncertain/empty", review)
-
-    # -- 4. Campaign summary (uses the withheld ground truth) ----------------
-    print("\n== Campaign summary (against withheld ground truth) ==")
-    outcomes = Counter()
-    for delivery, decision in accepted + rejected:
-        predicted_infected = decision.predicted_label == 1
-        if predicted_infected and delivery["truly_infected"]:
-            outcomes["caught"] += 1
-        elif predicted_infected and not delivery["truly_infected"]:
-            outcomes["false_alarm"] += 1
-        elif not predicted_infected and delivery["truly_infected"]:
-            outcomes["missed"] += 1
-        else:
-            outcomes["correctly_accepted"] += 1
-    outcomes["sent_to_review"] = len(review)
-    for key, value in outcomes.items():
-        print(f"  {key:<20}: {value}")
-    missed = outcomes.get("missed", 0)
-    print(
-        "\nEvery auto-accepted Trojan is a silent escape; NOODLE routed "
-        f"{outcomes['sent_to_review']} low-confidence designs to review and missed {missed}."
-    )
+        # -- 4. Score the campaign against the withheld ground truth ----------
+        print("\n== Campaign summary (against withheld ground truth) ==")
+        truth = {d["name"]: d["truly_infected"] for d in deliveries}
+        records = json.loads(results.read_text())["records"]
+        outcomes = {"caught": 0, "false_alarm": 0, "missed": 0,
+                    "correctly_accepted": 0, "sent_to_review": 0, "errors": 0}
+        for record in records:
+            decision = record["decision"]
+            if decision is None:  # front-end failure: no verdict to score
+                outcomes["errors"] += 1
+                continue
+            infected = truth[record["name"]]
+            uncertain = len(decision["region_labels"]) != 1
+            if uncertain:
+                outcomes["sent_to_review"] += 1
+            elif decision["predicted_label"] == 1:
+                outcomes["caught" if infected else "false_alarm"] += 1
+            else:
+                outcomes["missed" if infected else "correctly_accepted"] += 1
+        for key, value in outcomes.items():
+            print(f"  {key:<20}: {value}")
+        print(
+            "\nEvery auto-accepted Trojan is a silent escape; NOODLE routed "
+            f"{outcomes['sent_to_review']} low-confidence designs to review "
+            f"and missed {outcomes['missed']}."
+        )
 
 
 if __name__ == "__main__":

@@ -35,6 +35,12 @@ Subpackages
     Brier score and decomposition, calibration, ROC-AUC, radar consolidation.
 ``repro.experiments``
     Runners that regenerate each table and figure of the paper.
+``repro.engine``
+    Scan engine: artifact persistence (train once, scan many times),
+    batched content-cached scanning, and the ``python -m repro`` CLI
+    with ``train`` / ``calibrate`` / ``scan`` / ``report`` / ``bench``.
+``repro.perf``
+    Micro-benchmark timing harness behind the committed ``BENCH_*.json``.
 """
 
 from .core import (

@@ -1,0 +1,6 @@
+"""Module entry point: ``python -m repro`` runs the scan-engine CLI."""
+
+from .engine.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

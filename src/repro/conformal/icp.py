@@ -14,7 +14,7 @@ Mondrian ICP.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -47,6 +47,12 @@ class InductiveConformalClassifier:
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.nonconformity = get_nonconformity(nonconformity)
+        #: The registry name the score was resolved from (``None`` when a raw
+        #: callable was supplied); recorded so a calibrated predictor can be
+        #: persisted and reconstructed by the artifact store.
+        self.nonconformity_name: Optional[str] = (
+            nonconformity if isinstance(nonconformity, str) else None
+        )
         self.mondrian = mondrian
         self.smoothing = smoothing
         self._rng = rng or np.random.default_rng()
@@ -86,10 +92,12 @@ class InductiveConformalClassifier:
 
     @property
     def is_calibrated(self) -> bool:
+        """Whether :meth:`calibrate` has been called."""
         return self._calibration_scores is not None
 
     @property
     def n_classes(self) -> int:
+        """Number of classes seen at calibration time (raises if uncalibrated)."""
         if self._n_classes is None:
             raise RuntimeError("classifier has not been calibrated")
         return self._n_classes
@@ -100,6 +108,86 @@ class InductiveConformalClassifier:
             raise RuntimeError("classifier has not been calibrated")
         classes, counts = np.unique(self._calibration_labels, return_counts=True)
         return dict(zip(classes.tolist(), counts.tolist()))
+
+    # -- persistence -------------------------------------------------------------
+    def calibration_state(self) -> Dict[str, Any]:
+        """Everything needed to reconstruct this calibrated predictor.
+
+        Returns a dictionary with two kinds of entries:
+
+        * **arrays** — ``calibration_scores``, ``calibration_labels``, the
+          pre-sorted ``sorted_marginal`` cache and (for Mondrian predictors)
+          one ``sorted_label_<k>`` array per class.  The sorted caches are
+          persisted verbatim rather than recomputed at load time, so a
+          restored predictor binary-searches *exactly* the same arrays and
+          produces bit-identical p-values.
+        * **settings** — a JSON-serialisable sub-dict with ``mondrian``,
+          ``smoothing``, ``n_classes`` and the ``nonconformity`` registry
+          name.
+
+        Raises
+        ------
+        RuntimeError
+            If :meth:`calibrate` has not been called yet.
+        ValueError
+            If the nonconformity score was supplied as a raw callable, which
+            cannot be persisted by name.
+        """
+        if self._calibration_scores is None or self._calibration_labels is None:
+            raise RuntimeError("classifier has not been calibrated")
+        if self.nonconformity_name is None:
+            raise ValueError(
+                "cannot persist an ICP whose nonconformity score is a raw "
+                "callable; construct it with a registry name instead"
+            )
+        state: Dict[str, Any] = {
+            "calibration_scores": self._calibration_scores.copy(),
+            "calibration_labels": self._calibration_labels.copy(),
+            "sorted_marginal": self._sorted_marginal.copy(),
+            "settings": {
+                "mondrian": bool(self.mondrian),
+                "smoothing": bool(self.smoothing),
+                "n_classes": int(self.n_classes),
+                "nonconformity": self.nonconformity_name,
+            },
+        }
+        if self.mondrian and self._sorted_by_label is not None:
+            for label, scores in enumerate(self._sorted_by_label):
+                state[f"sorted_label_{label}"] = scores.copy()
+        return state
+
+    @classmethod
+    def from_calibration_state(
+        cls,
+        state: Dict[str, Any],
+        rng: Optional[np.random.Generator] = None,
+    ) -> "InductiveConformalClassifier":
+        """Rebuild a calibrated predictor from :meth:`calibration_state`.
+
+        The sorted-score caches are restored directly (not re-sorted), so the
+        reconstructed predictor's :meth:`p_values` are bit-identical to the
+        original's for non-smoothed predictors.  Smoothed predictors draw
+        fresh tie-breaking randomness from ``rng``.
+        """
+        settings = state["settings"]
+        icp = cls(
+            nonconformity=settings["nonconformity"],
+            mondrian=bool(settings["mondrian"]),
+            smoothing=bool(settings["smoothing"]),
+            rng=rng,
+        )
+        icp._calibration_scores = np.asarray(state["calibration_scores"], dtype=np.float64)
+        icp._calibration_labels = np.asarray(state["calibration_labels"], dtype=int)
+        icp._n_classes = int(settings["n_classes"])
+        icp._sorted_marginal = np.asarray(state["sorted_marginal"], dtype=np.float64)
+        if icp.mondrian:
+            icp._sorted_by_label = [
+                np.asarray(state[f"sorted_label_{label}"], dtype=np.float64)
+                for label in range(icp._n_classes)
+            ]
+        else:
+            icp._sorted_by_label = None
+        return icp
 
     # -- p-values ---------------------------------------------------------------
     def _reference_scores(self, label: int) -> np.ndarray:

@@ -20,7 +20,7 @@ from .fusion import (
     build_fusion_model,
 )
 from .noodle import NOODLE, evaluate_fusion_model
-from .results import FusionEvaluation, NoodleReport, TrojanDecision
+from .results import FusionEvaluation, NoodleReport, ScanRecord, TrojanDecision
 
 __all__ = [
     "CNNModalityClassifier",
@@ -33,6 +33,7 @@ __all__ = [
     "NOODLE",
     "NoodleConfig",
     "NoodleReport",
+    "ScanRecord",
     "SingleModalityModel",
     "TrojanDecision",
     "build_fusion_model",

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from ..gan.augmentation import AmplificationConfig
+from ..gan.gan import GANConfig  # noqa: F401  (re-exported for config round-trips)
 
 
 @dataclass
@@ -36,6 +37,25 @@ class ClassifierConfig:
             raise ValueError("dropout must be in [0, 1)")
         if self.epochs <= 0 or self.batch_size <= 0 or self.learning_rate <= 0:
             raise ValueError("epochs, batch_size and learning_rate must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the engine artifact manifest)."""
+        return {
+            "channels": list(self.channels),
+            "kernel_size": self.kernel_size,
+            "dense_units": self.dense_units,
+            "dropout": self.dropout,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "learning_rate": self.learning_rate,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClassifierConfig":
+        data = dict(data)
+        data["channels"] = tuple(data.get("channels", (16, 32)))
+        return cls(**data)
 
 
 @dataclass
@@ -82,6 +102,40 @@ class NoodleConfig:
             )
         self.classifier.validate()
         self.amplification.validate()
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form of the full configuration tree.
+
+        Round-trips through :meth:`from_dict`; the engine artifact store
+        writes this into ``manifest.json`` so a persisted detector carries
+        the exact configuration it was trained with.
+        """
+        return {
+            "modalities": list(self.modalities),
+            "classifier": self.classifier.to_dict(),
+            "combination_method": self.combination_method,
+            "confidence_level": self.confidence_level,
+            "calibration_fraction": self.calibration_fraction,
+            "validation_fraction": self.validation_fraction,
+            "amplify": self.amplify,
+            "amplification": self.amplification.to_dict(),
+            "mondrian": self.mondrian,
+            "nonconformity": self.nonconformity,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NoodleConfig":
+        """Reconstruct (and validate) a configuration from :meth:`to_dict`."""
+        data = dict(data)
+        data["modalities"] = tuple(data.get("modalities", ("graph", "tabular")))
+        if "classifier" in data:
+            data["classifier"] = ClassifierConfig.from_dict(data["classifier"])
+        if "amplification" in data:
+            data["amplification"] = AmplificationConfig.from_dict(data["amplification"])
+        config = cls(**data)
+        config.validate()
+        return config
 
 
 def default_config(seed: Optional[int] = None, **overrides) -> NoodleConfig:

@@ -51,6 +51,39 @@ def _stratified_holdout(
     return np.asarray(sorted(fit_idx)), np.asarray(sorted(holdout_idx))
 
 
+def build_decisions(
+    names: List[str],
+    p_values: np.ndarray,
+    confidence: float,
+    true_labels: Optional[np.ndarray] = None,
+) -> List[TrojanDecision]:
+    """Risk-aware :class:`TrojanDecision` per row of a p-value matrix.
+
+    The single definition of how p-values become decisions (fused
+    pseudo-probability, prediction region at ``confidence``, credibility
+    and confidence scores), shared by :meth:`NOODLE.decide` and the scan
+    engine's batched pipeline.
+    """
+    probabilities = p_values / np.maximum(p_values.sum(axis=1, keepdims=True), 1e-12)
+    regions = prediction_regions(p_values, confidence=confidence)
+    cred = credibility(p_values)
+    conf = confidence_scores(p_values)
+    return [
+        TrojanDecision(
+            name=names[i],
+            predicted_label=int(p_values[i].argmax()),
+            probability_infected=float(probabilities[i, 1]),
+            p_value_trojan_free=float(p_values[i, 0]),
+            p_value_trojan_infected=float(p_values[i, 1]),
+            region_labels=region.labels,
+            credibility=float(cred[i]),
+            confidence=float(conf[i]),
+            true_label=int(true_labels[i]) if true_labels is not None else None,
+        )
+        for i, region in enumerate(regions)
+    ]
+
+
 def evaluate_fusion_model(
     model: ConformalFusionModel,
     features: MultimodalFeatures,
@@ -177,24 +210,10 @@ class NOODLE:
     ) -> List[TrojanDecision]:
         """Produce a risk-aware decision per design (Algorithm 2 output)."""
         p_values = self.p_values(features)
-        probabilities = p_values / np.maximum(p_values.sum(axis=1, keepdims=True), 1e-12)
-        regions = prediction_regions(p_values, confidence=self.config.confidence_level)
-        cred = credibility(p_values)
-        conf = confidence_scores(p_values)
         names = features.names or [f"design{i}" for i in range(len(features))]
-        decisions: List[TrojanDecision] = []
-        for i, region in enumerate(regions):
-            decisions.append(
-                TrojanDecision(
-                    name=names[i],
-                    predicted_label=int(p_values[i].argmax()),
-                    probability_infected=float(probabilities[i, 1]),
-                    p_value_trojan_free=float(p_values[i, 0]),
-                    p_value_trojan_infected=float(p_values[i, 1]),
-                    region_labels=region.labels,
-                    credibility=float(cred[i]),
-                    confidence=float(conf[i]),
-                    true_label=int(features.labels[i]) if include_truth else None,
-                )
-            )
-        return decisions
+        return build_decisions(
+            names,
+            p_values,
+            self.config.confidence_level,
+            true_labels=features.labels if include_truth else None,
+        )

@@ -1,9 +1,9 @@
-"""Result containers produced by the NOODLE pipeline."""
+"""Result containers produced by the NOODLE pipeline and the scan engine."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -44,6 +44,84 @@ class TrojanDecision:
         if self.is_uncertain:
             return "uncertain (needs manual review)"
         return "trojan_infected" if self.predicted_label == 1 else "trojan_free"
+
+
+@dataclass
+class ScanRecord:
+    """One design's triage outcome from the batched scan engine.
+
+    Wraps the per-design :class:`TrojanDecision` with the provenance the
+    engine tracks on top of it: the SHA-256 content hash the result cache is
+    keyed by, where the source came from, whether the record was served from
+    cache, and any front-end error (a design whose HDL failed to lex/parse
+    gets ``error`` set and no decision).
+
+    Records round-trip through :meth:`to_dict` / :meth:`from_dict` so scan
+    results can be persisted as JSON and re-loaded by ``python -m repro
+    report``.
+    """
+
+    name: str
+    sha256: str
+    decision: Optional[TrojanDecision] = None
+    source_path: Optional[str] = None
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the design was scanned successfully (has a decision)."""
+        return self.decision is not None and self.error is None
+
+    @property
+    def verdict(self) -> str:
+        """The decision's verdict string, or ``"error"`` for failed designs."""
+        if self.decision is None:
+            return "error"
+        return self.decision.verdict
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (used by the scan cache and results files)."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "sha256": self.sha256,
+            "source_path": self.source_path,
+            "cached": self.cached,
+            "error": self.error,
+            "decision": None,
+        }
+        if self.decision is not None:
+            decision = self.decision
+            data["decision"] = {
+                "name": decision.name,
+                "predicted_label": decision.predicted_label,
+                "probability_infected": decision.probability_infected,
+                "p_value_trojan_free": decision.p_value_trojan_free,
+                "p_value_trojan_infected": decision.p_value_trojan_infected,
+                "region_labels": list(decision.region_labels),
+                "credibility": decision.credibility,
+                "confidence": decision.confidence,
+                "true_label": decision.true_label,
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScanRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        decision_data = data.get("decision")
+        decision = None
+        if decision_data is not None:
+            decision_data = dict(decision_data)
+            decision_data["region_labels"] = tuple(decision_data["region_labels"])
+            decision = TrojanDecision(**decision_data)
+        return cls(
+            name=data["name"],
+            sha256=data["sha256"],
+            decision=decision,
+            source_path=data.get("source_path"),
+            cached=bool(data.get("cached", False)),
+            error=data.get("error"),
+        )
 
 
 @dataclass

@@ -1,0 +1,42 @@
+"""Scan engine: train/calibrate once, scan many times.
+
+This package turns the paper-reproduction pipeline into a servable
+subsystem built from three parts:
+
+* :mod:`repro.engine.artifacts` — a disk artifact store that persists a
+  fitted fusion detector (CNN weights, feature scalers, Mondrian-ICP
+  calibration caches and the full :class:`repro.core.NoodleConfig`) so
+  training happens once and scanning happens many times;
+* :mod:`repro.engine.scan` — a batched scan pipeline that accepts HDL
+  sources (files, directories or in-memory strings), extracts features
+  across a ``multiprocessing`` worker pool, pushes *all* designs through
+  the vectorized forward pass and ``searchsorted`` p-values in single
+  calls, and caches per-design results keyed by content hash
+  (:mod:`repro.engine.cache`);
+* :mod:`repro.engine.cli` — the ``python -m repro`` command line with
+  ``train`` / ``calibrate`` / ``scan`` / ``report`` / ``bench``
+  subcommands.
+
+See ``docs/ENGINE.md`` for the artifact format and a CLI walkthrough.
+"""
+
+from .artifacts import ArtifactError, load_detector, save_detector
+from .cache import ScanCache
+from .scan import ScanEngine, ScanReport, ScanSource, collect_sources, hash_source
+from .training import TrainingResult, build_strategies, recalibrate_detector, train_detector
+
+__all__ = [
+    "ArtifactError",
+    "ScanCache",
+    "ScanEngine",
+    "ScanReport",
+    "ScanSource",
+    "TrainingResult",
+    "build_strategies",
+    "collect_sources",
+    "hash_source",
+    "load_detector",
+    "recalibrate_detector",
+    "save_detector",
+    "train_detector",
+]

@@ -1,0 +1,104 @@
+"""Content-addressed result cache for the scan engine.
+
+Scan results are cached per design, keyed by the SHA-256 hash of the
+design's source text, inside an index that is itself namespaced by the
+*model fingerprint* (see :mod:`repro.engine.artifacts`).  Two consequences:
+
+* editing a design's HDL changes its content hash, so the stale verdict is
+  simply never looked up again (invalidation by construction);
+* retraining the detector changes the fingerprint, which switches to a
+  fresh index file, so verdicts can never leak across model versions.
+
+The index is one JSON file per fingerprint under the cache directory,
+written atomically (temp file + ``os.replace``) so a crashed scan never
+leaves a truncated index behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core.results import ScanRecord
+
+#: Bump when the on-disk record layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+
+class ScanCache:
+    """Per-model, content-addressed store of :class:`ScanRecord` entries."""
+
+    def __init__(self, directory: Union[str, Path], fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self._index_path = self.directory / f"scan_cache_{fingerprint[:16]}.json"
+        self._records: Dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self._index_path.is_file():
+            return
+        try:
+            data = json.loads(self._index_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            # A corrupt index is treated as empty; the next flush rewrites it.
+            return
+        if data.get("schema_version") != CACHE_SCHEMA_VERSION:
+            return
+        if data.get("fingerprint") != self.fingerprint:
+            return
+        self._records = dict(data.get("records", {}))
+
+    # -- mapping-ish protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, sha256: str) -> bool:
+        return sha256 in self._records
+
+    def get(self, sha256: str) -> Optional[ScanRecord]:
+        """The cached record for a content hash, marked ``cached=True``."""
+        data = self._records.get(sha256)
+        if data is None:
+            return None
+        record = ScanRecord.from_dict(data)
+        record.cached = True
+        return record
+
+    def put(self, record: ScanRecord) -> None:
+        """Insert or overwrite the record for its content hash.
+
+        Records carrying an ``error`` are not cached: a front-end failure
+        may be transient (e.g. an unreadable file) and is cheap to retry.
+        """
+        if record.error is not None:
+            return
+        stored = record.to_dict()
+        stored["cached"] = False  # cached-ness is a property of the lookup
+        self._records[record.sha256] = stored
+        self._dirty = True
+
+    def clear(self) -> None:
+        """Drop all records (and the index file on the next flush)."""
+        self._records = {}
+        self._dirty = True
+
+    # -- persistence --------------------------------------------------------
+    def flush(self) -> Optional[Path]:
+        """Atomically write the index to disk if anything changed."""
+        if not self._dirty:
+            return None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "records": self._records,
+        }
+        tmp_path = self._index_path.with_suffix(".tmp")
+        tmp_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp_path, self._index_path)
+        self._dirty = False
+        return self._index_path

@@ -1,0 +1,291 @@
+"""``python -m repro`` — the scan-engine command line.
+
+Subcommands (see ``docs/ENGINE.md`` for a walkthrough):
+
+* ``train``     — generate/derive a labelled corpus, fit a detector, save
+  an artifact directory;
+* ``calibrate`` — re-calibrate a saved detector's conformal state on fresh
+  labelled data (no CNN retraining);
+* ``scan``      — run the batched scan pipeline over HDL files/directories
+  (or a generated demo batch) using a saved artifact;
+* ``report``    — pretty-print the triage queues of a saved scan-results
+  JSON;
+* ``bench``     — run the end-to-end throughput benchmark and write
+  ``BENCH_engine.json``.
+
+Every subcommand is pure argparse + engine API; the module is import-safe
+and the tests drive :func:`main` in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..core.config import NoodleConfig, default_config
+from ..features.pipeline import extract_modalities
+from ..gan import AmplificationConfig, GANConfig
+from ..trojan import SuiteConfig, TrojanDataset
+from .artifacts import load_detector, save_detector
+from .bench import DEFAULT_N_DESIGNS, build_scan_batch, run_engine_benchmark
+from .scan import ScanEngine, ScanReport, collect_sources
+from .training import TRAINABLE_STRATEGIES, recalibrate_detector, train_detector
+
+
+def _add_suite_options(parser: argparse.ArgumentParser) -> None:
+    """Options controlling the synthetic labelled corpus a command generates."""
+    group = parser.add_argument_group("corpus generation")
+    group.add_argument(
+        "--trojan-free", type=int, default=36, help="clean designs in the corpus"
+    )
+    group.add_argument(
+        "--trojan-infected", type=int, default=18, help="infected designs in the corpus"
+    )
+    group.add_argument("--suite-seed", type=int, default=7, help="corpus generation seed")
+
+
+def _generate_corpus(args: argparse.Namespace):
+    """Generate the labelled corpus described by the suite options."""
+    config = SuiteConfig(
+        n_trojan_free=args.trojan_free,
+        n_trojan_infected=args.trojan_infected,
+        seed=args.suite_seed,
+    )
+    dataset = TrojanDataset.generate(config)
+    return extract_modalities(dataset)
+
+
+def _training_config(args: argparse.Namespace) -> NoodleConfig:
+    """Build the NoodleConfig a ``train`` invocation asked for."""
+    config = default_config(seed=args.seed)
+    if args.quick:
+        config.classifier.epochs = 15
+    if args.epochs is not None:
+        config.classifier.epochs = args.epochs
+    if args.amplify:
+        config.amplify = True
+        config.amplification = AmplificationConfig(
+            target_total=args.target_total,
+            gan=GANConfig(epochs=80 if args.quick else 300, seed=args.seed + 2),
+        )
+    config.validate()
+    return config
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    print(
+        f"generating corpus: {args.trojan_free} clean + "
+        f"{args.trojan_infected} infected designs (seed {args.suite_seed})"
+    )
+    features = _generate_corpus(args)
+    config = _training_config(args)
+    print(f"training strategy {args.strategy!r} ({config.classifier.epochs} epochs)")
+    result = train_detector(
+        features, strategy=args.strategy, config=config, modality=args.modality
+    )
+    extra = {"trained_on": f"synthetic suite seed={args.suite_seed}"}
+    if result.report is not None:
+        for line in result.report.summary_lines():
+            print(line)
+    # save_detector persists the NOODLE winner-selection report when handed
+    # the fitted NOODLE wrapper (result.persistable).
+    path = save_detector(result.persistable, args.artifact, extra=extra)
+    print(f"saved artifact: {path}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    model, manifest = load_detector(args.artifact)
+    print(f"loaded {manifest['kind']} detector (fingerprint {manifest['fingerprint'][:12]})")
+    features = _generate_corpus(args)
+    recalibrate_detector(model, features)
+    path = save_detector(
+        model,
+        args.artifact,
+        extra=manifest.get("extra"),
+        noodle_report=manifest.get("noodle_report"),
+    )
+    new_manifest = json.loads((Path(path) / "manifest.json").read_text())
+    print(
+        f"recalibrated on {len(features)} designs; "
+        f"new fingerprint {new_manifest['fingerprint'][:12]}"
+    )
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    cache_dir = None if args.no_cache else args.cache_dir
+    engine = ScanEngine.from_artifact(args.artifact, cache_dir=cache_dir)
+    if args.generate:
+        sources = build_scan_batch(args.generate, seed=args.generate_seed)
+        print(f"generated a demo batch of {len(sources)} designs")
+    else:
+        if not args.inputs:
+            print("error: provide HDL files/directories or --generate N", file=sys.stderr)
+            return 2
+        sources = collect_sources(args.inputs)
+    report = engine.scan_sources(
+        sources, workers=args.workers, confidence=args.confidence
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote results: {output}")
+    else:
+        _print_triage(report, verbose=args.verbose)
+    return 0
+
+
+def _print_triage(report: ScanReport, verbose: bool = False) -> None:
+    """Print the accept / reject / review / error queues of a scan report."""
+    queues = report.triage()
+    titles = {
+        "accept": "ACCEPT — confidently Trojan-free",
+        "reject": "REJECT — confidently Trojan-infected",
+        "review": "MANUAL REVIEW — conformal region is uncertain/empty",
+        "error": "ERROR — front-end failure",
+    }
+    for key in ("accept", "reject", "review", "error"):
+        entries = queues[key]
+        if not entries and not verbose:
+            continue
+        print(f"\n{titles[key]} ({len(entries)})")
+        for record in entries:
+            if record.decision is None:
+                print(f"  {record.name:<28} {record.error}")
+            else:
+                decision = record.decision
+                cached = " [cached]" if record.cached else ""
+                print(
+                    f"  {record.name:<28} P(infected)={decision.probability_infected:.3f} "
+                    f"confidence={decision.confidence:.2f} "
+                    f"credibility={decision.credibility:.2f}{cached}"
+                )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    data = json.loads(Path(args.input).read_text())
+    report = ScanReport.from_dict(data)
+    for line in report.summary_lines():
+        print(line)
+    _print_triage(report, verbose=True)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    suite = run_engine_benchmark(
+        args.output,
+        n_designs=args.designs,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    print(f"wrote {args.output}")
+    for name, factor in sorted(suite.speedups.items()):
+        print(f"  {name}: {factor:.1f}x vs sequential per-design scans")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NOODLE scan engine: train once, scan hardware designs many times.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="fit a detector and save an artifact")
+    train.add_argument("--artifact", required=True, help="artifact directory to write")
+    train.add_argument(
+        "--strategy",
+        choices=TRAINABLE_STRATEGIES,
+        default="noodle",
+        help="what to train (default: full NOODLE winner selection)",
+    )
+    train.add_argument(
+        "--modality", default=None, help="modality name for --strategy single"
+    )
+    train.add_argument("--seed", type=int, default=0, help="training seed")
+    train.add_argument(
+        "--epochs", type=int, default=None, help="override classifier epochs"
+    )
+    train.add_argument(
+        "--quick", action="store_true", help="small epochs for smoke runs"
+    )
+    train.add_argument(
+        "--amplify", action="store_true", help="GAN-amplify the training corpus"
+    )
+    train.add_argument(
+        "--target-total", type=int, default=300, help="amplification target size"
+    )
+    _add_suite_options(train)
+    train.set_defaults(func=_cmd_train)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="re-calibrate a saved detector on fresh labelled data"
+    )
+    calibrate.add_argument("--artifact", required=True, help="artifact directory")
+    _add_suite_options(calibrate)
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    scan = sub.add_parser("scan", help="scan HDL sources with a saved detector")
+    scan.add_argument("inputs", nargs="*", help="HDL files and/or directories")
+    scan.add_argument("--artifact", required=True, help="artifact directory")
+    scan.add_argument(
+        "--generate", type=int, default=0, metavar="N", help="scan a generated demo batch"
+    )
+    scan.add_argument(
+        "--generate-seed", type=int, default=23, help="seed for --generate"
+    )
+    scan.add_argument(
+        "--workers", type=int, default=None, help="feature-extraction processes"
+    )
+    scan.add_argument(
+        "--confidence", type=float, default=None, help="conformal confidence level"
+    )
+    scan.add_argument(
+        "--cache-dir", default=".repro_cache", help="scan result cache directory"
+    )
+    scan.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    scan.add_argument("--output", default=None, help="write results JSON here")
+    scan.add_argument(
+        "--verbose", action="store_true", help="print empty triage queues too"
+    )
+    scan.set_defaults(func=_cmd_scan)
+
+    report = sub.add_parser("report", help="pretty-print a saved scan-results JSON")
+    report.add_argument("--input", required=True, help="results JSON from `scan --output`")
+    report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser("bench", help="end-to-end scan throughput benchmark")
+    bench.add_argument("--output", default="BENCH_engine.json", help="benchmark JSON path")
+    bench.add_argument(
+        "--designs", type=int, default=DEFAULT_N_DESIGNS, help="scan batch size"
+    )
+    bench.add_argument("--workers", type=int, default=None, help="extraction processes")
+    bench.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)

@@ -1,0 +1,413 @@
+"""Batched end-to-end scan pipeline.
+
+The sequential way to vet ``N`` designs is to run the whole pipeline once
+per design.  :class:`ScanEngine` instead restructures the work into three
+batch-friendly stages:
+
+1. **Front-end** — lexing, parsing and feature extraction are per-design
+   and embarrassingly parallel, so uncached designs are fanned out across a
+   ``multiprocessing`` pool (one task per design, chunked by the pool).
+2. **Inference** — all extracted designs are assembled into one
+   :class:`repro.features.MultimodalFeatures` batch and pushed through the
+   vectorized CNN forward pass and the ``searchsorted`` conformal p-values
+   in *single* calls, amortising per-call overhead across the batch.
+3. **Triage** — each design receives a :class:`repro.core.ScanRecord`
+   carrying the risk-aware :class:`repro.core.TrojanDecision`.
+
+Results are cached by content hash (:mod:`repro.engine.cache`); a rescan of
+an unchanged design is a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.fusion import ConformalFusionModel
+from ..core.noodle import build_decisions
+from ..core.results import ScanRecord
+from ..features.image import DEFAULT_IMAGE_SIZE
+from ..features.pipeline import MultimodalFeatures, extract_design_modalities
+from .cache import ScanCache
+
+#: File suffixes treated as HDL sources when collecting from a directory.
+HDL_SUFFIXES = (".v", ".sv", ".verilog")
+
+
+def hash_source(source: str) -> str:
+    """SHA-256 content hash of a design's source text (the cache key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ScanSource:
+    """One design queued for scanning: a name, its source text, provenance."""
+
+    name: str
+    source: str
+    path: Optional[str] = None
+    sha256: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.sha256:
+            self.sha256 = hash_source(self.source)
+
+
+def collect_sources(inputs: Iterable[Union[str, Path]]) -> List[ScanSource]:
+    """Resolve files and directories into a sorted list of :class:`ScanSource`.
+
+    Directories are searched recursively for the suffixes in
+    :data:`HDL_SUFFIXES`; plain files are read as-is regardless of suffix.
+    Raises ``FileNotFoundError`` for inputs that do not exist.
+    """
+    files: List[Path] = []
+    for item in inputs:
+        path = Path(item)
+        if path.is_dir():
+            found = [
+                candidate
+                for suffix in HDL_SUFFIXES
+                for candidate in path.rglob(f"*{suffix}")
+            ]
+            files.extend(sorted(set(found)))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"scan input does not exist: {path}")
+    return [
+        ScanSource(name=path.stem, source=path.read_text(), path=str(path))
+        for path in files
+    ]
+
+
+def sources_from_pairs(pairs: Iterable[Tuple[str, str]]) -> List[ScanSource]:
+    """Build scan sources from in-memory ``(name, verilog_text)`` pairs."""
+    return [ScanSource(name=name, source=source) for name, source in pairs]
+
+
+# ---------------------------------------------------------------------------
+# Parallel front-end (module-level worker so it pickles under spawn too)
+# ---------------------------------------------------------------------------
+
+
+def _extract_worker(
+    task: Tuple[int, str, int],
+) -> Tuple[int, Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]], Optional[str]]:
+    """Pool worker: ``(index, source, image_size)`` -> features or error text."""
+    index, source, image_size = task
+    try:
+        return index, extract_design_modalities(source, image_size=image_size), None
+    except Exception as exc:  # front-end errors become per-design records
+        return index, None, f"{type(exc).__name__}: {exc}"
+
+
+def extract_feature_rows(
+    sources: Sequence[ScanSource],
+    image_size: int = DEFAULT_IMAGE_SIZE,
+    workers: Optional[int] = None,
+) -> Tuple[Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]], Dict[int, str]]:
+    """Extract ``(tabular, graph, image)`` rows for every source.
+
+    Returns ``(rows, errors)`` keyed by source index.  ``workers`` defaults
+    to ``min(4, cpu_count)``; pass ``1`` (or fewer sources than 2) for the
+    serial path.  Any pool-level failure falls back to serial extraction so
+    a restricted environment degrades gracefully rather than crashing.
+    """
+    tasks = [(i, src.source, image_size) for i, src in enumerate(sources)]
+    if workers is None:
+        workers = min(4, multiprocessing.cpu_count() or 1)
+    results: List[Tuple[int, Optional[Tuple], Optional[str]]] = []
+    if workers > 1 and len(tasks) > 1:
+        try:
+            with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
+                results = pool.map(_extract_worker, tasks)
+        except (OSError, RuntimeError):
+            results = []
+    if not results:
+        results = [_extract_worker(task) for task in tasks]
+    rows: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    errors: Dict[int, str] = {}
+    for index, row, error in results:
+        if error is not None:
+            errors[index] = error
+        else:
+            rows[index] = row
+    return rows, errors
+
+
+def assemble_features(
+    rows: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    names: Sequence[str],
+    image_size: int = DEFAULT_IMAGE_SIZE,
+) -> MultimodalFeatures:
+    """Stack per-design feature rows into one batched feature container.
+
+    Labels are unknown at scan time and filled with ``-1`` placeholders
+    (never read by the inference path).
+    """
+    n = len(rows)
+    return MultimodalFeatures(
+        tabular=np.vstack([r[0] for r in rows]) if n else np.empty((0, 0)),
+        graph=np.vstack([r[1] for r in rows]) if n else np.empty((0, 0)),
+        graph_images=np.stack([r[2] for r in rows], axis=0)
+        if n
+        else np.empty((0, 1, image_size, image_size)),
+        labels=np.full(n, -1, dtype=int),
+        names=list(names),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScanReport:
+    """Everything one scan run produced, plus its runtime breakdown."""
+
+    records: List[ScanRecord] = field(default_factory=list)
+    n_designs: int = 0
+    n_cache_hits: int = 0
+    n_errors: int = 0
+    seconds_extract: float = 0.0
+    seconds_inference: float = 0.0
+    seconds_total: float = 0.0
+    confidence_level: float = 0.9
+
+    @property
+    def n_scanned(self) -> int:
+        """Designs that went through the model this run (not cached/errored)."""
+        return self.n_designs - self.n_cache_hits - self.n_errors
+
+    def triage(self) -> Dict[str, List[ScanRecord]]:
+        """Partition records into accept / reject / review / error queues."""
+        queues: Dict[str, List[ScanRecord]] = {
+            "accept": [],
+            "reject": [],
+            "review": [],
+            "error": [],
+        }
+        for record in self.records:
+            decision = record.decision
+            if decision is None:
+                queues["error"].append(record)
+            elif decision.is_uncertain or decision.is_empty:
+                queues["review"].append(record)
+            elif decision.predicted_label == 1:
+                queues["reject"].append(record)
+            else:
+                queues["accept"].append(record)
+        return queues
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable run summary used by the CLI."""
+        queues = self.triage()
+        lines = [
+            f"designs scanned : {self.n_designs} "
+            f"({self.n_cache_hits} cache hits, {self.n_errors} errors)",
+            f"wall time       : {self.seconds_total:.3f}s "
+            f"(extract {self.seconds_extract:.3f}s, "
+            f"inference {self.seconds_inference:.3f}s)",
+            f"triage @ {self.confidence_level:.0%} confidence: "
+            f"{len(queues['accept'])} accept, {len(queues['reject'])} reject, "
+            f"{len(queues['review'])} manual review",
+        ]
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (consumed by ``python -m repro report``)."""
+        return {
+            "n_designs": self.n_designs,
+            "n_cache_hits": self.n_cache_hits,
+            "n_errors": self.n_errors,
+            "seconds_extract": self.seconds_extract,
+            "seconds_inference": self.seconds_inference,
+            "seconds_total": self.seconds_total,
+            "confidence_level": self.confidence_level,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScanReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            records=[ScanRecord.from_dict(r) for r in data.get("records", [])],
+            n_designs=int(data.get("n_designs", 0)),
+            n_cache_hits=int(data.get("n_cache_hits", 0)),
+            n_errors=int(data.get("n_errors", 0)),
+            seconds_extract=float(data.get("seconds_extract", 0.0)),
+            seconds_inference=float(data.get("seconds_inference", 0.0)),
+            seconds_total=float(data.get("seconds_total", 0.0)),
+            confidence_level=float(data.get("confidence_level", 0.9)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class ScanEngine:
+    """Batched scanner around a fitted fusion detector.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`ConformalFusionModel` (typically restored via
+        :func:`repro.engine.artifacts.load_detector`).
+    fingerprint:
+        The artifact fingerprint used to namespace the result cache; any
+        stable identifier works for in-memory models.
+    cache:
+        Optional :class:`ScanCache`; omit to scan uncached.
+    image_size:
+        Adjacency-image size the feature pipeline was trained with.
+    """
+
+    def __init__(
+        self,
+        model: ConformalFusionModel,
+        fingerprint: str = "unversioned",
+        cache: Optional[ScanCache] = None,
+        image_size: int = DEFAULT_IMAGE_SIZE,
+    ) -> None:
+        self.model = model
+        self.fingerprint = fingerprint
+        self.cache = cache
+        self.image_size = image_size
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact_path: Union[str, Path],
+        cache_dir: Optional[Union[str, Path]] = None,
+        image_size: int = DEFAULT_IMAGE_SIZE,
+    ) -> "ScanEngine":
+        """Load a persisted detector and (optionally) attach a result cache."""
+        from .artifacts import load_detector
+
+        model, manifest = load_detector(artifact_path)
+        fingerprint = manifest.get("fingerprint", "unversioned")
+        cache = ScanCache(cache_dir, fingerprint) if cache_dir is not None else None
+        return cls(model, fingerprint=fingerprint, cache=cache, image_size=image_size)
+
+    # -- scanning ------------------------------------------------------------
+    def scan_sources(
+        self,
+        sources: Sequence[ScanSource],
+        workers: Optional[int] = None,
+        confidence: Optional[float] = None,
+    ) -> ScanReport:
+        """Scan a batch of designs and return per-design triage records.
+
+        Cached designs (same content hash, same model fingerprint) are
+        served from the cache; the rest go through parallel feature
+        extraction and one batched inference call.  The record order always
+        matches the input order.
+        """
+        t_start = time.perf_counter()
+        level = confidence if confidence is not None else self.model.config.confidence_level
+        report = ScanReport(n_designs=len(sources), confidence_level=level)
+
+        # 1. cache lookups.  Cached entries carry the (model-deterministic)
+        #    p-values; the triage decision is a pure function of those
+        #    p-values and the *requested* confidence level, so it is rebuilt
+        #    per scan — a hit at --confidence 0.99 yields exactly the
+        #    decision a fresh scan would.
+        records: List[Optional[ScanRecord]] = [None] * len(sources)
+        pending: List[int] = []
+        hits: List[int] = []
+        for i, src in enumerate(sources):
+            hit = self.cache.get(src.sha256) if self.cache is not None else None
+            if hit is not None and hit.decision is not None:
+                hit.name = src.name
+                hit.source_path = src.path
+                records[i] = hit
+                hits.append(i)
+                report.n_cache_hits += 1
+            else:
+                pending.append(i)
+        if hits:
+            hit_p_values = np.array(
+                [
+                    [
+                        records[i].decision.p_value_trojan_free,
+                        records[i].decision.p_value_trojan_infected,
+                    ]
+                    for i in hits
+                ]
+            )
+            rebuilt = build_decisions(
+                [sources[i].name for i in hits], hit_p_values, level
+            )
+            for i, decision in zip(hits, rebuilt):
+                records[i].decision = decision
+
+        # 2. parallel front-end for the cache misses
+        t_extract = time.perf_counter()
+        rows, errors = (
+            extract_feature_rows(
+                [sources[i] for i in pending], image_size=self.image_size, workers=workers
+            )
+            if pending
+            else ({}, {})
+        )
+        report.seconds_extract = time.perf_counter() - t_extract
+
+        for local_index, message in errors.items():
+            i = pending[local_index]
+            src = sources[i]
+            records[i] = ScanRecord(
+                name=src.name, sha256=src.sha256, source_path=src.path, error=message
+            )
+            report.n_errors += 1
+
+        # 3. one batched forward pass + searchsorted p-values for the rest
+        scanned = [i for local, i in enumerate(pending) if local in rows]
+        t_infer = time.perf_counter()
+        if scanned:
+            ordered_rows = [
+                rows[local] for local, i in enumerate(pending) if local in rows
+            ]
+            batch = assemble_features(
+                ordered_rows, [sources[i].name for i in scanned], self.image_size
+            )
+            p_values = self.model.p_values(batch)
+            decisions = build_decisions(batch.names, p_values, level)
+            for i, decision in zip(scanned, decisions):
+                src = sources[i]
+                records[i] = ScanRecord(
+                    name=src.name,
+                    sha256=src.sha256,
+                    decision=decision,
+                    source_path=src.path,
+                )
+        report.seconds_inference = time.perf_counter() - t_infer
+
+        # 4. persist fresh results
+        report.records = [r for r in records if r is not None]
+        if self.cache is not None:
+            for record in report.records:
+                if not record.cached:
+                    self.cache.put(record)
+            self.cache.flush()
+        report.seconds_total = time.perf_counter() - t_start
+        return report
+
+    def scan_paths(
+        self,
+        inputs: Iterable[Union[str, Path]],
+        workers: Optional[int] = None,
+        confidence: Optional[float] = None,
+    ) -> ScanReport:
+        """Convenience wrapper: :func:`collect_sources` then :meth:`scan_sources`."""
+        return self.scan_sources(
+            collect_sources(inputs), workers=workers, confidence=confidence
+        )

@@ -1,0 +1,154 @@
+"""Training and recalibration entry points for the scan engine.
+
+This module owns the "fit side" of the train-once / scan-many split:
+
+* :func:`build_strategies` — instantiate the paper's four Table I fusion
+  strategies from one shared configuration (moved here from
+  ``repro.experiments.common`` so experiments and the engine share one
+  definition);
+* :func:`train_detector` — fit a detector by strategy name, including the
+  full NOODLE winner-selection flow (Algorithm 2);
+* :func:`recalibrate_detector` — refresh a fitted detector's conformal
+  calibration on new labelled data *without* retraining the CNNs, which is
+  what ``python -m repro calibrate`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..conformal import InductiveConformalClassifier
+from ..core.config import NoodleConfig
+from ..core.fusion import (
+    ConformalFusionModel,
+    EarlyFusionModel,
+    LateFusionModel,
+    SingleModalityModel,
+)
+from ..core.noodle import NOODLE
+from ..core.results import NoodleReport
+from ..features.pipeline import MultimodalFeatures
+
+#: Strategy names accepted by :func:`train_detector`.
+TRAINABLE_STRATEGIES = ("noodle", "late", "early", "single")
+
+
+def build_strategies(config: NoodleConfig) -> Dict[str, ConformalFusionModel]:
+    """Instantiate the four Table I strategies with a shared configuration."""
+    return {
+        "graph": SingleModalityModel("graph", config),
+        "tabular": SingleModalityModel("tabular", config),
+        "early_fusion": EarlyFusionModel(config),
+        "late_fusion": LateFusionModel(config),
+    }
+
+
+@dataclass
+class TrainingResult:
+    """A fitted detector plus how it was obtained."""
+
+    model: ConformalFusionModel
+    strategy: str
+    #: Winner-selection report, present only for ``strategy="noodle"``.
+    report: Optional[NoodleReport] = None
+    #: The fitted NOODLE wrapper (``strategy="noodle"`` only) — pass it to
+    #: :func:`repro.engine.artifacts.save_detector` so the winner-selection
+    #: report is persisted in the manifest.
+    noodle: Optional[NOODLE] = None
+
+    @property
+    def persistable(self):
+        """What to hand to ``save_detector``: the NOODLE wrapper when present."""
+        return self.noodle if self.noodle is not None else self.model
+
+
+def train_detector(
+    features: MultimodalFeatures,
+    strategy: str = "noodle",
+    config: Optional[NoodleConfig] = None,
+    modality: Optional[str] = None,
+) -> TrainingResult:
+    """Fit a detector on labelled multimodal features.
+
+    ``strategy`` selects what gets trained:
+
+    * ``"noodle"`` — the full Algorithm 2 flow (fit early and late fusion,
+      keep the validation-Brier winner);
+    * ``"late"`` / ``"early"`` — one fusion strategy directly;
+    * ``"single"`` — a single-modality reference model (``modality``
+      required).
+
+    Returns a :class:`TrainingResult`; its ``model`` is ready for
+    :func:`repro.engine.artifacts.save_detector`.
+    """
+    config = config or NoodleConfig()
+    if strategy == "noodle":
+        noodle = NOODLE(config)
+        report = noodle.fit(features)
+        return TrainingResult(
+            model=noodle.model, strategy="noodle", report=report, noodle=noodle
+        )
+    if strategy == "late":
+        model: ConformalFusionModel = LateFusionModel(config)
+    elif strategy == "early":
+        model = EarlyFusionModel(config)
+    elif strategy == "single":
+        if modality is None:
+            raise ValueError("strategy 'single' requires a modality name")
+        model = SingleModalityModel(modality, config)
+    else:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {TRAINABLE_STRATEGIES}"
+        )
+    model.fit(features)
+    return TrainingResult(model=model, strategy=strategy)
+
+
+def _fresh_icp(config: NoodleConfig, offset: int = 0) -> InductiveConformalClassifier:
+    """A new conformal predictor seeded the same way ``fit()`` seeds them."""
+    return InductiveConformalClassifier(
+        nonconformity=config.nonconformity,
+        mondrian=config.mondrian,
+        rng=np.random.default_rng(config.seed + 17 + offset),
+    )
+
+
+def recalibrate_detector(
+    model: ConformalFusionModel, features: MultimodalFeatures
+) -> ConformalFusionModel:
+    """Re-calibrate a fitted detector's ICP(s) on fresh labelled data.
+
+    The CNN classifiers are left untouched; only the conformal calibration
+    scores (and their sorted caches) are rebuilt from the new data.  This is
+    the cheap way to adapt a deployed detector to a new design population —
+    conformal validity only needs the *calibration* set to be exchangeable
+    with future test designs.
+
+    Returns the same model instance, recalibrated in place.
+    """
+    if not getattr(model, "_fitted", False):
+        raise RuntimeError("cannot recalibrate an unfitted detector; call fit() first")
+    labels = features.labels
+    config = model.config
+    if isinstance(model, SingleModalityModel):
+        x = features.modality(model.modality)
+        model._icp = _fresh_icp(config).calibrate(
+            model._classifier.predict_proba(x), labels
+        )
+    elif isinstance(model, EarlyFusionModel):
+        x = model._joint_features(features)
+        model._icp = _fresh_icp(config).calibrate(
+            model._classifier.predict_proba(x), labels
+        )
+    elif isinstance(model, LateFusionModel):
+        for offset, modality in enumerate(config.modalities):
+            x = features.modality(modality)
+            model._icps[modality] = _fresh_icp(config, offset).calibrate(
+                model._classifiers[modality].predict_proba(x), labels
+            )
+    else:
+        raise TypeError(f"cannot recalibrate model of type {type(model).__name__}")
+    return model

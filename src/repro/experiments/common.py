@@ -21,19 +21,27 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core import (
-    EarlyFusionModel,
-    FusionEvaluation,
-    LateFusionModel,
-    NoodleConfig,
-    SingleModalityModel,
-    default_config,
-    evaluate_fusion_model,
-)
+from ..core import FusionEvaluation, NoodleConfig, default_config, evaluate_fusion_model
 from ..core.fusion import ConformalFusionModel
+from ..engine.training import build_strategies
 from ..features import MultimodalFeatures, extract_modalities
 from ..gan import AmplificationConfig, GANConfig, amplify_multimodal
 from ..trojan import SuiteConfig, TrojanDataset
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_ROC_AUC",
+    "PAPER_TABLE1",
+    "PAPER_TEST_SIZE",
+    "STRATEGIES",
+    "build_strategies",
+    "clear_prepared_cache",
+    "fit_and_split",
+    "prepare_experiment_data",
+    "quick_config",
+    "run_scenario",
+    "scenario_seeds",
+]
 
 #: Paper-reported values used for side-by-side comparison in the benchmarks.
 PAPER_TABLE1 = {
@@ -143,16 +151,10 @@ def clear_prepared_cache() -> None:
 
 
 # -- strategy fitting ----------------------------------------------------------
-
-
-def build_strategies(config: NoodleConfig) -> Dict[str, ConformalFusionModel]:
-    """Instantiate the four Table I strategies with a shared configuration."""
-    return {
-        "graph": SingleModalityModel("graph", config),
-        "tabular": SingleModalityModel("tabular", config),
-        "early_fusion": EarlyFusionModel(config),
-        "late_fusion": LateFusionModel(config),
-    }
+#
+# ``build_strategies`` moved to :mod:`repro.engine.training` (the scan
+# engine and the experiments share one definition); it is re-exported here
+# for the benchmarks and any downstream users of the historical location.
 
 
 def run_scenario(

@@ -31,7 +31,17 @@ def _base_identifier(node: ast.Node) -> Optional[str]:
 
 
 def _identifiers_in(node: ast.Node) -> List[str]:
-    return [n.name for n in walk(node) if isinstance(n, ast.Identifier)]
+    # Inlined pre-order walk (hot path): same visit order as
+    # ``visitor.walk`` without the generator machinery.
+    names: List[str] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if type(current) is ast.Identifier:
+            names.append(current.name)
+        else:
+            stack.extend(reversed(current.children()))
+    return names
 
 
 class DataFlowGraphBuilder:

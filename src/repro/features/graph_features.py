@@ -44,11 +44,10 @@ def _degree_histogram(degrees: List[int]) -> np.ndarray:
     return bins / total
 
 
-def _spectral_summary(graph: nx.DiGraph) -> np.ndarray:
+def _spectral_summary(undirected: nx.Graph) -> np.ndarray:
     """Leading eigenvalues of the normalised Laplacian of the undirected view."""
-    if graph.number_of_nodes() < 2:
+    if undirected.number_of_nodes() < 2:
         return np.zeros(_SPECTRAL_COMPONENTS)
-    undirected = graph.to_undirected()
     laplacian = nx.normalized_laplacian_matrix(undirected).toarray()
     eigenvalues = np.sort(np.linalg.eigvalsh(laplacian))[::-1]
     summary = np.zeros(_SPECTRAL_COMPONENTS)
@@ -67,8 +66,13 @@ def _longest_path_estimate(graph: nx.DiGraph) -> float:
     return float(nx.dag_longest_path_length(condensation))
 
 
-def extract_graph_features(graph: nx.DiGraph) -> Dict[str, float]:
-    """Structural feature dictionary for one data-flow graph."""
+def _extract_graph_features_reference(graph: nx.DiGraph) -> Dict[str, float]:
+    """Golden networkx implementation of :func:`extract_graph_features`.
+
+    Kept as the reference the vectorized fast path is verified against
+    (``tests/test_features_graph.py``), mirroring the golden-kernel pattern
+    of :mod:`repro.nn._reference`.
+    """
     n_nodes = graph.number_of_nodes()
     n_edges = graph.number_of_edges()
     in_degrees = [d for _, d in graph.in_degree()]
@@ -140,9 +144,276 @@ def extract_graph_features(graph: nx.DiGraph) -> Dict[str, float]:
         features[f"in_degree_hist_{i}"] = float(value)
     for i, value in enumerate(_degree_histogram(out_degrees)):
         features[f"out_degree_hist_{i}"] = float(value)
-    for i, value in enumerate(_spectral_summary(graph)):
+    for i, value in enumerate(_spectral_summary(undirected)):
         features[f"laplacian_eig_{i}"] = float(value)
     return features
+
+
+def extract_graph_features(graph: nx.DiGraph) -> Dict[str, float]:
+    """Structural feature dictionary for one data-flow graph.
+
+    Vectorized implementation: degree statistics, clustering, component
+    counts and the normalised-Laplacian spectrum are computed from one dense
+    adjacency matrix (scipy ``csgraph`` for the component counts) instead of
+    per-node networkx traversals.  Produces bit-identical values to
+    :func:`_extract_graph_features_reference` — edge weights are integer
+    counts, so every intermediate sum is exact in float64 and the remaining
+    float operations replicate the reference's order.
+    """
+    n_nodes = graph.number_of_nodes()
+    if n_nodes == 0:
+        return _extract_graph_features_reference(graph)
+
+    n_edges = graph.number_of_edges()
+    # One pass over the edge list fills the dense weighted adjacency (node
+    # order matches ``graph.nodes``, like ``nx.to_numpy_array``) and counts
+    # control edges.  Edge weights are use counts (always >= 1), so the
+    # weight matrix also encodes edge existence.
+    index = {node: i for i, node in enumerate(graph.nodes)}
+    weights = np.zeros((n_nodes, n_nodes))
+    control = np.zeros((n_nodes, n_nodes), dtype=bool)
+    for source, target, data in graph.edges(data=True):
+        weights[index[source], index[target]] = data.get("weight", 1.0)
+        if data.get("kind") == "control":
+            control[index[source], index[target]] = True
+    exist = weights > 0
+    control_edges = int(control.sum())
+
+    in_degrees = exist.sum(axis=0)
+    out_degrees = exist.sum(axis=1)
+    node_data = [data for _, data in graph.nodes(data=True)]
+    roles = [data.get("role", "implicit") for data in node_data]
+    widths = [data.get("width", 1) or 1 for data in node_data]
+    sequential = sum(1 for data in node_data if data.get("sequential"))
+
+    und_exist = exist | exist.T
+    isolated = int((und_exist.sum(axis=1) == 0).sum())
+    edge_sources, edge_targets = np.nonzero(exist)
+    edge_list = list(zip(edge_sources.tolist(), edge_targets.tolist()))
+    n_weak = _count_weak_components(n_nodes, edge_list)
+    n_strong, scc_labels = _strongly_connected_components(n_nodes, edge_list)
+
+    # Average clustering, replicating networkx's per-node arithmetic: the
+    # triangle counts and degrees are integers, so only the final divisions
+    # and the (node-ordered) sum touch floats.
+    simple = und_exist.copy()
+    np.fill_diagonal(simple, False)
+    adjacency = simple.astype(np.int64)
+    triangle_paths = (adjacency @ adjacency * adjacency).sum(axis=1)
+    simple_degrees = adjacency.sum(axis=1)
+    coefficients = np.zeros(n_nodes)
+    positive = triangle_paths > 0
+    coefficients[positive] = triangle_paths[positive] / (
+        simple_degrees[positive] * (simple_degrees[positive] - 1.0)
+    )
+    avg_clustering = (
+        float(sum(coefficients.tolist()) / n_nodes) if n_nodes > 1 else 0.0
+    )
+
+    # Control-role statistics (see the reference implementation for intent),
+    # as comparisons on the per-node out-edge and control-out-edge counts.
+    control_out_counts = control.sum(axis=1)
+    has_control_out = control_out_counts > 0
+    n_control_sources = int(has_control_out.sum())
+    control_only_mask = has_control_out & (control_out_counts == out_degrees)
+    n_control_only = int(control_only_mask.sum())
+    single_use_control = int((control_only_mask & (out_degrees == 1)).sum())
+
+    features: Dict[str, float] = {
+        "n_nodes": float(n_nodes),
+        "n_edges": float(n_edges),
+        "density": nx.density(graph) if n_nodes > 1 else 0.0,
+        "avg_in_degree": float(np.mean(in_degrees)),
+        "avg_out_degree": float(np.mean(out_degrees)),
+        "max_in_degree": float(in_degrees.max()),
+        "max_out_degree": float(out_degrees.max()),
+        "std_in_degree": float(np.std(in_degrees)),
+        "high_fanin_nodes": float((in_degrees >= 5).sum()),
+        "isolated_nodes": float(isolated),
+        "n_weakly_connected": float(n_weak),
+        "n_strongly_connected": float(n_strong),
+        "avg_clustering": avg_clustering,
+        "longest_path": _longest_path_from_sccs(
+            edge_sources, edge_targets, scc_labels, n_strong
+        ),
+        "n_self_loops": float(np.diagonal(exist).sum()),
+        "n_sequential_nodes": float(sequential),
+        "sequential_fraction": float(sequential) / max(n_nodes, 1),
+        "control_edge_fraction": float(control_edges) / max(n_edges, 1),
+        "n_control_edges": float(control_edges),
+        "n_control_sources": float(n_control_sources),
+        "n_control_only_signals": float(n_control_only),
+        "n_single_use_control_signals": float(single_use_control),
+        "control_source_fraction": float(n_control_sources) / max(n_nodes, 1),
+        "n_input_nodes": float(roles.count("input")),
+        "n_output_nodes": float(roles.count("output")),
+        "n_reg_nodes": float(roles.count("reg")),
+        "n_wire_nodes": float(roles.count("wire")),
+        "n_implicit_nodes": float(roles.count("implicit")),
+        "n_instance_nodes": float(roles.count("instance")),
+        "total_signal_width": float(sum(widths)),
+        "max_signal_width": float(max(widths)) if widths else 0.0,
+        "avg_signal_width": float(np.mean(widths)) if widths else 0.0,
+    }
+    for i, value in enumerate(_degree_histogram([int(d) for d in in_degrees])):
+        features[f"in_degree_hist_{i}"] = float(value)
+    for i, value in enumerate(_degree_histogram([int(d) for d in out_degrees])):
+        features[f"out_degree_hist_{i}"] = float(value)
+    for i, value in enumerate(
+        _spectral_summary_dense(weights, exist, n_nodes)
+    ):
+        features[f"laplacian_eig_{i}"] = float(value)
+    return features
+
+
+def _count_weak_components(n_nodes: int, edges: List[tuple]) -> int:
+    """Number of weakly connected components, via union-find.
+
+    The data-flow graphs are tiny (tens of nodes), where a plain union-find
+    beats the scipy ``csgraph`` call's validation overhead several-fold.
+    """
+    parent = list(range(n_nodes))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    count = n_nodes
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            count -= 1
+    return count
+
+
+def _strongly_connected_components(
+    n_nodes: int, edges: List[tuple]
+) -> "tuple[int, np.ndarray]":
+    """``(count, labels)`` of strongly connected components (iterative Tarjan)."""
+    successors: List[List[int]] = [[] for _ in range(n_nodes)]
+    for u, v in edges:
+        successors[u].append(v)
+    UNVISITED = -1
+    order = [UNVISITED] * n_nodes
+    low = [0] * n_nodes
+    on_stack = [False] * n_nodes
+    scc_stack: List[int] = []
+    labels = np.empty(n_nodes, dtype=np.int64)
+    counter = 0
+    n_scc = 0
+    for root in range(n_nodes):
+        if order[root] != UNVISITED:
+            continue
+        # Explicit DFS stack of (node, iterator index into successors).
+        work = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                order[node] = low[node] = counter
+                counter += 1
+                scc_stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            children = successors[node]
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if order[child] == UNVISITED:
+                    work.append((node, child_index))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack[child] and order[child] < low[node]:
+                    low[node] = order[child]
+            if advanced:
+                continue
+            if low[node] == order[node]:
+                while True:
+                    member = scc_stack.pop()
+                    on_stack[member] = False
+                    labels[member] = n_scc
+                    if member == node:
+                        break
+                n_scc += 1
+            if work:
+                parent_node = work[-1][0]
+                if low[node] < low[parent_node]:
+                    low[parent_node] = low[node]
+    return n_scc, labels
+
+
+def _longest_path_from_sccs(
+    sources: np.ndarray, targets: np.ndarray, scc_labels: np.ndarray, n_scc: int
+) -> float:
+    """Longest path (edge count) in the SCC condensation — a DAG.
+
+    Integer dynamic program over the condensation's edges, equivalent to
+    ``nx.dag_longest_path_length(nx.condensation(graph))`` in
+    :func:`_longest_path_estimate` but reusing the already-computed SCC
+    labels and edge arrays.
+    """
+    if n_scc == 0:
+        return 0.0
+    src_comp = scc_labels[sources]
+    dst_comp = scc_labels[targets]
+    cross = src_comp != dst_comp
+    edges = set(zip(src_comp[cross].tolist(), dst_comp[cross].tolist()))
+    if not edges:
+        return 0.0
+    # Kahn topological order over the (small) condensation, then a longest-
+    # path relaxation per edge in that order.
+    successors: Dict[int, List[int]] = {}
+    indegree = np.zeros(n_scc, dtype=np.int64)
+    for u, v in edges:
+        successors.setdefault(int(u), []).append(int(v))
+        indegree[v] += 1
+    ready = [int(c) for c in range(n_scc) if indegree[c] == 0]
+    longest = np.zeros(n_scc, dtype=np.int64)
+    while ready:
+        u = ready.pop()
+        base = longest[u] + 1
+        for v in successors.get(u, ()):
+            if base > longest[v]:
+                longest[v] = base
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                ready.append(v)
+    return float(longest.max())
+
+
+def _spectral_summary_dense(
+    weights: np.ndarray, exist: np.ndarray, n_nodes: int
+) -> np.ndarray:
+    """Dense replication of ``_spectral_summary(graph.to_undirected())``.
+
+    Rebuilds the undirected weighted adjacency exactly as
+    ``DiGraph.to_undirected`` merges reciprocal edges (the edge whose source
+    comes later in node order wins), then forms the normalised Laplacian
+    with the same operation order as ``nx.normalized_laplacian_matrix`` so
+    the eigenvalues match the reference bit for bit.
+    """
+    if n_nodes < 2:
+        return np.zeros(_SPECTRAL_COMPONENTS)
+    merged = np.where(exist.T, weights.T, weights)
+    upper = np.triu(merged, 1)
+    undirected = upper + upper.T
+    np.fill_diagonal(undirected, np.diagonal(weights))
+    diagonal = undirected.sum(axis=1)
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(diagonal)
+    inv_sqrt[np.isinf(inv_sqrt)] = 0.0
+    laplacian = np.diag(diagonal) - undirected
+    normalized = (laplacian * inv_sqrt[None, :]) * inv_sqrt[:, None]
+    eigenvalues = np.sort(np.linalg.eigvalsh(normalized))[::-1]
+    summary = np.zeros(_SPECTRAL_COMPONENTS)
+    count = min(_SPECTRAL_COMPONENTS, eigenvalues.shape[0])
+    summary[:count] = eigenvalues[:count]
+    return summary
 
 
 #: Canonical feature ordering for the graph modality, derived from a probe

@@ -35,10 +35,13 @@ _ROLE_ORDER = {
 
 def _canonical_node_order(graph: nx.DiGraph) -> List[str]:
     """Deterministic node ordering: role, then total degree (desc), then name."""
+    in_degrees = dict(graph.in_degree())
+    out_degrees = dict(graph.out_degree())
+
     def sort_key(name: str):
         data = graph.nodes[name]
         role = _ROLE_ORDER.get(data.get("role", "implicit"), len(_ROLE_ORDER))
-        degree = graph.in_degree(name) + graph.out_degree(name)
+        degree = in_degrees[name] + out_degrees[name]
         return (role, -degree, str(name))
 
     return sorted(graph.nodes, key=sort_key)
@@ -61,14 +64,11 @@ def _pool_to_size(matrix: np.ndarray, size: int) -> np.ndarray:
         padded = np.zeros((size, size))
         padded[:n, :n] = matrix
         return padded
-    # Sum-pool blocks of (roughly) equal size.
+    # Sum-pool blocks of (roughly) equal size.  ``reduceat`` sums each
+    # contiguous block per axis in one vectorized pass (block edges are
+    # strictly increasing because n > size here).
     edges = np.linspace(0, n, size + 1).astype(int)
-    pooled = np.zeros((size, size))
-    for i in range(size):
-        for j in range(size):
-            block = matrix[edges[i] : edges[i + 1], edges[j] : edges[j + 1]]
-            pooled[i, j] = block.sum()
-    return pooled
+    return np.add.reduceat(np.add.reduceat(matrix, edges[:-1], axis=0), edges[:-1], axis=1)
 
 
 def adjacency_image(

@@ -18,7 +18,6 @@ import numpy as np
 
 from ..hdl import ast_nodes as ast
 from ..hdl.parser import parse_module
-from ..hdl.visitor import collect, max_depth, walk
 
 _COMPARISON_OPS = {"==", "!=", "===", "!==", "<", "<=", ">", ">="}
 _LOGICAL_OPS = {"&&", "||"}
@@ -32,6 +31,38 @@ def _branch_nesting_depth(node: ast.Node, depth: int = 0) -> int:
     for child in node.children():
         best = max(best, _branch_nesting_depth(child, here))
     return best
+
+
+def _scan_ast(module: ast.Module):
+    """One pre-order walk computing everything the extractor needs.
+
+    Returns ``(buckets, node_count, max_depth, branch_nesting_depth)``.
+    Bucketing by concrete type is equivalent to per-type ``collect`` calls
+    (the AST hierarchy is flat), and both depth statistics fold into the
+    same traversal, so the whole module is visited exactly once.
+    """
+    buckets: Dict[type, List[ast.Node]] = {}
+    count = 0
+    deepest = 0
+    branch_deepest = 0
+    branching = (ast.If, ast.Case)
+    # Stack entries: (node, depth-from-root, enclosing branch nesting).
+    stack: List[tuple] = [(module, 0, 0)]
+    while stack:
+        node, depth, branch_depth = stack.pop()
+        count += 1
+        buckets.setdefault(type(node), []).append(node)
+        if depth > deepest:
+            deepest = depth
+        if isinstance(node, branching):
+            branch_depth += 1
+            if branch_depth > branch_deepest:
+                branch_deepest = branch_depth
+        child_depth = depth + 1
+        stack.extend(
+            (child, child_depth, branch_depth) for child in reversed(node.children())
+        )
+    return buckets, count, deepest + 1, branch_deepest
 
 
 def _is_constant_comparison(node: ast.BinaryOp) -> bool:
@@ -77,20 +108,26 @@ def extract_tabular_features(design: Union[str, ast.Module]) -> Dict[str, float]
     port_decls = module.port_declarations()
     net_decls = module.net_declarations()
 
-    ifs = collect(module, ast.If)
-    cases = collect(module, ast.Case)
-    case_items = collect(module, ast.CaseItem)
+    # One pre-order traversal buckets every node by concrete type and folds
+    # in both depth statistics; the per-type lists below are dictionary
+    # lookups instead of 15+ separate full-AST walks (the scan engine's
+    # hottest tabular-modality path).
+    buckets, n_nodes, ast_depth, branch_nesting = _scan_ast(module)
+
+    ifs = buckets.get(ast.If, [])
+    cases = buckets.get(ast.Case, [])
+    case_items = buckets.get(ast.CaseItem, [])
     default_items = [c for c in case_items if c.is_default]
-    ternaries = collect(module, ast.Ternary)
-    nonblocking = collect(module, ast.NonBlockingAssign)
-    blocking = collect(module, ast.BlockingAssign)
-    binaries = collect(module, ast.BinaryOp)
-    unaries = collect(module, ast.UnaryOp)
-    concats = collect(module, ast.Concat)
-    bit_selects = collect(module, ast.BitSelect)
-    part_selects = collect(module, ast.PartSelect)
-    numbers = collect(module, ast.Number)
-    identifiers = collect(module, ast.Identifier)
+    ternaries = buckets.get(ast.Ternary, [])
+    nonblocking = buckets.get(ast.NonBlockingAssign, [])
+    blocking = buckets.get(ast.BlockingAssign, [])
+    binaries = buckets.get(ast.BinaryOp, [])
+    unaries = buckets.get(ast.UnaryOp, [])
+    concats = buckets.get(ast.Concat, [])
+    bit_selects = buckets.get(ast.BitSelect, [])
+    part_selects = buckets.get(ast.PartSelect, [])
+    numbers = buckets.get(ast.Number, [])
+    identifiers = buckets.get(ast.Identifier, [])
     instantiations = module.instantiations()
 
     comparisons = [b for b in binaries if b.op in _COMPARISON_OPS]
@@ -101,7 +138,12 @@ def extract_tabular_features(design: Union[str, ast.Module]) -> Dict[str, float]
     arithmetic = [b for b in binaries if b.op in ("+", "-", "*", "/", "%")]
     shifts = [b for b in binaries if b.op in ("<<", ">>", "<<<", ">>>")]
 
-    counter_increments = [n for n in walk(module) if _is_counter_increment(n)]
+    counter_increments = [
+        n
+        for bucket_type in (ast.NonBlockingAssign, ast.BlockingAssign)
+        for n in buckets.get(bucket_type, [])
+        if _is_counter_increment(n)
+    ]
 
     inputs = [d for d in port_decls if d.direction == "input"]
     outputs = [d for d in port_decls if d.direction == "output"]
@@ -115,7 +157,6 @@ def extract_tabular_features(design: Union[str, ast.Module]) -> Dict[str, float]
     total_branches = len(ifs) + len(case_items)
     unique_signals = {name for decl in port_decls + net_decls for name in decl.names}
 
-    n_nodes = sum(1 for _ in walk(module))
     statements_per_always = (
         (len(nonblocking) + len(blocking)) / len(always_blocks) if always_blocks else 0.0
     )
@@ -163,8 +204,8 @@ def extract_tabular_features(design: Union[str, ast.Module]) -> Dict[str, float]
         ),
         # Structure / size.
         "ast_node_count": n_nodes,
-        "ast_depth": max_depth(module),
-        "branch_nesting_depth": _branch_nesting_depth(module),
+        "ast_depth": ast_depth,
+        "branch_nesting_depth": branch_nesting,
         "statements_per_always": statements_per_always,
         # Width profile.
         "total_input_width": float(sum(input_widths)),

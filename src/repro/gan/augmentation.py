@@ -38,6 +38,21 @@ class AmplificationConfig:
         if self.target_total <= 0:
             raise ValueError("target_total must be positive")
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the engine artifact manifest)."""
+        return {
+            "target_total": self.target_total,
+            "balance_classes": self.balance_classes,
+            "gan": self.gan.to_dict(),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AmplificationConfig":
+        data = dict(data)
+        gan = data.pop("gan", None)
+        return cls(gan=GANConfig.from_dict(gan) if gan is not None else None, **data)
+
 
 def _per_class_targets(
     labels: np.ndarray, target_total: int, balance: bool

@@ -13,7 +13,7 @@ matrices and receive samples in the original feature space.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -39,6 +39,14 @@ class GANConfig:
             raise ValueError("latent_dim and hidden_dim must be positive")
         if self.epochs <= 0 or self.batch_size <= 0:
             raise ValueError("epochs and batch_size must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the engine artifact manifest)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GANConfig":
+        return cls(**data)
 
 
 @dataclass

@@ -37,6 +37,10 @@ class Identifier(Node):
     name: str
 
 
+#: Memoised ``literal text -> (value, width)`` decodings for Number.parse.
+_NUMBER_LITERAL_CACHE: dict = {}
+
+
 @dataclass
 class Number(Node):
     """A numeric literal, kept verbatim plus a best-effort integer value."""
@@ -47,23 +51,32 @@ class Number(Node):
 
     @staticmethod
     def parse(text: str) -> "Number":
-        """Parse a Verilog literal such as ``8'hFF`` or ``42``."""
-        width: Optional[int] = None
-        value: Optional[int] = None
-        if "'" in text:
-            size_part, rest = text.split("'", 1)
-            if size_part:
-                width = int(size_part.replace("_", ""))
-            rest = rest.lstrip("sS")
-            base_char = rest[0].lower()
-            digits = rest[1:].replace("_", "")
-            base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
-            try:
-                value = int(digits, base)
-            except ValueError:
-                value = None  # x/z digits: value unknown
-        else:
-            value = int(text.replace("_", ""))
+        """Parse a Verilog literal such as ``8'hFF`` or ``42``.
+
+        The (value, width) decoding of each distinct literal text is
+        memoised — RTL repeats the same constants heavily — but every call
+        still returns a *fresh* node, so ASTs never share node objects.
+        """
+        try:
+            value, width = _NUMBER_LITERAL_CACHE[text]
+        except KeyError:
+            width = None
+            value = None
+            if "'" in text:
+                size_part, rest = text.split("'", 1)
+                if size_part:
+                    width = int(size_part.replace("_", ""))
+                rest = rest.lstrip("sS")
+                base_char = rest[0].lower()
+                digits = rest[1:].replace("_", "")
+                base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
+                try:
+                    value = int(digits, base)
+                except ValueError:
+                    value = None  # x/z digits: value unknown
+            else:
+                value = int(text.replace("_", ""))
+            _NUMBER_LITERAL_CACHE[text] = (value, width)
         return Number(text=text, value=value, width=width)
 
 

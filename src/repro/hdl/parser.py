@@ -61,8 +61,12 @@ class Parser:
 
     # -- token stream helpers ---------------------------------------------
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self.pos + offset, len(self.tokens) - 1)
-        return self.tokens[index]
+        # The token list is EOF-terminated, so overshooting clamps to EOF;
+        # EAFP keeps the (extremely hot) common case branch-free.
+        try:
+            return self.tokens[self.pos + offset]
+        except IndexError:
+            return self.tokens[-1]
 
     def _advance(self) -> Token:
         token = self.tokens[self.pos]
@@ -71,23 +75,34 @@ class Parser:
         return token
 
     def _check(self, value: str, offset: int = 0) -> bool:
-        return self._peek(offset).value == value and self._peek(offset).type is not TokenType.EOF
+        try:
+            token = self.tokens[self.pos + offset]
+        except IndexError:
+            token = self.tokens[-1]
+        return token.value == value and token.type is not TokenType.EOF
 
     def _check_type(self, token_type: TokenType, offset: int = 0) -> bool:
         return self._peek(offset).type is token_type
 
     def _accept(self, value: str) -> Optional[Token]:
-        if self._check(value):
-            return self._advance()
+        try:
+            token = self.tokens[self.pos]
+        except IndexError:
+            token = self.tokens[-1]
+        if token.value == value and token.type is not TokenType.EOF:
+            self.pos += 1
+            return token
         return None
 
     def _expect(self, value: str) -> Token:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.value != value:
             raise ParseError(
                 f"Expected {value!r} but found {token.value!r}", token.line, token.column
             )
-        return self._advance()
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
 
     def _expect_identifier(self) -> Token:
         token = self._peek()
@@ -453,35 +468,39 @@ class Parser:
         return condition
 
     def _parse_binary(self, min_precedence: int) -> ast.Node:
+        # The token list is EOF-terminated and EOF is never consumed, so
+        # ``tokens[pos]`` is always in range; direct indexing keeps this
+        # (hottest) loop free of helper-call overhead.
         left = self._parse_unary()
+        tokens = self.tokens
         while True:
-            op = self._peek().value
-            precedence = _BINARY_PRECEDENCE.get(op)
+            token = tokens[self.pos]
+            precedence = _BINARY_PRECEDENCE.get(token.value)
             if (
                 precedence is None
                 or precedence < min_precedence
-                or self._peek().type is TokenType.EOF
+                or token.type is TokenType.EOF
             ):
                 return left
-            self._advance()
+            self.pos += 1
             right = self._parse_binary(precedence + 1)
-            left = ast.BinaryOp(op=op, left=left, right=right)
+            left = ast.BinaryOp(op=token.value, left=left, right=right)
 
     def _parse_unary(self) -> ast.Node:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.type is TokenType.OPERATOR and token.value in _UNARY_OPERATORS:
-            op = self._advance().value
+            self.pos += 1
             operand = self._parse_unary()
-            return ast.UnaryOp(op=op, operand=operand)
+            return ast.UnaryOp(op=token.value, operand=operand)
         return self._parse_primary()
 
     def _parse_primary(self) -> ast.Node:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.type is TokenType.NUMBER:
-            self._advance()
+            self.pos += 1
             return ast.Number.parse(token.value)
         if token.type is TokenType.STRING:
-            self._advance()
+            self.pos += 1
             return ast.StringLiteral(value=token.value)
         if token.value == "(":
             self._advance()

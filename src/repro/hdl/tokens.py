@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum, auto
+from typing import NamedTuple
 
 
 class TokenType(Enum):
@@ -18,9 +18,14 @@ class TokenType(Enum):
     EOF = auto()
 
 
-@dataclass(frozen=True)
-class Token:
-    """A single lexical token with its source position (1-based)."""
+class Token(NamedTuple):
+    """A single lexical token with its source position (1-based).
+
+    A ``NamedTuple`` rather than a frozen dataclass: construction happens
+    once per token on the scan engine's hot path, and the C-level tuple
+    constructor is several times faster while staying immutable and
+    field-for-field comparable.
+    """
 
     type: TokenType
     value: str

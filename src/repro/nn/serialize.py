@@ -1,18 +1,37 @@
-"""Weight serialization for :class:`repro.nn.model.Sequential`.
+"""Serialization for the numpy model stack.
 
-Only the numerical parameters are stored (as an ``.npz`` archive); the
-architecture itself is code, so loading requires constructing an identically
-shaped model first.  This mirrors the common "state dict" pattern.
+Historically this module only persisted :class:`repro.nn.model.Sequential`
+weights (the "state dict" pattern: numerical parameters in an ``.npz``
+archive, architecture reconstructed from code).  The scan-engine artifact
+store (:mod:`repro.engine.artifacts`) extends the same pattern up the stack,
+so this module now also flattens and restores:
+
+* :class:`repro.features.scaling.StandardScaler` statistics;
+* a full :class:`repro.core.classifiers.CNNModalityClassifier` (scaler +
+  network weights);
+* the calibration state of a
+  :class:`repro.conformal.icp.InductiveConformalClassifier`, including its
+  pre-sorted calibration-score caches so a restored predictor emits
+  bit-identical p-values.
+
+Every helper works on plain ``Dict[str, np.ndarray]`` mappings with
+``<prefix><name>`` keys, so the artifact store can pack one model's many
+components into a single ``.npz`` archive.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 import numpy as np
 
 from .model import Sequential
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..conformal.icp import InductiveConformalClassifier
+    from ..core.classifiers import CNNModalityClassifier
+    from ..features.scaling import StandardScaler
 
 
 def state_dict(model: Sequential) -> Dict[str, np.ndarray]:
@@ -59,3 +78,127 @@ def load_weights(model: Sequential, path: Union[str, Path]) -> None:
     with np.load(Path(path)) as archive:
         state = {key: archive[key] for key in archive.files}
     load_state_dict(model, state)
+
+
+# ---------------------------------------------------------------------------
+# Prefix plumbing shared by the flatten/restore helpers below
+# ---------------------------------------------------------------------------
+
+
+def _subset(arrays: Dict[str, np.ndarray], prefix: str) -> Dict[str, np.ndarray]:
+    """All entries under ``prefix``, with the prefix stripped from the keys."""
+    return {
+        key[len(prefix) :]: value
+        for key, value in arrays.items()
+        if key.startswith(prefix)
+    }
+
+
+# ---------------------------------------------------------------------------
+# StandardScaler
+# ---------------------------------------------------------------------------
+
+
+def scaler_state_dict(
+    scaler: "StandardScaler", prefix: str = ""
+) -> Dict[str, np.ndarray]:
+    """Flatten a fitted scaler's statistics into ``<prefix>mean`` / ``<prefix>scale``."""
+    if scaler.mean_ is None or scaler.scale_ is None:
+        raise ValueError("cannot serialize an unfitted StandardScaler")
+    return {f"{prefix}mean": scaler.mean_.copy(), f"{prefix}scale": scaler.scale_.copy()}
+
+
+def restore_scaler(arrays: Dict[str, np.ndarray], prefix: str = "") -> "StandardScaler":
+    """Rebuild a fitted :class:`StandardScaler` from :func:`scaler_state_dict`."""
+    from ..features.scaling import StandardScaler
+
+    scaler = StandardScaler()
+    scaler.mean_ = np.asarray(arrays[f"{prefix}mean"], dtype=np.float64)
+    scaler.scale_ = np.asarray(arrays[f"{prefix}scale"], dtype=np.float64)
+    return scaler
+
+
+# ---------------------------------------------------------------------------
+# CNNModalityClassifier (scaler + Sequential weights)
+# ---------------------------------------------------------------------------
+
+
+def classifier_state_dict(
+    classifier: "CNNModalityClassifier", prefix: str = ""
+) -> Dict[str, np.ndarray]:
+    """Flatten one modality classifier: scaler stats + network parameters."""
+    arrays = scaler_state_dict(classifier._scaler, prefix=f"{prefix}scaler/")
+    for key, value in state_dict(classifier._model).items():
+        arrays[f"{prefix}model/{key}"] = value
+    return arrays
+
+
+def restore_classifier(
+    n_features: int,
+    config: Any,
+    arrays: Dict[str, np.ndarray],
+    prefix: str = "",
+) -> "CNNModalityClassifier":
+    """Rebuild a fitted :class:`CNNModalityClassifier`.
+
+    The architecture is reconstructed from ``(n_features, config)`` — the
+    code-is-architecture rule of :func:`load_state_dict` — then the persisted
+    scaler statistics and network weights are copied in.  Shape or count
+    mismatches raise ``ValueError``.
+    """
+    from ..core.classifiers import CNNModalityClassifier
+
+    classifier = CNNModalityClassifier(n_features, config)
+    classifier._scaler = restore_scaler(arrays, prefix=f"{prefix}scaler/")
+    load_state_dict(classifier._model, _subset(arrays, f"{prefix}model/"))
+    return classifier
+
+
+# ---------------------------------------------------------------------------
+# InductiveConformalClassifier calibration state
+# ---------------------------------------------------------------------------
+
+
+def icp_state_dict(
+    icp: "InductiveConformalClassifier", prefix: str = ""
+) -> Dict[str, np.ndarray]:
+    """Flatten a calibrated conformal predictor's arrays under ``prefix``.
+
+    The JSON-serialisable settings (mondrian flag, nonconformity name, class
+    count) are packed alongside the arrays as a structured scalar so one
+    mapping carries the complete state; :func:`icp_settings` extracts them.
+    """
+    state = icp.calibration_state()
+    settings = state.pop("settings")
+    arrays = {f"{prefix}{key}": value for key, value in state.items()}
+    arrays[f"{prefix}settings"] = np.array(
+        [
+            int(settings["mondrian"]),
+            int(settings["smoothing"]),
+            int(settings["n_classes"]),
+        ],
+        dtype=np.int64,
+    )
+    arrays[f"{prefix}nonconformity"] = np.array(settings["nonconformity"])
+    return arrays
+
+
+def restore_icp(
+    arrays: Dict[str, np.ndarray],
+    prefix: str = "",
+    rng: Optional[np.random.Generator] = None,
+) -> "InductiveConformalClassifier":
+    """Rebuild a calibrated predictor from :func:`icp_state_dict` output."""
+    from ..conformal.icp import InductiveConformalClassifier
+
+    flat = _subset(arrays, prefix)
+    packed = np.asarray(flat.pop("settings"))
+    settings = {
+        "mondrian": bool(packed[0]),
+        "smoothing": bool(packed[1]),
+        "n_classes": int(packed[2]),
+        "nonconformity": str(np.asarray(flat.pop("nonconformity"))),
+    }
+    state: Dict[str, Any] = dict(flat)
+    state["settings"] = settings
+    return InductiveConformalClassifier.from_calibration_state(state, rng=rng)

@@ -1,0 +1,162 @@
+"""Artifact round-trip tests: train -> save -> load -> identical p-values."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.conformal import InductiveConformalClassifier
+from repro.core.config import ClassifierConfig, NoodleConfig
+from repro.core.fusion import EarlyFusionModel, LateFusionModel, SingleModalityModel
+from repro.core.noodle import NOODLE
+from repro.engine import (
+    ArtifactError,
+    load_detector,
+    recalibrate_detector,
+    save_detector,
+    train_detector,
+)
+from repro.engine.artifacts import load_manifest
+
+
+def tiny_config(seed: int = 0, **overrides) -> NoodleConfig:
+    config = NoodleConfig(
+        classifier=ClassifierConfig(epochs=3, seed=seed), seed=seed, **overrides
+    )
+    config.validate()
+    return config
+
+
+@pytest.fixture(scope="module")
+def late_model(small_features):
+    return LateFusionModel(tiny_config()).fit(small_features)
+
+
+class TestArtifactRoundTrip:
+    def test_late_fusion_bit_identical(self, late_model, small_features, tmp_path):
+        expected = late_model.p_values(small_features)
+        save_detector(late_model, tmp_path / "artifact")
+        loaded, manifest = load_detector(tmp_path / "artifact")
+        assert manifest["kind"] == "late_fusion"
+        assert np.array_equal(loaded.p_values(small_features), expected)
+
+    def test_early_fusion_bit_identical(self, small_features, tmp_path):
+        model = EarlyFusionModel(tiny_config(seed=1)).fit(small_features)
+        expected = model.p_values(small_features)
+        save_detector(model, tmp_path / "artifact")
+        loaded, manifest = load_detector(tmp_path / "artifact")
+        assert manifest["kind"] == "early_fusion"
+        assert np.array_equal(loaded.p_values(small_features), expected)
+
+    def test_single_modality_bit_identical(self, small_features, tmp_path):
+        model = SingleModalityModel("tabular", tiny_config(seed=2)).fit(small_features)
+        expected = model.p_values(small_features)
+        save_detector(model, tmp_path / "artifact")
+        loaded, manifest = load_detector(tmp_path / "artifact")
+        assert manifest["kind"] == "single"
+        assert manifest["modality"] == "tabular"
+        assert np.array_equal(loaded.p_values(small_features), expected)
+
+    def test_predictions_and_regions_survive(self, late_model, small_features, tmp_path):
+        save_detector(late_model, tmp_path / "artifact")
+        loaded, _ = load_detector(tmp_path / "artifact")
+        assert np.array_equal(loaded.predict(small_features), late_model.predict(small_features))
+        original_regions = late_model.prediction_regions(small_features)
+        loaded_regions = loaded.prediction_regions(small_features)
+        assert [r.labels for r in loaded_regions] == [r.labels for r in original_regions]
+
+    def test_config_round_trips_through_manifest(self, late_model, small_features, tmp_path):
+        save_detector(late_model, tmp_path / "artifact")
+        _, manifest = load_detector(tmp_path / "artifact")
+        assert NoodleConfig.from_dict(manifest["config"]).to_dict() == manifest["config"]
+
+    def test_noodle_report_recorded(self, small_features, tmp_path):
+        noodle = NOODLE(tiny_config(seed=3))
+        noodle.fit(small_features)
+        save_detector(noodle, tmp_path / "artifact")
+        manifest = load_manifest(tmp_path / "artifact")
+        assert manifest["noodle_report"]["winner"] in ("early_fusion", "late_fusion")
+        loaded, _ = load_detector(tmp_path / "artifact")
+        assert np.array_equal(
+            loaded.p_values(small_features), noodle.p_values(small_features)
+        )
+
+    def test_fingerprint_changes_with_model(self, small_features, tmp_path):
+        a = LateFusionModel(tiny_config(seed=4)).fit(small_features)
+        b = LateFusionModel(tiny_config(seed=5)).fit(small_features)
+        save_detector(a, tmp_path / "a")
+        save_detector(b, tmp_path / "b")
+        assert load_manifest(tmp_path / "a")["fingerprint"] != load_manifest(tmp_path / "b")[
+            "fingerprint"
+        ]
+
+
+class TestArtifactErrors:
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="unfitted"):
+            save_detector(LateFusionModel(tiny_config()), tmp_path / "artifact")
+
+    def test_missing_artifact(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest"):
+            load_detector(tmp_path / "nope")
+
+    def test_unsupported_schema_version(self, late_model, tmp_path):
+        path = save_detector(late_model, tmp_path / "artifact")
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="schema version"):
+            load_detector(path)
+
+
+class TestIcpCalibrationState:
+    def _calibrated(self, mondrian: bool = True) -> InductiveConformalClassifier:
+        rng = np.random.default_rng(0)
+        probabilities = rng.random((60, 2))
+        probabilities /= probabilities.sum(axis=1, keepdims=True)
+        labels = rng.integers(0, 2, size=60)
+        return InductiveConformalClassifier(mondrian=mondrian).calibrate(
+            probabilities, labels
+        )
+
+    @pytest.mark.parametrize("mondrian", [True, False])
+    def test_round_trip_bit_identical(self, mondrian):
+        icp = self._calibrated(mondrian=mondrian)
+        restored = InductiveConformalClassifier.from_calibration_state(
+            icp.calibration_state()
+        )
+        rng = np.random.default_rng(1)
+        test = rng.random((25, 2))
+        test /= test.sum(axis=1, keepdims=True)
+        assert np.array_equal(restored.p_values(test), icp.p_values(test))
+        assert restored.mondrian == icp.mondrian
+        assert restored.n_classes == icp.n_classes
+
+    def test_uncalibrated_rejected(self):
+        with pytest.raises(RuntimeError):
+            InductiveConformalClassifier().calibration_state()
+
+    def test_callable_nonconformity_rejected(self):
+        icp = InductiveConformalClassifier(nonconformity=lambda p, y: 1.0 - p[np.arange(len(y)), y])
+        probabilities = np.array([[0.3, 0.7], [0.8, 0.2]])
+        icp.calibrate(probabilities, np.array([1, 0]))
+        with pytest.raises(ValueError, match="callable"):
+            icp.calibration_state()
+
+
+class TestRecalibration:
+    def test_recalibrate_then_round_trip(self, small_features, tmp_path):
+        result = train_detector(small_features, strategy="late", config=tiny_config(seed=6))
+        model = result.model
+        recalibrate_detector(model, small_features)
+        expected = model.p_values(small_features)
+        save_detector(model, tmp_path / "artifact")
+        loaded, _ = load_detector(tmp_path / "artifact")
+        assert np.array_equal(loaded.p_values(small_features), expected)
+
+    def test_recalibrate_unfitted_rejected(self, small_features):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            recalibrate_detector(LateFusionModel(tiny_config()), small_features)

@@ -1,0 +1,130 @@
+"""In-process smoke tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.cli import main
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    """A tiny detector trained through the real ``train`` subcommand."""
+    path = tmp_path_factory.mktemp("cli") / "artifact"
+    code = main(
+        [
+            "train",
+            "--artifact", str(path),
+            "--strategy", "late",
+            "--epochs", "3",
+            "--trojan-free", "10",
+            "--trojan-infected", "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestCliWorkflow:
+    def test_train_wrote_artifact(self, artifact):
+        assert (artifact / "manifest.json").is_file()
+        assert (artifact / "arrays.npz").is_file()
+
+    def test_scan_generate_and_report(self, artifact, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        code = main(
+            [
+                "scan",
+                "--artifact", str(artifact),
+                "--generate", "5",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output", str(results),
+            ]
+        )
+        assert code == 0
+        data = json.loads(results.read_text())
+        assert data["n_designs"] == 5
+        assert len(data["records"]) == 5
+
+        code = main(["report", "--input", str(results)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "designs scanned : 5" in output
+
+    def test_scan_files_uses_cache(self, artifact, tmp_path, capsys):
+        from repro.engine.bench import build_scan_batch
+
+        for source in build_scan_batch(3, seed=77):
+            (tmp_path / f"{source.name}.v").write_text(source.source)
+        args = [
+            "scan",
+            str(tmp_path),
+            "--artifact", str(artifact),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "3 cache hits" in capsys.readouterr().out
+
+    def test_scan_without_inputs_errors(self, artifact, tmp_path):
+        code = main(
+            ["scan", "--artifact", str(artifact), "--cache-dir", str(tmp_path / "c")]
+        )
+        assert code == 2
+
+    def test_calibrate_resaves_artifact(self, artifact, capsys):
+        code = main(
+            [
+                "calibrate",
+                "--artifact", str(artifact),
+                "--trojan-free", "8",
+                "--trojan-infected", "4",
+                "--suite-seed", "9",
+            ]
+        )
+        assert code == 0
+        assert "recalibrated" in capsys.readouterr().out
+
+    def test_noodle_training_records_report(self, tmp_path):
+        path = tmp_path / "noodle"
+        code = main(
+            [
+                "train",
+                "--artifact", str(path),
+                "--strategy", "noodle",
+                "--epochs", "3",
+                "--trojan-free", "10",
+                "--trojan-infected", "5",
+            ]
+        )
+        assert code == 0
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["noodle_report"]["winner"] in ("early_fusion", "late_fusion")
+
+    def test_calibrate_preserves_noodle_report(self, tmp_path):
+        path = tmp_path / "noodle2"
+        assert main(
+            [
+                "train",
+                "--artifact", str(path),
+                "--strategy", "noodle",
+                "--epochs", "3",
+                "--trojan-free", "10",
+                "--trojan-infected", "5",
+            ]
+        ) == 0
+        before = json.loads((path / "manifest.json").read_text())["noodle_report"]
+        assert main(
+            [
+                "calibrate",
+                "--artifact", str(path),
+                "--trojan-free", "8",
+                "--trojan-infected", "4",
+                "--suite-seed", "13",
+            ]
+        ) == 0
+        after = json.loads((path / "manifest.json").read_text())["noodle_report"]
+        assert after == before

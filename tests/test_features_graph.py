@@ -161,3 +161,34 @@ class TestAdjacencyImage:
         np.testing.assert_array_equal(
             adjacency_image(sample_verilog), adjacency_image(sample_verilog)
         )
+
+
+class TestVectorizedGraphFeaturesEquivalence:
+    """The dense fast path must be bit-identical to the networkx reference."""
+
+    def test_bit_identical_on_generated_suite(self) -> None:
+        from repro.features.graph_features import (
+            _extract_graph_features_reference,
+            extract_graph_features,
+        )
+        from repro.trojan import SuiteConfig, TrojanDataset
+
+        suite = TrojanDataset.generate(
+            SuiteConfig(n_trojan_free=6, n_trojan_infected=3, seed=29)
+        )
+        for benchmark in suite.benchmarks:
+            graph = build_dataflow_graph(benchmark.source)
+            fast = extract_graph_features(graph)
+            reference = _extract_graph_features_reference(graph)
+            assert set(fast) == set(reference)
+            for key in reference:
+                assert fast[key] == reference[key], key
+
+    def test_bit_identical_on_fixture(self, sample_verilog) -> None:
+        from repro.features.graph_features import (
+            _extract_graph_features_reference,
+            extract_graph_features,
+        )
+
+        graph = build_dataflow_graph(sample_verilog)
+        assert extract_graph_features(graph) == _extract_graph_features_reference(graph)

@@ -112,3 +112,54 @@ class TestPositionsAndErrors:
         lexer = Lexer("wire x;")
         first = lexer.tokenize()
         assert [t.value for t in first[:-1]] == ["wire", "x", ";"]
+
+
+class TestFastScannerEquivalence:
+    """The master-regex ``tokenize`` must match the golden ``Lexer`` exactly."""
+
+    def test_identical_token_stream_on_generated_suite(self) -> None:
+        from repro.trojan import SuiteConfig, TrojanDataset
+
+        suite = TrojanDataset.generate(
+            SuiteConfig(n_trojan_free=6, n_trojan_infected=3, seed=19)
+        )
+        for benchmark in suite.benchmarks:
+            assert tokenize(benchmark.source) == Lexer(benchmark.source).tokenize()
+
+    def test_identical_token_stream_on_fixture(self, sample_verilog) -> None:
+        assert tokenize(sample_verilog) == Lexer(sample_verilog).tokenize()
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "module m; /* unterminated",
+            '"unterminated string',
+            "a = 8'h;",
+            "y = 4'd3; z = 'b101; q = 16'shFF_F?;",
+            's = "hi"; // c\n/* multi\nline */ module',
+            "b = a / 2; c = a /* x */ * 2;",
+        ],
+    )
+    def test_edge_cases_match_golden(self, source: str) -> None:
+        try:
+            expected = Lexer(source).tokenize()
+            expected_error = None
+        except LexerError as exc:
+            expected, expected_error = None, str(exc)
+        try:
+            observed = tokenize(source)
+            observed_error = None
+        except LexerError as exc:
+            observed, observed_error = None, str(exc)
+        assert observed == expected
+        assert observed_error == expected_error
+
+    @pytest.mark.parametrize(
+        "source",
+        ["module m; /** unterminated", "a = b; /*** x", "c = d /**e"],
+    )
+    def test_unterminated_double_star_comment_matches_golden(self, source: str) -> None:
+        with pytest.raises(LexerError, match="Unterminated block comment"):
+            Lexer(source).tokenize()
+        with pytest.raises(LexerError, match="Unterminated block comment"):
+            tokenize(source)

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Docstring-coverage check for the public API surface.
+
+Walks every module under ``src/repro`` with ``ast`` (no imports, so it is
+fast and side-effect free) and reports public objects — modules, classes,
+functions and methods whose names do not start with ``_`` — that lack a
+docstring.  Paths listed in ``STRICT_PATHS`` must be at 100%; everything
+else must stay above the ``--min`` overall threshold.
+
+Run with::
+
+    python tools/check_doc_coverage.py [--min 90] [--verbose]
+
+Exit status is non-zero when either bar is missed (used by the CI docs
+job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+ROOT = Path(__file__).resolve().parents[1]
+SOURCE_ROOT = ROOT / "src" / "repro"
+
+#: Paths (relative to src/repro) that must be 100% documented: the scan
+#: engine plus the serialization/conformal modules this PR extended.
+STRICT_PATHS = (
+    "engine",
+    "conformal/icp.py",
+    "nn/serialize.py",
+)
+
+#: Decorators whose presence exempts a function (e.g. overloads).
+_EXEMPT_DECORATORS = {"overload"}
+
+
+def _iter_public_nodes(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(qualified_name, node)`` for every public definition."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = child.name
+                if name.startswith("_"):
+                    continue
+                decorators = {
+                    d.id
+                    for d in getattr(child, "decorator_list", [])
+                    if isinstance(d, ast.Name)
+                }
+                if decorators & _EXEMPT_DECORATORS:
+                    continue
+                qualified = f"{prefix}{name}"
+                yield qualified, child
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, f"{qualified}.")
+
+    yield from walk(tree, "")
+
+
+def check_file(path: Path) -> Tuple[int, int, List[str]]:
+    """Return ``(documented, total, missing_names)`` for one module."""
+    tree = ast.parse(path.read_text())
+    documented = 0
+    total = 1  # the module itself
+    missing: List[str] = []
+    relative = path.relative_to(SOURCE_ROOT)
+    if ast.get_docstring(tree):
+        documented += 1
+    else:
+        missing.append(f"{relative}: <module>")
+    for name, node in _iter_public_nodes(tree):
+        total += 1
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            missing.append(f"{relative}: {name}")
+    return documented, total, missing
+
+
+def is_strict(path: Path) -> bool:
+    relative = path.relative_to(SOURCE_ROOT).as_posix()
+    return any(
+        relative == strict or relative.startswith(strict.rstrip("/") + "/")
+        for strict in STRICT_PATHS
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=65.0,
+        help="overall coverage floor (percent); ratchet upward as coverage grows",
+    )
+    parser.add_argument("--verbose", action="store_true", help="list every miss")
+    args = parser.parse_args()
+
+    documented = total = 0
+    strict_missing: List[str] = []
+    all_missing: List[str] = []
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        file_documented, file_total, missing = check_file(path)
+        documented += file_documented
+        total += file_total
+        all_missing.extend(missing)
+        if is_strict(path) and missing:
+            strict_missing.extend(missing)
+
+    coverage = 100.0 * documented / max(total, 1)
+    print(f"docstring coverage: {documented}/{total} public objects ({coverage:.1f}%)")
+
+    failed = False
+    if strict_missing:
+        failed = True
+        print(f"\nFAIL: strict paths {STRICT_PATHS} must be 100% documented; missing:")
+        for name in strict_missing:
+            print(f"  {name}")
+    if coverage < args.min:
+        failed = True
+        print(f"\nFAIL: coverage {coverage:.1f}% is below the {args.min:.1f}% floor")
+    if args.verbose and all_missing:
+        print("\nall undocumented public objects:")
+        for name in all_missing:
+            print(f"  {name}")
+    if not failed:
+        print("OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

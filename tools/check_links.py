@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Verify that internal Markdown links in the documentation resolve.
+
+Scans ``README.md`` and every ``docs/*.md`` file for Markdown links and
+images.  For each relative link it checks the target file exists (relative
+to the linking file), and for ``file.md#anchor`` links it additionally
+checks that a heading yielding that GitHub-style anchor exists in the
+target.  External (``http(s)://``) links are not fetched.
+
+Run with::
+
+    python tools/check_links.py
+
+Exit status is non-zero when any internal link is broken (used by the CI
+docs job).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Inline Markdown links/images: [text](target) — excludes code spans by
+#: virtue of Markdown convention in this repo (no links inside backticks).
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, strip punctuation, dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_in(path: Path) -> set:
+    return {github_anchor(m.group(1)) for m in _HEADING_PATTERN.finditer(path.read_text())}
+
+
+def check_file(path: Path) -> List[str]:
+    """Return a list of broken-link descriptions for one Markdown file."""
+    errors: List[str] = []
+    for match in _LINK_PATTERN.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_anchor(target[1:]) not in anchors_in(path):
+                errors.append(f"{path.relative_to(ROOT)}: missing anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(ROOT)}: missing target {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_anchor(anchor) not in anchors_in(resolved):
+                errors.append(f"{path.relative_to(ROOT)}: missing anchor {target}")
+    return errors
+
+
+def main() -> int:
+    candidates = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+    errors: List[str] = []
+    checked = 0
+    for path in candidates:
+        if not path.is_file():
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    print(f"checked {checked} Markdown files")
+    if errors:
+        print("broken internal links:")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

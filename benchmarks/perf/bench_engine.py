@@ -2,13 +2,16 @@
 """End-to-end scan engine benchmark (batched vs sequential per-design scans).
 
 Trains a quick late-fusion detector, persists it, then times the same
-multi-design workload served three ways (see
+multi-design workload served four ways (see
 :mod:`repro.engine.bench` for exactly what each mode measures):
 
-* ``engine_scan_sequential`` — N independent invocations, each loading the
-  artifact and scanning one design;
-* ``engine_scan_batched``    — one engine, one batched call;
-* ``engine_scan_cached``     — the batched call against a warm content cache.
+* ``engine_scan_sequential``     — N independent invocations, each loading
+  the artifact and scanning one design;
+* ``engine_scan_batched``        — one engine, one batched call;
+* ``engine_scan_parallel_jobsN`` — the sharded ScanScheduler running
+  extraction + inference across a persistent N-worker pool;
+* ``engine_scan_cached``         — the batched call against a warm content
+  cache.
 
 Writes the results to ``BENCH_engine.json`` at the repository root.
 
@@ -28,6 +31,7 @@ if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
 from repro.engine.bench import DEFAULT_N_DESIGNS, run_engine_benchmark  # noqa: E402
+from repro.engine.scheduler import DEFAULT_SHARD_SIZE  # noqa: E402
 
 
 def main() -> int:
@@ -36,10 +40,17 @@ def main() -> int:
     parser.add_argument("--designs", type=int, default=DEFAULT_N_DESIGNS)
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE)
     args = parser.parse_args()
 
     suite = run_engine_benchmark(
-        args.output, n_designs=args.designs, workers=args.workers, repeats=args.repeats
+        args.output,
+        n_designs=args.designs,
+        workers=args.workers,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        shard_size=args.shard_size,
     )
     print(f"wrote {args.output}")
     for name, factor in sorted(suite.speedups.items()):

@@ -68,16 +68,37 @@ class InductiveConformalClassifier:
     def calibrate(
         self, calibration_probabilities: np.ndarray, calibration_labels: np.ndarray
     ) -> "InductiveConformalClassifier":
-        """Store nonconformity scores of the calibration set."""
+        """Store nonconformity scores of the calibration set.
+
+        Raises a clear ``ValueError`` up front for calibration sets that
+        can only produce nonsense downstream: an empty set, or (for
+        Mondrian predictors) a class with zero calibration examples —
+        label-conditional p-values for that class would silently degrade
+        to the marginal distribution and lose their per-class validity
+        guarantee.
+        """
         probabilities = _validate_probabilities(calibration_probabilities)
         labels = np.asarray(calibration_labels, dtype=int)
         if probabilities.shape[0] != labels.shape[0]:
             raise ValueError("calibration probabilities and labels must align")
         if probabilities.shape[0] == 0:
-            raise ValueError("calibration set must not be empty")
+            raise ValueError(
+                "calibration set must not be empty: conformal p-values need "
+                "at least one calibration example"
+            )
         self._n_classes = probabilities.shape[1]
         if labels.min() < 0 or labels.max() >= self._n_classes:
             raise ValueError("calibration labels out of range")
+        if self.mondrian:
+            counts = np.bincount(labels, minlength=self._n_classes)
+            missing = np.flatnonzero(counts == 0)
+            if missing.size:
+                raise ValueError(
+                    "Mondrian (label-conditional) calibration needs at least "
+                    f"one example of every class; class(es) {missing.tolist()} "
+                    "have none — use a stratified calibration split or "
+                    "mondrian=False"
+                )
         self._calibration_scores = self.nonconformity(probabilities, labels)
         self._calibration_labels = labels
         self._sorted_marginal = np.sort(self._calibration_scores)
@@ -168,48 +189,76 @@ class InductiveConformalClassifier:
         reconstructed predictor's :meth:`p_values` are bit-identical to the
         original's for non-smoothed predictors.  Smoothed predictors draw
         fresh tie-breaking randomness from ``rng``.
+
+        Raises a clear ``ValueError`` for states that could never have come
+        from a valid :meth:`calibrate` call — missing entries, an empty
+        calibration set, or (Mondrian) a class with no calibration scores —
+        instead of deferring to a confusing failure at ``p_values`` time.
         """
-        settings = state["settings"]
+        try:
+            settings = state["settings"]
+            calibration_scores = state["calibration_scores"]
+            calibration_labels = state["calibration_labels"]
+            sorted_marginal = state["sorted_marginal"]
+            nonconformity = settings["nonconformity"]
+            mondrian = settings["mondrian"]
+            smoothing = settings["smoothing"]
+            n_classes = settings["n_classes"]
+        except KeyError as exc:
+            raise ValueError(
+                f"invalid ICP calibration state: missing entry {exc.args[0]!r}"
+            ) from exc
         icp = cls(
-            nonconformity=settings["nonconformity"],
-            mondrian=bool(settings["mondrian"]),
-            smoothing=bool(settings["smoothing"]),
+            nonconformity=nonconformity,
+            mondrian=bool(mondrian),
+            smoothing=bool(smoothing),
             rng=rng,
         )
-        icp._calibration_scores = np.asarray(state["calibration_scores"], dtype=np.float64)
-        icp._calibration_labels = np.asarray(state["calibration_labels"], dtype=int)
-        icp._n_classes = int(settings["n_classes"])
-        icp._sorted_marginal = np.asarray(state["sorted_marginal"], dtype=np.float64)
+        icp._calibration_scores = np.asarray(calibration_scores, dtype=np.float64)
+        icp._calibration_labels = np.asarray(calibration_labels, dtype=int)
+        icp._n_classes = int(n_classes)
+        icp._sorted_marginal = np.asarray(sorted_marginal, dtype=np.float64)
+        if icp._calibration_scores.size == 0:
+            raise ValueError(
+                "invalid ICP calibration state: empty calibration set "
+                "(zero calibration scores)"
+            )
         if icp.mondrian:
-            icp._sorted_by_label = [
-                np.asarray(state[f"sorted_label_{label}"], dtype=np.float64)
-                for label in range(icp._n_classes)
-            ]
+            sorted_by_label = []
+            for label in range(icp._n_classes):
+                key = f"sorted_label_{label}"
+                if key not in state:
+                    raise ValueError(
+                        f"invalid ICP calibration state: missing entry {key!r} "
+                        "for a Mondrian predictor"
+                    )
+                sorted_by_label.append(np.asarray(state[key], dtype=np.float64))
+            empty = [k for k, s in enumerate(sorted_by_label) if s.size == 0]
+            if empty:
+                raise ValueError(
+                    "invalid ICP calibration state: Mondrian predictor has no "
+                    f"calibration scores for class(es) {empty} — recalibrate "
+                    "with at least one example of every class"
+                )
+            icp._sorted_by_label = sorted_by_label
         else:
             icp._sorted_by_label = None
         return icp
 
     # -- p-values ---------------------------------------------------------------
     def _reference_scores(self, label: int) -> np.ndarray:
+        # calibrate()/from_calibration_state() guarantee every Mondrian
+        # class has at least one calibration score, so no fallback exists.
         assert self._calibration_scores is not None and self._calibration_labels is not None
         if self.mondrian:
-            member_scores = self._calibration_scores[self._calibration_labels == label]
-            if member_scores.size:
-                return member_scores
-            # Fall back to the marginal distribution when a class is absent
-            # from the calibration set (tiny datasets).
-            return self._calibration_scores
+            return self._calibration_scores[self._calibration_labels == label]
         return self._calibration_scores
 
     def _sorted_reference_scores(self, label: int) -> np.ndarray:
         assert self._sorted_marginal is not None
         if self.mondrian:
             assert self._sorted_by_label is not None
-            member_scores = self._sorted_by_label[label]
-            if member_scores.size:
-                return member_scores
-            # Same tiny-dataset fallback as the reference implementation.
-            return self._sorted_marginal
+            return self._sorted_by_label[label]
         return self._sorted_marginal
 
     def _validate_test_probabilities(self, test_probabilities: np.ndarray) -> np.ndarray:

@@ -13,6 +13,10 @@ subsystem built from three parts:
   the vectorized forward pass and ``searchsorted`` p-values in single
   calls, and caches per-design results keyed by content hash
   (:mod:`repro.engine.cache`);
+* :mod:`repro.engine.scheduler` — the sharded parallel scan scheduler:
+  shards a corpus across a persistent worker pool (extraction *and*
+  inference), merges deterministically, retries failed shards and makes
+  interrupted scans resumable via the sharded cache;
 * :mod:`repro.engine.cli` — the ``python -m repro`` command line with
   ``train`` / ``calibrate`` / ``scan`` / ``report`` / ``bench``
   subcommands.
@@ -21,14 +25,18 @@ See ``docs/ENGINE.md`` for the artifact format and a CLI walkthrough.
 """
 
 from .artifacts import ArtifactError, load_detector, save_detector
-from .cache import ScanCache
+from .cache import CacheLockTimeout, ScanCache
 from .scan import ScanEngine, ScanReport, ScanSource, collect_sources, hash_source
+from .scheduler import ScanJournal, ScanScheduler
 from .training import TrainingResult, build_strategies, recalibrate_detector, train_detector
 
 __all__ = [
     "ArtifactError",
+    "CacheLockTimeout",
     "ScanCache",
     "ScanEngine",
+    "ScanJournal",
+    "ScanScheduler",
     "ScanReport",
     "ScanSource",
     "TrainingResult",

@@ -1,62 +1,331 @@
-"""Content-addressed result cache for the scan engine.
+"""Sharded, content-addressed result cache for the scan engine.
 
 Scan results are cached per design, keyed by the SHA-256 hash of the
-design's source text, inside an index that is itself namespaced by the
+design's source text, inside a store that is itself namespaced by the
 *model fingerprint* (see :mod:`repro.engine.artifacts`).  Two consequences:
 
 * editing a design's HDL changes its content hash, so the stale verdict is
   simply never looked up again (invalidation by construction);
 * retraining the detector changes the fingerprint, which switches to a
-  fresh index file, so verdicts can never leak across model versions.
+  fresh namespace directory, so verdicts can never leak across model
+  versions.
 
-The index is one JSON file per fingerprint under the cache directory,
-written atomically (temp file + ``os.replace``) so a crashed scan never
-leaves a truncated index behind.
+On disk the store is **sharded**: records live in per-shard JSON files
+under ``<dir>/<fp16>/shards/``, keyed by a prefix of their content hash
+(256 shards at the default 2-hex-char prefix).  Every shard file is
+written atomically (temp file + ``os.replace``), and flushes run under a
+namespace-wide lockfile with a read-merge-write protocol, so
+
+* a crashed scan never leaves a truncated shard behind,
+* two concurrent scans against the same cache directory cannot clobber
+  each other's results — each flush merges the records already on disk
+  with its own dirty records before replacing the file, and
+* an interrupted scan's completed shards survive and are reused on the
+  next run (the resume path of :class:`repro.engine.scheduler.ScanScheduler`).
+
+Corrupt files (truncated JSON, unreadable bytes) are never fatal: they are
+quarantined next to the store as ``*.corrupt`` with a logged warning and
+the affected records are simply rescanned.  The pre-sharding single-file
+format (``scan_cache_<fp16>.json`` at the cache root) is read
+transparently and migrated into shard files on the first flush.
 """
 
 from __future__ import annotations
 
+import errno
 import json
+import logging
 import os
+import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from ..core.results import ScanRecord
 
-#: Bump when the on-disk record layout changes.
-CACHE_SCHEMA_VERSION = 1
+logger = logging.getLogger(__name__)
+
+#: Bump when the on-disk record layout changes.  Version 1 was the single
+#: JSON blob per fingerprint; version 2 is the sharded store.
+CACHE_SCHEMA_VERSION = 2
+
+#: Schema version of the legacy single-file format (still readable).
+LEGACY_SCHEMA_VERSION = 1
+
+#: Subdirectory of a namespace that holds the per-prefix shard files.
+SHARDS_DIRNAME = "shards"
+
+#: Default number of leading hex characters of the content hash that pick
+#: a record's shard file (2 -> up to 256 shard files per namespace).
+DEFAULT_SHARD_PREFIX_LEN = 2
+
+
+class CacheLockTimeout(RuntimeError):
+    """Raised when the namespace lockfile cannot be acquired in time."""
+
+
+class _NamespaceLock:
+    """Advisory lock guarding a cache namespace during flushes.
+
+    On POSIX the lock is a kernel ``flock`` on the lockfile: it is
+    released automatically when the holder exits — even SIGKILLed mid
+    flush — so there are no stale locks to detect, nothing to steal, and
+    no time-of-check races between waiters.  The lockfile itself is left
+    in place after release (unlinking it would race fresh acquirers).
+
+    Where ``fcntl`` is unavailable the class falls back to the portable
+    ``O_CREAT | O_EXCL`` lockfile dance with best-effort staleness
+    breaking: the holder's pid is recorded, a lock whose pid is provably
+    dead is broken, and a lock whose holder cannot be checked is broken
+    after ``stale_after`` seconds.  The fallback has a narrow
+    check-then-unlink window two waiters could race through; the primary
+    ``flock`` path does not.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        timeout: float = 10.0,
+        stale_after: float = 30.0,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.path = path
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.poll_interval = poll_interval
+        self._fd: Optional[int] = None
+
+    def _holder_state(self) -> str:
+        """``"alive"``, ``"dead"`` or ``"unknown"`` for the recorded holder pid."""
+        try:
+            pid = int(self.path.read_text().strip() or "0")
+        except (OSError, ValueError):
+            return "unknown"
+        if pid <= 0 or pid == os.getpid():
+            return "unknown"
+        try:
+            os.kill(pid, 0)  # signal 0: existence probe, delivers nothing
+        except ProcessLookupError:
+            return "dead"
+        except OSError:
+            return "alive"  # exists but not ours (EPERM)
+        return "alive"
+
+    def _try_break_stale(self) -> None:
+        """Remove the lockfile if its holder is provably dead or unknowably old.
+
+        A lock whose holder pid is verifiably alive is never stolen, no
+        matter its age — a legitimately slow flush keeps its lock and the
+        waiter times out instead.  The age fallback only applies when the
+        holder cannot be checked (other machine, unreadable file).
+        """
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return  # already released
+        holder = self._holder_state()
+        if holder == "alive":
+            return
+        if holder == "unknown" and age < self.stale_after:
+            return
+        logger.warning("breaking stale cache lock %s (age %.1fs)", self.path, age)
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # somebody else broke it first
+
+    def _acquire_flock(self) -> None:
+        """POSIX path: take an exclusive kernel lock on the lockfile."""
+        fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    os.close(fd)
+                    raise CacheLockTimeout(
+                        f"could not acquire cache lock {self.path} "
+                        f"within {self.timeout:.1f}s"
+                    ) from exc
+                time.sleep(self.poll_interval)
+            else:
+                os.ftruncate(fd, 0)
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                self._fd = fd
+                return
+
+    def _acquire_lockfile(self) -> None:
+        """Fallback path: the O_CREAT|O_EXCL dance with staleness breaking."""
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except OSError as exc:
+                if exc.errno != errno.EEXIST:
+                    raise
+                self._try_break_stale()
+                if time.monotonic() >= deadline:
+                    raise CacheLockTimeout(
+                        f"could not acquire cache lock {self.path} "
+                        f"within {self.timeout:.1f}s"
+                    ) from exc
+                time.sleep(self.poll_interval)
+            else:
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                os.close(fd)
+                return
+
+    def acquire(self) -> None:
+        """Block until the lock is held, or raise :class:`CacheLockTimeout`."""
+        if fcntl is not None:
+            self._acquire_flock()
+        else:  # pragma: no cover - non-POSIX platforms
+            self._acquire_lockfile()
+
+    def release(self) -> None:
+        """Release the lock (idempotent)."""
+        if self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+            # The lockfile stays in place: unlinking would race acquirers
+            # that already opened it.
+            return
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "_NamespaceLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` as JSON via a sibling temp file + ``os.replace``.
+
+    The temp name embeds the writer's pid so two processes atomically
+    rewriting the same file (e.g. the scheduler journal of the same
+    corpus) never race on one temp path; last ``os.replace`` wins.
+    """
+    tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp_path, path)
+
+
+def _quarantine(path: Path, reason: Exception) -> None:
+    """Move an unreadable cache file aside as ``<name>.corrupt`` and warn."""
+    target = path.with_name(path.name + ".corrupt")
+    logger.warning(
+        "quarantining corrupt cache file %s -> %s (%s: %s)",
+        path,
+        target.name,
+        type(reason).__name__,
+        reason,
+    )
+    try:
+        os.replace(path, target)
+    except OSError:
+        pass  # a concurrent scan may have quarantined it already
 
 
 class ScanCache:
-    """Per-model, content-addressed store of :class:`ScanRecord` entries."""
+    """Per-model, content-addressed store of :class:`ScanRecord` entries.
 
-    def __init__(self, directory: Union[str, Path], fingerprint: str) -> None:
+    Parameters
+    ----------
+    directory:
+        Cache root shared by all fingerprints (e.g. ``.repro_cache``).
+    fingerprint:
+        Model fingerprint namespacing this store (records never cross it).
+    shard_prefix_len:
+        How many leading hex characters of a record's content hash select
+        its shard file.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fingerprint: str,
+        shard_prefix_len: int = DEFAULT_SHARD_PREFIX_LEN,
+    ) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
-        self._index_path = self.directory / f"scan_cache_{fingerprint[:16]}.json"
+        self.shard_prefix_len = shard_prefix_len
+        self.namespace_dir = self.directory / fingerprint[:16]
+        self._shards_dir = self.namespace_dir / SHARDS_DIRNAME
+        self._legacy_path = self.directory / f"scan_cache_{fingerprint[:16]}.json"
+        self._lock = _NamespaceLock(self.namespace_dir / ".lock")
         self._records: Dict[str, dict] = {}
-        self._dirty = False
+        self._dirty_keys: Set[str] = set()
+        self._cleared = False
         self._load()
 
-    def _load(self) -> None:
-        if not self._index_path.is_file():
-            return
+    # -- loading -------------------------------------------------------------
+    def _shard_path(self, sha256: str) -> Path:
+        """The shard file a content hash belongs to."""
+        return self._shards_dir / f"{sha256[: self.shard_prefix_len]}.json"
+
+    def _read_store_file(self, path: Path, expected_version: int) -> Dict[str, dict]:
+        """Read one store file; corrupt files are quarantined, not fatal."""
         try:
-            data = json.loads(self._index_path.read_text())
-        except (json.JSONDecodeError, OSError):
-            # A corrupt index is treated as empty; the next flush rewrites it.
-            return
-        if data.get("schema_version") != CACHE_SCHEMA_VERSION:
-            return
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            _quarantine(path, exc)
+            return {}
+        if not isinstance(data, dict):
+            _quarantine(path, ValueError("top-level JSON value is not an object"))
+            return {}
+        if data.get("schema_version") != expected_version:
+            return {}
         if data.get("fingerprint") != self.fingerprint:
-            return
-        self._records = dict(data.get("records", {}))
+            return {}
+        records = data.get("records", {})
+        return dict(records) if isinstance(records, dict) else {}
+
+    def _load(self) -> None:
+        """Populate the in-memory view from legacy + shard files on disk."""
+        self._records = {}
+        if self._legacy_path.is_file():
+            legacy = self._read_store_file(self._legacy_path, LEGACY_SCHEMA_VERSION)
+            self._records.update(legacy)
+            # Mark legacy records dirty so the next flush migrates them into
+            # shard files (and retires the legacy blob).
+            self._dirty_keys.update(legacy)
+        if self._shards_dir.is_dir():
+            for path in sorted(self._shards_dir.glob("*.json")):
+                self._records.update(
+                    self._read_store_file(path, CACHE_SCHEMA_VERSION)
+                )
+
+    def reload(self) -> None:
+        """Re-read the on-disk store, keeping local unflushed records.
+
+        Lets a long-lived cache handle pick up records flushed by a
+        concurrent scan; local dirty records win over the disk copy.
+        """
+        dirty = {key: self._records[key] for key in self._dirty_keys if key in self._records}
+        self._load()
+        self._records.update(dirty)
+        self._dirty_keys.update(dirty)
 
     # -- mapping-ish protocol ------------------------------------------------
     def __len__(self) -> int:
+        """Number of records currently visible (flushed or not)."""
         return len(self._records)
 
     def __contains__(self, sha256: str) -> bool:
+        """Whether a record for this content hash is present."""
         return sha256 in self._records
 
     def get(self, sha256: str) -> Optional[ScanRecord]:
@@ -79,26 +348,72 @@ class ScanCache:
         stored = record.to_dict()
         stored["cached"] = False  # cached-ness is a property of the lookup
         self._records[record.sha256] = stored
-        self._dirty = True
+        self._dirty_keys.add(record.sha256)
+
+    def put_many(self, records: Iterable[ScanRecord]) -> None:
+        """Insert several records (see :meth:`put`)."""
+        for record in records:
+            self.put(record)
 
     def clear(self) -> None:
-        """Drop all records (and the index file on the next flush)."""
+        """Drop all records (and every shard file on the next flush)."""
         self._records = {}
-        self._dirty = True
+        self._dirty_keys = set()
+        self._cleared = True
 
     # -- persistence --------------------------------------------------------
+    def _delete_store_files(self) -> None:
+        """Remove the legacy blob and every shard file (lock held)."""
+        if self._legacy_path.is_file():
+            self._legacy_path.unlink()
+        if self._shards_dir.is_dir():
+            for path in self._shards_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
     def flush(self) -> Optional[Path]:
-        """Atomically write the index to disk if anything changed."""
-        if not self._dirty:
+        """Atomically persist dirty records to their shard files.
+
+        Runs under the namespace lockfile with a read-merge-write cycle per
+        affected shard: records another process flushed meanwhile are kept
+        (and absorbed into this cache's in-memory view), our dirty records
+        win for their own keys.  Returns the namespace directory when
+        anything was written, ``None`` otherwise.
+        """
+        if not self._dirty_keys and not self._cleared:
             return None
-        self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema_version": CACHE_SCHEMA_VERSION,
-            "fingerprint": self.fingerprint,
-            "records": self._records,
-        }
-        tmp_path = self._index_path.with_suffix(".tmp")
-        tmp_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp_path, self._index_path)
-        self._dirty = False
-        return self._index_path
+        self._shards_dir.mkdir(parents=True, exist_ok=True)
+        by_shard: Dict[Path, List[str]] = {}
+        for key in self._dirty_keys:
+            by_shard.setdefault(self._shard_path(key), []).append(key)
+        with self._lock:
+            if self._cleared:
+                self._delete_store_files()
+                self._cleared = False
+            migrating = self._legacy_path.is_file()
+            for path, keys in sorted(by_shard.items()):
+                on_disk = (
+                    self._read_store_file(path, CACHE_SCHEMA_VERSION)
+                    if path.is_file()
+                    else {}
+                )
+                merged = dict(on_disk)
+                merged.update((key, self._records[key]) for key in keys)
+                atomic_write_json(
+                    path,
+                    {
+                        "schema_version": CACHE_SCHEMA_VERSION,
+                        "fingerprint": self.fingerprint,
+                        "records": merged,
+                    },
+                )
+                for key, value in on_disk.items():
+                    self._records.setdefault(key, value)
+            if migrating:
+                # Every legacy record was marked dirty at load time, so by
+                # now they all live in shard files; retire the old blob.
+                self._legacy_path.unlink()
+        self._dirty_keys.clear()
+        return self.namespace_dir

@@ -15,6 +15,12 @@ Subcommands (see ``docs/ENGINE.md`` for a walkthrough):
 
 Every subcommand is pure argparse + engine API; the module is import-safe
 and the tests drive :func:`main` in-process.
+
+Exit codes are consistent across subcommands: ``0`` on success, ``1`` on a
+runtime failure (missing/corrupt artifact or input, no scannable sources,
+every design failing the front-end), ``2`` on a usage error (argparse
+errors, contradictory flags).  Failures print an ``error: ...`` line to
+stderr instead of a traceback.
 """
 
 from __future__ import annotations
@@ -29,10 +35,23 @@ from ..core.config import NoodleConfig, default_config
 from ..features.pipeline import extract_modalities
 from ..gan import AmplificationConfig, GANConfig
 from ..trojan import SuiteConfig, TrojanDataset
-from .artifacts import load_detector, save_detector
+from .artifacts import ArtifactError, load_detector, save_detector
 from .bench import DEFAULT_N_DESIGNS, build_scan_batch, run_engine_benchmark
-from .scan import ScanEngine, ScanReport, collect_sources
+from .cache import CacheLockTimeout
+from .scan import HDL_SUFFIXES, ScanEngine, ScanReport, collect_sources
+from .scheduler import DEFAULT_SHARD_SIZE, ScanScheduler
 from .training import TRAINABLE_STRATEGIES, recalibrate_detector, train_detector
+
+#: Exit codes shared by every subcommand.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+
+def _fail(message: str) -> int:
+    """Print a consistent ``error:`` line to stderr and return exit code 1."""
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_FAILURE
 
 
 def _add_suite_options(parser: argparse.ArgumentParser) -> None:
@@ -99,7 +118,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     # the fitted NOODLE wrapper (result.persistable).
     path = save_detector(result.persistable, args.artifact, extra=extra)
     print(f"saved artifact: {path}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -118,23 +137,44 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         f"recalibrated on {len(features)} designs; "
         f"new fingerprint {new_manifest['fingerprint'][:12]}"
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    if args.resume and args.no_cache:
+        print("error: --resume needs the result cache; drop --no-cache", file=sys.stderr)
+        return EXIT_USAGE
     cache_dir = None if args.no_cache else args.cache_dir
-    engine = ScanEngine.from_artifact(args.artifact, cache_dir=cache_dir)
     if args.generate:
         sources = build_scan_batch(args.generate, seed=args.generate_seed)
         print(f"generated a demo batch of {len(sources)} designs")
     else:
         if not args.inputs:
             print("error: provide HDL files/directories or --generate N", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         sources = collect_sources(args.inputs)
-    report = engine.scan_sources(
-        sources, workers=args.workers, confidence=args.confidence
-    )
+        if not sources:
+            return _fail(
+                "no scannable sources under "
+                + ", ".join(str(i) for i in args.inputs)
+                + f" (looked for {', '.join(HDL_SUFFIXES)} files)"
+            )
+    if args.jobs > 1 or args.resume:
+        with ScanScheduler.from_artifact(
+            args.artifact,
+            cache_dir=cache_dir,
+            jobs=args.jobs,
+            shard_size=args.shard_size,
+            front_end_workers=args.workers,
+        ) as scheduler:
+            report = scheduler.scan_sources(
+                sources, confidence=args.confidence, resume=args.resume
+            )
+    else:
+        engine = ScanEngine.from_artifact(args.artifact, cache_dir=cache_dir)
+        report = engine.scan_sources(
+            sources, workers=args.workers, confidence=args.confidence
+        )
     for line in report.summary_lines():
         print(line)
     if args.output:
@@ -144,7 +184,12 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print(f"wrote results: {output}")
     else:
         _print_triage(report, verbose=args.verbose)
-    return 0
+    if report.n_designs and report.n_errors == report.n_designs:
+        return _fail(
+            f"all {report.n_designs} designs failed the front-end; "
+            "nothing was scanned"
+        )
+    return EXIT_OK
 
 
 def _print_triage(report: ScanReport, verbose: bool = False) -> None:
@@ -180,7 +225,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for line in report.summary_lines():
         print(line)
     _print_triage(report, verbose=True)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -189,11 +234,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         n_designs=args.designs,
         workers=args.workers,
         repeats=args.repeats,
+        jobs=args.jobs,
+        shard_size=args.shard_size,
     )
     print(f"wrote {args.output}")
     for name, factor in sorted(suite.speedups.items()):
         print(f"  {name}: {factor:.1f}x vs sequential per-design scans")
-    return 0
+    return EXIT_OK
 
 
 # ---------------------------------------------------------------------------
@@ -256,6 +303,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="feature-extraction processes"
     )
     scan.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the full pipeline (extraction + inference) across N "
+        "scheduler workers (default: 1 = single-process engine)",
+    )
+    scan.add_argument(
+        "--shard-size",
+        type=int,
+        default=DEFAULT_SHARD_SIZE,
+        metavar="K",
+        help="designs per scheduler shard (parallelism/retry/flush granularity)",
+    )
+    scan.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted scan: reuse cached shard results and "
+        "continue the corpus journal (requires the result cache)",
+    )
+    scan.add_argument(
         "--confidence", type=float, default=None, help="conformal confidence level"
     )
     scan.add_argument(
@@ -279,13 +347,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--workers", type=int, default=None, help="extraction processes")
     bench.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scheduler workers for the parallel-scan measurement "
+        "(default: min(4, cpu_count))",
+    )
+    bench.add_argument(
+        "--shard-size",
+        type=int,
+        default=DEFAULT_SHARD_SIZE,
+        metavar="K",
+        help="designs per scheduler shard for the parallel-scan measurement",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Runtime failures (missing/corrupt artifacts, unreadable inputs, bad
+    values) are reported as one ``error:`` line on stderr with exit code 1
+    rather than a traceback, so scripted campaigns can branch on the exit
+    status of every subcommand.
+    """
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ArtifactError, CacheLockTimeout, OSError, ValueError) as exc:
+        # Covers FileNotFoundError (missing inputs), json.JSONDecodeError
+        # (corrupt results/manifest files), cache-lock contention and
+        # config validation errors.
+        return _fail(str(exc))

@@ -163,6 +163,50 @@ def assemble_features(
     )
 
 
+def resolve_cache_hits(
+    cache: Optional[ScanCache],
+    sources: Sequence[ScanSource],
+    level: float,
+) -> Tuple[List[Optional[ScanRecord]], List[int]]:
+    """Serve whatever the cache already knows about a batch of sources.
+
+    Returns ``(records, pending)``: a records list aligned with ``sources``
+    (cache hits filled in, misses ``None``) and the indices still needing a
+    scan.  Hits carry the (model-deterministic) cached p-values, but the
+    triage decision is a pure function of those p-values and the
+    *requested* confidence level, so it is rebuilt here — a hit at
+    ``--confidence 0.99`` yields exactly the decision a fresh scan would.
+    Shared by :class:`ScanEngine` and
+    :class:`repro.engine.scheduler.ScanScheduler`.
+    """
+    records: List[Optional[ScanRecord]] = [None] * len(sources)
+    pending: List[int] = []
+    hits: List[int] = []
+    for i, src in enumerate(sources):
+        hit = cache.get(src.sha256) if cache is not None else None
+        if hit is not None and hit.decision is not None:
+            hit.name = src.name
+            hit.source_path = src.path
+            records[i] = hit
+            hits.append(i)
+        else:
+            pending.append(i)
+    if hits:
+        hit_p_values = np.array(
+            [
+                [
+                    records[i].decision.p_value_trojan_free,
+                    records[i].decision.p_value_trojan_infected,
+                ]
+                for i in hits
+            ]
+        )
+        rebuilt = build_decisions([sources[i].name for i in hits], hit_p_values, level)
+        for i, decision in zip(hits, rebuilt):
+            records[i].decision = decision
+    return records, pending
+
+
 # ---------------------------------------------------------------------------
 # Reports
 # ---------------------------------------------------------------------------
@@ -316,39 +360,9 @@ class ScanEngine:
         level = confidence if confidence is not None else self.model.config.confidence_level
         report = ScanReport(n_designs=len(sources), confidence_level=level)
 
-        # 1. cache lookups.  Cached entries carry the (model-deterministic)
-        #    p-values; the triage decision is a pure function of those
-        #    p-values and the *requested* confidence level, so it is rebuilt
-        #    per scan — a hit at --confidence 0.99 yields exactly the
-        #    decision a fresh scan would.
-        records: List[Optional[ScanRecord]] = [None] * len(sources)
-        pending: List[int] = []
-        hits: List[int] = []
-        for i, src in enumerate(sources):
-            hit = self.cache.get(src.sha256) if self.cache is not None else None
-            if hit is not None and hit.decision is not None:
-                hit.name = src.name
-                hit.source_path = src.path
-                records[i] = hit
-                hits.append(i)
-                report.n_cache_hits += 1
-            else:
-                pending.append(i)
-        if hits:
-            hit_p_values = np.array(
-                [
-                    [
-                        records[i].decision.p_value_trojan_free,
-                        records[i].decision.p_value_trojan_infected,
-                    ]
-                    for i in hits
-                ]
-            )
-            rebuilt = build_decisions(
-                [sources[i].name for i in hits], hit_p_values, level
-            )
-            for i, decision in zip(hits, rebuilt):
-                records[i].decision = decision
+        # 1. cache lookups (decision rebuilt at the requested level).
+        records, pending = resolve_cache_hits(self.cache, sources, level)
+        report.n_cache_hits = len(sources) - len(pending)
 
         # 2. parallel front-end for the cache misses
         t_extract = time.perf_counter()

@@ -1,0 +1,611 @@
+"""Sharded parallel scan scheduler: the whole pipeline across a worker pool.
+
+:class:`repro.engine.scan.ScanEngine` parallelises only the front-end
+(lex/parse/feature extraction); inference still runs in the parent.
+:class:`ScanScheduler` parallelises the **entire** pipeline: the corpus is
+split into shards of ``shard_size`` designs, each shard runs feature
+extraction *and* batched inference inside a persistent worker pool (each
+worker loads the detector once, at pool start-up, and reuses it for every
+shard it serves), and the per-shard reports are merged deterministically —
+records come back in input order with p-values identical to a serial scan.
+
+On top of the raw fan-out the scheduler adds the operational behaviour a
+scan-a-whole-corpus service needs:
+
+* **Resumability** — shard results are flushed into the sharded
+  :class:`repro.engine.cache.ScanCache` as each shard completes, so a scan
+  killed mid-run loses at most its in-flight shards; the next run serves
+  every completed design from the cache and only rescans the remainder.  A
+  per-corpus :class:`ScanJournal` in the cache namespace records shard
+  progress for observability (``--resume`` reuses it instead of starting a
+  fresh one).
+* **Bounded retry** — a shard whose worker dies or raises is re-queued up
+  to ``max_retries`` times; designs in a shard that keeps failing get
+  explicit error records instead of poisoning the whole scan.
+* **Graceful degradation** — if the pool cannot be created (restricted
+  environments) or ``jobs=1``, shards run serially in the parent through
+  the exact same merge path.
+
+See ``docs/ENGINE.md`` for the full resume/retry semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.config import NoodleConfig
+from ..core.fusion import ConformalFusionModel
+from ..core.results import ScanRecord
+from ..features.image import DEFAULT_IMAGE_SIZE
+from .cache import ScanCache, atomic_write_json
+from .scan import ScanEngine, ScanReport, ScanSource, collect_sources, resolve_cache_hits
+
+#: Default number of designs per scheduler shard.
+DEFAULT_SHARD_SIZE = 16
+
+#: Default bounded-retry budget for failed shards (total tries = 1 + retries).
+DEFAULT_MAX_RETRIES = 2
+
+#: Default per-shard result deadline (seconds).  ``multiprocessing.Pool``
+#: never delivers a result for a task whose worker was killed hard (OOM,
+#: SIGKILL), so an unbounded ``get()`` would hang the scan forever; a
+#: deadline converts that into a normal shard failure that the bounded
+#: retry re-queues.
+DEFAULT_SHARD_TIMEOUT = 600.0
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def default_jobs() -> int:
+    """Default worker count: ``min(4, cpu_count)`` like the front-end pool."""
+    return min(4, multiprocessing.cpu_count() or 1)
+
+
+def corpus_digest(sources: Sequence[ScanSource]) -> str:
+    """Stable SHA-256 identity of a scan corpus (order-sensitive).
+
+    Keys the scheduler's journal so a resumed run can tell whether it is
+    looking at the same corpus as the interrupted one.
+    """
+    digest = hashlib.sha256()
+    for src in sources:
+        digest.update(src.sha256.encode("ascii"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery (module level so it pickles under spawn too)
+# ---------------------------------------------------------------------------
+
+_WORKER_ENGINE: Optional[ScanEngine] = None
+
+
+def _init_scan_worker(payload: Tuple[str, Any, str, int]) -> None:
+    """Pool initializer: build the per-process engine exactly once.
+
+    ``payload`` is ``("artifact", path, fingerprint, image_size)`` — each
+    worker loads the persisted detector itself — or
+    ``("model", pickled_model, fingerprint, image_size)`` for in-memory
+    models.  Workers never touch the result cache; the parent owns all
+    cache I/O, so a scan keeps a single cache writer per process tree.
+    """
+    global _WORKER_ENGINE
+    kind, spec, fingerprint, image_size = payload
+    if kind == "artifact":
+        from .artifacts import load_detector
+
+        model, _ = load_detector(spec)
+    else:
+        model = pickle.loads(spec)
+    _WORKER_ENGINE = ScanEngine(
+        model, fingerprint=fingerprint, cache=None, image_size=image_size
+    )
+
+
+def _scan_shard_worker(
+    task: Tuple[str, List[ScanSource], float],
+) -> Tuple[str, Optional[List[dict]], float, float, Optional[str]]:
+    """Pool worker: scan one shard end-to-end with the per-process engine.
+
+    Returns ``(shard_id, record_dicts, seconds_extract, seconds_inference,
+    error)``; any exception is folded into ``error`` so the parent can
+    re-queue the shard instead of crashing the pool.
+    """
+    shard_id, shard_sources, level = task
+    try:
+        assert _WORKER_ENGINE is not None, "worker initializer did not run"
+        report = _WORKER_ENGINE.scan_sources(
+            shard_sources, workers=1, confidence=level
+        )
+        return (
+            shard_id,
+            [record.to_dict() for record in report.records],
+            report.seconds_extract,
+            report.seconds_inference,
+            None,
+        )
+    except Exception as exc:  # pragma: no cover - exercised via retry tests
+        return shard_id, None, 0.0, 0.0, f"{type(exc).__name__}: {exc}"
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+
+
+class ScanJournal:
+    """Atomic per-corpus progress journal living in the cache namespace.
+
+    One JSON file per ``(fingerprint, corpus)`` pair, rewritten atomically
+    after every shard, recording which shards completed or failed and how
+    many runs have touched this corpus.  The journal is *observability*:
+    the correctness of resume comes from the sharded result cache (every
+    completed design is served from it), the journal tells an operator how
+    an interrupted or retried scan actually progressed.
+    """
+
+    def __init__(self, path: Path, fingerprint: str, digest: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.digest = digest
+        self.state: Dict[str, Any] = {}
+
+    def _matches(self, state: Dict[str, Any]) -> bool:
+        return (
+            state.get("schema_version") == JOURNAL_SCHEMA_VERSION
+            and state.get("fingerprint") == self.fingerprint
+            and state.get("corpus_digest") == self.digest
+        )
+
+    def start(self, n_designs: int, shard_size: int, resume: bool) -> None:
+        """Begin (or with ``resume=True`` continue) a run of this corpus."""
+        previous: Dict[str, Any] = {}
+        if resume and self.path.is_file():
+            try:
+                candidate = json.loads(self.path.read_text())
+            except (json.JSONDecodeError, OSError):
+                candidate = {}
+            if isinstance(candidate, dict) and self._matches(candidate):
+                previous = candidate
+        self.state = {
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "corpus_digest": self.digest,
+            "n_designs": n_designs,
+            "shard_size": shard_size,
+            "status": "running",
+            "runs": int(previous.get("runs", 0)) + 1,
+            "shards": dict(previous.get("shards", {})),
+        }
+        self._write()
+
+    def record_shard(
+        self, shard_id: str, status: str, n_records: int, attempts: int
+    ) -> None:
+        """Record one shard's outcome (``"done"`` or ``"failed"``)."""
+        self.state["shards"][shard_id] = {
+            "status": status,
+            "n_records": n_records,
+            "attempts": attempts,
+        }
+        self._write()
+
+    def complete(self) -> None:
+        """Mark the run finished."""
+        self.state["status"] = "complete"
+        self._write()
+
+    def _write(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(self.path, self.state)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Shard:
+    """One unit of scheduled work: a slice of pending source indices."""
+
+    shard_id: str
+    indices: List[int] = field(default_factory=list)
+    attempts: int = 0
+
+
+class ScanScheduler:
+    """Sharded, resumable, retrying parallel scanner.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`ConformalFusionModel` (mutually optional with
+        ``artifact_path``; at least one is required).  In-memory models are
+        pickled once into each pool worker.
+    artifact_path:
+        A saved detector directory; pool workers each load it once at
+        start-up, which is cheaper and more robust than pickling for the
+        CLI path.
+    fingerprint:
+        Cache namespace; defaults to the artifact's fingerprint when
+        loading from disk.
+    cache:
+        Optional :class:`ScanCache` shared with plain engines; required
+        for resumable scans.
+    jobs:
+        Worker-pool size (:func:`default_jobs` when omitted); ``1`` scans
+        shards serially in the parent through the same merge path.
+    shard_size:
+        Designs per shard — the granularity of parallelism, retry and
+        incremental cache flushes.
+    max_retries:
+        How many times a failed shard is re-queued before its designs get
+        error records.
+    shard_timeout:
+        Seconds to wait for one shard's result before treating it as
+        failed (and re-queueing it under the retry budget).  Guards
+        against pool workers that died hard (OOM, SIGKILL), whose results
+        would otherwise never arrive; ``None`` disables the deadline.
+    front_end_workers:
+        Feature-extraction processes for shards scanned in the parent
+        (the ``jobs=1`` / degraded path); defaults to the engine's own
+        ``min(4, cpu_count)``.  Pool workers always extract in-process —
+        they are daemonic and may not spawn a nested pool, and the shard
+        fan-out already owns the cores.
+    image_size:
+        Adjacency-image size the feature pipeline was trained with.
+    default_confidence:
+        Confidence level used when a scan does not specify one; resolved
+        from the model config (or artifact manifest) when omitted.
+    """
+
+    def __init__(
+        self,
+        model: Optional[ConformalFusionModel] = None,
+        artifact_path: Optional[Union[str, Path]] = None,
+        fingerprint: str = "unversioned",
+        cache: Optional[ScanCache] = None,
+        jobs: Optional[int] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT,
+        front_end_workers: Optional[int] = None,
+        image_size: int = DEFAULT_IMAGE_SIZE,
+        default_confidence: Optional[float] = None,
+    ) -> None:
+        if model is None and artifact_path is None:
+            raise ValueError("ScanScheduler needs a model or an artifact_path")
+        if shard_size < 1:
+            raise ValueError("shard_size must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.model = model
+        self.artifact_path = Path(artifact_path) if artifact_path is not None else None
+        self.fingerprint = fingerprint
+        self.cache = cache
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.shard_size = shard_size
+        self.max_retries = max_retries
+        self.shard_timeout = shard_timeout
+        self.front_end_workers = front_end_workers
+        self.image_size = image_size
+        if default_confidence is None:
+            if model is not None:
+                default_confidence = model.config.confidence_level
+            else:
+                from .artifacts import load_manifest
+
+                manifest = load_manifest(self.artifact_path)
+                default_confidence = NoodleConfig.from_dict(
+                    manifest["config"]
+                ).confidence_level
+        self.default_confidence = default_confidence
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_broken = False
+        self._parent_engine_cache: Optional[ScanEngine] = None
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact_path: Union[str, Path],
+        cache_dir: Optional[Union[str, Path]] = None,
+        jobs: Optional[int] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT,
+        front_end_workers: Optional[int] = None,
+        image_size: int = DEFAULT_IMAGE_SIZE,
+    ) -> "ScanScheduler":
+        """Build a scheduler over a persisted detector (the CLI path).
+
+        Workers load the artifact themselves at pool start-up; the parent
+        only reads the manifest (for the fingerprint and default
+        confidence) and optionally attaches the sharded result cache.
+        """
+        from .artifacts import load_manifest
+
+        manifest = load_manifest(artifact_path)
+        fingerprint = manifest.get("fingerprint", "unversioned")
+        cache = ScanCache(cache_dir, fingerprint) if cache_dir is not None else None
+        return cls(
+            artifact_path=artifact_path,
+            fingerprint=fingerprint,
+            cache=cache,
+            jobs=jobs,
+            shard_size=shard_size,
+            max_retries=max_retries,
+            shard_timeout=shard_timeout,
+            front_end_workers=front_end_workers,
+            image_size=image_size,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ScanScheduler":
+        """Context-manager entry: the scheduler itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: release the worker pool."""
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+    def _worker_payload(self) -> Tuple[str, Any, str, int]:
+        if self.artifact_path is not None:
+            return ("artifact", str(self.artifact_path), self.fingerprint, self.image_size)
+        return (
+            "model",
+            pickle.dumps(self.model, protocol=pickle.HIGHEST_PROTOCOL),
+            self.fingerprint,
+            self.image_size,
+        )
+
+    def _ensure_pool(self, n_shards: int) -> Optional[multiprocessing.pool.Pool]:
+        """The persistent pool, creating it on first use; ``None`` = serial."""
+        if self.jobs <= 1 or n_shards <= 1 or self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                # Sized to `jobs`, not to this call's shard count: the pool
+                # persists across scans, and a later, larger corpus must not
+                # be underserved because the first scan was small.
+                self._pool = multiprocessing.Pool(
+                    processes=self.jobs,
+                    initializer=_init_scan_worker,
+                    initargs=(self._worker_payload(),),
+                )
+            except (OSError, RuntimeError, pickle.PicklingError):
+                # Restricted environment (no fork/semaphores) or an
+                # unpicklable model: degrade to the serial path for good.
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    def _parent_engine(self) -> ScanEngine:
+        """Serial-path engine in the parent process (model loaded lazily)."""
+        if self._parent_engine_cache is None:
+            model = self.model
+            if model is None:
+                from .artifacts import load_detector
+
+                model, _ = load_detector(self.artifact_path)
+            self._parent_engine_cache = ScanEngine(
+                model,
+                fingerprint=self.fingerprint,
+                cache=None,
+                image_size=self.image_size,
+            )
+        return self._parent_engine_cache
+
+    def _make_shards(self, pending: Sequence[int], sources: Sequence[ScanSource]) -> List[_Shard]:
+        """Chunk pending indices (in input order) into identified shards."""
+        shards: List[_Shard] = []
+        for seq, start in enumerate(range(0, len(pending), self.shard_size)):
+            indices = list(pending[start : start + self.shard_size])
+            digest = hashlib.sha256(
+                "".join(sources[i].sha256 for i in indices).encode("ascii")
+            ).hexdigest()[:8]
+            shards.append(_Shard(shard_id=f"{seq:04d}-{digest}", indices=indices))
+        return shards
+
+    def _shard_task(
+        self, shard: _Shard, sources: Sequence[ScanSource], level: float
+    ) -> Tuple[str, List[ScanSource], float]:
+        return shard.shard_id, [sources[i] for i in shard.indices], level
+
+    def _absorb_shard(
+        self,
+        shard: _Shard,
+        record_dicts: List[dict],
+        records: List[Optional[ScanRecord]],
+        report: ScanReport,
+        journal: Optional[ScanJournal],
+    ) -> None:
+        """Merge one finished shard: place records, count errors, persist."""
+        fresh: List[ScanRecord] = []
+        for index, data in zip(shard.indices, record_dicts):
+            record = ScanRecord.from_dict(data)
+            records[index] = record
+            if record.error is not None:
+                report.n_errors += 1
+            else:
+                fresh.append(record)
+        if self.cache is not None:
+            self.cache.put_many(fresh)
+            self.cache.flush()  # per-shard durability: a kill loses at most in-flight shards
+        if journal is not None:
+            journal.record_shard(
+                shard.shard_id, "done", len(record_dicts), shard.attempts + 1
+            )
+
+    def _fail_shard(
+        self,
+        shard: _Shard,
+        error: str,
+        sources: Sequence[ScanSource],
+        records: List[Optional[ScanRecord]],
+        report: ScanReport,
+        journal: Optional[ScanJournal],
+    ) -> None:
+        """Give up on a shard: every member design gets an error record."""
+        message = (
+            f"shard {shard.shard_id} failed after {shard.attempts} attempts: {error}"
+        )
+        for index in shard.indices:
+            src = sources[index]
+            records[index] = ScanRecord(
+                name=src.name, sha256=src.sha256, source_path=src.path, error=message
+            )
+            report.n_errors += 1
+        if journal is not None:
+            journal.record_shard(shard.shard_id, "failed", 0, shard.attempts)
+
+    # -- scanning ------------------------------------------------------------
+    def scan_sources(
+        self,
+        sources: Sequence[ScanSource],
+        confidence: Optional[float] = None,
+        resume: bool = False,
+    ) -> ScanReport:
+        """Scan a corpus across the worker pool and merge deterministically.
+
+        The merged :class:`ScanReport` lists records in input order with
+        the exact p-values a serial :class:`ScanEngine` scan would produce
+        (same model, same code, just sharded).  ``seconds_extract`` /
+        ``seconds_inference`` are summed across workers (CPU seconds, not
+        wall time); ``seconds_total`` is wall time.  With a cache attached,
+        completed shards are flushed as they finish — that is what makes
+        an interrupted scan resumable — and previously cached designs are
+        served without touching the pool.  ``resume=True`` additionally
+        continues the corpus journal of an interrupted run instead of
+        starting a fresh one.
+        """
+        if resume and self.cache is None:
+            raise ValueError("resume=True requires a result cache")
+        t_start = time.perf_counter()
+        level = confidence if confidence is not None else self.default_confidence
+        report = ScanReport(n_designs=len(sources), confidence_level=level)
+
+        records, pending = resolve_cache_hits(self.cache, sources, level)
+        report.n_cache_hits = len(sources) - len(pending)
+
+        journal: Optional[ScanJournal] = None
+        if self.cache is not None:
+            digest = corpus_digest(sources)
+            journal = ScanJournal(
+                self.cache.namespace_dir / f"scan_state_{digest[:12]}.json",
+                self.fingerprint,
+                digest,
+            )
+            journal.start(len(sources), self.shard_size, resume=resume)
+
+        shards = self._make_shards(pending, sources)
+        queue: List[_Shard] = list(shards)
+        pool = self._ensure_pool(len(shards))
+        while queue:
+            batch, queue = queue, []
+            if pool is not None:
+                submitted = [
+                    (shard, pool.apply_async(
+                        _scan_shard_worker, (self._shard_task(shard, sources, level),)
+                    ))
+                    for shard in batch
+                ]
+
+                def _collect(shard: _Shard, async_result: Any):
+                    try:
+                        # The deadline turns a worker that died hard (whose
+                        # result would never arrive) into a retryable failure.
+                        return async_result.get(timeout=self.shard_timeout)
+                    except multiprocessing.TimeoutError:
+                        return (shard.shard_id, None, 0.0, 0.0,
+                                f"no result within {self.shard_timeout:.0f}s "
+                                "(worker lost?)")
+                    except Exception as exc:  # worker raised at pool level
+                        return (shard.shard_id, None, 0.0, 0.0,
+                                f"{type(exc).__name__}: {exc}")
+
+                # Lazy: each shard is absorbed (and its records flushed to
+                # the cache) as soon as its result is collected, so a crash
+                # mid-run loses at most the in-flight shards.
+                outcomes = ((shard, _collect(shard, ar)) for shard, ar in submitted)
+            else:
+                engine = self._parent_engine()
+                outcomes = (
+                    (shard, _scan_shard_serial(
+                        engine,
+                        self._shard_task(shard, sources, level),
+                        workers=self.front_end_workers,
+                    ))
+                    for shard in batch
+                )
+            for shard, outcome in outcomes:
+                _, record_dicts, sec_extract, sec_inference, error = outcome
+                report.seconds_extract += sec_extract
+                report.seconds_inference += sec_inference
+                if error is None and record_dicts is not None:
+                    self._absorb_shard(shard, record_dicts, records, report, journal)
+                else:
+                    shard.attempts += 1
+                    if shard.attempts <= self.max_retries:
+                        queue.append(shard)
+                    else:
+                        self._fail_shard(
+                            shard, error or "no result", sources, records, report, journal
+                        )
+
+        report.records = [r for r in records if r is not None]
+        if journal is not None:
+            journal.complete()
+        report.seconds_total = time.perf_counter() - t_start
+        return report
+
+    def scan_paths(
+        self,
+        inputs: Iterable[Union[str, Path]],
+        confidence: Optional[float] = None,
+        resume: bool = False,
+    ) -> ScanReport:
+        """Convenience wrapper: :func:`collect_sources` then :meth:`scan_sources`."""
+        return self.scan_sources(
+            collect_sources(inputs), confidence=confidence, resume=resume
+        )
+
+
+def _scan_shard_serial(
+    engine: ScanEngine,
+    task: Tuple[str, List[ScanSource], float],
+    workers: Optional[int] = None,
+) -> Tuple[str, Optional[List[dict]], float, float, Optional[str]]:
+    """Serial-path twin of :func:`_scan_shard_worker` using a given engine.
+
+    Unlike pool workers (which must extract in-process), the parent may
+    fan the front-end out across ``workers`` extraction processes.
+    """
+    shard_id, shard_sources, level = task
+    try:
+        report = engine.scan_sources(shard_sources, workers=workers, confidence=level)
+        return (
+            shard_id,
+            [record.to_dict() for record in report.records],
+            report.seconds_extract,
+            report.seconds_inference,
+            None,
+        )
+    except Exception as exc:
+        return shard_id, None, 0.0, 0.0, f"{type(exc).__name__}: {exc}"

@@ -148,6 +148,90 @@ class TestInductiveConformal:
             icp.p_values(np.ones((2, 3)) / 3)
 
 
+class TestDegenerateCalibrationSets:
+    """Empty / single-class calibration must fail fast with a clear error."""
+
+    def test_zero_calibration_points_rejected(self) -> None:
+        icp = InductiveConformalClassifier()
+        with pytest.raises(ValueError, match="must not be empty"):
+            icp.calibrate(np.empty((0, 2)), np.empty(0))
+
+    def test_mondrian_single_class_calibration_rejected(self) -> None:
+        probs = np.array([[0.9, 0.1], [0.8, 0.2], [0.7, 0.3]])
+        labels = np.zeros(3, dtype=int)  # class 1 has no calibration examples
+        with pytest.raises(ValueError, match="every class"):
+            InductiveConformalClassifier(mondrian=True).calibrate(probs, labels)
+
+    def test_non_mondrian_single_class_calibration_allowed(self) -> None:
+        probs = np.array([[0.9, 0.1], [0.8, 0.2], [0.7, 0.3]])
+        labels = np.zeros(3, dtype=int)
+        icp = InductiveConformalClassifier(mondrian=False).calibrate(probs, labels)
+        p = icp.p_values(probs)
+        assert p.shape == (3, 2)
+
+    def test_state_round_trip_still_works(self) -> None:
+        rng = np.random.default_rng(8)
+        cal_probs, cal_labels = _synthetic_classifier_output(40, rng)
+        icp = InductiveConformalClassifier().calibrate(cal_probs, cal_labels)
+        restored = InductiveConformalClassifier.from_calibration_state(
+            icp.calibration_state()
+        )
+        np.testing.assert_array_equal(restored.p_values(cal_probs), icp.p_values(cal_probs))
+
+    def test_state_missing_entry_rejected(self) -> None:
+        rng = np.random.default_rng(9)
+        cal_probs, cal_labels = _synthetic_classifier_output(40, rng)
+        state = InductiveConformalClassifier().calibrate(
+            cal_probs, cal_labels
+        ).calibration_state()
+        del state["sorted_label_1"]
+        with pytest.raises(ValueError, match="sorted_label_1"):
+            InductiveConformalClassifier.from_calibration_state(state)
+
+    @pytest.mark.parametrize(
+        "missing", ["calibration_scores", "calibration_labels", "sorted_marginal"]
+    )
+    def test_state_missing_array_rejected(self, missing: str) -> None:
+        rng = np.random.default_rng(12)
+        cal_probs, cal_labels = _synthetic_classifier_output(40, rng)
+        state = InductiveConformalClassifier().calibrate(
+            cal_probs, cal_labels
+        ).calibration_state()
+        del state[missing]
+        with pytest.raises(ValueError, match=missing):
+            InductiveConformalClassifier.from_calibration_state(state)
+
+    def test_state_missing_setting_rejected(self) -> None:
+        rng = np.random.default_rng(13)
+        cal_probs, cal_labels = _synthetic_classifier_output(40, rng)
+        state = InductiveConformalClassifier().calibrate(
+            cal_probs, cal_labels
+        ).calibration_state()
+        del state["settings"]["n_classes"]
+        with pytest.raises(ValueError, match="n_classes"):
+            InductiveConformalClassifier.from_calibration_state(state)
+
+    def test_state_with_empty_calibration_rejected(self) -> None:
+        rng = np.random.default_rng(10)
+        cal_probs, cal_labels = _synthetic_classifier_output(40, rng)
+        state = InductiveConformalClassifier().calibrate(
+            cal_probs, cal_labels
+        ).calibration_state()
+        state["calibration_scores"] = np.empty(0)
+        with pytest.raises(ValueError, match="empty calibration"):
+            InductiveConformalClassifier.from_calibration_state(state)
+
+    def test_state_with_classless_mondrian_scores_rejected(self) -> None:
+        rng = np.random.default_rng(11)
+        cal_probs, cal_labels = _synthetic_classifier_output(40, rng)
+        state = InductiveConformalClassifier().calibrate(
+            cal_probs, cal_labels
+        ).calibration_state()
+        state["sorted_label_1"] = np.empty(0)
+        with pytest.raises(ValueError, match="class\\(es\\) \\[1\\]"):
+            InductiveConformalClassifier.from_calibration_state(state)
+
+
 class TestCombination:
     def test_all_combiners_return_valid_p_values(self) -> None:
         rng = np.random.default_rng(0)

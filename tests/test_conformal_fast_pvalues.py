@@ -3,8 +3,9 @@
 The fast ``p_values`` (sorted calibration scores + ``np.searchsorted``) must
 reproduce the golden quadratic loop (``p_values_reference``) *exactly* —
 same rank counts, same smoothing draws — for every variant: smoothed and
-unsmoothed, Mondrian and plain, with and without score ties, and under the
-marginal fallback for classes absent from the calibration set.
+unsmoothed, Mondrian and plain, with and without score ties.  Degenerate
+calibration sets (empty, or Mondrian with an absent class) are rejected at
+``calibrate()`` time with a clear error.
 """
 
 from __future__ import annotations
@@ -73,18 +74,18 @@ def test_p_values_with_ties_match_loop_exactly():
     )
 
 
-def test_missing_class_fallback_matches_loop():
-    # No calibration examples of class 2 -> Mondrian falls back to the
-    # marginal scores for that label; both paths must agree exactly.
+def test_missing_class_rejected_at_calibrate_time():
+    # No calibration examples of class 2: the Mondrian path used to fall
+    # back silently to the marginal scores (losing per-class validity);
+    # calibrate() now rejects the set up front with a clear error.
     rng = np.random.default_rng(3)
     cal_probs = _random_probabilities(rng, 60)
     cal_labels = rng.integers(0, 2, size=60)  # only classes 0 and 1
     icp = InductiveConformalClassifier(mondrian=True, smoothing=False)
-    icp.calibrate(cal_probs, cal_labels)
-    test_probs = _random_probabilities(rng, 40)
-    np.testing.assert_array_equal(
-        icp.p_values(test_probs), icp.p_values_reference(test_probs)
-    )
+    with pytest.raises(ValueError, match="every class"):
+        icp.calibrate(cal_probs, cal_labels)
+    # Non-Mondrian predictors have no per-class requirement.
+    InductiveConformalClassifier(mondrian=False).calibrate(cal_probs, cal_labels)
 
 
 def test_p_values_still_valid_uniformly():

@@ -128,3 +128,78 @@ class TestCliWorkflow:
         ) == 0
         after = json.loads((path / "manifest.json").read_text())["noodle_report"]
         assert after == before
+
+
+class TestExitCodes:
+    """Failures must exit non-zero with an ``error:`` line, not a traceback."""
+
+    def test_scan_empty_directory_fails(self, artifact, tmp_path, capsys):
+        empty = tmp_path / "empty_inbox"
+        empty.mkdir()
+        code = main(["scan", str(empty), "--artifact", str(artifact), "--no-cache"])
+        assert code == 1
+        assert "no scannable sources" in capsys.readouterr().err
+
+    def test_scan_all_unparseable_sources_fails(self, artifact, tmp_path, capsys):
+        inbox = tmp_path / "inbox"
+        inbox.mkdir()
+        for i in range(3):
+            (inbox / f"bad_{i}.v").write_text("module broken (x; endmodule")
+        code = main(["scan", str(inbox), "--artifact", str(artifact), "--no-cache"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "all 3 designs failed" in err
+
+    def test_scan_missing_artifact_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["scan", "--artifact", str(tmp_path / "nope"), "--generate", "2", "--no-cache"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_missing_input_fails_cleanly(self, capsys):
+        code = main(["report", "--input", "/definitely/not/here.json"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_corrupt_input_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["report", "--input", str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_without_cache_is_usage_error(self, artifact, capsys):
+        code = main(
+            ["scan", "--artifact", str(artifact), "--generate", "2", "--resume", "--no-cache"]
+        )
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+
+class TestParallelScanCli:
+    def test_jobs_2_matches_single_process_scan(self, artifact, tmp_path, capsys):
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        common = ["scan", "--artifact", str(artifact), "--generate", "6", "--no-cache"]
+        assert main(common + ["--output", str(serial_out)]) == 0
+        assert main(
+            common + ["--jobs", "2", "--shard-size", "2", "--output", str(parallel_out)]
+        ) == 0
+        serial = json.loads(serial_out.read_text())
+        parallel = json.loads(parallel_out.read_text())
+        assert parallel["records"] == serial["records"]
+
+    def test_resume_reuses_cached_shards(self, artifact, tmp_path, capsys):
+        args = [
+            "scan",
+            "--artifact", str(artifact),
+            "--generate", "5",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--jobs", "2",
+            "--shard-size", "2",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "5 cache hits" in capsys.readouterr().out

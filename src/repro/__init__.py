@@ -38,7 +38,12 @@ Subpackages
 ``repro.engine``
     Scan engine: artifact persistence (train once, scan many times),
     batched content-cached scanning, and the ``python -m repro`` CLI
-    with ``train`` / ``calibrate`` / ``scan`` / ``report`` / ``bench``.
+    with ``train`` / ``calibrate`` / ``scan`` / ``report`` / ``serve`` /
+    ``bench`` / ``bench-serve``.
+``repro.serve``
+    Online scan service: long-lived micro-batching HTTP server with a
+    hot model registry (``python -m repro serve``), client, and load
+    benchmark.
 ``repro.perf``
     Micro-benchmark timing harness behind the committed ``BENCH_*.json``.
 """
@@ -55,7 +60,9 @@ from .core import (
 from .features import MultimodalFeatures, extract_design_modalities, extract_modalities
 from .trojan import Benchmark, SuiteConfig, TrojanDataset, insert_trojan
 
-__version__ = "1.0.0"
+#: Single source of truth for the package version: surfaced by
+#: ``python -m repro --version`` and the scan service's ``/healthz``.
+__version__ = "1.1.0"
 
 __all__ = [
     "Benchmark",

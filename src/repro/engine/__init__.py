@@ -18,8 +18,11 @@ subsystem built from three parts:
   inference), merges deterministically, retries failed shards and makes
   interrupted scans resumable via the sharded cache;
 * :mod:`repro.engine.cli` — the ``python -m repro`` command line with
-  ``train`` / ``calibrate`` / ``scan`` / ``report`` / ``bench``
-  subcommands.
+  ``train`` / ``calibrate`` / ``scan`` / ``report`` / ``serve`` /
+  ``bench`` / ``bench-serve`` subcommands.
+
+The long-lived serving layer on top of this engine lives in
+:mod:`repro.serve` (``python -m repro serve``, ``docs/SERVING.md``).
 
 See ``docs/ENGINE.md`` for the artifact format and a CLI walkthrough.
 """

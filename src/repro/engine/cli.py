@@ -10,8 +10,12 @@ Subcommands (see ``docs/ENGINE.md`` for a walkthrough):
   (or a generated demo batch) using a saved artifact;
 * ``report``    — pretty-print the triage queues of a saved scan-results
   JSON;
+* ``serve``     — run the long-lived scan service (micro-batching HTTP
+  server, see ``docs/SERVING.md``) until SIGTERM/SIGINT;
 * ``bench``     — run the end-to-end throughput benchmark and write
-  ``BENCH_engine.json``.
+  ``BENCH_engine.json``;
+* ``bench-serve`` — run the serving load benchmark and write
+  ``BENCH_serve.json``.
 
 Every subcommand is pure argparse + engine API; the module is import-safe
 and the tests drive :func:`main` in-process.
@@ -27,10 +31,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .. import __version__
 from ..core.config import NoodleConfig, default_config
 from ..features.pipeline import extract_modalities
 from ..gan import AmplificationConfig, GANConfig
@@ -228,6 +235,75 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..serve.server import ScanService
+
+    if args.batch_window_ms < 0:
+        print("error: --batch-window-ms must be non-negative", file=sys.stderr)
+        return EXIT_USAGE
+    if args.max_batch < 1:
+        print("error: --max-batch must be at least 1", file=sys.stderr)
+        return EXIT_USAGE
+    cache_dir = None if args.no_cache else args.cache_dir
+    service = ScanService(
+        artifact=args.artifact,
+        host=args.host,
+        port=args.port,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        cache_dir=cache_dir,
+        workers=args.workers,
+        allow_paths=not args.no_paths,
+        flush_every=args.flush_every,
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    try:
+        previous = {
+            sig: signal.signal(sig, _request_stop)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+    except ValueError:
+        # Signal handlers can only be installed from the main thread; an
+        # embedder driving main() from elsewhere stops the service by
+        # calling ScanService.shutdown() / setting its own lifecycle.
+        previous = {}
+    try:
+        # Everything after start() sits inside the try: a failure here
+        # (even a broken stdout pipe) must still shut the non-daemon
+        # serving threads down, or the process would hang on exit.
+        service.start()
+        entry = service.registry.get(service.artifact_path)
+        print(
+            f"serving {entry.kind} detector {entry.fingerprint[:12]} "
+            f"on http://{service.host}:{service.port} (repro {__version__})"
+        )
+        print(
+            f"micro-batching: window {args.batch_window_ms:g}ms, "
+            f"max {args.max_batch} designs/batch; "
+            + ("cache " + str(cache_dir) if cache_dir else "result cache disabled")
+        )
+        print("endpoints: POST /scan  GET /healthz  GET /metrics  POST /reload")
+        while not stop.wait(0.2):
+            pass
+        print("shutdown requested; draining in-flight batches ...")
+    finally:
+        service.shutdown()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    snapshot = service.metrics.snapshot()
+    print(
+        f"served {snapshot['scan_requests']} scan requests "
+        f"({snapshot['designs_total']} designs, "
+        f"{snapshot['cache_hits']} cache hits) "
+        f"in {snapshot['batches_total']} micro-batches; shutdown clean"
+    )
+    return EXIT_OK
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     suite = run_engine_benchmark(
         args.output,
@@ -243,6 +319,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from ..serve.bench import run_serve_benchmark
+
+    try:
+        suite = run_serve_benchmark(
+            args.output,
+            n_requests=args.requests,
+            clients=args.clients,
+            repeats=args.repeats,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            smoke=args.smoke,
+        )
+    except RuntimeError as exc:
+        # A failed load-generation request (the bench raises the first
+        # client failure) is a runtime failure, not a traceback.
+        return _fail(str(exc))
+    print(f"wrote {args.output}")
+    for name, result in sorted(suite.results.items()):
+        rps = result.meta.get("requests_per_sec", 0.0)
+        p99 = result.meta.get("latency", {}).get("p99_ms", 0.0)
+        print(f"  {name}: {rps:.0f} req/s (p99 {p99:.1f}ms)")
+    for name, factor in sorted(suite.speedups.items()):
+        print(f"  speedup {name}: {factor:.2f}x")
+    return EXIT_OK
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -253,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="NOODLE scan engine: train once, scan hardware designs many times.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the repro version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -340,6 +449,58 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--input", required=True, help="results JSON from `scan --output`")
     report.set_defaults(func=_cmd_report)
 
+    serve = sub.add_parser(
+        "serve", help="run the long-lived micro-batching scan service"
+    )
+    serve.add_argument("--artifact", required=True, help="artifact directory to serve")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind host (default: loopback only)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8731, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=25.0,
+        metavar="MS",
+        help="micro-batch window: how long to hold a batch open for "
+        "stragglers after the first request arrives",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="designs per micro-batch (the forward-pass batch-size cap)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="feature-extraction processes per batch scan",
+    )
+    serve.add_argument(
+        "--flush-every",
+        type=int,
+        default=128,
+        metavar="N",
+        help="flush the result cache once N fresh designs accumulated "
+        "(always off the response path; always flushed on shutdown)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=".repro_cache", help="scan result cache directory"
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve.add_argument(
+        "--no-paths",
+        action="store_true",
+        help="reject server-side 'paths' in scan requests (inline sources only)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     bench = sub.add_parser("bench", help="end-to-end scan throughput benchmark")
     bench.add_argument("--output", default="BENCH_engine.json", help="benchmark JSON path")
     bench.add_argument(
@@ -363,6 +524,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="designs per scheduler shard for the parallel-scan measurement",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    bench_serve = sub.add_parser(
+        "bench-serve", help="scan-service load benchmark (BENCH_serve.json)"
+    )
+    bench_serve.add_argument(
+        "--output", default="BENCH_serve.json", help="benchmark JSON path"
+    )
+    bench_serve.add_argument(
+        "--requests", type=int, default=240, help="scan requests per timed run"
+    )
+    bench_serve.add_argument(
+        "--clients", type=int, default=32, help="concurrent client threads"
+    )
+    bench_serve.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    bench_serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="micro-batch window for the batched measurement",
+    )
+    bench_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="N",
+        help="micro-batch design cap for the batched measurement",
+    )
+    bench_serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast run for CI (few requests, one repeat)",
+    )
+    bench_serve.set_defaults(func=_cmd_bench_serve)
 
     return parser
 

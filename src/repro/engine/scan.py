@@ -60,26 +60,44 @@ class ScanSource:
 
 
 def collect_sources(inputs: Iterable[Union[str, Path]]) -> List[ScanSource]:
-    """Resolve files and directories into a sorted list of :class:`ScanSource`.
+    """Resolve files and directories into a deterministic list of sources.
 
     Directories are searched recursively for the suffixes in
     :data:`HDL_SUFFIXES`; plain files are read as-is regardless of suffix.
     Raises ``FileNotFoundError`` for inputs that do not exist.
+
+    The result is **order-stable and duplicate-safe**: directory walks are
+    sorted by path (``rglob`` order is filesystem-dependent, and a stable
+    corpus order is what keeps scan reports, scheduler shard identities
+    and served batches reproducible across machines), and every candidate
+    is deduplicated by its *resolved* path, so listing a file twice,
+    passing both a directory and a file inside it, or reaching the same
+    file through a symlink yields one scan source (the first occurrence
+    wins, under its originally given path).
     """
     files: List[Path] = []
+    seen: set = set()
     for item in inputs:
         path = Path(item)
         if path.is_dir():
-            found = [
-                candidate
-                for suffix in HDL_SUFFIXES
-                for candidate in path.rglob(f"*{suffix}")
-            ]
-            files.extend(sorted(set(found)))
+            candidates = sorted(
+                {
+                    candidate
+                    for suffix in HDL_SUFFIXES
+                    for candidate in path.rglob(f"*{suffix}")
+                    if candidate.is_file()
+                }
+            )
         elif path.is_file():
-            files.append(path)
+            candidates = [path]
         else:
             raise FileNotFoundError(f"scan input does not exist: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            files.append(candidate)
     return [
         ScanSource(name=path.stem, source=path.read_text(), path=str(path))
         for path in files
@@ -348,13 +366,17 @@ class ScanEngine:
         sources: Sequence[ScanSource],
         workers: Optional[int] = None,
         confidence: Optional[float] = None,
+        flush_cache: bool = True,
     ) -> ScanReport:
         """Scan a batch of designs and return per-design triage records.
 
         Cached designs (same content hash, same model fingerprint) are
         served from the cache; the rest go through parallel feature
         extraction and one batched inference call.  The record order always
-        matches the input order.
+        matches the input order.  ``flush_cache=False`` records fresh
+        results in the cache but defers the disk flush to the caller (the
+        serving layer flushes off the response critical path); the default
+        keeps the one-shot behaviour of flushing before returning.
         """
         t_start = time.perf_counter()
         level = confidence if confidence is not None else self.model.config.confidence_level
@@ -411,7 +433,8 @@ class ScanEngine:
             for record in report.records:
                 if not record.cached:
                     self.cache.put(record)
-            self.cache.flush()
+            if flush_cache:
+                self.cache.flush()
         report.seconds_total = time.perf_counter() - t_start
         return report
 

@@ -1,0 +1,44 @@
+"""Online scan service: long-lived HTTP serving on top of the scan engine.
+
+Where :mod:`repro.engine` answers "scan this corpus once, fast",
+``repro.serve`` answers "keep answering scan requests forever, fast".  It
+is stdlib-only (``http.server`` + ``threading``) and built from four
+pieces:
+
+* :mod:`repro.serve.registry` — :class:`ModelRegistry`: detector
+  artifacts loaded once, keyed by fingerprint, hot-reloaded when the
+  artifact changes on disk (recalibration without downtime);
+* :mod:`repro.serve.batching` — :class:`MicroBatcher`: concurrent
+  ``/scan`` requests coalesce for a small window into one batched
+  forward pass + conformal p-value call and one result-cache flush;
+* :mod:`repro.serve.server` — :class:`ScanService`: the HTTP surface
+  (``POST /scan``, ``GET /healthz``, ``GET /metrics``, ``POST /reload``)
+  with graceful drain on shutdown;
+* :mod:`repro.serve.client` — :class:`ScanServiceClient`: a thin
+  keep-alive client used by tests, tools and the load benchmark
+  (:mod:`repro.serve.bench`, which writes ``BENCH_serve.json``).
+
+Start one with ``python -m repro serve --artifact <dir>``; see
+``docs/SERVING.md`` for the API reference and semantics.
+"""
+
+from .batching import BatcherClosed, BatchResult, MicroBatchError, MicroBatcher
+from .client import ScanServiceClient, ScanServiceError
+from .metrics import LatencyWindow, ServiceMetrics
+from .registry import ModelRegistry, RegisteredModel
+from .server import RequestError, ScanService
+
+__all__ = [
+    "BatchResult",
+    "BatcherClosed",
+    "LatencyWindow",
+    "MicroBatchError",
+    "MicroBatcher",
+    "ModelRegistry",
+    "RegisteredModel",
+    "RequestError",
+    "ScanService",
+    "ScanServiceClient",
+    "ScanServiceError",
+    "ServiceMetrics",
+]

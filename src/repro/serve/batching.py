@@ -1,0 +1,298 @@
+"""Micro-batching queue: coalesce concurrent scan requests into one forward pass.
+
+Per-request inference is wasteful: a batch-1 CNN forward pass is almost
+all fixed overhead (layer setup, im2col, the conformal ``searchsorted``
+calls), and with the result cache attached every request also pays a
+lock + read-merge-write cache flush.  :class:`MicroBatcher` amortises
+both: handler threads enqueue their designs and block, a single worker
+thread collects everything that arrives within ``batch_window_s`` (up to
+``max_batch`` designs), runs **one** :meth:`ScanEngine.scan_sources` call
+for the whole batch — one vectorized forward pass, one ``searchsorted``
+p-value call, one cache flush — and hands each request back exactly its
+own slice of the records.
+
+Because every scan funnels through the one worker thread, the engine and
+its cache are only ever touched single-threaded — the batcher is also the
+concurrency guard that makes a process-wide :class:`ScanEngine` safe under
+a threaded HTTP server.
+
+Determinism: records for a request are produced by the same code path as
+a serial engine scan (the engine guarantees record order matches input
+order and that batch size does not change p-values), so a served scan is
+byte-identical to ``python -m repro scan`` on the same sources.  Requests
+asking for different confidence levels are grouped and scanned per level
+within the batch — p-values are level-independent, but
+:class:`repro.core.TrojanDecision` regions are not, so levels never mix
+inside one engine call.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+
+from ..core.results import ScanRecord
+from ..engine.scan import ScanReport, ScanSource
+from .metrics import ServiceMetrics
+
+#: Default window (seconds) the worker keeps a batch open for stragglers.
+DEFAULT_BATCH_WINDOW_S = 0.025
+
+#: Default cap on designs per micro-batch (the forward-pass batch size).
+DEFAULT_MAX_BATCH = 64
+
+
+class MicroBatchError(RuntimeError):
+    """Raised to the submitting thread when its batch failed or was refused."""
+
+
+class BatcherClosed(MicroBatchError):
+    """Raised when submitting to a batcher that is shutting down."""
+
+
+@dataclass
+class BatchResult:
+    """What one request gets back from its ride in a micro-batch."""
+
+    records: List[ScanRecord]
+    n_cache_hits: int
+    n_errors: int
+    #: Total designs in the micro-batch this request shared (>= its own).
+    batch_designs: int
+    #: Requests coalesced into that micro-batch (>= 1).
+    batch_requests: int
+    #: Confidence level the decisions were built at.
+    confidence_level: float
+    #: Fingerprint of the model that actually scanned this batch (set by
+    #: scan callables that know it, e.g. the serving layer; "" otherwise).
+    #: Responses must report this — not "the current model" — or a hot
+    #: reload between scan and response mis-attributes the records.
+    fingerprint: str = ""
+
+
+@dataclass
+class _Pending:
+    """One enqueued request waiting for its batch to execute."""
+
+    sources: List[ScanSource]
+    confidence: Optional[float]
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[BatchResult] = None
+    error: Optional[str] = None
+
+
+class MicroBatcher:
+    """Single-worker request coalescer in front of a batched scan callable.
+
+    Parameters
+    ----------
+    scan_fn:
+        ``(sources, confidence) -> ScanReport`` — typically a bound
+        engine/service method.  Called only from the worker thread.
+    batch_window_s:
+        How long the worker holds the batch open after the first request
+        arrives, waiting for more.  ``0`` batches only what is already
+        queued (pure backlog coalescing, no added latency).
+    max_batch:
+        Design cap per batch; the worker closes a batch early once adding
+        the next request would exceed it.  A single request larger than
+        the cap still runs (whole, in its own batch) — requests are never
+        split across forward passes.
+    metrics:
+        Optional :class:`ServiceMetrics` that receives per-batch stats.
+    after_batch:
+        Optional callable invoked (from the worker thread) after each
+        batch's results have been handed back — i.e. off the response
+        critical path.  The serving layer hangs the deferred result-cache
+        flush here, so requesters never wait on disk I/O.
+    quiescence_s:
+        Adaptive early close: a batch is closed once this long passes
+        with no new arrivals, even if the window has time left (see
+        :meth:`_collect_batch`).  ``None`` disables the early close and
+        always waits out the full window.
+    """
+
+    #: Default for ``quiescence_s`` (seconds).
+    DEFAULT_QUIESCENCE_S = 0.002
+
+    def __init__(
+        self,
+        scan_fn: Callable[[List[ScanSource], Optional[float]], ScanReport],
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        metrics: Optional[ServiceMetrics] = None,
+        after_batch: Optional[Callable[[], None]] = None,
+        quiescence_s: Optional[float] = DEFAULT_QUIESCENCE_S,
+    ) -> None:
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.scan_fn = scan_fn
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.metrics = metrics
+        self.after_batch = after_batch
+        self.quiescence_s = (
+            quiescence_s if quiescence_s is not None else batch_window_s
+        )
+        self._cond = threading.Condition()
+        self._queue: Deque[_Pending] = deque()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- submitting ----------------------------------------------------------
+    def submit(
+        self,
+        sources: Sequence[ScanSource],
+        confidence: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> BatchResult:
+        """Enqueue designs and block until their batch has been scanned.
+
+        Called from any number of handler threads.  Raises
+        :class:`BatcherClosed` when the batcher is draining/closed,
+        :class:`MicroBatchError` when the batch's scan call failed, and
+        ``TimeoutError`` if ``timeout`` elapses first.
+        """
+        if not sources:
+            raise MicroBatchError("a scan request needs at least one source")
+        pending = _Pending(sources=list(sources), confidence=confidence)
+        with self._cond:
+            if self._closed:
+                raise BatcherClosed("scan service is shutting down")
+            self._queue.append(pending)
+            self._cond.notify_all()
+        if not pending.done.wait(timeout):
+            raise TimeoutError(
+                f"micro-batch result did not arrive within {timeout}s"
+            )
+        if pending.error is not None:
+            raise MicroBatchError(pending.error)
+        assert pending.result is not None
+        return pending.result
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self, timeout: Optional[float] = 30.0) -> bool:
+        """Stop accepting requests, drain the queue, stop the worker.
+
+        Requests already enqueued are still scanned (graceful drain); new
+        :meth:`submit` calls raise :class:`BatcherClosed` immediately.
+        Idempotent.  Returns ``True`` when the worker actually finished
+        within ``timeout`` — callers that share state with the worker
+        (e.g. the serving layer's cache flush) must check this before
+        touching it.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join(timeout)
+        return not self._worker.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the batcher has begun shutting down."""
+        return self._closed
+
+    # -- worker --------------------------------------------------------------
+    def _collect_batch(self) -> List[_Pending]:
+        """Block for the first request, then hold the window for stragglers.
+
+        The window is adaptive: rather than always sleeping out the full
+        ``batch_window_s``, the worker waits in short quiescence slices
+        and closes the batch as soon as one slice passes with no new
+        arrivals.  Concurrent clients send in waves (they all unblock
+        when the previous batch's responses land), so arrivals cluster
+        within a couple of milliseconds — waiting longer than the gap
+        between them would add pure latency without growing the batch.
+
+        Returns the batch to execute, or an empty list when the batcher
+        closed with nothing left queued.
+        """
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return []  # closed and drained
+            batch = [self._queue.popleft()]
+            n_designs = len(batch[0].sources)
+            deadline = time.monotonic() + self.batch_window_s
+            while n_designs < self.max_batch:
+                if self._queue:
+                    if n_designs + len(self._queue[0].sources) > self.max_batch:
+                        break
+                    nxt = self._queue.popleft()
+                    batch.append(nxt)
+                    n_designs += len(nxt.sources)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(min(remaining, max(self.quiescence_s, 1e-4)))
+                if not self._queue:
+                    break  # a quiescence slice passed with no arrivals
+            return batch
+
+    def _execute(self, batch: List[_Pending]) -> None:
+        """Scan one collected batch and distribute slices back to requests.
+
+        Requests are grouped by requested confidence level; each group is
+        one concatenated ``scan_fn`` call (one forward pass per group —
+        in practice almost all traffic uses the default level and the
+        whole batch is a single call).
+        """
+        n_designs = sum(len(p.sources) for p in batch)
+        if self.metrics is not None:
+            self.metrics.observe_batch(len(batch), n_designs)
+        groups: Dict[Optional[float], List[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.confidence, []).append(pending)
+        for confidence, members in groups.items():
+            concat: List[ScanSource] = []
+            offsets: List[Tuple[_Pending, int, int]] = []
+            for pending in members:
+                start = len(concat)
+                concat.extend(pending.sources)
+                offsets.append((pending, start, len(concat)))
+            try:
+                report = self.scan_fn(concat, confidence)
+            except Exception as exc:  # the whole group fails together
+                message = f"{type(exc).__name__}: {exc}"
+                for pending, _, _ in offsets:
+                    pending.error = message
+                    pending.done.set()
+                continue
+            for pending, start, stop in offsets:
+                records = report.records[start:stop]
+                pending.result = BatchResult(
+                    records=records,
+                    n_cache_hits=sum(1 for r in records if r.cached),
+                    n_errors=sum(1 for r in records if r.error is not None),
+                    batch_designs=n_designs,
+                    batch_requests=len(batch),
+                    confidence_level=report.confidence_level,
+                    fingerprint=getattr(report, "fingerprint", ""),
+                )
+                pending.done.set()
+
+    def _run(self) -> None:
+        """Worker loop: collect, execute, repeat until closed and drained."""
+        while True:
+            batch = self._collect_batch()
+            if not batch:
+                return
+            self._execute(batch)
+            if self.after_batch is not None:
+                try:
+                    self.after_batch()
+                except Exception:  # a failed flush must not kill the worker
+                    logging.getLogger(__name__).exception(
+                        "after_batch hook failed"
+                    )

@@ -1,0 +1,174 @@
+"""Thread-safe service metrics behind the ``GET /metrics`` endpoint.
+
+The scan service is a long-lived process, so operators need the classic
+serving signals: how many requests of each kind arrived, how large the
+micro-batches actually are (the whole point of batching), how the request
+latency distribution looks, and how often the result cache short-circuits
+a forward pass.  :class:`ServiceMetrics` collects all of it under one lock
+with O(1) updates; latency percentiles come from a bounded ring buffer of
+recent observations so the snapshot cost stays flat no matter how long the
+server has been up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: How many recent request latencies the percentile window keeps.
+DEFAULT_LATENCY_WINDOW = 2048
+
+
+class LatencyWindow:
+    """Bounded ring buffer of recent latencies with percentile queries.
+
+    Keeping every latency ever observed would grow without bound in a
+    long-lived server; keeping only a counter+sum would lose the tail.  A
+    fixed-size ring of the most recent ``size`` samples is the standard
+    middle ground: percentiles reflect *current* behaviour and the memory
+    cost is constant.
+    """
+
+    def __init__(self, size: int = DEFAULT_LATENCY_WINDOW) -> None:
+        if size <= 0:
+            raise ValueError("latency window size must be positive")
+        self.size = size
+        self._samples: List[float] = []
+        self._next = 0
+
+    def __len__(self) -> int:
+        """Number of samples currently held (never more than ``size``)."""
+        return len(self._samples)
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample, evicting the oldest once full."""
+        if len(self._samples) < self.size:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._next] = seconds
+            self._next = (self._next + 1) % self.size
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile (0-100) of the window, ``None`` if empty.
+
+        Uses the nearest-rank method on a sorted copy — exact, simple, and
+        cheap at the window sizes involved.
+        """
+        return self.percentiles([q])[0]
+
+    def percentiles(self, qs: List[float]) -> List[Optional[float]]:
+        """Several percentiles from **one** sorted pass over the window.
+
+        ``snapshot()`` asks for p50/p95/p99 together on every ``/metrics``
+        call; sorting once instead of per-quantile keeps that cost flat.
+        """
+        if any(not 0.0 <= q <= 100.0 for q in qs):
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return [None] * len(qs)
+        ordered = sorted(self._samples)
+        top = len(ordered) - 1
+        return [ordered[max(0, min(top, round(q / 100.0 * top)))] for q in qs]
+
+
+class ServiceMetrics:
+    """Counters, batch-size stats and latency percentiles for one service.
+
+    Every mutator takes the internal lock, so handler threads and the
+    batch worker can update concurrently; :meth:`snapshot` returns a plain
+    ``dict`` ready for JSON serialisation.
+    """
+
+    def __init__(self, latency_window: int = DEFAULT_LATENCY_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._latency = LatencyWindow(latency_window)
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
+        self.requests_total = 0
+        self.requests_by_route: Dict[str, int] = {}
+        self.http_errors = 0
+        self.scan_requests = 0
+        self.designs_total = 0
+        self.cache_hits = 0
+        self.design_errors = 0
+        self.batches_total = 0
+        self.batched_designs_total = 0
+        self.max_batch_designs = 0
+        self.reloads = 0
+
+    # -- recording -----------------------------------------------------------
+    def observe_request(self, route: str, error: bool = False) -> None:
+        """Count one HTTP request against its route (and errors separately)."""
+        with self._lock:
+            self.requests_total += 1
+            self.requests_by_route[route] = self.requests_by_route.get(route, 0) + 1
+            if error:
+                self.http_errors += 1
+
+    def observe_scan(
+        self,
+        n_designs: int,
+        n_cache_hits: int,
+        n_errors: int,
+        seconds: float,
+    ) -> None:
+        """Record one completed ``/scan`` request and its end-to-end latency."""
+        with self._lock:
+            self.scan_requests += 1
+            self.designs_total += n_designs
+            self.cache_hits += n_cache_hits
+            self.design_errors += n_errors
+            self._latency.observe(seconds)
+
+    def observe_batch(self, n_requests: int, n_designs: int) -> None:
+        """Record one micro-batch flush (its request and design counts)."""
+        with self._lock:
+            self.batches_total += 1
+            self.batched_designs_total += n_designs
+            self.max_batch_designs = max(self.max_batch_designs, n_designs)
+
+    def observe_reload(self) -> None:
+        """Count one model hot-reload (automatic or via ``POST /reload``)."""
+        with self._lock:
+            self.reloads += 1
+
+    # -- reading -------------------------------------------------------------
+    def uptime_seconds(self) -> float:
+        """Seconds since this service started (no lock, no snapshot cost)."""
+        return time.monotonic() - self._started_monotonic
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view of every counter plus derived rates/percentiles."""
+        with self._lock:
+            mean_batch = (
+                self.batched_designs_total / self.batches_total
+                if self.batches_total
+                else 0.0
+            )
+            hit_rate = (
+                self.cache_hits / self.designs_total if self.designs_total else 0.0
+            )
+            return {
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "requests_total": self.requests_total,
+                "requests_by_route": dict(self.requests_by_route),
+                "http_errors": self.http_errors,
+                "scan_requests": self.scan_requests,
+                "designs_total": self.designs_total,
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": hit_rate,
+                "design_errors": self.design_errors,
+                "batches_total": self.batches_total,
+                "batched_designs_total": self.batched_designs_total,
+                "mean_batch_designs": mean_batch,
+                "max_batch_designs": self.max_batch_designs,
+                "reloads": self.reloads,
+                "latency_seconds": dict(
+                    zip(
+                        ("p50", "p95", "p99"),
+                        self._latency.percentiles([50, 95, 99]),
+                    ),
+                    count=len(self._latency),
+                ),
+            }

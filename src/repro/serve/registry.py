@@ -1,0 +1,242 @@
+"""Hot model registry: load detector artifacts once, swap them without downtime.
+
+A long-lived scan service must not pay the artifact-loading cost per
+request (that is exactly the cold-start the service exists to remove), but
+it also must not serve a stale detector forever: recalibration
+(``python -m repro calibrate``) rewrites the artifact directory in place
+and changes its fingerprint.  :class:`ModelRegistry` resolves both needs:
+
+* each artifact is loaded **once** into a :class:`repro.engine.scan.ScanEngine`
+  keyed by its fingerprint, with the sharded result cache attached under
+  that fingerprint (so cached verdicts can never leak across retrains);
+* every lookup runs a cheap staleness probe — the ``manifest.json`` mtime
+  is stat'ed, and only when it changed is the manifest re-read to compare
+  fingerprints — so a recalibrated artifact is picked up on the next
+  batch without restarting the server (**hot reload**), while the steady
+  state costs one ``stat`` per probe.
+
+The registry is thread-safe; engines are swapped atomically under a lock,
+and an in-flight batch keeps scanning on the engine it resolved (the old
+model) while the next batch gets the new one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..features.image import DEFAULT_IMAGE_SIZE
+from ..engine.artifacts import MANIFEST_NAME, load_detector
+from ..engine.cache import ScanCache
+from ..engine.scan import ScanEngine
+
+
+@dataclass
+class RegisteredModel:
+    """One resident detector: its engine plus the provenance of the load."""
+
+    engine: ScanEngine
+    fingerprint: str
+    artifact_path: Path
+    manifest_mtime: float
+    loaded_at: float
+    kind: str
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready summary used by ``/healthz`` and ``/reload``."""
+        return {
+            "fingerprint": self.fingerprint,
+            "artifact": str(self.artifact_path),
+            "kind": self.kind,
+            "loaded_at": self.loaded_at,
+        }
+
+
+class ModelRegistry:
+    """Fingerprint-keyed store of loaded detectors with hot reload.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root of the sharded scan-result cache; each loaded model gets a
+        :class:`repro.engine.cache.ScanCache` namespaced by its own
+        fingerprint.  ``None`` serves uncached.
+    image_size:
+        Adjacency-image size the feature pipeline was trained with.
+    cache_shard_prefix_len:
+        Hash-prefix length of the attached caches' shard files.  The
+        serving default is ``1`` (16 shards): a service is a single
+        cache writer flushing small dirty sets, where 256-way sharding
+        would turn every flush into one file write per design.  Both
+        layouts coexist in one cache directory (readers merge all shard
+        files).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        image_size: int = DEFAULT_IMAGE_SIZE,
+        cache_shard_prefix_len: int = 1,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.image_size = image_size
+        self.cache_shard_prefix_len = cache_shard_prefix_len
+        self._lock = threading.RLock()
+        self._by_path: Dict[Path, RegisteredModel] = {}
+        # Models swapped out by a reload whose caches may still hold
+        # unflushed records; drained by the next flush_caches() call.
+        # Flushing them here directly would race the batch worker, which
+        # may be mid-scan (mid cache.put) on the outgoing engine.
+        self._retired: List[RegisteredModel] = []
+
+    # -- internals -----------------------------------------------------------
+    def _manifest_path(self, artifact_path: Path) -> Path:
+        return artifact_path / MANIFEST_NAME
+
+    def _manifest_mtime(self, artifact_path: Path) -> float:
+        """The artifact manifest's mtime (the cheap staleness signal)."""
+        return os.stat(self._manifest_path(artifact_path)).st_mtime
+
+    def _load(self, artifact_path: Path) -> RegisteredModel:
+        """Load the detector behind ``artifact_path`` into a fresh engine."""
+        mtime = self._manifest_mtime(artifact_path)
+        model, manifest = load_detector(artifact_path)
+        fingerprint = manifest.get("fingerprint", "unversioned")
+        cache = (
+            ScanCache(
+                self.cache_dir,
+                fingerprint,
+                shard_prefix_len=self.cache_shard_prefix_len,
+            )
+            if self.cache_dir is not None
+            else None
+        )
+        engine = ScanEngine(
+            model, fingerprint=fingerprint, cache=cache, image_size=self.image_size
+        )
+        return RegisteredModel(
+            engine=engine,
+            fingerprint=fingerprint,
+            artifact_path=artifact_path,
+            manifest_mtime=mtime,
+            loaded_at=time.time(),
+            kind=str(manifest.get("kind", "unknown")),
+        )
+
+    # -- public API ----------------------------------------------------------
+    def get(self, artifact_path: Union[str, Path]) -> RegisteredModel:
+        """The resident model for an artifact, loading it on first use.
+
+        Subsequent calls return the cached engine without touching the
+        model files; staleness is checked separately (:meth:`maybe_reload`)
+        so the hot path can choose when to pay the ``stat``.
+        """
+        path = Path(artifact_path).resolve()
+        with self._lock:
+            entry = self._by_path.get(path)
+            if entry is None:
+                entry = self._load(path)
+                self._by_path[path] = entry
+            return entry
+
+    def maybe_reload(
+        self, artifact_path: Union[str, Path]
+    ) -> Tuple[RegisteredModel, bool]:
+        """Return the current model, hot-reloading if the artifact changed.
+
+        The probe is two-tier: a ``stat`` of ``manifest.json`` first (the
+        steady-state cost), and only when the mtime moved is the detector
+        re-loaded and its fingerprint compared.  A rewrite that produced
+        the *same* fingerprint (e.g. re-saving an identical model) keeps
+        the resident engine and its warm cache.  Returns ``(entry,
+        reloaded)``.
+        """
+        path = Path(artifact_path).resolve()
+        with self._lock:
+            entry = self._by_path.get(path)
+            if entry is None:
+                return self.get(path), False
+            try:
+                mtime = self._manifest_mtime(path)
+            except OSError:
+                # Mid-rewrite (save_detector replaces files) or the
+                # artifact vanished: keep serving the resident model.
+                return entry, False
+            if mtime == entry.manifest_mtime:
+                return entry, False
+            return self._reload_locked(path, entry)
+
+    def reload(self, artifact_path: Union[str, Path]) -> Tuple[RegisteredModel, bool]:
+        """Force a fingerprint check now (the ``POST /reload`` path).
+
+        Unlike :meth:`maybe_reload` this skips the mtime short-circuit, so
+        an operator can recover even from a rewrite that preserved the
+        manifest mtime.  Returns ``(entry, reloaded)``.
+        """
+        path = Path(artifact_path).resolve()
+        with self._lock:
+            entry = self._by_path.get(path)
+            if entry is None:
+                return self.get(path), False
+            return self._reload_locked(path, entry)
+
+    def _reload_locked(
+        self, path: Path, entry: RegisteredModel
+    ) -> Tuple[RegisteredModel, bool]:
+        """Reload ``path`` (lock held) and swap the entry if it changed.
+
+        The fingerprint is read from the manifest alone first: a rewrite
+        that produced the same model (the common recalibrate-to-identical
+        or plain ``touch`` case) costs one small JSON read, not a full
+        weight/calibration deserialization under the registry lock.
+        """
+        from ..engine.artifacts import ArtifactError, load_manifest
+
+        try:
+            mtime = self._manifest_mtime(path)
+            manifest_fingerprint = load_manifest(path).get(
+                "fingerprint", "unversioned"
+            )
+            if manifest_fingerprint == entry.fingerprint:
+                # Same model content: keep the resident engine (and its
+                # warm in-memory cache view), just remember the new mtime.
+                entry.manifest_mtime = mtime
+                return entry, False
+            fresh = self._load(path)
+        except (OSError, ValueError, KeyError, ArtifactError):
+            # Mid-rewrite (save_detector replaces the files non-atomically)
+            # or otherwise unreadable: keep serving the resident model.
+            # entry.manifest_mtime is left untouched, so the next probe
+            # retries once the rewrite has settled.
+            return entry, False
+        # The outgoing engine may still be scanning (an in-flight batch
+        # keeps its reference) — retire it and let the next
+        # flush_caches() persist whatever it holds.
+        if entry.engine.cache is not None:
+            self._retired.append(entry)
+        self._by_path[path] = fresh
+        return fresh, True
+
+    def entries(self) -> List[RegisteredModel]:
+        """Every resident model (one per registered artifact path)."""
+        with self._lock:
+            return list(self._by_path.values())
+
+    def flush_caches(self) -> None:
+        """Flush every resident (and retired) engine's result cache.
+
+        Called from the serving layer's batch worker between batches and
+        on shutdown after the worker drained — i.e. never concurrently
+        with a scan writing to the same cache.  Retired engines (swapped
+        out by a hot reload) are flushed once here and then dropped.
+        """
+        with self._lock:
+            retired, self._retired = self._retired, []
+            entries = list(self._by_path.values())
+        for entry in entries + retired:
+            if entry.engine.cache is not None:
+                entry.engine.cache.flush()

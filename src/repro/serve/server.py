@@ -1,0 +1,645 @@
+"""The long-lived scan service: a threaded stdlib HTTP server over the engine.
+
+``python -m repro serve --artifact <dir>`` starts one process that keeps a
+trained detector resident (:class:`repro.serve.registry.ModelRegistry`),
+funnels every ``POST /scan`` through the micro-batching queue
+(:class:`repro.serve.batching.MicroBatcher`) so concurrent requests share
+one vectorized forward pass and one cache flush, and exposes the standard
+operational endpoints:
+
+``POST /scan``
+    Scan inline HDL sources and/or server-side paths; returns per-design
+    triage records identical to a ``python -m repro scan`` run.
+``GET /healthz``
+    Liveness + the resident model's fingerprint and the service version.
+``GET /metrics``
+    Request counts, micro-batch sizes, latency percentiles, cache hit rate.
+``POST /reload``
+    Force a model hot-reload check (recalibration without downtime).
+
+Everything is stdlib (``http.server`` + ``threading``): one handler thread
+per connection, one batch worker owning the engine, graceful shutdown that
+drains in-flight batches and flushes the result cache.  See
+``docs/SERVING.md`` for the full API reference.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import __version__
+from ..engine.scan import ScanReport, ScanSource, collect_sources
+from ..features.image import DEFAULT_IMAGE_SIZE
+from .batching import (
+    DEFAULT_BATCH_WINDOW_S,
+    DEFAULT_MAX_BATCH,
+    BatcherClosed,
+    MicroBatchError,
+    MicroBatcher,
+)
+from .metrics import ServiceMetrics
+from .registry import ModelRegistry
+
+logger = logging.getLogger(__name__)
+
+#: Default bind host — loopback; expose deliberately, not by accident.
+DEFAULT_HOST = "127.0.0.1"
+
+#: Default port of the scan service (0 picks a free ephemeral port).
+DEFAULT_PORT = 8731
+
+#: Largest accepted request body (64 MiB of HDL is far beyond any design).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class RequestError(ValueError):
+    """A client-side problem with a request (maps to HTTP 400)."""
+
+
+def _json_bytes(payload: Dict[str, Any]) -> bytes:
+    """Serialise a response payload: compact separators, deterministic keys.
+
+    Compact (no indent) because responses are on the hot path — the same
+    record dicts as the CLI's results JSON, just without pretty-printing.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def parse_scan_payload(
+    payload: Any, allow_paths: bool = True
+) -> Tuple[List[ScanSource], Optional[float]]:
+    """Validate a ``POST /scan`` body into sources + confidence.
+
+    The body is a JSON object with any combination of ``sources`` (a list
+    of ``{"name": ..., "source": "<verilog>"}`` objects — ``name`` is
+    optional) and ``paths`` (server-side files/directories, resolved like
+    CLI scan inputs), plus an optional ``confidence`` level.  Raises
+    :class:`RequestError` with a client-actionable message on any shape
+    problem.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError("request body must be a JSON object")
+    unknown = set(payload) - {"sources", "paths", "confidence"}
+    if unknown:
+        raise RequestError(f"unknown request fields: {sorted(unknown)}")
+    sources: List[ScanSource] = []
+    raw_sources = payload.get("sources", [])
+    if not isinstance(raw_sources, list):
+        raise RequestError("'sources' must be a list")
+    for i, item in enumerate(raw_sources):
+        if not isinstance(item, dict) or not isinstance(item.get("source"), str):
+            raise RequestError(
+                f"sources[{i}] must be an object with a string 'source' field"
+            )
+        name = item.get("name", f"inline_{i}")
+        if not isinstance(name, str):
+            raise RequestError(f"sources[{i}].name must be a string")
+        sources.append(ScanSource(name=name, source=item["source"]))
+    raw_paths = payload.get("paths", [])
+    if not isinstance(raw_paths, list) or not all(
+        isinstance(p, str) for p in raw_paths
+    ):
+        raise RequestError("'paths' must be a list of strings")
+    if raw_paths:
+        if not allow_paths:
+            raise RequestError("server-side paths are disabled (--no-paths)")
+        try:
+            sources.extend(collect_sources(raw_paths))
+        except (FileNotFoundError, OSError) as exc:
+            raise RequestError(str(exc)) from exc
+    confidence = payload.get("confidence")
+    if confidence is not None:
+        if not isinstance(confidence, (int, float)) or not 0.0 < confidence < 1.0:
+            raise RequestError("'confidence' must be a number in (0, 1)")
+        confidence = float(confidence)
+    if not sources:
+        raise RequestError("request contained no sources (use 'sources' or 'paths')")
+    return sources, confidence
+
+
+class ScanService:
+    """Everything behind one serving process: registry, batcher, HTTP server.
+
+    Parameters
+    ----------
+    artifact:
+        Detector artifact directory to serve (loaded at construction, so a
+        broken artifact fails fast instead of on the first request).
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    batch_window_s:
+        Micro-batch window — how long the batch worker holds a batch open
+        for stragglers after the first request arrives.
+    max_batch:
+        Designs per micro-batch (the forward-pass batch-size cap).
+    cache_dir:
+        Sharded result-cache root (``None`` serves uncached).
+    workers:
+        Feature-extraction processes per batch scan (default 1: on a
+        serving box the batch worker owns a single core's worth of work).
+    allow_paths:
+        Whether ``POST /scan`` may reference server-side paths.
+    flush_every:
+        Flush the result cache once at least this many fresh designs have
+        accumulated since the last flush (always off the response critical
+        path, and always on shutdown).  A crash loses at most this many
+        cached verdicts — they are verdicts a rescan reproduces, so the
+        serving default trades a bounded amount of cache warmth for not
+        paying shard-file writes per batch.
+    """
+
+    def __init__(
+        self,
+        artifact: Union[str, Path],
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        cache_dir: Optional[Union[str, Path]] = None,
+        workers: Optional[int] = 1,
+        image_size: int = DEFAULT_IMAGE_SIZE,
+        allow_paths: bool = True,
+        flush_every: int = 128,
+    ) -> None:
+        self.artifact_path = Path(artifact)
+        self.workers = workers
+        self.allow_paths = allow_paths
+        self.flush_every = max(1, flush_every)
+        # Fresh (non-cache-hit) designs since the last cache flush; only
+        # the batch worker touches it, so no lock is needed.
+        self._unflushed_designs = 0
+        self.metrics = ServiceMetrics()
+        self.registry = ModelRegistry(cache_dir=cache_dir, image_size=image_size)
+        # Load at construction so a broken artifact fails fast, and keep
+        # the fingerprint in a plain attribute the per-request path can
+        # read without a registry lookup (updated on hot reload).
+        self._fingerprint = self.registry.get(self.artifact_path).fingerprint
+        # The HTTP server binds before the batcher starts its worker
+        # thread: a bind failure (port in use) must not leak a thread.
+        self._httpd = _ScanHTTPServer((host, port), _ScanRequestHandler, self)
+        self.batcher = MicroBatcher(
+            self._scan_batch,
+            batch_window_s=batch_window_s,
+            max_batch=max_batch,
+            metrics=self.metrics,
+            # Flush the result cache after responses go out, not before:
+            # requesters never wait on disk (see ``flush_every``).
+            after_batch=self._after_batch,
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._shutdown_lock = threading.Lock()
+        self._closed = False
+
+    # -- addressing ----------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    # -- scanning ------------------------------------------------------------
+    def _scan_batch(
+        self, sources: List[ScanSource], confidence: Optional[float]
+    ) -> ScanReport:
+        """The batch worker's scan callable: hot-reload probe, then engine.
+
+        The staleness probe runs here — between batches, never mid-batch —
+        so an in-flight batch always finishes on the model it started with.
+        """
+        entry, reloaded = self.registry.maybe_reload(self.artifact_path)
+        if reloaded:
+            self.metrics.observe_reload()
+            self._fingerprint = entry.fingerprint
+            logger.info("hot-reloaded model: fingerprint %s", entry.fingerprint[:12])
+        report = entry.engine.scan_sources(
+            sources, workers=self.workers, confidence=confidence, flush_cache=False
+        )
+        # Stamp which model produced these records; the response reports
+        # this rather than "the currently resident model", which a hot
+        # reload may have swapped by the time the response is built.
+        report.fingerprint = entry.fingerprint  # type: ignore[attr-defined]
+        self._unflushed_designs += report.n_scanned
+        return report
+
+    def _after_batch(self) -> None:
+        """Worker hook after each batch's responses went out: maybe flush.
+
+        Runs on the batch worker thread between batches, so the flush
+        never delays a response; the ``flush_every`` threshold keeps a
+        flush from paying one shard-file write per design.
+        """
+        if self._unflushed_designs >= self.flush_every:
+            self._unflushed_designs = 0
+            self.registry.flush_caches()
+
+    def handle_scan(self, payload: Any) -> Dict[str, Any]:
+        """Serve one ``POST /scan`` body; returns the response payload."""
+        sources, confidence = parse_scan_payload(payload, allow_paths=self.allow_paths)
+        t_start = time.perf_counter()
+        result = self.batcher.submit(sources, confidence=confidence)
+        self.metrics.observe_scan(
+            n_designs=len(sources),
+            n_cache_hits=result.n_cache_hits,
+            n_errors=result.n_errors,
+            seconds=time.perf_counter() - t_start,
+        )
+        return {
+            "fingerprint": result.fingerprint or self._fingerprint,
+            "confidence_level": result.confidence_level,
+            "n_designs": len(sources),
+            "n_cache_hits": result.n_cache_hits,
+            "n_errors": result.n_errors,
+            "records": [record.to_dict() for record in result.records],
+            "batch": {
+                "designs": result.batch_designs,
+                "requests": result.batch_requests,
+            },
+        }
+
+    # -- operational endpoints ----------------------------------------------
+    def handle_healthz(self) -> Dict[str, Any]:
+        """Serve ``GET /healthz``: liveness, version, resident model."""
+        entry = self.registry.get(self.artifact_path)
+        return {
+            "status": "ok",
+            "version": __version__,
+            "model": entry.describe(),
+            "batching": {
+                "window_ms": self.batcher.batch_window_s * 1000.0,
+                "max_batch": self.batcher.max_batch,
+            },
+            "uptime_seconds": self.metrics.uptime_seconds(),
+        }
+
+    def handle_metrics(self) -> Dict[str, Any]:
+        """Serve ``GET /metrics``: the full counters/percentiles snapshot."""
+        return self.metrics.snapshot()
+
+    def handle_reload(self) -> Dict[str, Any]:
+        """Serve ``POST /reload``: force a fingerprint check right now."""
+        entry, reloaded = self.registry.reload(self.artifact_path)
+        if reloaded:
+            self.metrics.observe_reload()
+            self._fingerprint = entry.fingerprint
+            logger.info("reloaded model on request: %s", entry.fingerprint[:12])
+        return {"reloaded": reloaded, "model": entry.describe(), "version": __version__}
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ScanService":
+        """Serve in a background thread; returns self (for chaining)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-http",
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` is called."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        """Graceful shutdown: stop accepting, drain batches, flush caches.
+
+        Safe to call from any thread (including a signal-triggered one)
+        and idempotent.  Ordering matters: the accept loop stops first so
+        no new work arrives, the batcher then drains every queued request
+        (their handler threads finish writing responses), the result
+        caches are flushed — *before* the handler join, so durability is
+        not held hostage to an idle keep-alive connection sitting in its
+        read timeout — and only then are the handler threads joined and
+        the socket closed.
+        """
+        with self._shutdown_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._httpd.shutdown()  # stop the accept loop
+        self._httpd.closing = True  # handlers stop reusing connections
+        drained = self.batcher.close()  # drain queued scans (the only cache writer)
+        if drained:
+            self.registry.flush_caches()
+        else:
+            # The worker is still mid-drain after the join timeout;
+            # flushing now would race its cache writes.  Skip — losing
+            # cached verdicts (a rescan recomputes them) beats corrupting
+            # the flush.
+            logger.warning(
+                "batch worker did not drain in time; skipping shutdown cache flush"
+            )
+        # Grace period for handlers to finish writing in-flight responses,
+        # then force-close whatever is left (idle keep-alive connections
+        # parked in their read timeout would otherwise pin the join).
+        deadline = time.monotonic() + 2.0
+        while self._httpd.open_connection_count() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        self._httpd.force_close_connections()
+        self._httpd.server_close()  # join handler threads, release the socket
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "ScanService":
+        """Context-manager entry: start serving in the background."""
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: graceful shutdown."""
+        self.shutdown()
+
+
+class _ScanHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its :class:`ScanService`.
+
+    Handler threads are non-daemonic and joined on ``server_close`` — that
+    join (after the batcher drained) is what makes shutdown *graceful*: a
+    request that was already accepted always gets its response before the
+    process exits.  Open connections are tracked so shutdown can tell
+    keep-alive clients to go away: handlers stop reusing connections once
+    ``closing`` is set, and connections still open after the grace period
+    are force-closed (otherwise one idle keep-alive poller would pin the
+    join until its read timeout — or forever, if it keeps polling).
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+    # socketserver's default listen backlog is 5; a burst of concurrent
+    # clients connecting at once would overflow it and stall on SYN
+    # retransmits.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        handler: type,
+        service: "ScanService",
+    ) -> None:
+        self.service = service
+        self.closing = False
+        self._conn_lock = threading.Lock()
+        self._connections: set = set()
+        super().__init__(address, handler)
+
+    def track_connection(self, connection: Any) -> None:
+        """Remember an open connection (called from handler setup)."""
+        with self._conn_lock:
+            self._connections.add(connection)
+
+    def untrack_connection(self, connection: Any) -> None:
+        """Forget a finished connection (called from handler teardown)."""
+        with self._conn_lock:
+            self._connections.discard(connection)
+
+    def open_connection_count(self) -> int:
+        """How many client connections are currently open."""
+        with self._conn_lock:
+            return len(self._connections)
+
+    def force_close_connections(self) -> None:
+        """Unblock every remaining handler by shutting its socket down.
+
+        A handler parked in ``readline`` on an idle keep-alive connection
+        wakes immediately with EOF and exits its loop (``closing`` makes
+        it non-reusable), letting ``server_close``'s join complete.
+        """
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already gone
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        """Log handler errors via ``logging`` (quietly during shutdown)."""
+        if self.closing:
+            # Force-closed sockets make in-flight writes raise; that is
+            # the mechanism, not a bug worth a traceback.
+            logger.debug("connection %s closed during shutdown", client_address)
+            return
+        logger.exception("error handling request from %s", client_address)
+
+
+class _HeaderDict(dict):
+    """Case-insensitive read view over headers parsed by the fast path."""
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look a header up regardless of the caller's capitalisation."""
+        return dict.get(self, key.lower(), default)
+
+
+class _ScanRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the service; all bodies are JSON."""
+
+    server: _ScanHTTPServer
+    protocol_version = "HTTP/1.1"  # keep-alive: clients reuse connections
+    timeout = 60.0
+    # Small request/response writes must not sit in Nagle's buffer waiting
+    # for a delayed ACK (a classic ~40ms stall per round trip on loopback).
+    disable_nagle_algorithm = True
+
+    # -- plumbing ------------------------------------------------------------
+    def setup(self) -> None:
+        """Register the connection so shutdown can reach it."""
+        super().setup()
+        self.server.track_connection(self.connection)
+
+    def finish(self) -> None:
+        """Deregister the connection before the stdlib teardown."""
+        self.server.untrack_connection(self.connection)
+        super().finish()
+
+    def handle_one_request(self) -> None:
+        """Minimal request parsing for the narrow HTTP subset served here.
+
+        ``BaseHTTPRequestHandler`` routes headers through ``email.parser``,
+        which costs ~0.1ms per request — measurable at the request rates
+        the micro-batching service targets.  This override parses the
+        request line and headers directly, supporting exactly what the
+        service (and its clients) speak: ``Content-Length``-framed JSON
+        bodies and HTTP/1.1 keep-alive.  Anything malformed closes the
+        connection rather than guessing.
+        """
+        try:
+            raw_requestline = self.rfile.readline(65537)
+            if not raw_requestline or len(raw_requestline) > 65536:
+                self.close_connection = True
+                return
+            self.raw_requestline = raw_requestline
+            self.requestline = raw_requestline.decode("latin-1").rstrip("\r\n")
+            words = raw_requestline.split()
+            if len(words) != 3:
+                self.close_connection = True
+                return
+            command = words[0].decode("latin-1")
+            self.command = command
+            self.path = words[1].decode("latin-1")
+            self.request_version = version = words[2].decode("latin-1")
+            if not version.startswith("HTTP/"):
+                self.close_connection = True
+                return
+            headers: Dict[str, str] = {}
+            header_lines = 0
+            while True:
+                line = self.rfile.readline(65537)
+                header_lines += 1
+                if len(line) > 65536 or header_lines > 100:
+                    # Same bounds the stdlib parser enforces (counting
+                    # header *lines*, so repeated names cannot dodge the
+                    # cap): an over-long line or an unbounded header
+                    # stream is hostile input, not something to buffer.
+                    self.close_connection = True
+                    return
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.partition(b":")
+                headers[key.decode("latin-1").strip().lower()] = value.decode(
+                    "latin-1"
+                ).strip()
+            self.headers = _HeaderDict(headers)  # type: ignore[assignment]
+            self.close_connection = (
+                version == "HTTP/1.0"
+                or headers.get("connection", "").lower() == "close"
+            )
+            if headers.get("expect", "").lower() == "100-continue":
+                # curl (and others) withhold bodies >1 KiB until the
+                # interim 100 arrives; not answering would stall every
+                # realistic-size scan request by the client's Expect
+                # timeout (~1s for curl).
+                self.send_response_only(100)
+                self.end_headers()
+            method = getattr(self, f"do_{command}", None)
+            if method is None or not command.isalpha():
+                # The declared body (if any) was never consumed; do not
+                # let the next request on this connection read stale
+                # bytes.
+                self.close_connection = True
+                self._respond_error(501, f"unsupported method: {command}")
+                return
+            method()
+            self.wfile.flush()
+            if self.server.closing:
+                # Shutdown in progress: answer the request that was
+                # already in flight, then stop reusing the connection.
+                self.close_connection = True
+        except TimeoutError:
+            self.close_connection = True
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route per-request lines to ``logging`` instead of stderr."""
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+        """Write one JSON response with correct framing for keep-alive."""
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_error(self, status: int, message: str) -> None:
+        self._respond(status, {"error": message})
+
+    def _read_json_body(self) -> Any:
+        """Parse the request body as JSON (raises :class:`RequestError`).
+
+        When the body is rejected *without being consumed* (bad or
+        oversized ``Content-Length``), the connection is marked for close
+        — leaving unread bytes on a keep-alive stream would corrupt the
+        next request on it.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError) as exc:
+            self.close_connection = True  # body length unknown: cannot drain
+            raise RequestError("invalid Content-Length header") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True  # body left unread on the socket
+            raise RequestError(f"request body must be 0..{MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RequestError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- routing -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Dispatch ``GET /healthz`` and ``GET /metrics``."""
+        service = self.server.service
+        route = self.path.split("?", 1)[0]
+        if route == "/healthz":
+            service.metrics.observe_request(route)
+            self._respond(200, service.handle_healthz())
+        elif route == "/metrics":
+            service.metrics.observe_request(route)
+            self._respond(200, service.handle_metrics())
+        else:
+            service.metrics.observe_request(route, error=True)
+            self._respond_error(404, f"unknown route: GET {route}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Dispatch ``POST /scan`` and ``POST /reload``.
+
+        The body is always consumed (even for routes that ignore it):
+        leaving unread bytes on a keep-alive connection would corrupt the
+        next request on it.
+        """
+        service = self.server.service
+        route = self.path.split("?", 1)[0]
+        try:
+            body = self._read_json_body()
+        except RequestError as exc:
+            service.metrics.observe_request(route, error=True)
+            self._respond_error(400, str(exc))
+            return
+        if route == "/scan":
+            self._handle_scan(service, route, body)
+        elif route == "/reload":
+            try:
+                payload = service.handle_reload()
+            except Exception as exc:
+                service.metrics.observe_request(route, error=True)
+                self._respond_error(500, f"reload failed: {exc}")
+                return
+            service.metrics.observe_request(route)
+            self._respond(200, payload)
+        else:
+            service.metrics.observe_request(route, error=True)
+            self._respond_error(404, f"unknown route: POST {route}")
+
+    def _handle_scan(self, service: ScanService, route: str, body: Any) -> None:
+        """``POST /scan`` with the error-to-status mapping in one place."""
+        try:
+            payload = service.handle_scan(body)
+        except RequestError as exc:
+            service.metrics.observe_request(route, error=True)
+            self._respond_error(400, str(exc))
+        except BatcherClosed as exc:
+            service.metrics.observe_request(route, error=True)
+            self._respond_error(503, str(exc))
+        except (MicroBatchError, TimeoutError) as exc:
+            service.metrics.observe_request(route, error=True)
+            self._respond_error(500, str(exc))
+        except Exception as exc:  # never leak a traceback to the socket
+            logger.exception("unhandled error serving POST /scan")
+            service.metrics.observe_request(route, error=True)
+            self._respond_error(500, f"{type(exc).__name__}: {exc}")
+        else:
+            service.metrics.observe_request(route)
+            self._respond(200, payload)

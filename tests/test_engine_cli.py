@@ -203,3 +203,92 @@ class TestParallelScanCli:
         capsys.readouterr()
         assert main(args + ["--resume"]) == 0
         assert "5 cache hits" in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestServeCli:
+    def test_bad_batch_window_is_usage_error(self, artifact, capsys):
+        code = main(
+            ["serve", "--artifact", str(artifact), "--batch-window-ms", "-1"]
+        )
+        assert code == 2
+        assert "--batch-window-ms" in capsys.readouterr().err
+
+    def test_bad_max_batch_is_usage_error(self, artifact, capsys):
+        code = main(["serve", "--artifact", str(artifact), "--max-batch", "0"])
+        assert code == 2
+        assert "--max-batch" in capsys.readouterr().err
+
+    def test_missing_artifact_is_runtime_failure(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--artifact", str(tmp_path / "missing"), "--no-cache"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_runs_scans_and_drains_on_sigterm(self, artifact, tmp_path):
+        # Signal-driven drain needs a real process: signal handlers only
+        # install in a main thread, so the CLI is exercised end-to-end
+        # via subprocess (the in-process serving paths are covered by
+        # tests/test_serve_http.py).
+        import os
+        import signal
+        import socket as socket_module
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        from repro.serve.client import ScanServiceClient
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        src_dir = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--artifact", str(artifact),
+                "--port", str(port),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--batch-window-ms", "5",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            client = ScanServiceClient(port=port, timeout=30.0)
+            client.wait_until_ready(timeout=60.0)
+            response = client.scan_texts([("m", "module m (a); input a; endmodule")])
+            assert response["n_designs"] == 1
+            client.close()
+            server.send_signal(signal.SIGTERM)
+            deadline = time.monotonic() + 60.0
+            while server.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.1)
+            assert server.poll() is not None, "serve did not exit after SIGTERM"
+            output = server.stdout.read() if server.stdout else ""
+            assert server.returncode == 0, output
+            assert "shutdown clean" in output
+            assert "served 1 scan requests" in output
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=10)

@@ -134,6 +134,44 @@ class TestSourceCollection:
         assert hash_source("module m; endmodule") == hash_source("module m; endmodule")
         assert hash_source("a") != hash_source("b")
 
+    def test_directory_walk_is_sorted(self, tmp_path):
+        # Creation order deliberately scrambled: the walk must come back
+        # path-sorted regardless of what order the filesystem yields.
+        for name in ("zeta", "alpha", "mid"):
+            (tmp_path / f"{name}.v").write_text(f"module {name}; endmodule")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "beta.v").write_text("module beta; endmodule")
+        collected = collect_sources([tmp_path])
+        paths = [s.path for s in collected]
+        assert paths == sorted(paths)
+
+    def test_duplicate_inputs_are_deduplicated(self, tmp_path):
+        target = tmp_path / "one.v"
+        target.write_text("module one; endmodule")
+        # The same file listed twice, and again via its directory.
+        collected = collect_sources([target, target, tmp_path])
+        assert [s.name for s in collected] == ["one"]
+
+    def test_symlinked_duplicates_resolve_to_one_source(self, tmp_path):
+        target = tmp_path / "real.v"
+        target.write_text("module real_mod; endmodule")
+        link = tmp_path / "alias.v"
+        try:
+            link.symlink_to(target)
+        except (OSError, NotImplementedError):
+            pytest.skip("platform does not support symlinks")
+        collected = collect_sources([tmp_path])
+        assert len(collected) == 1
+        # First occurrence in sorted order wins, under its given path.
+        assert collected[0].path == str(link)
+
+    def test_file_plus_containing_directory_keeps_first_occurrence(self, tmp_path):
+        target = tmp_path / "dup.v"
+        target.write_text("module dup; endmodule")
+        collected = collect_sources([target, tmp_path])
+        assert [s.path for s in collected] == [str(target)]
+
 
 class TestReportsAndRecords:
     def test_report_json_round_trip(self, detector, scan_batch):

@@ -303,3 +303,65 @@ class TestValidation:
     def test_rejects_negative_retries(self, detector):
         with pytest.raises(ValueError, match="max_retries"):
             ScanScheduler(model=detector, max_retries=-1)
+
+
+class TestReportRoundTripWithErrors:
+    """ScanReport JSON round-trips must preserve retry-exhaustion errors."""
+
+    def _exhausted_report(self, detector, scan_batch, monkeypatch):
+        def always_fails(engine, task, workers=None):
+            return task[0], None, 0.0, 0.0, "RuntimeError: worker keeps dying"
+
+        monkeypatch.setattr(scheduler_module, "_scan_shard_serial", always_fails)
+        with ScanScheduler(
+            model=detector, jobs=1, shard_size=4, max_retries=1
+        ) as scheduler:
+            return scheduler.scan_sources(scan_batch)
+
+    def test_round_trip_preserves_error_records(
+        self, detector, scan_batch, monkeypatch
+    ):
+        from repro.engine.scan import ScanReport
+
+        report = self._exhausted_report(detector, scan_batch, monkeypatch)
+        assert report.n_errors == len(scan_batch)
+        restored = ScanReport.from_dict(
+            json.loads(json.dumps(report.to_dict(), sort_keys=True))
+        )
+        assert restored.n_errors == report.n_errors
+        assert restored.n_designs == report.n_designs
+        assert restored.confidence_level == report.confidence_level
+        assert [r.to_dict() for r in restored.records] == [
+            r.to_dict() for r in report.records
+        ]
+        for record in restored.records:
+            assert record.decision is None
+            assert "failed after 2 attempts" in record.error
+            assert not record.ok and record.verdict == "error"
+
+    def test_round_trip_preserves_mixed_success_and_errors(
+        self, detector, scan_batch, monkeypatch
+    ):
+        from repro.engine.scan import ScanReport
+
+        original = scheduler_module._scan_shard_serial
+        failures = {"remaining": 1}
+
+        def first_shard_fails(engine, task, workers=None):
+            if failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                return task[0], None, 0.0, 0.0, "RuntimeError: one bad shard"
+            return original(engine, task, workers=workers)
+
+        monkeypatch.setattr(scheduler_module, "_scan_shard_serial", first_shard_fails)
+        with ScanScheduler(
+            model=detector, jobs=1, shard_size=4, max_retries=0
+        ) as scheduler:
+            report = scheduler.scan_sources(scan_batch)
+        assert 0 < report.n_errors < len(scan_batch)
+        restored = ScanReport.from_dict(
+            json.loads(json.dumps(report.to_dict(), sort_keys=True))
+        )
+        assert restored.to_dict() == report.to_dict()
+        queues = restored.triage()
+        assert len(queues["error"]) == report.n_errors

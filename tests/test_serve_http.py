@@ -1,0 +1,211 @@
+"""End-to-end scan-service tests over real loopback HTTP.
+
+Covers the acceptance property of the serving layer: concurrent,
+micro-batched scans return records byte-identical to a serial engine
+scan of the same corpus, plus the operational surface (healthz/metrics/
+reload), error mapping, and graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import __version__
+from repro.core.config import ClassifierConfig, NoodleConfig
+from repro.engine import ScanEngine, save_detector, train_detector
+from repro.engine.bench import build_scan_batch
+from repro.serve.client import ScanServiceClient, ScanServiceError
+from repro.serve.server import ScanService
+
+
+@pytest.fixture(scope="module")
+def detector(small_features):
+    config = NoodleConfig(classifier=ClassifierConfig(epochs=3, seed=0), seed=0)
+    return train_detector(small_features, strategy="late", config=config).model
+
+
+@pytest.fixture(scope="module")
+def artifact(detector, tmp_path_factory):
+    return save_detector(detector, tmp_path_factory.mktemp("serve") / "artifact")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_scan_batch(10, seed=91)
+
+
+@pytest.fixture()
+def service(artifact):
+    with ScanService(artifact, port=0, batch_window_s=0.05, max_batch=16) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def client(service):
+    with ScanServiceClient(service.host, service.port) as c:
+        c.wait_until_ready()
+        yield c
+
+
+class TestOperationalEndpoints:
+    def test_healthz_reports_version_and_model(self, client, artifact):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["version"] == __version__
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        assert payload["model"]["fingerprint"] == manifest["fingerprint"]
+        assert payload["batching"]["max_batch"] == 16
+
+    def test_metrics_counts_requests_and_designs(self, client, corpus):
+        client.scan_texts([(corpus[0].name, corpus[0].source)])
+        snapshot = client.metrics()
+        assert snapshot["scan_requests"] == 1
+        assert snapshot["designs_total"] == 1
+        assert snapshot["batches_total"] == 1
+        assert snapshot["requests_by_route"]["/scan"] == 1
+        assert snapshot["latency_seconds"]["p50"] is not None
+
+    def test_reload_endpoint_answers(self, client):
+        payload = client.reload()
+        assert payload["reloaded"] is False  # artifact unchanged
+        assert payload["version"] == __version__
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ScanServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+
+class TestScanEndpoint:
+    def test_inline_sources_return_records(self, client, corpus, artifact):
+        response = client.scan_texts([(s.name, s.source) for s in corpus[:3]])
+        assert response["n_designs"] == 3
+        records = client.iter_scan_records(response)
+        assert [r["name"] for r in records] == [s.name for s in corpus[:3]]
+        assert all(r["decision"] is not None for r in records)
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        # The response names the model that actually scanned the batch.
+        assert response["fingerprint"] == manifest["fingerprint"]
+
+    def test_server_side_paths_are_scanned(self, client, corpus, tmp_path):
+        for source in corpus[:2]:
+            (tmp_path / f"{source.name}.v").write_text(source.source)
+        response = client.scan(paths=[str(tmp_path)])
+        assert response["n_designs"] == 2
+        assert all(r["source_path"] for r in response["records"])
+
+    def test_unparseable_design_gets_error_record(self, client):
+        response = client.scan_texts([("broken", "module broken (x; endmodule")])
+        assert response["n_errors"] == 1
+        assert response["records"][0]["error"] is not None
+
+    def test_confidence_is_respected(self, client, corpus):
+        strict = client.scan_texts([(corpus[0].name, corpus[0].source)], confidence=0.99)
+        assert strict["confidence_level"] == 0.99
+
+    def test_bad_payloads_are_400(self, client):
+        for payload in (
+            {},  # no sources
+            {"sources": [{"bad": 1}]},
+            {"sources": "nope"},
+            {"confidence": 2.0, "sources": [{"source": "module m; endmodule"}]},
+            {"paths": ["/does/not/exist"]},
+            {"unknown_field": 1},
+        ):
+            with pytest.raises(ScanServiceError) as excinfo:
+                client._request("POST", "/scan", payload=payload)
+            assert excinfo.value.status == 400
+
+    def test_paths_can_be_disabled(self, artifact, tmp_path):
+        with ScanService(artifact, port=0, allow_paths=False) as svc:
+            with ScanServiceClient(svc.host, svc.port) as c:
+                c.wait_until_ready()
+                with pytest.raises(ScanServiceError) as excinfo:
+                    c.scan(paths=[str(tmp_path)])
+                assert excinfo.value.status == 400
+                assert "disabled" in str(excinfo.value)
+
+
+class TestServedEqualsSerial:
+    def test_concurrent_microbatched_records_byte_identical_to_serial(
+        self, detector, artifact, corpus
+    ):
+        """The serving acceptance property, uncached on both sides."""
+        serial = ScanEngine(detector).scan_sources(corpus, workers=1)
+        expected = [record.to_dict() for record in serial.records]
+
+        with ScanService(artifact, port=0, batch_window_s=0.05, max_batch=16) as svc:
+            ScanServiceClient(svc.host, svc.port).wait_until_ready()
+
+            def scan_one(source):
+                with ScanServiceClient(svc.host, svc.port) as c:
+                    return c.scan_texts([(source.name, source.source)])
+
+            with ThreadPoolExecutor(len(corpus)) as pool:
+                responses = list(pool.map(scan_one, corpus))
+            snapshot = svc.metrics.snapshot()
+
+        observed = [response["records"][0] for response in responses]
+        assert json.dumps(observed, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+        # And they genuinely shared forward passes.
+        assert snapshot["batches_total"] < snapshot["scan_requests"]
+        assert snapshot["max_batch_designs"] > 1
+
+    def test_cache_hits_are_marked_and_identical(self, artifact, corpus, tmp_path):
+        pairs = [(s.name, s.source) for s in corpus[:3]]
+        with ScanService(
+            artifact, port=0, batch_window_s=0.0, cache_dir=tmp_path / "cache"
+        ) as svc:
+            with ScanServiceClient(svc.host, svc.port) as c:
+                c.wait_until_ready()
+                cold = c.scan_texts(pairs)
+                warm = c.scan_texts(pairs)
+        assert cold["n_cache_hits"] == 0
+        assert warm["n_cache_hits"] == 3
+        strip = lambda rs: [{k: v for k, v in r.items() if k != "cached"} for r in rs]
+        assert strip(warm["records"]) == strip(cold["records"])
+
+
+class TestLifecycle:
+    def test_shutdown_is_idempotent_and_flushes(self, artifact, corpus, tmp_path):
+        svc = ScanService(
+            artifact, port=0, cache_dir=tmp_path / "cache", flush_every=10_000
+        ).start()
+        with ScanServiceClient(svc.host, svc.port) as c:
+            c.wait_until_ready()
+            c.scan_texts([(corpus[0].name, corpus[0].source)])
+        svc.shutdown()
+        svc.shutdown()
+        # flush_every was huge, so only the shutdown flush can have
+        # persisted the record.
+        entry = svc.registry.entries()[0]
+        shards = tmp_path / "cache" / entry.fingerprint[:16] / "shards"
+        assert shards.is_dir() and any(shards.glob("*.json"))
+
+    def test_shutdown_is_not_pinned_by_idle_keepalive_connections(self, artifact):
+        import time
+
+        svc = ScanService(artifact, port=0).start()
+        idle = ScanServiceClient(svc.host, svc.port)
+        idle.wait_until_ready()  # leaves a keep-alive connection open, idle
+        t_start = time.monotonic()
+        svc.shutdown()
+        elapsed = time.monotonic() - t_start
+        idle.close()
+        # Well under the handler read timeout (60s): the grace period is
+        # 2s, after which remaining connections are force-closed.
+        assert elapsed < 10.0, f"shutdown took {elapsed:.1f}s with an idle connection"
+
+    def test_scans_after_shutdown_are_refused(self, artifact, corpus):
+        svc = ScanService(artifact, port=0).start()
+        client = ScanServiceClient(svc.host, svc.port)
+        client.wait_until_ready()
+        svc.shutdown()
+        with pytest.raises((ScanServiceError, OSError)):
+            client.scan_texts([(corpus[0].name, corpus[0].source)])
+        client.close()

@@ -1,0 +1,153 @@
+"""Model registry tests: load-once, hot reload, fingerprint cache namespacing."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import ClassifierConfig, NoodleConfig
+from repro.engine import recalibrate_detector, save_detector, train_detector
+from repro.serve.registry import ModelRegistry
+from repro.trojan import SuiteConfig, TrojanDataset
+from repro.features import extract_modalities
+
+
+@pytest.fixture(scope="module")
+def detector(small_features):
+    config = NoodleConfig(classifier=ClassifierConfig(epochs=3, seed=0), seed=0)
+    return train_detector(small_features, strategy="late", config=config).model
+
+
+@pytest.fixture()
+def artifact(detector, tmp_path):
+    return save_detector(detector, tmp_path / "artifact")
+
+
+def _bump_mtime(artifact) -> None:
+    """Force a visibly newer manifest mtime (coarse-mtime filesystems)."""
+    manifest = artifact / "manifest.json"
+    stat = os.stat(manifest)
+    os.utime(manifest, (stat.st_atime + 10, stat.st_mtime + 10))
+
+
+class TestLoadOnce:
+    def test_get_loads_once_and_caches(self, artifact):
+        registry = ModelRegistry()
+        first = registry.get(artifact)
+        second = registry.get(artifact)
+        assert first is second
+        assert first.engine is second.engine
+        assert len(registry.entries()) == 1
+
+    def test_missing_artifact_fails_fast(self, tmp_path):
+        registry = ModelRegistry()
+        with pytest.raises(Exception):
+            registry.get(tmp_path / "nope")
+
+    def test_cache_is_namespaced_by_fingerprint(self, artifact, tmp_path):
+        registry = ModelRegistry(cache_dir=tmp_path / "cache")
+        entry = registry.get(artifact)
+        assert entry.engine.cache is not None
+        assert entry.engine.cache.fingerprint == entry.fingerprint
+
+    def test_no_cache_dir_serves_uncached(self, artifact):
+        entry = ModelRegistry().get(artifact)
+        assert entry.engine.cache is None
+
+
+class TestHotReload:
+    def test_unchanged_artifact_is_not_reloaded(self, artifact):
+        registry = ModelRegistry()
+        entry = registry.get(artifact)
+        same, reloaded = registry.maybe_reload(artifact)
+        assert not reloaded
+        assert same is entry
+
+    def test_changed_fingerprint_hot_reloads(self, artifact, detector):
+        registry = ModelRegistry()
+        before = registry.get(artifact)
+        # Recalibrate on different data => new calibration arrays => new
+        # fingerprint written into the same artifact directory.
+        fresh = extract_modalities(
+            TrojanDataset.generate(
+                SuiteConfig(n_trojan_free=10, n_trojan_infected=6, seed=77)
+            )
+        )
+        recalibrate_detector(detector, fresh)
+        save_detector(detector, artifact)
+        _bump_mtime(artifact)
+        after, reloaded = registry.maybe_reload(artifact)
+        assert reloaded
+        assert after.fingerprint != before.fingerprint
+        assert after.engine is not before.engine
+
+    def test_same_content_rewrite_keeps_resident_engine(self, artifact, detector):
+        registry = ModelRegistry()
+        before = registry.get(artifact)
+        save_detector(detector, artifact)  # identical content, new mtime
+        _bump_mtime(artifact)
+        after, reloaded = registry.maybe_reload(artifact)
+        assert not reloaded
+        assert after is before
+        # The probe must not keep re-reading the detector once the mtime
+        # is re-remembered.
+        again, reloaded_again = registry.maybe_reload(artifact)
+        assert not reloaded_again and again is before
+
+    def test_vanished_manifest_keeps_serving_resident_model(self, artifact):
+        registry = ModelRegistry()
+        entry = registry.get(artifact)
+        (artifact / "manifest.json").unlink()
+        same, reloaded = registry.maybe_reload(artifact)
+        assert not reloaded and same is entry
+
+    def test_forced_reload_skips_mtime_short_circuit(self, artifact, detector):
+        registry = ModelRegistry()
+        before = registry.get(artifact)
+        fresh = extract_modalities(
+            TrojanDataset.generate(
+                SuiteConfig(n_trojan_free=10, n_trojan_infected=6, seed=78)
+            )
+        )
+        recalibrate_detector(detector, fresh)
+        save_detector(detector, artifact)
+        # Pin the mtime back so only the forced path can notice the change.
+        os.utime(artifact / "manifest.json", (before.manifest_mtime, before.manifest_mtime))
+        unchanged, reloaded = registry.maybe_reload(artifact)
+        assert not reloaded and unchanged is before
+        after, forced = registry.reload(artifact)
+        assert forced
+        assert after.fingerprint != before.fingerprint
+
+    def test_reloaded_out_engine_cache_flushes_with_the_next_flush(
+        self, artifact, detector, tmp_path
+    ):
+        from repro.engine.scan import ScanSource
+
+        registry = ModelRegistry(cache_dir=tmp_path / "cache")
+        entry = registry.get(artifact)
+        entry.engine.scan_sources(
+            [ScanSource(name="x", source="module x (a); input a; endmodule")],
+            workers=1,
+            flush_cache=False,
+        )
+        fresh = extract_modalities(
+            TrojanDataset.generate(
+                SuiteConfig(n_trojan_free=10, n_trojan_infected=6, seed=79)
+            )
+        )
+        recalibrate_detector(detector, fresh)
+        save_detector(detector, artifact)
+        _bump_mtime(artifact)
+        _, reloaded = registry.maybe_reload(artifact)
+        assert reloaded
+        # The swap itself must not flush (the batch worker may still be
+        # scanning on the outgoing engine); the next flush_caches() —
+        # which the serving layer only runs from the batch worker —
+        # persists the retired engine's records exactly once.
+        shards_dir = tmp_path / "cache" / entry.fingerprint[:16] / "shards"
+        assert not shards_dir.is_dir()
+        registry.flush_caches()
+        assert shards_dir.is_dir() and any(shards_dir.glob("*.json"))
+        assert registry._retired == []

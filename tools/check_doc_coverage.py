@@ -27,9 +27,11 @@ ROOT = Path(__file__).resolve().parents[1]
 SOURCE_ROOT = ROOT / "src" / "repro"
 
 #: Paths (relative to src/repro) that must be 100% documented: the scan
-#: engine plus the serialization/conformal modules this PR extended.
+#: engine and serving layer plus the serialization/conformal modules
+#: they build on.
 STRICT_PATHS = (
     "engine",
+    "serve",
     "conformal/icp.py",
     "nn/serialize.py",
 )

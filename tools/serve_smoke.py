@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the online scan service as a real process.
+
+The pytest suite drives :class:`repro.serve.server.ScanService`
+in-process; this script covers what only a subprocess can: the
+``python -m repro serve`` entry point itself, signal-driven graceful
+shutdown, and the drain summary on stdout.  It
+
+1. starts ``python -m repro serve`` against the given artifact on a
+   free port,
+2. fires concurrent single-design scans through
+   :class:`repro.serve.client.ScanServiceClient` (one client per
+   thread),
+3. asserts the ``/metrics`` batch counters prove micro-batching
+   actually coalesced requests,
+4. exercises ``POST /reload`` and ``/healthz``,
+5. sends SIGTERM and asserts a clean drain: exit code 0 and the
+   ``shutdown clean`` summary line.
+
+Run from the repository root (CI serve job)::
+
+    PYTHONPATH=src python tools/serve_smoke.py --artifact /tmp/detector
+
+Exit status is non-zero on any failed expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import socket
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.serve.bench import build_request_corpus  # noqa: E402
+from repro.serve.client import ScanServiceClient  # noqa: E402
+
+
+def _free_port() -> int:
+    """Ask the kernel for a currently-free TCP port."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def main() -> int:
+    """Run the smoke sequence; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifact", required=True, help="trained artifact directory")
+    parser.add_argument("--requests", type=int, default=24, help="concurrent scans to fire")
+    parser.add_argument("--clients", type=int, default=6, help="client threads")
+    parser.add_argument(
+        "--cache-dir", default=None, help="cache directory (default: artifact-sibling)"
+    )
+    args = parser.parse_args()
+
+    port = _free_port()
+    cache_dir = args.cache_dir or str(Path(args.artifact).parent / "serve_smoke_cache")
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--artifact", args.artifact,
+        "--port", str(port),
+        "--cache-dir", cache_dir,
+        "--batch-window-ms", "20",
+    ]
+    print(f"starting: {' '.join(command)}")
+    server = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    try:
+        probe = ScanServiceClient(port=port, timeout=30.0)
+        health = probe.wait_until_ready(timeout=60.0)
+        assert health["status"] == "ok", health
+        print(f"healthy: version {health['version']}, "
+              f"fingerprint {health['model']['fingerprint'][:12]}")
+
+        corpus = build_request_corpus(args.requests, seed=123)
+
+        def scan_one(pair):
+            with ScanServiceClient(port=port, timeout=60.0) as client:
+                return client.scan_texts([pair])
+
+        with ThreadPoolExecutor(args.clients) as pool:
+            responses = list(pool.map(scan_one, corpus))
+        assert len(responses) == args.requests
+        assert all(r["n_designs"] == 1 and r["n_errors"] == 0 for r in responses)
+        biggest = max(r["batch"]["designs"] for r in responses)
+        print(f"scanned {args.requests} designs; largest micro-batch {biggest}")
+
+        metrics = probe.metrics()
+        assert metrics["scan_requests"] == args.requests, metrics
+        assert metrics["designs_total"] == args.requests, metrics
+        assert 0 < metrics["batches_total"] <= args.requests, metrics
+        assert metrics["max_batch_designs"] == biggest, metrics
+        assert biggest > 1, "micro-batching never coalesced concurrent requests"
+        assert metrics["latency_seconds"]["p50"] is not None
+
+        reload_payload = probe.reload()
+        assert reload_payload["reloaded"] is False  # unchanged artifact
+        # Repeat traffic must hit the (flushed-on-demand) result cache or
+        # the in-memory records.
+        warm = probe.scan_texts([corpus[0]])
+        assert warm["n_cache_hits"] == 1, warm
+        probe.close()
+        print("metrics, reload and cache-hit checks OK; sending SIGTERM")
+
+        server.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 60.0
+        while server.poll() is None and time.monotonic() < deadline:
+            time.sleep(0.1)
+        assert server.poll() is not None, "server did not exit after SIGTERM"
+        output = server.stdout.read() if server.stdout else ""
+        print(output)
+        assert server.returncode == 0, f"server exited {server.returncode}"
+        assert "shutdown clean" in output, "drain summary missing from output"
+        assert f"served {args.requests + 1} scan requests" in output
+        print("serve smoke OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,11 @@ multi-design workload served four ways (see
 * ``engine_scan_parallel_jobsN`` — the sharded ScanScheduler running
   extraction + inference across a persistent N-worker pool;
 * ``engine_scan_cached``         — the batched call against a warm content
-  cache.
+  cache;
+* ``engine_rescan_after_reload`` — the batched call under a fresh model
+  fingerprint with a warm model-independent feature store (the
+  recalibrate -> hot-reload -> rescan workflow: only the forward pass is
+  paid).
 
 Writes the results to ``BENCH_engine.json`` at the repository root.
 

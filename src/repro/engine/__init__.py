@@ -11,8 +11,11 @@ subsystem built from three parts:
   sources (files, directories or in-memory strings), extracts features
   across a ``multiprocessing`` worker pool, pushes *all* designs through
   the vectorized forward pass and ``searchsorted`` p-values in single
-  calls, and caches per-design results keyed by content hash
-  (:mod:`repro.engine.cache`);
+  calls, and caches per-design results keyed by content hash in two
+  tiers: the model-fingerprinted result cache (:mod:`repro.engine.cache`)
+  and the model-independent feature store
+  (:mod:`repro.engine.feature_store`), so recalibrated/reloaded models
+  pay only the forward pass on already-seen designs;
 * :mod:`repro.engine.scheduler` — the sharded parallel scan scheduler:
   shards a corpus across a persistent worker pool (extraction *and*
   inference), merges deterministically, retries failed shards and makes
@@ -29,6 +32,7 @@ See ``docs/ENGINE.md`` for the artifact format and a CLI walkthrough.
 
 from .artifacts import ArtifactError, load_detector, save_detector
 from .cache import CacheLockTimeout, ScanCache
+from .feature_store import FeatureStore, default_feature_store_dir
 from .scan import ScanEngine, ScanReport, ScanSource, collect_sources, hash_source
 from .scheduler import ScanJournal, ScanScheduler
 from .training import TrainingResult, build_strategies, recalibrate_detector, train_detector
@@ -36,6 +40,7 @@ from .training import TrainingResult, build_strategies, recalibrate_detector, tr
 __all__ = [
     "ArtifactError",
     "CacheLockTimeout",
+    "FeatureStore",
     "ScanCache",
     "ScanEngine",
     "ScanJournal",
@@ -45,6 +50,7 @@ __all__ = [
     "TrainingResult",
     "build_strategies",
     "collect_sources",
+    "default_feature_store_dir",
     "hash_source",
     "load_detector",
     "recalibrate_detector",

@@ -38,7 +38,7 @@ import logging
 import os
 import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Set, Union
+from typing import Any, Dict, Iterable, List, Optional, Set, Union
 
 try:
     import fcntl
@@ -237,6 +237,74 @@ def _quarantine(path: Path, reason: Exception) -> None:
         os.replace(path, target)
     except OSError:
         pass  # a concurrent scan may have quarantined it already
+
+
+def _count_store_records(path: Path) -> int:
+    """Number of records in one store file (0 for unreadable files)."""
+    try:
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+        return 0
+    records = data.get("records") if isinstance(data, dict) else None
+    return len(records) if isinstance(records, dict) else 0
+
+
+def _file_size(path: Path) -> int:
+    """A file's size in bytes, 0 if it vanished (concurrent quarantine)."""
+    try:
+        return path.stat().st_size
+    except OSError:
+        return 0
+
+
+def describe_result_tier(directory: Union[str, Path]) -> Dict[str, Any]:
+    """Describe every fingerprint namespace under a result-cache root.
+
+    Pure directory walking plus JSON reads — no :class:`ScanCache` is
+    opened and no lock is taken, so this is safe against a live cache
+    (``python -m repro cache-info`` uses it).  Legacy single-file stores
+    at the root are reported under their fingerprint prefix with
+    ``legacy: True``; quarantined ``*.corrupt`` files are counted so an
+    operator notices corruption that the engine quietly survived.
+    """
+    root = Path(directory)
+    namespaces: List[Dict[str, Any]] = []
+    if root.is_dir():
+        for namespace in sorted(p for p in root.iterdir() if p.is_dir()):
+            # Skip the feature tier's conventional home under the same root.
+            if namespace.name == "features":
+                continue
+            shards = sorted((namespace / SHARDS_DIRNAME).glob("*.json"))
+            corrupt = list(namespace.rglob("*.corrupt"))
+            if not shards and not corrupt:
+                continue
+            namespaces.append(
+                {
+                    "fingerprint": namespace.name,
+                    "n_shards": len(shards),
+                    "n_records": sum(_count_store_records(p) for p in shards),
+                    "bytes": sum(_file_size(p) for p in shards),
+                    "n_corrupt": len(corrupt),
+                    "legacy": False,
+                }
+            )
+        for legacy in sorted(root.glob("scan_cache_*.json")):
+            namespaces.append(
+                {
+                    "fingerprint": legacy.stem.replace("scan_cache_", ""),
+                    "n_shards": 1,
+                    "n_records": _count_store_records(legacy),
+                    "bytes": _file_size(legacy),
+                    "n_corrupt": 0,
+                    "legacy": True,
+                }
+            )
+    return {
+        "directory": str(root),
+        "namespaces": namespaces,
+        "n_records": sum(ns["n_records"] for ns in namespaces),
+        "bytes": sum(ns["bytes"] for ns in namespaces),
+    }
 
 
 class ScanCache:

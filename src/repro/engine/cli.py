@@ -10,6 +10,9 @@ Subcommands (see ``docs/ENGINE.md`` for a walkthrough):
   (or a generated demo batch) using a saved artifact;
 * ``report``    — pretty-print the triage queues of a saved scan-results
   JSON;
+* ``cache-info`` — report both cache tiers under a cache directory (the
+  fingerprint-namespaced result tier and the model-independent feature
+  tier);
 * ``serve``     — run the long-lived scan service (micro-batching HTTP
   server, see ``docs/SERVING.md``) until SIGTERM/SIGINT;
 * ``bench``     — run the end-to-end throughput benchmark and write
@@ -34,6 +37,7 @@ import json
 import signal
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -44,7 +48,8 @@ from ..gan import AmplificationConfig, GANConfig
 from ..trojan import SuiteConfig, TrojanDataset
 from .artifacts import ArtifactError, load_detector, save_detector
 from .bench import DEFAULT_N_DESIGNS, build_scan_batch, run_engine_benchmark
-from .cache import CacheLockTimeout
+from .cache import CacheLockTimeout, describe_result_tier
+from .feature_store import default_feature_store_dir, describe_feature_tier
 from .scan import HDL_SUFFIXES, ScanEngine, ScanReport, collect_sources
 from .scheduler import DEFAULT_SHARD_SIZE, ScanScheduler
 from .training import TRAINABLE_STRATEGIES, recalibrate_detector, train_detector
@@ -147,11 +152,26 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _feature_store_dir(args: argparse.Namespace) -> Optional[Path]:
+    """Resolve the feature-tier root a scan/serve invocation asked for.
+
+    The tier defaults to on whenever the result cache is on (it lives
+    under the same root); ``--no-feature-cache`` disables just it, and an
+    explicit ``--feature-cache`` keeps it even under ``--no-cache`` (the
+    recalibration workflow: model verdicts must be fresh, extracted
+    features cannot go stale).
+    """
+    enabled = args.feature_cache if args.feature_cache is not None else not args.no_cache
+    return default_feature_store_dir(args.cache_dir) if enabled else None
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     if args.resume and args.no_cache:
         print("error: --resume needs the result cache; drop --no-cache", file=sys.stderr)
         return EXIT_USAGE
     cache_dir = None if args.no_cache else args.cache_dir
+    feature_dir = _feature_store_dir(args)
+    t_collect = time.perf_counter()
     if args.generate:
         sources = build_scan_batch(args.generate, seed=args.generate_seed)
         print(f"generated a demo batch of {len(sources)} designs")
@@ -166,10 +186,12 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 + ", ".join(str(i) for i in args.inputs)
                 + f" (looked for {', '.join(HDL_SUFFIXES)} files)"
             )
+    seconds_collect = time.perf_counter() - t_collect
     if args.jobs > 1 or args.resume:
         with ScanScheduler.from_artifact(
             args.artifact,
             cache_dir=cache_dir,
+            feature_store_dir=feature_dir,
             jobs=args.jobs,
             shard_size=args.shard_size,
             front_end_workers=args.workers,
@@ -178,12 +200,18 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 sources, confidence=args.confidence, resume=args.resume
             )
     else:
-        engine = ScanEngine.from_artifact(args.artifact, cache_dir=cache_dir)
+        engine = ScanEngine.from_artifact(
+            args.artifact, cache_dir=cache_dir, feature_store_dir=feature_dir
+        )
         report = engine.scan_sources(
             sources, workers=args.workers, confidence=args.confidence
         )
+    report.stage_seconds["collect"] = seconds_collect
     for line in report.summary_lines():
         print(line)
+    if args.profile:
+        for line in report.profile_lines():
+            print(line)
     if args.output:
         output = Path(args.output)
         output.parent.mkdir(parents=True, exist_ok=True)
@@ -231,7 +259,60 @@ def _cmd_report(args: argparse.Namespace) -> int:
     report = ScanReport.from_dict(data)
     for line in report.summary_lines():
         print(line)
+    if report.stage_seconds:
+        for line in report.profile_lines():
+            print(line)
     _print_triage(report, verbose=True)
+    return EXIT_OK
+
+
+def _format_bytes(n: int) -> str:
+    """Human-readable byte count (``cache-info`` output)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{int(n)} B"  # pragma: no cover - unreachable
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    result = describe_result_tier(args.cache_dir)
+    features = describe_feature_tier(default_feature_store_dir(args.cache_dir))
+    if args.json:
+        print(
+            json.dumps(
+                {"result_tier": result, "feature_tier": features},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return EXIT_OK
+    print(f"cache directory: {args.cache_dir}")
+    print(
+        f"result tier   : {result['n_records']} records in "
+        f"{len(result['namespaces'])} model namespaces "
+        f"({_format_bytes(result['bytes'])})"
+    )
+    for ns in result["namespaces"]:
+        legacy = " [legacy v1 layout]" if ns["legacy"] else ""
+        corrupt = (
+            f", {ns['n_corrupt']} quarantined" if ns["n_corrupt"] else ""
+        )
+        print(
+            f"  model {ns['fingerprint']}: {ns['n_records']} records, "
+            f"{ns['n_shards']} shards ({_format_bytes(ns['bytes'])}){corrupt}{legacy}"
+        )
+    print(
+        f"feature tier  : {features['n_rows']} rows in "
+        f"{len(features['namespaces'])} schema namespaces "
+        f"({_format_bytes(features['bytes'])})"
+    )
+    for ns in features["namespaces"]:
+        print(
+            f"  schema {ns['schema']}: {ns['n_rows']} rows, "
+            f"{ns['n_shards']} shards ({_format_bytes(ns['bytes'])})"
+        )
     return EXIT_OK
 
 
@@ -252,6 +333,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window_s=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
         cache_dir=cache_dir,
+        feature_store_dir=_feature_store_dir(args),
+        feature_cache=False,  # the resolved dir above is the whole decision
         workers=args.workers,
         allow_paths=not args.no_paths,
         flush_every=args.flush_every,
@@ -281,10 +364,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving {entry.kind} detector {entry.fingerprint[:12]} "
             f"on http://{service.host}:{service.port} (repro {__version__})"
         )
+        feature_dir = _feature_store_dir(args)
         print(
             f"micro-batching: window {args.batch_window_ms:g}ms, "
             f"max {args.max_batch} designs/batch; "
             + ("cache " + str(cache_dir) if cache_dir else "result cache disabled")
+            + (
+                f"; feature cache {feature_dir}"
+                if feature_dir is not None
+                else "; feature cache disabled"
+            )
         )
         print("endpoints: POST /scan  GET /healthz  GET /metrics  POST /reload")
         while not stop.wait(0.2):
@@ -315,7 +404,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(f"wrote {args.output}")
     for name, factor in sorted(suite.speedups.items()):
-        print(f"  {name}: {factor:.1f}x vs sequential per-design scans")
+        baseline = (
+            "vs cold batched scan"
+            if name.endswith("_vs_cold")
+            else "vs sequential per-design scans"
+        )
+        print(f"  {name}: {factor:.1f}x {baseline}")
     return EXIT_OK
 
 
@@ -330,6 +424,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             batch_window_ms=args.batch_window_ms,
             max_batch=args.max_batch,
+            workers=args.workers,
             smoke=args.smoke,
         )
     except RuntimeError as exc:
@@ -439,7 +534,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=".repro_cache", help="scan result cache directory"
     )
     scan.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    scan.add_argument(
+        "--feature-cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="model-independent feature cache under <cache-dir>/features "
+        "(default: enabled iff the result cache is; --feature-cache keeps "
+        "it even with --no-cache, --no-feature-cache disables just it)",
+    )
     scan.add_argument("--output", default=None, help="write results JSON here")
+    scan.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage timing breakdown "
+        "(collect/extract/infer/p-value/cache-flush) after the scan",
+    )
     scan.add_argument(
         "--verbose", action="store_true", help="print empty triage queues too"
     )
@@ -448,6 +557,17 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="pretty-print a saved scan-results JSON")
     report.add_argument("--input", required=True, help="results JSON from `scan --output`")
     report.set_defaults(func=_cmd_report)
+
+    cache_info = sub.add_parser(
+        "cache-info", help="report both cache tiers under a cache directory"
+    )
+    cache_info.add_argument(
+        "--cache-dir", default=".repro_cache", help="cache directory to inspect"
+    )
+    cache_info.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    cache_info.set_defaults(func=_cmd_cache_info)
 
     serve = sub.add_parser(
         "serve", help="run the long-lived micro-batching scan service"
@@ -495,6 +615,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the result cache"
     )
     serve.add_argument(
+        "--feature-cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="model-independent feature cache under <cache-dir>/features; "
+        "keeps rescans cheap across hot reloads "
+        "(default: enabled iff the result cache is)",
+    )
+    serve.add_argument(
         "--no-paths",
         action="store_true",
         help="reject server-side 'paths' in scan requests (inline sources only)",
@@ -538,6 +666,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--clients", type=int, default=32, help="concurrent client threads"
     )
     bench_serve.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    bench_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="feature-extraction processes per batch scan (record the "
+        "multi-core serving variant on machines that have the cores; "
+        "meta.cpu_count in the output says which machine produced it)",
+    )
     bench_serve.add_argument(
         "--batch-window-ms",
         type=float,

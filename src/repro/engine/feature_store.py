@@ -1,0 +1,300 @@
+"""Model-independent feature cache: extracted modalities keyed by content hash.
+
+The scan pipeline is two-stage: expensive per-design feature extraction
+(HDL lex/parse, graph construction, adjacency-image rendering — all pure
+Python) followed by a cheap batched CNN forward pass + ``searchsorted``
+conformal p-values.  The result cache (:mod:`repro.engine.cache`) sits
+*above* both stages and is namespaced by model fingerprint, so the exact
+workflow the serving layer promotes — recalibrate, hot-reload, rescan —
+used to invalidate everything and re-pay the dominant extraction cost for
+designs whose source never changed.
+
+:class:`FeatureStore` is the missing tier underneath: a content-addressed
+store of the assembled multimodal feature rows
+(``(tabular, graph, graph_image)`` as produced by
+:func:`repro.features.pipeline.extract_design_modalities`), keyed by the
+design's SHA-256 content hash and **independent of any model**.  With it,
+a rescan under a fresh fingerprint pays only the forward pass: feature
+rows are looked up by content hash, assembled into the batch matrix and
+pushed straight through inference.
+
+Correctness of the tier rests on two invariants:
+
+* **Content addressing** — a design's features are a pure function of its
+  source text (and the image size), so a row written once is valid for
+  every future scan of identical source bytes, under any model.
+* **Schema fingerprinting** — the store is namespaced by a fingerprint of
+  the feature *schema* (:func:`feature_schema_fingerprint`): the feature
+  name lists, the image size and
+  :data:`repro.features.pipeline.FEATURE_EXTRACTION_VERSION`.  Changing
+  feature-extraction code bumps the version, which moves the store to a
+  fresh namespace — stale rows are never looked up again (invalidation by
+  construction, exactly like the result tier's model fingerprint).
+
+On disk the store mirrors the result cache's concurrency discipline while
+packing rows densely for zero-copy batch assembly: rows live in per-shard
+``.npz`` files under ``<root>/<schema16>/shards/`` keyed by a prefix of
+the content hash, each holding stacked ``tabular`` / ``graph`` /
+``images`` matrices plus the parallel ``keys`` array.  Shard files are
+written atomically (temp file + ``os.replace``); flushes run under the
+namespace ``flock`` lockfile with a read-merge-write cycle so concurrent
+writers (two schedulers, a scheduler and a service) cannot clobber each
+other; unreadable files are quarantined as ``*.corrupt`` and their rows
+simply re-extracted.  Loaded rows are *views* into the shard matrices —
+serving a warm batch never copies per-design arrays.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import os
+import zipfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from ..features.image import DEFAULT_IMAGE_SIZE
+from ..features.pipeline import feature_schema_fingerprint
+from .cache import _NamespaceLock, _file_size, _quarantine
+
+logger = logging.getLogger(__name__)
+
+#: One extracted design: ``(tabular_row, graph_row, graph_image)``.
+FeatureRow = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+#: Bump when the on-disk shard layout (not the feature schema) changes.
+FEATURE_STORE_VERSION = 1
+
+#: Subdirectory of a schema namespace that holds the packed shard files.
+SHARDS_DIRNAME = "shards"
+
+#: Default number of leading hex characters of the content hash that pick
+#: a row's shard file (1 -> up to 16 shard files per namespace).  Denser
+#: than the result cache's 256-way default on purpose: a warm scan opens
+#: every shard its batch touches, and ``np.load``'s per-file zip/header
+#: parsing dominates the warm path — 16 larger files keep a whole-corpus
+#: lookup at a handful of opens while read-merge-write flushes stay
+#: well-bounded for realistic corpus sizes.
+DEFAULT_SHARD_PREFIX_LEN = 1
+
+
+def default_feature_store_dir(cache_dir: Union[str, Path]) -> Path:
+    """The feature tier's conventional location under a cache root."""
+    return Path(cache_dir) / "features"
+
+
+class FeatureStore:
+    """Packed, content-addressed store of extracted feature rows.
+
+    Parameters
+    ----------
+    directory:
+        Feature-tier root shared by every schema fingerprint (conventionally
+        ``<cache_dir>/features``, see :func:`default_feature_store_dir`).
+    image_size:
+        Adjacency-image side length; part of the schema fingerprint, so
+        stores with different image sizes never mix rows.
+    shard_prefix_len:
+        How many leading hex characters of a row's content hash select its
+        shard file.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        image_size: int = DEFAULT_IMAGE_SIZE,
+        shard_prefix_len: int = DEFAULT_SHARD_PREFIX_LEN,
+    ) -> None:
+        self.directory = Path(directory)
+        self.image_size = image_size
+        self.shard_prefix_len = shard_prefix_len
+        self.schema_fingerprint = feature_schema_fingerprint(image_size=image_size)
+        self.namespace_dir = self.directory / self.schema_fingerprint[:16]
+        self._shards_dir = self.namespace_dir / SHARDS_DIRNAME
+        self._lock = _NamespaceLock(self.namespace_dir / ".lock")
+        #: Rows visible in memory (loaded shard views + fresh puts).
+        self._rows: Dict[str, FeatureRow] = {}
+        #: Content hashes put since the last flush.
+        self._dirty_keys: Set[str] = set()
+        #: Shard prefixes whose on-disk file has been read already.
+        self._loaded_prefixes: Set[str] = set()
+        #: Lookup statistics for ``cache-info`` / profiling.
+        self.n_hits = 0
+        self.n_misses = 0
+
+    # -- shard addressing ----------------------------------------------------
+    def _prefix(self, sha256: str) -> str:
+        """The shard prefix a content hash belongs to."""
+        return sha256[: self.shard_prefix_len]
+
+    def _shard_path(self, prefix: str) -> Path:
+        """The shard file for a hash prefix."""
+        return self._shards_dir / f"{prefix}.npz"
+
+    # -- loading -------------------------------------------------------------
+    def _read_shard_file(self, path: Path) -> Dict[str, FeatureRow]:
+        """Read one packed shard; corrupt files are quarantined, not fatal.
+
+        Returns rows as views into the loaded matrices (no per-row copy).
+        A shard written under a different full schema fingerprint (a
+        16-hex-prefix collision, or a hand-moved file) is ignored.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+                if meta.get("store_version") != FEATURE_STORE_VERSION:
+                    return {}
+                if meta.get("schema_fingerprint") != self.schema_fingerprint:
+                    return {}
+                keys = [str(k) for k in data["keys"]]
+                tabular = data["tabular"]
+                graph = data["graph"]
+                images = data["images"]
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+                json.JSONDecodeError, UnicodeDecodeError) as exc:
+            _quarantine(path, exc if isinstance(exc, Exception) else ValueError(exc))
+            return {}
+        if not (len(keys) == tabular.shape[0] == graph.shape[0] == images.shape[0]):
+            _quarantine(path, ValueError("shard arrays have mismatched lengths"))
+            return {}
+        return {
+            key: (tabular[i], graph[i], images[i]) for i, key in enumerate(keys)
+        }
+
+    def _ensure_prefix_loaded(self, prefix: str) -> None:
+        """Lazily read the shard file backing a hash prefix (once)."""
+        if prefix in self._loaded_prefixes:
+            return
+        self._loaded_prefixes.add(prefix)
+        path = self._shard_path(prefix)
+        if path.is_file():
+            loaded = self._read_shard_file(path)
+            # Fresh unflushed rows win over the disk copy for their keys.
+            for key, row in loaded.items():
+                self._rows.setdefault(key, row)
+
+    # -- mapping-ish protocol ------------------------------------------------
+    def get(self, sha256: str) -> Optional[FeatureRow]:
+        """The stored feature row for a content hash, or ``None``.
+
+        The returned arrays are read-only views into the packed shard
+        matrices (or the arrays handed to :meth:`put`); batch assembly
+        copies them into the batch matrix exactly once.
+        """
+        self._ensure_prefix_loaded(self._prefix(sha256))
+        row = self._rows.get(sha256)
+        if row is None:
+            self.n_misses += 1
+        else:
+            self.n_hits += 1
+        return row
+
+    def put(self, sha256: str, row: FeatureRow) -> None:
+        """Insert (or overwrite) the feature row for a content hash."""
+        tabular, graph, image = row
+        self._rows[sha256] = (
+            np.asarray(tabular),
+            np.asarray(graph),
+            np.asarray(image),
+        )
+        self._dirty_keys.add(sha256)
+
+    # -- persistence ---------------------------------------------------------
+    def _write_shard(self, path: Path, rows: Dict[str, FeatureRow]) -> None:
+        """Atomically write one packed shard file (lock held).
+
+        Keys are written sorted so a shard's bytes are a pure function of
+        its contents — byte-identical across writers and runs.
+        """
+        keys = sorted(rows)
+        tabular = np.stack([rows[k][0] for k in keys], axis=0)
+        graph = np.stack([rows[k][1] for k in keys], axis=0)
+        images = np.stack([rows[k][2] for k in keys], axis=0)
+        meta = json.dumps(
+            {
+                "store_version": FEATURE_STORE_VERSION,
+                "schema_fingerprint": self.schema_fingerprint,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            meta=np.frombuffer(meta, dtype=np.uint8),
+            keys=np.array(keys),
+            tabular=tabular,
+            graph=graph,
+            images=images,
+        )
+        tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp_path.write_bytes(buffer.getvalue())
+        os.replace(tmp_path, path)
+
+    def flush(self) -> Optional[Path]:
+        """Atomically persist dirty rows to their packed shard files.
+
+        Runs under the namespace lockfile with a read-merge-write cycle per
+        affected shard: rows another process flushed meanwhile are kept
+        (and absorbed into this store's in-memory view), our dirty rows win
+        for their own keys.  Returns the namespace directory when anything
+        was written, ``None`` otherwise.
+        """
+        if not self._dirty_keys:
+            return None
+        self._shards_dir.mkdir(parents=True, exist_ok=True)
+        by_prefix: Dict[str, List[str]] = {}
+        for key in self._dirty_keys:
+            by_prefix.setdefault(self._prefix(key), []).append(key)
+        with self._lock:
+            for prefix in sorted(by_prefix):
+                path = self._shard_path(prefix)
+                on_disk = self._read_shard_file(path) if path.is_file() else {}
+                merged = dict(on_disk)
+                merged.update((key, self._rows[key]) for key in by_prefix[prefix])
+                self._write_shard(path, merged)
+                # Deliberately do NOT absorb on_disk rows into _rows:
+                # feature rows are heavy (the adjacency image dominates),
+                # and a long-lived service must not grow resident memory
+                # with rows other processes wrote but it never looked up.
+                # The worst case of staying blind to them is a re-extract.
+        self._dirty_keys.clear()
+        return self.namespace_dir
+
+
+def _shard_row_count(path: Path) -> int:
+    """Number of rows in a packed shard file (0 for unreadable files)."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return int(data["keys"].shape[0])
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return 0
+
+
+def describe_feature_tier(directory: Union[str, Path]) -> Dict[str, Any]:
+    """Describe every schema namespace under a feature-tier root.
+
+    Pure directory walking — no store is opened and no lock is taken, so
+    this is safe to run against a live cache (``cache-info`` does).
+    """
+    root = Path(directory)
+    namespaces: List[Dict[str, Any]] = []
+    if root.is_dir():
+        for namespace in sorted(p for p in root.iterdir() if p.is_dir()):
+            shards = sorted((namespace / SHARDS_DIRNAME).glob("*.npz"))
+            namespaces.append(
+                {
+                    "schema": namespace.name,
+                    "n_shards": len(shards),
+                    "n_rows": sum(_shard_row_count(p) for p in shards),
+                    "bytes": sum(_file_size(p) for p in shards),
+                }
+            )
+    return {
+        "directory": str(root),
+        "namespaces": namespaces,
+        "n_rows": sum(ns["n_rows"] for ns in namespaces),
+        "bytes": sum(ns["bytes"] for ns in namespaces),
+    }

@@ -35,6 +35,7 @@ from ..core.results import ScanRecord
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..features.pipeline import MultimodalFeatures, extract_design_modalities
 from .cache import ScanCache
+from .feature_store import FeatureStore
 
 #: File suffixes treated as HDL sources when collecting from a directory.
 HDL_SUFFIXES = (".v", ".sv", ".verilog")
@@ -129,6 +130,7 @@ def extract_feature_rows(
     sources: Sequence[ScanSource],
     image_size: int = DEFAULT_IMAGE_SIZE,
     workers: Optional[int] = None,
+    store: Optional[FeatureStore] = None,
 ) -> Tuple[Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]], Dict[int, str]]:
     """Extract ``(tabular, graph, image)`` rows for every source.
 
@@ -136,8 +138,22 @@ def extract_feature_rows(
     to ``min(4, cpu_count)``; pass ``1`` (or fewer sources than 2) for the
     serial path.  Any pool-level failure falls back to serial extraction so
     a restricted environment degrades gracefully rather than crashing.
+
+    With a :class:`repro.engine.feature_store.FeatureStore` attached, the
+    store is consulted first — features are a pure function of source
+    content, so a stored row is served without touching the HDL front-end
+    — and every freshly extracted row is recorded in it (the caller
+    flushes).  The store's ``n_hits`` / ``n_misses`` counters account for
+    the lookups.
     """
-    tasks = [(i, src.source, image_size) for i, src in enumerate(sources)]
+    tasks: List[Tuple[int, str, int]] = []
+    rows: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    for i, src in enumerate(sources):
+        hit = store.get(src.sha256) if store is not None else None
+        if hit is not None:
+            rows[i] = hit
+        else:
+            tasks.append((i, src.source, image_size))
     if workers is None:
         workers = min(4, multiprocessing.cpu_count() or 1)
     results: List[Tuple[int, Optional[Tuple], Optional[str]]] = []
@@ -149,13 +165,14 @@ def extract_feature_rows(
             results = []
     if not results:
         results = [_extract_worker(task) for task in tasks]
-    rows: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
     errors: Dict[int, str] = {}
     for index, row, error in results:
         if error is not None:
             errors[index] = error
         else:
             rows[index] = row
+            if store is not None:
+                store.put(sources[index].sha256, row)
     return rows, errors
 
 
@@ -164,18 +181,36 @@ def assemble_features(
     names: Sequence[str],
     image_size: int = DEFAULT_IMAGE_SIZE,
 ) -> MultimodalFeatures:
-    """Stack per-design feature rows into one batched feature container.
+    """Assemble per-design feature rows into one batched feature container.
 
-    Labels are unknown at scan time and filled with ``-1`` placeholders
-    (never read by the inference path).
+    The batch matrices are preallocated once and filled slice-by-slice in
+    place — each source row (often a read-only view into a feature-store
+    shard) is copied exactly once, with no intermediate per-design arrays
+    or list-of-arrays staging (the ``vstack``/``stack`` path materialises
+    both).  Labels are unknown at scan time and filled with ``-1``
+    placeholders (never read by the inference path).
     """
     n = len(rows)
+    if not n:
+        return MultimodalFeatures(
+            tabular=np.empty((0, 0)),
+            graph=np.empty((0, 0)),
+            graph_images=np.empty((0, 1, image_size, image_size)),
+            labels=np.full(0, -1, dtype=int),
+            names=list(names),
+        )
+    first_tab, first_graph, first_image = rows[0]
+    tabular = np.empty((n, first_tab.shape[-1]), dtype=first_tab.dtype)
+    graph = np.empty((n, first_graph.shape[-1]), dtype=first_graph.dtype)
+    graph_images = np.empty((n, *first_image.shape), dtype=first_image.dtype)
+    for j, (tab, gra, img) in enumerate(rows):
+        tabular[j] = tab
+        graph[j] = gra
+        graph_images[j] = img
     return MultimodalFeatures(
-        tabular=np.vstack([r[0] for r in rows]) if n else np.empty((0, 0)),
-        graph=np.vstack([r[1] for r in rows]) if n else np.empty((0, 0)),
-        graph_images=np.stack([r[2] for r in rows], axis=0)
-        if n
-        else np.empty((0, 1, image_size, image_size)),
+        tabular=tabular,
+        graph=graph,
+        graph_images=graph_images,
         labels=np.full(n, -1, dtype=int),
         names=list(names),
     )
@@ -230,6 +265,18 @@ def resolve_cache_hits(
 # ---------------------------------------------------------------------------
 
 
+#: Order in which per-stage profile timings are reported (collect is the
+#: CLI's source-gathering stage; the engine fills the rest).
+PROFILE_STAGES = (
+    "collect",
+    "cache_lookup",
+    "extract",
+    "infer",
+    "p_value",
+    "cache_flush",
+)
+
+
 @dataclass
 class ScanReport:
     """Everything one scan run produced, plus its runtime breakdown."""
@@ -237,11 +284,15 @@ class ScanReport:
     records: List[ScanRecord] = field(default_factory=list)
     n_designs: int = 0
     n_cache_hits: int = 0
+    n_feature_hits: int = 0
     n_errors: int = 0
     seconds_extract: float = 0.0
     seconds_inference: float = 0.0
     seconds_total: float = 0.0
     confidence_level: float = 0.9
+    #: Per-stage wall-time breakdown (:data:`PROFILE_STAGES` keys), filled
+    #: by the engine on every scan and surfaced by ``scan --profile``.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def n_scanned(self) -> int:
@@ -271,9 +322,12 @@ class ScanReport:
     def summary_lines(self) -> List[str]:
         """Human-readable run summary used by the CLI."""
         queues = self.triage()
+        feature = (
+            f", {self.n_feature_hits} feature hits" if self.n_feature_hits else ""
+        )
         lines = [
             f"designs scanned : {self.n_designs} "
-            f"({self.n_cache_hits} cache hits, {self.n_errors} errors)",
+            f"({self.n_cache_hits} cache hits{feature}, {self.n_errors} errors)",
             f"wall time       : {self.seconds_total:.3f}s "
             f"(extract {self.seconds_extract:.3f}s, "
             f"inference {self.seconds_inference:.3f}s)",
@@ -283,16 +337,50 @@ class ScanReport:
         ]
         return lines
 
+    def profile_lines(self) -> List[str]:
+        """Per-stage timing breakdown (the ``scan --profile`` output).
+
+        Stages are listed in pipeline order with their share of the total
+        wall time, plus an ``(other)`` line for time the instrumented
+        stages do not account for (record bookkeeping, report assembly).
+        ``collect`` runs in the CLI before the engine's clock starts, so
+        the total here is ``seconds_total`` plus the collect stage.
+        Stages keyed with a ``_cpu`` suffix (the parallel scheduler's
+        summed per-worker times) are CPU seconds, not slices of the wall
+        clock, and are listed without a percentage.
+        """
+        grand_total = self.seconds_total + self.stage_seconds.get("collect", 0.0)
+        total = max(grand_total, 1e-12)
+        lines = ["stage timings:"]
+        accounted = 0.0
+        for stage in PROFILE_STAGES:
+            seconds = self.stage_seconds.get(stage)
+            if seconds is None:
+                continue
+            accounted += seconds
+            lines.append(f"  {stage:<12} {seconds:9.4f}s  {seconds / total:6.1%}")
+        other = max(grand_total - accounted, 0.0)
+        lines.append(f"  {'(other)':<12} {other:9.4f}s  {other / total:6.1%}")
+        lines.append(f"  {'total':<12} {grand_total:9.4f}s")
+        for stage, seconds in sorted(self.stage_seconds.items()):
+            if stage.endswith("_cpu"):
+                lines.append(
+                    f"  {stage:<12} {seconds:9.4f}s  (CPU, summed across workers)"
+                )
+        return lines
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form (consumed by ``python -m repro report``)."""
         return {
             "n_designs": self.n_designs,
             "n_cache_hits": self.n_cache_hits,
+            "n_feature_hits": self.n_feature_hits,
             "n_errors": self.n_errors,
             "seconds_extract": self.seconds_extract,
             "seconds_inference": self.seconds_inference,
             "seconds_total": self.seconds_total,
             "confidence_level": self.confidence_level,
+            "profile": dict(self.stage_seconds),
             "records": [record.to_dict() for record in self.records],
         }
 
@@ -303,11 +391,13 @@ class ScanReport:
             records=[ScanRecord.from_dict(r) for r in data.get("records", [])],
             n_designs=int(data.get("n_designs", 0)),
             n_cache_hits=int(data.get("n_cache_hits", 0)),
+            n_feature_hits=int(data.get("n_feature_hits", 0)),
             n_errors=int(data.get("n_errors", 0)),
             seconds_extract=float(data.get("seconds_extract", 0.0)),
             seconds_inference=float(data.get("seconds_inference", 0.0)),
             seconds_total=float(data.get("seconds_total", 0.0)),
             confidence_level=float(data.get("confidence_level", 0.9)),
+            stage_seconds=dict(data.get("profile", {})),
         )
 
 
@@ -329,6 +419,12 @@ class ScanEngine:
         stable identifier works for in-memory models.
     cache:
         Optional :class:`ScanCache`; omit to scan uncached.
+    feature_store:
+        Optional model-independent
+        :class:`repro.engine.feature_store.FeatureStore`.  Designs whose
+        content hash is in the store skip the HDL front-end entirely —
+        a rescan under a fresh model fingerprint (recalibration, hot
+        reload) pays only the forward pass.
     image_size:
         Adjacency-image size the feature pipeline was trained with.
     """
@@ -338,11 +434,13 @@ class ScanEngine:
         model: ConformalFusionModel,
         fingerprint: str = "unversioned",
         cache: Optional[ScanCache] = None,
+        feature_store: Optional[FeatureStore] = None,
         image_size: int = DEFAULT_IMAGE_SIZE,
     ) -> None:
         self.model = model
         self.fingerprint = fingerprint
         self.cache = cache
+        self.feature_store = feature_store
         self.image_size = image_size
 
     @classmethod
@@ -350,15 +448,32 @@ class ScanEngine:
         cls,
         artifact_path: Union[str, Path],
         cache_dir: Optional[Union[str, Path]] = None,
+        feature_store_dir: Optional[Union[str, Path]] = None,
         image_size: int = DEFAULT_IMAGE_SIZE,
     ) -> "ScanEngine":
-        """Load a persisted detector and (optionally) attach a result cache."""
+        """Load a persisted detector and (optionally) attach the cache tiers.
+
+        ``cache_dir`` attaches the fingerprint-namespaced result tier;
+        ``feature_store_dir`` attaches the model-independent feature tier
+        (conventionally ``<cache_dir>/features`` — the CLI wires that up).
+        """
         from .artifacts import load_detector
 
         model, manifest = load_detector(artifact_path)
         fingerprint = manifest.get("fingerprint", "unversioned")
         cache = ScanCache(cache_dir, fingerprint) if cache_dir is not None else None
-        return cls(model, fingerprint=fingerprint, cache=cache, image_size=image_size)
+        store = (
+            FeatureStore(feature_store_dir, image_size=image_size)
+            if feature_store_dir is not None
+            else None
+        )
+        return cls(
+            model,
+            fingerprint=fingerprint,
+            cache=cache,
+            feature_store=store,
+            image_size=image_size,
+        )
 
     # -- scanning ------------------------------------------------------------
     def scan_sources(
@@ -372,30 +487,43 @@ class ScanEngine:
 
         Cached designs (same content hash, same model fingerprint) are
         served from the cache; the rest go through parallel feature
-        extraction and one batched inference call.  The record order always
+        extraction and one batched inference call.  With a feature store
+        attached, designs whose features are stored skip extraction and go
+        straight to inference (and fresh extractions are persisted into
+        the store for every future model).  The record order always
         matches the input order.  ``flush_cache=False`` records fresh
-        results in the cache but defers the disk flush to the caller (the
-        serving layer flushes off the response critical path); the default
-        keeps the one-shot behaviour of flushing before returning.
+        results in the cache tiers but defers the disk flushes to the
+        caller (the serving layer flushes off the response critical path);
+        the default keeps the one-shot behaviour of flushing before
+        returning.  ``stage_seconds`` on the returned report carries the
+        per-stage wall-time breakdown (``scan --profile``).
         """
         t_start = time.perf_counter()
         level = confidence if confidence is not None else self.model.config.confidence_level
         report = ScanReport(n_designs=len(sources), confidence_level=level)
 
-        # 1. cache lookups (decision rebuilt at the requested level).
+        # 1. result-cache lookups (decision rebuilt at the requested level).
         records, pending = resolve_cache_hits(self.cache, sources, level)
         report.n_cache_hits = len(sources) - len(pending)
+        report.stage_seconds["cache_lookup"] = time.perf_counter() - t_start
 
-        # 2. parallel front-end for the cache misses
+        # 2. feature store + parallel front-end for the result-cache misses
         t_extract = time.perf_counter()
+        store = self.feature_store
+        hits_before = store.n_hits if store is not None else 0
         rows, errors = (
             extract_feature_rows(
-                [sources[i] for i in pending], image_size=self.image_size, workers=workers
+                [sources[i] for i in pending],
+                image_size=self.image_size,
+                workers=workers,
+                store=store,
             )
             if pending
             else ({}, {})
         )
+        report.n_feature_hits = (store.n_hits - hits_before) if store is not None else 0
         report.seconds_extract = time.perf_counter() - t_extract
+        report.stage_seconds["extract"] = report.seconds_extract
 
         for local_index, message in errors.items():
             i = pending[local_index]
@@ -408,6 +536,7 @@ class ScanEngine:
         # 3. one batched forward pass + searchsorted p-values for the rest
         scanned = [i for local, i in enumerate(pending) if local in rows]
         t_infer = time.perf_counter()
+        t_decide = t_infer
         if scanned:
             ordered_rows = [
                 rows[local] for local, i in enumerate(pending) if local in rows
@@ -416,6 +545,7 @@ class ScanEngine:
                 ordered_rows, [sources[i].name for i in scanned], self.image_size
             )
             p_values = self.model.p_values(batch)
+            t_decide = time.perf_counter()
             decisions = build_decisions(batch.names, p_values, level)
             for i, decision in zip(scanned, decisions):
                 src = sources[i]
@@ -425,9 +555,13 @@ class ScanEngine:
                     decision=decision,
                     source_path=src.path,
                 )
-        report.seconds_inference = time.perf_counter() - t_infer
+        t_decided = time.perf_counter()
+        report.seconds_inference = t_decided - t_infer
+        report.stage_seconds["infer"] = t_decide - t_infer
+        report.stage_seconds["p_value"] = t_decided - t_decide
 
-        # 4. persist fresh results
+        # 4. persist fresh results (both tiers)
+        t_flush = time.perf_counter()
         report.records = [r for r in records if r is not None]
         if self.cache is not None:
             for record in report.records:
@@ -435,6 +569,9 @@ class ScanEngine:
                     self.cache.put(record)
             if flush_cache:
                 self.cache.flush()
+        if store is not None and flush_cache:
+            store.flush()
+        report.stage_seconds["cache_flush"] = time.perf_counter() - t_flush
         report.seconds_total = time.perf_counter() - t_start
         return report
 

@@ -45,6 +45,7 @@ from ..core.fusion import ConformalFusionModel
 from ..core.results import ScanRecord
 from ..features.image import DEFAULT_IMAGE_SIZE
 from .cache import ScanCache, atomic_write_json
+from .feature_store import FeatureStore
 from .scan import ScanEngine, ScanReport, ScanSource, collect_sources, resolve_cache_hits
 
 #: Default number of designs per scheduler shard.
@@ -88,36 +89,52 @@ def corpus_digest(sources: Sequence[ScanSource]) -> str:
 _WORKER_ENGINE: Optional[ScanEngine] = None
 
 
-def _init_scan_worker(payload: Tuple[str, Any, str, int]) -> None:
+def _init_scan_worker(payload: Tuple[str, Any, str, int, Optional[str]]) -> None:
     """Pool initializer: build the per-process engine exactly once.
 
-    ``payload`` is ``("artifact", path, fingerprint, image_size)`` — each
-    worker loads the persisted detector itself — or
-    ``("model", pickled_model, fingerprint, image_size)`` for in-memory
-    models.  Workers never touch the result cache; the parent owns all
-    cache I/O, so a scan keeps a single cache writer per process tree.
+    ``payload`` is ``("artifact", path, fingerprint, image_size,
+    feature_store_dir)`` — each worker loads the persisted detector itself
+    — or ``("model", pickled_model, fingerprint, image_size,
+    feature_store_dir)`` for in-memory models.  Workers never touch the
+    *result* cache (the parent owns all result-cache I/O, so a scan keeps
+    a single writer per process tree), but each worker opens its own
+    handle on the shared model-independent feature store: the store's
+    ``flock`` + read-merge-write flush discipline makes any number of
+    concurrent writers safe, and sharing it means a shard full of
+    already-seen designs skips extraction inside the worker too.
     """
     global _WORKER_ENGINE
-    kind, spec, fingerprint, image_size = payload
+    kind, spec, fingerprint, image_size, feature_store_dir = payload
     if kind == "artifact":
         from .artifacts import load_detector
 
         model, _ = load_detector(spec)
     else:
         model = pickle.loads(spec)
+    store = (
+        FeatureStore(feature_store_dir, image_size=image_size)
+        if feature_store_dir is not None
+        else None
+    )
     _WORKER_ENGINE = ScanEngine(
-        model, fingerprint=fingerprint, cache=None, image_size=image_size
+        model,
+        fingerprint=fingerprint,
+        cache=None,
+        feature_store=store,
+        image_size=image_size,
     )
 
 
 def _scan_shard_worker(
     task: Tuple[str, List[ScanSource], float],
-) -> Tuple[str, Optional[List[dict]], float, float, Optional[str]]:
+) -> Tuple[str, Optional[List[dict]], float, float, int, Optional[str]]:
     """Pool worker: scan one shard end-to-end with the per-process engine.
 
     Returns ``(shard_id, record_dicts, seconds_extract, seconds_inference,
-    error)``; any exception is folded into ``error`` so the parent can
-    re-queue the shard instead of crashing the pool.
+    n_feature_hits, error)``; any exception is folded into ``error`` so the
+    parent can re-queue the shard instead of crashing the pool.  The
+    engine's default flush persists fresh feature rows per shard, matching
+    the result cache's per-shard durability in the parent.
     """
     shard_id, shard_sources, level = task
     try:
@@ -130,10 +147,11 @@ def _scan_shard_worker(
             [record.to_dict() for record in report.records],
             report.seconds_extract,
             report.seconds_inference,
+            report.n_feature_hits,
             None,
         )
     except Exception as exc:  # pragma: no cover - exercised via retry tests
-        return shard_id, None, 0.0, 0.0, f"{type(exc).__name__}: {exc}"
+        return shard_id, None, 0.0, 0.0, 0, f"{type(exc).__name__}: {exc}"
 
 
 # ---------------------------------------------------------------------------
@@ -241,6 +259,13 @@ class ScanScheduler:
     cache:
         Optional :class:`ScanCache` shared with plain engines; required
         for resumable scans.
+    feature_store_dir:
+        Optional root of the model-independent feature tier.  Every pool
+        worker (and the serial-path parent engine) opens its own
+        :class:`repro.engine.feature_store.FeatureStore` handle on it —
+        the store's ``flock`` + read-merge-write flush discipline makes
+        concurrent writers safe, the same guarantee the result cache
+        gives the parent.
     jobs:
         Worker-pool size (:func:`default_jobs` when omitted); ``1`` scans
         shards serially in the parent through the same merge path.
@@ -274,6 +299,7 @@ class ScanScheduler:
         artifact_path: Optional[Union[str, Path]] = None,
         fingerprint: str = "unversioned",
         cache: Optional[ScanCache] = None,
+        feature_store_dir: Optional[Union[str, Path]] = None,
         jobs: Optional[int] = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
         max_retries: int = DEFAULT_MAX_RETRIES,
@@ -292,6 +318,9 @@ class ScanScheduler:
         self.artifact_path = Path(artifact_path) if artifact_path is not None else None
         self.fingerprint = fingerprint
         self.cache = cache
+        self.feature_store_dir = (
+            Path(feature_store_dir) if feature_store_dir is not None else None
+        )
         self.jobs = jobs if jobs is not None else default_jobs()
         self.shard_size = shard_size
         self.max_retries = max_retries
@@ -318,6 +347,7 @@ class ScanScheduler:
         cls,
         artifact_path: Union[str, Path],
         cache_dir: Optional[Union[str, Path]] = None,
+        feature_store_dir: Optional[Union[str, Path]] = None,
         jobs: Optional[int] = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
         max_retries: int = DEFAULT_MAX_RETRIES,
@@ -329,7 +359,8 @@ class ScanScheduler:
 
         Workers load the artifact themselves at pool start-up; the parent
         only reads the manifest (for the fingerprint and default
-        confidence) and optionally attaches the sharded result cache.
+        confidence) and optionally attaches the sharded result cache and
+        the shared feature-store root.
         """
         from .artifacts import load_manifest
 
@@ -340,6 +371,7 @@ class ScanScheduler:
             artifact_path=artifact_path,
             fingerprint=fingerprint,
             cache=cache,
+            feature_store_dir=feature_store_dir,
             jobs=jobs,
             shard_size=shard_size,
             max_retries=max_retries,
@@ -365,14 +397,24 @@ class ScanScheduler:
         self.close()
 
     # -- internals -----------------------------------------------------------
-    def _worker_payload(self) -> Tuple[str, Any, str, int]:
+    def _worker_payload(self) -> Tuple[str, Any, str, int, Optional[str]]:
+        store_dir = (
+            str(self.feature_store_dir) if self.feature_store_dir is not None else None
+        )
         if self.artifact_path is not None:
-            return ("artifact", str(self.artifact_path), self.fingerprint, self.image_size)
+            return (
+                "artifact",
+                str(self.artifact_path),
+                self.fingerprint,
+                self.image_size,
+                store_dir,
+            )
         return (
             "model",
             pickle.dumps(self.model, protocol=pickle.HIGHEST_PROTOCOL),
             self.fingerprint,
             self.image_size,
+            store_dir,
         )
 
     def _ensure_pool(self, n_shards: int) -> Optional[multiprocessing.pool.Pool]:
@@ -404,10 +446,16 @@ class ScanScheduler:
                 from .artifacts import load_detector
 
                 model, _ = load_detector(self.artifact_path)
+            store = (
+                FeatureStore(self.feature_store_dir, image_size=self.image_size)
+                if self.feature_store_dir is not None
+                else None
+            )
             self._parent_engine_cache = ScanEngine(
                 model,
                 fingerprint=self.fingerprint,
                 cache=None,
+                feature_store=store,
                 image_size=self.image_size,
             )
         return self._parent_engine_cache
@@ -533,11 +581,11 @@ class ScanScheduler:
                         # result would never arrive) into a retryable failure.
                         return async_result.get(timeout=self.shard_timeout)
                     except multiprocessing.TimeoutError:
-                        return (shard.shard_id, None, 0.0, 0.0,
+                        return (shard.shard_id, None, 0.0, 0.0, 0,
                                 f"no result within {self.shard_timeout:.0f}s "
                                 "(worker lost?)")
                     except Exception as exc:  # worker raised at pool level
-                        return (shard.shard_id, None, 0.0, 0.0,
+                        return (shard.shard_id, None, 0.0, 0.0, 0,
                                 f"{type(exc).__name__}: {exc}")
 
                 # Lazy: each shard is absorbed (and its records flushed to
@@ -555,9 +603,10 @@ class ScanScheduler:
                     for shard in batch
                 )
             for shard, outcome in outcomes:
-                _, record_dicts, sec_extract, sec_inference, error = outcome
+                _, record_dicts, sec_extract, sec_inference, feature_hits, error = outcome
                 report.seconds_extract += sec_extract
                 report.seconds_inference += sec_inference
+                report.n_feature_hits += feature_hits
                 if error is None and record_dicts is not None:
                     self._absorb_shard(shard, record_dicts, records, report, journal)
                 else:
@@ -572,6 +621,12 @@ class ScanScheduler:
         report.records = [r for r in records if r is not None]
         if journal is not None:
             journal.complete()
+        # Coarse stage view for ``--profile``.  These are CPU seconds
+        # summed across pool workers, not slices of wall time, so they go
+        # in under the ``_cpu`` suffix that ``profile_lines`` reports
+        # without a share-of-total percentage.
+        report.stage_seconds["extract_cpu"] = report.seconds_extract
+        report.stage_seconds["infer_cpu"] = report.seconds_inference
         report.seconds_total = time.perf_counter() - t_start
         return report
 
@@ -591,7 +646,7 @@ def _scan_shard_serial(
     engine: ScanEngine,
     task: Tuple[str, List[ScanSource], float],
     workers: Optional[int] = None,
-) -> Tuple[str, Optional[List[dict]], float, float, Optional[str]]:
+) -> Tuple[str, Optional[List[dict]], float, float, int, Optional[str]]:
     """Serial-path twin of :func:`_scan_shard_worker` using a given engine.
 
     Unlike pool workers (which must extract in-process), the parent may
@@ -605,7 +660,8 @@ def _scan_shard_serial(
             [record.to_dict() for record in report.records],
             report.seconds_extract,
             report.seconds_inference,
+            report.n_feature_hits,
             None,
         )
     except Exception as exc:
-        return shard_id, None, 0.0, 0.0, f"{type(exc).__name__}: {exc}"
+        return shard_id, None, 0.0, 0.0, 0, f"{type(exc).__name__}: {exc}"

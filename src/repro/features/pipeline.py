@@ -15,6 +15,8 @@ simulates them and :mod:`repro.gan.imputation` repairs them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
@@ -31,6 +33,37 @@ from .tabular import TABULAR_FEATURE_NAMES, tabular_feature_vector
 MODALITY_TABULAR = "tabular"
 MODALITY_GRAPH = "graph"
 MODALITIES = (MODALITY_GRAPH, MODALITY_TABULAR)
+
+#: Version of the feature-extraction *code*.  Bump this whenever a change
+#: to the extractors (:mod:`repro.features.tabular`,
+#: :mod:`repro.features.graph_features`, :mod:`repro.features.image`, the
+#: HDL front-end they parse with, or this pipeline) can alter the numbers
+#: produced for unchanged source text.  The bump changes
+#: :func:`feature_schema_fingerprint`, which moves the model-independent
+#: feature cache (:class:`repro.engine.feature_store.FeatureStore`) to a
+#: fresh namespace, so stale rows are never served.
+FEATURE_EXTRACTION_VERSION = 1
+
+
+def feature_schema_fingerprint(image_size: int = DEFAULT_IMAGE_SIZE) -> str:
+    """SHA-256 fingerprint of the feature schema produced by this pipeline.
+
+    Covers everything that determines the *meaning and shape* of an
+    extracted feature row: the extraction-code version, both ordered
+    feature-name lists and the adjacency-image size.  Two processes agree
+    on this fingerprint exactly when their extracted rows are
+    interchangeable.
+    """
+    payload = json.dumps(
+        {
+            "extraction_version": FEATURE_EXTRACTION_VERSION,
+            "tabular": list(TABULAR_FEATURE_NAMES),
+            "graph": list(GRAPH_FEATURE_NAMES),
+            "image_size": int(image_size),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass

@@ -12,9 +12,18 @@ p-value call, one cache flush — and hands each request back exactly its
 own slice of the records.
 
 Because every scan funnels through the one worker thread, the engine and
-its cache are only ever touched single-threaded — the batcher is also the
-concurrency guard that makes a process-wide :class:`ScanEngine` safe under
-a threaded HTTP server.
+its cache tiers are only ever touched single-threaded — the batcher is
+also the concurrency guard that makes a process-wide :class:`ScanEngine`
+safe under a threaded HTTP server.
+
+Batch assembly is copy-lean end to end: the engine preallocates each
+micro-batch's feature matrices once and fills slices in place (feature
+rows served from the model-independent feature store are read-only views
+into its packed shards, copied exactly once into the batch), and on the
+way out each request receives a zero-copy slice of the shared record
+list.  After a hot reload the feature tier stays warm — the registry owns
+it, not the swapped engine — so post-reload batches of known designs skip
+straight to the forward pass.
 
 Determinism: records for a request are produced by the same code path as
 a serial engine scan (the engine guarantees record order matches input

@@ -15,7 +15,14 @@ by many small requests (the high-QPS traffic micro-batching exists for):
   shared cache flushes.  The headline number;
 * ``serve_cached_rescan`` — the micro-batching server re-serving a corpus
   it has already scanned: the steady-state cost of repeat traffic (pure
-  cache hits).
+  cache hits);
+* ``serve_rescan_after_reload`` — the recalibration workflow end to end:
+  before every timed round the detector is recalibrated on fresh data,
+  saved over the artifact and hot-reloaded (``POST /reload``), then the
+  same corpus is re-served.  The new fingerprint makes every result-cache
+  lookup miss by construction, but the model-independent feature tier
+  stays warm across the reload, so each design costs only its share of a
+  batched forward pass — no HDL parsing, no feature extraction.
 
 Every timed run scans *fresh* design content (a new deterministic corpus
 per invocation) so the cache never short-circuits the comparison — except
@@ -30,13 +37,14 @@ clients, so the ratios measure serving architecture, not the network.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import socket
 import tempfile
 import threading
 import time
 from collections import deque
 from pathlib import Path
-from typing import Deque, Dict, List, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -45,7 +53,7 @@ from ..features.pipeline import extract_modalities
 from ..perf import BenchmarkSuite, TimingResult
 from ..trojan import SuiteConfig, TrojanDataset
 from ..engine.artifacts import save_detector
-from ..engine.training import train_detector
+from ..engine.training import recalibrate_detector, train_detector
 from .client import ScanServiceClient
 from .server import ScanService
 
@@ -277,11 +285,16 @@ class _ServingMode:
         batch_window_s: float,
         max_batch: int,
         rescan: bool = False,
+        workers: Optional[int] = 1,
+        pre_round: Optional[Callable[["_ServingMode"], None]] = None,
     ) -> None:
         self.name = name
         self.n_requests = n_requests
         self.clients = clients
         self.rescan = rescan
+        #: Hook run before every timed round, *outside* the timed region
+        #: (the rescan-after-reload mode recalibrates + hot-reloads here).
+        self.pre_round = pre_round
         self._seed = seed_base
         self.samples: List[float] = []
         self.latencies: List[float] = []
@@ -291,6 +304,7 @@ class _ServingMode:
             batch_window_s=batch_window_s,
             max_batch=max_batch,
             cache_dir=cache_dir,
+            workers=workers,
         ).start()
         try:
             with ScanServiceClient(self.service.host, self.service.port) as probe:
@@ -308,6 +322,8 @@ class _ServingMode:
             "clients": clients,
             "batch_window_ms": batch_window_s * 1000.0,
             "max_batch": max_batch,
+            "workers": workers,
+            "cpu_count": multiprocessing.cpu_count() or 1,
         }
 
     def _next_seed(self) -> int:
@@ -316,6 +332,8 @@ class _ServingMode:
 
     def run_once(self, record: bool = True) -> None:
         """One timed run: a fresh corpus (or the rescan corpus) served whole."""
+        if self.pre_round is not None:
+            self.pre_round(self)
         corpus = self._rescan_corpus or build_request_corpus(
             self.n_requests, seed=self._next_seed()
         )
@@ -348,6 +366,8 @@ class _ServingMode:
         result.meta["mean_batch_designs"] = snapshot["mean_batch_designs"]
         result.meta["max_batch_designs"] = snapshot["max_batch_designs"]
         result.meta["cache_hit_rate"] = snapshot["cache_hit_rate"]
+        result.meta["feature_hits"] = snapshot.get("feature_hits", 0)
+        result.meta["reloads"] = snapshot.get("reloads", 0)
         return result
 
 
@@ -359,14 +379,20 @@ def run_serve_benchmark(
     seed: int = 0,
     batch_window_ms: float = DEFAULT_BENCH_WINDOW_MS,
     max_batch: int = DEFAULT_BENCH_MAX_BATCH,
+    workers: Optional[int] = 1,
     smoke: bool = False,
 ) -> BenchmarkSuite:
     """Train a quick detector, time the serving modes, write the JSON.
 
     ``smoke=True`` shrinks everything (fewer requests, one repeat) so CI
     can exercise the full path in seconds; the committed
-    ``BENCH_serve.json`` comes from a full run.  Returns the populated
-    :class:`BenchmarkSuite` (already written to ``output``).
+    ``BENCH_serve.json`` comes from a full run.  ``workers`` is the
+    per-batch feature-extraction process count handed to every service —
+    ``1`` on the single-core reference container; multi-core machines can
+    record their own variant with ``bench-serve --workers N`` (every
+    result's ``meta.cpu_count`` says which kind of machine produced it).
+    Returns the populated :class:`BenchmarkSuite` (already written to
+    ``output``).
     """
     if smoke:
         n_requests = min(n_requests, 16)
@@ -393,6 +419,30 @@ def run_serve_benchmark(
 
     with tempfile.TemporaryDirectory() as workdir:
         artifact = save_detector(result.model, Path(workdir) / "artifact")
+        # The reload mode rewrites its artifact every round; give it a
+        # private copy so the other modes' services never see a changed
+        # fingerprint mid-measurement.
+        reload_artifact = save_detector(result.model, Path(workdir) / "artifact_reload")
+        recal_state = {"seed": seed + 5_000_000}
+
+        def _recalibrate_and_reload(mode: "_ServingMode") -> None:
+            # Outside the timed region: recalibrate on fresh labelled data
+            # (new calibration arrays => new fingerprint), save over the
+            # mode's artifact, force the hot reload.  The timed round that
+            # follows then serves a cold result tier + warm feature tier.
+            recal_state["seed"] += 1
+            fresh = extract_modalities(
+                TrojanDataset.generate(
+                    SuiteConfig(
+                        n_trojan_free=8, n_trojan_infected=4, seed=recal_state["seed"]
+                    )
+                )
+            )
+            recalibrate_detector(result.model, fresh)
+            save_detector(result.model, reload_artifact)
+            with ScanServiceClient(mode.service.host, mode.service.port) as client:
+                client.reload()
+
         # Disjoint seed bases per mode: corpus content must never repeat
         # across runs or modes, or the cache would cross-contaminate the
         # comparison.
@@ -430,6 +480,17 @@ def run_serve_benchmark(
                 max_batch=max_batch,
                 rescan=True,
             ),
+            dict(
+                name="serve_rescan_after_reload",
+                cache="cache_reload",
+                seed_base=seed + 6_000_000,
+                clients=clients,
+                batch_window_s=window_s,
+                max_batch=max_batch,
+                rescan=True,
+                artifact=reload_artifact,
+                pre_round=_recalibrate_and_reload,
+            ),
         ]
         modes: List[_ServingMode] = []
         try:
@@ -437,7 +498,7 @@ def run_serve_benchmark(
                 modes.append(
                     _ServingMode(
                         spec["name"],
-                        artifact,
+                        spec.get("artifact", artifact),
                         Path(workdir) / spec["cache"],
                         seed_base=spec["seed_base"],
                         n_requests=n_requests,
@@ -445,6 +506,8 @@ def run_serve_benchmark(
                         batch_window_s=spec["batch_window_s"],
                         max_batch=spec["max_batch"],
                         rescan=bool(spec.get("rescan")),
+                        workers=workers,
+                        pre_round=spec.get("pre_round"),
                     )
                 )
             for mode in modes:
@@ -465,6 +528,7 @@ def run_serve_benchmark(
         "serve_unbatched_concurrent",
         "serve_microbatch_concurrent",
         "serve_cached_rescan",
+        "serve_rescan_after_reload",
     ):
         results[name].meta["smoke"] = smoke
         suite.record_speedup(name, sequential, results[name])
@@ -475,6 +539,13 @@ def run_serve_benchmark(
         "serve_microbatch_vs_unbatched_concurrent",
         results["serve_unbatched_concurrent"],
         results["serve_microbatch_concurrent"],
+    )
+    # The feature-tier ratio: post-reload rescans (cold result tier, warm
+    # feature tier) vs the same micro-batched serving paying extraction.
+    suite.record_speedup(
+        "serve_reload_vs_cold_microbatch",
+        results["serve_microbatch_concurrent"],
+        results["serve_rescan_after_reload"],
     )
     suite.write_json(output)
     return suite

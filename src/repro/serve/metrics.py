@@ -91,6 +91,7 @@ class ServiceMetrics:
         self.scan_requests = 0
         self.designs_total = 0
         self.cache_hits = 0
+        self.feature_hits = 0
         self.design_errors = 0
         self.batches_total = 0
         self.batched_designs_total = 0
@@ -128,6 +129,17 @@ class ServiceMetrics:
             self.batched_designs_total += n_designs
             self.max_batch_designs = max(self.max_batch_designs, n_designs)
 
+    def observe_feature_hits(self, n_hits: int) -> None:
+        """Count designs served from the model-independent feature tier.
+
+        A feature hit is a design that needed a forward pass (the result
+        cache missed — e.g. right after a hot reload) but skipped HDL
+        parsing and feature extraction because its content hash was in the
+        feature store.
+        """
+        with self._lock:
+            self.feature_hits += n_hits
+
     def observe_reload(self) -> None:
         """Count one model hot-reload (automatic or via ``POST /reload``)."""
         with self._lock:
@@ -158,6 +170,7 @@ class ServiceMetrics:
                 "designs_total": self.designs_total,
                 "cache_hits": self.cache_hits,
                 "cache_hit_rate": hit_rate,
+                "feature_hits": self.feature_hits,
                 "design_errors": self.design_errors,
                 "batches_total": self.batches_total,
                 "batched_designs_total": self.batched_designs_total,

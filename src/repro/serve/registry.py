@@ -32,7 +32,17 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..engine.artifacts import MANIFEST_NAME, load_detector
 from ..engine.cache import ScanCache
+from ..engine.feature_store import FeatureStore, default_feature_store_dir
 from ..engine.scan import ScanEngine
+
+#: Default staleness-probe TTL (seconds): how long a ``maybe_reload``
+#: outcome is trusted before the manifest is stat'ed again.  High-QPS
+#: traffic probes once per micro-batch; without the TTL that is thousands
+#: of ``stat`` calls per second against the artifact directory for a file
+#: that changes a few times a day.  250 ms keeps the steady state at ~4
+#: stats/second while bounding hot-reload latency well under a second
+#: (and ``POST /reload`` always bypasses the TTL).
+DEFAULT_RELOAD_TTL_S = 0.25
 
 
 @dataclass
@@ -45,6 +55,8 @@ class RegisteredModel:
     manifest_mtime: float
     loaded_at: float
     kind: str
+    #: ``time.monotonic()`` of the last staleness probe (TTL bookkeeping).
+    last_probe: float = 0.0
 
     def describe(self) -> Dict[str, object]:
         """JSON-ready summary used by ``/healthz`` and ``/reload``."""
@@ -74,6 +86,23 @@ class ModelRegistry:
         would turn every flush into one file write per design.  Both
         layouts coexist in one cache directory (readers merge all shard
         files).
+    feature_cache:
+        Attach the model-independent feature tier
+        (:class:`repro.engine.feature_store.FeatureStore`, under
+        ``<cache_dir>/features``).  The store is **shared by every engine
+        the registry ever loads** — it is keyed by source content, not by
+        model — so a hot reload keeps the warm feature tier and
+        post-reload scans of known designs skip straight to inference.
+        Ignored when ``cache_dir`` is ``None``.
+    feature_store_dir:
+        Explicit feature-tier root, overriding the ``<cache_dir>/features``
+        convention (and working even without a result cache — the
+        recalibration workflow wants exactly that: fresh verdicts, warm
+        features).
+    reload_ttl_s:
+        How long (seconds) a :meth:`maybe_reload` staleness verdict is
+        trusted before the manifest mtime is stat'ed again.  ``0``
+        restores a stat per probe; :meth:`reload` always bypasses it.
     """
 
     def __init__(
@@ -81,10 +110,24 @@ class ModelRegistry:
         cache_dir: Optional[Union[str, Path]] = None,
         image_size: int = DEFAULT_IMAGE_SIZE,
         cache_shard_prefix_len: int = 1,
+        feature_cache: bool = True,
+        feature_store_dir: Optional[Union[str, Path]] = None,
+        reload_ttl_s: float = DEFAULT_RELOAD_TTL_S,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.image_size = image_size
         self.cache_shard_prefix_len = cache_shard_prefix_len
+        self.reload_ttl_s = reload_ttl_s
+        if feature_store_dir is None and self.cache_dir is not None and feature_cache:
+            feature_store_dir = default_feature_store_dir(self.cache_dir)
+        # One feature store for the whole registry: the tier is
+        # model-independent, so reloads and multi-model serving all share
+        # (and keep warming) the same content-addressed rows.
+        self.feature_store: Optional[FeatureStore] = (
+            FeatureStore(feature_store_dir, image_size=image_size)
+            if feature_store_dir is not None
+            else None
+        )
         self._lock = threading.RLock()
         self._by_path: Dict[Path, RegisteredModel] = {}
         # Models swapped out by a reload whose caches may still hold
@@ -116,7 +159,11 @@ class ModelRegistry:
             else None
         )
         engine = ScanEngine(
-            model, fingerprint=fingerprint, cache=cache, image_size=self.image_size
+            model,
+            fingerprint=fingerprint,
+            cache=cache,
+            feature_store=self.feature_store,
+            image_size=self.image_size,
         )
         return RegisteredModel(
             engine=engine,
@@ -125,6 +172,7 @@ class ModelRegistry:
             manifest_mtime=mtime,
             loaded_at=time.time(),
             kind=str(manifest.get("kind", "unknown")),
+            last_probe=time.monotonic(),
         )
 
     # -- public API ----------------------------------------------------------
@@ -148,18 +196,26 @@ class ModelRegistry:
     ) -> Tuple[RegisteredModel, bool]:
         """Return the current model, hot-reloading if the artifact changed.
 
-        The probe is two-tier: a ``stat`` of ``manifest.json`` first (the
-        steady-state cost), and only when the mtime moved is the detector
-        re-loaded and its fingerprint compared.  A rewrite that produced
-        the *same* fingerprint (e.g. re-saving an identical model) keeps
-        the resident engine and its warm cache.  Returns ``(entry,
-        reloaded)``.
+        The probe is three-tier: within ``reload_ttl_s`` of the previous
+        probe the resident model is returned without touching the
+        filesystem at all (high-QPS traffic probes per micro-batch, which
+        would otherwise ``stat`` the artifact dir thousands of times per
+        second); then a ``stat`` of ``manifest.json`` (the steady-state
+        cost, a few times per second); and only when the mtime moved is
+        the detector re-loaded and its fingerprint compared.  A rewrite
+        that produced the *same* fingerprint (e.g. re-saving an identical
+        model) keeps the resident engine and its warm cache.  Returns
+        ``(entry, reloaded)``.
         """
         path = Path(artifact_path).resolve()
         with self._lock:
             entry = self._by_path.get(path)
             if entry is None:
                 return self.get(path), False
+            now = time.monotonic()
+            if now - entry.last_probe < self.reload_ttl_s:
+                return entry, False
+            entry.last_probe = now
             try:
                 mtime = self._manifest_mtime(path)
             except OSError:
@@ -205,6 +261,7 @@ class ModelRegistry:
                 # Same model content: keep the resident engine (and its
                 # warm in-memory cache view), just remember the new mtime.
                 entry.manifest_mtime = mtime
+                entry.last_probe = time.monotonic()
                 return entry, False
             fresh = self._load(path)
         except (OSError, ValueError, KeyError, ArtifactError):
@@ -227,12 +284,14 @@ class ModelRegistry:
             return list(self._by_path.values())
 
     def flush_caches(self) -> None:
-        """Flush every resident (and retired) engine's result cache.
+        """Flush every resident (and retired) engine's cache tiers.
 
         Called from the serving layer's batch worker between batches and
         on shutdown after the worker drained — i.e. never concurrently
         with a scan writing to the same cache.  Retired engines (swapped
-        out by a hot reload) are flushed once here and then dropped.
+        out by a hot reload) are flushed once here and then dropped.  The
+        shared feature store is flushed once (it is one object, not
+        per-engine state).
         """
         with self._lock:
             retired, self._retired = self._retired, []
@@ -240,3 +299,5 @@ class ModelRegistry:
         for entry in entries + retired:
             if entry.engine.cache is not None:
                 entry.engine.cache.flush()
+        if self.feature_store is not None:
+            self.feature_store.flush()

@@ -143,6 +143,16 @@ class ScanService:
         Designs per micro-batch (the forward-pass batch-size cap).
     cache_dir:
         Sharded result-cache root (``None`` serves uncached).
+    feature_cache:
+        Attach the model-independent feature tier under
+        ``<cache_dir>/features``.  Because the tier is keyed by source
+        content (not model fingerprint), a recalibration + hot reload
+        keeps it warm: post-reload scans of known designs skip HDL
+        parsing and feature extraction entirely and pay only the forward
+        pass.  Ignored when ``cache_dir`` is ``None``.
+    feature_store_dir:
+        Explicit feature-tier root overriding the convention above (also
+        enables the tier without a result cache).
     workers:
         Feature-extraction processes per batch scan (default 1: on a
         serving box the batch worker owns a single core's worth of work).
@@ -165,6 +175,8 @@ class ScanService:
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
         max_batch: int = DEFAULT_MAX_BATCH,
         cache_dir: Optional[Union[str, Path]] = None,
+        feature_cache: bool = True,
+        feature_store_dir: Optional[Union[str, Path]] = None,
         workers: Optional[int] = 1,
         image_size: int = DEFAULT_IMAGE_SIZE,
         allow_paths: bool = True,
@@ -178,7 +190,12 @@ class ScanService:
         # the batch worker touches it, so no lock is needed.
         self._unflushed_designs = 0
         self.metrics = ServiceMetrics()
-        self.registry = ModelRegistry(cache_dir=cache_dir, image_size=image_size)
+        self.registry = ModelRegistry(
+            cache_dir=cache_dir,
+            image_size=image_size,
+            feature_cache=feature_cache,
+            feature_store_dir=feature_store_dir,
+        )
         # Load at construction so a broken artifact fails fast, and keep
         # the fingerprint in a plain attribute the per-request path can
         # read without a registry lookup (updated on hot reload).
@@ -227,6 +244,8 @@ class ScanService:
         report = entry.engine.scan_sources(
             sources, workers=self.workers, confidence=confidence, flush_cache=False
         )
+        if report.n_feature_hits:
+            self.metrics.observe_feature_hits(report.n_feature_hits)
         # Stamp which model produced these records; the response reports
         # this rather than "the currently resident model", which a hot
         # reload may have swapped by the time the response is built.

@@ -292,3 +292,139 @@ class TestServeCli:
             if server.poll() is None:
                 server.kill()
                 server.wait(timeout=10)
+
+
+class TestFeatureCacheCli:
+    def test_recalibrated_rescan_hits_the_feature_tier(self, artifact, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["scan", "--artifact", str(artifact), "--generate", "4", "--cache-dir", cache]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Recalibration rewrites the artifact under a new fingerprint: the
+        # result tier goes cold, the feature tier must carry the rescan.
+        assert main(
+            [
+                "calibrate",
+                "--artifact", str(artifact),
+                "--trojan-free", "8",
+                "--trojan-infected", "4",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "4 feature hits" in capsys.readouterr().out
+
+    def test_no_feature_cache_disables_the_tier(self, artifact, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = [
+            "scan",
+            "--artifact", str(artifact),
+            "--generate", "3",
+            "--cache-dir", cache,
+            "--no-feature-cache",
+        ]
+        assert main(args) == 0
+        assert not (tmp_path / "cache" / "features").exists()
+
+    def test_feature_cache_survives_no_cache(self, artifact, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = [
+            "scan",
+            "--artifact", str(artifact),
+            "--generate", "3",
+            "--cache-dir", cache,
+            "--no-cache",
+            "--feature-cache",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert (tmp_path / "cache" / "features").is_dir()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits" in out and "3 feature hits" in out
+
+    def test_parallel_scan_shares_the_feature_store(self, artifact, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = [
+            "scan",
+            "--artifact", str(artifact),
+            "--generate", "6",
+            "--jobs", "2",
+            "--shard-size", "2",
+            "--cache-dir", cache,
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "calibrate",
+                "--artifact", str(artifact),
+                "--trojan-free", "9",
+                "--trojan-infected", "4",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(base) == 0
+        assert "6 feature hits" in capsys.readouterr().out
+
+
+class TestProfileAndCacheInfo:
+    def test_scan_profile_prints_stage_breakdown(self, artifact, tmp_path, capsys):
+        code = main(
+            [
+                "scan",
+                "--artifact", str(artifact),
+                "--generate", "3",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage timings:" in out
+        for stage in ("collect", "extract", "infer", "p_value", "cache_flush"):
+            assert stage in out
+
+    def test_profile_lands_in_results_json(self, artifact, tmp_path):
+        results = tmp_path / "results.json"
+        code = main(
+            [
+                "scan",
+                "--artifact", str(artifact),
+                "--generate", "3",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output", str(results),
+            ]
+        )
+        assert code == 0
+        profile = json.loads(results.read_text())["profile"]
+        for stage in ("collect", "cache_lookup", "extract", "infer", "p_value", "cache_flush"):
+            assert stage in profile
+            assert profile[stage] >= 0.0
+
+    def test_cache_info_reports_both_tiers(self, artifact, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["scan", "--artifact", str(artifact), "--generate", "4", "--cache-dir", cache]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache-info", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "result tier" in out and "feature tier" in out
+        assert "4 records" in out and "4 rows" in out
+
+    def test_cache_info_json_mode(self, artifact, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["scan", "--artifact", str(artifact), "--generate", "2", "--cache-dir", cache]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache-info", "--cache-dir", cache, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["result_tier"]["n_records"] == 2
+        assert data["feature_tier"]["n_rows"] == 2
+
+    def test_cache_info_empty_dir(self, tmp_path, capsys):
+        assert main(["cache-info", "--cache-dir", str(tmp_path / "missing")]) == 0
+        out = capsys.readouterr().out
+        assert "0 records" in out and "0 rows" in out

@@ -235,7 +235,7 @@ class TestBoundedRetry:
         def flaky(engine, task, workers=None):
             if failures["remaining"] > 0:
                 failures["remaining"] -= 1
-                return task[0], None, 0.0, 0.0, "RuntimeError: transient blip"
+                return task[0], None, 0.0, 0.0, 0, "RuntimeError: transient blip"
             return original(engine, task, workers=workers)
 
         monkeypatch.setattr(scheduler_module, "_scan_shard_serial", flaky)
@@ -252,7 +252,7 @@ class TestBoundedRetry:
         self, detector, scan_batch, monkeypatch
     ):
         def always_fails(engine, task, workers=None):
-            return task[0], None, 0.0, 0.0, "RuntimeError: worker keeps dying"
+            return task[0], None, 0.0, 0.0, 0, "RuntimeError: worker keeps dying"
 
         monkeypatch.setattr(scheduler_module, "_scan_shard_serial", always_fails)
         with ScanScheduler(
@@ -280,7 +280,7 @@ class TestBoundedRetry:
 
     def test_failed_designs_are_not_cached(self, detector, scan_batch, tmp_path, monkeypatch):
         def always_fails(engine, task, workers=None):
-            return task[0], None, 0.0, 0.0, "RuntimeError: nope"
+            return task[0], None, 0.0, 0.0, 0, "RuntimeError: nope"
 
         monkeypatch.setattr(scheduler_module, "_scan_shard_serial", always_fails)
         cache = ScanCache(tmp_path, "fp-fail")
@@ -310,7 +310,7 @@ class TestReportRoundTripWithErrors:
 
     def _exhausted_report(self, detector, scan_batch, monkeypatch):
         def always_fails(engine, task, workers=None):
-            return task[0], None, 0.0, 0.0, "RuntimeError: worker keeps dying"
+            return task[0], None, 0.0, 0.0, 0, "RuntimeError: worker keeps dying"
 
         monkeypatch.setattr(scheduler_module, "_scan_shard_serial", always_fails)
         with ScanScheduler(
@@ -350,7 +350,7 @@ class TestReportRoundTripWithErrors:
         def first_shard_fails(engine, task, workers=None):
             if failures["remaining"] > 0:
                 failures["remaining"] -= 1
-                return task[0], None, 0.0, 0.0, "RuntimeError: one bad shard"
+                return task[0], None, 0.0, 0.0, 0, "RuntimeError: one bad shard"
             return original(engine, task, workers=workers)
 
         monkeypatch.setattr(scheduler_module, "_scan_shard_serial", first_shard_fails)

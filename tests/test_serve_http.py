@@ -209,3 +209,47 @@ class TestLifecycle:
         with pytest.raises((ScanServiceError, OSError)):
             client.scan_texts([(corpus[0].name, corpus[0].source)])
         client.close()
+
+
+class TestFeatureTierOverHttp:
+    def test_post_reload_rescan_pays_only_the_forward_pass(
+        self, detector, corpus, tmp_path
+    ):
+        import copy
+
+        from repro.engine import recalibrate_detector
+        from repro.features import extract_modalities
+        from repro.trojan import SuiteConfig, TrojanDataset
+
+        # A private copy: recalibrating the module-scoped detector fixture
+        # in place would skew the serial baselines of the other tests.
+        detector = copy.deepcopy(detector)
+        artifact = save_detector(detector, tmp_path / "artifact")
+        with ScanService(
+            artifact,
+            port=0,
+            batch_window_s=0.0,
+            max_batch=16,
+            cache_dir=tmp_path / "cache",
+        ) as service:
+            with ScanServiceClient(service.host, service.port) as client:
+                client.wait_until_ready()
+                first = client.scan_texts([(s.name, s.source) for s in corpus])
+                assert first["n_cache_hits"] == 0
+                # Recalibrate -> new fingerprint -> forced hot reload.
+                fresh = extract_modalities(
+                    TrojanDataset.generate(
+                        SuiteConfig(n_trojan_free=10, n_trojan_infected=6, seed=93)
+                    )
+                )
+                recalibrate_detector(detector, fresh)
+                save_detector(detector, artifact)
+                reload_payload = client.reload()
+                assert reload_payload["reloaded"]
+                second = client.scan_texts([(s.name, s.source) for s in corpus])
+                # New fingerprint: the result tier is cold by construction,
+                # but every design rides the warm feature tier.
+                assert second["fingerprint"] != first["fingerprint"]
+                assert second["n_cache_hits"] == 0
+                metrics = client.metrics()
+                assert metrics["feature_hits"] == len(corpus)

@@ -65,7 +65,9 @@ class TestHotReload:
         assert same is entry
 
     def test_changed_fingerprint_hot_reloads(self, artifact, detector):
-        registry = ModelRegistry()
+        # ttl=0 probes the manifest every time (this test exercises the
+        # fingerprint-compare path, not the TTL short-circuit).
+        registry = ModelRegistry(reload_ttl_s=0.0)
         before = registry.get(artifact)
         # Recalibrate on different data => new calibration arrays => new
         # fingerprint written into the same artifact directory.
@@ -125,7 +127,7 @@ class TestHotReload:
     ):
         from repro.engine.scan import ScanSource
 
-        registry = ModelRegistry(cache_dir=tmp_path / "cache")
+        registry = ModelRegistry(cache_dir=tmp_path / "cache", reload_ttl_s=0.0)
         entry = registry.get(artifact)
         entry.engine.scan_sources(
             [ScanSource(name="x", source="module x (a); input a; endmodule")],
@@ -151,3 +153,104 @@ class TestHotReload:
         registry.flush_caches()
         assert shards_dir.is_dir() and any(shards_dir.glob("*.json"))
         assert registry._retired == []
+
+
+class TestReloadTTL:
+    """The manifest-mtime stat probe is rate-limited by ``reload_ttl_s``."""
+
+    def test_probe_within_ttl_skips_the_stat(self, artifact, monkeypatch):
+        registry = ModelRegistry(reload_ttl_s=60.0)
+        registry.get(artifact)
+        calls = {"n": 0}
+        original = ModelRegistry._manifest_mtime
+
+        def counting(self, path):
+            calls["n"] += 1
+            return original(self, path)
+
+        monkeypatch.setattr(ModelRegistry, "_manifest_mtime", counting)
+        for _ in range(500):
+            _, reloaded = registry.maybe_reload(artifact)
+            assert not reloaded
+        assert calls["n"] == 0  # every probe rode the TTL, zero stats
+
+    def test_reload_latency_stays_bounded_by_the_ttl(self, artifact, detector):
+        import time
+
+        ttl = 0.05
+        registry = ModelRegistry(reload_ttl_s=ttl)
+        before = registry.get(artifact)
+        fresh = extract_modalities(
+            TrojanDataset.generate(
+                SuiteConfig(n_trojan_free=10, n_trojan_infected=6, seed=83)
+            )
+        )
+        recalibrate_detector(detector, fresh)
+        save_detector(detector, artifact)
+        _bump_mtime(artifact)
+        # Keep probing the way the batch worker does; the swap must land
+        # within a couple of TTL windows, not eventually.
+        deadline = time.monotonic() + 20 * ttl
+        reloaded = False
+        while time.monotonic() < deadline and not reloaded:
+            _, reloaded = registry.maybe_reload(artifact)
+            if not reloaded:
+                time.sleep(ttl / 5)
+        assert reloaded
+        after = registry.get(artifact)
+        assert after.fingerprint != before.fingerprint
+
+    def test_forced_reload_bypasses_the_ttl(self, artifact, detector):
+        registry = ModelRegistry(reload_ttl_s=3600.0)
+        before = registry.get(artifact)
+        fresh = extract_modalities(
+            TrojanDataset.generate(
+                SuiteConfig(n_trojan_free=10, n_trojan_infected=6, seed=84)
+            )
+        )
+        recalibrate_detector(detector, fresh)
+        save_detector(detector, artifact)
+        after, forced = registry.reload(artifact)
+        assert forced and after.fingerprint != before.fingerprint
+
+
+class TestFeatureTierAcrossReload:
+    def test_hot_reload_keeps_the_feature_store_warm(
+        self, artifact, detector, tmp_path
+    ):
+        from repro.engine.scan import sources_from_pairs
+
+        registry = ModelRegistry(cache_dir=tmp_path / "cache", reload_ttl_s=0.0)
+        before = registry.get(artifact)
+        assert registry.feature_store is not None
+        assert before.engine.feature_store is registry.feature_store
+        batch = sources_from_pairs(
+            (b.name, b.source)
+            for b in TrojanDataset.generate(
+                SuiteConfig(n_trojan_free=4, n_trojan_infected=2, seed=85)
+            ).benchmarks
+        )
+        first = before.engine.scan_sources(batch, workers=1, flush_cache=False)
+        assert first.n_feature_hits == 0
+        fresh = extract_modalities(
+            TrojanDataset.generate(
+                SuiteConfig(n_trojan_free=10, n_trojan_infected=6, seed=86)
+            )
+        )
+        recalibrate_detector(detector, fresh)
+        save_detector(detector, artifact)
+        _bump_mtime(artifact)
+        after, reloaded = registry.maybe_reload(artifact)
+        assert reloaded
+        # The swapped-in engine shares the registry's store, so the
+        # post-reload rescan pays only the forward pass: every design is a
+        # feature hit even though its result namespace is brand new.
+        assert after.engine.feature_store is registry.feature_store
+        second = after.engine.scan_sources(batch, workers=1, flush_cache=False)
+        assert second.n_cache_hits == 0
+        assert second.n_feature_hits == len(batch)
+
+    def test_feature_cache_flag_disables_the_tier(self, artifact, tmp_path):
+        registry = ModelRegistry(cache_dir=tmp_path / "cache", feature_cache=False)
+        assert registry.feature_store is None
+        assert registry.get(artifact).engine.feature_store is None

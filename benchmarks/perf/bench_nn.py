@@ -5,8 +5,11 @@ Times the vectorized ``sliding_window_view`` kernels in
 :mod:`repro.nn.layers` against the golden loop implementations preserved in
 :mod:`repro.nn._reference`, at the paper's CNN shapes: 16x16 adjacency
 images (``DEFAULT_IMAGE_SIZE``), 3x3 kernels, the (16, 32) channel plan and
-the batch size 16 of ``ClassifierConfig``.  Writes the results — including
-best-vs-best speedup factors — to ``BENCH_nn.json`` at the repository root.
+the batch size 16 of ``ClassifierConfig``.  Also times the full paper 1-D
+CNN stack at scan batch size under each compute backend
+(``forward_f64`` / ``forward_fused_f32`` / ``forward_int8``, see
+:mod:`repro.nn.backend`).  Writes the results — including best-vs-best
+speedup factors — to ``BENCH_nn.json`` at the repository root.
 
 Run with::
 
@@ -25,7 +28,9 @@ if str(ROOT / "src") not in sys.path:
 
 import numpy as np  # noqa: E402
 
+from repro.nn import Dense, Flatten, ReLU, Sequential, Sigmoid  # noqa: E402
 from repro.nn import _reference as golden  # noqa: E402
+from repro.nn.backend import get_backend  # noqa: E402
 from repro.nn.layers import (  # noqa: E402
     AvgPool2d,
     Conv1d,
@@ -42,6 +47,32 @@ IMAGE_SIZE = 16  # repro.features.image.DEFAULT_IMAGE_SIZE
 TABULAR_LENGTH = 32
 KERNEL = 3
 CHANNELS = (16, 32)  # ClassifierConfig default channel plan
+DENSE_UNITS = 64  # ClassifierConfig default dense head width
+
+#: Inference batch for the backend comparison — InferencePlan.predict_proba's
+#: internal micro-batch, the shape batched scanning actually runs.
+SCAN_BATCH = 256
+
+
+def build_paper_stack(rng: np.random.Generator) -> Sequential:
+    """The paper's 1-D CNN classifier stack (CNNModalityClassifier shape)."""
+    return Sequential(
+        [
+            Conv1d(1, CHANNELS[0], kernel_size=KERNEL, padding=KERNEL // 2, rng=rng),
+            ReLU(),
+            MaxPool1d(2),
+            Conv1d(
+                CHANNELS[0], CHANNELS[1], kernel_size=KERNEL, padding=KERNEL // 2, rng=rng
+            ),
+            ReLU(),
+            Flatten(),
+            Dense(CHANNELS[1] * (TABULAR_LENGTH // 2), DENSE_UNITS, rng=rng),
+            ReLU(),
+            Dense(DENSE_UNITS, 1, rng=rng),
+            Sigmoid(),
+        ],
+        loss="bce",
+    )
 
 
 def conv2d_forward_loop(layer: Conv2d, x: np.ndarray) -> np.ndarray:
@@ -211,6 +242,42 @@ def main() -> int:
         meta={"input": list(pooled_input.shape), "pool": 2},
     )
 
+    # -- Full-stack inference: the compute backends --------------------------
+    # The whole paper 1-D CNN at scan batch size, float64 golden forward vs
+    # the fused float32 plan vs the int8 dynamic-quantized plan.  Plans are
+    # compiled outside the timed region (engines compile once per model).
+    model = build_paper_stack(np.random.default_rng(7))
+    scan_x = rng.standard_normal((SCAN_BATCH, 1, TABULAR_LENGTH))
+    meta_fw = {
+        "input": list(scan_x.shape),
+        "stack": "conv1d-pool-conv1d-dense-dense",
+        "dense_units": DENSE_UNITS,
+    }
+    forward_f64 = suite.time(
+        lambda: model.predict_proba(scan_x),
+        "forward_f64",
+        repeats=args.repeats,
+        meta=meta_fw,
+    )
+    fused_plan = get_backend("fused_f32").compile(model)
+    fused_plan.predict_proba(scan_x)  # allocate scratch outside the timing
+    forward_fused = suite.time(
+        lambda: fused_plan.predict_proba(scan_x),
+        "forward_fused_f32",
+        repeats=args.repeats,
+        meta=dict(meta_fw, backend="fused_f32"),
+    )
+    suite.record_speedup("forward_fused_f32", forward_f64, forward_fused)
+    int8_plan = get_backend("int8").compile(model)
+    int8_plan.predict_proba(scan_x)
+    forward_int8 = suite.time(
+        lambda: int8_plan.predict_proba(scan_x),
+        "forward_int8",
+        repeats=args.repeats,
+        meta=dict(meta_fw, backend="int8"),
+    )
+    suite.record_speedup("forward_int8", forward_f64, forward_int8)
+
     # -- col2im in isolation (the scatter is the backward's hot piece) -------
     ck = 1 * KERNEL * KERNEL
     grad_cols_fast = rng.standard_normal((ck, BATCH * IMAGE_SIZE * IMAGE_SIZE))
@@ -250,7 +317,10 @@ def main() -> int:
     path = suite.write_json(args.output)
     print(f"wrote {path}")
     for name, factor in sorted(suite.speedups.items()):
-        print(f"  {name}: {factor:.1f}x vs golden loop")
+        baseline = (
+            "vs float64 forward" if name.startswith("forward_") else "vs golden loop"
+        )
+        print(f"  {name}: {factor:.1f}x {baseline}")
     return 0
 
 

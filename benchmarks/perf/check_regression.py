@@ -1,15 +1,23 @@
 #!/usr/bin/env python
-"""CI perf smoke: fail if Conv2d forward regresses vs the golden loop kernel.
+"""CI perf smoke: fail on kernel or backend regressions, machine-independently.
 
-Re-times the optimized Conv2d forward *and* the seed's golden loop
-implementation at the exact shape recorded in the committed
-``BENCH_nn.json``, in the same process, and exits non-zero when the
-optimized kernel is less than ``--min-speedup`` (default 2.0) times faster
-than the loop.  Gating on the in-process ratio rather than absolute
-wall-clock makes the check machine-independent: a slow CI runner slows both
-sides equally, while re-introducing a per-position Python loop (a >4x
-cliff at these shapes) trips it reliably.
+Two in-process ratio checks:
 
+* **Conv2d forward vs the golden loop** — re-times the optimized Conv2d
+  forward *and* the seed's golden loop implementation at the exact shape
+  recorded in the committed ``BENCH_nn.json``, and exits non-zero when the
+  optimized kernel is less than ``--min-speedup`` (default 2.0) times
+  faster than the loop;
+* **Fused float32 backend vs the float64 forward** — runs the full paper
+  1-D CNN stack at scan batch size through ``Sequential.predict_proba``
+  (float64) and the compiled ``fused_f32`` inference plan, and fails when
+  the fused path is less than ``--min-fused-speedup`` (default 1.2) times
+  faster.  The committed ``BENCH_nn.json`` records ~2x+; the gate is set
+  low enough that scheduler noise cannot trip it, high enough that losing
+  the fusion (falling back to per-layer float64) trips it reliably.
+
+Gating on in-process ratios rather than absolute wall-clock makes both
+checks machine-independent: a slow CI runner slows both sides equally.
 The committed baseline's absolute numbers are printed for context only.
 
 Run with::
@@ -29,17 +37,52 @@ if str(ROOT / "src") not in sys.path:
 
 import numpy as np  # noqa: E402
 
-from bench_nn import conv2d_forward_loop  # noqa: E402
+from bench_nn import SCAN_BATCH, TABULAR_LENGTH, build_paper_stack, conv2d_forward_loop  # noqa: E402
+from repro.nn.backend import get_backend  # noqa: E402
 from repro.nn.layers import Conv2d  # noqa: E402
 from repro.perf import load_benchmark_json, speedup, time_callable  # noqa: E402
 
 BENCHMARK = "conv2d_forward"
+FUSED_BENCHMARK = "forward_fused_f32"
+
+
+def check_fused_backend(min_speedup: float, repeats: int) -> int:
+    """Fused-f32 inference plan vs the float64 forward; 0 if it clears."""
+    rng = np.random.default_rng(0)
+    model = build_paper_stack(np.random.default_rng(7))
+    x = rng.standard_normal((SCAN_BATCH, 1, TABULAR_LENGTH))
+    plan = get_backend("fused_f32").compile(model)
+    plan.predict_proba(x)  # allocate scratch outside the timing
+    f64 = time_callable(
+        lambda: model.predict_proba(x), "forward_f64", repeats=repeats, warmup=2
+    )
+    fused = time_callable(
+        lambda: plan.predict_proba(x), FUSED_BENCHMARK, repeats=repeats, warmup=2
+    )
+    ratio = speedup(f64, fused)
+    verdict = "OK" if ratio >= min_speedup else "REGRESSION"
+    print(
+        f"{FUSED_BENCHMARK}: fused best {fused.best_s * 1e6:.1f}us, float64 best "
+        f"{f64.best_s * 1e6:.1f}us -> {ratio:.1f}x "
+        f"(required >= {min_speedup:.1f}x) -> {verdict}"
+    )
+    if ratio < min_speedup:
+        print(
+            "Perf smoke failed: the fused_f32 backend no longer clears "
+            f"{min_speedup:.1f}x over the float64 forward at scan batch size. "
+            "If a slowdown is intentional, regenerate BENCH_nn.json and adjust "
+            "--min-fused-speedup in .github/workflows/ci.yml.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, default=ROOT / "BENCH_nn.json")
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--min-fused-speedup", type=float, default=1.2)
     parser.add_argument("--repeats", type=int, default=30)
     args = parser.parse_args()
 
@@ -94,7 +137,7 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return check_fused_backend(args.min_fused_speedup, args.repeats)
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ representation of the graph modality.  Both expose the
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -28,10 +28,66 @@ from ..nn import (
     Sequential,
     Sigmoid,
 )
+from ..nn.backend import DEFAULT_BACKEND, InferencePlan, get_backend
 from .config import ClassifierConfig
 
 
-class CNNModalityClassifier:
+class _BackendMixin:
+    """Compute-backend selection shared by the CNN classifiers.
+
+    The golden ``numpy`` backend routes inference through the model's own
+    float64 forward pass (bit-identical to training); any other backend
+    lazily compiles an inference plan (fused float32 / int8) on first use
+    and reuses it — including its scratch buffers — across calls.  Fitting
+    invalidates the plan because plans snapshot the weights at compile.
+    """
+
+    _model: Sequential
+
+    def set_backend(
+        self,
+        name: str,
+        quant_state: Optional[Dict[str, np.ndarray]] = None,
+    ) -> "_BackendMixin":
+        """Select the inference backend (and optional cached quantized state).
+
+        ``quant_state`` carries precomputed per-channel int8 weights (as
+        produced by :meth:`quantized_state`) so a loaded artifact does not
+        re-quantize; it is ignored by backends that do not use it.  Raises
+        ``ValueError`` for unknown backend names.
+        """
+        get_backend(name)  # validate eagerly so callers get a clear error
+        self._backend = name
+        self._quant_state = quant_state
+        self._plan = None
+        return self
+
+    @property
+    def backend(self) -> str:
+        """Name of the active inference backend."""
+        return getattr(self, "_backend", DEFAULT_BACKEND)
+
+    def quantized_state(self) -> Dict[str, np.ndarray]:
+        """The int8 backend's cacheable arrays (per-channel weights/scales)."""
+        return get_backend("int8").compile(self._model).export_state()
+
+    def _invalidate_plan(self) -> None:
+        self._plan = None
+
+    def _infer_proba(self, x: np.ndarray) -> np.ndarray:
+        """Model probabilities via the active backend's inference plan."""
+        if self.backend == DEFAULT_BACKEND:
+            return self._model.predict_proba(x)
+        plan: Optional[InferencePlan] = getattr(self, "_plan", None)
+        if plan is None:
+            plan = get_backend(self._backend).compile(
+                self._model, state=getattr(self, "_quant_state", None)
+            )
+            self._plan = plan
+        return plan.predict_proba(x)
+
+
+class CNNModalityClassifier(_BackendMixin):
     """1-D CNN over a flat feature vector (one modality)."""
 
     def __init__(self, n_features: int, config: Optional[ClassifierConfig] = None) -> None:
@@ -43,6 +99,7 @@ class CNNModalityClassifier:
         self._scaler = StandardScaler()
         self._rng = np.random.default_rng(self.config.seed)
         self._model = self._build()
+        self.set_backend(DEFAULT_BACKEND)
 
     def _build(self) -> Sequential:
         c1, c2 = self.config.channels
@@ -90,6 +147,7 @@ class CNNModalityClassifier:
             batch_size=self.config.batch_size,
             rng=np.random.default_rng(self.config.seed + 1),
         )
+        self._invalidate_plan()
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
@@ -97,7 +155,7 @@ class CNNModalityClassifier:
         if x.ndim != 2 or x.shape[1] != self.n_features:
             raise ValueError(f"expected shape (N, {self.n_features}), got {x.shape}")
         scaled = self._scaler.transform(x)
-        positive = self._model.predict_proba(self._reshape(scaled)).reshape(-1)
+        positive = self._infer_proba(self._reshape(scaled)).reshape(-1)
         positive = np.clip(positive, 0.0, 1.0)
         return np.column_stack([1.0 - positive, positive])
 
@@ -105,7 +163,7 @@ class CNNModalityClassifier:
         return (self.predict_proba(x)[:, 1] >= threshold).astype(int)
 
 
-class ImageCNNClassifier:
+class ImageCNNClassifier(_BackendMixin):
     """2-D CNN over adjacency images ``(N, 1, K, K)`` (graph modality variant)."""
 
     def __init__(self, image_size: int, config: Optional[ClassifierConfig] = None) -> None:
@@ -116,6 +174,7 @@ class ImageCNNClassifier:
         self.image_size = image_size
         self._rng = np.random.default_rng(self.config.seed)
         self._model = self._build()
+        self.set_backend(DEFAULT_BACKEND)
 
     def _build(self) -> Sequential:
         c1, c2 = self.config.channels
@@ -158,11 +217,12 @@ class ImageCNNClassifier:
             batch_size=self.config.batch_size,
             rng=np.random.default_rng(self.config.seed + 1),
         )
+        self._invalidate_plan()
         return self
 
     def predict_proba(self, images: np.ndarray) -> np.ndarray:
         images = as_float(images)
-        positive = self._model.predict_proba(images).reshape(-1)
+        positive = self._infer_proba(images).reshape(-1)
         positive = np.clip(positive, 0.0, 1.0)
         return np.column_stack([1.0 - positive, positive])
 

@@ -58,6 +58,7 @@ class ConformalFusionModel:
         self.config = config or NoodleConfig()
         self.config.validate()
         self._fitted = False
+        self._backend = "numpy"
 
     # -- hooks implemented by subclasses ------------------------------------
     def _fit_models(
@@ -83,11 +84,53 @@ class ConformalFusionModel:
         )
         self._fit_models(features, train_idx, calibration_idx)
         self._fitted = True
+        if self.backend != "numpy":
+            # _fit_models rebuilds the classifiers; re-apply the selection
+            # (fresh weights mean any cached quantized state is stale).
+            self.set_backend(self._backend)
         return self
 
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise RuntimeError(f"{type(self).__name__} must be fitted before prediction")
+
+    # -- compute backend ------------------------------------------------------
+    def _classifier_components(self) -> Dict[str, CNNModalityClassifier]:
+        """Component-name -> classifier map (matches the artifact layout)."""
+        mapping = getattr(self, "_classifiers", None)
+        if mapping:
+            return dict(mapping)
+        classifier = getattr(self, "_classifier", None)
+        if classifier is None:
+            return {}
+        return {getattr(self, "modality", None) or "joint": classifier}
+
+    @property
+    def backend(self) -> str:
+        """Name of the inference backend applied to the classifier(s)."""
+        return getattr(self, "_backend", "numpy")
+
+    def set_backend(
+        self,
+        name: str,
+        quant_state: Optional[Dict[str, Dict[str, np.ndarray]]] = None,
+    ) -> "ConformalFusionModel":
+        """Select the compute backend for every underlying CNN classifier.
+
+        ``quant_state`` optionally maps component names (as in the artifact
+        layout: the modality name, ``"joint"``, or one entry per late-fusion
+        modality) to that classifier's cached int8 quantization arrays.
+        Raises ``ValueError`` for unknown backend names.
+        """
+        from ..nn.backend import get_backend
+
+        get_backend(name)  # validate before touching any classifier
+        self._backend = name
+        for component, classifier in self._classifier_components().items():
+            classifier.set_backend(
+                name, (quant_state or {}).get(component)
+            )
+        return self
 
     def p_values(self, features: MultimodalFeatures) -> np.ndarray:
         """Conformal p-value matrix ``(N, 2)`` for TF (col 0) and TI (col 1)."""

@@ -26,6 +26,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -46,6 +49,10 @@ ARTIFACT_SCHEMA_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
+
+#: Sidecar archive caching the int8 backend's per-channel quantized weights,
+#: keyed by the detector fingerprint so a retrain invalidates it.
+QUANT_CACHE_NAME = "quantized_int8.npz"
 
 #: Component name used for the single fused classifier of early fusion.
 _JOINT = "joint"
@@ -221,3 +228,92 @@ def load_detector(
         raise ArtifactError(f"unknown detector kind {kind!r} in {path}")
     model._fitted = True
     return model, manifest
+
+
+# ---------------------------------------------------------------------------
+# Quantized-weight sidecar cache (int8 backend)
+# ---------------------------------------------------------------------------
+
+
+def load_quantized_state(
+    path: Union[str, Path], fingerprint: str
+) -> Optional[Dict[str, Dict[str, np.ndarray]]]:
+    """Read the artifact's cached int8 quantization state, if valid.
+
+    Returns the nested ``{component: {key: array}}`` mapping expected by
+    ``ConformalFusionModel.set_backend('int8', ...)``, or ``None`` when the
+    sidecar is absent, unreadable, or was written for a different detector
+    fingerprint (e.g. after a retrain) — callers then re-quantize.
+    """
+    cache_path = Path(path) / QUANT_CACHE_NAME
+    if not cache_path.is_file():
+        return None
+    try:
+        with np.load(cache_path) as archive:
+            if str(archive["__fingerprint__"]) != fingerprint:
+                return None
+            state: Dict[str, Dict[str, np.ndarray]] = {}
+            for key in archive.files:
+                if key == "__fingerprint__":
+                    continue
+                component, _, entry = key.partition("/")
+                state.setdefault(component, {})[entry] = archive[key]
+            return state
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return None
+
+
+def save_quantized_state(
+    path: Union[str, Path],
+    fingerprint: str,
+    state: Dict[str, Dict[str, np.ndarray]],
+) -> Path:
+    """Atomically persist the int8 quantization sidecar next to the artifact.
+
+    The nested component state is flattened to ``component/key`` archive
+    entries with the owning fingerprint stored alongside, and the archive is
+    written via a temp file + ``os.replace`` so concurrent readers never see
+    a torn file.
+    """
+    path = Path(path)
+    flat: Dict[str, np.ndarray] = {"__fingerprint__": np.array(fingerprint)}
+    for component, entries in state.items():
+        for key, value in entries.items():
+            flat[f"{component}/{key}"] = value
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path, prefix=QUANT_CACHE_NAME + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **flat)
+        os.replace(tmp_name, path / QUANT_CACHE_NAME)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path / QUANT_CACHE_NAME
+
+
+def prepare_quantized_state(
+    model: ConformalFusionModel, path: Union[str, Path], fingerprint: str
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Load — or compute once and cache — a detector's int8 weight prep.
+
+    Per-channel weight scales depend only on the trained weights, so they
+    are computed at most once per artifact: subsequent engine loads (and
+    every scan worker process) read the sidecar instead of re-quantizing.
+    A read-only artifact directory degrades gracefully to in-memory
+    quantization.
+    """
+    state = load_quantized_state(path, fingerprint)
+    if state is not None:
+        return state
+    _, classifiers, _ = _model_components(model)
+    state = {name: clf.quantized_state() for name, clf in classifiers.items()}
+    try:
+        save_quantized_state(path, fingerprint, state)
+    except OSError:
+        pass  # read-only artifact dir: quantize per-process instead
+    return state

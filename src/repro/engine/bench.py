@@ -25,7 +25,12 @@ Measures the three ways the same multi-design workload can be served:
   feature tier serves every row, so the scan pays only the forward pass.
   Each timed call opens a fresh :class:`FeatureStore` handle (a CLI
   rescan is a fresh process), so the number includes reading the packed
-  shards off disk.
+  shards off disk;
+* ``engine_scan_fused_f32`` / ``engine_scan_int8`` — the same
+  warm-feature-store scan under each production compute backend: with
+  extraction served from the store, these isolate what the fused float32
+  and int8 dynamic-quantized forward paths change (ratios against the
+  warm ``numpy`` scan land in ``engine_scan_<backend>_vs_numpy_warm``).
 
 All speedups are recorded against ``engine_scan_sequential``, plus
 ``engine_rescan_after_reload_vs_cold`` against the fully-cold batched
@@ -203,6 +208,33 @@ def run_engine_benchmark(
         suite.record_speedup(
             "engine_rescan_after_reload_vs_cold", batched, reloaded
         )
+
+        # Compute-backend scans over the same warm feature tier: with
+        # extraction served from the store, the timed region is dominated
+        # by the forward pass — exactly what the backends change.
+        def scan_with_backend(backend: str) -> None:
+            engine = ScanEngine(
+                model,
+                fingerprint=f"bench_{backend}",
+                feature_store=FeatureStore(feature_dir),
+                backend=backend,
+                quant_state=None,
+            )
+            report = engine.scan_sources(batch, workers=workers)
+            assert report.n_feature_hits == len(batch), "feature tier missed"
+
+        for backend in ("fused_f32", "int8"):
+            name = f"engine_scan_{backend}"
+            timed = suite.time(
+                lambda b=backend: scan_with_backend(b),
+                name,
+                repeats=repeats,
+                meta=dict(meta, backend=backend, feature_rows=len(batch)),
+            )
+            suite.record_speedup(name, sequential, timed)
+            # The backend ratio: same warm-feature scan, numpy vs this
+            # backend's forward pass.
+            suite.record_speedup(f"{name}_vs_numpy_warm", reloaded, timed)
 
     suite.write_json(output)
     return suite

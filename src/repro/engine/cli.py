@@ -7,12 +7,17 @@ Subcommands (see ``docs/ENGINE.md`` for a walkthrough):
 * ``calibrate`` — re-calibrate a saved detector's conformal state on fresh
   labelled data (no CNN retraining);
 * ``scan``      — run the batched scan pipeline over HDL files/directories
-  (or a generated demo batch) using a saved artifact;
+  (or a generated demo batch) using a saved artifact; ``--backend``
+  selects the inference compute backend (``numpy`` golden float64,
+  ``fused_f32``, ``int8``);
 * ``report``    — pretty-print the triage queues of a saved scan-results
   JSON;
 * ``cache-info`` — report both cache tiers under a cache directory (the
   fingerprint-namespaced result tier and the model-independent feature
   tier);
+* ``cache-gc``  — garbage-collect the feature tier: fold append-only
+  segment files into their base shards and remove retired schema
+  namespaces;
 * ``serve``     — run the long-lived scan service (micro-batching HTTP
   server, see ``docs/SERVING.md``) until SIGTERM/SIGINT;
 * ``bench``     — run the end-to-end throughput benchmark and write
@@ -43,13 +48,19 @@ from typing import Optional, Sequence
 
 from .. import __version__
 from ..core.config import NoodleConfig, default_config
+from ..features.image import DEFAULT_IMAGE_SIZE
 from ..features.pipeline import extract_modalities
 from ..gan import AmplificationConfig, GANConfig
+from ..nn.backend import DEFAULT_BACKEND, available_backends
 from ..trojan import SuiteConfig, TrojanDataset
 from .artifacts import ArtifactError, load_detector, save_detector
 from .bench import DEFAULT_N_DESIGNS, build_scan_batch, run_engine_benchmark
 from .cache import CacheLockTimeout, describe_result_tier
-from .feature_store import default_feature_store_dir, describe_feature_tier
+from .feature_store import (
+    default_feature_store_dir,
+    describe_feature_tier,
+    gc_feature_tier,
+)
 from .scan import HDL_SUFFIXES, ScanEngine, ScanReport, collect_sources
 from .scheduler import DEFAULT_SHARD_SIZE, ScanScheduler
 from .training import TRAINABLE_STRATEGIES, recalibrate_detector, train_detector
@@ -64,6 +75,36 @@ def _fail(message: str) -> int:
     """Print a consistent ``error:`` line to stderr and return exit code 1."""
     print(f"error: {message}", file=sys.stderr)
     return EXIT_FAILURE
+
+
+def _check_backend(name: str) -> bool:
+    """Validate a ``--backend`` value, printing the usage error if unknown.
+
+    Returns ``True`` when the name is known.  Validated here (not via
+    argparse ``choices``) so plugin backends registered through
+    :func:`repro.nn.register_backend` are accepted, and unknown names exit
+    with the usage code (2) rather than the runtime-failure code.
+    """
+    if name in available_backends():
+        return True
+    print(
+        f"error: unknown compute backend {name!r}; "
+        f"known backends: {', '.join(available_backends())}",
+        file=sys.stderr,
+    )
+    return False
+
+
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    """The ``--backend`` flag shared by ``scan`` and ``serve``."""
+    parser.add_argument(
+        "--backend",
+        default=DEFAULT_BACKEND,
+        metavar="NAME",
+        help="inference compute backend: 'numpy' (float64 golden path), "
+        "'fused_f32' (fused float32 forward), or 'int8' (dynamic-quantized "
+        "scanning; quantized weights are cached in the artifact directory)",
+    )
 
 
 def _add_suite_options(parser: argparse.ArgumentParser) -> None:
@@ -166,6 +207,8 @@ def _feature_store_dir(args: argparse.Namespace) -> Optional[Path]:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    if not _check_backend(args.backend):
+        return EXIT_USAGE
     if args.resume and args.no_cache:
         print("error: --resume needs the result cache; drop --no-cache", file=sys.stderr)
         return EXIT_USAGE
@@ -195,13 +238,17 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             shard_size=args.shard_size,
             front_end_workers=args.workers,
+            backend=args.backend,
         ) as scheduler:
             report = scheduler.scan_sources(
                 sources, confidence=args.confidence, resume=args.resume
             )
     else:
         engine = ScanEngine.from_artifact(
-            args.artifact, cache_dir=cache_dir, feature_store_dir=feature_dir
+            args.artifact,
+            cache_dir=cache_dir,
+            feature_store_dir=feature_dir,
+            backend=args.backend,
         )
         report = engine.scan_sources(
             sources, workers=args.workers, confidence=args.confidence
@@ -316,9 +363,35 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    summary = gc_feature_tier(
+        default_feature_store_dir(args.cache_dir), image_size=args.image_size
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(f"feature tier: {summary['directory']}")
+    print(
+        f"compacted schema {summary['current_schema']}: "
+        f"{summary['n_segments_folded']} segment files folded into base shards"
+    )
+    removed = summary["retired_namespaces_removed"]
+    if removed:
+        print(
+            f"removed {len(removed)} retired schema namespaces "
+            f"({_format_bytes(summary['bytes_reclaimed'])} reclaimed): "
+            + ", ".join(removed)
+        )
+    else:
+        print("no retired schema namespaces to remove")
+    return EXIT_OK
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from ..serve.server import ScanService
 
+    if not _check_backend(args.backend):
+        return EXIT_USAGE
     if args.batch_window_ms < 0:
         print("error: --batch-window-ms must be non-negative", file=sys.stderr)
         return EXIT_USAGE
@@ -338,6 +411,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         allow_paths=not args.no_paths,
         flush_every=args.flush_every,
+        backend=args.backend,
     )
     stop = threading.Event()
 
@@ -404,11 +478,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(f"wrote {args.output}")
     for name, factor in sorted(suite.speedups.items()):
-        baseline = (
-            "vs cold batched scan"
-            if name.endswith("_vs_cold")
-            else "vs sequential per-design scans"
-        )
+        if name.endswith("_vs_cold"):
+            baseline = "vs cold batched scan"
+        elif name.endswith("_vs_numpy_warm"):
+            baseline = "vs warm-feature numpy scan"
+        else:
+            baseline = "vs sequential per-design scans"
         print(f"  {name}: {factor:.1f}x {baseline}")
     return EXIT_OK
 
@@ -530,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument(
         "--confidence", type=float, default=None, help="conformal confidence level"
     )
+    _add_backend_option(scan)
     scan.add_argument(
         "--cache-dir", default=".repro_cache", help="scan result cache directory"
     )
@@ -568,6 +644,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the report as JSON"
     )
     cache_info.set_defaults(func=_cmd_cache_info)
+
+    cache_gc = sub.add_parser(
+        "cache-gc",
+        help="compact feature-store segments and drop retired schema namespaces",
+    )
+    cache_gc.add_argument(
+        "--cache-dir", default=".repro_cache", help="cache directory to collect"
+    )
+    cache_gc.add_argument(
+        "--image-size",
+        type=int,
+        default=DEFAULT_IMAGE_SIZE,
+        metavar="K",
+        help="adjacency-image side length identifying the live schema "
+        "namespace (must match what scans use)",
+    )
+    cache_gc.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    cache_gc.set_defaults(func=_cmd_cache_gc)
 
     serve = sub.add_parser(
         "serve", help="run the long-lived micro-batching scan service"
@@ -627,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reject server-side 'paths' in scan requests (inline sources only)",
     )
+    _add_backend_option(serve)
     serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser("bench", help="end-to-end scan throughput benchmark")

@@ -35,13 +35,23 @@ On disk the store mirrors the result cache's concurrency discipline while
 packing rows densely for zero-copy batch assembly: rows live in per-shard
 ``.npz`` files under ``<root>/<schema16>/shards/`` keyed by a prefix of
 the content hash, each holding stacked ``tabular`` / ``graph`` /
-``images`` matrices plus the parallel ``keys`` array.  Shard files are
-written atomically (temp file + ``os.replace``); flushes run under the
-namespace ``flock`` lockfile with a read-merge-write cycle so concurrent
-writers (two schedulers, a scheduler and a service) cannot clobber each
-other; unreadable files are quarantined as ``*.corrupt`` and their rows
-simply re-extracted.  Loaded rows are *views* into the shard matrices —
-serving a warm batch never copies per-design arrays.
+``images`` matrices plus the parallel ``keys`` array.  All files are
+written atomically (temp file + ``os.replace``); unreadable files are
+quarantined as ``*.corrupt`` and their rows simply re-extracted.  Loaded
+rows are *views* into the shard matrices — serving a warm batch never
+copies per-design arrays.
+
+Flushes are **append-only**: dirty rows are written as new *segment*
+files (``<prefix>.<seq>.seg.npz``, same packed format) next to the base
+shard instead of rewriting it, so a flush costs O(dirty rows) no matter
+how large the shard has grown.  Reads merge newest-segment-first over the
+base shard, so a later flush of the same content hash wins.  Segments are
+folded back into the base shard by :meth:`FeatureStore.compact` — run
+automatically once a prefix accumulates
+:data:`SEGMENT_COMPACT_THRESHOLD` segments, and on demand by
+``python -m repro cache-gc``.  Both flush and compaction run under the
+namespace ``flock`` lockfile so concurrent writers (two schedulers, a
+scheduler and a service) cannot clobber each other.
 """
 
 from __future__ import annotations
@@ -79,6 +89,14 @@ SHARDS_DIRNAME = "shards"
 #: lookup at a handful of opens while read-merge-write flushes stay
 #: well-bounded for realistic corpus sizes.
 DEFAULT_SHARD_PREFIX_LEN = 1
+
+#: A flush that finds this many segment files for one shard prefix folds
+#: them into the base shard right away (bounds merge-on-read work while
+#: keeping the common flush append-only).
+SEGMENT_COMPACT_THRESHOLD = 16
+
+#: Filename suffix distinguishing append-only segment files from base shards.
+SEGMENT_SUFFIX = ".seg.npz"
 
 
 def default_feature_store_dir(cache_dir: Union[str, Path]) -> Path:
@@ -131,8 +149,21 @@ class FeatureStore:
         return sha256[: self.shard_prefix_len]
 
     def _shard_path(self, prefix: str) -> Path:
-        """The shard file for a hash prefix."""
+        """The base shard file for a hash prefix."""
         return self._shards_dir / f"{prefix}.npz"
+
+    def _segment_paths(self, prefix: str) -> List[Path]:
+        """A prefix's segment files, oldest first (sequence-number order)."""
+        return sorted(self._shards_dir.glob(f"{prefix}.*{SEGMENT_SUFFIX}"))
+
+    def _next_segment_path(self, prefix: str) -> Path:
+        """The next free segment filename for a prefix (lock held)."""
+        last = -1
+        for path in self._segment_paths(prefix):
+            seq = path.name[len(prefix) + 1 : -len(SEGMENT_SUFFIX)]
+            if seq.isdigit():
+                last = max(last, int(seq))
+        return self._shards_dir / f"{prefix}.{last + 1:08d}{SEGMENT_SUFFIX}"
 
     # -- loading -------------------------------------------------------------
     def _read_shard_file(self, path: Path) -> Dict[str, FeatureRow]:
@@ -165,16 +196,24 @@ class FeatureStore:
         }
 
     def _ensure_prefix_loaded(self, prefix: str) -> None:
-        """Lazily read the shard file backing a hash prefix (once)."""
+        """Lazily read the files backing a hash prefix (once).
+
+        Merge order is newest-first with ``setdefault`` — fresh unflushed
+        rows win over any disk copy, newer segments win over older ones,
+        and every segment wins over the base shard.  A segment that
+        vanishes mid-read (a concurrent compaction folded it into the
+        base) is harmless: the base shard is read last and carries its
+        rows.
+        """
         if prefix in self._loaded_prefixes:
             return
         self._loaded_prefixes.add(prefix)
-        path = self._shard_path(prefix)
-        if path.is_file():
-            loaded = self._read_shard_file(path)
-            # Fresh unflushed rows win over the disk copy for their keys.
-            for key, row in loaded.items():
-                self._rows.setdefault(key, row)
+        paths = list(reversed(self._segment_paths(prefix)))
+        paths.append(self._shard_path(prefix))
+        for path in paths:
+            if path.is_file():
+                for key, row in self._read_shard_file(path).items():
+                    self._rows.setdefault(key, row)
 
     # -- mapping-ish protocol ------------------------------------------------
     def get(self, sha256: str) -> Optional[FeatureRow]:
@@ -234,13 +273,18 @@ class FeatureStore:
         os.replace(tmp_path, path)
 
     def flush(self) -> Optional[Path]:
-        """Atomically persist dirty rows to their packed shard files.
+        """Persist dirty rows as new append-only segment files.
 
-        Runs under the namespace lockfile with a read-merge-write cycle per
-        affected shard: rows another process flushed meanwhile are kept
-        (and absorbed into this store's in-memory view), our dirty rows win
-        for their own keys.  Returns the namespace directory when anything
-        was written, ``None`` otherwise.
+        Each affected shard prefix gets one fresh ``.seg.npz`` segment
+        holding only this store's dirty rows — the base shard is never
+        read or rewritten, so a flush costs O(dirty rows) even against a
+        huge warm store.  Runs under the namespace lockfile (segment
+        sequence numbers must be allocated atomically); rows another
+        process flushed meanwhile live in their own segments and are
+        merged on read.  A prefix that reaches
+        :data:`SEGMENT_COMPACT_THRESHOLD` segments is folded into its
+        base shard on the spot.  Returns the namespace directory when
+        anything was written, ``None`` otherwise.
         """
         if not self._dirty_keys:
             return None
@@ -250,18 +294,61 @@ class FeatureStore:
             by_prefix.setdefault(self._prefix(key), []).append(key)
         with self._lock:
             for prefix in sorted(by_prefix):
-                path = self._shard_path(prefix)
-                on_disk = self._read_shard_file(path) if path.is_file() else {}
-                merged = dict(on_disk)
-                merged.update((key, self._rows[key]) for key in by_prefix[prefix])
-                self._write_shard(path, merged)
-                # Deliberately do NOT absorb on_disk rows into _rows:
-                # feature rows are heavy (the adjacency image dominates),
-                # and a long-lived service must not grow resident memory
-                # with rows other processes wrote but it never looked up.
-                # The worst case of staying blind to them is a re-extract.
+                rows = {key: self._rows[key] for key in by_prefix[prefix]}
+                self._write_shard(self._next_segment_path(prefix), rows)
+                if len(self._segment_paths(prefix)) >= SEGMENT_COMPACT_THRESHOLD:
+                    self._compact_prefix(prefix)
         self._dirty_keys.clear()
         return self.namespace_dir
+
+    def _compact_prefix(self, prefix: str) -> int:
+        """Fold a prefix's segments into its base shard (lock held).
+
+        Merges base-then-oldest-to-newest so the newest write of every
+        content hash wins, rewrites the base shard atomically, then
+        removes the merged segment files.  Returns how many segments were
+        folded in.
+        """
+        segments = self._segment_paths(prefix)
+        if not segments:
+            return 0
+        base_path = self._shard_path(prefix)
+        merged: Dict[str, FeatureRow] = (
+            self._read_shard_file(base_path) if base_path.is_file() else {}
+        )
+        for path in segments:
+            merged.update(self._read_shard_file(path))
+        if merged:
+            self._write_shard(base_path, merged)
+        for path in segments:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # already quarantined or removed
+        return len(segments)
+
+    def compact(self) -> int:
+        """Fold every segment file in the namespace into its base shard.
+
+        The maintenance entry point behind ``python -m repro cache-gc``:
+        merge-on-read work drops back to one file open per prefix.  Safe
+        against live readers and writers (runs under the namespace lock;
+        readers fall back to the base shard for any segment that vanishes
+        under them).  Returns the number of segment files removed.
+        """
+        if not self._shards_dir.is_dir():
+            return 0
+        prefixes = sorted(
+            {
+                path.name.split(".", 1)[0]
+                for path in self._shards_dir.glob(f"*{SEGMENT_SUFFIX}")
+            }
+        )
+        folded = 0
+        with self._lock:
+            for prefix in prefixes:
+                folded += self._compact_prefix(prefix)
+        return folded
 
 
 def _shard_row_count(path: Path) -> int:
@@ -277,19 +364,24 @@ def describe_feature_tier(directory: Union[str, Path]) -> Dict[str, Any]:
     """Describe every schema namespace under a feature-tier root.
 
     Pure directory walking — no store is opened and no lock is taken, so
-    this is safe to run against a live cache (``cache-info`` does).
+    this is safe to run against a live cache (``cache-info`` does).  Row
+    counts sum base shards and append-only segments, so a hash rewritten
+    in a segment counts once per file until the next compaction.
     """
     root = Path(directory)
     namespaces: List[Dict[str, Any]] = []
     if root.is_dir():
         for namespace in sorted(p for p in root.iterdir() if p.is_dir()):
-            shards = sorted((namespace / SHARDS_DIRNAME).glob("*.npz"))
+            files = sorted((namespace / SHARDS_DIRNAME).glob("*.npz"))
+            segments = [p for p in files if p.name.endswith(SEGMENT_SUFFIX)]
+            shards = [p for p in files if not p.name.endswith(SEGMENT_SUFFIX)]
             namespaces.append(
                 {
                     "schema": namespace.name,
                     "n_shards": len(shards),
-                    "n_rows": sum(_shard_row_count(p) for p in shards),
-                    "bytes": sum(_file_size(p) for p in shards),
+                    "n_segments": len(segments),
+                    "n_rows": sum(_shard_row_count(p) for p in files),
+                    "bytes": sum(_file_size(p) for p in files),
                 }
             )
     return {
@@ -297,4 +389,48 @@ def describe_feature_tier(directory: Union[str, Path]) -> Dict[str, Any]:
         "namespaces": namespaces,
         "n_rows": sum(ns["n_rows"] for ns in namespaces),
         "bytes": sum(ns["bytes"] for ns in namespaces),
+    }
+
+
+def gc_feature_tier(
+    directory: Union[str, Path], image_size: int = DEFAULT_IMAGE_SIZE
+) -> Dict[str, Any]:
+    """Garbage-collect a feature-tier root (``python -m repro cache-gc``).
+
+    Two maintenance passes:
+
+    * **Compact** the namespace of the *current* feature schema (for the
+      given image size): every append-only segment file is folded into
+      its base shard, restoring one-open-per-prefix reads.
+    * **Remove** retired schema namespaces — directories written under an
+      older :data:`~repro.features.pipeline.FEATURE_EXTRACTION_VERSION`
+      or a different image size.  Their rows can never be looked up
+      again, so they are dead weight by construction.
+
+    Returns a summary dict: the compacted namespace, segments folded,
+    retired namespaces removed, and bytes reclaimed from them.
+    """
+    import shutil
+
+    root = Path(directory)
+    store = FeatureStore(root, image_size=image_size)
+    current = store.namespace_dir.name
+    folded = store.compact()
+    removed: List[str] = []
+    reclaimed = 0
+    if root.is_dir():
+        for namespace in sorted(p for p in root.iterdir() if p.is_dir()):
+            if namespace.name == current:
+                continue
+            reclaimed += sum(
+                _file_size(p) for p in namespace.rglob("*") if p.is_file()
+            )
+            shutil.rmtree(namespace, ignore_errors=True)
+            removed.append(namespace.name)
+    return {
+        "directory": str(root),
+        "current_schema": current,
+        "n_segments_folded": folded,
+        "retired_namespaces_removed": removed,
+        "bytes_reclaimed": reclaimed,
     }

@@ -34,6 +34,7 @@ from ..core.noodle import build_decisions
 from ..core.results import ScanRecord
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..features.pipeline import MultimodalFeatures, extract_design_modalities
+from ..nn.backend import DEFAULT_BACKEND, PROFILER, get_backend
 from .cache import ScanCache
 from .feature_store import FeatureStore
 
@@ -290,8 +291,12 @@ class ScanReport:
     seconds_inference: float = 0.0
     seconds_total: float = 0.0
     confidence_level: float = 0.9
-    #: Per-stage wall-time breakdown (:data:`PROFILE_STAGES` keys), filled
-    #: by the engine on every scan and surfaced by ``scan --profile``.
+    #: Name of the compute backend that ran inference (see
+    #: :mod:`repro.nn.backend`); recorded in the results-JSON profile block.
+    backend: str = DEFAULT_BACKEND
+    #: Per-stage wall-time breakdown (:data:`PROFILE_STAGES` keys, plus
+    #: ``infer/<sub-stage>`` entries for non-default backends), filled by
+    #: the engine on every scan and surfaced by ``scan --profile``.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -347,11 +352,15 @@ class ScanReport:
         the total here is ``seconds_total`` plus the collect stage.
         Stages keyed with a ``_cpu`` suffix (the parallel scheduler's
         summed per-worker times) are CPU seconds, not slices of the wall
-        clock, and are listed without a percentage.
+        clock, and are listed without a percentage.  Non-default compute
+        backends additionally break the ``infer`` stage down into its
+        ``infer/<sub-stage>`` components (prep / quantize / gemm /
+        activation), indented under the infer line; sub-stages are part of
+        the infer time, so they do not count toward the total again.
         """
         grand_total = self.seconds_total + self.stage_seconds.get("collect", 0.0)
         total = max(grand_total, 1e-12)
-        lines = ["stage timings:"]
+        lines = [f"stage timings ({self.backend} backend):"]
         accounted = 0.0
         for stage in PROFILE_STAGES:
             seconds = self.stage_seconds.get(stage)
@@ -359,6 +368,12 @@ class ScanReport:
                 continue
             accounted += seconds
             lines.append(f"  {stage:<12} {seconds:9.4f}s  {seconds / total:6.1%}")
+            if stage == "infer":
+                for sub in sorted(self.stage_seconds):
+                    if sub.startswith("infer/"):
+                        sub_seconds = self.stage_seconds[sub]
+                        name = sub.split("/", 1)[1]
+                        lines.append(f"    {name:<10} {sub_seconds:9.4f}s")
         other = max(grand_total - accounted, 0.0)
         lines.append(f"  {'(other)':<12} {other:9.4f}s  {other / total:6.1%}")
         lines.append(f"  {'total':<12} {grand_total:9.4f}s")
@@ -380,13 +395,15 @@ class ScanReport:
             "seconds_inference": self.seconds_inference,
             "seconds_total": self.seconds_total,
             "confidence_level": self.confidence_level,
-            "profile": dict(self.stage_seconds),
+            "profile": {"backend": self.backend, **self.stage_seconds},
             "records": [record.to_dict() for record in self.records],
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScanReport":
         """Rebuild a report from :meth:`to_dict` output."""
+        profile = dict(data.get("profile", {}))
+        backend = str(profile.pop("backend", DEFAULT_BACKEND))
         return cls(
             records=[ScanRecord.from_dict(r) for r in data.get("records", [])],
             n_designs=int(data.get("n_designs", 0)),
@@ -397,7 +414,8 @@ class ScanReport:
             seconds_inference=float(data.get("seconds_inference", 0.0)),
             seconds_total=float(data.get("seconds_total", 0.0)),
             confidence_level=float(data.get("confidence_level", 0.9)),
-            stage_seconds=dict(data.get("profile", {})),
+            backend=backend,
+            stage_seconds=profile,
         )
 
 
@@ -427,6 +445,16 @@ class ScanEngine:
         reload) pays only the forward pass.
     image_size:
         Adjacency-image size the feature pipeline was trained with.
+    backend:
+        Compute backend for the forward pass (see
+        :mod:`repro.nn.backend`): ``"numpy"`` is the golden float64
+        reference, ``"fused_f32"`` the fused float32 inference path,
+        ``"int8"`` the dynamic-quantized path.  Raises ``ValueError`` for
+        unknown names.
+    quant_state:
+        Optional precomputed int8 quantization state (the artifact
+        sidecar's contents), forwarded to the model so the int8 backend
+        does not re-quantize; ignored by the other backends.
     """
 
     def __init__(
@@ -436,12 +464,23 @@ class ScanEngine:
         cache: Optional[ScanCache] = None,
         feature_store: Optional[FeatureStore] = None,
         image_size: int = DEFAULT_IMAGE_SIZE,
+        backend: str = DEFAULT_BACKEND,
+        quant_state: Optional[Dict[str, Dict[str, np.ndarray]]] = None,
     ) -> None:
+        get_backend(backend)  # validate the name before any work happens
         self.model = model
         self.fingerprint = fingerprint
         self.cache = cache
         self.feature_store = feature_store
         self.image_size = image_size
+        self.backend = backend
+        if hasattr(model, "set_backend"):
+            model.set_backend(backend, quant_state)
+        elif backend != DEFAULT_BACKEND:
+            raise ValueError(
+                f"model {type(model).__name__} does not support compute-backend "
+                f"selection; only the default {DEFAULT_BACKEND!r} backend works"
+            )
 
     @classmethod
     def from_artifact(
@@ -450,17 +489,27 @@ class ScanEngine:
         cache_dir: Optional[Union[str, Path]] = None,
         feature_store_dir: Optional[Union[str, Path]] = None,
         image_size: int = DEFAULT_IMAGE_SIZE,
+        backend: str = DEFAULT_BACKEND,
     ) -> "ScanEngine":
         """Load a persisted detector and (optionally) attach the cache tiers.
 
         ``cache_dir`` attaches the fingerprint-namespaced result tier;
         ``feature_store_dir`` attaches the model-independent feature tier
         (conventionally ``<cache_dir>/features`` — the CLI wires that up).
+        For the ``int8`` backend the per-channel quantized weights are
+        loaded from (or computed once and cached into) the artifact
+        directory's ``quantized_int8.npz`` sidecar.
         """
-        from .artifacts import load_detector
+        from .artifacts import load_detector, prepare_quantized_state
 
+        get_backend(backend)  # fail fast, before the artifact load
         model, manifest = load_detector(artifact_path)
         fingerprint = manifest.get("fingerprint", "unversioned")
+        quant_state = (
+            prepare_quantized_state(model, artifact_path, fingerprint)
+            if backend == "int8"
+            else None
+        )
         cache = ScanCache(cache_dir, fingerprint) if cache_dir is not None else None
         store = (
             FeatureStore(feature_store_dir, image_size=image_size)
@@ -473,6 +522,8 @@ class ScanEngine:
             cache=cache,
             feature_store=store,
             image_size=image_size,
+            backend=backend,
+            quant_state=quant_state,
         )
 
     # -- scanning ------------------------------------------------------------
@@ -500,7 +551,9 @@ class ScanEngine:
         """
         t_start = time.perf_counter()
         level = confidence if confidence is not None else self.model.config.confidence_level
-        report = ScanReport(n_designs=len(sources), confidence_level=level)
+        report = ScanReport(
+            n_designs=len(sources), confidence_level=level, backend=self.backend
+        )
 
         # 1. result-cache lookups (decision rebuilt at the requested level).
         records, pending = resolve_cache_hits(self.cache, sources, level)
@@ -544,7 +597,16 @@ class ScanEngine:
             batch = assemble_features(
                 ordered_rows, [sources[i].name for i in scanned], self.image_size
             )
+            profiled = self.backend != DEFAULT_BACKEND
+            if profiled:
+                PROFILER.reset()
             p_values = self.model.p_values(batch)
+            if profiled:
+                for sub_stage, sub_seconds in PROFILER.snapshot().items():
+                    key = f"infer/{sub_stage}"
+                    report.stage_seconds[key] = (
+                        report.stage_seconds.get(key, 0.0) + sub_seconds
+                    )
             t_decide = time.perf_counter()
             decisions = build_decisions(batch.names, p_values, level)
             for i, decision in zip(scanned, decisions):

@@ -89,13 +89,16 @@ def corpus_digest(sources: Sequence[ScanSource]) -> str:
 _WORKER_ENGINE: Optional[ScanEngine] = None
 
 
-def _init_scan_worker(payload: Tuple[str, Any, str, int, Optional[str]]) -> None:
+def _init_scan_worker(payload: Tuple[str, Any, str, int, Optional[str], str]) -> None:
     """Pool initializer: build the per-process engine exactly once.
 
     ``payload`` is ``("artifact", path, fingerprint, image_size,
-    feature_store_dir)`` — each worker loads the persisted detector itself
-    — or ``("model", pickled_model, fingerprint, image_size,
-    feature_store_dir)`` for in-memory models.  Workers never touch the
+    feature_store_dir, backend)`` — each worker loads the persisted
+    detector itself — or ``("model", pickled_model, fingerprint,
+    image_size, feature_store_dir, backend)`` for in-memory models.  The
+    compute backend is applied per worker; artifact workers pick the int8
+    sidecar up from the artifact directory (it was prepared by the parent
+    before the pool started).  Workers never touch the
     *result* cache (the parent owns all result-cache I/O, so a scan keeps
     a single writer per process tree), but each worker opens its own
     handle on the shared model-independent feature store: the store's
@@ -104,11 +107,14 @@ def _init_scan_worker(payload: Tuple[str, Any, str, int, Optional[str]]) -> None
     already-seen designs skips extraction inside the worker too.
     """
     global _WORKER_ENGINE
-    kind, spec, fingerprint, image_size, feature_store_dir = payload
+    kind, spec, fingerprint, image_size, feature_store_dir, backend = payload
+    quant_state = None
     if kind == "artifact":
-        from .artifacts import load_detector
+        from .artifacts import load_detector, prepare_quantized_state
 
         model, _ = load_detector(spec)
+        if backend == "int8":
+            quant_state = prepare_quantized_state(model, spec, fingerprint)
     else:
         model = pickle.loads(spec)
     store = (
@@ -122,6 +128,8 @@ def _init_scan_worker(payload: Tuple[str, Any, str, int, Optional[str]]) -> None
         cache=None,
         feature_store=store,
         image_size=image_size,
+        backend=backend,
+        quant_state=quant_state,
     )
 
 
@@ -291,6 +299,9 @@ class ScanScheduler:
     default_confidence:
         Confidence level used when a scan does not specify one; resolved
         from the model config (or artifact manifest) when omitted.
+    backend:
+        Compute backend (see :mod:`repro.nn.backend`) applied by every
+        pool worker and the serial-path parent engine.
     """
 
     def __init__(
@@ -307,6 +318,7 @@ class ScanScheduler:
         front_end_workers: Optional[int] = None,
         image_size: int = DEFAULT_IMAGE_SIZE,
         default_confidence: Optional[float] = None,
+        backend: str = "numpy",
     ) -> None:
         if model is None and artifact_path is None:
             raise ValueError("ScanScheduler needs a model or an artifact_path")
@@ -327,6 +339,10 @@ class ScanScheduler:
         self.shard_timeout = shard_timeout
         self.front_end_workers = front_end_workers
         self.image_size = image_size
+        from ..nn.backend import get_backend
+
+        get_backend(backend)  # validate the name before any pool spins up
+        self.backend = backend
         if default_confidence is None:
             if model is not None:
                 default_confidence = model.config.confidence_level
@@ -354,18 +370,26 @@ class ScanScheduler:
         shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT,
         front_end_workers: Optional[int] = None,
         image_size: int = DEFAULT_IMAGE_SIZE,
+        backend: str = "numpy",
     ) -> "ScanScheduler":
         """Build a scheduler over a persisted detector (the CLI path).
 
         Workers load the artifact themselves at pool start-up; the parent
         only reads the manifest (for the fingerprint and default
         confidence) and optionally attaches the sharded result cache and
-        the shared feature-store root.
+        the shared feature-store root.  For the ``int8`` backend the
+        quantized-weight sidecar is prepared in the artifact directory up
+        front, so pool workers all read it instead of re-quantizing.
         """
         from .artifacts import load_manifest
 
         manifest = load_manifest(artifact_path)
         fingerprint = manifest.get("fingerprint", "unversioned")
+        if backend == "int8":
+            from .artifacts import load_detector, prepare_quantized_state
+
+            model, _ = load_detector(artifact_path)
+            prepare_quantized_state(model, artifact_path, fingerprint)
         cache = ScanCache(cache_dir, fingerprint) if cache_dir is not None else None
         return cls(
             artifact_path=artifact_path,
@@ -378,6 +402,7 @@ class ScanScheduler:
             shard_timeout=shard_timeout,
             front_end_workers=front_end_workers,
             image_size=image_size,
+            backend=backend,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -397,7 +422,7 @@ class ScanScheduler:
         self.close()
 
     # -- internals -----------------------------------------------------------
-    def _worker_payload(self) -> Tuple[str, Any, str, int, Optional[str]]:
+    def _worker_payload(self) -> Tuple[str, Any, str, int, Optional[str], str]:
         store_dir = (
             str(self.feature_store_dir) if self.feature_store_dir is not None else None
         )
@@ -408,6 +433,7 @@ class ScanScheduler:
                 self.fingerprint,
                 self.image_size,
                 store_dir,
+                self.backend,
             )
         return (
             "model",
@@ -415,6 +441,7 @@ class ScanScheduler:
             self.fingerprint,
             self.image_size,
             store_dir,
+            self.backend,
         )
 
     def _ensure_pool(self, n_shards: int) -> Optional[multiprocessing.pool.Pool]:
@@ -451,12 +478,21 @@ class ScanScheduler:
                 if self.feature_store_dir is not None
                 else None
             )
+            quant_state = None
+            if self.backend == "int8" and self.artifact_path is not None:
+                from .artifacts import prepare_quantized_state
+
+                quant_state = prepare_quantized_state(
+                    model, self.artifact_path, self.fingerprint
+                )
             self._parent_engine_cache = ScanEngine(
                 model,
                 fingerprint=self.fingerprint,
                 cache=None,
                 feature_store=store,
                 image_size=self.image_size,
+                backend=self.backend,
+                quant_state=quant_state,
             )
         return self._parent_engine_cache
 

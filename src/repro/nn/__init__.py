@@ -8,6 +8,15 @@ per-modality CNN classifiers, the GAN generator/discriminator, the MLP
 baseline — is built from these pieces.
 """
 
+from .backend import (
+    DEFAULT_BACKEND,
+    InferenceBackend,
+    InferencePlan,
+    available_backends,
+    fused_gemm,
+    get_backend,
+    register_backend,
+)
 from .activations import (
     Identity,
     LeakyReLU,
@@ -58,12 +67,15 @@ __all__ = [
     "CategoricalCrossEntropy",
     "Conv1d",
     "Conv2d",
+    "DEFAULT_BACKEND",
     "Dense",
     "Dropout",
     "Flatten",
     "GlobalAveragePool1d",
     "HingeLoss",
     "Identity",
+    "InferenceBackend",
+    "InferencePlan",
     "Layer",
     "LeakyReLU",
     "Loss",
@@ -81,9 +93,12 @@ __all__ = [
     "Tanh",
     "TrainingHistory",
     "as_float",
+    "available_backends",
     "available_initializers",
     "default_dtype",
+    "fused_gemm",
     "get_activation",
+    "get_backend",
     "get_default_dtype",
     "set_default_dtype",
     "get_initializer",
@@ -93,6 +108,7 @@ __all__ = [
     "load_state_dict",
     "load_weights",
     "one_hot",
+    "register_backend",
     "save_weights",
     "state_dict",
     "stratified_indices",

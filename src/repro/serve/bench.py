@@ -13,6 +13,9 @@ by many small requests (the high-QPS traffic micro-batching exists for):
 * ``serve_microbatch_concurrent`` — concurrent clients against the
   micro-batching server: requests coalesce into shared forward passes and
   shared cache flushes.  The headline number;
+* ``serve_microbatch_fused_f32`` — the same micro-batched serving with
+  ``--backend fused_f32``: batched forward passes run the fused float32
+  inference path instead of the golden float64 one;
 * ``serve_cached_rescan`` — the micro-batching server re-serving a corpus
   it has already scanned: the steady-state cost of repeat traffic (pure
   cache hits);
@@ -287,6 +290,7 @@ class _ServingMode:
         rescan: bool = False,
         workers: Optional[int] = 1,
         pre_round: Optional[Callable[["_ServingMode"], None]] = None,
+        backend: str = "numpy",
     ) -> None:
         self.name = name
         self.n_requests = n_requests
@@ -305,6 +309,7 @@ class _ServingMode:
             max_batch=max_batch,
             cache_dir=cache_dir,
             workers=workers,
+            backend=backend,
         ).start()
         try:
             with ScanServiceClient(self.service.host, self.service.port) as probe:
@@ -323,6 +328,7 @@ class _ServingMode:
             "batch_window_ms": batch_window_s * 1000.0,
             "max_batch": max_batch,
             "workers": workers,
+            "backend": backend,
             "cpu_count": multiprocessing.cpu_count() or 1,
         }
 
@@ -472,6 +478,15 @@ def run_serve_benchmark(
                 max_batch=max_batch,
             ),
             dict(
+                name="serve_microbatch_fused_f32",
+                cache="cache_fused",
+                seed_base=seed + 7_000_000,
+                clients=clients,
+                batch_window_s=window_s,
+                max_batch=max_batch,
+                backend="fused_f32",
+            ),
+            dict(
                 name="serve_cached_rescan",
                 cache="cache_rescan",
                 seed_base=seed + 4_000_000,
@@ -508,6 +523,7 @@ def run_serve_benchmark(
                         rescan=bool(spec.get("rescan")),
                         workers=workers,
                         pre_round=spec.get("pre_round"),
+                        backend=spec.get("backend", "numpy"),
                     )
                 )
             for mode in modes:
@@ -527,6 +543,7 @@ def run_serve_benchmark(
     for name in (
         "serve_unbatched_concurrent",
         "serve_microbatch_concurrent",
+        "serve_microbatch_fused_f32",
         "serve_cached_rescan",
         "serve_rescan_after_reload",
     ):
@@ -546,6 +563,13 @@ def run_serve_benchmark(
         "serve_reload_vs_cold_microbatch",
         results["serve_microbatch_concurrent"],
         results["serve_rescan_after_reload"],
+    )
+    # The backend ratio: the same micro-batched serving with the fused
+    # float32 forward path instead of the golden float64 one.
+    suite.record_speedup(
+        "serve_fused_f32_vs_numpy_microbatch",
+        results["serve_microbatch_concurrent"],
+        results["serve_microbatch_fused_f32"],
     )
     suite.write_json(output)
     return suite

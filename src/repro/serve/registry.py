@@ -30,10 +30,11 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..features.image import DEFAULT_IMAGE_SIZE
-from ..engine.artifacts import MANIFEST_NAME, load_detector
+from ..engine.artifacts import MANIFEST_NAME, load_detector, prepare_quantized_state
 from ..engine.cache import ScanCache
 from ..engine.feature_store import FeatureStore, default_feature_store_dir
 from ..engine.scan import ScanEngine
+from ..nn.backend import DEFAULT_BACKEND, get_backend
 
 #: Default staleness-probe TTL (seconds): how long a ``maybe_reload``
 #: outcome is trusted before the manifest is stat'ed again.  High-QPS
@@ -103,6 +104,12 @@ class ModelRegistry:
         How long (seconds) a :meth:`maybe_reload` staleness verdict is
         trusted before the manifest mtime is stat'ed again.  ``0``
         restores a stat per probe; :meth:`reload` always bypasses it.
+    backend:
+        Inference compute backend every loaded engine runs
+        (:func:`repro.nn.available_backends` lists the choices).  For
+        ``int8`` the quantized-weight sidecar is prepared in the artifact
+        directory at load time, so hot reloads of a recalibrated-but-
+        identical-weights model reuse it.
     """
 
     def __init__(
@@ -113,11 +120,14 @@ class ModelRegistry:
         feature_cache: bool = True,
         feature_store_dir: Optional[Union[str, Path]] = None,
         reload_ttl_s: float = DEFAULT_RELOAD_TTL_S,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.image_size = image_size
         self.cache_shard_prefix_len = cache_shard_prefix_len
         self.reload_ttl_s = reload_ttl_s
+        get_backend(backend)  # unknown names fail at construction
+        self.backend = backend
         if feature_store_dir is None and self.cache_dir is not None and feature_cache:
             feature_store_dir = default_feature_store_dir(self.cache_dir)
         # One feature store for the whole registry: the tier is
@@ -158,12 +168,17 @@ class ModelRegistry:
             if self.cache_dir is not None
             else None
         )
+        quant_state = None
+        if self.backend == "int8":
+            quant_state = prepare_quantized_state(model, artifact_path, fingerprint)
         engine = ScanEngine(
             model,
             fingerprint=fingerprint,
             cache=cache,
             feature_store=self.feature_store,
             image_size=self.image_size,
+            backend=self.backend,
+            quant_state=quant_state,
         )
         return RegisteredModel(
             engine=engine,

@@ -165,6 +165,10 @@ class ScanService:
         cached verdicts — they are verdicts a rescan reproduces, so the
         serving default trades a bounded amount of cache warmth for not
         paying shard-file writes per batch.
+    backend:
+        Inference compute backend for every forward pass the service runs
+        (``numpy`` golden float64, ``fused_f32``, ``int8``); reported by
+        ``GET /metrics`` as ``backend`` / ``backend_dtype``.
     """
 
     def __init__(
@@ -181,11 +185,13 @@ class ScanService:
         image_size: int = DEFAULT_IMAGE_SIZE,
         allow_paths: bool = True,
         flush_every: int = 128,
+        backend: str = "numpy",
     ) -> None:
         self.artifact_path = Path(artifact)
         self.workers = workers
         self.allow_paths = allow_paths
         self.flush_every = max(1, flush_every)
+        self.backend = backend
         # Fresh (non-cache-hit) designs since the last cache flush; only
         # the batch worker touches it, so no lock is needed.
         self._unflushed_designs = 0
@@ -195,6 +201,7 @@ class ScanService:
             image_size=image_size,
             feature_cache=feature_cache,
             feature_store_dir=feature_store_dir,
+            backend=backend,
         )
         # Load at construction so a broken artifact fails fast, and keep
         # the fingerprint in a plain attribute the per-request path can
@@ -304,8 +311,19 @@ class ScanService:
         }
 
     def handle_metrics(self) -> Dict[str, Any]:
-        """Serve ``GET /metrics``: the full counters/percentiles snapshot."""
-        return self.metrics.snapshot()
+        """Serve ``GET /metrics``: counters/percentiles plus the backend.
+
+        The snapshot is augmented with ``backend`` (the active compute
+        backend's name) and ``backend_dtype`` (the dtype its forward pass
+        runs in) so operators can tell which inference path produced the
+        reported latencies.
+        """
+        from ..nn.backend import get_backend
+
+        snapshot = self.metrics.snapshot()
+        snapshot["backend"] = self.backend
+        snapshot["backend_dtype"] = get_backend(self.backend).dtype
+        return snapshot
 
     def handle_reload(self) -> Dict[str, Any]:
         """Serve ``POST /reload``: force a fingerprint check right now."""

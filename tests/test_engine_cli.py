@@ -381,7 +381,7 @@ class TestProfileAndCacheInfo:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "stage timings:" in out
+        assert "stage timings (numpy backend):" in out
         for stage in ("collect", "extract", "infer", "p_value", "cache_flush"):
             assert stage in out
 
@@ -428,3 +428,129 @@ class TestProfileAndCacheInfo:
         assert main(["cache-info", "--cache-dir", str(tmp_path / "missing")]) == 0
         out = capsys.readouterr().out
         assert "0 records" in out and "0 rows" in out
+
+
+class TestBackendCli:
+    """--backend selection: validation, verdict parity, profile labelling."""
+
+    def test_unknown_backend_scan_exits_2(self, artifact, capsys):
+        code = main(
+            [
+                "scan",
+                "--artifact", str(artifact),
+                "--generate", "2",
+                "--no-cache",
+                "--backend", "nope",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown compute backend" in err and "nope" in err
+
+    def test_unknown_backend_serve_exits_2(self, artifact, capsys):
+        code = main(
+            ["serve", "--artifact", str(artifact), "--port", "0", "--backend", "nope"]
+        )
+        assert code == 2
+        assert "unknown compute backend" in capsys.readouterr().err
+
+    def test_fused_backend_matches_numpy_verdicts(self, artifact, tmp_path):
+        outputs = {}
+        for backend in ("numpy", "fused_f32"):
+            results = tmp_path / f"{backend}.json"
+            code = main(
+                [
+                    "scan",
+                    "--artifact", str(artifact),
+                    "--generate", "6",
+                    "--no-cache",
+                    "--backend", backend,
+                    "--output", str(results),
+                ]
+            )
+            assert code == 0
+            outputs[backend] = json.loads(results.read_text())
+        golden, fused = outputs["numpy"], outputs["fused_f32"]
+        assert fused["profile"]["backend"] == "fused_f32"
+        for a, b in zip(golden["records"], fused["records"]):
+            assert a["name"] == b["name"]
+            assert a["decision"]["predicted_label"] == b["decision"]["predicted_label"]
+            assert abs(
+                a["decision"]["probability_infected"]
+                - b["decision"]["probability_infected"]
+            ) < 1e-4
+
+    def test_int8_backend_caches_sidecar_and_scans(self, artifact, tmp_path):
+        sidecar = artifact / "quantized_int8.npz"
+        if sidecar.exists():
+            sidecar.unlink()
+        results = tmp_path / "int8.json"
+        code = main(
+            [
+                "scan",
+                "--artifact", str(artifact),
+                "--generate", "4",
+                "--no-cache",
+                "--backend", "int8",
+                "--output", str(results),
+            ]
+        )
+        assert code == 0
+        assert sidecar.is_file()  # per-channel scales cached beside the model
+        data = json.loads(results.read_text())
+        assert data["profile"]["backend"] == "int8"
+        assert all(record["decision"] is not None for record in data["records"])
+
+    def test_profile_names_active_backend_and_infer_stages(
+        self, artifact, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "scan",
+                "--artifact", str(artifact),
+                "--generate", "3",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--backend", "fused_f32",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage timings (fused_f32 backend):" in out
+        assert "    gemm" in out and "    activation" in out
+
+
+class TestCacheGcCli:
+    def test_gc_folds_segments_and_removes_retired_namespaces(
+        self, artifact, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["scan", "--artifact", str(artifact), "--generate", "3", "--cache-dir", cache]
+        ) == 0
+        capsys.readouterr()
+        retired = tmp_path / "cache" / "features" / "0123456789abcdef"
+        retired.mkdir(parents=True)
+        (retired / "stale.npz").write_bytes(b"x" * 128)
+        assert main(["cache-gc", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "folded into base shards" in out
+        assert "0123456789abcdef" in out
+        assert not retired.exists()
+
+    def test_gc_json_mode(self, artifact, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["scan", "--artifact", str(artifact), "--generate", "2", "--cache-dir", cache]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache-gc", "--cache-dir", cache, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["retired_namespaces_removed"] == []
+        assert data["n_segments_folded"] >= 1  # the scan's flush wrote segments
+        assert data["bytes_reclaimed"] == 0
+
+    def test_gc_on_missing_cache_dir_is_clean(self, tmp_path, capsys):
+        assert main(["cache-gc", "--cache-dir", str(tmp_path / "absent")]) == 0
+        out = capsys.readouterr().out
+        assert "no retired schema namespaces" in out

@@ -10,7 +10,12 @@ import pytest
 
 from repro.core.config import ClassifierConfig, NoodleConfig
 from repro.engine import FeatureStore, ScanCache, ScanEngine, train_detector
-from repro.engine.feature_store import describe_feature_tier
+from repro.engine.feature_store import (
+    SEGMENT_COMPACT_THRESHOLD,
+    SEGMENT_SUFFIX,
+    describe_feature_tier,
+    gc_feature_tier,
+)
 from repro.engine.scan import assemble_features, extract_feature_rows, sources_from_pairs
 from repro.engine.scheduler import ScanScheduler
 from repro.features.pipeline import feature_schema_fingerprint
@@ -314,3 +319,104 @@ class TestDescribe:
     def test_describe_missing_dir_is_empty(self, tmp_path):
         info = describe_feature_tier(tmp_path / "nope")
         assert info["n_rows"] == 0 and info["namespaces"] == []
+
+
+class TestAppendOnlySegments:
+    """Flush appends segments; compaction folds them into base shards."""
+
+    def _store_with_rows(self, scan_batch, directory):
+        store = FeatureStore(directory)
+        extract_feature_rows(scan_batch, workers=1, store=store)
+        store.flush()
+        return store
+
+    def test_flush_writes_numbered_segments_not_base_shards(
+        self, scan_batch, tmp_path
+    ):
+        store = self._store_with_rows(scan_batch, tmp_path / "features")
+        segments = sorted(store.namespace_dir.glob(f"shards/*{SEGMENT_SUFFIX}"))
+        assert segments, "flush should write append-only segment files"
+        for path in segments:
+            # <prefix>.<seq:08d>.seg.npz
+            seq = path.name[: -len(SEGMENT_SUFFIX)].rsplit(".", 1)[1]
+            assert len(seq) == 8 and seq.isdigit()
+
+    def test_merge_on_read_newest_segment_wins(self, scan_batch, tmp_path):
+        store = self._store_with_rows(scan_batch, tmp_path / "features")
+        target = scan_batch[0]
+        original = store.get(target.sha256)
+        # Re-put the same hash with different arrays: the second flush
+        # writes a newer segment that must shadow the first on re-read.
+        replacement = tuple(arr + 1.0 for arr in original)
+        store.put(target.sha256, replacement)
+        store.flush()
+        reread = FeatureStore(tmp_path / "features")
+        loaded = reread.get(target.sha256)
+        for new, got in zip(replacement, loaded):
+            assert np.array_equal(new, got)
+
+    def test_compact_folds_segments_and_preserves_rows(self, scan_batch, tmp_path):
+        store = self._store_with_rows(scan_batch, tmp_path / "features")
+        store.put(scan_batch[0].sha256, store.get(scan_batch[0].sha256))
+        store.flush()
+        compacting = FeatureStore(tmp_path / "features")
+        folded = compacting.compact()
+        assert folded >= 2
+        assert not list(compacting.namespace_dir.glob(f"shards/*{SEGMENT_SUFFIX}"))
+        reread = FeatureStore(tmp_path / "features")
+        for src in scan_batch:
+            assert reread.get(src.sha256) is not None
+
+    def test_flush_auto_compacts_at_threshold(self, scan_batch, tmp_path):
+        store = self._store_with_rows(scan_batch, tmp_path / "features")
+        target = scan_batch[0]
+        row = store.get(target.sha256)
+        for _ in range(SEGMENT_COMPACT_THRESHOLD):
+            store.put(target.sha256, row)
+            store.flush()
+        # The threshold-th flush triggers an inline fold: no segment
+        # backlog survives unbounded growth.
+        prefix_segments = [
+            p
+            for p in store.namespace_dir.glob(f"shards/*{SEGMENT_SUFFIX}")
+            if p.name.startswith(target.sha256[:2])
+        ]
+        assert len(prefix_segments) < SEGMENT_COMPACT_THRESHOLD
+
+    def test_describe_reports_segment_counts(self, scan_batch, tmp_path):
+        store = self._store_with_rows(scan_batch, tmp_path / "features")
+        info = describe_feature_tier(tmp_path / "features")
+        assert info["namespaces"][0]["n_segments"] >= 1
+        compacted = FeatureStore(tmp_path / "features")
+        compacted.compact()
+        info = describe_feature_tier(tmp_path / "features")
+        assert info["namespaces"][0]["n_segments"] == 0
+
+
+class TestGcFeatureTier:
+    def test_gc_removes_retired_namespaces_and_folds_segments(
+        self, scan_batch, tmp_path
+    ):
+        directory = tmp_path / "features"
+        store = FeatureStore(directory)
+        extract_feature_rows(scan_batch, workers=1, store=store)
+        store.flush()
+        retired = directory / "feedfacefeedface"
+        (retired / "shards").mkdir(parents=True)
+        (retired / "shards" / "old.npz").write_bytes(b"y" * 256)
+        summary = gc_feature_tier(directory)
+        assert summary["current_schema"] == store.namespace_dir.name
+        assert summary["n_segments_folded"] >= 1
+        assert summary["retired_namespaces_removed"] == ["feedfacefeedface"]
+        assert summary["bytes_reclaimed"] >= 256
+        assert not retired.exists()
+        # The surviving namespace still serves every row.
+        reread = FeatureStore(directory)
+        for src in scan_batch:
+            assert reread.get(src.sha256) is not None
+
+    def test_gc_on_empty_directory(self, tmp_path):
+        summary = gc_feature_tier(tmp_path / "nothing")
+        assert summary["n_segments_folded"] == 0
+        assert summary["retired_namespaces_removed"] == []
+        assert summary["bytes_reclaimed"] == 0

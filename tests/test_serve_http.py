@@ -15,6 +15,7 @@ import pytest
 
 from repro import __version__
 from repro.core.config import ClassifierConfig, NoodleConfig
+from repro.core.results import ScanRecord
 from repro.engine import ScanEngine, save_detector, train_detector
 from repro.engine.bench import build_scan_batch
 from repro.serve.client import ScanServiceClient, ScanServiceError
@@ -253,3 +254,36 @@ class TestFeatureTierOverHttp:
                 assert second["n_cache_hits"] == 0
                 metrics = client.metrics()
                 assert metrics["feature_hits"] == len(corpus)
+
+
+class TestServeBackends:
+    """--backend selection surfaces in /metrics and preserves verdicts."""
+
+    def test_metrics_reports_default_backend(self, client):
+        snapshot = client.metrics()
+        assert snapshot["backend"] == "numpy"
+        assert snapshot["backend_dtype"] == "float64"
+
+    def test_fused_service_metrics_and_verdict_parity(self, artifact, corpus):
+        pairs = [(s.name, s.source) for s in corpus[:6]]
+        with ScanService(
+            artifact, port=0, batch_window_s=0.05, max_batch=16, backend="fused_f32"
+        ) as svc:
+            with ScanServiceClient(svc.host, svc.port) as fused_client:
+                fused_client.wait_until_ready()
+                snapshot = fused_client.metrics()
+                assert snapshot["backend"] == "fused_f32"
+                assert snapshot["backend_dtype"] == "float32"
+                served = fused_client.scan_texts(pairs)["records"]
+        golden = ScanEngine.from_artifact(artifact).scan_sources(
+            build_scan_batch(10, seed=91)[:6]
+        )
+        for a, b in zip(golden.records, served):
+            restored = ScanRecord.from_dict(b)
+            assert a.name == restored.name
+            assert a.verdict == restored.verdict
+            assert a.decision.predicted_label == restored.decision.predicted_label
+
+    def test_unknown_backend_fails_at_construction(self, artifact):
+        with pytest.raises(ValueError, match="unknown compute backend"):
+            ScanService(artifact, port=0, backend="nope")

@@ -54,6 +54,10 @@ ARRAYS_NAME = "arrays.npz"
 #: keyed by the detector fingerprint so a retrain invalidates it.
 QUANT_CACHE_NAME = "quantized_int8.npz"
 
+#: Filename of a fleet manifest: one JSON file naming several artifact
+#: directories for multi-model serving (``python -m repro serve --fleet``).
+FLEET_MANIFEST_NAME = "fleet.json"
+
 #: Component name used for the single fused classifier of early fusion.
 _JOINT = "joint"
 
@@ -174,6 +178,85 @@ def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
             f"(this build reads version {ARTIFACT_SCHEMA_VERSION})"
         )
     return manifest
+
+
+def save_fleet_manifest(
+    path: Union[str, Path],
+    artifacts: Dict[str, Union[str, Path]],
+    default: Optional[str] = None,
+) -> Path:
+    """Write a fleet manifest naming several artifacts for one service.
+
+    ``artifacts`` maps model names to artifact directories (stored
+    relative to the manifest when possible, so a fleet directory can be
+    moved wholesale); ``default`` names the initial champion (first entry
+    otherwise).  Returns the manifest path.
+    """
+    path = Path(path)
+    if not artifacts:
+        raise ArtifactError("a fleet manifest needs at least one artifact")
+    if default is not None and default not in artifacts:
+        raise ArtifactError(f"default model {default!r} is not in the fleet")
+    base = path.resolve().parent
+    entries: Dict[str, str] = {}
+    for name, artifact in artifacts.items():
+        if not isinstance(name, str) or not name:
+            raise ArtifactError(f"fleet model names must be non-empty strings: {name!r}")
+        resolved = Path(artifact).resolve()
+        try:
+            entries[name] = str(resolved.relative_to(base))
+        except ValueError:
+            entries[name] = str(resolved)
+    payload = {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "artifacts": entries,
+        "default": default or next(iter(artifacts)),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_fleet_manifest(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, Path], str]:
+    """Read a fleet manifest into ``(name -> artifact_path, default_name)``.
+
+    Relative artifact paths are resolved against the manifest's own
+    directory.  Every named artifact directory must carry a readable
+    detector manifest — a fleet pointing at a missing model should fail
+    at startup, not on the first routed request.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ArtifactError(f"no fleet manifest at {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"corrupt fleet manifest at {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ArtifactError(f"fleet manifest at {path} must be a JSON object")
+    raw = payload.get("artifacts")
+    if not isinstance(raw, dict) or not raw:
+        raise ArtifactError(
+            f"fleet manifest at {path} needs a non-empty 'artifacts' object"
+        )
+    base = path.resolve().parent
+    artifacts: Dict[str, Path] = {}
+    for name, artifact in raw.items():
+        if not isinstance(artifact, str):
+            raise ArtifactError(f"fleet artifact path for {name!r} must be a string")
+        resolved = Path(artifact)
+        if not resolved.is_absolute():
+            resolved = base / resolved
+        load_manifest(resolved)  # fail fast on broken/missing members
+        artifacts[name] = resolved
+    default = payload.get("default") or next(iter(artifacts))
+    if default not in artifacts:
+        raise ArtifactError(
+            f"fleet manifest default {default!r} is not among {sorted(artifacts)}"
+        )
+    return artifacts, default
 
 
 def load_detector(

@@ -44,7 +44,7 @@ import sys
 import threading
 import time
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from .. import __version__
 from ..core.config import NoodleConfig, default_config
@@ -387,6 +387,36 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_serve_artifacts(
+    args: argparse.Namespace,
+) -> Tuple[Dict[str, str], Optional[str]]:
+    """Resolve ``serve``'s model set from ``--fleet`` and ``--artifact``.
+
+    A fleet manifest (if given) seeds the mapping; each ``--artifact``
+    then adds or overrides one model — ``NAME=DIR`` registers it under
+    ``NAME``, a bare ``DIR`` under ``"default"``.  Returns the ordered
+    ``name -> directory`` mapping plus the default-model name (from
+    ``--default-model``, else the fleet manifest, else the first entry).
+    """
+    from .artifacts import load_fleet_manifest
+
+    artifacts: Dict[str, str] = {}
+    default: Optional[str] = None
+    if args.fleet:
+        fleet, fleet_default = load_fleet_manifest(args.fleet)
+        artifacts.update({name: str(path) for name, path in fleet.items()})
+        default = fleet_default
+    for spec in args.artifact or []:
+        name, sep, directory = spec.partition("=")
+        if sep and name:
+            artifacts[name] = directory
+        else:
+            artifacts["default"] = spec
+    if args.default_model:
+        default = args.default_model
+    return artifacts, default
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from ..serve.server import ScanService
 
@@ -398,21 +428,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_batch < 1:
         print("error: --max-batch must be at least 1", file=sys.stderr)
         return EXIT_USAGE
+    try:
+        artifacts, default_model = _parse_serve_artifacts(args)
+    except Exception as exc:
+        return _fail(f"cannot resolve serving fleet: {exc}")
+    if not artifacts:
+        print("error: provide --artifact [NAME=]DIR or --fleet FILE", file=sys.stderr)
+        return EXIT_USAGE
+    if default_model is not None and default_model not in artifacts:
+        print(
+            f"error: --default-model {default_model!r} is not among "
+            f"{sorted(artifacts)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.shadow is not None and args.shadow not in artifacts:
+        print(
+            f"error: --shadow {args.shadow!r} is not among {sorted(artifacts)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.shadow is not None and args.shadow == (
+        default_model or next(iter(artifacts))
+    ):
+        print(
+            f"error: --shadow {args.shadow!r} is already the default model; "
+            "a challenger must shadow a different champion",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     cache_dir = None if args.no_cache else args.cache_dir
-    service = ScanService(
-        artifact=args.artifact,
-        host=args.host,
-        port=args.port,
-        batch_window_s=args.batch_window_ms / 1000.0,
-        max_batch=args.max_batch,
-        cache_dir=cache_dir,
-        feature_store_dir=_feature_store_dir(args),
-        feature_cache=False,  # the resolved dir above is the whole decision
-        workers=args.workers,
-        allow_paths=not args.no_paths,
-        flush_every=args.flush_every,
-        backend=args.backend,
-    )
+    try:
+        service = ScanService(
+            artifacts=artifacts,
+            default_model=default_model,
+            shadow=args.shadow,
+            promote_threshold=args.promote_threshold,
+            min_shadow_designs=args.min_shadow,
+            shadow_sample=args.shadow_sample,
+            frontend=args.frontend,
+            host=args.host,
+            port=args.port,
+            batch_window_s=args.batch_window_ms / 1000.0,
+            max_batch=args.max_batch,
+            cache_dir=cache_dir,
+            feature_store_dir=_feature_store_dir(args),
+            feature_cache=False,  # the resolved dir above is the whole decision
+            workers=args.workers,
+            allow_paths=not args.no_paths,
+            flush_every=args.flush_every,
+            backend=args.backend,
+        )
+    except ValueError as exc:
+        return _fail(f"cannot start the scan service: {exc}")
     stop = threading.Event()
 
     def _request_stop(signum: int, frame: object) -> None:
@@ -433,11 +501,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # (even a broken stdout pipe) must still shut the non-daemon
         # serving threads down, or the process would hang on exit.
         service.start()
-        entry = service.registry.get(service.artifact_path)
         print(
-            f"serving {entry.kind} detector {entry.fingerprint[:12]} "
-            f"on http://{service.host}:{service.port} (repro {__version__})"
+            f"serving {len(artifacts)} model(s) on "
+            f"http://{service.host}:{service.port} "
+            f"({args.frontend} frontend, repro {__version__})"
         )
+        for name in service.models:
+            entry = service.registry.get(artifacts[name])
+            marks = []
+            if name == service.champion:
+                marks.append("champion")
+            if args.shadow == name:
+                marks.append("challenger")
+            suffix = f" [{', '.join(marks)}]" if marks else ""
+            print(
+                f"  {name}: {entry.kind} detector {entry.fingerprint[:12]}{suffix}"
+            )
+        if args.shadow is not None:
+            print(
+                f"rollout: shadowing {args.shadow} at sample rate "
+                f"{args.shadow_sample:g}; auto-promote at agreement >= "
+                f"{args.promote_threshold:g} over >= {args.min_shadow} designs"
+            )
         feature_dir = _feature_store_dir(args)
         print(
             f"micro-batching: window {args.batch_window_ms:g}ms, "
@@ -449,7 +534,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 else "; feature cache disabled"
             )
         )
-        print("endpoints: POST /scan  GET /healthz  GET /metrics  POST /reload")
+        print(
+            "endpoints: POST /scan  GET /healthz  GET /metrics  "
+            "POST /reload  POST /promote"
+        )
         while not stop.wait(0.2):
             pass
         print("shutdown requested; draining in-flight batches ...")
@@ -668,7 +756,62 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="run the long-lived micro-batching scan service"
     )
-    serve.add_argument("--artifact", required=True, help="artifact directory to serve")
+    serve.add_argument(
+        "--artifact",
+        action="append",
+        metavar="[NAME=]DIR",
+        help="artifact directory to serve; repeat with NAME=DIR to serve "
+        "several models from one process (a bare DIR is named 'default')",
+    )
+    serve.add_argument(
+        "--fleet",
+        metavar="FILE",
+        help="fleet manifest (fleet.json) naming several artifacts; "
+        "--artifact entries add to or override it",
+    )
+    serve.add_argument(
+        "--default-model",
+        metavar="NAME",
+        help="model serving requests that name none (the initial champion; "
+        "default: the fleet manifest's default, else the first --artifact)",
+    )
+    serve.add_argument(
+        "--shadow",
+        metavar="NAME",
+        help="run this registered model as rollout challenger: it "
+        "shadow-scans sampled champion traffic and is auto-promoted once "
+        "its triage-agreement rate clears --promote-threshold",
+    )
+    serve.add_argument(
+        "--promote-threshold",
+        type=float,
+        default=0.98,
+        metavar="RATE",
+        help="triage-agreement rate the challenger must clear for "
+        "auto-promotion (fraction in [0, 1])",
+    )
+    serve.add_argument(
+        "--min-shadow",
+        type=int,
+        default=32,
+        metavar="N",
+        help="shadow-scanned designs required before the promote/reject "
+        "decision is made",
+    )
+    serve.add_argument(
+        "--shadow-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of champion traffic the challenger shadow-scans",
+    )
+    serve.add_argument(
+        "--frontend",
+        choices=("eventloop", "threaded"),
+        default="eventloop",
+        help="HTTP front-end: the selectors event loop (default) or the "
+        "stdlib thread-per-connection server",
+    )
     serve.add_argument(
         "--host", default="127.0.0.1", help="bind host (default: loopback only)"
     )

@@ -60,6 +60,7 @@ import io
 import json
 import logging
 import os
+import threading
 import zipfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
@@ -133,6 +134,11 @@ class FeatureStore:
         self.namespace_dir = self.directory / self.schema_fingerprint[:16]
         self._shards_dir = self.namespace_dir / SHARDS_DIRNAME
         self._lock = _NamespaceLock(self.namespace_dir / ".lock")
+        #: Guards the in-memory state (_rows/_dirty_keys/_loaded_prefixes):
+        #: the store is shared by every model lane of a serving process,
+        #: whose batch workers get/put/flush it from separate threads.
+        #: (The namespace lockfile above only orders *processes*.)
+        self._mem_lock = threading.RLock()
         #: Rows visible in memory (loaded shard views + fresh puts).
         self._rows: Dict[str, FeatureRow] = {}
         #: Content hashes put since the last flush.
@@ -223,23 +229,25 @@ class FeatureStore:
         matrices (or the arrays handed to :meth:`put`); batch assembly
         copies them into the batch matrix exactly once.
         """
-        self._ensure_prefix_loaded(self._prefix(sha256))
-        row = self._rows.get(sha256)
-        if row is None:
-            self.n_misses += 1
-        else:
-            self.n_hits += 1
-        return row
+        with self._mem_lock:
+            self._ensure_prefix_loaded(self._prefix(sha256))
+            row = self._rows.get(sha256)
+            if row is None:
+                self.n_misses += 1
+            else:
+                self.n_hits += 1
+            return row
 
     def put(self, sha256: str, row: FeatureRow) -> None:
         """Insert (or overwrite) the feature row for a content hash."""
         tabular, graph, image = row
-        self._rows[sha256] = (
-            np.asarray(tabular),
-            np.asarray(graph),
-            np.asarray(image),
-        )
-        self._dirty_keys.add(sha256)
+        with self._mem_lock:
+            self._rows[sha256] = (
+                np.asarray(tabular),
+                np.asarray(graph),
+                np.asarray(image),
+            )
+            self._dirty_keys.add(sha256)
 
     # -- persistence ---------------------------------------------------------
     def _write_shard(self, path: Path, rows: Dict[str, FeatureRow]) -> None:
@@ -286,19 +294,31 @@ class FeatureStore:
         base shard on the spot.  Returns the namespace directory when
         anything was written, ``None`` otherwise.
         """
-        if not self._dirty_keys:
-            return None
+        # Snapshot the dirty rows under the memory lock, then write them
+        # outside it: a concurrent lane worker keeps putting rows while
+        # the disk write runs, and anything it adds stays dirty for the
+        # next flush (only the snapshotted keys are cleared below).
+        with self._mem_lock:
+            if not self._dirty_keys:
+                return None
+            flushed_keys = set(self._dirty_keys)
+            by_prefix: Dict[str, Dict[str, FeatureRow]] = {}
+            for key in flushed_keys:
+                by_prefix.setdefault(self._prefix(key), {})[key] = self._rows[key]
+            self._dirty_keys.clear()
         self._shards_dir.mkdir(parents=True, exist_ok=True)
-        by_prefix: Dict[str, List[str]] = {}
-        for key in self._dirty_keys:
-            by_prefix.setdefault(self._prefix(key), []).append(key)
-        with self._lock:
-            for prefix in sorted(by_prefix):
-                rows = {key: self._rows[key] for key in by_prefix[prefix]}
-                self._write_shard(self._next_segment_path(prefix), rows)
-                if len(self._segment_paths(prefix)) >= SEGMENT_COMPACT_THRESHOLD:
-                    self._compact_prefix(prefix)
-        self._dirty_keys.clear()
+        try:
+            with self._lock:
+                for prefix in sorted(by_prefix):
+                    self._write_shard(self._next_segment_path(prefix), by_prefix[prefix])
+                    if len(self._segment_paths(prefix)) >= SEGMENT_COMPACT_THRESHOLD:
+                        self._compact_prefix(prefix)
+        except BaseException:
+            # The write failed mid-way: re-mark everything so the rows
+            # are retried rather than silently lost.
+            with self._mem_lock:
+                self._dirty_keys |= flushed_keys
+            raise
         return self.namespace_dir
 
     def _compact_prefix(self, prefix: str) -> int:

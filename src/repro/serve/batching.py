@@ -92,6 +92,22 @@ class _Pending:
     done: threading.Event = field(default_factory=threading.Event)
     result: Optional[BatchResult] = None
     error: Optional[str] = None
+    #: Completion callback for asynchronous submitters (the event-loop
+    #: front-end): invoked from the worker thread once ``result`` or
+    #: ``error`` is set.  ``None`` for blocking :meth:`MicroBatcher.submit`
+    #: callers, which wait on ``done`` instead.
+    on_done: Optional[Callable[[Optional[BatchResult], Optional[str]], None]] = None
+
+    def finish(self) -> None:
+        """Mark this request complete and notify whoever is waiting on it."""
+        self.done.set()
+        if self.on_done is not None:
+            try:
+                self.on_done(self.result, self.error)
+            except Exception:  # a bad callback must not kill the worker
+                logging.getLogger(__name__).exception(
+                    "micro-batch completion callback failed"
+                )
 
 
 class MicroBatcher:
@@ -151,11 +167,22 @@ class MicroBatcher:
         )
         self._cond = threading.Condition()
         self._queue: Deque[_Pending] = deque()
+        self._in_flight = 0
         self._closed = False
         self._worker = threading.Thread(
             target=self._run, name="repro-serve-batcher", daemon=True
         )
         self._worker.start()
+
+    @property
+    def in_flight_requests(self) -> int:
+        """Requests accepted but not yet answered (queued or mid-batch).
+
+        Introspection only (tests, drain assertions): the count is stale
+        the moment it is read.
+        """
+        with self._cond:
+            return self._in_flight
 
     # -- submitting ----------------------------------------------------------
     def submit(
@@ -178,6 +205,7 @@ class MicroBatcher:
             if self._closed:
                 raise BatcherClosed("scan service is shutting down")
             self._queue.append(pending)
+            self._in_flight += 1
             self._cond.notify_all()
         if not pending.done.wait(timeout):
             raise TimeoutError(
@@ -187,6 +215,37 @@ class MicroBatcher:
             raise MicroBatchError(pending.error)
         assert pending.result is not None
         return pending.result
+
+    def submit_nowait(
+        self,
+        sources: Sequence[ScanSource],
+        confidence: Optional[float] = None,
+        on_done: Optional[
+            Callable[[Optional[BatchResult], Optional[str]], None]
+        ] = None,
+    ) -> None:
+        """Enqueue designs without blocking; completion arrives via callback.
+
+        The asynchronous twin of :meth:`submit`, built for callers that
+        must never block — the event-loop front-end enqueues here and
+        keeps multiplexing sockets.  ``on_done(result, error)`` is
+        invoked from the **worker thread** once the batch executed
+        (exactly one of the two arguments is non-``None``); it must be
+        quick and must not raise.  Raises :class:`BatcherClosed` /
+        :class:`MicroBatchError` synchronously only for requests that
+        never made it into the queue.
+        """
+        if not sources:
+            raise MicroBatchError("a scan request needs at least one source")
+        pending = _Pending(
+            sources=list(sources), confidence=confidence, on_done=on_done
+        )
+        with self._cond:
+            if self._closed:
+                raise BatcherClosed("scan service is shutting down")
+            self._queue.append(pending)
+            self._in_flight += 1
+            self._cond.notify_all()
 
     # -- lifecycle -----------------------------------------------------------
     def close(self, timeout: Optional[float] = 30.0) -> bool:
@@ -276,7 +335,7 @@ class MicroBatcher:
                 message = f"{type(exc).__name__}: {exc}"
                 for pending, _, _ in offsets:
                     pending.error = message
-                    pending.done.set()
+                    pending.finish()
                 continue
             for pending, start, stop in offsets:
                 records = report.records[start:stop]
@@ -289,7 +348,7 @@ class MicroBatcher:
                     confidence_level=report.confidence_level,
                     fingerprint=getattr(report, "fingerprint", ""),
                 )
-                pending.done.set()
+                pending.finish()
 
     def _run(self) -> None:
         """Worker loop: collect, execute, repeat until closed and drained."""
@@ -298,6 +357,8 @@ class MicroBatcher:
             if not batch:
                 return
             self._execute(batch)
+            with self._cond:
+                self._in_flight -= len(batch)
             if self.after_batch is not None:
                 try:
                     self.after_batch()

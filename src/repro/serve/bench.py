@@ -25,7 +25,13 @@ by many small requests (the high-QPS traffic micro-batching exists for):
   same corpus is re-served.  The new fingerprint makes every result-cache
   lookup miss by construction, but the model-independent feature tier
   stays warm across the reload, so each design costs only its share of a
-  batched forward pass — no HDL parsing, no feature extraction.
+  batched forward pass — no HDL parsing, no feature extraction;
+* ``serve_eventloop_multimodel`` — fleet serving on the event-loop
+  front-end: two registered models behind one process, concurrent
+  clients alternating the ``model`` field request to request, so every
+  wave splits across two independent micro-batch lanes sharing one
+  feature store.  Measures what per-request routing and the extra lane
+  cost on top of single-model micro-batched serving.
 
 Every timed run scans *fresh* design content (a new deterministic corpus
 per invocation) so the cache never short-circuits the comparison — except
@@ -160,12 +166,14 @@ class _LoadClient:
         """Close the persistent socket."""
         self.sock.close()
 
-    def scan_one(self, name: str, text: str) -> Dict[str, object]:
+    def scan_one(
+        self, name: str, text: str, model: Optional[str] = None
+    ) -> Dict[str, object]:
         """POST one single-design scan request; returns the response JSON."""
-        payload = json.dumps(
-            {"sources": [{"name": name, "source": text}]},
-            separators=(",", ":"),
-        ).encode("utf-8")
+        body: Dict[str, object] = {"sources": [{"name": name, "source": text}]}
+        if model is not None:
+            body["model"] = model
+        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
         head = (
             f"POST /scan HTTP/1.1\r\nHost: {self.host}\r\n"
             "Content-Type: application/json\r\n"
@@ -207,15 +215,21 @@ def _fire_requests(
     clients: int,
     host: str,
     port: int,
+    route_models: Optional[List[str]] = None,
 ) -> List[float]:
     """Send one scan request per corpus entry across ``clients`` threads.
 
     Each thread owns a keep-alive :class:`_LoadClient` and pulls work
-    from a shared queue until the corpus is exhausted.  Returns the
-    per-request client-side latencies (seconds).  Any request failure
-    propagates.
+    from a shared queue until the corpus is exhausted.  When
+    ``route_models`` is given, requests carry the ``model`` routing field
+    round-robin across those names (the multi-model workload).  Returns
+    the per-request client-side latencies (seconds).  Any request
+    failure propagates.
     """
-    work: Deque[Tuple[str, str]] = deque(corpus)
+    work: Deque[Tuple[str, str, Optional[str]]] = deque(
+        (name, text, route_models[i % len(route_models)] if route_models else None)
+        for i, (name, text) in enumerate(corpus)
+    )
     latencies: List[float] = []
     failures: List[BaseException] = []
     lock = threading.Lock()
@@ -226,11 +240,11 @@ def _fire_requests(
         try:
             while True:
                 try:
-                    name, text = work.popleft()
+                    name, text, model = work.popleft()
                 except IndexError:
                     break
                 t_start = time.perf_counter()
-                client.scan_one(name, text)
+                client.scan_one(name, text, model=model)
                 local.append(time.perf_counter() - t_start)
         finally:
             client.close()
@@ -291,6 +305,7 @@ class _ServingMode:
         workers: Optional[int] = 1,
         pre_round: Optional[Callable[["_ServingMode"], None]] = None,
         backend: str = "numpy",
+        artifacts: Optional[Dict[str, Path]] = None,
     ) -> None:
         self.name = name
         self.n_requests = n_requests
@@ -302,14 +317,18 @@ class _ServingMode:
         self._seed = seed_base
         self.samples: List[float] = []
         self.latencies: List[float] = []
+        #: Multi-model workloads route requests round-robin across every
+        #: registered model name; single-model workloads omit the field.
+        self.route_models = sorted(artifacts) if artifacts else None
         self.service = ScanService(
-            artifact,
+            artifact if artifacts is None else None,
             port=0,
             batch_window_s=batch_window_s,
             max_batch=max_batch,
             cache_dir=cache_dir,
             workers=workers,
             backend=backend,
+            artifacts=artifacts,
         ).start()
         try:
             with ScanServiceClient(self.service.host, self.service.port) as probe:
@@ -329,8 +348,11 @@ class _ServingMode:
             "max_batch": max_batch,
             "workers": workers,
             "backend": backend,
+            "frontend": self.service.frontend,
             "cpu_count": multiprocessing.cpu_count() or 1,
         }
+        if self.route_models:
+            self.meta["models"] = list(self.route_models)
 
     def _next_seed(self) -> int:
         self._seed += 1
@@ -345,7 +367,11 @@ class _ServingMode:
         )
         t_start = time.perf_counter()
         latencies = _fire_requests(
-            corpus, self.clients, self.service.host, self.service.port
+            corpus,
+            self.clients,
+            self.service.host,
+            self.service.port,
+            route_models=self.route_models,
         )
         elapsed = time.perf_counter() - t_start
         if record:
@@ -395,10 +421,12 @@ def run_serve_benchmark(
     ``BENCH_serve.json`` comes from a full run.  ``workers`` is the
     per-batch feature-extraction process count handed to every service —
     ``1`` on the single-core reference container; multi-core machines can
-    record their own variant with ``bench-serve --workers N`` (every
-    result's ``meta.cpu_count`` says which kind of machine produced it).
-    Returns the populated :class:`BenchmarkSuite` (already written to
-    ``output``).
+    record their own variant with ``bench-serve --workers N``.  The
+    ``serve_eventloop_multimodel`` mode is the designated multi-core
+    scenario and always runs with at least two extraction processes;
+    every result's ``meta.workers`` + ``meta.cpu_count`` say which kind
+    of recording it is.  Returns the populated :class:`BenchmarkSuite`
+    (already written to ``output``).
     """
     if smoke:
         n_requests = min(n_requests, 16)
@@ -429,6 +457,12 @@ def run_serve_benchmark(
         # private copy so the other modes' services never see a changed
         # fingerprint mid-measurement.
         reload_artifact = save_detector(result.model, Path(workdir) / "artifact_reload")
+        # The multi-model mode registers two artifacts behind one process.
+        # A second copy of the same detector keeps the comparison about
+        # serving architecture (routing + an extra batch lane), not about
+        # model quality — each corpus entry is unique and routed to exactly
+        # one model, so the shared fingerprint never cross-hits the cache.
+        fleet_artifact = save_detector(result.model, Path(workdir) / "artifact_fleet")
         recal_state = {"seed": seed + 5_000_000}
 
         def _recalibrate_and_reload(mode: "_ServingMode") -> None:
@@ -487,6 +521,19 @@ def run_serve_benchmark(
                 backend="fused_f32",
             ),
             dict(
+                name="serve_eventloop_multimodel",
+                cache="cache_multimodel",
+                seed_base=seed + 8_000_000,
+                clients=clients,
+                batch_window_s=window_s,
+                max_batch=max_batch,
+                artifacts={"alpha": artifact, "beta": fleet_artifact},
+                # The designated multi-core scenario: always at least two
+                # extraction processes per batch scan, whatever --workers
+                # says (meta.workers / meta.cpu_count identify the shape).
+                workers=max(2, workers or 1),
+            ),
+            dict(
                 name="serve_cached_rescan",
                 cache="cache_rescan",
                 seed_base=seed + 4_000_000,
@@ -521,9 +568,10 @@ def run_serve_benchmark(
                         batch_window_s=spec["batch_window_s"],
                         max_batch=spec["max_batch"],
                         rescan=bool(spec.get("rescan")),
-                        workers=workers,
+                        workers=spec.get("workers", workers),
                         pre_round=spec.get("pre_round"),
                         backend=spec.get("backend", "numpy"),
+                        artifacts=spec.get("artifacts"),
                     )
                 )
             for mode in modes:
@@ -544,6 +592,7 @@ def run_serve_benchmark(
         "serve_unbatched_concurrent",
         "serve_microbatch_concurrent",
         "serve_microbatch_fused_f32",
+        "serve_eventloop_multimodel",
         "serve_cached_rescan",
         "serve_rescan_after_reload",
     ):
@@ -570,6 +619,13 @@ def run_serve_benchmark(
         "serve_fused_f32_vs_numpy_microbatch",
         results["serve_microbatch_concurrent"],
         results["serve_microbatch_fused_f32"],
+    )
+    # The fleet ratio: the same micro-batched concurrency split across
+    # two routed models (two lanes, one feature store) vs one model.
+    suite.record_speedup(
+        "serve_multimodel_vs_single_microbatch",
+        results["serve_microbatch_concurrent"],
+        results["serve_eventloop_multimodel"],
     )
     suite.write_json(output)
     return suite

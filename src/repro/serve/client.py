@@ -157,17 +157,29 @@ class ScanServiceClient:
         """``GET /metrics``: the service's counters/percentiles snapshot."""
         return self._request("GET", "/metrics")
 
-    def reload(self) -> Dict[str, Any]:
-        """``POST /reload``: force a model hot-reload check."""
-        return self._request("POST", "/reload", payload={})
+    def reload(self, model: Optional[str] = None) -> Dict[str, Any]:
+        """``POST /reload``: force hot-reload checks (all models or one)."""
+        payload: Dict[str, Any] = {}
+        if model is not None:
+            payload["model"] = model
+        return self._request("POST", "/reload", payload=payload)
+
+    def promote(self) -> Dict[str, Any]:
+        """``POST /promote``: force-promote the rollout challenger now."""
+        return self._request("POST", "/promote", payload={})
 
     def scan(
         self,
         sources: Optional[Sequence[Dict[str, str]]] = None,
         paths: Optional[Sequence[str]] = None,
         confidence: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """``POST /scan`` with raw payload pieces (see ``docs/SERVING.md``)."""
+        """``POST /scan`` with raw payload pieces (see ``docs/SERVING.md``).
+
+        ``model`` routes the request to a named registered model instead
+        of the current champion (multi-model serving).
+        """
         payload: Dict[str, Any] = {}
         if sources:
             payload["sources"] = list(sources)
@@ -175,17 +187,21 @@ class ScanServiceClient:
             payload["paths"] = list(paths)
         if confidence is not None:
             payload["confidence"] = confidence
+        if model is not None:
+            payload["model"] = model
         return self._request("POST", "/scan", payload=payload)
 
     def scan_texts(
         self,
         pairs: Sequence[Tuple[str, str]],
         confidence: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Scan in-memory ``(name, verilog_text)`` pairs."""
         return self.scan(
             sources=[{"name": name, "source": text} for name, text in pairs],
             confidence=confidence,
+            model=model,
         )
 
     def wait_until_ready(

@@ -97,6 +97,12 @@ class ServiceMetrics:
         self.batched_designs_total = 0
         self.max_batch_designs = 0
         self.reloads = 0
+        self.scans_by_model: Dict[str, int] = {}
+        self.designs_by_model: Dict[str, int] = {}
+        self.shadow_scans = 0
+        self.shadow_designs = 0
+        self.promotions = 0
+        self.forced_promotions = 0
 
     # -- recording -----------------------------------------------------------
     def observe_request(self, route: str, error: bool = False) -> None:
@@ -113,14 +119,25 @@ class ServiceMetrics:
         n_cache_hits: int,
         n_errors: int,
         seconds: float,
+        model: Optional[str] = None,
     ) -> None:
-        """Record one completed ``/scan`` request and its end-to-end latency."""
+        """Record one completed ``/scan`` request and its end-to-end latency.
+
+        ``model`` is the registered model name the request was routed to
+        (multi-model serving); when given, per-model request/design
+        counters are kept alongside the totals.
+        """
         with self._lock:
             self.scan_requests += 1
             self.designs_total += n_designs
             self.cache_hits += n_cache_hits
             self.design_errors += n_errors
             self._latency.observe(seconds)
+            if model is not None:
+                self.scans_by_model[model] = self.scans_by_model.get(model, 0) + 1
+                self.designs_by_model[model] = (
+                    self.designs_by_model.get(model, 0) + n_designs
+                )
 
     def observe_batch(self, n_requests: int, n_designs: int) -> None:
         """Record one micro-batch flush (its request and design counts)."""
@@ -144,6 +161,19 @@ class ServiceMetrics:
         """Count one model hot-reload (automatic or via ``POST /reload``)."""
         with self._lock:
             self.reloads += 1
+
+    def observe_shadow(self, n_designs: int) -> None:
+        """Count one challenger shadow scan (champion–challenger rollout)."""
+        with self._lock:
+            self.shadow_scans += 1
+            self.shadow_designs += n_designs
+
+    def observe_promotion(self, forced: bool = False) -> None:
+        """Count one champion promotion (``forced`` for ``POST /promote``)."""
+        with self._lock:
+            self.promotions += 1
+            if forced:
+                self.forced_promotions += 1
 
     # -- reading -------------------------------------------------------------
     def uptime_seconds(self) -> float:
@@ -177,6 +207,12 @@ class ServiceMetrics:
                 "mean_batch_designs": mean_batch,
                 "max_batch_designs": self.max_batch_designs,
                 "reloads": self.reloads,
+                "scans_by_model": dict(self.scans_by_model),
+                "designs_by_model": dict(self.designs_by_model),
+                "shadow_scans": self.shadow_scans,
+                "shadow_designs": self.shadow_designs,
+                "promotions": self.promotions,
+                "forced_promotions": self.forced_promotions,
                 "latency_seconds": dict(
                     zip(
                         ("p50", "p95", "p99"),

@@ -15,9 +15,21 @@ and changes its fingerprint.  :class:`ModelRegistry` resolves both needs:
   batch without restarting the server (**hot reload**), while the steady
   state costs one ``stat`` per probe.
 
-The registry is thread-safe; engines are swapped atomically under a lock,
-and an in-flight batch keeps scanning on the engine it resolved (the old
-model) while the next batch gets the new one.
+The registry is built for **multi-model serving**: any number of artifact
+paths may be resident at once (one per tenant / design family), all
+sharing the one model-independent feature store.  Two properties keep the
+tenants independent:
+
+* the staleness-probe TTL is **per model**, not per registry — each
+  resident entry carries its own probe clock, so a tenant that
+  hot-reloads every few seconds never suppresses (or forces) probes for
+  the others;
+* artifact loading happens under a **per-path lock**, never under the
+  registry-wide one — a tenant mid-reload (deserializing a large
+  artifact) cannot block another tenant's probe, lookup or reload.
+
+Engines are swapped atomically; an in-flight batch keeps scanning on the
+engine it resolved (the old model) while the next batch gets the new one.
 """
 
 from __future__ import annotations
@@ -41,8 +53,8 @@ from ..nn.backend import DEFAULT_BACKEND, get_backend
 #: traffic probes once per micro-batch; without the TTL that is thousands
 #: of ``stat`` calls per second against the artifact directory for a file
 #: that changes a few times a day.  250 ms keeps the steady state at ~4
-#: stats/second while bounding hot-reload latency well under a second
-#: (and ``POST /reload`` always bypasses the TTL).
+#: stats/second *per resident model* while bounding hot-reload latency
+#: well under a second (and ``POST /reload`` always bypasses the TTL).
 DEFAULT_RELOAD_TTL_S = 0.25
 
 
@@ -56,7 +68,10 @@ class RegisteredModel:
     manifest_mtime: float
     loaded_at: float
     kind: str
-    #: ``time.monotonic()`` of the last staleness probe (TTL bookkeeping).
+    #: ``time.monotonic()`` of the last staleness probe.  Deliberately a
+    #: per-model clock: TTL bookkeeping on the registry itself would let
+    #: one frequently-probed (or hot-reloading) tenant starve every other
+    #: model's staleness probes (see ``tests/test_serve_registry.py``).
     last_probe: float = 0.0
 
     def describe(self) -> Dict[str, object]:
@@ -102,7 +117,9 @@ class ModelRegistry:
         features).
     reload_ttl_s:
         How long (seconds) a :meth:`maybe_reload` staleness verdict is
-        trusted before the manifest mtime is stat'ed again.  ``0``
+        trusted before the manifest mtime is stat'ed again.  The clock is
+        kept **per resident model** (on its :class:`RegisteredModel`), so
+        probing one artifact never spends another's TTL budget.  ``0``
         restores a stat per probe; :meth:`reload` always bypasses it.
     backend:
         Inference compute backend every loaded engine runs
@@ -138,8 +155,12 @@ class ModelRegistry:
             if feature_store_dir is not None
             else None
         )
+        # ``_lock`` guards only the dictionaries below — never a model
+        # load.  Loading happens under the per-path lock so one tenant's
+        # multi-second deserialization cannot block the others' probes.
         self._lock = threading.RLock()
         self._by_path: Dict[Path, RegisteredModel] = {}
+        self._load_locks: Dict[Path, threading.Lock] = {}
         # Models swapped out by a reload whose caches may still hold
         # unflushed records; drained by the next flush_caches() call.
         # Flushing them here directly would race the batch worker, which
@@ -153,6 +174,14 @@ class ModelRegistry:
     def _manifest_mtime(self, artifact_path: Path) -> float:
         """The artifact manifest's mtime (the cheap staleness signal)."""
         return os.stat(self._manifest_path(artifact_path)).st_mtime
+
+    def _load_lock(self, path: Path) -> threading.Lock:
+        """The per-artifact-path load lock (created on first use)."""
+        with self._lock:
+            lock = self._load_locks.get(path)
+            if lock is None:
+                lock = self._load_locks[path] = threading.Lock()
+            return lock
 
     def _load(self, artifact_path: Path) -> RegisteredModel:
         """Load the detector behind ``artifact_path`` into a fresh engine."""
@@ -196,14 +225,25 @@ class ModelRegistry:
 
         Subsequent calls return the cached engine without touching the
         model files; staleness is checked separately (:meth:`maybe_reload`)
-        so the hot path can choose when to pay the ``stat``.
+        so the hot path can choose when to pay the ``stat``.  First-use
+        loading holds only this path's load lock — concurrent ``get`` /
+        ``maybe_reload`` calls for *other* artifacts proceed untouched.
         """
         path = Path(artifact_path).resolve()
         with self._lock:
             entry = self._by_path.get(path)
-            if entry is None:
-                entry = self._load(path)
-                self._by_path[path] = entry
+        if entry is not None:
+            return entry
+        with self._load_lock(path):
+            # Re-check under the load lock: another thread may have won
+            # the race and loaded this artifact while we waited.
+            with self._lock:
+                entry = self._by_path.get(path)
+                if entry is not None:
+                    return entry
+            fresh = self._load(path)
+            with self._lock:
+                entry = self._by_path.setdefault(path, fresh)
             return entry
 
     def maybe_reload(
@@ -211,35 +251,39 @@ class ModelRegistry:
     ) -> Tuple[RegisteredModel, bool]:
         """Return the current model, hot-reloading if the artifact changed.
 
-        The probe is three-tier: within ``reload_ttl_s`` of the previous
-        probe the resident model is returned without touching the
-        filesystem at all (high-QPS traffic probes per micro-batch, which
-        would otherwise ``stat`` the artifact dir thousands of times per
-        second); then a ``stat`` of ``manifest.json`` (the steady-state
-        cost, a few times per second); and only when the mtime moved is
-        the detector re-loaded and its fingerprint compared.  A rewrite
-        that produced the *same* fingerprint (e.g. re-saving an identical
-        model) keeps the resident engine and its warm cache.  Returns
-        ``(entry, reloaded)``.
+        The probe is three-tier: within ``reload_ttl_s`` of **this
+        model's** previous probe the resident model is returned without
+        touching the filesystem at all (high-QPS traffic probes per
+        micro-batch, which would otherwise ``stat`` the artifact dir
+        thousands of times per second); then a ``stat`` of
+        ``manifest.json`` (the steady-state cost, a few times per
+        second); and only when the mtime moved is the detector re-loaded
+        and its fingerprint compared.  A rewrite that produced the *same*
+        fingerprint (e.g. re-saving an identical model) keeps the
+        resident engine and its warm cache.  Returns ``(entry, reloaded)``.
+
+        Each model keeps its own TTL clock and reloads under its own
+        load lock, so neither a chatty prober nor a mid-reload tenant
+        affects when *other* models' artifacts are probed.
         """
         path = Path(artifact_path).resolve()
         with self._lock:
             entry = self._by_path.get(path)
-            if entry is None:
-                return self.get(path), False
-            now = time.monotonic()
-            if now - entry.last_probe < self.reload_ttl_s:
-                return entry, False
-            entry.last_probe = now
-            try:
-                mtime = self._manifest_mtime(path)
-            except OSError:
-                # Mid-rewrite (save_detector replaces files) or the
-                # artifact vanished: keep serving the resident model.
-                return entry, False
-            if mtime == entry.manifest_mtime:
-                return entry, False
-            return self._reload_locked(path, entry)
+        if entry is None:
+            return self.get(path), False
+        now = time.monotonic()
+        if now - entry.last_probe < self.reload_ttl_s:
+            return entry, False
+        entry.last_probe = now
+        try:
+            mtime = self._manifest_mtime(path)
+        except OSError:
+            # Mid-rewrite (save_detector replaces files) or the
+            # artifact vanished: keep serving the resident model.
+            return entry, False
+        if mtime == entry.manifest_mtime:
+            return entry, False
+        return self._reload_path(path, entry)
 
     def reload(self, artifact_path: Union[str, Path]) -> Tuple[RegisteredModel, bool]:
         """Force a fingerprint check now (the ``POST /reload`` path).
@@ -251,47 +295,56 @@ class ModelRegistry:
         path = Path(artifact_path).resolve()
         with self._lock:
             entry = self._by_path.get(path)
-            if entry is None:
-                return self.get(path), False
-            return self._reload_locked(path, entry)
+        if entry is None:
+            return self.get(path), False
+        return self._reload_path(path, entry)
 
-    def _reload_locked(
+    def _reload_path(
         self, path: Path, entry: RegisteredModel
     ) -> Tuple[RegisteredModel, bool]:
-        """Reload ``path`` (lock held) and swap the entry if it changed.
+        """Reload ``path`` under its own load lock and swap if it changed.
 
         The fingerprint is read from the manifest alone first: a rewrite
         that produced the same model (the common recalibrate-to-identical
         or plain ``touch`` case) costs one small JSON read, not a full
-        weight/calibration deserialization under the registry lock.
+        weight/calibration deserialization.  Only the per-path load lock
+        is held during deserialization — the registry-wide lock is taken
+        solely for the final swap, so other tenants' probes and lookups
+        never wait on this model's load.
         """
         from ..engine.artifacts import ArtifactError, load_manifest
 
-        try:
-            mtime = self._manifest_mtime(path)
-            manifest_fingerprint = load_manifest(path).get(
-                "fingerprint", "unversioned"
-            )
-            if manifest_fingerprint == entry.fingerprint:
-                # Same model content: keep the resident engine (and its
-                # warm in-memory cache view), just remember the new mtime.
-                entry.manifest_mtime = mtime
-                entry.last_probe = time.monotonic()
+        with self._load_lock(path):
+            with self._lock:
+                # Another thread may have finished this exact reload
+                # while we waited on the load lock.
+                entry = self._by_path.get(path, entry)
+            try:
+                mtime = self._manifest_mtime(path)
+                manifest_fingerprint = load_manifest(path).get(
+                    "fingerprint", "unversioned"
+                )
+                if manifest_fingerprint == entry.fingerprint:
+                    # Same model content: keep the resident engine (and its
+                    # warm in-memory cache view), just remember the new mtime.
+                    entry.manifest_mtime = mtime
+                    entry.last_probe = time.monotonic()
+                    return entry, False
+                fresh = self._load(path)
+            except (OSError, ValueError, KeyError, ArtifactError):
+                # Mid-rewrite (save_detector replaces the files non-atomically)
+                # or otherwise unreadable: keep serving the resident model.
+                # entry.manifest_mtime is left untouched, so the next probe
+                # retries once the rewrite has settled.
                 return entry, False
-            fresh = self._load(path)
-        except (OSError, ValueError, KeyError, ArtifactError):
-            # Mid-rewrite (save_detector replaces the files non-atomically)
-            # or otherwise unreadable: keep serving the resident model.
-            # entry.manifest_mtime is left untouched, so the next probe
-            # retries once the rewrite has settled.
-            return entry, False
-        # The outgoing engine may still be scanning (an in-flight batch
-        # keeps its reference) — retire it and let the next
-        # flush_caches() persist whatever it holds.
-        if entry.engine.cache is not None:
-            self._retired.append(entry)
-        self._by_path[path] = fresh
-        return fresh, True
+            # The outgoing engine may still be scanning (an in-flight batch
+            # keeps its reference) — retire it and let the next
+            # flush_caches() persist whatever it holds.
+            with self._lock:
+                if entry.engine.cache is not None:
+                    self._retired.append(entry)
+                self._by_path[path] = fresh
+            return fresh, True
 
     def entries(self) -> List[RegisteredModel]:
         """Every resident model (one per registered artifact path)."""
@@ -301,8 +354,8 @@ class ModelRegistry:
     def flush_caches(self) -> None:
         """Flush every resident (and retired) engine's cache tiers.
 
-        Called from the serving layer's batch worker between batches and
-        on shutdown after the worker drained — i.e. never concurrently
+        Called from the serving layer's batch workers between batches and
+        on shutdown after the workers drained — i.e. never concurrently
         with a scan writing to the same cache.  Retired engines (swapped
         out by a hot reload) are flushed once here and then dropped.  The
         shared feature store is flushed once (it is one object, not

@@ -1,0 +1,228 @@
+"""Champion–challenger rollout: gate model promotion on live triage agreement.
+
+Recalibrated detectors should reach production traffic the way any risky
+change does: behind a gate.  :class:`RolloutController` implements the
+serving layer's version of a regression workflow — the resident
+**champion** keeps answering every request, while a freshly loaded
+**challenger** *shadow-scans* a sampled slice of the same live traffic.
+Shadow scans never touch responses; they only feed the agreement
+ledger.  Once enough designs have been shadow-scanned, the controller
+decides exactly once:
+
+* triage-agreement rate ``>= promote_threshold`` → **promoted**: the
+  serving layer swaps default routing to the challenger;
+* below the threshold → **rejected**: shadow traffic stops, the champion
+  keeps serving, and the disagreement evidence stays visible in
+  ``GET /metrics`` for the operator who shipped the challenger.
+
+Agreement is counted at the *triage verdict* level (``trojan_free`` /
+``trojan_infected`` / uncertain / anomalous / error — the strings of
+:attr:`repro.core.results.ScanRecord.verdict`), because that is what the
+service's consumers act on: two models that disagree about a fourth
+decimal of a p-value but triage every design identically are
+operationally interchangeable.
+
+The controller is a pure, thread-safe state machine — it never touches
+models, batchers or sockets — so the promotion policy is testable
+without a single HTTP request (see ``tests/test_serve_rollout.py``).
+``POST /promote`` maps to :meth:`force_promote`, which bypasses the
+evidence requirement but still records that it did.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+#: Default triage-agreement rate a challenger must clear to be promoted.
+DEFAULT_PROMOTE_THRESHOLD = 0.98
+
+#: Default number of shadow-scanned designs required before the
+#: promote/reject decision is made.  Below this the agreement rate is too
+#: noisy to act on (3 designs agreeing proves nothing).
+DEFAULT_MIN_SHADOW_DESIGNS = 32
+
+#: Default fraction of champion-routed designs that are shadow-scanned.
+DEFAULT_SHADOW_SAMPLE = 1.0
+
+#: The controller states.  ``shadowing`` is the only state that samples
+#: traffic; both terminal states keep their evidence readable forever.
+STATE_SHADOWING = "shadowing"
+STATE_PROMOTED = "promoted"
+STATE_REJECTED = "rejected"
+
+
+class RolloutError(ValueError):
+    """Raised for invalid rollout configuration or state transitions."""
+
+
+class RolloutController:
+    """Agreement ledger + one-shot promotion gate for one challenger.
+
+    Parameters
+    ----------
+    champion / challenger:
+        Model names as registered with the serving layer.  The controller
+        only reports them; routing is the :class:`ScanService`'s job.
+    promote_threshold:
+        Minimum triage-agreement rate (fraction in ``[0, 1]``) for
+        auto-promotion once ``min_shadow_designs`` have been observed.
+    min_shadow_designs:
+        Shadow-scanned designs required before the one-shot
+        promote/reject decision is made.
+    sample_rate:
+        Fraction of champion-routed designs that are shadow-scanned, in
+        ``(0, 1]``.  Sampling is deterministic (an error-diffusion
+        accumulator, not a PRNG) so a given traffic sequence always
+        shadows the same requests — reproducibility is worth more here
+        than statistical independence.
+    """
+
+    def __init__(
+        self,
+        champion: str,
+        challenger: str,
+        promote_threshold: float = DEFAULT_PROMOTE_THRESHOLD,
+        min_shadow_designs: int = DEFAULT_MIN_SHADOW_DESIGNS,
+        sample_rate: float = DEFAULT_SHADOW_SAMPLE,
+    ) -> None:
+        if champion == challenger:
+            raise RolloutError("champion and challenger must be different models")
+        if not 0.0 <= promote_threshold <= 1.0:
+            raise RolloutError("promote_threshold must be in [0, 1]")
+        if min_shadow_designs < 1:
+            raise RolloutError("min_shadow_designs must be at least 1")
+        if not 0.0 < sample_rate <= 1.0:
+            raise RolloutError("sample_rate must be in (0, 1]")
+        self.champion = champion
+        self.challenger = challenger
+        self.promote_threshold = promote_threshold
+        self.min_shadow_designs = min_shadow_designs
+        self.sample_rate = sample_rate
+        self._lock = threading.Lock()
+        self._state = STATE_SHADOWING
+        self._sample_accum = 0.0
+        self._shadow_designs = 0
+        self._agreements = 0
+        self._disagreements: List[Dict[str, str]] = []
+        self._decided_at: Optional[float] = None
+        self._forced = False
+
+    # -- sampling ------------------------------------------------------------
+    def should_sample(self) -> bool:
+        """Whether the next champion-routed request should be shadowed.
+
+        Error-diffusion sampling: an accumulator gains ``sample_rate``
+        per request and a shadow fires every time it crosses 1, so a
+        rate of 0.25 shadows exactly every 4th request.  Returns
+        ``False`` unconditionally once the controller left the
+        ``shadowing`` state — terminal states stop consuming challenger
+        compute.
+        """
+        with self._lock:
+            if self._state != STATE_SHADOWING:
+                return False
+            self._sample_accum += self.sample_rate
+            if self._sample_accum >= 1.0 - 1e-12:
+                self._sample_accum -= 1.0
+                return True
+            return False
+
+    # -- accounting ----------------------------------------------------------
+    def observe(
+        self,
+        champion_verdicts: Sequence[str],
+        challenger_verdicts: Sequence[str],
+        names: Optional[Sequence[str]] = None,
+    ) -> Optional[str]:
+        """Fold one shadow-scanned batch into the agreement ledger.
+
+        ``champion_verdicts`` and ``challenger_verdicts`` are the
+        per-design triage verdict strings in the same design order.
+        Returns the decision this observation triggered (``"promoted"``
+        / ``"rejected"``) or ``None`` while still shadowing.  The
+        decision is one-shot: observations after it are discarded (a
+        late-arriving shadow batch must not flip a terminal state).
+        """
+        if len(champion_verdicts) != len(challenger_verdicts):
+            raise RolloutError(
+                "shadow comparison needs one challenger verdict per champion verdict"
+            )
+        with self._lock:
+            if self._state != STATE_SHADOWING:
+                return None
+            for i, (ours, theirs) in enumerate(
+                zip(champion_verdicts, challenger_verdicts)
+            ):
+                self._shadow_designs += 1
+                if ours == theirs:
+                    self._agreements += 1
+                elif len(self._disagreements) < 16:
+                    # A bounded sample of what disagreed — enough for an
+                    # operator to reproduce, never an unbounded list.
+                    self._disagreements.append(
+                        {
+                            "name": str(names[i]) if names else f"design_{i}",
+                            "champion": ours,
+                            "challenger": theirs,
+                        }
+                    )
+            if self._shadow_designs < self.min_shadow_designs:
+                return None
+            # One-shot gate, decided the moment enough evidence exists.
+            rate = self._agreements / self._shadow_designs
+            self._state = (
+                STATE_PROMOTED if rate >= self.promote_threshold else STATE_REJECTED
+            )
+            self._decided_at = time.time()
+            return self._state
+
+    def force_promote(self) -> None:
+        """Promote now regardless of evidence (the ``POST /promote`` path).
+
+        Valid from any state — an operator can overrule a rejection —
+        and recorded as forced so the metrics never claim the agreement
+        gate was cleared when it was not.
+        """
+        with self._lock:
+            self._state = STATE_PROMOTED
+            self._forced = True
+            self._decided_at = time.time()
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state: ``shadowing``, ``promoted`` or ``rejected``."""
+        with self._lock:
+            return self._state
+
+    def agreement_rate(self) -> Optional[float]:
+        """Observed triage-agreement rate, ``None`` before any shadow scan."""
+        with self._lock:
+            if not self._shadow_designs:
+                return None
+            return self._agreements / self._shadow_designs
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready rollout status for ``GET /metrics`` / ``POST /promote``."""
+        with self._lock:
+            rate = (
+                self._agreements / self._shadow_designs
+                if self._shadow_designs
+                else None
+            )
+            return {
+                "champion": self.champion,
+                "challenger": self.challenger,
+                "state": self._state,
+                "promote_threshold": self.promote_threshold,
+                "min_shadow_designs": self.min_shadow_designs,
+                "sample_rate": self.sample_rate,
+                "shadow_designs": self._shadow_designs,
+                "agreements": self._agreements,
+                "agreement_rate": rate,
+                "disagreements": list(self._disagreements),
+                "decided_at": self._decided_at,
+                "forced": self._forced,
+            }

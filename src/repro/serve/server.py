@@ -1,26 +1,43 @@
-"""The long-lived scan service: a threaded stdlib HTTP server over the engine.
+"""The long-lived scan service: multi-model routing behind one HTTP process.
 
-``python -m repro serve --artifact <dir>`` starts one process that keeps a
-trained detector resident (:class:`repro.serve.registry.ModelRegistry`),
-funnels every ``POST /scan`` through the micro-batching queue
-(:class:`repro.serve.batching.MicroBatcher`) so concurrent requests share
-one vectorized forward pass and one cache flush, and exposes the standard
-operational endpoints:
+``python -m repro serve --artifact NAME=DIR ...`` starts one process that
+keeps any number of trained detectors resident (one
+:class:`repro.serve.registry.ModelRegistry`, one shared model-independent
+feature store), gives each model its own micro-batching queue
+(:class:`repro.serve.batching.MicroBatcher` — concurrent requests for the
+same model share one vectorized forward pass), and routes every request
+by its ``model`` field or ``X-Repro-Model`` header.  The standard
+endpoints:
 
 ``POST /scan``
-    Scan inline HDL sources and/or server-side paths; returns per-design
-    triage records identical to a ``python -m repro scan`` run.
+    Scan inline HDL sources and/or server-side paths with the requested
+    model (default: the current champion); returns per-design triage
+    records identical to a ``python -m repro scan`` run of that model.
 ``GET /healthz``
-    Liveness + the resident model's fingerprint and the service version.
+    Liveness + every resident model's fingerprint and the champion.
 ``GET /metrics``
-    Request counts, micro-batch sizes, latency percentiles, cache hit rate.
+    Request counts (total and per model), micro-batch sizes, latency
+    percentiles, cache hit rate, rollout status.
 ``POST /reload``
-    Force a model hot-reload check (recalibration without downtime).
+    Force a hot-reload check for all models (or one, via ``{"model":
+    ...}``) — recalibration without downtime.
+``POST /promote``
+    Force-promote the challenger to champion right now.
 
-Everything is stdlib (``http.server`` + ``threading``): one handler thread
-per connection, one batch worker owning the engine, graceful shutdown that
-drains in-flight batches and flushes the result cache.  See
-``docs/SERVING.md`` for the full API reference.
+**Champion–challenger rollout** (``--shadow NAME``): the champion keeps
+answering every default-routed request while the challenger shadow-scans
+a sampled slice of the same traffic; once its triage-agreement rate
+clears the configured threshold over enough designs it is auto-promoted
+to champion (see :mod:`repro.serve.rollout`).
+
+Two front-ends serve the HTTP (``frontend=``): the default
+``"eventloop"`` — a single-threaded :mod:`selectors` reactor
+(:mod:`repro.serve.eventloop`) that holds thousands of keep-alive
+connections without a thread apiece and completes scans asynchronously —
+and ``"threaded"``, the classic stdlib thread-per-connection server.
+Both keep graceful drain (every accepted request is answered before the
+process exits) and hot reload.  See ``docs/SERVING.md`` for the full API
+reference.
 """
 
 from __future__ import annotations
@@ -32,7 +49,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from .. import __version__
 from ..engine.scan import ScanReport, ScanSource, collect_sources
@@ -41,11 +58,25 @@ from .batching import (
     DEFAULT_BATCH_WINDOW_S,
     DEFAULT_MAX_BATCH,
     BatcherClosed,
+    BatchResult,
     MicroBatchError,
     MicroBatcher,
 )
+from .eventloop import (
+    DEFAULT_IDLE_TIMEOUT_S,
+    DEFAULT_REQUEST_TIMEOUT_S,
+    EventLoopFrontend,
+    ParsedRequest,
+)
 from .metrics import ServiceMetrics
 from .registry import ModelRegistry
+from .rollout import (
+    DEFAULT_MIN_SHADOW_DESIGNS,
+    DEFAULT_PROMOTE_THRESHOLD,
+    DEFAULT_SHADOW_SAMPLE,
+    STATE_PROMOTED,
+    RolloutController,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -57,6 +88,13 @@ DEFAULT_PORT = 8731
 
 #: Largest accepted request body (64 MiB of HDL is far beyond any design).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: The default model name when the service is started with one artifact.
+DEFAULT_MODEL_NAME = "default"
+
+#: Routing header naming the model a request should be scanned with
+#: (per-tenant routing without touching the JSON body).
+MODEL_HEADER = "x-repro-model"
 
 
 class RequestError(ValueError):
@@ -82,13 +120,14 @@ def parse_scan_payload(
     The body is a JSON object with any combination of ``sources`` (a list
     of ``{"name": ..., "source": "<verilog>"}`` objects — ``name`` is
     optional) and ``paths`` (server-side files/directories, resolved like
-    CLI scan inputs), plus an optional ``confidence`` level.  Raises
-    :class:`RequestError` with a client-actionable message on any shape
-    problem.
+    CLI scan inputs), plus an optional ``confidence`` level and an
+    optional ``model`` (validated by the routing layer, not here).
+    Raises :class:`RequestError` with a client-actionable message on any
+    shape problem.
     """
     if not isinstance(payload, dict):
         raise RequestError("request body must be a JSON object")
-    unknown = set(payload) - {"sources", "paths", "confidence"}
+    unknown = set(payload) - {"sources", "paths", "confidence", "model"}
     if unknown:
         raise RequestError(f"unknown request fields: {sorted(unknown)}")
     sources: List[ScanSource] = []
@@ -126,19 +165,65 @@ def parse_scan_payload(
     return sources, confidence
 
 
+class _ModelLane:
+    """One served model: its name, artifact path and dedicated batcher.
+
+    Each lane owns exactly one :class:`MicroBatcher` (whose worker thread
+    is the lane's engine/cache concurrency guard), so scans for different
+    models batch independently and one model's slow batch never holds
+    another's queue.  The lanes still share one registry — and through it
+    the one model-independent feature store.
+    """
+
+    __slots__ = ("name", "path", "fingerprint", "batcher", "unflushed")
+
+    def __init__(self, name: str, path: Path, fingerprint: str) -> None:
+        self.name = name
+        self.path = path
+        self.fingerprint = fingerprint
+        self.batcher: MicroBatcher = None  # type: ignore[assignment]
+        # Fresh (non-cache-hit) designs since this lane's last cache
+        # flush; only the lane's own batch worker touches it.
+        self.unflushed = 0
+
+
 class ScanService:
-    """Everything behind one serving process: registry, batcher, HTTP server.
+    """Everything behind one serving process: registry, lanes, front-end.
 
     Parameters
     ----------
     artifact:
-        Detector artifact directory to serve (loaded at construction, so a
-        broken artifact fails fast instead of on the first request).
+        Single detector artifact directory to serve (the one-model
+        shorthand; registered under the name ``"default"``).  Mutually
+        exclusive with ``artifacts``.
+    artifacts:
+        Ordered mapping of model name -> artifact directory for
+        multi-model serving.  All models are loaded at construction, so a
+        broken artifact fails fast instead of on the first request.
+    default_model:
+        Which model serves requests that name none (the initial
+        *champion*).  Defaults to the first ``artifacts`` entry.
+    shadow:
+        Model name (must be in ``artifacts``) to run as rollout
+        *challenger*: it shadow-scans sampled champion traffic and is
+        auto-promoted once its triage-agreement rate clears
+        ``promote_threshold`` (see :mod:`repro.serve.rollout`).
+    promote_threshold / min_shadow_designs / shadow_sample:
+        Rollout gate configuration, passed to
+        :class:`repro.serve.rollout.RolloutController`.
     host / port:
         Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    frontend:
+        ``"eventloop"`` (default) — the single-threaded ``selectors``
+        reactor — or ``"threaded"`` — stdlib thread-per-connection.
+    request_timeout_s / idle_timeout_s:
+        Event-loop front-end clocks: how long a partial request may
+        dribble in (slow-loris guard) and how long an idle keep-alive
+        connection is kept.  Ignored by the threaded front-end, which
+        uses its per-read socket timeout.
     batch_window_s:
-        Micro-batch window — how long the batch worker holds a batch open
-        for stragglers after the first request arrives.
+        Micro-batch window — how long a lane's batch worker holds a batch
+        open for stragglers after the first request arrives.
     max_batch:
         Designs per micro-batch (the forward-pass batch-size cap).
     cache_dir:
@@ -146,25 +231,22 @@ class ScanService:
     feature_cache:
         Attach the model-independent feature tier under
         ``<cache_dir>/features``.  Because the tier is keyed by source
-        content (not model fingerprint), a recalibration + hot reload
-        keeps it warm: post-reload scans of known designs skip HDL
-        parsing and feature extraction entirely and pay only the forward
-        pass.  Ignored when ``cache_dir`` is ``None``.
+        content (not model fingerprint), every lane shares it — a design
+        scanned by the champion is already feature-warm for the
+        challenger's shadow scan, and a recalibration + hot reload keeps
+        it warm.  Ignored when ``cache_dir`` is ``None``.
     feature_store_dir:
         Explicit feature-tier root overriding the convention above (also
         enables the tier without a result cache).
     workers:
         Feature-extraction processes per batch scan (default 1: on a
-        serving box the batch worker owns a single core's worth of work).
+        serving box each lane's batch worker owns a core's worth of work).
     allow_paths:
         Whether ``POST /scan`` may reference server-side paths.
     flush_every:
-        Flush the result cache once at least this many fresh designs have
-        accumulated since the last flush (always off the response critical
-        path, and always on shutdown).  A crash loses at most this many
-        cached verdicts — they are verdicts a rescan reproduces, so the
-        serving default trades a bounded amount of cache warmth for not
-        paying shard-file writes per batch.
+        Per lane: flush the lane's result cache once at least this many
+        fresh designs accumulated since its last flush (always off the
+        response critical path, and always on shutdown).
     backend:
         Inference compute backend for every forward pass the service runs
         (``numpy`` golden float64, ``fused_f32``, ``int8``); reported by
@@ -173,7 +255,7 @@ class ScanService:
 
     def __init__(
         self,
-        artifact: Union[str, Path],
+        artifact: Optional[Union[str, Path]] = None,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
@@ -186,15 +268,29 @@ class ScanService:
         allow_paths: bool = True,
         flush_every: int = 128,
         backend: str = "numpy",
+        artifacts: Optional[Mapping[str, Union[str, Path]]] = None,
+        default_model: Optional[str] = None,
+        shadow: Optional[str] = None,
+        promote_threshold: float = DEFAULT_PROMOTE_THRESHOLD,
+        min_shadow_designs: int = DEFAULT_MIN_SHADOW_DESIGNS,
+        shadow_sample: float = DEFAULT_SHADOW_SAMPLE,
+        frontend: str = "eventloop",
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
     ) -> None:
-        self.artifact_path = Path(artifact)
+        if (artifact is None) == (artifacts is None):
+            raise ValueError("provide exactly one of 'artifact' or 'artifacts'")
+        if artifacts is None:
+            artifacts = {DEFAULT_MODEL_NAME: artifact}  # type: ignore[dict-item]
+        if not artifacts:
+            raise ValueError("'artifacts' must name at least one model")
+        if frontend not in ("eventloop", "threaded"):
+            raise ValueError(f"unknown frontend {frontend!r}")
         self.workers = workers
         self.allow_paths = allow_paths
         self.flush_every = max(1, flush_every)
         self.backend = backend
-        # Fresh (non-cache-hit) designs since the last cache flush; only
-        # the batch worker touches it, so no lock is needed.
-        self._unflushed_designs = 0
+        self.frontend = frontend
         self.metrics = ServiceMetrics()
         self.registry = ModelRegistry(
             cache_dir=cache_dir,
@@ -203,22 +299,55 @@ class ScanService:
             feature_store_dir=feature_store_dir,
             backend=backend,
         )
-        # Load at construction so a broken artifact fails fast, and keep
-        # the fingerprint in a plain attribute the per-request path can
-        # read without a registry lookup (updated on hot reload).
-        self._fingerprint = self.registry.get(self.artifact_path).fingerprint
-        # The HTTP server binds before the batcher starts its worker
-        # thread: a bind failure (port in use) must not leak a thread.
-        self._httpd = _ScanHTTPServer((host, port), _ScanRequestHandler, self)
-        self.batcher = MicroBatcher(
-            self._scan_batch,
-            batch_window_s=batch_window_s,
-            max_batch=max_batch,
-            metrics=self.metrics,
-            # Flush the result cache after responses go out, not before:
-            # requesters never wait on disk (see ``flush_every``).
-            after_batch=self._after_batch,
-        )
+        # Load every model at construction (fail fast on broken artifacts)
+        # and keep each fingerprint in a lane attribute the per-request
+        # path can read without a registry lookup (updated on hot reload).
+        self._lanes: Dict[str, _ModelLane] = {}
+        for name, path in artifacts.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"model names must be non-empty strings: {name!r}")
+            entry = self.registry.get(Path(path))
+            self._lanes[name] = _ModelLane(name, Path(path), entry.fingerprint)
+        self._champion = default_model or next(iter(self._lanes))
+        if self._champion not in self._lanes:
+            raise ValueError(f"default model {self._champion!r} is not registered")
+        self._champion_lock = threading.Lock()
+        self._rollout: Optional[RolloutController] = None
+        if shadow is not None:
+            if shadow not in self._lanes:
+                raise ValueError(f"shadow model {shadow!r} is not registered")
+            self._rollout = RolloutController(
+                champion=self._champion,
+                challenger=shadow,
+                promote_threshold=promote_threshold,
+                min_shadow_designs=min_shadow_designs,
+                sample_rate=shadow_sample,
+            )
+        # The front-end binds before any batcher starts its worker
+        # thread: a bind failure (port in use) must not leak threads.
+        self._httpd: Optional[_ScanHTTPServer] = None
+        self._loop: Optional[EventLoopFrontend] = None
+        if frontend == "threaded":
+            self._httpd = _ScanHTTPServer((host, port), _ScanRequestHandler, self)
+        else:
+            self._loop = EventLoopFrontend(
+                host,
+                port,
+                self,
+                max_body_bytes=MAX_BODY_BYTES,
+                request_timeout_s=request_timeout_s,
+                idle_timeout_s=idle_timeout_s,
+            )
+        for lane in self._lanes.values():
+            lane.batcher = MicroBatcher(
+                self._make_scan_fn(lane),
+                batch_window_s=batch_window_s,
+                max_batch=max_batch,
+                metrics=self.metrics,
+                # Flush the lane's result cache after responses go out,
+                # not before: requesters never wait on disk.
+                after_batch=self._make_after_batch(lane),
+            )
         self._thread: Optional[threading.Thread] = None
         self._shutdown_lock = threading.Lock()
         self._closed = False
@@ -227,27 +356,85 @@ class ScanService:
     @property
     def host(self) -> str:
         """The bound host."""
-        return self._httpd.server_address[0]
+        if self._loop is not None:
+            return self._loop.host
+        return self._httpd.server_address[0]  # type: ignore[union-attr]
 
     @property
     def port(self) -> int:
         """The bound port (resolved even when constructed with ``port=0``)."""
-        return self._httpd.server_address[1]
+        if self._loop is not None:
+            return self._loop.port
+        return self._httpd.server_address[1]  # type: ignore[union-attr]
+
+    # -- model accessors -----------------------------------------------------
+    @property
+    def champion(self) -> str:
+        """The model name currently serving default-routed requests."""
+        with self._champion_lock:
+            return self._champion
+
+    @property
+    def models(self) -> List[str]:
+        """The registered model names, in registration order."""
+        return list(self._lanes)
+
+    @property
+    def artifact_path(self) -> Path:
+        """The current champion's artifact directory."""
+        return self._lanes[self.champion].path
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The current champion's micro-batcher."""
+        return self._lanes[self.champion].batcher
+
+    @property
+    def rollout(self) -> Optional[RolloutController]:
+        """The active rollout controller, ``None`` without ``--shadow``."""
+        return self._rollout
 
     # -- scanning ------------------------------------------------------------
+    def _make_scan_fn(
+        self, lane: _ModelLane
+    ) -> Callable[[List[ScanSource], Optional[float]], ScanReport]:
+        """Bind :meth:`_scan_batch` to one lane for its batcher."""
+
+        def scan_fn(
+            sources: List[ScanSource], confidence: Optional[float]
+        ) -> ScanReport:
+            """This lane's batch-scan callable (worker thread only)."""
+            return self._scan_batch(lane, sources, confidence)
+
+        return scan_fn
+
+    def _make_after_batch(self, lane: _ModelLane) -> Callable[[], None]:
+        """Bind :meth:`_after_batch` to one lane for its batcher."""
+
+        def after_batch() -> None:
+            """This lane's post-batch hook (worker thread only)."""
+            self._after_batch(lane)
+
+        return after_batch
+
     def _scan_batch(
-        self, sources: List[ScanSource], confidence: Optional[float]
+        self, lane: _ModelLane, sources: List[ScanSource], confidence: Optional[float]
     ) -> ScanReport:
-        """The batch worker's scan callable: hot-reload probe, then engine.
+        """One lane's batch scan: hot-reload probe, then its engine.
 
         The staleness probe runs here — between batches, never mid-batch —
-        so an in-flight batch always finishes on the model it started with.
+        so an in-flight batch always finishes on the model it started
+        with.  Runs only on the lane's own batch worker thread.
         """
-        entry, reloaded = self.registry.maybe_reload(self.artifact_path)
+        entry, reloaded = self.registry.maybe_reload(lane.path)
         if reloaded:
             self.metrics.observe_reload()
-            self._fingerprint = entry.fingerprint
-            logger.info("hot-reloaded model: fingerprint %s", entry.fingerprint[:12])
+            lane.fingerprint = entry.fingerprint
+            logger.info(
+                "hot-reloaded model %s: fingerprint %s",
+                lane.name,
+                entry.fingerprint[:12],
+            )
         report = entry.engine.scan_sources(
             sources, workers=self.workers, confidence=confidence, flush_cache=False
         )
@@ -257,33 +444,54 @@ class ScanService:
         # this rather than "the currently resident model", which a hot
         # reload may have swapped by the time the response is built.
         report.fingerprint = entry.fingerprint  # type: ignore[attr-defined]
-        self._unflushed_designs += report.n_scanned
+        lane.unflushed += report.n_scanned
         return report
 
-    def _after_batch(self) -> None:
-        """Worker hook after each batch's responses went out: maybe flush.
+    def _after_batch(self, lane: _ModelLane) -> None:
+        """Lane worker hook after a batch's responses went out: maybe flush.
 
-        Runs on the batch worker thread between batches, so the flush
-        never delays a response; the ``flush_every`` threshold keeps a
-        flush from paying one shard-file write per design.
+        Flushes only this lane's result cache (its worker is the cache's
+        only writer — flushing other lanes' caches here would race their
+        workers) plus the shared feature store, which is thread-safe.
         """
-        if self._unflushed_designs >= self.flush_every:
-            self._unflushed_designs = 0
-            self.registry.flush_caches()
+        if lane.unflushed >= self.flush_every:
+            lane.unflushed = 0
+            entry = self.registry.get(lane.path)
+            if entry.engine.cache is not None:
+                entry.engine.cache.flush()
+            if self.registry.feature_store is not None:
+                self.registry.feature_store.flush()
 
-    def handle_scan(self, payload: Any) -> Dict[str, Any]:
-        """Serve one ``POST /scan`` body; returns the response payload."""
-        sources, confidence = parse_scan_payload(payload, allow_paths=self.allow_paths)
-        t_start = time.perf_counter()
-        result = self.batcher.submit(sources, confidence=confidence)
-        self.metrics.observe_scan(
-            n_designs=len(sources),
-            n_cache_hits=result.n_cache_hits,
-            n_errors=result.n_errors,
-            seconds=time.perf_counter() - t_start,
-        )
+    # -- routing -------------------------------------------------------------
+    def _route(self, payload: Any, header_model: Optional[str]) -> str:
+        """Resolve which model a scan request targets.
+
+        Precedence: the body's ``model`` field, then the
+        ``X-Repro-Model`` header, then the current champion.  Unknown
+        names raise :class:`RequestError` listing what is being served.
+        """
+        name: Optional[str] = None
+        if isinstance(payload, dict) and payload.get("model") is not None:
+            name = payload["model"]
+            if not isinstance(name, str):
+                raise RequestError("'model' must be a string")
+        elif header_model:
+            name = header_model
+        if name is None:
+            return self.champion
+        if name not in self._lanes:
+            raise RequestError(
+                f"unknown model {name!r} (serving: {sorted(self._lanes)})"
+            )
+        return name
+
+    def _scan_response(
+        self, model: str, sources: List[ScanSource], result: BatchResult
+    ) -> Dict[str, Any]:
+        """Build the ``POST /scan`` response payload for one batch result."""
         return {
-            "fingerprint": result.fingerprint or self._fingerprint,
+            "model": model,
+            "fingerprint": result.fingerprint or self._lanes[model].fingerprint,
             "confidence_level": result.confidence_level,
             "n_designs": len(sources),
             "n_cache_hits": result.n_cache_hits,
@@ -295,14 +503,156 @@ class ScanService:
             },
         }
 
+    def handle_scan(self, payload: Any, model: Optional[str] = None) -> Dict[str, Any]:
+        """Serve one ``POST /scan`` body synchronously (threaded front-end).
+
+        ``model`` is the routing header value, if any; the body's
+        ``model`` field wins over it.  Blocks until the micro-batch ran.
+        """
+        name = self._route(payload, model)
+        sources, confidence = parse_scan_payload(payload, allow_paths=self.allow_paths)
+        t_start = time.perf_counter()
+        result = self._lanes[name].batcher.submit(sources, confidence=confidence)
+        self.metrics.observe_scan(
+            n_designs=len(sources),
+            n_cache_hits=result.n_cache_hits,
+            n_errors=result.n_errors,
+            seconds=time.perf_counter() - t_start,
+            model=name,
+        )
+        self._maybe_shadow(name, sources, confidence, result)
+        return self._scan_response(name, sources, result)
+
+    def handle_scan_async(
+        self,
+        payload: Any,
+        respond: Callable[[int, Dict[str, Any]], None],
+        model: Optional[str] = None,
+    ) -> None:
+        """Serve one ``POST /scan`` body without blocking (event loop).
+
+        Validation problems raise synchronously (:class:`RequestError`,
+        :class:`BatcherClosed`); otherwise the request is enqueued and
+        ``respond(status, payload)`` fires from the lane's batch worker
+        once the micro-batch executed.
+        """
+        name = self._route(payload, model)
+        sources, confidence = parse_scan_payload(payload, allow_paths=self.allow_paths)
+        lane = self._lanes[name]
+        t_start = time.perf_counter()
+
+        def on_done(result: Optional[BatchResult], error: Optional[str]) -> None:
+            """Batch completion -> HTTP response (lane worker thread)."""
+            if error is not None or result is None:
+                self.metrics.observe_request("/scan", error=True)
+                respond(500, {"error": error or "scan failed"})
+                return
+            self.metrics.observe_scan(
+                n_designs=len(sources),
+                n_cache_hits=result.n_cache_hits,
+                n_errors=result.n_errors,
+                seconds=time.perf_counter() - t_start,
+                model=name,
+            )
+            self._maybe_shadow(name, sources, confidence, result)
+            self.metrics.observe_request("/scan")
+            respond(200, self._scan_response(name, sources, result))
+
+        lane.batcher.submit_nowait(sources, confidence=confidence, on_done=on_done)
+
+    # -- rollout -------------------------------------------------------------
+    def _maybe_shadow(
+        self,
+        model: str,
+        sources: List[ScanSource],
+        confidence: Optional[float],
+        result: BatchResult,
+    ) -> None:
+        """Mirror a champion-routed scan to the challenger, maybe promote.
+
+        The shadow submission is non-blocking (the challenger lane's own
+        worker runs it), so champion responses never wait on challenger
+        compute; the verdict comparison happens in the challenger
+        worker's completion callback.  Auto-promotion fires here the
+        moment the agreement gate clears.
+        """
+        rollout = self._rollout
+        if rollout is None or model != rollout.champion:
+            return
+        if not rollout.should_sample():
+            return
+        champion_verdicts = [record.verdict for record in result.records]
+        names = [record.name for record in result.records]
+        challenger_lane = self._lanes[rollout.challenger]
+
+        def compare(shadow: Optional[BatchResult], error: Optional[str]) -> None:
+            """Challenger completion -> agreement ledger (worker thread)."""
+            if error is not None or shadow is None:
+                logger.warning("shadow scan failed, not counted: %s", error)
+                return
+            self.metrics.observe_shadow(len(champion_verdicts))
+            decision = rollout.observe(
+                champion_verdicts,
+                [record.verdict for record in shadow.records],
+                names=names,
+            )
+            if decision == STATE_PROMOTED:
+                self._set_champion(rollout.challenger, forced=False)
+            elif decision is not None:
+                logger.warning(
+                    "challenger %s rejected: agreement %.4f below threshold %.4f",
+                    rollout.challenger,
+                    rollout.agreement_rate() or 0.0,
+                    rollout.promote_threshold,
+                )
+
+        try:
+            challenger_lane.batcher.submit_nowait(
+                sources, confidence=confidence, on_done=compare
+            )
+        except (BatcherClosed, MicroBatchError):
+            pass  # draining: shadow traffic is best-effort by definition
+
+    def _set_champion(self, name: str, forced: bool) -> None:
+        """Swap default routing to ``name`` (idempotent, any thread)."""
+        with self._champion_lock:
+            if self._champion == name:
+                return
+            self._champion = name
+        self.metrics.observe_promotion(forced=forced)
+        logger.info(
+            "%s promoted to champion%s", name, " (forced)" if forced else ""
+        )
+
+    def handle_promote(self) -> Dict[str, Any]:
+        """Serve ``POST /promote``: force the challenger in right now."""
+        rollout = self._rollout
+        if rollout is None:
+            raise RequestError("no challenger rollout is configured (--shadow)")
+        rollout.force_promote()
+        self._set_champion(rollout.challenger, forced=True)
+        return {
+            "champion": self.champion,
+            "rollout": rollout.snapshot(),
+            "version": __version__,
+        }
+
     # -- operational endpoints ----------------------------------------------
     def handle_healthz(self) -> Dict[str, Any]:
-        """Serve ``GET /healthz``: liveness, version, resident model."""
-        entry = self.registry.get(self.artifact_path)
+        """Serve ``GET /healthz``: liveness, version, every resident model."""
+        champion = self.champion
+        models = {
+            name: self.registry.get(lane.path).describe()
+            for name, lane in self._lanes.items()
+        }
         return {
             "status": "ok",
             "version": __version__,
-            "model": entry.describe(),
+            "model": models[champion],
+            "champion": champion,
+            "models": models,
+            "frontend": self.frontend,
+            "rollout": self._rollout.state if self._rollout is not None else None,
             "batching": {
                 "window_ms": self.batcher.batch_window_s * 1000.0,
                 "max_batch": self.batcher.max_batch,
@@ -311,67 +661,198 @@ class ScanService:
         }
 
     def handle_metrics(self) -> Dict[str, Any]:
-        """Serve ``GET /metrics``: counters/percentiles plus the backend.
+        """Serve ``GET /metrics``: counters/percentiles plus serving state.
 
         The snapshot is augmented with ``backend`` (the active compute
-        backend's name) and ``backend_dtype`` (the dtype its forward pass
-        runs in) so operators can tell which inference path produced the
-        reported latencies.
+        backend's name), ``backend_dtype`` (the dtype its forward pass
+        runs in), ``frontend``, ``champion``, and — when a rollout is
+        active — the full ``rollout`` status (state, agreement rate,
+        disagreement sample) an operator needs to judge a challenger.
         """
         from ..nn.backend import get_backend
 
         snapshot = self.metrics.snapshot()
         snapshot["backend"] = self.backend
         snapshot["backend_dtype"] = get_backend(self.backend).dtype
+        snapshot["frontend"] = self.frontend
+        snapshot["champion"] = self.champion
+        snapshot["rollout"] = (
+            self._rollout.snapshot() if self._rollout is not None else None
+        )
         return snapshot
 
-    def handle_reload(self) -> Dict[str, Any]:
-        """Serve ``POST /reload``: force a fingerprint check right now."""
-        entry, reloaded = self.registry.reload(self.artifact_path)
-        if reloaded:
-            self.metrics.observe_reload()
-            self._fingerprint = entry.fingerprint
-            logger.info("reloaded model on request: %s", entry.fingerprint[:12])
-        return {"reloaded": reloaded, "model": entry.describe(), "version": __version__}
+    def handle_reload(self, model: Optional[str] = None) -> Dict[str, Any]:
+        """Serve ``POST /reload``: force fingerprint checks right now.
+
+        Reloads every registered model, or just ``model`` when the body
+        named one.  Each model reloads under its own registry load lock,
+        so a large artifact mid-reload never delays the others.
+        """
+        if model is not None and model not in self._lanes:
+            raise RequestError(
+                f"unknown model {model!r} (serving: {sorted(self._lanes)})"
+            )
+        results: Dict[str, Any] = {}
+        any_reloaded = False
+        for name, lane in self._lanes.items():
+            if model is not None and name != model:
+                continue
+            entry, reloaded = self.registry.reload(lane.path)
+            if reloaded:
+                self.metrics.observe_reload()
+                lane.fingerprint = entry.fingerprint
+                logger.info(
+                    "reloaded model %s on request: %s", name, entry.fingerprint[:12]
+                )
+            results[name] = {"reloaded": reloaded, "model": entry.describe()}
+            any_reloaded = any_reloaded or reloaded
+        champion = self.champion
+        return {
+            "reloaded": any_reloaded,
+            "model": self.registry.get(self._lanes[champion].path).describe(),
+            "models": results,
+            "version": __version__,
+        }
+
+    # -- event-loop dispatch -------------------------------------------------
+    def dispatch(
+        self,
+        request: ParsedRequest,
+        respond: Callable[[int, Dict[str, Any]], None],
+    ) -> None:
+        """Route one parsed request from the event-loop front-end.
+
+        ``respond`` is called exactly once — synchronously for
+        operational endpoints and errors, from a lane's batch worker for
+        scans.  Framing was already validated by the front-end; this
+        layer owns JSON parsing, routing and error-to-status mapping.
+        """
+        route = request.path.split("?", 1)[0]
+        method = request.method
+        try:
+            if method == "GET":
+                if route == "/healthz":
+                    self.metrics.observe_request(route)
+                    respond(200, self.handle_healthz())
+                elif route == "/metrics":
+                    self.metrics.observe_request(route)
+                    respond(200, self.handle_metrics())
+                else:
+                    self.metrics.observe_request(route, error=True)
+                    respond(404, {"error": f"unknown route: GET {route}"})
+            elif method == "POST":
+                body = self._parse_json(request.body)
+                if route == "/scan":
+                    # observe_request happens in the completion callback
+                    # (success and failure both), keeping counts exact.
+                    self.handle_scan_async(
+                        body, respond, model=request.headers.get(MODEL_HEADER)
+                    )
+                elif route == "/reload":
+                    model = body.get("model") if isinstance(body, dict) else None
+                    payload = self.handle_reload(model)
+                    self.metrics.observe_request(route)
+                    respond(200, payload)
+                elif route == "/promote":
+                    payload = self.handle_promote()
+                    self.metrics.observe_request(route)
+                    respond(200, payload)
+                else:
+                    self.metrics.observe_request(route, error=True)
+                    respond(404, {"error": f"unknown route: POST {route}"})
+            else:
+                self.metrics.observe_request(route, error=True)
+                respond(501, {"error": f"unsupported method: {method}"})
+        except RequestError as exc:
+            self.metrics.observe_request(route, error=True)
+            respond(400, {"error": str(exc)})
+        except BatcherClosed as exc:
+            self.metrics.observe_request(route, error=True)
+            respond(503, {"error": str(exc)})
+        except (MicroBatchError, TimeoutError) as exc:
+            self.metrics.observe_request(route, error=True)
+            respond(500, {"error": str(exc)})
+        except Exception as exc:  # never leak a traceback to the socket
+            logger.exception("unhandled error serving %s %s", method, route)
+            self.metrics.observe_request(route, error=True)
+            respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Any:
+        """Decode a request body as JSON (empty body -> empty object)."""
+        if not body:
+            return {}
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RequestError(f"request body is not valid JSON: {exc}") from exc
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "ScanService":
         """Serve in a background thread; returns self (for chaining)."""
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            kwargs={"poll_interval": 0.1},
-            name="repro-serve-http",
-        )
-        self._thread.start()
+        if self._loop is not None:
+            self._loop.start()
+        else:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,  # type: ignore[union-attr]
+                kwargs={"poll_interval": 0.1},
+                name="repro-serve-http",
+            )
+            self._thread.start()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown` is called."""
-        self._httpd.serve_forever(poll_interval=0.1)
+        if self._loop is not None:
+            self._loop.run()
+        else:
+            self._httpd.serve_forever(poll_interval=0.1)  # type: ignore[union-attr]
+
+    def _close_batchers(self) -> bool:
+        """Drain every lane's batcher; True when all workers finished."""
+        drained = True
+        for lane in self._lanes.values():
+            drained = lane.batcher.close() and drained
+        return drained
 
     def shutdown(self) -> None:
         """Graceful shutdown: stop accepting, drain batches, flush caches.
 
         Safe to call from any thread (including a signal-triggered one)
-        and idempotent.  Ordering matters: the accept loop stops first so
-        no new work arrives, the batcher then drains every queued request
-        (their handler threads finish writing responses), the result
-        caches are flushed — *before* the handler join, so durability is
-        not held hostage to an idle keep-alive connection sitting in its
-        read timeout — and only then are the handler threads joined and
-        the socket closed.
+        and idempotent.  Ordering matters: the front-end stops accepting
+        first so no new work arrives, every lane's batcher then drains
+        its queued requests (completions still flow out through the
+        front-end), the result caches are flushed — *before* connection
+        teardown, so durability is not held hostage to an idle keep-alive
+        connection — and only then are the remaining connections closed.
         """
         with self._shutdown_lock:
             if self._closed:
                 return
             self._closed = True
-        self._httpd.shutdown()  # stop the accept loop
-        self._httpd.closing = True  # handlers stop reusing connections
-        drained = self.batcher.close()  # drain queued scans (the only cache writer)
+        if self._loop is not None:
+            self._loop.begin_drain()  # stop accepting connections
+            drained = self._close_batchers()  # drain queued scans
+            if drained:
+                self.registry.flush_caches()
+            else:
+                logger.warning(
+                    "batch worker did not drain in time; "
+                    "skipping shutdown cache flush"
+                )
+            # The loop keeps running through the drain above, writing out
+            # each completed response; now flush what is left and stop.
+            self._loop.shutdown(grace_s=2.0)
+            return
+        httpd = self._httpd
+        assert httpd is not None
+        httpd.shutdown()  # stop the accept loop
+        httpd.closing = True  # handlers stop reusing connections
+        drained = self._close_batchers()  # drain queued scans (the cache writers)
         if drained:
             self.registry.flush_caches()
         else:
-            # The worker is still mid-drain after the join timeout;
+            # A worker is still mid-drain after the join timeout;
             # flushing now would race its cache writes.  Skip — losing
             # cached verdicts (a rescan recomputes them) beats corrupting
             # the flush.
@@ -382,10 +863,10 @@ class ScanService:
         # then force-close whatever is left (idle keep-alive connections
         # parked in their read timeout would otherwise pin the join).
         deadline = time.monotonic() + 2.0
-        while self._httpd.open_connection_count() and time.monotonic() < deadline:
+        while httpd.open_connection_count() and time.monotonic() < deadline:
             time.sleep(0.02)
-        self._httpd.force_close_connections()
-        self._httpd.server_close()  # join handler threads, release the socket
+        httpd.force_close_connections()
+        httpd.server_close()  # join handler threads, release the socket
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
@@ -403,7 +884,7 @@ class _ScanHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer that knows its :class:`ScanService`.
 
     Handler threads are non-daemonic and joined on ``server_close`` — that
-    join (after the batcher drained) is what makes shutdown *graceful*: a
+    join (after the batchers drained) is what makes shutdown *graceful*: a
     request that was already accepted always gets its response before the
     process exits.  Open connections are tracked so shutdown can tell
     keep-alive clients to go away: handlers stop reusing connections once
@@ -631,7 +1112,7 @@ class _ScanRequestHandler(BaseHTTPRequestHandler):
             self._respond_error(404, f"unknown route: GET {route}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Dispatch ``POST /scan`` and ``POST /reload``.
+        """Dispatch ``POST /scan``, ``/reload`` and ``/promote``.
 
         The body is always consumed (even for routes that ignore it):
         leaving unread bytes on a keep-alive connection would corrupt the
@@ -649,10 +1130,24 @@ class _ScanRequestHandler(BaseHTTPRequestHandler):
             self._handle_scan(service, route, body)
         elif route == "/reload":
             try:
-                payload = service.handle_reload()
+                model = body.get("model") if isinstance(body, dict) else None
+                payload = service.handle_reload(model)
+            except RequestError as exc:
+                service.metrics.observe_request(route, error=True)
+                self._respond_error(400, str(exc))
+                return
             except Exception as exc:
                 service.metrics.observe_request(route, error=True)
                 self._respond_error(500, f"reload failed: {exc}")
+                return
+            service.metrics.observe_request(route)
+            self._respond(200, payload)
+        elif route == "/promote":
+            try:
+                payload = service.handle_promote()
+            except RequestError as exc:
+                service.metrics.observe_request(route, error=True)
+                self._respond_error(400, str(exc))
                 return
             service.metrics.observe_request(route)
             self._respond(200, payload)
@@ -663,7 +1158,9 @@ class _ScanRequestHandler(BaseHTTPRequestHandler):
     def _handle_scan(self, service: ScanService, route: str, body: Any) -> None:
         """``POST /scan`` with the error-to-status mapping in one place."""
         try:
-            payload = service.handle_scan(body)
+            payload = service.handle_scan(
+                body, model=self.headers.get(MODEL_HEADER)
+            )
         except RequestError as exc:
             service.metrics.observe_request(route, error=True)
             self._respond_error(400, str(exc))

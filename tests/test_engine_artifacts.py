@@ -160,3 +160,50 @@ class TestRecalibration:
     def test_recalibrate_unfitted_rejected(self, small_features):
         with pytest.raises(RuntimeError, match="unfitted"):
             recalibrate_detector(LateFusionModel(tiny_config()), small_features)
+
+
+class TestFleetManifest:
+    def test_round_trip_with_relative_paths(self, small_features, tmp_path):
+        from repro.engine.artifacts import load_fleet_manifest, save_fleet_manifest
+
+        model = train_detector(
+            small_features, strategy="late", config=tiny_config(seed=7)
+        ).model
+        art_a = save_detector(model, tmp_path / "fleet" / "a")
+        art_b = save_detector(model, tmp_path / "fleet" / "b")
+        manifest = save_fleet_manifest(
+            tmp_path / "fleet" / "fleet.json", {"a": art_a, "b": art_b}, default="b"
+        )
+        # Members inside the manifest's directory are stored relative, so
+        # the whole fleet directory can be moved as one unit.
+        raw = json.loads(manifest.read_text())
+        assert raw["artifacts"] == {"a": "a", "b": "b"}
+        artifacts, default = load_fleet_manifest(manifest)
+        assert default == "b"
+        assert artifacts == {"a": art_a.resolve(), "b": art_b.resolve()}
+
+    def test_unknown_default_rejected_on_save(self, tmp_path):
+        from repro.engine.artifacts import save_fleet_manifest
+
+        with pytest.raises(ArtifactError, match="default"):
+            save_fleet_manifest(
+                tmp_path / "fleet.json", {"a": tmp_path / "a"}, default="nope"
+            )
+
+    def test_empty_fleet_rejected(self, tmp_path):
+        from repro.engine.artifacts import save_fleet_manifest
+
+        with pytest.raises(ArtifactError):
+            save_fleet_manifest(tmp_path / "fleet.json", {})
+
+    def test_broken_member_fails_fast_on_load(self, small_features, tmp_path):
+        from repro.engine.artifacts import load_fleet_manifest, save_fleet_manifest
+
+        model = train_detector(
+            small_features, strategy="late", config=tiny_config(seed=7)
+        ).model
+        art = save_detector(model, tmp_path / "a")
+        manifest = save_fleet_manifest(tmp_path / "fleet.json", {"a": art})
+        (art / "manifest.json").unlink()
+        with pytest.raises(ArtifactError):
+            load_fleet_manifest(manifest)

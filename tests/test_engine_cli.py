@@ -554,3 +554,90 @@ class TestCacheGcCli:
         assert main(["cache-gc", "--cache-dir", str(tmp_path / "absent")]) == 0
         out = capsys.readouterr().out
         assert "no retired schema namespaces" in out
+
+
+class TestServeCliParsing:
+    """serve's fleet/artifact flag resolution and misconfiguration exits."""
+
+    def _namespace(self, **overrides):
+        import argparse
+
+        defaults = dict(fleet=None, artifact=None, default_model=None)
+        defaults.update(overrides)
+        return argparse.Namespace(**defaults)
+
+    def test_bare_directory_registers_as_default(self):
+        from repro.engine.cli import _parse_serve_artifacts
+
+        artifacts, default = _parse_serve_artifacts(
+            self._namespace(artifact=["/models/a"])
+        )
+        assert artifacts == {"default": "/models/a"}
+        assert default is None  # falls back to the first entry downstream
+
+    def test_named_artifacts_and_default_model(self):
+        from repro.engine.cli import _parse_serve_artifacts
+
+        artifacts, default = _parse_serve_artifacts(
+            self._namespace(
+                artifact=["champ=/models/a", "chal=/models/b"],
+                default_model="chal",
+            )
+        )
+        assert artifacts == {"champ": "/models/a", "chal": "/models/b"}
+        assert default == "chal"
+
+    def test_fleet_manifest_seeds_and_artifact_overrides(self, artifact, tmp_path):
+        from repro.engine.artifacts import save_fleet_manifest
+        from repro.engine.cli import _parse_serve_artifacts
+
+        manifest = save_fleet_manifest(
+            tmp_path / "fleet.json",
+            {"a": artifact, "b": artifact},
+            default="a",
+        )
+        artifacts, default = _parse_serve_artifacts(
+            self._namespace(fleet=str(manifest), artifact=["b=/override/b"])
+        )
+        assert artifacts["b"] == "/override/b"  # --artifact wins over fleet
+        assert artifacts["a"] == str(artifact.resolve())
+        assert default == "a"  # from the manifest
+
+    def test_serve_without_artifacts_exits_2(self, capsys):
+        assert main(["serve", "--port", "0"]) == 2
+        assert "artifact" in capsys.readouterr().err
+
+    def test_serve_unknown_default_model_exits_2(self, artifact, capsys):
+        code = main(
+            [
+                "serve",
+                "--artifact", f"a={artifact}",
+                "--default-model", "nope",
+                "--port", "0",
+            ]
+        )
+        assert code == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_serve_unknown_shadow_exits_2(self, artifact, capsys):
+        code = main(
+            [
+                "serve",
+                "--artifact", f"a={artifact}",
+                "--shadow", "ghost",
+                "--port", "0",
+            ]
+        )
+        assert code == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_serve_shadow_equal_to_default_exits_2(self, artifact, capsys):
+        code = main(
+            [
+                "serve",
+                "--artifact", f"a={artifact}",
+                "--shadow", "a",
+                "--port", "0",
+            ]
+        )
+        assert code == 2

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -212,6 +213,106 @@ class TestReloadTTL:
         save_detector(detector, artifact)
         after, forced = registry.reload(artifact)
         assert forced and after.fingerprint != before.fingerprint
+
+
+class TestPerModelTTL:
+    """Regression: the probe TTL is per model, not a registry-global clock.
+
+    A global timestamp lets one frequently-probed tenant perpetually
+    refresh the window and starve every other model's staleness probes —
+    a recalibrated challenger would never be noticed while the champion
+    takes all the traffic.
+    """
+
+    def test_hot_tenant_probes_do_not_starve_other_models(
+        self, detector, tmp_path, monkeypatch
+    ):
+        art_a = save_detector(detector, tmp_path / "a")
+        art_b = save_detector(detector, tmp_path / "b")
+        registry = ModelRegistry(reload_ttl_s=60.0)
+        registry.get(art_a)
+        entry_b = registry.get(art_b)
+        # Expire B's window only; A's (stamped at load) stays fresh.
+        entry_b.last_probe = 0.0
+        calls = {}
+        original = ModelRegistry._manifest_mtime
+
+        def counting(self, path):
+            calls[path.name] = calls.get(path.name, 0) + 1
+            return original(self, path)
+
+        monkeypatch.setattr(ModelRegistry, "_manifest_mtime", counting)
+        for _ in range(200):
+            _, reloaded = registry.maybe_reload(art_a)  # hot tenant
+            assert not reloaded
+        registry.maybe_reload(art_b)
+        # A rode its TTL every time; B's due probe ran despite A's
+        # traffic.  A global clock cannot produce this asymmetry: it
+        # would either stat A 200 times or skip B entirely.
+        assert calls == {"b": 1}
+
+    def test_fresh_probe_of_one_model_does_not_reset_anothers_window(
+        self, detector, tmp_path
+    ):
+        import time
+
+        ttl = 0.2
+        art_a = save_detector(detector, tmp_path / "a")
+        art_b = save_detector(detector, tmp_path / "b")
+        registry = ModelRegistry(reload_ttl_s=ttl)
+        registry.get(art_a)
+        before_b = registry.get(art_b)
+        fresh = extract_modalities(
+            TrojanDataset.generate(
+                SuiteConfig(n_trojan_free=10, n_trojan_infected=6, seed=87)
+            )
+        )
+        recalibrate_detector(detector, fresh)
+        save_detector(detector, art_b)
+        _bump_mtime(art_b)
+        time.sleep(ttl * 1.5)  # both windows expired
+        # A's probe stats, finds nothing, and restamps only A's clock.
+        _, reloaded_a = registry.maybe_reload(art_a)
+        assert not reloaded_a
+        # With a global clock, A's restamp just now would swallow this
+        # probe; the per-model clock lets B notice its change immediately.
+        after_b, reloaded_b = registry.maybe_reload(art_b)
+        assert reloaded_b
+        assert after_b.fingerprint != before_b.fingerprint
+
+    def test_slow_load_of_one_model_does_not_block_another(
+        self, detector, tmp_path, monkeypatch
+    ):
+        import threading
+        import time
+
+        import repro.serve.registry as registry_module
+
+        art_a = save_detector(detector, tmp_path / "a")
+        art_b = save_detector(detector, tmp_path / "b")
+        registry = ModelRegistry()
+        original = registry_module.load_detector
+        release = threading.Event()
+
+        def gated(path, *args, **kwargs):
+            if Path(path).name == "a":
+                release.wait(10.0)  # a slow deserialize of tenant A
+            return original(path, *args, **kwargs)
+
+        monkeypatch.setattr(registry_module, "load_detector", gated)
+        slow = threading.Thread(target=registry.get, args=(art_a,))
+        slow.start()
+        try:
+            t_start = time.monotonic()
+            entry_b = registry.get(art_b)  # must not queue behind A's load
+            elapsed = time.monotonic() - t_start
+            assert entry_b.fingerprint
+            assert elapsed < 5.0, f"get(b) blocked {elapsed:.1f}s behind get(a)"
+        finally:
+            release.set()
+            slow.join(timeout=10.0)
+        assert not slow.is_alive()
+        assert len(registry.entries()) == 2
 
 
 class TestFeatureTierAcrossReload:

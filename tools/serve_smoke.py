@@ -6,20 +6,25 @@ in-process; this script covers what only a subprocess can: the
 ``python -m repro serve`` entry point itself, signal-driven graceful
 shutdown, and the drain summary on stdout.  It
 
-1. starts ``python -m repro serve`` against the given artifact on a
-   free port,
+1. starts ``python -m repro serve`` against the given artifact(s) on a
+   free port (repeat ``--artifact NAME=DIR`` for a multi-model fleet,
+   ``--shadow NAME`` to stand up a challenger),
 2. fires concurrent single-design scans through
    :class:`repro.serve.client.ScanServiceClient` (one client per
-   thread),
+   thread), routing across every registered model,
 3. asserts the ``/metrics`` batch counters prove micro-batching
-   actually coalesced requests,
-4. exercises ``POST /reload`` and ``/healthz``,
+   actually coalesced requests (and that per-model routing counted),
+4. exercises ``POST /reload`` and ``/healthz`` — plus ``POST /promote``
+   when ``--promote`` is given, asserting the champion actually swaps,
 5. sends SIGTERM and asserts a clean drain: exit code 0 and the
    ``shutdown clean`` summary line.
 
 Run from the repository root (CI serve job)::
 
     PYTHONPATH=src python tools/serve_smoke.py --artifact /tmp/detector
+    PYTHONPATH=src python tools/serve_smoke.py \
+        --artifact champ=/tmp/a --artifact chal=/tmp/b \
+        --shadow chal --promote
 
 Exit status is non-zero on any failed expectation.
 """
@@ -51,52 +56,95 @@ def _free_port() -> int:
     return port
 
 
+def _model_names(specs) -> list:
+    """The registered model names for a list of ``[NAME=]DIR`` specs."""
+    names = []
+    for spec in specs:
+        name, sep, _ = spec.partition("=")
+        names.append(name if sep and name else "default")
+    return names
+
+
 def main() -> int:
     """Run the smoke sequence; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--artifact", required=True, help="trained artifact directory")
+    parser.add_argument(
+        "--artifact",
+        action="append",
+        required=True,
+        metavar="[NAME=]DIR",
+        help="trained artifact directory (repeat for a multi-model fleet)",
+    )
+    parser.add_argument(
+        "--shadow", default=None, metavar="NAME", help="challenger model name"
+    )
+    parser.add_argument(
+        "--promote",
+        action="store_true",
+        help="force-promote the challenger mid-run and assert the swap",
+    )
     parser.add_argument("--requests", type=int, default=24, help="concurrent scans to fire")
     parser.add_argument("--clients", type=int, default=6, help="client threads")
     parser.add_argument(
         "--cache-dir", default=None, help="cache directory (default: artifact-sibling)"
     )
     args = parser.parse_args()
+    if args.promote and not args.shadow:
+        parser.error("--promote needs --shadow NAME")
 
+    names = _model_names(args.artifact)
+    first_dir = args.artifact[0].partition("=")[2] or args.artifact[0]
     port = _free_port()
-    cache_dir = args.cache_dir or str(Path(args.artifact).parent / "serve_smoke_cache")
+    cache_dir = args.cache_dir or str(Path(first_dir).parent / "serve_smoke_cache")
     command = [
         sys.executable,
         "-m",
         "repro",
         "serve",
-        "--artifact", args.artifact,
         "--port", str(port),
         "--cache-dir", cache_dir,
         "--batch-window-ms", "20",
     ]
+    for spec in args.artifact:
+        command += ["--artifact", spec]
+    if args.shadow:
+        # A huge evidence floor: this run tests *forced* promotion, the
+        # auto-promotion gate is covered by tests/test_serve_rollout.py.
+        command += ["--shadow", args.shadow, "--min-shadow", "1000000"]
     print(f"starting: {' '.join(command)}")
     server = subprocess.Popen(
         command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
     )
+    n_scans = 0
     try:
         probe = ScanServiceClient(port=port, timeout=30.0)
         health = probe.wait_until_ready(timeout=60.0)
         assert health["status"] == "ok", health
-        print(f"healthy: version {health['version']}, "
-              f"fingerprint {health['model']['fingerprint'][:12]}")
+        assert set(health["models"]) == set(names), health
+        champion = health["champion"]
+        print(
+            f"healthy: version {health['version']}, frontend "
+            f"{health['frontend']}, models {sorted(health['models'])}, "
+            f"champion {champion}"
+        )
 
         corpus = build_request_corpus(args.requests, seed=123)
+        routed = [names[i % len(names)] for i in range(args.requests)]
 
-        def scan_one(pair):
+        def scan_one(pair_model):
+            (name, text), model = pair_model
             with ScanServiceClient(port=port, timeout=60.0) as client:
-                return client.scan_texts([pair])
+                return client.scan_texts([(name, text)], model=model)
 
         with ThreadPoolExecutor(args.clients) as pool:
-            responses = list(pool.map(scan_one, corpus))
+            responses = list(pool.map(scan_one, zip(corpus, routed)))
+        n_scans += args.requests
         assert len(responses) == args.requests
         assert all(r["n_designs"] == 1 and r["n_errors"] == 0 for r in responses)
+        assert [r["model"] for r in responses] == routed
         biggest = max(r["batch"]["designs"] for r in responses)
-        print(f"scanned {args.requests} designs; largest micro-batch {biggest}")
+        print(f"scanned {args.requests} designs across {len(names)} model(s); "
+              f"largest micro-batch {biggest}")
 
         metrics = probe.metrics()
         assert metrics["scan_requests"] == args.requests, metrics
@@ -105,16 +153,32 @@ def main() -> int:
         assert metrics["max_batch_designs"] == biggest, metrics
         assert biggest > 1, "micro-batching never coalesced concurrent requests"
         assert metrics["latency_seconds"]["p50"] is not None
+        for name in names:
+            assert metrics["scans_by_model"].get(name, 0) > 0, metrics
 
         reload_payload = probe.reload()
-        assert reload_payload["reloaded"] is False  # unchanged artifact
+        assert reload_payload["reloaded"] is False  # unchanged artifacts
         # Repeat traffic must hit the (flushed-on-demand) result cache or
         # the in-memory records.
-        warm = probe.scan_texts([corpus[0]])
+        warm = probe.scan_texts([corpus[0]], model=routed[0])
+        n_scans += 1
         assert warm["n_cache_hits"] == 1, warm
-        probe.close()
-        print("metrics, reload and cache-hit checks OK; sending SIGTERM")
+        print("metrics, reload and cache-hit checks OK")
 
+        if args.promote:
+            assert metrics["rollout"]["state"] == "shadowing", metrics
+            promoted = probe.promote()
+            assert promoted["champion"] == args.shadow, promoted
+            assert promoted["rollout"]["forced"] is True, promoted
+            after = probe.scan_texts([corpus[1]])  # default routing
+            n_scans += 1
+            assert after["model"] == args.shadow, after
+            forced = probe.metrics()
+            assert forced["forced_promotions"] == 1, forced
+            print(f"forced promotion OK: champion is now {args.shadow!r}")
+
+        probe.close()
+        print("sending SIGTERM")
         server.send_signal(signal.SIGTERM)
         deadline = time.monotonic() + 60.0
         while server.poll() is None and time.monotonic() < deadline:
@@ -124,7 +188,7 @@ def main() -> int:
         print(output)
         assert server.returncode == 0, f"server exited {server.returncode}"
         assert "shutdown clean" in output, "drain summary missing from output"
-        assert f"served {args.requests + 1} scan requests" in output
+        assert f"served {n_scans} scan requests" in output
         print("serve smoke OK")
         return 0
     finally:

@@ -58,6 +58,13 @@ QUANT_CACHE_NAME = "quantized_int8.npz"
 #: directories for multi-model serving (``python -m repro serve --fleet``).
 FLEET_MANIFEST_NAME = "fleet.json"
 
+
+def _current_umask() -> int:
+    """The process umask, read non-destructively (set-and-restore)."""
+    mask = os.umask(0)
+    os.umask(mask)
+    return mask
+
 #: Component name used for the single fused classifier of early fusion.
 _JOINT = "joint"
 
@@ -156,8 +163,29 @@ def save_detector(
 
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
-    np.savez(path / ARRAYS_NAME, **arrays)
-    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    # Concurrent readers (a serving registry's hot-reload probe, another
+    # scan process) may open these files mid-save: stage each one in a
+    # sibling temp file and os.replace() it into place.  Arrays land
+    # before the manifest so a reader that sees the new manifest always
+    # finds matching arrays.
+    fd, tmp_name = tempfile.mkstemp(dir=path, prefix=ARRAYS_NAME + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        # mkstemp creates 0600; restore the umask-derived mode a direct
+        # np.savez(path) would have produced.
+        os.chmod(tmp_name, 0o666 & ~_current_umask())
+        os.replace(tmp_name, path / ARRAYS_NAME)
+    except BaseException:  # never leave a torn temp archive behind
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    manifest_path = path / MANIFEST_NAME
+    tmp_manifest = manifest_path.with_name(f"{MANIFEST_NAME}.{os.getpid()}.tmp")
+    tmp_manifest.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp_manifest, manifest_path)
     return path
 
 
@@ -213,7 +241,9 @@ def save_fleet_manifest(
         "default": default or next(iter(artifacts)),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp_path, path)
     return path
 
 
@@ -370,7 +400,7 @@ def save_quantized_state(
         with os.fdopen(fd, "wb") as handle:
             np.savez(handle, **flat)
         os.replace(tmp_name, path / QUANT_CACHE_NAME)
-    except BaseException:
+    except BaseException:  # never leave a torn temp archive behind
         try:
             os.unlink(tmp_name)
         except OSError:

@@ -430,7 +430,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return EXIT_USAGE
     try:
         artifacts, default_model = _parse_serve_artifacts(args)
-    except Exception as exc:
+    except Exception as exc:  # any fleet/artifact resolution failure is a usage error
         return _fail(f"cannot resolve serving fleet: {exc}")
     if not artifacts:
         print("error: provide --artifact [NAME=]DIR or --fleet FILE", file=sys.stderr)

@@ -180,7 +180,11 @@ class FeatureStore:
         16-hex-prefix collision, or a hand-moved file) is ignored.
         """
         try:
-            with np.load(path, allow_pickle=False) as data:
+            # Own the file handle: np.load leaks its internal one when the
+            # zip header parse raises (e.g. a truncated shard).
+            with open(path, "rb") as handle, np.load(
+                handle, allow_pickle=False
+            ) as data:
                 meta = json.loads(bytes(data["meta"]).decode("utf-8"))
                 if meta.get("store_version") != FEATURE_STORE_VERSION:
                     return {}
@@ -313,7 +317,7 @@ class FeatureStore:
                     self._write_shard(self._next_segment_path(prefix), by_prefix[prefix])
                     if len(self._segment_paths(prefix)) >= SEGMENT_COMPACT_THRESHOLD:
                         self._compact_prefix(prefix)
-        except BaseException:
+        except BaseException:  # re-mark dirty rows for retry, then re-raise
             # The write failed mid-way: re-mark everything so the rows
             # are retried rather than silently lost.
             with self._mem_lock:
@@ -374,7 +378,7 @@ class FeatureStore:
 def _shard_row_count(path: Path) -> int:
     """Number of rows in a packed shard file (0 for unreadable files)."""
     try:
-        with np.load(path, allow_pickle=False) as data:
+        with open(path, "rb") as handle, np.load(handle, allow_pickle=False) as data:
             return int(data["keys"].shape[0])
     except (OSError, ValueError, KeyError, zipfile.BadZipFile):
         return 0

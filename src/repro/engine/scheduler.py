@@ -699,5 +699,5 @@ def _scan_shard_serial(
             report.n_feature_hits,
             None,
         )
-    except Exception as exc:
+    except Exception as exc:  # shard failures are returned and retried, never raised
         return shard_id, None, 0.0, 0.0, 0, f"{type(exc).__name__}: {exc}"

@@ -333,7 +333,7 @@ class _ServingMode:
         try:
             with ScanServiceClient(self.service.host, self.service.port) as probe:
                 probe.wait_until_ready()
-        except Exception:
+        except Exception:  # probe failed: tear down the service, then re-raise
             self.service.shutdown()  # do not leak the serving threads
             raise
         self._rescan_corpus = (

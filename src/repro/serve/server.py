@@ -1136,7 +1136,7 @@ class _ScanRequestHandler(BaseHTTPRequestHandler):
                 service.metrics.observe_request(route, error=True)
                 self._respond_error(400, str(exc))
                 return
-            except Exception as exc:
+            except Exception as exc:  # a failed reload answers 500, never kills the handler
                 service.metrics.observe_request(route, error=True)
                 self._respond_error(500, f"reload failed: {exc}")
                 return

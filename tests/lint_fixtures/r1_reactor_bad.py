@@ -1,0 +1,25 @@
+"""Known-bad R1 fixture: the reactor reaches ``time.sleep`` via a helper.
+
+Copied by the tests to ``.../serve/eventloop.py`` in a temp tree so the
+default config's reactor root (``EventLoopFrontend.run``) applies.
+Expected: exactly one R1 finding, anchored in ``_pump``.
+"""
+
+import time
+
+
+class EventLoopFrontend:
+    """Minimal reactor shape matching the default R1 root."""
+
+    def __init__(self):
+        self.ticks = 0
+
+    def run(self):
+        """Loop-thread entry point."""
+        while self.ticks < 3:
+            self._pump()
+
+    def _pump(self):
+        """Helper the loop calls every iteration."""
+        time.sleep(0.01)  # R1: blocking call on the reactor thread
+        self.ticks += 1

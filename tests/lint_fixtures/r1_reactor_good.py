@@ -1,0 +1,25 @@
+"""Known-good R1 fixture: the reactor does only non-blocking work.
+
+Same shape as the bad twin; ``time.monotonic`` is an allowed monotonic
+read, not a blocking call.  Expected: zero findings.
+"""
+
+import time
+
+
+class EventLoopFrontend:
+    """Minimal reactor shape matching the default R1 root."""
+
+    def __init__(self):
+        self.ticks = 0
+        self.last_tick = 0.0
+
+    def run(self):
+        """Loop-thread entry point."""
+        while self.ticks < 3:
+            self._pump()
+
+    def _pump(self):
+        """Helper the loop calls every iteration."""
+        self.last_tick = time.monotonic()
+        self.ticks += 1

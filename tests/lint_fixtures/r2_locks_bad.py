@@ -1,0 +1,25 @@
+"""Known-bad R2 fixture: a guarded attribute written without the lock.
+
+``total`` is written under ``with self._lock:`` in ``add`` — so the
+class treats it as lock-guarded — but ``reset`` writes it bare.
+Expected: exactly one R2 finding, anchored in ``reset``.
+"""
+
+import threading
+
+
+class Counter:
+    """Thread-safe counter with one unguarded write slipped in."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        """Guarded increment."""
+        with self._lock:
+            self.total += n
+
+    def reset(self):
+        """R2: writes the guarded attribute without holding the lock."""
+        self.total = 0

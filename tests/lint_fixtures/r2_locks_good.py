@@ -1,0 +1,30 @@
+"""Known-good R2 fixture: every write to the guarded attribute holds the lock.
+
+Also exercises the lock-held-helper refinement: ``_clear`` writes the
+guarded attribute with no lexical ``with``, but its only call site holds
+the lock, so it inherits the guarantee.  Expected: zero findings.
+"""
+
+import threading
+
+
+class Counter:
+    """Thread-safe counter, consistently guarded."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        """Guarded increment."""
+        with self._lock:
+            self.total += n
+
+    def reset(self):
+        """Guarded reset via a helper that inherits the lock."""
+        with self._lock:
+            self._clear()
+
+    def _clear(self):
+        """Only ever called with the lock held."""
+        self.total = 0

@@ -1,0 +1,13 @@
+"""Known-bad R3 fixture: a direct write into a durable-store module.
+
+Copied by the tests to ``.../engine/cache.py`` in a temp tree so the
+default atomic-write module list applies.  Expected: exactly one R3
+finding, anchored in ``write_entry``.
+"""
+
+import json
+
+
+def write_entry(path, payload):
+    """R3: writes the store file in place — a reader can see a torn file."""
+    path.write_text(json.dumps(payload, sort_keys=True))

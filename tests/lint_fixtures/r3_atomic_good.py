@@ -1,0 +1,14 @@
+"""Known-good R3 fixture: the sibling-temp-file + ``os.replace`` idiom.
+
+Expected: zero findings.
+"""
+
+import json
+import os
+
+
+def write_entry(path, payload):
+    """Stage the payload in a sibling temp file, then rename into place."""
+    tmp_path = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp_path.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp_path, path)

@@ -1,0 +1,20 @@
+"""Known-bad R4 fixture: three nondeterminism sources in a merge path.
+
+Copied by the tests to ``.../engine/scheduler.py`` in a temp tree so the
+default determinism module list applies.  Expected: exactly three R4
+findings (set iteration, wall-clock read, global PRNG), all in ``merge``.
+"""
+
+import random
+import time
+
+
+def merge(records):
+    """Merge records with every mistake the rule knows about."""
+    seen = set(records)
+    out = []
+    for record in seen:  # R4: set iteration feeding ordered output
+        out.append(record)
+    stamp = time.time()  # R4: wall-clock read as data
+    jitter = random.random()  # R4: unseeded global PRNG
+    return out, stamp, jitter

@@ -1,0 +1,20 @@
+"""Known-good R4 fixture: deterministic merge with allowed telemetry.
+
+``sorted(...)`` fixes the set order, ``time.perf_counter`` is elapsed
+telemetry (allowed), and the PRNG is explicitly seeded.  Expected: zero
+findings.
+"""
+
+import time
+
+import numpy as np
+
+
+def merge(records):
+    """Merge records deterministically, timing the work."""
+    t_start = time.perf_counter()
+    seen = set(records)
+    out = [record for record in sorted(seen)]
+    rng = np.random.default_rng(1234)
+    shuffle_check = rng.integers(0, 10)
+    return out, time.perf_counter() - t_start, int(shuffle_check)

@@ -1,0 +1,30 @@
+"""Known-bad R5 fixture: all three exception-hygiene mistakes.
+
+Expected: exactly three R5 findings — one bare except, one uncommented
+broad handler, one silent pass (its comment does not excuse the
+swallow).
+"""
+
+
+def bare(text):
+    """R5: bare except swallows KeyboardInterrupt/SystemExit."""
+    try:
+        return int(text)
+    except:
+        return None
+
+
+def uncommented(text):
+    """R5: broad handler with no trailing justification comment."""
+    try:
+        return int(text)
+    except Exception:
+        return None
+
+
+def silent(text):
+    """R5: broad handler that silently discards the exception."""
+    try:
+        return int(text)
+    except Exception:  # fixture: the comment alone does not excuse the pass
+        pass

@@ -1,0 +1,22 @@
+"""Known-good R5 fixture: narrow and justified handlers only.
+
+Expected: zero findings.
+"""
+
+import logging
+
+
+def narrow(text):
+    """A narrow handler names the failure it tolerates."""
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def justified(callback):
+    """A broad handler with a trailing justification that does something."""
+    try:
+        callback()
+    except Exception:  # a bad callback must not kill the worker
+        logging.getLogger(__name__).exception("callback failed")

@@ -1,0 +1,29 @@
+"""Known-bad R6 fixture: pool workers mutating module-level state.
+
+Expected: exactly two R6 findings — one ``global`` rebind and one
+module-level-container mutation, both in worker-reachable functions.
+"""
+
+import multiprocessing
+
+_RESULTS = {}
+_TOTAL = 0
+
+
+def _record(item):
+    """Reached from the worker; mutates a module-level dict."""
+    _RESULTS[item] = item * 2  # R6: shared-container mutation
+
+
+def _worker(item):
+    """Pool worker; rebinds a module global."""
+    global _TOTAL
+    _TOTAL += 1  # R6: global rebind diverges per forked process
+    _record(item)
+    return item * 2
+
+
+def run(items):
+    """Fan the items out to a pool."""
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_worker, items)

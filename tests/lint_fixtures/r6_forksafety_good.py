@@ -1,0 +1,19 @@
+"""Known-good R6 fixture: workers communicate only via return values.
+
+Expected: zero findings.
+"""
+
+import multiprocessing
+
+
+def _worker(item):
+    """Pool worker; purely functional."""
+    local = {"value": item * 2}
+    return local["value"]
+
+
+def run(items):
+    """Fan the items out to a pool and merge the returned values."""
+    with multiprocessing.Pool(2) as pool:
+        results = pool.map(_worker, items)
+    return dict(zip(items, results))

@@ -1,0 +1,207 @@
+"""Tests for the repro-lint static-analysis gate (``tools.lint``).
+
+Each rule is exercised through the real default configuration: the bad
+fixture is copied into a temp tree at a path the rule's scoping matches
+(e.g. ``.../serve/eventloop.py`` for the reactor rule), so these tests
+cover the path-matching plumbing as well as the detection logic.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.lint.cli import (  # noqa: E402
+    EXIT_FINDINGS,
+    EXIT_OK,
+    EXIT_USAGE,
+    JSON_SCHEMA_VERSION,
+    lint_paths,
+    main,
+)
+from tools.lint.core import LintError  # noqa: E402
+from tools.lint.registry import all_rules  # noqa: E402
+from tools.lint.waivers import Waiver, load_waivers  # noqa: E402
+
+#: fixture stem -> (placement path inside the temp tree, rule id, expected
+#: finding count for the bad twin).  Placement paths are chosen so the
+#: default LintConfig scoping applies to the copied file.
+CASES = {
+    "r1_reactor": ("src/repro/serve/eventloop.py", "R1", 1),
+    "r2_locks": ("src/repro/serve/counter.py", "R2", 1),
+    "r3_atomic": ("src/repro/engine/cache.py", "R3", 1),
+    "r4_determinism": ("src/repro/engine/scheduler.py", "R4", 3),
+    "r5_exceptions": ("src/repro/serve/handlers.py", "R5", 3),
+    "r6_forksafety": ("src/repro/engine/workers.py", "R6", 2),
+}
+
+
+def _place(tmp_path: Path, stem: str, flavor: str) -> Path:
+    """Copy one fixture into a temp tree at its rule-matching path."""
+    rel, _, _ = CASES[stem]
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(FIXTURES / f"{stem}_{flavor}.py", target)
+    return tmp_path / "src" / "repro"
+
+
+@pytest.mark.parametrize("stem", sorted(CASES))
+def test_bad_fixture_produces_expected_findings(tmp_path, stem):
+    """Each deliberately-broken fixture yields exactly its rule's findings."""
+    tree = _place(tmp_path, stem, "bad")
+    _, rule_id, expected = CASES[stem]
+    result = lint_paths([str(tree)])
+    assert len(result.findings) == expected, [f.render() for f in result.findings]
+    assert all(f.rule == rule_id for f in result.findings), [
+        f.render() for f in result.findings
+    ]
+    assert all(not f.waived for f in result.findings)
+
+
+@pytest.mark.parametrize("stem", sorted(CASES))
+def test_good_fixture_is_clean(tmp_path, stem):
+    """Each known-good twin produces zero findings under the same scoping."""
+    tree = _place(tmp_path, stem, "good")
+    result = lint_paths([str(tree)])
+    assert result.findings == [], [f.render() for f in result.findings]
+
+
+def test_findings_carry_location_and_symbol(tmp_path):
+    """Findings anchor to the offending function, not just the file."""
+    tree = _place(tmp_path, "r1_reactor", "bad")
+    result = lint_paths([str(tree)])
+    (finding,) = result.findings
+    assert finding.symbol == "EventLoopFrontend._pump"
+    assert finding.file.endswith("serve/eventloop.py")
+    assert finding.line > 0
+
+
+# -- waiver round trip -------------------------------------------------------
+
+
+def _write_waiver(tmp_path: Path, symbol: str) -> Path:
+    """Write a one-entry waiver file for the R2 fixture."""
+    waiver_file = tmp_path / "waivers.toml"
+    waiver_file.write_text(
+        "[[waiver]]\n"
+        'rule = "R2"\n'
+        'file = "serve/counter.py"\n'
+        f'symbol = "{symbol}"\n'
+        'reason = "fixture round trip"\n'
+    )
+    return waiver_file
+
+
+def test_waiver_round_trip(tmp_path):
+    """A matching waiver suppresses the finding and flips the exit to 0."""
+    tree = _place(tmp_path, "r2_locks", "bad")
+    waiver_file = _write_waiver(tmp_path, "Counter.reset")
+    assert main([str(tree), "--waivers", str(waiver_file)]) == EXIT_OK
+    waivers = load_waivers(waiver_file)
+    result = lint_paths([str(tree)], waivers=waivers)
+    (finding,) = result.findings
+    assert finding.waived and finding.waiver_reason == "fixture round trip"
+    assert result.unwaived == [] and result.unused_waivers == []
+
+
+def test_stale_waiver_fails_the_run(tmp_path):
+    """A waiver that matches nothing is itself a gate failure."""
+    tree = _place(tmp_path, "r2_locks", "good")
+    waiver_file = _write_waiver(tmp_path, "Counter.reset")
+    assert main([str(tree), "--waivers", str(waiver_file)]) == EXIT_FINDINGS
+    assert (
+        main([str(tree), "--waivers", str(waiver_file), "--allow-unused-waivers"])
+        == EXIT_OK
+    )
+
+
+def test_wrong_symbol_waiver_does_not_suppress(tmp_path):
+    """Symbol narrowing is honored: a mismatched waiver leaves the finding."""
+    tree = _place(tmp_path, "r2_locks", "bad")
+    waiver_file = _write_waiver(tmp_path, "Counter.other_method")
+    assert main([str(tree), "--waivers", str(waiver_file)]) == EXIT_FINDINGS
+
+
+def test_malformed_waivers_are_a_usage_error(tmp_path):
+    """A waiver entry without a reason must abort with exit 2."""
+    tree = _place(tmp_path, "r2_locks", "bad")
+    waiver_file = tmp_path / "waivers.toml"
+    waiver_file.write_text('[[waiver]]\nrule = "R2"\nfile = "x.py"\n')
+    assert main([str(tree), "--waivers", str(waiver_file)]) == EXIT_USAGE
+    with pytest.raises(LintError):
+        load_waivers(waiver_file)
+
+
+def test_waiver_requires_matching_rule():
+    """Waiver matching is rule-exact, file-suffix, symbol-optional."""
+    waiver = Waiver(rule="R1", file="serve/eventloop.py", reason="r")
+    from tools.lint.registry import Finding
+
+    hit = Finding(rule="R1", file="src/repro/serve/eventloop.py", line=1, col=0, message="m")
+    miss_rule = Finding(rule="R2", file="src/repro/serve/eventloop.py", line=1, col=0, message="m")
+    miss_file = Finding(rule="R1", file="src/repro/serve/xeventloop.py", line=1, col=0, message="m")
+    assert waiver.matches(hit)
+    assert not waiver.matches(miss_rule)
+    assert not waiver.matches(miss_file)
+
+
+# -- CLI contract ------------------------------------------------------------
+
+
+def test_json_output_schema(tmp_path):
+    """``python -m tools.lint --json`` emits the documented document."""
+    tree = _place(tmp_path, "r4_determinism", "bad")
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint", str(tree), "--json", "--no-waivers"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == EXIT_FINDINGS
+    payload = json.loads(proc.stdout)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["n_findings"] == payload["n_unwaived"] == 3
+    assert payload["n_waived"] == 0 and payload["unused_waivers"] == []
+    assert {rule["id"] for rule in payload["rules"]} == {
+        "R1", "R2", "R3", "R4", "R5", "R6",
+    }
+    for finding in payload["findings"]:
+        assert set(finding) == {
+            "rule", "file", "line", "col", "message", "symbol",
+            "waived", "waiver_reason",
+        }
+        assert finding["rule"] == "R4"
+
+
+def test_missing_path_is_a_usage_error():
+    """Exit 2 for a path that does not exist (CLI convention)."""
+    assert main(["definitely/not/a/path.py"]) == EXIT_USAGE
+
+
+def test_rule_catalogue_is_complete():
+    """Six registered rules, R1..R6, each with a description."""
+    rules = all_rules()
+    assert [rule.rule_id for rule in rules] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+    assert all(rule.name and rule.description for rule in rules)
+
+
+def test_repository_head_is_clean():
+    """The committed tree lints clean with the committed waivers (the gate)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint", str(REPO_ROOT / "src" / "repro")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == EXIT_OK, proc.stdout + proc.stderr

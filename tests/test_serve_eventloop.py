@@ -96,7 +96,8 @@ class TestConnectionChurn:
     def test_hundreds_of_short_lived_connections(self, artifact, corpus):
         """~300 connect/request/close cycles mixing healthz and scans."""
         with ScanService(artifact, port=0, batch_window_s=0.005, max_batch=16) as svc:
-            ScanServiceClient(svc.host, svc.port).wait_until_ready()
+            with ScanServiceClient(svc.host, svc.port) as probe:
+                probe.wait_until_ready()
 
             def churn(worker: int) -> int:
                 ok = 0
@@ -134,7 +135,8 @@ class TestConnectionChurn:
     def test_pipelined_keepalive_requests_answer_in_order(self, artifact, corpus):
         """Many requests in one write; responses must come back in order."""
         with ScanService(artifact, port=0, batch_window_s=0.02, max_batch=16) as svc:
-            ScanServiceClient(svc.host, svc.port).wait_until_ready()
+            with ScanServiceClient(svc.host, svc.port) as probe:
+                probe.wait_until_ready()
             with socket.create_connection((svc.host, svc.port), timeout=30.0) as sock:
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 # healthz, scan, healthz, scan, healthz — one sendall.
@@ -164,7 +166,8 @@ class TestConnectionChurn:
     def test_keepalive_clients_interleaved_with_churn(self, artifact, corpus):
         """Persistent scanners and short-lived healthz probes coexist."""
         with ScanService(artifact, port=0, batch_window_s=0.005, max_batch=16) as svc:
-            ScanServiceClient(svc.host, svc.port).wait_until_ready()
+            with ScanServiceClient(svc.host, svc.port) as probe:
+                probe.wait_until_ready()
             stop = threading.Event()
             failures = []
 
@@ -211,7 +214,8 @@ class TestConnectionChurn:
 class TestSlowLoris:
     def test_partial_request_line_gets_408_and_close(self, artifact):
         with ScanService(artifact, port=0, request_timeout_s=0.3) as svc:
-            ScanServiceClient(svc.host, svc.port).wait_until_ready()
+            with ScanServiceClient(svc.host, svc.port) as probe:
+                probe.wait_until_ready()
             with socket.create_connection((svc.host, svc.port), timeout=30.0) as sock:
                 sock.sendall(b"POST /scan HTT")  # never finishes the line
                 ((status, payload),) = _read_responses(sock, 1)
@@ -221,7 +225,8 @@ class TestSlowLoris:
 
     def test_partial_headers_get_408(self, artifact):
         with ScanService(artifact, port=0, request_timeout_s=0.3) as svc:
-            ScanServiceClient(svc.host, svc.port).wait_until_ready()
+            with ScanServiceClient(svc.host, svc.port) as probe:
+                probe.wait_until_ready()
             with socket.create_connection((svc.host, svc.port), timeout=30.0) as sock:
                 sock.sendall(b"POST /scan HTTP/1.1\r\nHost: t\r\nContent-Len")
                 ((status, _),) = _read_responses(sock, 1)
@@ -229,7 +234,8 @@ class TestSlowLoris:
 
     def test_stalled_body_gets_408(self, artifact):
         with ScanService(artifact, port=0, request_timeout_s=0.3) as svc:
-            ScanServiceClient(svc.host, svc.port).wait_until_ready()
+            with ScanServiceClient(svc.host, svc.port) as probe:
+                probe.wait_until_ready()
             with socket.create_connection((svc.host, svc.port), timeout=30.0) as sock:
                 head = (
                     b"POST /scan HTTP/1.1\r\nHost: t\r\n"
@@ -243,7 +249,8 @@ class TestSlowLoris:
         """Between requests the 408 clock must not run (idle != slow)."""
         timeout_s = 0.3
         with ScanService(artifact, port=0, request_timeout_s=timeout_s) as svc:
-            ScanServiceClient(svc.host, svc.port).wait_until_ready()
+            with ScanServiceClient(svc.host, svc.port) as probe:
+                probe.wait_until_ready()
             with socket.create_connection((svc.host, svc.port), timeout=30.0) as sock:
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 sock.sendall(_raw_request("GET", "/healthz"))
@@ -266,7 +273,8 @@ class TestSlowLoris:
         with ScanService(
             artifact, port=0, request_timeout_s=0.2, batch_window_s=0.6, max_batch=64
         ) as svc:
-            ScanServiceClient(svc.host, svc.port).wait_until_ready()
+            with ScanServiceClient(svc.host, svc.port) as probe:
+                probe.wait_until_ready()
             source = corpus[0]
             with socket.create_connection((svc.host, svc.port), timeout=30.0) as sock:
                 sock.sendall(
@@ -288,7 +296,8 @@ class TestMidBatchDrain:
         svc = ScanService(
             artifact, port=0, batch_window_s=1.0, max_batch=64
         ).start()
-        ScanServiceClient(svc.host, svc.port).wait_until_ready()
+        with ScanServiceClient(svc.host, svc.port) as probe:
+            probe.wait_until_ready()
         n_requests = 8
         outcomes = [None] * n_requests
 

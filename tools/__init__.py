@@ -1,0 +1,7 @@
+"""Repository tooling: doc/link checkers, serve smoke driver, and the
+:mod:`tools.lint` static-analysis gate.
+
+Everything in here is stdlib-only and runs against the source tree with
+``ast`` — nothing imports ``repro`` itself, so the tools work without
+``PYTHONPATH=src`` and never execute project code.
+"""

@@ -26,14 +26,23 @@ from typing import Iterator, List, Tuple
 ROOT = Path(__file__).resolve().parents[1]
 SOURCE_ROOT = ROOT / "src" / "repro"
 
-#: Paths (relative to src/repro) that must be 100% documented: the scan
-#: engine and serving layer plus the serialization/conformal modules
-#: they build on.
+#: ``(directory, label_prefix)`` pairs the checker walks; the prefix is
+#: prepended to each file's relative name so strict-path matching and
+#: reports stay unambiguous across roots.
+SCAN_ROOTS = (
+    (SOURCE_ROOT, ""),
+    (ROOT / "tools" / "lint", "tools/lint/"),
+)
+
+#: Labelled paths that must be 100% documented: the scan engine and
+#: serving layer, the serialization/conformal modules they build on, and
+#: the static-analysis gate that polices them.
 STRICT_PATHS = (
     "engine",
     "serve",
     "conformal/icp.py",
     "nn/serialize.py",
+    "tools/lint",
 )
 
 #: Decorators whose presence exempts a function (e.g. overloads).
@@ -66,13 +75,12 @@ def _iter_public_nodes(
     yield from walk(tree, "")
 
 
-def check_file(path: Path) -> Tuple[int, int, List[str]]:
+def check_file(path: Path, relative: str) -> Tuple[int, int, List[str]]:
     """Return ``(documented, total, missing_names)`` for one module."""
     tree = ast.parse(path.read_text())
     documented = 0
     total = 1  # the module itself
     missing: List[str] = []
-    relative = path.relative_to(SOURCE_ROOT)
     if ast.get_docstring(tree):
         documented += 1
     else:
@@ -86,8 +94,8 @@ def check_file(path: Path) -> Tuple[int, int, List[str]]:
     return documented, total, missing
 
 
-def is_strict(path: Path) -> bool:
-    relative = path.relative_to(SOURCE_ROOT).as_posix()
+def is_strict(relative: str) -> bool:
+    """Whether the labelled relative path falls under a strict prefix."""
     return any(
         relative == strict or relative.startswith(strict.rstrip("/") + "/")
         for strict in STRICT_PATHS
@@ -108,13 +116,15 @@ def main() -> int:
     documented = total = 0
     strict_missing: List[str] = []
     all_missing: List[str] = []
-    for path in sorted(SOURCE_ROOT.rglob("*.py")):
-        file_documented, file_total, missing = check_file(path)
-        documented += file_documented
-        total += file_total
-        all_missing.extend(missing)
-        if is_strict(path) and missing:
-            strict_missing.extend(missing)
+    for root, prefix in SCAN_ROOTS:
+        for path in sorted(root.rglob("*.py")):
+            relative = prefix + path.relative_to(root).as_posix()
+            file_documented, file_total, missing = check_file(path, relative)
+            documented += file_documented
+            total += file_total
+            all_missing.extend(missing)
+            if is_strict(relative) and missing:
+                strict_missing.extend(missing)
 
     coverage = 100.0 * documented / max(total, 1)
     print(f"docstring coverage: {documented}/{total} public objects ({coverage:.1f}%)")

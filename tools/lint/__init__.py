@@ -1,0 +1,25 @@
+"""repro-lint: project-specific static analysis for concurrency invariants.
+
+The subsystems grown in PRs 3-7 (flock-guarded sharded caches, the
+worker-pool scan scheduler with deterministic merges, the ``selectors``
+event-loop front-end) each depend on invariants that ordinary linters
+cannot see: no blocking calls on the reactor thread, lock-guarded shared
+state, temp-file + ``os.replace`` writes, no nondeterminism in merge
+paths.  This package encodes those invariants as AST rules over a shared
+analysis core (module loader, per-class attribute/lock model, and a
+project-wide call graph with worklist reachability) so they are enforced
+by CI instead of re-verified by hand in every review.
+
+Run it as::
+
+    python -m tools.lint [PATHS ...] [--json]
+
+Findings are suppressible only through the committed
+``tools/lint/waivers.toml`` (rule + file + reason); see ``docs/LINTING.md``
+for the rule catalogue and waiver workflow.
+"""
+
+from .core import LintConfig, Module, Project
+from .registry import Finding, Rule, all_rules
+
+__all__ = ["LintConfig", "Module", "Project", "Finding", "Rule", "all_rules"]

@@ -1,0 +1,196 @@
+"""Command-line front end for repro-lint.
+
+Mirrors the ``python -m repro`` exit-code convention:
+
+* ``0`` — analysis ran, zero unwaived findings (and no stale waivers)
+* ``1`` — analysis ran, unwaived findings (or stale waivers) remain
+* ``2`` — usage error: bad path, malformed waivers file, bad flags
+
+Human output is one ``file:line:col: RULE message`` line per finding
+plus a summary; ``--json`` emits a stable machine-readable document
+(schema below) for the CI gate and editor integrations::
+
+    {
+      "schema_version": 1,
+      "paths": ["src/repro"],
+      "rules": [{"id": "R1", "name": "...", "description": "..."}, ...],
+      "findings": [{"rule", "file", "line", "col", "message",
+                    "symbol", "waived", "waiver_reason"}, ...],
+      "unused_waivers": ["R9 file=..."],
+      "n_findings": 12, "n_waived": 12, "n_unwaived": 0
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core import CallGraph, LintConfig, LintError, Project
+from .registry import Finding, all_rules
+from .waivers import Waiver, apply_waivers, load_waivers
+
+#: Repository root (this file lives at ``tools/lint/cli.py``).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The committed suppression file; the only way to silence a finding.
+DEFAULT_WAIVERS = Path(__file__).resolve().parent / "waivers.toml"
+
+#: What ``python -m tools.lint`` analyzes when no path is given.
+DEFAULT_PATHS = ["src/repro"]
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-exit-code."""
+
+    paths: List[str]
+    findings: List[Finding]
+    waivers: List[Waiver] = field(default_factory=list)
+
+    @property
+    def unwaived(self) -> List[Finding]:
+        """Findings not suppressed by any waiver."""
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def unused_waivers(self) -> List[Waiver]:
+        """Waivers that matched nothing (stale — must be deleted)."""
+        return [w for w in self.waivers if not w.used]
+
+    def to_dict(self) -> dict:
+        """The ``--json`` document."""
+        return {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "paths": self.paths,
+            "rules": [
+                {
+                    "id": rule.rule_id,
+                    "name": rule.name,
+                    "description": rule.description,
+                }
+                for rule in all_rules()
+            ],
+            "findings": [f.to_dict() for f in self.findings],
+            "unused_waivers": [w.render() for w in self.unused_waivers],
+            "n_findings": len(self.findings),
+            "n_waived": sum(1 for f in self.findings if f.waived),
+            "n_unwaived": len(self.unwaived),
+        }
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    waivers: Optional[List[Waiver]] = None,
+) -> LintResult:
+    """Run every registered rule over *paths* and apply *waivers*.
+
+    The API entry point tests use directly; raises :class:`LintError`
+    for unanalyzable input (missing path, syntax error).
+    """
+    project = Project.load([Path(p) for p in paths])
+    graph = CallGraph(project)
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    for rule in all_rules():
+        findings.extend(rule.check(project, graph, config))
+    findings.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
+    waivers = waivers if waivers is not None else []
+    apply_waivers(findings, waivers)
+    return LintResult(paths=list(paths), findings=findings, waivers=waivers)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """The ``python -m tools.lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="Project-specific static analysis for concurrency, "
+        "determinism, and atomic-write invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files or directories to lint (default: {DEFAULT_PATHS})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable document"
+    )
+    parser.add_argument(
+        "--waivers",
+        type=Path,
+        default=None,
+        help=f"waiver file (default: {DEFAULT_WAIVERS.name} next to the linter)",
+    )
+    parser.add_argument(
+        "--no-waivers",
+        action="store_true",
+        help="ignore the waiver file (show every finding unwaived)",
+    )
+    parser.add_argument(
+        "--allow-unused-waivers",
+        action="store_true",
+        help="do not fail when a waiver matches nothing",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 for --help; pass through.
+        return int(exc.code or 0)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return EXIT_OK
+
+    paths = args.paths or [str(REPO_ROOT / p) for p in DEFAULT_PATHS]
+    waivers: List[Waiver] = []
+    try:
+        if not args.no_waivers:
+            waiver_path = args.waivers or DEFAULT_WAIVERS
+            if args.waivers is not None or waiver_path.is_file():
+                waivers = load_waivers(waiver_path)
+        result = lint_paths(paths, waivers=waivers)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    failed = bool(result.unwaived) or (
+        bool(result.unused_waivers) and not args.allow_unused_waivers
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return EXIT_FINDINGS if failed else EXIT_OK
+
+    for finding in result.findings:
+        if not finding.waived:
+            print(finding.render())
+    n_waived = sum(1 for f in result.findings if f.waived)
+    for waiver in result.unused_waivers:
+        print(f"stale waiver (matched nothing): {waiver.render()}", file=sys.stderr)
+    summary = (
+        f"{len(result.findings)} finding(s): "
+        f"{len(result.unwaived)} unwaived, {n_waived} waived"
+    )
+    print(summary)
+    return EXIT_FINDINGS if failed else EXIT_OK

@@ -1,0 +1,486 @@
+"""Shared analysis core for repro-lint.
+
+Three layers, all built once per run and handed to every rule:
+
+:class:`Project`
+    Loads every ``*.py`` file under the lint paths and parses it with
+    ``ast`` — analyzed code is never imported or executed.  Each
+    :class:`Module` keeps its source lines so rules can inspect trailing
+    comments (``ast`` drops them).
+
+:class:`ClassModel`
+    The per-class attribute/lock model: which ``self.X`` attributes a
+    class assigns, and which of them hold ``threading`` synchronization
+    primitives (``Lock``/``RLock``/``Condition``/semaphores).  The lock
+    rules key off this instead of hard-coded attribute names, so a class
+    guarding state with ``self._mem_lock`` is modelled the same way as
+    one using ``self._lock``.
+
+:class:`CallGraph`
+    A project-wide, conservatively-resolved call graph (module-level
+    functions, ``self.`` methods, imported names, and constructor calls
+    into ``__init__``) with worklist reachability — the reactor-purity
+    rule uses it to follow the event loop's callbacks transitively.
+    Unresolvable calls (duck-typed attributes, callables passed as
+    values) are simply not followed; rules that need soundness over such
+    boundaries must say so in their catalogue entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: ``threading`` constructors whose result makes an attribute a "lock" in
+#: the class model.  ``Condition`` included: code that does
+#: ``with self._cond:`` is taking a lock.
+LOCK_FACTORY_NAMES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+
+#: Method names that mutate their receiver in place; used to treat
+#: ``self.attr.append(...)`` as a write to ``attr``.
+MUTATOR_METHOD_NAMES = {
+    "append",
+    "appendleft",
+    "add",
+    "insert",
+    "extend",
+    "update",
+    "setdefault",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "sort",
+    "reverse",
+}
+
+
+class LintError(RuntimeError):
+    """Raised for conditions that abort the run (bad path, unparseable file)."""
+
+
+def iter_own_nodes(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield every descendant of *node* without entering nested scopes.
+
+    Nested ``def``/``class``/``lambda`` bodies execute only when called,
+    so a rule scanning a function for, say, blocking calls must not
+    attribute a nested closure's body to the enclosing function.  The
+    nested definition node itself is still yielded (so rules can see it
+    exists); its children are not.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+@dataclass
+class LintConfig:
+    """Scoping knobs for the path-targeted rules.
+
+    Defaults describe this repository's layout; tests point the same
+    fields at fixture trees.  All path entries are ``/``-separated
+    suffixes matched against each module's path on a path-component
+    boundary (``serve/eventloop.py`` matches
+    ``src/repro/serve/eventloop.py`` but not ``xserve/eventloop.py``).
+    """
+
+    #: ``(path_suffix, class_name, root_method)`` triples: the reactor
+    #: classes whose loop-thread entry point must never reach a blocking
+    #: call (rule R1).
+    reactor_roots: List[Tuple[str, str, str]] = field(
+        default_factory=lambda: [("serve/eventloop.py", "EventLoopFrontend", "run")]
+    )
+    #: Modules that manage cache/artifact/feature-store directories and
+    #: therefore must write through the temp-file + ``os.replace`` idiom
+    #: (rule R3).
+    atomic_write_modules: List[str] = field(
+        default_factory=lambda: [
+            "engine/cache.py",
+            "engine/feature_store.py",
+            "engine/artifacts.py",
+            "engine/scheduler.py",
+            "serve/registry.py",
+        ]
+    )
+    #: Modules on the deterministic-merge path: scan output from these
+    #: must be byte-identical across runs, workers and batch sizes
+    #: (rule R4).
+    determinism_modules: List[str] = field(
+        default_factory=lambda: [
+            "engine/scheduler.py",
+            "engine/scan.py",
+            "core/results.py",
+        ]
+    )
+
+
+def suffix_match(rel: str, suffix: str) -> bool:
+    """True when posix path *rel* ends with *suffix* on a component boundary."""
+    if rel == suffix:
+        return True
+    return rel.endswith("/" + suffix.lstrip("/"))
+
+
+@dataclass
+class Module:
+    """One parsed source file plus the raw lines rules need for comments."""
+
+    path: Path
+    rel: str
+    name: str
+    tree: ast.Module
+    lines: List[str]
+
+    #: local alias -> dotted module name, from ``import X`` / ``from P import M``.
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (source module dotted name, original name), from
+    #: ``from M import f [as g]``.
+    name_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    def line(self, lineno: int) -> str:
+        """Return the 1-indexed source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class FunctionInfo:
+    """A directly-addressable function: module-level or a class method."""
+
+    module: Module
+    qualname: str  # "func" or "Class.method"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Stable call-graph node id: ``(module.rel, qualname)``."""
+        return (self.module.rel, self.qualname)
+
+
+@dataclass
+class ClassModel:
+    """Per-class attribute/lock model used by the concurrency rules."""
+
+    module: Module
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, ast.AST] = field(default_factory=dict)
+    #: ``self.X`` attributes assigned a ``threading`` primitive.
+    lock_attrs: Set[str] = field(default_factory=set)
+    #: every ``self.X`` attribute the class assigns anywhere.
+    assigned_attrs: Set[str] = field(default_factory=set)
+
+
+def _module_name_for(rel: str) -> str:
+    """Dotted module name for a posix path (``src/repro/a/b.py`` -> ``src.repro.a.b``)."""
+    name = rel[:-3] if rel.endswith(".py") else rel
+    if name.endswith("/__init__"):
+        name = name[: -len("/__init__")]
+    return name.replace("/", ".")
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """Return ``X`` when *node* is the expression ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class Project:
+    """Every parsed module under the lint paths, plus derived indexes."""
+
+    def __init__(self, modules: List[Module]) -> None:
+        self.modules = modules
+        self.by_rel: Dict[str, Module] = {m.rel: m for m in modules}
+        self.by_name: Dict[str, Module] = {m.name: m for m in modules}
+        self.functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        self.classes: Dict[Tuple[str, str], ClassModel] = {}
+        for module in modules:
+            self._index_module(module)
+
+    # -- loading -------------------------------------------------------------
+    @classmethod
+    def load(cls, paths: Sequence[Path]) -> "Project":
+        """Parse every ``*.py`` under *paths* (files or directories).
+
+        Raises :class:`LintError` for a missing path or a file that does
+        not parse — an unparseable tree cannot be analyzed, so the run
+        aborts rather than reporting a partial result.
+        """
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.is_file():
+                files.append(path)
+            else:
+                raise LintError(f"no such file or directory: {path}")
+        modules: List[Module] = []
+        seen: Set[Path] = set()
+        for path in files:
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            rel = cls._relativize(path)
+            source = path.read_text()
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                raise LintError(f"cannot parse {path}: {exc}") from exc
+            module = Module(
+                path=path,
+                rel=rel,
+                name=_module_name_for(rel),
+                tree=tree,
+                lines=source.splitlines(),
+            )
+            cls._collect_imports(module)
+            modules.append(module)
+        return cls(modules)
+
+    @staticmethod
+    def _relativize(path: Path) -> str:
+        """Posix path relative to the current directory when possible."""
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    @staticmethod
+    def _collect_imports(module: Module) -> None:
+        """Fill the module's alias tables from its top-level/function imports."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    dotted = alias.name if alias.asname else alias.name.split(".")[0]
+                    module.module_aliases[local] = dotted
+                    if alias.asname is None and "." in alias.name:
+                        # ``import a.b`` binds ``a`` but makes ``a.b`` reachable;
+                        # remember the full path under its own name too.
+                        module.module_aliases.setdefault(alias.name, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = Project._resolve_from_base(module, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.name_imports[local] = (base, alias.name)
+
+    @staticmethod
+    def _resolve_from_base(module: Module, node: ast.ImportFrom) -> str:
+        """Dotted base module for a ``from ... import`` statement."""
+        if node.level == 0:
+            return node.module or ""
+        package_parts = module.name.split(".")
+        if not module.rel.endswith("/__init__.py"):
+            package_parts = package_parts[:-1]
+        if node.level > 1:
+            package_parts = package_parts[: len(package_parts) - (node.level - 1)]
+        base = ".".join(package_parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base
+
+    # -- indexing ------------------------------------------------------------
+    def _index_module(self, module: Module) -> None:
+        """Populate the function and class indexes for one module."""
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(module=module, qualname=node.name, node=node)
+                self.functions[info.key] = info
+            elif isinstance(node, ast.ClassDef):
+                model = ClassModel(module=module, name=node.name, node=node)
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        model.methods[child.name] = child
+                        info = FunctionInfo(
+                            module=module,
+                            qualname=f"{node.name}.{child.name}",
+                            node=child,
+                            class_name=node.name,
+                        )
+                        self.functions[info.key] = info
+                self._model_attributes(model)
+                self.classes[(module.rel, node.name)] = model
+
+    def _model_attributes(self, model: ClassModel) -> None:
+        """Record which ``self.X`` attributes a class assigns and which are locks."""
+        for method in model.methods.values():
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                else:
+                    continue
+                for target in targets:
+                    elements = (
+                        list(target.elts)
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for element in elements:
+                        attr = _self_attr(element)
+                        if attr is None:
+                            continue
+                        model.assigned_attrs.add(attr)
+                        value = getattr(node, "value", None)
+                        if value is not None and self._is_lock_factory(
+                            model.module, value
+                        ):
+                            model.lock_attrs.add(attr)
+
+    @staticmethod
+    def _is_lock_factory(module: Module, value: ast.AST) -> bool:
+        """True when *value* constructs a ``threading`` synchronization primitive."""
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            dotted = module.module_aliases.get(func.value.id)
+            return dotted == "threading" and func.attr in LOCK_FACTORY_NAMES
+        if isinstance(func, ast.Name):
+            imported = module.name_imports.get(func.id)
+            if imported is not None:
+                base, original = imported
+                return base == "threading" and original in LOCK_FACTORY_NAMES
+        return False
+
+    # -- lookups used by rules ----------------------------------------------
+    def modules_matching(self, suffixes: Iterable[str]) -> List[Module]:
+        """Modules whose path matches any of the configured suffixes."""
+        out: List[Module] = []
+        for module in self.modules:
+            if any(suffix_match(module.rel, suffix) for suffix in suffixes):
+                out.append(module)
+        return out
+
+    def resolve_module(self, dotted: str) -> Optional[Module]:
+        """Find a project module by dotted name, tolerating path-prefix skew.
+
+        An absolute import says ``repro.engine.cache`` while the file
+        loads as ``src.repro.engine.cache``; exact match is tried first,
+        then a component-boundary suffix match.
+        """
+        if not dotted:
+            return None
+        exact = self.by_name.get(dotted)
+        if exact is not None:
+            return exact
+        tail = "." + dotted
+        matches = [m for m in self.modules if m.name.endswith(tail)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def class_model(self, module: Module, class_name: str) -> Optional[ClassModel]:
+        """The :class:`ClassModel` for ``class_name`` in *module*, if indexed."""
+        return self.classes.get((module.rel, class_name))
+
+
+class CallGraph:
+    """Conservative project-wide call graph with worklist reachability."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.edges: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+        for info in project.functions.values():
+            self.edges[info.key] = self._callees(info)
+
+    def _callees(self, info: FunctionInfo) -> Set[Tuple[str, str]]:
+        """Resolve every call made directly by *info* to project functions."""
+        out: Set[Tuple[str, str]] = set()
+        for node in iter_own_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self.resolve_call(info, node)
+            if resolved is not None:
+                out.add(resolved)
+        return out
+
+    def resolve_call(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> Optional[Tuple[str, str]]:
+        """Map one ``ast.Call`` to a project function key, or ``None``.
+
+        Handles direct names (same module or ``from``-imported),
+        ``self.method()`` within a class, ``module.func()`` through an
+        import alias, and constructor calls (edge into ``__init__``).
+        """
+        func = call.func
+        module = info.module
+        if isinstance(func, ast.Name):
+            return self.resolve_name(module, func.id)
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner = func.value.id
+            if owner == "self" and info.class_name is not None:
+                model = self.project.class_model(module, info.class_name)
+                if model is not None and func.attr in model.methods:
+                    return (module.rel, f"{info.class_name}.{func.attr}")
+                return None
+            dotted = module.module_aliases.get(owner)
+            if dotted is not None:
+                target = self.project.resolve_module(dotted)
+                if target is not None:
+                    return self.resolve_name(target, func.attr, imported=False)
+        return None
+
+    def resolve_name(
+        self, module: Module, name: str, imported: bool = True
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a bare *name* in *module* to a function key.
+
+        Checks module-level functions, classes (edge to ``__init__``),
+        then — when *imported* — the module's ``from``-import table.
+        """
+        if (module.rel, name) in self.project.functions:
+            return (module.rel, name)
+        model = self.project.class_model(module, name)
+        if model is not None:
+            if "__init__" in model.methods:
+                return (module.rel, f"{name}.__init__")
+            return None
+        if imported and name in module.name_imports:
+            base, original = module.name_imports[name]
+            target = self.project.resolve_module(base)
+            if target is not None and target is not module:
+                return self.resolve_name(target, original, imported=False)
+        return None
+
+    def reachable(self, roots: Iterable[Tuple[str, str]]) -> Set[Tuple[str, str]]:
+        """Worklist closure: every function reachable from *roots* (inclusive)."""
+        seen: Set[Tuple[str, str]] = set()
+        work = [root for root in roots if root in self.edges]
+        while work:
+            key = work.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            work.extend(self.edges.get(key, ()) - seen)
+        return seen

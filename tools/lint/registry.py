@@ -1,0 +1,101 @@
+"""Rule registry and the :class:`Finding` record every rule emits.
+
+Rules self-register at import time via :func:`register`; the CLI imports
+:mod:`tools.lint.rules` once and iterates :func:`all_rules`.  Keeping the
+registry separate from the rules lets tests instantiate individual rules
+against fixture projects without running the whole gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Type
+
+from .core import CallGraph, LintConfig, Project
+
+
+@dataclass
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    file: str
+    line: int
+    col: int
+    message: str
+    #: Dotted symbol the finding is anchored to (``Class.method`` or
+    #: ``func``), used for narrow waivers; may be empty.
+    symbol: str = ""
+    #: Set by the waiver pass, not by rules.
+    waived: bool = field(default=False, compare=False)
+    waiver_reason: str = field(default="", compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (the ``--json`` findings entry)."""
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "waived": self.waived,
+            "waiver_reason": self.waiver_reason,
+        }
+
+    def render(self) -> str:
+        """Human-readable one-liner (``file:line:col: RULE message``)."""
+        suffix = f" [{self.symbol}]" if self.symbol else ""
+        flag = " (waived)" if self.waived else ""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}{suffix}{flag}"
+
+
+class Rule:
+    """Base class every lint rule subclasses.
+
+    Subclasses set ``rule_id`` (``R1`` ... ``R6``), ``name`` (short
+    kebab-case slug) and ``description`` (one line for ``--list-rules``
+    and the docs), and implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(
+        self, project: Project, graph: CallGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Yield findings for *project*; must not mutate any input."""
+        raise NotImplementedError
+
+    def finding(self, module_rel: str, node: Any, message: str, symbol: str = "") -> Finding:
+        """Build a :class:`Finding` anchored at an AST node's location."""
+        return Finding(
+            rule=self.rule_id,
+            file=module_rel,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index a rule by its ``rule_id``."""
+    instance = cls()
+    if not instance.rule_id:
+        raise ValueError(f"{cls.__name__} must set rule_id")
+    if instance.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    _REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by rule id."""
+    from . import rules  # noqa: F401  (import-time registration)
+
+    return [rule for _, rule in sorted(_REGISTRY.items())]

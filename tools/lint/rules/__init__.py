@@ -1,0 +1,15 @@
+"""Rule modules; importing this package registers every rule.
+
+One module per rule keeps each invariant's detection logic and its
+documented blind spots in one reviewable place; see ``docs/LINTING.md``
+for the user-facing catalogue.
+"""
+
+from . import (  # noqa: F401
+    reactor,
+    locks,
+    atomicwrite,
+    determinism,
+    exceptions,
+    forksafety,
+)

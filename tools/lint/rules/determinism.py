@@ -1,0 +1,188 @@
+"""R4 — determinism of the scan/merge path.
+
+``ScanScheduler`` promises byte-identical output across runs, worker
+counts and batch sizes; the engine's records feed the content-hash
+result cache, so any nondeterminism silently poisons cached verdicts.
+In the configured modules the rule flags:
+
+* wall-clock reads whose value is *data* (``time.time``,
+  ``time.time_ns``, ``ctime``/``localtime``/``gmtime``/``strftime``,
+  ``datetime.now``/``utcnow``/``today``).  Monotonic elapsed-time
+  measurement (``time.perf_counter``, ``time.monotonic``) is allowed:
+  stage timings are telemetry, excluded from record comparison.
+* global-PRNG use: any ``random.*`` call except constructing a seeded
+  ``random.Random``, and ``np.random.*`` except the seedable
+  constructors (``default_rng``/``Generator``/``SeedSequence``/
+  ``RandomState`` *with* a seed argument).
+* iteration over a ``set`` feeding ordered output: ``for x in s`` or a
+  comprehension where ``s`` was bound to a set in the same function —
+  set order varies with hash seeding; iterate ``sorted(s)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..core import CallGraph, LintConfig, Module, Project, iter_own_nodes
+from ..registry import Finding, Rule, register
+
+_BAD_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "ctime",
+    "localtime",
+    "gmtime",
+    "strftime",
+    "asctime",
+}
+_BAD_DATETIME_ATTRS = {"now", "utcnow", "today"}
+#: Seedable PRNG constructors allowed when given an explicit seed.
+_SEEDABLE = {"default_rng", "Generator", "SeedSequence", "RandomState", "Random"}
+
+
+@register
+class DeterminismRule(Rule):
+    """Flag nondeterminism sources inside the deterministic-merge modules."""
+
+    rule_id = "R4"
+    name = "determinism"
+    description = (
+        "no wall-clock data, unseeded PRNGs, or unsorted set iteration "
+        "in the deterministic scan/merge modules"
+    )
+
+    def check(
+        self, project: Project, graph: CallGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Scan each configured module's functions."""
+        for module in project.modules_matching(config.determinism_modules):
+            for info in project.functions.values():
+                if info.module is not module:
+                    continue
+                yield from self._check_function(module, info)
+
+    def _check_function(self, module: Module, info) -> Iterator[Finding]:
+        """Flag clock/PRNG calls and unsorted set iteration in one function."""
+        set_names = self._set_bound_names(info.node)
+        for node in iter_own_nodes(info.node):
+            if isinstance(node, ast.Call):
+                message = self._describe_call(module, node)
+                if message is not None:
+                    yield self.finding(
+                        module.rel, node, message, symbol=info.qualname
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(
+                    module, info, node.iter, set_names
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    yield from self._check_iteration(
+                        module, info, generator.iter, set_names
+                    )
+
+    def _check_iteration(
+        self, module: Module, info, iter_expr: ast.AST, set_names: Set[str]
+    ) -> Iterator[Finding]:
+        """Flag iteration whose source is a set (literal or tracked name)."""
+        is_set = isinstance(iter_expr, (ast.Set, ast.SetComp)) or (
+            isinstance(iter_expr, ast.Name) and iter_expr.id in set_names
+        )
+        if is_set:
+            what = (
+                f"'{iter_expr.id}'"
+                if isinstance(iter_expr, ast.Name)
+                else "a set literal"
+            )
+            yield self.finding(
+                module.rel,
+                iter_expr,
+                f"iteration over set {what} feeds ordered output; "
+                "iterate sorted(...) instead",
+                symbol=info.qualname,
+            )
+
+    @staticmethod
+    def _set_bound_names(func: ast.AST) -> Set[str]:
+        """Local names whose latest binding in *func* is a set expression.
+
+        Assignment order is approximated by line number: a later rebind
+        to a non-set value (``s = sorted(s)``) removes the name.
+        """
+        assignments = []
+        for node in iter_own_nodes(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    assignments.append((node.lineno, target.id, node.value))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    assignments.append((node.lineno, node.target.id, node.value))
+        names: Set[str] = set()
+        for _, name, value in sorted(assignments, key=lambda item: item[0]):
+            if isinstance(value, (ast.Set, ast.SetComp)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in {"set", "frozenset"}
+            ):
+                names.add(name)
+            else:
+                names.discard(name)
+        return names
+
+    def _describe_call(self, module: Module, call: ast.Call) -> Optional[str]:
+        """Classify *call* as a nondeterminism source, or return ``None``."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            imported = module.name_imports.get(func.id)
+            if imported is None:
+                return None
+            base, original = imported
+            if base == "time" and original in _BAD_TIME_ATTRS:
+                return f"wall-clock read time.{original}() is nondeterministic data"
+            if base == "random" and original not in _SEEDABLE:
+                return f"global PRNG call random.{original}() is unseeded"
+            return None
+        if not (isinstance(func, ast.Attribute) and isinstance(func.value, (ast.Name, ast.Attribute))):
+            return None
+        owner = func.value
+        if isinstance(owner, ast.Name):
+            dotted = module.module_aliases.get(owner.id)
+            if dotted == "time" and func.attr in _BAD_TIME_ATTRS:
+                return f"wall-clock read time.{func.attr}() is nondeterministic data"
+            if dotted == "datetime" and func.attr in _BAD_DATETIME_ATTRS:
+                return f"wall-clock read datetime.{func.attr}() is nondeterministic data"
+            if owner.id == "datetime" and func.attr in _BAD_DATETIME_ATTRS:
+                # ``from datetime import datetime`` then ``datetime.now()``.
+                if module.name_imports.get("datetime", ("", ""))[0] == "datetime":
+                    return (
+                        f"wall-clock read datetime.{func.attr}() is "
+                        "nondeterministic data"
+                    )
+            if dotted == "random":
+                return self._describe_prng(f"random.{func.attr}", func.attr, call)
+        elif (
+            isinstance(owner, ast.Attribute)
+            and isinstance(owner.value, ast.Name)
+            and owner.attr == "random"
+            and module.module_aliases.get(owner.value.id) in {"numpy", "np"}
+        ):
+            return self._describe_prng(f"np.random.{func.attr}", func.attr, call)
+        if (
+            isinstance(owner, ast.Name)
+            and module.module_aliases.get(owner.id) == "numpy.random"
+        ):
+            return self._describe_prng(f"np.random.{func.attr}", func.attr, call)
+        return None
+
+    @staticmethod
+    def _describe_prng(label: str, attr: str, call: ast.Call) -> Optional[str]:
+        """Flag global-PRNG calls; seedable constructors need a seed arg."""
+        if attr in _SEEDABLE:
+            if call.args or call.keywords:
+                return None
+            return f"{label}() without a seed is nondeterministic"
+        return f"global PRNG call {label}() is unseeded"

@@ -1,0 +1,103 @@
+"""R5 — exception hygiene.
+
+Concurrent code leans on broad handlers at thread boundaries ("a bad
+callback must not kill the worker"), which makes *undocumented* broad
+handlers indistinguishable from bugs.  The rule enforces, everywhere in
+the linted tree:
+
+* ``except:`` (bare) is forbidden outright — it swallows
+  ``KeyboardInterrupt``/``SystemExit``.
+* ``except Exception`` / ``except BaseException`` (with or without
+  ``as``) must carry a trailing justification comment **on the same
+  source line**, e.g.::
+
+      except Exception:  # a bad callback must not kill the worker
+
+* a broad handler whose body is only ``pass``/``...`` is flagged even
+  when commented — discarding every possible exception needs a waiver,
+  not just a comment.
+
+Narrow handlers (``except OSError: pass``) are out of scope; they name
+the failure they tolerate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..core import CallGraph, LintConfig, Module, Project
+from ..registry import Finding, Rule, register
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """Flag bare excepts, uncommented broad handlers, and silent swallows."""
+
+    rule_id = "R5"
+    name = "exception-hygiene"
+    description = (
+        "no bare except; except Exception/BaseException needs a trailing "
+        "justification comment and must not silently pass"
+    )
+
+    def check(
+        self, project: Project, graph: CallGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Walk every handler in every module."""
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ExceptHandler):
+                    yield from self._check_handler(module, node)
+
+    def _check_handler(
+        self, module: Module, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        """Apply the three sub-checks to one ``except`` clause."""
+        if handler.type is None:
+            yield self.finding(
+                module.rel,
+                handler,
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception (with a justification comment) at most",
+            )
+            return
+        broad = self._broad_names(handler.type)
+        if not broad:
+            return
+        caught = "/".join(sorted(broad))
+        if "#" not in module.line(handler.lineno):
+            yield self.finding(
+                module.rel,
+                handler,
+                f"'except {caught}' needs a trailing justification comment "
+                "on the same line (why is swallowing everything safe here?)",
+            )
+        if all(isinstance(stmt, (ast.Pass,)) for stmt in handler.body) or (
+            len(handler.body) == 1
+            and isinstance(handler.body[0], ast.Expr)
+            and isinstance(handler.body[0].value, ast.Constant)
+            and handler.body[0].value.value is Ellipsis
+        ):
+            yield self.finding(
+                module.rel,
+                handler,
+                f"'except {caught}' silently discards the exception; "
+                "log, re-raise, or record it (or waive with a reason)",
+            )
+
+    @staticmethod
+    def _broad_names(annotation: ast.AST) -> List[str]:
+        """The broad exception names caught by *annotation* (may be a tuple)."""
+        names: List[str] = []
+        elements = (
+            list(annotation.elts)
+            if isinstance(annotation, ast.Tuple)
+            else [annotation]
+        )
+        for element in elements:
+            if isinstance(element, ast.Name) and element.id in _BROAD_NAMES:
+                names.append(element.id)
+        return names

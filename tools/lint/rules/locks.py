@@ -1,0 +1,251 @@
+"""R2 — lock discipline: guarded attributes must stay guarded.
+
+For every class whose model shows a ``threading`` primitive attribute
+(``self._lock``, ``self._mem_lock``, ``self._cond``, ...), the rule
+learns which ``self.X`` attributes the class itself treats as
+lock-guarded — any attribute written at least once inside a
+``with self.<lock>:`` body — and then flags writes to those attributes
+that happen with no lock held.  "Write" covers plain and augmented
+assignment, subscript stores (``self.d[k] = v``) and in-place mutator
+calls (``self.q.append(...)``).
+
+Two deliberate refinements keep the rule useful on real code:
+
+* ``__init__``/``__post_init__`` are exempt — construction happens
+  before the object is shared.
+* A private helper method that is *only ever called* from inside lock
+  bodies inherits those locks (computed to a fixpoint), so the common
+  "``get()`` takes the lock, ``_ensure_loaded()`` does the work"
+  split does not false-positive.
+
+Classes using the file-based ``_NamespaceLock`` (a kernel flock, not a
+``threading`` primitive) are intentionally out of scope: their
+single-writer discipline is a process-level protocol this thread-local
+model cannot judge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import (
+    CallGraph,
+    ClassModel,
+    LintConfig,
+    MUTATOR_METHOD_NAMES,
+    Project,
+)
+from ..registry import Finding, Rule, register
+
+#: Methods whose writes are construction, not shared-state mutation.
+_CONSTRUCTOR_METHODS = {"__init__", "__post_init__", "__new__"}
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Flag unguarded writes to attributes the class guards elsewhere."""
+
+    rule_id = "R2"
+    name = "lock-discipline"
+    description = (
+        "in classes holding a threading lock, attributes written under "
+        "'with self._lock:' must never be written without it"
+    )
+
+    def check(
+        self, project: Project, graph: CallGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Analyze every class that models at least one threading lock."""
+        for (rel, _), model in sorted(project.classes.items()):
+            if not model.lock_attrs:
+                continue
+            yield from self._check_class(model)
+
+    # -- per-class analysis --------------------------------------------------
+    def _check_class(self, model: ClassModel) -> Iterator[Finding]:
+        """Collect writes with held-lock context, then flag the unguarded ones."""
+        writes: List[Tuple[str, str, ast.AST, Set[str]]] = []
+        call_sites: Dict[str, List[Tuple[str, Set[str]]]] = {}
+        for method_name, method in model.methods.items():
+            self._visit(
+                model, method_name, method, frozenset(), writes, call_sites
+            )
+        guaranteed = self._lock_held_methods(model, call_sites)
+
+        guarded_by: Dict[str, Set[str]] = {}
+        for method_name, attr, node, held in writes:
+            effective = held | guaranteed.get(method_name, set())
+            if effective:
+                guarded_by.setdefault(attr, set()).update(effective)
+
+        for method_name, attr, node, held in writes:
+            if method_name in _CONSTRUCTOR_METHODS:
+                continue
+            locks = guarded_by.get(attr)
+            if not locks:
+                continue
+            effective = held | guaranteed.get(method_name, set())
+            if effective & locks:
+                continue
+            lock_names = ", ".join(f"self.{name}" for name in sorted(locks))
+            yield self.finding(
+                model.module.rel,
+                node,
+                f"write to 'self.{attr}' without holding {lock_names} "
+                f"(guarded elsewhere in {model.name})",
+                symbol=f"{model.name}.{method_name}",
+            )
+
+    def _visit(
+        self,
+        model: ClassModel,
+        method_name: str,
+        node: ast.AST,
+        held: frozenset,
+        writes: List[Tuple[str, str, ast.AST, Set[str]]],
+        call_sites: Dict[str, List[Tuple[str, Set[str]]]],
+    ) -> None:
+        """Walk *node*'s children, tracking which class locks are held."""
+        for child in ast.iter_child_nodes(node):
+            self._visit_node(model, method_name, child, held, writes, call_sites)
+
+    def _visit_node(
+        self,
+        model: ClassModel,
+        method_name: str,
+        node: ast.AST,
+        held: frozenset,
+        writes: List[Tuple[str, str, ast.AST, Set[str]]],
+        call_sites: Dict[str, List[Tuple[str, Set[str]]]],
+    ) -> None:
+        """Process one node: record it, then descend with the right held set."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Nested closure: it runs later, in a lock context of its own.
+            self._visit(model, method_name, node, frozenset(), writes, call_sites)
+            return
+        self._record(model, method_name, node, held, writes, call_sites)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            taken = {
+                attr
+                for item in node.items
+                if (attr := self._lock_attr(model, item.context_expr))
+            }
+            inner = frozenset(held | taken)
+            for item in node.items:
+                self._visit_node(
+                    model, method_name, item.context_expr, held, writes, call_sites
+                )
+            for child in node.body:
+                self._visit_node(
+                    model, method_name, child, inner, writes, call_sites
+                )
+            return
+        self._visit(model, method_name, node, held, writes, call_sites)
+
+    def _record(
+        self,
+        model: ClassModel,
+        method_name: str,
+        node: ast.AST,
+        held: frozenset,
+        writes: List[Tuple[str, str, ast.AST, Set[str]]],
+        call_sites: Dict[str, List[Tuple[str, Set[str]]]],
+    ) -> None:
+        """Record writes and intra-class call sites found at *node*."""
+        for attr, anchor in self._attribute_writes(node):
+            writes.append((method_name, attr, anchor, set(held)))
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and node.func.attr in model.methods
+        ):
+            call_sites.setdefault(node.func.attr, []).append(
+                (method_name, set(held))
+            )
+
+    @staticmethod
+    def _lock_attr(model: ClassModel, expr: ast.AST) -> Optional[str]:
+        """``X`` when *expr* is ``self.X`` and ``X`` is a modelled lock."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in model.lock_attrs
+        ):
+            return expr.attr
+        return None
+
+    @staticmethod
+    def _attribute_writes(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+        """Yield ``(attr, anchor)`` for each ``self.attr`` write at *node*."""
+
+        def attr_of(target: ast.AST) -> Optional[str]:
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return target.attr
+            return None
+
+        if isinstance(node, ast.Assign):
+            targets: List[ast.AST] = []
+            for target in node.targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    targets.extend(target.elts)
+                else:
+                    targets.append(target)
+            for target in targets:
+                attr = attr_of(target)
+                if attr is not None:
+                    yield attr, node
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = attr_of(node.target)
+            if attr is not None:
+                yield attr, node
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHOD_NAMES:
+                attr = attr_of(node.func.value)
+                if attr is not None:
+                    yield attr, node
+
+    @staticmethod
+    def _lock_held_methods(
+        model: ClassModel,
+        call_sites: Dict[str, List[Tuple[str, Set[str]]]],
+    ) -> Dict[str, Set[str]]:
+        """Fixpoint: locks guaranteed held on entry to each private helper.
+
+        A private method (leading underscore, not a dunder) whose every
+        intra-class call site holds lock L is itself analyzed as if L
+        were held.  Public methods are callable from outside the class,
+        so they never inherit locks.
+        """
+        candidates = {
+            name
+            for name in model.methods
+            if name.startswith("_")
+            and not name.startswith("__")
+            and call_sites.get(name)
+        }
+        guaranteed: Dict[str, Set[str]] = {
+            name: set(model.lock_attrs) for name in candidates
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in candidates:
+                acc: Optional[Set[str]] = None
+                for caller, held in call_sites[name]:
+                    effective = held | guaranteed.get(caller, set())
+                    acc = effective if acc is None else (acc & effective)
+                acc = acc or set()
+                if acc != guaranteed[name]:
+                    guaranteed[name] = acc
+                    changed = True
+        return guaranteed

@@ -1,0 +1,139 @@
+"""R1 — reactor purity: no blocking call reachable from the event loop.
+
+The ``selectors`` front-end multiplexes every connection on one thread;
+a single blocking call on that thread stalls all of them.  The rule
+roots the call graph at each configured reactor entry point
+(``EventLoopFrontend.run`` by default — everything the loop thread
+executes is reachable from it), computes the worklist closure, and flags
+blocking operations anywhere in that closure:
+
+* ``time.sleep``
+* any ``subprocess`` call
+* the ``open`` builtin and ``Path`` read/write convenience methods
+  (blocking file I/O)
+* lock waits: ``something.acquire()``, ``something.wait()``,
+  ``something.join()`` (constant receivers like ``", ".join`` are
+  exempt), and ``with self.<lock>:`` where ``<lock>`` is a
+  ``threading`` primitive in the class model
+
+``selector.select`` is deliberately not a finding — it is the reactor's
+one sanctioned blocking point.  Calls the graph cannot resolve (e.g.
+``self._service.dispatch``) are not followed: the service boundary is
+where the batcher's ``submit_nowait`` contract takes over.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..core import CallGraph, LintConfig, Project, iter_own_nodes
+from ..registry import Finding, Rule, register
+
+#: Method names treated as blocking waits / blocking file I/O wherever
+#: they appear on the reactor thread.
+_BLOCKING_METHODS = {
+    "acquire": "lock wait",
+    "wait": "blocking wait",
+    "join": "blocking join",
+    "read_text": "blocking file read",
+    "read_bytes": "blocking file read",
+    "write_text": "blocking file write",
+    "write_bytes": "blocking file write",
+}
+
+
+@register
+class ReactorPurityRule(Rule):
+    """Flag blocking calls transitively reachable from reactor entry points."""
+
+    rule_id = "R1"
+    name = "reactor-purity"
+    description = (
+        "no blocking call (sleep, file I/O, subprocess, lock waits) may be "
+        "reachable from an event-loop reactor entry point"
+    )
+
+    def check(
+        self, project: Project, graph: CallGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Walk each configured reactor closure for blocking operations."""
+        for suffix, class_name, root_method in config.reactor_roots:
+            for module in project.modules_matching([suffix]):
+                model = project.class_model(module, class_name)
+                if model is None or root_method not in model.methods:
+                    continue
+                root = (module.rel, f"{class_name}.{root_method}")
+                root_label = f"{class_name}.{root_method}"
+                for key in sorted(graph.reachable([root])):
+                    info = project.functions[key]
+                    yield from self._scan_function(project, info, root_label)
+
+    def _scan_function(self, project, info, root_label: str) -> Iterator[Finding]:
+        """Yield a finding for every blocking operation in one function."""
+        module = info.module
+        for node in iter_own_nodes(info.node):
+            described: Optional[Tuple[ast.AST, str]] = None
+            if isinstance(node, ast.Call):
+                described = self._describe_blocking_call(module, node)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                described = self._describe_lock_with(project, info, node)
+            if described is None:
+                continue
+            anchor, what = described
+            yield self.finding(
+                module.rel,
+                anchor,
+                f"{what} on the reactor thread (reachable from {root_label})",
+                symbol=info.qualname,
+            )
+
+    def _describe_blocking_call(
+        self, module, call: ast.Call
+    ) -> Optional[Tuple[ast.AST, str]]:
+        """Classify one call as blocking, or return ``None``."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return call, "blocking file open()"
+            imported = module.name_imports.get(func.id)
+            if imported is not None:
+                base, original = imported
+                if base == "time" and original == "sleep":
+                    return call, "time.sleep()"
+                if base == "subprocess":
+                    return call, f"subprocess.{original}()"
+            return None
+        if isinstance(func, ast.Attribute):
+            owner = func.value
+            if isinstance(owner, ast.Name):
+                dotted = module.module_aliases.get(owner.id)
+                if dotted == "time" and func.attr == "sleep":
+                    return call, "time.sleep()"
+                if dotted == "subprocess":
+                    return call, f"subprocess.{func.attr}()"
+            if func.attr in _BLOCKING_METHODS:
+                if func.attr == "join" and isinstance(owner, ast.Constant):
+                    return None  # "sep".join(...) is string plumbing
+                return call, f"{_BLOCKING_METHODS[func.attr]} via .{func.attr}()"
+        return None
+
+    def _describe_lock_with(
+        self, project, info, node
+    ) -> Optional[Tuple[ast.AST, str]]:
+        """Flag ``with self.<lock>:`` where ``<lock>`` is a threading primitive."""
+        if info.class_name is None:
+            return None
+        model = project.class_model(info.module, info.class_name)
+        if model is None:
+            return None
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in model.lock_attrs
+            ):
+                return node, f"lock wait on 'self.{expr.attr}'"
+        return None

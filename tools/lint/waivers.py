@@ -1,0 +1,114 @@
+"""Waiver loading and matching.
+
+A finding can only be suppressed through a committed TOML file (default
+``tools/lint/waivers.toml``) whose entries name the rule, the file, and a
+non-empty human reason::
+
+    [[waiver]]
+    rule = "R1"
+    file = "src/repro/serve/eventloop.py"
+    symbol = "EventLoopFrontend._apply_completions"   # optional narrowing
+    reason = "bounded critical section; never held across blocking work"
+
+``file`` is a path suffix (matched on a component boundary) so waivers
+keep working when the repo is linted from a different working directory.
+``symbol`` optionally narrows the waiver to one function/method.  Waivers
+that match nothing are themselves reported — a stale waiver means the
+underlying finding was fixed and the entry must be deleted.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence
+
+from .core import LintError, suffix_match
+from .registry import Finding
+
+
+@dataclass
+class Waiver:
+    """One suppression entry from ``waivers.toml``."""
+
+    rule: str
+    file: str
+    reason: str
+    symbol: str = ""
+    #: Set during matching; an unused waiver fails the run.
+    used: bool = False
+
+    def matches(self, finding: Finding) -> bool:
+        """True when this waiver suppresses *finding*."""
+        if self.rule != finding.rule:
+            return False
+        if not suffix_match(finding.file, self.file):
+            return False
+        if self.symbol and self.symbol != finding.symbol:
+            return False
+        return True
+
+    def render(self) -> str:
+        """Human-readable identity for the unused-waiver report."""
+        narrow = f" symbol={self.symbol}" if self.symbol else ""
+        return f"{self.rule} file={self.file}{narrow}"
+
+
+def load_waivers(path: Path) -> List[Waiver]:
+    """Parse *path* into :class:`Waiver` entries, validating each field.
+
+    Raises :class:`LintError` (a usage error, exit 2) on malformed TOML,
+    unknown keys, or an entry missing rule/file/reason — a waiver file
+    that cannot be trusted must not silently suppress anything.
+    """
+    try:
+        payload = tomllib.loads(path.read_text())
+    except OSError as exc:
+        raise LintError(f"cannot read waivers file {path}: {exc}") from exc
+    except tomllib.TOMLDecodeError as exc:
+        raise LintError(f"malformed waivers file {path}: {exc}") from exc
+    entries = payload.get("waiver", [])
+    if not isinstance(entries, list):
+        raise LintError(f"{path}: 'waiver' must be an array of tables")
+    waivers: List[Waiver] = []
+    allowed = {"rule", "file", "reason", "symbol"}
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise LintError(f"{path}: waiver #{index + 1} is not a table")
+        unknown = set(entry) - allowed
+        if unknown:
+            raise LintError(
+                f"{path}: waiver #{index + 1} has unknown keys {sorted(unknown)}"
+            )
+        rule = entry.get("rule", "")
+        file = entry.get("file", "")
+        reason = entry.get("reason", "")
+        if not (isinstance(rule, str) and rule):
+            raise LintError(f"{path}: waiver #{index + 1} needs a 'rule'")
+        if not (isinstance(file, str) and file):
+            raise LintError(f"{path}: waiver #{index + 1} needs a 'file'")
+        if not (isinstance(reason, str) and reason.strip()):
+            raise LintError(
+                f"{path}: waiver #{index + 1} needs a non-empty 'reason'"
+            )
+        waivers.append(
+            Waiver(
+                rule=rule,
+                file=file,
+                reason=reason.strip(),
+                symbol=str(entry.get("symbol", "")),
+            )
+        )
+    return waivers
+
+
+def apply_waivers(findings: Sequence[Finding], waivers: Sequence[Waiver]) -> None:
+    """Mark waived findings in place and flag used waivers."""
+    for finding in findings:
+        for waiver in waivers:
+            if waiver.matches(finding):
+                finding.waived = True
+                finding.waiver_reason = waiver.reason
+                waiver.used = True
+                break

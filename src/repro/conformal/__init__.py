@@ -20,6 +20,7 @@ from .combination import (
 from .icp import InductiveConformalClassifier
 from .metrics import (
     ConformalEvaluation,
+    coverage_outcomes,
     evaluate_p_values,
     evaluate_regions,
     set_confusion_matrix,
@@ -48,6 +49,7 @@ __all__ = [
     "available_combiners",
     "combine_p_value_matrices",
     "confidence_scores",
+    "coverage_outcomes",
     "credibility",
     "evaluate_p_values",
     "evaluate_regions",

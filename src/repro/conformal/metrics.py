@@ -12,7 +12,7 @@ implements that set-valued bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -79,6 +79,29 @@ def evaluate_regions(
         empty_fraction=float((sizes == 0).mean()),
         uncertain_fraction=float((sizes > 1).mean()),
         singleton_accuracy=float(singleton_correct.sum() / max(singletons.sum(), 1)),
+    )
+
+
+def coverage_outcomes(
+    regions: Sequence[PredictionRegion], labels: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Per-region coverage outcomes for drift monitoring.
+
+    With ``labels``, each outcome is the exact coverage indicator — the
+    true label falls inside the region.  Without labels (the serve-time
+    situation), the outcome is the sound *lower bound* used by
+    :class:`repro.obs.drift.CoverageDriftMonitor`: ``True`` when the
+    region is non-empty (it may still cover), ``False`` when it is empty
+    (a guaranteed miss).  Both forms are boolean arrays whose mean
+    estimates (or lower-bounds) observed coverage over the batch.
+    """
+    if labels is None:
+        return np.array([not region.is_empty for region in regions], dtype=bool)
+    labels = np.asarray(labels, dtype=int)
+    if len(regions) != len(labels):
+        raise ValueError("regions and labels must align")
+    return np.array(
+        [int(label) in region for region, label in zip(regions, labels)], dtype=bool
     )
 
 

@@ -46,6 +46,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
 from ..core.results import ScanRecord
+from ..obs.metrics import REGISTRY
 
 logger = logging.getLogger(__name__)
 
@@ -62,6 +63,17 @@ SHARDS_DIRNAME = "shards"
 #: Default number of leading hex characters of the content hash that pick
 #: a record's shard file (2 -> up to 256 shard files per namespace).
 DEFAULT_SHARD_PREFIX_LEN = 2
+
+# Result-tier cache telemetry (process-wide; see docs/OBSERVABILITY.md).
+_CACHE_HITS = REGISTRY.counter(
+    "repro_cache_result_hits_total", "Result-cache lookups served from memory."
+)
+_CACHE_MISSES = REGISTRY.counter(
+    "repro_cache_result_misses_total", "Result-cache lookups that missed."
+)
+_CACHE_FLUSHES = REGISTRY.counter(
+    "repro_cache_result_flushes_total", "Result-cache flushes that wrote shards."
+)
 
 
 class CacheLockTimeout(RuntimeError):
@@ -400,9 +412,11 @@ class ScanCache:
         """The cached record for a content hash, marked ``cached=True``."""
         data = self._records.get(sha256)
         if data is None:
+            _CACHE_MISSES.inc()
             return None
         record = ScanRecord.from_dict(data)
         record.cached = True
+        _CACHE_HITS.inc()
         return record
 
     def put(self, record: ScanRecord) -> None:
@@ -484,4 +498,5 @@ class ScanCache:
                 # now they all live in shard files; retire the old blob.
                 self._legacy_path.unlink()
         self._dirty_keys.clear()
+        _CACHE_FLUSHES.inc()
         return self.namespace_dir

@@ -52,6 +52,13 @@ from ..features.image import DEFAULT_IMAGE_SIZE
 from ..features.pipeline import extract_modalities
 from ..gan import AmplificationConfig, GANConfig
 from ..nn.backend import DEFAULT_BACKEND, available_backends
+from ..obs.drift import (
+    DEFAULT_CLEAR_MARGIN,
+    DEFAULT_MIN_OBSERVATIONS,
+    DEFAULT_TRIP_MARGIN,
+    DEFAULT_WINDOW,
+)
+from ..obs.tracing import Tracer, trace_span
 from ..trojan import SuiteConfig, TrojanDataset
 from .artifacts import ArtifactError, load_detector, save_detector
 from .bench import DEFAULT_N_DESIGNS, build_scan_batch, run_engine_benchmark
@@ -214,46 +221,64 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         return EXIT_USAGE
     cache_dir = None if args.no_cache else args.cache_dir
     feature_dir = _feature_store_dir(args)
-    t_collect = time.perf_counter()
-    if args.generate:
-        sources = build_scan_batch(args.generate, seed=args.generate_seed)
-        print(f"generated a demo batch of {len(sources)} designs")
-    else:
-        if not args.inputs:
-            print("error: provide HDL files/directories or --generate N", file=sys.stderr)
-            return EXIT_USAGE
-        sources = collect_sources(args.inputs)
-        if not sources:
-            return _fail(
-                "no scannable sources under "
-                + ", ".join(str(i) for i in args.inputs)
-                + f" (looked for {', '.join(HDL_SUFFIXES)} files)"
+    # With --trace, every pipeline stage records a span under one "scan"
+    # root; the resulting JSONL reconstructs the full pipeline tree.
+    tracer = Tracer(trace_id="scan") if args.trace else None
+    with trace_span(tracer, "scan") as span_root:
+        t_collect = time.perf_counter()
+        with trace_span(tracer, "scan/collect"):
+            if args.generate:
+                sources = build_scan_batch(args.generate, seed=args.generate_seed)
+                print(f"generated a demo batch of {len(sources)} designs")
+            else:
+                if not args.inputs:
+                    print(
+                        "error: provide HDL files/directories or --generate N",
+                        file=sys.stderr,
+                    )
+                    return EXIT_USAGE
+                sources = collect_sources(args.inputs)
+                if not sources:
+                    return _fail(
+                        "no scannable sources under "
+                        + ", ".join(str(i) for i in args.inputs)
+                        + f" (looked for {', '.join(HDL_SUFFIXES)} files)"
+                    )
+        seconds_collect = time.perf_counter() - t_collect
+        span_root.attrs["designs"] = len(sources)
+        if args.jobs > 1 or args.resume:
+            with ScanScheduler.from_artifact(
+                args.artifact,
+                cache_dir=cache_dir,
+                feature_store_dir=feature_dir,
+                jobs=args.jobs,
+                shard_size=args.shard_size,
+                front_end_workers=args.workers,
+                backend=args.backend,
+            ) as scheduler:
+                report = scheduler.scan_sources(
+                    sources,
+                    confidence=args.confidence,
+                    resume=args.resume,
+                    tracer=tracer,
+                )
+        else:
+            engine = ScanEngine.from_artifact(
+                args.artifact,
+                cache_dir=cache_dir,
+                feature_store_dir=feature_dir,
+                backend=args.backend,
             )
-    seconds_collect = time.perf_counter() - t_collect
-    if args.jobs > 1 or args.resume:
-        with ScanScheduler.from_artifact(
-            args.artifact,
-            cache_dir=cache_dir,
-            feature_store_dir=feature_dir,
-            jobs=args.jobs,
-            shard_size=args.shard_size,
-            front_end_workers=args.workers,
-            backend=args.backend,
-        ) as scheduler:
-            report = scheduler.scan_sources(
-                sources, confidence=args.confidence, resume=args.resume
+            report = engine.scan_sources(
+                sources, workers=args.workers, confidence=args.confidence, tracer=tracer
             )
-    else:
-        engine = ScanEngine.from_artifact(
-            args.artifact,
-            cache_dir=cache_dir,
-            feature_store_dir=feature_dir,
-            backend=args.backend,
-        )
-        report = engine.scan_sources(
-            sources, workers=args.workers, confidence=args.confidence
-        )
     report.stage_seconds["collect"] = seconds_collect
+    if tracer is not None:
+        trace_path = Path(args.trace)
+        if trace_path.parent != Path("."):
+            trace_path.parent.mkdir(parents=True, exist_ok=True)
+        n_spans = tracer.write_jsonl(trace_path)
+        print(f"wrote trace: {trace_path} ({n_spans} spans)")
     for line in report.summary_lines():
         print(line)
     if args.profile:
@@ -478,6 +503,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             allow_paths=not args.no_paths,
             flush_every=args.flush_every,
             backend=args.backend,
+            trace_dir=args.trace_dir,
+            drift_window=args.drift_window,
+            drift_min_observations=args.drift_min_observations,
+            drift_trip_margin=args.drift_trip_margin,
+            drift_clear_margin=args.drift_clear_margin,
         )
     except ValueError as exc:
         return _fail(f"cannot start the scan service: {exc}")
@@ -714,6 +744,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(collect/extract/infer/p-value/cache-flush) after the scan",
     )
     scan.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL span trace of the scan pipeline to FILE "
+        "(one span per line; parent/child ids reconstruct the pipeline "
+        "tree — see docs/OBSERVABILITY.md)",
+    )
+    scan.add_argument(
         "--verbose", action="store_true", help="print empty triage queues too"
     )
     scan.set_defaults(func=_cmd_scan)
@@ -865,6 +903,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-paths",
         action="store_true",
         help="reject server-side 'paths' in scan requests (inline sources only)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="append JSONL span traces of every micro-batch to "
+        "DIR/serve-<pid>.jsonl (see docs/OBSERVABILITY.md)",
+    )
+    serve.add_argument(
+        "--drift-window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        metavar="N",
+        help="coverage-drift sliding window per model "
+        f"(default {DEFAULT_WINDOW} outcomes)",
+    )
+    serve.add_argument(
+        "--drift-min-observations",
+        type=int,
+        default=DEFAULT_MIN_OBSERVATIONS,
+        metavar="N",
+        help="outcomes required before the drift alarm may judge "
+        f"(default {DEFAULT_MIN_OBSERVATIONS})",
+    )
+    serve.add_argument(
+        "--drift-trip-margin",
+        type=float,
+        default=DEFAULT_TRIP_MARGIN,
+        metavar="M",
+        help="alarm trips when observed coverage falls below nominal - M "
+        f"(default {DEFAULT_TRIP_MARGIN})",
+    )
+    serve.add_argument(
+        "--drift-clear-margin",
+        type=float,
+        default=DEFAULT_CLEAR_MARGIN,
+        metavar="M",
+        help="alarm clears once observed coverage recovers above nominal - M "
+        f"(default {DEFAULT_CLEAR_MARGIN}; must be < the trip margin)",
     )
     _add_backend_option(serve)
     serve.set_defaults(func=_cmd_serve)

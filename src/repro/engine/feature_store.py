@@ -69,6 +69,7 @@ import numpy as np
 
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..features.pipeline import feature_schema_fingerprint
+from ..obs.metrics import REGISTRY
 from .cache import _NamespaceLock, _file_size, _quarantine
 
 logger = logging.getLogger(__name__)
@@ -78,6 +79,14 @@ FeatureRow = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 #: Bump when the on-disk shard layout (not the feature schema) changes.
 FEATURE_STORE_VERSION = 1
+
+# Feature-tier telemetry (process-wide; see docs/OBSERVABILITY.md).
+_FEATURE_HITS = REGISTRY.counter(
+    "repro_featurestore_hits_total", "Feature-store lookups served from a shard."
+)
+_FEATURE_MISSES = REGISTRY.counter(
+    "repro_featurestore_misses_total", "Feature-store lookups that missed."
+)
 
 #: Subdirectory of a schema namespace that holds the packed shard files.
 SHARDS_DIRNAME = "shards"
@@ -238,8 +247,10 @@ class FeatureStore:
             row = self._rows.get(sha256)
             if row is None:
                 self.n_misses += 1
+                _FEATURE_MISSES.inc()
             else:
                 self.n_hits += 1
+                _FEATURE_HITS.inc()
             return row
 
     def put(self, sha256: str, row: FeatureRow) -> None:

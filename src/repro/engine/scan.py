@@ -35,6 +35,7 @@ from ..core.results import ScanRecord
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..features.pipeline import MultimodalFeatures, extract_design_modalities
 from ..nn.backend import DEFAULT_BACKEND, PROFILER, get_backend
+from ..obs.tracing import Tracer, trace_span
 from .cache import ScanCache
 from .feature_store import FeatureStore
 
@@ -291,6 +292,12 @@ class ScanReport:
     seconds_inference: float = 0.0
     seconds_total: float = 0.0
     confidence_level: float = 0.9
+    #: Shards requeued by the parallel scheduler after a recoverable error.
+    n_shard_retries: int = 0
+    #: Shards whose pool worker died or timed out (each also retried).
+    n_worker_deaths: int = 0
+    #: Shards that exhausted their retry budget and were failed outright.
+    n_shard_failures: int = 0
     #: Name of the compute backend that ran inference (see
     #: :mod:`repro.nn.backend`); recorded in the results-JSON profile block.
     backend: str = DEFAULT_BACKEND
@@ -340,6 +347,12 @@ class ScanReport:
             f"{len(queues['accept'])} accept, {len(queues['reject'])} reject, "
             f"{len(queues['review'])} manual review",
         ]
+        if self.n_shard_retries or self.n_worker_deaths or self.n_shard_failures:
+            lines.append(
+                f"scheduler       : {self.n_shard_retries} shard retries, "
+                f"{self.n_worker_deaths} worker deaths, "
+                f"{self.n_shard_failures} shards failed"
+            )
         return lines
 
     def profile_lines(self) -> List[str]:
@@ -395,6 +408,11 @@ class ScanReport:
             "seconds_inference": self.seconds_inference,
             "seconds_total": self.seconds_total,
             "confidence_level": self.confidence_level,
+            "scheduler": {
+                "shard_retries": self.n_shard_retries,
+                "worker_deaths": self.n_worker_deaths,
+                "shard_failures": self.n_shard_failures,
+            },
             "profile": {"backend": self.backend, **self.stage_seconds},
             "records": [record.to_dict() for record in self.records],
         }
@@ -404,6 +422,7 @@ class ScanReport:
         """Rebuild a report from :meth:`to_dict` output."""
         profile = dict(data.get("profile", {}))
         backend = str(profile.pop("backend", DEFAULT_BACKEND))
+        scheduler = dict(data.get("scheduler", {}))
         return cls(
             records=[ScanRecord.from_dict(r) for r in data.get("records", [])],
             n_designs=int(data.get("n_designs", 0)),
@@ -414,6 +433,9 @@ class ScanReport:
             seconds_inference=float(data.get("seconds_inference", 0.0)),
             seconds_total=float(data.get("seconds_total", 0.0)),
             confidence_level=float(data.get("confidence_level", 0.9)),
+            n_shard_retries=int(scheduler.get("shard_retries", 0)),
+            n_worker_deaths=int(scheduler.get("worker_deaths", 0)),
+            n_shard_failures=int(scheduler.get("shard_failures", 0)),
             backend=backend,
             stage_seconds=profile,
         )
@@ -474,6 +496,9 @@ class ScanEngine:
         self.feature_store = feature_store
         self.image_size = image_size
         self.backend = backend
+        #: Default tracer used when :meth:`scan_sources` is not handed one
+        #: explicitly (the scheduler's serial path and pool workers set it).
+        self.tracer: Optional[Tracer] = None
         if hasattr(model, "set_backend"):
             model.set_backend(backend, quant_state)
         elif backend != DEFAULT_BACKEND:
@@ -533,6 +558,7 @@ class ScanEngine:
         workers: Optional[int] = None,
         confidence: Optional[float] = None,
         flush_cache: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> ScanReport:
         """Scan a batch of designs and return per-design triage records.
 
@@ -547,35 +573,42 @@ class ScanEngine:
         caller (the serving layer flushes off the response critical path);
         the default keeps the one-shot behaviour of flushing before
         returning.  ``stage_seconds`` on the returned report carries the
-        per-stage wall-time breakdown (``scan --profile``).
+        per-stage wall-time breakdown (``scan --profile``); the breakdown
+        is measured with :func:`repro.obs.tracing.trace_span`, so passing
+        a ``tracer`` additionally records the stage spans (``scan/extract``
+        → ``scan/featurize`` → ``scan/infer`` → ``scan/fuse``, plus the
+        cache stages) as children of the caller's current span.
         """
         t_start = time.perf_counter()
+        if tracer is None:
+            tracer = self.tracer
         level = confidence if confidence is not None else self.model.config.confidence_level
         report = ScanReport(
             n_designs=len(sources), confidence_level=level, backend=self.backend
         )
 
         # 1. result-cache lookups (decision rebuilt at the requested level).
-        records, pending = resolve_cache_hits(self.cache, sources, level)
+        with trace_span(tracer, "scan/cache_lookup", designs=len(sources)) as sp_cache:
+            records, pending = resolve_cache_hits(self.cache, sources, level)
         report.n_cache_hits = len(sources) - len(pending)
-        report.stage_seconds["cache_lookup"] = time.perf_counter() - t_start
+        report.stage_seconds["cache_lookup"] = sp_cache.duration_s
 
         # 2. feature store + parallel front-end for the result-cache misses
-        t_extract = time.perf_counter()
         store = self.feature_store
         hits_before = store.n_hits if store is not None else 0
-        rows, errors = (
-            extract_feature_rows(
-                [sources[i] for i in pending],
-                image_size=self.image_size,
-                workers=workers,
-                store=store,
+        with trace_span(tracer, "scan/extract", designs=len(pending)) as sp_extract:
+            rows, errors = (
+                extract_feature_rows(
+                    [sources[i] for i in pending],
+                    image_size=self.image_size,
+                    workers=workers,
+                    store=store,
+                )
+                if pending
+                else ({}, {})
             )
-            if pending
-            else ({}, {})
-        )
         report.n_feature_hits = (store.n_hits - hits_before) if store is not None else 0
-        report.seconds_extract = time.perf_counter() - t_extract
+        report.seconds_extract = sp_extract.duration_s
         report.stage_seconds["extract"] = report.seconds_extract
 
         for local_index, message in errors.items():
@@ -588,52 +621,54 @@ class ScanEngine:
 
         # 3. one batched forward pass + searchsorted p-values for the rest
         scanned = [i for local, i in enumerate(pending) if local in rows]
-        t_infer = time.perf_counter()
-        t_decide = t_infer
-        if scanned:
-            ordered_rows = [
-                rows[local] for local, i in enumerate(pending) if local in rows
-            ]
-            batch = assemble_features(
-                ordered_rows, [sources[i].name for i in scanned], self.image_size
-            )
-            profiled = self.backend != DEFAULT_BACKEND
-            if profiled:
-                PROFILER.reset()
-            p_values = self.model.p_values(batch)
-            if profiled:
-                for sub_stage, sub_seconds in PROFILER.snapshot().items():
-                    key = f"infer/{sub_stage}"
-                    report.stage_seconds[key] = (
-                        report.stage_seconds.get(key, 0.0) + sub_seconds
+        with trace_span(tracer, "scan/infer", designs=len(scanned)) as sp_infer:
+            if scanned:
+                ordered_rows = [
+                    rows[local] for local, i in enumerate(pending) if local in rows
+                ]
+                with trace_span(tracer, "scan/featurize", designs=len(scanned)):
+                    batch = assemble_features(
+                        ordered_rows,
+                        [sources[i].name for i in scanned],
+                        self.image_size,
                     )
-            t_decide = time.perf_counter()
-            decisions = build_decisions(batch.names, p_values, level)
-            for i, decision in zip(scanned, decisions):
-                src = sources[i]
-                records[i] = ScanRecord(
-                    name=src.name,
-                    sha256=src.sha256,
-                    decision=decision,
-                    source_path=src.path,
-                )
-        t_decided = time.perf_counter()
-        report.seconds_inference = t_decided - t_infer
-        report.stage_seconds["infer"] = t_decide - t_infer
-        report.stage_seconds["p_value"] = t_decided - t_decide
+                profiled = self.backend != DEFAULT_BACKEND
+                if profiled:
+                    PROFILER.reset()
+                p_values = self.model.p_values(batch)
+                if profiled:
+                    for sub_stage, sub_seconds in PROFILER.snapshot().items():
+                        key = f"infer/{sub_stage}"
+                        report.stage_seconds[key] = (
+                            report.stage_seconds.get(key, 0.0) + sub_seconds
+                        )
+        with trace_span(tracer, "scan/fuse", designs=len(scanned)) as sp_fuse:
+            if scanned:
+                decisions = build_decisions(batch.names, p_values, level)
+                for i, decision in zip(scanned, decisions):
+                    src = sources[i]
+                    records[i] = ScanRecord(
+                        name=src.name,
+                        sha256=src.sha256,
+                        decision=decision,
+                        source_path=src.path,
+                    )
+        report.seconds_inference = sp_infer.duration_s + sp_fuse.duration_s
+        report.stage_seconds["infer"] = sp_infer.duration_s
+        report.stage_seconds["p_value"] = sp_fuse.duration_s
 
         # 4. persist fresh results (both tiers)
-        t_flush = time.perf_counter()
-        report.records = [r for r in records if r is not None]
-        if self.cache is not None:
-            for record in report.records:
-                if not record.cached:
-                    self.cache.put(record)
-            if flush_cache:
-                self.cache.flush()
-        if store is not None and flush_cache:
-            store.flush()
-        report.stage_seconds["cache_flush"] = time.perf_counter() - t_flush
+        with trace_span(tracer, "scan/cache_flush") as sp_flush:
+            report.records = [r for r in records if r is not None]
+            if self.cache is not None:
+                for record in report.records:
+                    if not record.cached:
+                        self.cache.put(record)
+                if flush_cache:
+                    self.cache.flush()
+            if store is not None and flush_cache:
+                store.flush()
+        report.stage_seconds["cache_flush"] = sp_flush.duration_s
         report.seconds_total = time.perf_counter() - t_start
         return report
 

@@ -44,6 +44,8 @@ from ..core.config import NoodleConfig
 from ..core.fusion import ConformalFusionModel
 from ..core.results import ScanRecord
 from ..features.image import DEFAULT_IMAGE_SIZE
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import Tracer, trace_span
 from .cache import ScanCache, atomic_write_json
 from .feature_store import FeatureStore
 from .scan import ScanEngine, ScanReport, ScanSource, collect_sources, resolve_cache_hits
@@ -62,6 +64,20 @@ DEFAULT_MAX_RETRIES = 2
 DEFAULT_SHARD_TIMEOUT = 600.0
 
 JOURNAL_SCHEMA_VERSION = 1
+
+# Scheduler reliability telemetry (process-wide; surfaced in the scan
+# summary line and, under serve, in /metrics — see docs/OBSERVABILITY.md).
+_SHARD_RETRIES = REGISTRY.counter(
+    "repro_engine_shard_retries_total", "Shards requeued after a recoverable failure."
+)
+_WORKER_DEATHS = REGISTRY.counter(
+    "repro_engine_worker_deaths_total",
+    "Shards whose pool worker died or missed its result deadline.",
+)
+_SHARD_FAILURES = REGISTRY.counter(
+    "repro_engine_shard_failures_total",
+    "Shards failed permanently after exhausting the retry budget.",
+)
 
 
 def default_jobs() -> int:
@@ -135,21 +151,42 @@ def _init_scan_worker(payload: Tuple[str, Any, str, int, Optional[str], str]) ->
 
 def _scan_shard_worker(
     task: Tuple[str, List[ScanSource], float],
-) -> Tuple[str, Optional[List[dict]], float, float, int, Optional[str]]:
+) -> Tuple[str, Optional[List[dict]], float, float, int, Optional[str], List[dict]]:
     """Pool worker: scan one shard end-to-end with the per-process engine.
 
+    ``task`` is ``(shard_id, sources, level)`` with an optional fourth
+    ``(trace_id, parent_span_id)`` element; when present, the worker runs
+    a private :class:`repro.obs.tracing.Tracer` (span ids prefixed with
+    the shard id for cross-process uniqueness) and ships the finished
+    spans home as the trailing element of the result tuple.
+
     Returns ``(shard_id, record_dicts, seconds_extract, seconds_inference,
-    n_feature_hits, error)``; any exception is folded into ``error`` so the
-    parent can re-queue the shard instead of crashing the pool.  The
-    engine's default flush persists fresh feature rows per shard, matching
-    the result cache's per-shard durability in the parent.
+    n_feature_hits, error, spans)``; any exception is folded into
+    ``error`` so the parent can re-queue the shard instead of crashing the
+    pool.  The engine's default flush persists fresh feature rows per
+    shard, matching the result cache's per-shard durability in the parent.
     """
-    shard_id, shard_sources, level = task
+    shard_id, shard_sources, level = task[0], task[1], task[2]
+    trace_ctx = task[3] if len(task) > 3 else None
+    tracer: Optional[Tracer] = None
+    parent_span_id: Optional[str] = None
+    if trace_ctx is not None:
+        trace_id, parent_span_id = trace_ctx
+        tracer = Tracer(trace_id=trace_id, id_prefix=f"{shard_id}.")
     try:
         assert _WORKER_ENGINE is not None, "worker initializer did not run"
-        report = _WORKER_ENGINE.scan_sources(
-            shard_sources, workers=1, confidence=level
-        )
+        _WORKER_ENGINE.tracer = tracer
+        with trace_span(
+            tracer,
+            "scheduler/shard",
+            parent_id=parent_span_id,
+            shard=shard_id,
+            designs=len(shard_sources),
+        ):
+            report = _WORKER_ENGINE.scan_sources(
+                shard_sources, workers=1, confidence=level
+            )
+        _WORKER_ENGINE.tracer = None
         return (
             shard_id,
             [record.to_dict() for record in report.records],
@@ -157,9 +194,10 @@ def _scan_shard_worker(
             report.seconds_inference,
             report.n_feature_hits,
             None,
+            tracer.export() if tracer is not None else [],
         )
     except Exception as exc:  # pragma: no cover - exercised via retry tests
-        return shard_id, None, 0.0, 0.0, 0, f"{type(exc).__name__}: {exc}"
+        return shard_id, None, 0.0, 0.0, 0, f"{type(exc).__name__}: {exc}", []
 
 
 # ---------------------------------------------------------------------------
@@ -508,9 +546,18 @@ class ScanScheduler:
         return shards
 
     def _shard_task(
-        self, shard: _Shard, sources: Sequence[ScanSource], level: float
-    ) -> Tuple[str, List[ScanSource], float]:
-        return shard.shard_id, [sources[i] for i in shard.indices], level
+        self,
+        shard: _Shard,
+        sources: Sequence[ScanSource],
+        level: float,
+        trace_ctx: Optional[Tuple[str, str]] = None,
+    ) -> Tuple[str, List[ScanSource], float, Optional[Tuple[str, str]]]:
+        return (
+            shard.shard_id,
+            [sources[i] for i in shard.indices],
+            level,
+            trace_ctx,
+        )
 
     def _absorb_shard(
         self,
@@ -556,6 +603,8 @@ class ScanScheduler:
                 name=src.name, sha256=src.sha256, source_path=src.path, error=message
             )
             report.n_errors += 1
+        report.n_shard_failures += 1
+        _SHARD_FAILURES.inc()
         if journal is not None:
             journal.record_shard(shard.shard_id, "failed", 0, shard.attempts)
 
@@ -565,6 +614,7 @@ class ScanScheduler:
         sources: Sequence[ScanSource],
         confidence: Optional[float] = None,
         resume: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> ScanReport:
         """Scan a corpus across the worker pool and merge deterministically.
 
@@ -577,7 +627,12 @@ class ScanScheduler:
         an interrupted scan resumable — and previously cached designs are
         served without touching the pool.  ``resume=True`` additionally
         continues the corpus journal of an interrupted run instead of
-        starting a fresh one.
+        starting a fresh one.  Retries, worker deaths and permanent shard
+        failures are counted on the report (and the process-wide
+        ``repro_engine_*`` counters).  With a ``tracer``, the run records
+        a ``scheduler/scan`` span with one ``scheduler/shard`` child per
+        shard — trace context crosses the multiprocessing boundary inside
+        the shard task, and worker-side spans are merged back in.
         """
         if resume and self.cache is None:
             raise ValueError("resume=True requires a result cache")
@@ -601,58 +656,81 @@ class ScanScheduler:
         shards = self._make_shards(pending, sources)
         queue: List[_Shard] = list(shards)
         pool = self._ensure_pool(len(shards))
-        while queue:
-            batch, queue = queue, []
-            if pool is not None:
-                submitted = [
-                    (shard, pool.apply_async(
-                        _scan_shard_worker, (self._shard_task(shard, sources, level),)
-                    ))
-                    for shard in batch
-                ]
+        with trace_span(
+            tracer, "scheduler/scan", shards=len(shards), designs=len(sources)
+        ) as sched_span:
+            trace_ctx = (
+                (tracer.trace_id, sched_span.span_id) if tracer is not None else None
+            )
+            while queue:
+                batch, queue = queue, []
+                if pool is not None:
+                    submitted = [
+                        (shard, pool.apply_async(
+                            _scan_shard_worker,
+                            (self._shard_task(shard, sources, level, trace_ctx),),
+                        ))
+                        for shard in batch
+                    ]
 
-                def _collect(shard: _Shard, async_result: Any):
-                    try:
-                        # The deadline turns a worker that died hard (whose
-                        # result would never arrive) into a retryable failure.
-                        return async_result.get(timeout=self.shard_timeout)
-                    except multiprocessing.TimeoutError:
-                        return (shard.shard_id, None, 0.0, 0.0, 0,
-                                f"no result within {self.shard_timeout:.0f}s "
-                                "(worker lost?)")
-                    except Exception as exc:  # worker raised at pool level
-                        return (shard.shard_id, None, 0.0, 0.0, 0,
-                                f"{type(exc).__name__}: {exc}")
+                    def _collect(shard: _Shard, async_result: Any):
+                        try:
+                            # The deadline turns a worker that died hard (whose
+                            # result would never arrive) into a retryable failure.
+                            return async_result.get(timeout=self.shard_timeout)
+                        except multiprocessing.TimeoutError:
+                            report.n_worker_deaths += 1
+                            _WORKER_DEATHS.inc()
+                            return (shard.shard_id, None, 0.0, 0.0, 0,
+                                    f"no result within {self.shard_timeout:.0f}s "
+                                    "(worker lost?)")
+                        except Exception as exc:  # worker raised at pool level
+                            return (shard.shard_id, None, 0.0, 0.0, 0,
+                                    f"{type(exc).__name__}: {exc}")
 
-                # Lazy: each shard is absorbed (and its records flushed to
-                # the cache) as soon as its result is collected, so a crash
-                # mid-run loses at most the in-flight shards.
-                outcomes = ((shard, _collect(shard, ar)) for shard, ar in submitted)
-            else:
-                engine = self._parent_engine()
-                outcomes = (
-                    (shard, _scan_shard_serial(
-                        engine,
-                        self._shard_task(shard, sources, level),
-                        workers=self.front_end_workers,
-                    ))
-                    for shard in batch
-                )
-            for shard, outcome in outcomes:
-                _, record_dicts, sec_extract, sec_inference, feature_hits, error = outcome
-                report.seconds_extract += sec_extract
-                report.seconds_inference += sec_inference
-                report.n_feature_hits += feature_hits
-                if error is None and record_dicts is not None:
-                    self._absorb_shard(shard, record_dicts, records, report, journal)
+                    # Lazy: each shard is absorbed (and its records flushed to
+                    # the cache) as soon as its result is collected, so a crash
+                    # mid-run loses at most the in-flight shards.
+                    outcomes = ((shard, _collect(shard, ar)) for shard, ar in submitted)
                 else:
-                    shard.attempts += 1
-                    if shard.attempts <= self.max_retries:
-                        queue.append(shard)
+                    engine = self._parent_engine()
+                    engine.tracer = tracer  # serial shards trace in-process
+
+                    def _run_serial(shard: _Shard):
+                        with trace_span(
+                            tracer,
+                            "scheduler/shard",
+                            shard=shard.shard_id,
+                            designs=len(shard.indices),
+                        ):
+                            return _scan_shard_serial(
+                                engine,
+                                self._shard_task(shard, sources, level),
+                                workers=self.front_end_workers,
+                            )
+
+                    outcomes = ((shard, _run_serial(shard)) for shard in batch)
+                for shard, outcome in outcomes:
+                    _, record_dicts, sec_extract, sec_inference, feature_hits, error = (
+                        outcome[:6]
+                    )
+                    if tracer is not None and len(outcome) > 6 and outcome[6]:
+                        tracer.adopt(outcome[6])
+                    report.seconds_extract += sec_extract
+                    report.seconds_inference += sec_inference
+                    report.n_feature_hits += feature_hits
+                    if error is None and record_dicts is not None:
+                        self._absorb_shard(shard, record_dicts, records, report, journal)
                     else:
-                        self._fail_shard(
-                            shard, error or "no result", sources, records, report, journal
-                        )
+                        shard.attempts += 1
+                        if shard.attempts <= self.max_retries:
+                            queue.append(shard)
+                            report.n_shard_retries += 1
+                            _SHARD_RETRIES.inc()
+                        else:
+                            self._fail_shard(
+                                shard, error or "no result", sources, records, report, journal
+                            )
 
         report.records = [r for r in records if r is not None]
         if journal is not None:
@@ -686,9 +764,11 @@ def _scan_shard_serial(
     """Serial-path twin of :func:`_scan_shard_worker` using a given engine.
 
     Unlike pool workers (which must extract in-process), the parent may
-    fan the front-end out across ``workers`` extraction processes.
+    fan the front-end out across ``workers`` extraction processes.  The
+    optional fourth task element (the trace context) is ignored here: the
+    serial path traces in-process through ``engine.tracer`` instead.
     """
-    shard_id, shard_sources, level = task
+    shard_id, shard_sources, level = task[0], task[1], task[2]
     try:
         report = engine.scan_sources(shard_sources, workers=workers, confidence=level)
         return (

@@ -1,0 +1,46 @@
+"""Unified observability layer: metrics registry, tracing, drift monitor.
+
+Three stdlib-only pillars (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` — the process-wide :data:`~repro.obs.metrics.REGISTRY`
+  of counters/gauges/histograms with Prometheus text exposition;
+* :mod:`repro.obs.tracing` — :class:`~repro.obs.tracing.Span` /
+  :class:`~repro.obs.tracing.Tracer` structured tracing with JSONL export,
+  and :func:`~repro.obs.tracing.trace_span`, the single timing primitive;
+* :mod:`repro.obs.drift` — :class:`~repro.obs.drift.CoverageDriftMonitor`,
+  the sliding-window conformal coverage alarm used by the serving layer.
+"""
+
+from .drift import (
+    STATE_ALARMING,
+    STATE_OK,
+    CoverageDriftMonitor,
+    outcome_from_verdict,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from .tracing import Span, Tracer, trace_span
+
+__all__ = [
+    "CoverageDriftMonitor",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "STATE_ALARMING",
+    "STATE_OK",
+    "Span",
+    "Tracer",
+    "outcome_from_verdict",
+    "parse_prometheus_text",
+    "trace_span",
+]

@@ -1,0 +1,194 @@
+"""Conformal coverage-drift monitoring for the serving layer.
+
+A calibrated Mondrian ICP promises that, at confidence ``c``, the true
+label falls inside the emitted prediction region with probability at
+least ``c``.  At serve time the true labels are unknown, but one failure
+mode is directly observable: an **empty** prediction region (verdict
+``"anomalous (no label fits)"``) can never contain the true label, so
+the fraction of non-empty regions over a sliding window is a sound
+*lower bound* on observed coverage.  When the calibration set goes stale
+— model drift, data drift, or a tampered artifact — the empty-region
+rate spikes and the bound collapses well below the nominal confidence.
+
+:class:`CoverageDriftMonitor` keeps that sliding window per model, and a
+hysteresis alarm keeps the health signal from flapping: the state trips
+from ``ok`` to ``alarming`` only when the window holds at least
+``min_observations`` outcomes and the observed bound falls below
+``nominal - trip_margin``, and it clears only once the bound recovers
+above ``nominal - clear_margin`` (with ``clear_margin < trip_margin``).
+The serving layer surfaces the state in ``/healthz`` as *degraded* (not
+down) and resets the window whenever the model artifact is hot-reloaded
+with a fresh fingerprint — the operator's remediation loop is
+``repro calibrate`` followed by ``POST /reload``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "CoverageDriftMonitor",
+    "STATE_ALARMING",
+    "STATE_OK",
+    "VERDICT_ANOMALOUS",
+    "outcome_from_verdict",
+]
+
+#: Alarm states (hysteresis keeps transitions sticky).
+STATE_OK = "ok"
+STATE_ALARMING = "alarming"
+
+#: Verdict string emitted for an empty prediction region (kept in sync
+#: with ``core.results.TrojanDecision.verdict``).
+VERDICT_ANOMALOUS = "anomalous (no label fits)"
+
+#: Verdict string emitted for failed scans — excluded from the window.
+_VERDICT_ERROR = "error"
+
+DEFAULT_WINDOW = 256
+DEFAULT_MIN_OBSERVATIONS = 32
+DEFAULT_TRIP_MARGIN = 0.15
+DEFAULT_CLEAR_MARGIN = 0.05
+
+
+def outcome_from_verdict(verdict: str) -> Optional[bool]:
+    """Map a triage verdict to a coverage outcome.
+
+    Returns ``True`` (covered — the region is non-empty, so it *may*
+    contain the true label), ``False`` (guaranteed miss — empty region),
+    or ``None`` for error records, which carry no coverage information.
+    """
+    if verdict == _VERDICT_ERROR:
+        return None
+    return verdict != VERDICT_ANOMALOUS
+
+
+class CoverageDriftMonitor:
+    """Sliding-window observed-vs-nominal coverage with a hysteresis alarm.
+
+    Thread-safe; observations arrive from batch worker threads while
+    ``/healthz`` snapshots are taken from the request path.  The window
+    stores ``(covered, nominal)`` pairs so that requests scanned at
+    different confidence levels weight the nominal target correctly.
+    """
+
+    def __init__(
+        self,
+        nominal: float,
+        window: int = DEFAULT_WINDOW,
+        min_observations: int = DEFAULT_MIN_OBSERVATIONS,
+        trip_margin: float = DEFAULT_TRIP_MARGIN,
+        clear_margin: float = DEFAULT_CLEAR_MARGIN,
+    ) -> None:
+        if not 0.0 < nominal < 1.0:
+            raise ValueError("nominal confidence must lie in (0, 1)")
+        if window < 1:
+            raise ValueError("window must be positive")
+        if min_observations < 1 or min_observations > window:
+            raise ValueError("min_observations must lie in [1, window]")
+        if not 0.0 <= clear_margin < trip_margin:
+            raise ValueError("require 0 <= clear_margin < trip_margin")
+        self.nominal = float(nominal)
+        self.window = int(window)
+        self.min_observations = int(min_observations)
+        self.trip_margin = float(trip_margin)
+        self.clear_margin = float(clear_margin)
+        self._lock = threading.Lock()
+        self._outcomes: Deque[Tuple[bool, float]] = deque(maxlen=self.window)
+        self._state = STATE_OK
+        self._trips = 0
+        self._observed_total = 0
+
+    # -- observation ---------------------------------------------------------
+    def observe(
+        self, outcomes: Iterable[Optional[bool]], nominal: Optional[float] = None
+    ) -> Optional[str]:
+        """Record coverage outcomes; return the new state on a transition.
+
+        ``outcomes`` may contain ``None`` entries (error records), which
+        are skipped.  ``nominal`` overrides the monitor default for this
+        batch — the confidence level the scan actually ran at.
+        """
+        level = self.nominal if nominal is None else float(nominal)
+        with self._lock:
+            before = self._state
+            for outcome in outcomes:
+                if outcome is None:
+                    continue
+                self._outcomes.append((bool(outcome), level))
+                self._observed_total += 1
+            self._evaluate_locked()
+            after = self._state
+        return after if after != before else None
+
+    def observe_verdicts(
+        self, verdicts: Iterable[str], nominal: Optional[float] = None
+    ) -> Optional[str]:
+        """Record triage verdict strings (see :func:`outcome_from_verdict`)."""
+        return self.observe(
+            (outcome_from_verdict(verdict) for verdict in verdicts), nominal=nominal
+        )
+
+    def reset(self) -> None:
+        """Clear the window and the alarm (called after a hot reload)."""
+        with self._lock:
+            self._outcomes.clear()
+            self._state = STATE_OK
+
+    # -- state ---------------------------------------------------------------
+    def _coverage_locked(self) -> Tuple[Optional[float], Optional[float]]:
+        """``(observed, nominal)`` means over the window; ``None`` if empty."""
+        if not self._outcomes:
+            return None, None
+        n = len(self._outcomes)
+        observed = sum(1 for covered, _ in self._outcomes if covered) / n
+        nominal = sum(level for _, level in self._outcomes) / n
+        return observed, nominal
+
+    def _evaluate_locked(self) -> None:
+        """Apply the hysteresis state machine to the current window."""
+        if len(self._outcomes) < self.min_observations:
+            return
+        observed, nominal = self._coverage_locked()
+        assert observed is not None and nominal is not None
+        if self._state == STATE_OK:
+            if observed < nominal - self.trip_margin:
+                self._state = STATE_ALARMING
+                self._trips += 1
+        elif observed >= nominal - self.clear_margin:
+            self._state = STATE_OK
+
+    @property
+    def state(self) -> str:
+        """Current alarm state (``"ok"`` or ``"alarming"``)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def is_alarming(self) -> bool:
+        """Whether the alarm is currently raised."""
+        return self.state == STATE_ALARMING
+
+    def observed_coverage(self) -> Optional[float]:
+        """Observed coverage lower bound over the window (``None`` if empty)."""
+        with self._lock:
+            return self._coverage_locked()[0]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view for ``/healthz`` and the ``/metrics`` snapshot."""
+        with self._lock:
+            observed, nominal = self._coverage_locked()
+            return {
+                "state": self._state,
+                "observed_coverage": observed,
+                "nominal_coverage": self.nominal if nominal is None else nominal,
+                "window": len(self._outcomes),
+                "window_size": self.window,
+                "min_observations": self.min_observations,
+                "trip_margin": self.trip_margin,
+                "clear_margin": self.clear_margin,
+                "trips": self._trips,
+                "observations_total": self._observed_total,
+            }

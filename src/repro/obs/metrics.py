@@ -1,0 +1,485 @@
+"""Process-wide metrics registry with Prometheus text exposition.
+
+This module is the single home for runtime counters, gauges and histograms
+across the serving layer, the scan scheduler, the result cache and the
+feature store.  It is deliberately stdlib-only so that every subsystem —
+including the multiprocessing scan workers and the ``tools/lint`` static
+checker — can depend on it without pulling in numpy.
+
+Conventions (enforced statically by lint rule R7, ``metric-naming``):
+
+* every metric family is registered exactly once, at module import time,
+  via the process-wide :data:`REGISTRY`;
+* family names match ``repro_<subsystem>_<name>`` (for example
+  ``repro_serve_requests_total`` or ``repro_engine_shard_retries_total``).
+
+Families are label-aware in the style of the official Prometheus clients:
+``family.labels(route="/scan").inc()`` creates (or reuses) a child time
+series keyed by the label values; families declared without label names
+act directly as their single unlabeled child.  All mutation is guarded by
+a per-family lock, so instrumented code may update metrics from any thread
+without coordination.
+
+:func:`MetricsRegistry.render_prometheus` emits the text exposition format
+(``# HELP`` / ``# TYPE`` plus samples; histograms expand to cumulative
+``_bucket``/``_sum``/``_count`` series) and :func:`parse_prometheus_text`
+parses it back — the parser is what the CI smoke and the unit tests use to
+validate that the endpoint output is well-formed.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "parse_prometheus_text",
+]
+
+#: Default histogram bucket upper bounds (seconds) — tuned for request
+#: latencies between a few milliseconds and tens of seconds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Enforced family-name convention: ``repro_<subsystem>_<name>``.
+_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9]*_[a-z][a-z0-9_]*$")
+
+#: Label names must be valid Prometheus label identifiers.
+_LABEL_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+#: One exposition sample line: ``name{labels} value`` (labels optional).
+_SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+
+#: One ``key="value"`` pair inside a sample's label set.
+_LABEL_PAIR_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus clients do."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value for the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string for the text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+class _Family:
+    """Shared machinery for one registered metric family.
+
+    A family owns its name, help string, declared label names and the map
+    of children keyed by label-value tuples.  Subclasses implement the
+    child factory and the exposition of one child's samples.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Tuple[str, ...]) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.label_names = label_names
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _make_child(self) -> object:
+        raise NotImplementedError
+
+    def labels(self, **labels: str) -> object:
+        """Return the child time series for the given label values."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _default_child(self) -> object:
+        """The single unlabeled child (valid only for label-less families)."""
+        if self.label_names:
+            raise ValueError(f"{self.name}: labeled family requires .labels(...)")
+        return self.labels()
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """Snapshot of ``(label_values, child)`` pairs, sorted for output."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _label_str(self, values: Sequence[str], extra: str = "") -> str:
+        """Render ``{k="v",...}`` for one child (empty string when bare)."""
+        pairs = [
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.label_names, values)
+        ]
+        if extra:
+            pairs.append(extra)
+        return "{" + ",".join(pairs) + "}" if pairs else ""
+
+    def samples(self) -> List[str]:
+        """Exposition sample lines for every child of this family."""
+        raise NotImplementedError
+
+
+class _CounterChild:
+    """One monotonically increasing counter time series."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current counter value."""
+        with self._lock:
+            return self._value
+
+
+class Counter(_Family):
+    """A family of monotonically increasing counters."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def labels(self, **labels: str) -> _CounterChild:
+        """Child counter for the given label values."""
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled child (label-less families only)."""
+        self._default_child().inc(amount)  # type: ignore[attr-defined]
+
+    def value(self, **labels: str) -> float:
+        """Current value of one child (the unlabeled child by default)."""
+        child = self.labels(**labels) if labels or self.label_names else self._default_child()
+        return child.value  # type: ignore[attr-defined]
+
+    def samples(self) -> List[str]:
+        """``name{labels} value`` line per child."""
+        return [
+            f"{self.name}{self._label_str(values)} {_format_value(child.value)}"
+            for values, child in self.children()
+        ]
+
+
+class _GaugeChild:
+    """One gauge time series (a value that can go up and down)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Family):
+    """A family of gauges — instantaneous values that move both ways."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def labels(self, **labels: str) -> _GaugeChild:
+        """Child gauge for the given label values."""
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def set(self, value: float) -> None:
+        """Set the unlabeled child (label-less families only)."""
+        self._default_child().set(value)  # type: ignore[attr-defined]
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the unlabeled child (label-less families only)."""
+        self._default_child().inc(amount)  # type: ignore[attr-defined]
+
+    def value(self, **labels: str) -> float:
+        """Current value of one child (the unlabeled child by default)."""
+        child = self.labels(**labels) if labels or self.label_names else self._default_child()
+        return child.value  # type: ignore[attr-defined]
+
+    def samples(self) -> List[str]:
+        """``name{labels} value`` line per child."""
+        return [
+            f"{self.name}{self._label_str(values)} {_format_value(child.value)}"
+            for values, child in self.children()
+        ]
+
+
+class _HistogramChild:
+    """One histogram time series with fixed bucket boundaries."""
+
+    __slots__ = ("_lock", "_buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._buckets = buckets
+        self._counts = [0] * (len(buckets) + 1)  # final slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        slot = len(self._buckets)
+        for i, bound in enumerate(self._buckets):
+            if value <= bound:
+                slot = i
+                break
+        with self._lock:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Tuple[List[int], float, int]:
+        """Return ``(cumulative_bucket_counts, sum, count)`` atomically."""
+        with self._lock:
+            cumulative: List[int] = []
+            running = 0
+            for count in self._counts:
+                running += count
+                cumulative.append(running)
+            return cumulative, self._sum, self._count
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+
+class Histogram(_Family):
+    """A family of fixed-bucket histograms."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        super().__init__(name, help_text, label_names)
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def labels(self, **labels: str) -> _HistogramChild:
+        """Child histogram for the given label values."""
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabeled child (label-less families only)."""
+        self._default_child().observe(value)  # type: ignore[attr-defined]
+
+    def samples(self) -> List[str]:
+        """Cumulative ``_bucket``/``_sum``/``_count`` lines per child."""
+        lines: List[str] = []
+        bounds = [_format_value(b) for b in self.buckets] + ["+Inf"]
+        for values, child in self.children():
+            cumulative, total, count = child.snapshot()  # type: ignore[attr-defined]
+            for bound, cum in zip(bounds, cumulative):
+                extra = f'le="{bound}"'
+                lines.append(
+                    f"{self.name}_bucket{self._label_str(values, extra)} {cum}"
+                )
+            lines.append(f"{self.name}_sum{self._label_str(values)} {_format_value(total)}")
+            lines.append(f"{self.name}_count{self._label_str(values)} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Thread-safe registry of metric families for one process.
+
+    Families are created with :meth:`counter`, :meth:`gauge` and
+    :meth:`histogram`; re-registering an identical family returns the
+    existing object (so ``importlib.reload`` is harmless) while a
+    conflicting redefinition raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, cls: type, name: str, help_text: str, label_names: Tuple[str, ...], **kwargs: object) -> _Family:
+        """Get-or-create one family, validating name and label identifiers."""
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"metric name {name!r} does not match repro_<subsystem>_<name>"
+            )
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} for {name}")
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != label_names:
+                    raise ValueError(f"metric {name!r} re-registered with a different shape")
+                return existing
+            family = cls(name, help_text, label_names, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Counter:
+        """Register (or fetch) a counter family."""
+        return self._register(Counter, name, help_text, tuple(labels))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Gauge:
+        """Register (or fetch) a gauge family."""
+        return self._register(Gauge, name, help_text, tuple(labels))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Register (or fetch) a histogram family with fixed buckets."""
+        return self._register(
+            Histogram, name, help_text, tuple(labels), buckets=tuple(buckets)
+        )  # type: ignore[return-value]
+
+    def families(self) -> List[_Family]:
+        """All registered families, sorted by name."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[_Family]:
+        """Look up a family by name (``None`` when unregistered)."""
+        with self._lock:
+            return self._families.get(name)
+
+    def value(self, name: str, **labels: str) -> float:
+        """Convenience accessor: current value of one counter/gauge child.
+
+        Returns ``0.0`` for families that exist but have no matching child
+        yet, so callers can read counters that have never been hit.
+        """
+        family = self.get(name)
+        if family is None:
+            raise KeyError(name)
+        try:
+            return family.value(**labels)  # type: ignore[attr-defined]
+        except AttributeError:
+            raise TypeError(f"{name} is a {family.kind}; read its children directly")
+
+    def render_prometheus(self) -> str:
+        """Render every family in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {_escape_help(family.help_text)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            lines.extend(family.samples())
+        return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse text-exposition output into ``{(name, labels): value}``.
+
+    ``labels`` is a sorted tuple of ``(key, value)`` pairs.  Raises
+    ``ValueError`` on any line that is neither a comment nor a well-formed
+    sample — this is the validation the CI smoke relies on.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"malformed exposition line: {raw!r}")
+        name, label_blob, value_text = match.groups()
+        labels: List[Tuple[str, str]] = []
+        if label_blob:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(label_blob):
+                labels.append((pair.group(1), pair.group(2)))
+                consumed = pair.end()
+            remainder = label_blob[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(f"malformed label set in line: {raw!r}")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            try:
+                value = float(value_text)
+            except ValueError as exc:
+                raise ValueError(f"malformed sample value in line: {raw!r}") from exc
+        samples[(name, tuple(sorted(labels)))] = value
+    return samples
+
+
+#: The process-wide default registry every subsystem registers into.
+REGISTRY = MetricsRegistry()

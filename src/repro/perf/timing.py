@@ -6,22 +6,28 @@ results as ``BENCH_*.json`` files, so the repository carries an auditable
 perf trajectory from PR to PR (see ``docs/PERFORMANCE.md``).
 
 The measurement strategy is the usual micro-benchmark discipline: a warmup
-call to populate caches/allocator pools, then ``repeats`` timed calls with
-``time.perf_counter``, reporting best/mean/std.  ``best_s`` is the headline
-number — the minimum is the least noisy estimator of the achievable time on
-a busy machine — and speedups are always computed best-vs-best.
+call to populate caches/allocator pools, then ``repeats`` timed calls,
+reporting best/mean/std.  ``best_s`` is the headline number — the minimum
+is the least noisy estimator of the achievable time on a busy machine —
+and speedups are always computed best-vs-best.
+
+Each timed call is measured through :func:`repro.obs.tracing.trace_span`
+(with no tracer attached), the one timing pathway shared with profiling
+and tracing — so benchmark numbers, ``scan --profile`` stage seconds and
+trace span durations are all the same ``perf_counter`` measurement.
 """
 
 from __future__ import annotations
 
 import json
 import platform
-import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
+
+from ..obs.tracing import trace_span
 
 #: Schema version stamped into every BENCH_*.json artefact.
 BENCH_SCHEMA_VERSION = 1
@@ -58,9 +64,9 @@ def time_callable(
         fn()
     samples = np.empty(repeats)
     for i in range(repeats):
-        start = time.perf_counter()
-        fn()
-        samples[i] = time.perf_counter() - start
+        with trace_span(None, name or "bench") as span:
+            fn()
+        samples[i] = span.duration_s
     return TimingResult(
         name=name or getattr(fn, "__name__", "callable"),
         best_s=float(samples.min()),

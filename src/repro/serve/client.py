@@ -157,6 +157,38 @@ class ScanServiceClient:
         """``GET /metrics``: the service's counters/percentiles snapshot."""
         return self._request("GET", "/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics?format=prometheus``: the text exposition, raw.
+
+        Kept out of :meth:`_request` on purpose — that path JSON-decodes
+        every response, while the Prometheus exposition is plain text
+        (parse it with :func:`repro.obs.metrics.parse_prometheus_text`).
+        """
+        conn = self._connection()
+        try:
+            conn.request(
+                "GET", "/metrics?format=prometheus", headers={"Accept": "text/plain"}
+            )
+            response = conn.getresponse()
+            raw = response.read()
+        except socket.timeout:
+            self.close()
+            raise ScanServiceError(
+                f"GET /metrics?format=prometheus timed out after {self.timeout}s"
+            )
+        except (http.client.HTTPException, ConnectionError) as exc:
+            self.close()
+            raise ScanServiceError(
+                f"GET /metrics?format=prometheus failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        if response.status != 200:
+            raise ScanServiceError(
+                f"GET /metrics?format=prometheus -> HTTP {response.status}",
+                status=response.status,
+            )
+        return raw.decode("utf-8")
+
     def reload(self, model: Optional[str] = None) -> Dict[str, Any]:
         """``POST /reload``: force hot-reload checks (all models or one)."""
         payload: Dict[str, Any] = {}

@@ -100,6 +100,26 @@ class ParsedRequest:
     body: bytes
 
 
+#: Content type of the Prometheus text exposition format (the default
+#: :class:`RawResponse` content type, since that is its one producer).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass
+class RawResponse:
+    """A pre-encoded response body with an explicit content type.
+
+    The service layer normally answers with JSON-serialisable dicts; a
+    handler that must speak another wire format (the Prometheus text
+    exposition behind ``GET /metrics?format=prometheus``) wraps its
+    encoded bytes in one of these and both front-ends pass them through
+    verbatim instead of JSON-encoding.
+    """
+
+    body: bytes
+    content_type: str = PROMETHEUS_CONTENT_TYPE
+
+
 class _Connection:
     """Per-socket state machine: buffers, parse phase, in-flight marker."""
 
@@ -592,7 +612,7 @@ class EventLoopFrontend:
         """
         fired = threading.Event()
 
-        def respond(status: int, payload: Dict[str, Any]) -> None:
+        def respond(status: int, payload: Any) -> None:
             """Queue the response for ``conn`` (thread-safe, once only)."""
             if fired.is_set():
                 logger.error("duplicate respond() for %s %s", conn.method, conn.path)
@@ -619,7 +639,7 @@ class EventLoopFrontend:
             self._apply_response(conn, status, payload)
 
     def _apply_response(
-        self, conn: _Connection, status: int, payload: Dict[str, Any]
+        self, conn: _Connection, status: int, payload: Any
     ) -> None:
         """Serialise + queue one response, then resume the paused parser."""
         if conn.closed:
@@ -640,17 +660,27 @@ class EventLoopFrontend:
         self,
         conn: _Connection,
         status: int,
-        payload: Dict[str, Any],
+        payload: Any,
         keep_alive: bool = True,
     ) -> None:
-        """Append one fully-framed JSON response to the out-buffer."""
-        body = (
-            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
-        ).encode("utf-8")
+        """Append one fully-framed response to the out-buffer.
+
+        ``payload`` is a JSON-serialisable dict (the normal case) or a
+        :class:`RawResponse` carrying pre-encoded bytes and their content
+        type.
+        """
+        if isinstance(payload, RawResponse):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = (
+                json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+            ).encode("utf-8")
+            content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"

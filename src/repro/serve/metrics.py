@@ -8,6 +8,13 @@ a forward pass.  :class:`ServiceMetrics` collects all of it under one lock
 with O(1) updates; latency percentiles come from a bounded ring buffer of
 recent observations so the snapshot cost stays flat no matter how long the
 server has been up.
+
+Every mutator also mirrors its increment into the process-wide
+:data:`repro.obs.metrics.REGISTRY` families declared below, which back the
+Prometheus exposition at ``GET /metrics?format=prometheus``.  The JSON
+snapshot stays per-:class:`ServiceMetrics` instance (its schema is frozen
+for existing clients), while the registry aggregates across every service
+instance in the process — standard Prometheus semantics.
 """
 
 from __future__ import annotations
@@ -16,8 +23,72 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from ..obs.metrics import REGISTRY
+
 #: How many recent request latencies the percentile window keeps.
 DEFAULT_LATENCY_WINDOW = 2048
+
+# Prometheus families mirrored by ServiceMetrics (registered once, at
+# import time — lint rule R7 enforces the single registration site).
+_REQUESTS = REGISTRY.counter(
+    "repro_serve_requests_total", "HTTP requests received, by route.", labels=("route",)
+)
+_HTTP_ERRORS = REGISTRY.counter(
+    "repro_serve_http_errors_total", "HTTP requests answered with an error status."
+)
+_SCAN_REQUESTS = REGISTRY.counter(
+    "repro_serve_scan_requests_total", "Completed POST /scan requests."
+)
+_DESIGNS = REGISTRY.counter(
+    "repro_serve_designs_total", "Designs scanned across all requests."
+)
+_CACHE_HITS = REGISTRY.counter(
+    "repro_serve_cache_hits_total", "Designs served from the result cache."
+)
+_FEATURE_HITS = REGISTRY.counter(
+    "repro_serve_feature_hits_total",
+    "Designs that skipped extraction via the feature store.",
+)
+_DESIGN_ERRORS = REGISTRY.counter(
+    "repro_serve_design_errors_total", "Designs that failed to scan."
+)
+_BATCHES = REGISTRY.counter(
+    "repro_serve_batches_total", "Micro-batches flushed by the batch workers."
+)
+_BATCHED_DESIGNS = REGISTRY.counter(
+    "repro_serve_batched_designs_total", "Designs carried by flushed micro-batches."
+)
+_RELOADS = REGISTRY.counter(
+    "repro_serve_reloads_total", "Model artifact hot reloads (automatic or forced)."
+)
+_MODEL_SCANS = REGISTRY.counter(
+    "repro_serve_model_scans_total",
+    "Scan requests routed to each registered model.",
+    labels=("model",),
+)
+_MODEL_DESIGNS = REGISTRY.counter(
+    "repro_serve_model_designs_total",
+    "Designs scanned by each registered model.",
+    labels=("model",),
+)
+_SHADOW_SCANS = REGISTRY.counter(
+    "repro_serve_shadow_scans_total", "Challenger shadow scans."
+)
+_SHADOW_DESIGNS = REGISTRY.counter(
+    "repro_serve_shadow_designs_total", "Designs mirrored to shadow challengers."
+)
+_PROMOTIONS = REGISTRY.counter(
+    "repro_serve_promotions_total", "Champion promotions (any trigger)."
+)
+_FORCED_PROMOTIONS = REGISTRY.counter(
+    "repro_serve_forced_promotions_total", "Champion promotions forced via POST /promote."
+)
+_LATENCY = REGISTRY.histogram(
+    "repro_serve_scan_latency_seconds", "End-to-end POST /scan latency."
+)
+_UPTIME = REGISTRY.gauge(
+    "repro_serve_uptime_seconds", "Seconds since the service started."
+)
 
 
 class LatencyWindow:
@@ -112,6 +183,9 @@ class ServiceMetrics:
             self.requests_by_route[route] = self.requests_by_route.get(route, 0) + 1
             if error:
                 self.http_errors += 1
+        _REQUESTS.labels(route=route).inc()
+        if error:
+            _HTTP_ERRORS.inc()
 
     def observe_scan(
         self,
@@ -138,6 +212,14 @@ class ServiceMetrics:
                 self.designs_by_model[model] = (
                     self.designs_by_model.get(model, 0) + n_designs
                 )
+        _SCAN_REQUESTS.inc()
+        _DESIGNS.inc(n_designs)
+        _CACHE_HITS.inc(n_cache_hits)
+        _DESIGN_ERRORS.inc(n_errors)
+        _LATENCY.observe(seconds)
+        if model is not None:
+            _MODEL_SCANS.labels(model=model).inc()
+            _MODEL_DESIGNS.labels(model=model).inc(n_designs)
 
     def observe_batch(self, n_requests: int, n_designs: int) -> None:
         """Record one micro-batch flush (its request and design counts)."""
@@ -145,6 +227,8 @@ class ServiceMetrics:
             self.batches_total += 1
             self.batched_designs_total += n_designs
             self.max_batch_designs = max(self.max_batch_designs, n_designs)
+        _BATCHES.inc()
+        _BATCHED_DESIGNS.inc(n_designs)
 
     def observe_feature_hits(self, n_hits: int) -> None:
         """Count designs served from the model-independent feature tier.
@@ -156,17 +240,21 @@ class ServiceMetrics:
         """
         with self._lock:
             self.feature_hits += n_hits
+        _FEATURE_HITS.inc(n_hits)
 
     def observe_reload(self) -> None:
         """Count one model hot-reload (automatic or via ``POST /reload``)."""
         with self._lock:
             self.reloads += 1
+        _RELOADS.inc()
 
     def observe_shadow(self, n_designs: int) -> None:
         """Count one challenger shadow scan (champion–challenger rollout)."""
         with self._lock:
             self.shadow_scans += 1
             self.shadow_designs += n_designs
+        _SHADOW_SCANS.inc()
+        _SHADOW_DESIGNS.inc(n_designs)
 
     def observe_promotion(self, forced: bool = False) -> None:
         """Count one champion promotion (``forced`` for ``POST /promote``)."""
@@ -174,8 +262,15 @@ class ServiceMetrics:
             self.promotions += 1
             if forced:
                 self.forced_promotions += 1
+        _PROMOTIONS.inc()
+        if forced:
+            _FORCED_PROMOTIONS.inc()
 
     # -- reading -------------------------------------------------------------
+    def sync_exposition(self) -> None:
+        """Refresh point-in-time gauges before a Prometheus render."""
+        _UPTIME.set(self.uptime_seconds())
+
     def uptime_seconds(self) -> float:
         """Seconds since this service started (no lock, no snapshot cost)."""
         return time.monotonic() - self._started_monotonic

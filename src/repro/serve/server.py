@@ -14,10 +14,15 @@ endpoints:
     model (default: the current champion); returns per-design triage
     records identical to a ``python -m repro scan`` run of that model.
 ``GET /healthz``
-    Liveness + every resident model's fingerprint and the champion.
+    Liveness + every resident model's fingerprint and the champion;
+    ``status`` degrades to ``"degraded"`` while any model's conformal
+    coverage-drift alarm is raised (see :mod:`repro.obs.drift`).
 ``GET /metrics``
     Request counts (total and per model), micro-batch sizes, latency
-    percentiles, cache hit rate, rollout status.
+    percentiles, cache hit rate, rollout status and per-model coverage
+    drift — JSON by default; ``?format=prometheus`` (or an ``Accept``
+    header asking for ``text/plain``) selects the Prometheus text
+    exposition rendered from :data:`repro.obs.metrics.REGISTRY`.
 ``POST /reload``
     Force a hot-reload check for all models (or one, via ``{"model":
     ...}``) — recalibration without downtime.
@@ -44,6 +49,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import socket
 import threading
 import time
@@ -52,8 +58,19 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from .. import __version__
+from ..engine import scheduler as _scheduler  # noqa: F401 - registers repro_engine_* metric families
 from ..engine.scan import ScanReport, ScanSource, collect_sources
 from ..features.image import DEFAULT_IMAGE_SIZE
+from ..obs.drift import (
+    DEFAULT_CLEAR_MARGIN,
+    DEFAULT_MIN_OBSERVATIONS,
+    DEFAULT_TRIP_MARGIN,
+    DEFAULT_WINDOW,
+    STATE_ALARMING,
+    CoverageDriftMonitor,
+)
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import Tracer, trace_span
 from .batching import (
     DEFAULT_BATCH_WINDOW_S,
     DEFAULT_MAX_BATCH,
@@ -67,6 +84,7 @@ from .eventloop import (
     DEFAULT_REQUEST_TIMEOUT_S,
     EventLoopFrontend,
     ParsedRequest,
+    RawResponse,
 )
 from .metrics import ServiceMetrics
 from .registry import ModelRegistry
@@ -96,6 +114,25 @@ DEFAULT_MODEL_NAME = "default"
 #: (per-tenant routing without touching the JSON body).
 MODEL_HEADER = "x-repro-model"
 
+# Coverage-drift gauges behind the Prometheus exposition: the observed
+# coverage lower bound, the nominal target, and the hysteresis alarm
+# state (1 = alarming) — one child per served model.
+_COVERAGE_OBSERVED = REGISTRY.gauge(
+    "repro_serve_coverage_observed",
+    "Observed conformal-coverage lower bound per model (sliding window).",
+    labels=("model",),
+)
+_COVERAGE_NOMINAL = REGISTRY.gauge(
+    "repro_serve_coverage_nominal",
+    "Nominal conformal-coverage target per model (window mean).",
+    labels=("model",),
+)
+_COVERAGE_ALARM = REGISTRY.gauge(
+    "repro_serve_coverage_alarm",
+    "1 while the model's coverage-drift alarm is raised, else 0.",
+    labels=("model",),
+)
+
 
 class RequestError(ValueError):
     """A client-side problem with a request (maps to HTTP 400)."""
@@ -110,6 +147,25 @@ def _json_bytes(payload: Dict[str, Any]) -> bytes:
     return (
         json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
     ).encode("utf-8")
+
+
+def _wants_prometheus(path: str, headers: Mapping[str, str]) -> bool:
+    """Content negotiation for ``GET /metrics``.
+
+    An explicit ``?format=`` query parameter wins outright
+    (``prometheus``/``openmetrics``/``text`` select the text exposition,
+    anything else selects JSON); without one, an ``Accept`` header
+    mentioning ``text/plain`` or ``openmetrics`` (what Prometheus
+    scrapers send) selects the text exposition.  The default stays JSON
+    so existing clients never change behaviour.
+    """
+    query = path.partition("?")[2]
+    for part in query.split("&"):
+        key, _, value = part.partition("=")
+        if key == "format":
+            return value.lower() in ("prometheus", "openmetrics", "text")
+    accept = (headers.get("accept") or "").lower()
+    return "text/plain" in accept or "openmetrics" in accept
 
 
 def parse_scan_payload(
@@ -251,6 +307,18 @@ class ScanService:
         Inference compute backend for every forward pass the service runs
         (``numpy`` golden float64, ``fused_f32``, ``int8``); reported by
         ``GET /metrics`` as ``backend`` / ``backend_dtype``.
+    trace_dir:
+        When set, the service records structured spans (batch execution
+        plus every engine pipeline stage) and appends them as JSONL to
+        ``<trace_dir>/serve-<pid>.jsonl`` after each batch's responses
+        went out (see :mod:`repro.obs.tracing`).
+    drift_window / drift_min_observations / drift_trip_margin /
+    drift_clear_margin:
+        Per-model conformal coverage-drift monitoring knobs, passed to
+        :class:`repro.obs.drift.CoverageDriftMonitor`.  The alarm state
+        is surfaced by ``GET /healthz`` (``status: "degraded"``) and the
+        coverage gauges of the Prometheus exposition; a hot reload with a
+        fresh fingerprint resets the affected model's window.
     """
 
     def __init__(
@@ -277,6 +345,11 @@ class ScanService:
         frontend: str = "eventloop",
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
         idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+        trace_dir: Optional[Union[str, Path]] = None,
+        drift_window: int = DEFAULT_WINDOW,
+        drift_min_observations: int = DEFAULT_MIN_OBSERVATIONS,
+        drift_trip_margin: float = DEFAULT_TRIP_MARGIN,
+        drift_clear_margin: float = DEFAULT_CLEAR_MARGIN,
     ) -> None:
         if (artifact is None) == (artifacts is None):
             raise ValueError("provide exactly one of 'artifact' or 'artifacts'")
@@ -303,11 +376,29 @@ class ScanService:
         # and keep each fingerprint in a lane attribute the per-request
         # path can read without a registry lookup (updated on hot reload).
         self._lanes: Dict[str, _ModelLane] = {}
+        self._drift: Dict[str, CoverageDriftMonitor] = {}
         for name, path in artifacts.items():
             if not isinstance(name, str) or not name:
                 raise ValueError(f"model names must be non-empty strings: {name!r}")
             entry = self.registry.get(Path(path))
             self._lanes[name] = _ModelLane(name, Path(path), entry.fingerprint)
+            # One coverage monitor per model, anchored at the model's own
+            # default confidence level; per-batch levels override it.
+            self._drift[name] = CoverageDriftMonitor(
+                float(entry.engine.model.config.confidence_level),
+                window=drift_window,
+                min_observations=drift_min_observations,
+                trip_margin=drift_trip_margin,
+                clear_margin=drift_clear_margin,
+            )
+        self._tracer: Optional[Tracer] = None
+        if trace_dir is not None:
+            trace_root = Path(trace_dir)
+            trace_root.mkdir(parents=True, exist_ok=True)
+            self._tracer = Tracer(
+                trace_id=f"serve-{os.getpid()}",
+                jsonl_path=trace_root / f"serve-{os.getpid()}.jsonl",
+            )
         self._champion = default_model or next(iter(self._lanes))
         if self._champion not in self._lanes:
             raise ValueError(f"default model {self._champion!r} is not registered")
@@ -430,14 +521,24 @@ class ScanService:
         if reloaded:
             self.metrics.observe_reload()
             lane.fingerprint = entry.fingerprint
+            # Fresh calibration: the old coverage window measured the
+            # previous artifact, so the drift monitor starts over.
+            self._reset_drift(lane.name)
             logger.info(
                 "hot-reloaded model %s: fingerprint %s",
                 lane.name,
                 entry.fingerprint[:12],
             )
-        report = entry.engine.scan_sources(
-            sources, workers=self.workers, confidence=confidence, flush_cache=False
-        )
+        with trace_span(
+            self._tracer, "serve/batch", model=lane.name, designs=len(sources)
+        ):
+            report = entry.engine.scan_sources(
+                sources,
+                workers=self.workers,
+                confidence=confidence,
+                flush_cache=False,
+                tracer=self._tracer,
+            )
         if report.n_feature_hits:
             self.metrics.observe_feature_hits(report.n_feature_hits)
         # Stamp which model produced these records; the response reports
@@ -461,6 +562,71 @@ class ScanService:
                 entry.engine.cache.flush()
             if self.registry.feature_store is not None:
                 self.registry.feature_store.flush()
+        if self._tracer is not None:
+            self._tracer.flush()
+
+    # -- coverage drift ------------------------------------------------------
+    def _observe_drift(self, model: str, result: BatchResult) -> None:
+        """Feed one scan result's verdicts to the model's coverage monitor.
+
+        Updates the Prometheus coverage gauges afterwards and logs every
+        alarm transition — the tripped state itself lives in the monitor
+        and surfaces through ``/healthz`` and ``/metrics``.
+        """
+        monitor = self._drift.get(model)
+        if monitor is None:
+            return
+        transition = monitor.observe_verdicts(
+            (record.verdict for record in result.records),
+            nominal=result.confidence_level,
+        )
+        snap = monitor.snapshot()
+        if snap["observed_coverage"] is not None:
+            _COVERAGE_OBSERVED.labels(model=model).set(snap["observed_coverage"])
+        _COVERAGE_NOMINAL.labels(model=model).set(snap["nominal_coverage"])
+        _COVERAGE_ALARM.labels(model=model).set(
+            1.0 if snap["state"] == STATE_ALARMING else 0.0
+        )
+        if transition == STATE_ALARMING:
+            logger.warning(
+                "coverage drift alarm raised for model %s: observed %.3f "
+                "below nominal %.3f (window %d); recalibrate and POST /reload",
+                model,
+                snap["observed_coverage"],
+                snap["nominal_coverage"],
+                snap["window"],
+            )
+        elif transition is not None:
+            logger.info("coverage drift alarm cleared for model %s", model)
+
+    def _reset_drift(self, model: str) -> None:
+        """Restart a model's coverage window (after a real hot reload)."""
+        monitor = self._drift.get(model)
+        if monitor is None:
+            return
+        monitor.reset()
+        _COVERAGE_ALARM.labels(model=model).set(0.0)
+
+    def drift_snapshot(self) -> Dict[str, Any]:
+        """Per-model drift monitor snapshots (``/healthz`` + ``/metrics``)."""
+        return {name: monitor.snapshot() for name, monitor in self._drift.items()}
+
+    def render_prometheus(self) -> bytes:
+        """The Prometheus text exposition behind ``GET /metrics``.
+
+        Point-in-time gauges (uptime, coverage) are refreshed first; the
+        counters were already mirrored into the registry as they happened.
+        """
+        self.metrics.sync_exposition()
+        for name, monitor in self._drift.items():
+            snap = monitor.snapshot()
+            if snap["observed_coverage"] is not None:
+                _COVERAGE_OBSERVED.labels(model=name).set(snap["observed_coverage"])
+            _COVERAGE_NOMINAL.labels(model=name).set(snap["nominal_coverage"])
+            _COVERAGE_ALARM.labels(model=name).set(
+                1.0 if snap["state"] == STATE_ALARMING else 0.0
+            )
+        return REGISTRY.render_prometheus().encode("utf-8")
 
     # -- routing -------------------------------------------------------------
     def _route(self, payload: Any, header_model: Optional[str]) -> str:
@@ -513,13 +679,19 @@ class ScanService:
         sources, confidence = parse_scan_payload(payload, allow_paths=self.allow_paths)
         t_start = time.perf_counter()
         result = self._lanes[name].batcher.submit(sources, confidence=confidence)
+        seconds = time.perf_counter() - t_start
         self.metrics.observe_scan(
             n_designs=len(sources),
             n_cache_hits=result.n_cache_hits,
             n_errors=result.n_errors,
-            seconds=time.perf_counter() - t_start,
+            seconds=seconds,
             model=name,
         )
+        self._observe_drift(name, result)
+        if self._tracer is not None:
+            self._tracer.record(
+                "serve/scan", seconds, model=name, designs=len(sources)
+            )
         self._maybe_shadow(name, sources, confidence, result)
         return self._scan_response(name, sources, result)
 
@@ -547,13 +719,19 @@ class ScanService:
                 self.metrics.observe_request("/scan", error=True)
                 respond(500, {"error": error or "scan failed"})
                 return
+            seconds = time.perf_counter() - t_start
             self.metrics.observe_scan(
                 n_designs=len(sources),
                 n_cache_hits=result.n_cache_hits,
                 n_errors=result.n_errors,
-                seconds=time.perf_counter() - t_start,
+                seconds=seconds,
                 model=name,
             )
+            self._observe_drift(name, result)
+            if self._tracer is not None:
+                self._tracer.record(
+                    "serve/scan", seconds, model=name, designs=len(sources)
+                )
             self._maybe_shadow(name, sources, confidence, result)
             self.metrics.observe_request("/scan")
             respond(200, self._scan_response(name, sources, result))
@@ -639,14 +817,26 @@ class ScanService:
 
     # -- operational endpoints ----------------------------------------------
     def handle_healthz(self) -> Dict[str, Any]:
-        """Serve ``GET /healthz``: liveness, version, every resident model."""
+        """Serve ``GET /healthz``: liveness, version, every resident model.
+
+        A raised coverage-drift alarm degrades the status (``"degraded"``)
+        without failing the endpoint: the service still answers scans, but
+        the named models' conformal guarantees look stale and an operator
+        should recalibrate (the ``drift`` entry carries the evidence).
+        """
         champion = self.champion
         models = {
             name: self.registry.get(lane.path).describe()
             for name, lane in self._lanes.items()
         }
+        drift = self.drift_snapshot()
+        alarming = sorted(
+            name for name, snap in drift.items() if snap["state"] == STATE_ALARMING
+        )
         return {
-            "status": "ok",
+            "status": "degraded" if alarming else "ok",
+            "drift": drift,
+            "drift_alarms": alarming,
             "version": __version__,
             "model": models[champion],
             "champion": champion,
@@ -668,6 +858,9 @@ class ScanService:
         runs in), ``frontend``, ``champion``, and — when a rollout is
         active — the full ``rollout`` status (state, agreement rate,
         disagreement sample) an operator needs to judge a challenger.
+        ``drift`` carries each model's coverage-monitor snapshot and
+        ``scheduler`` the process-wide shard retry/worker-death counters
+        (only nonzero when scheduler scans ran in this process).
         """
         from ..nn.backend import get_backend
 
@@ -679,6 +872,12 @@ class ScanService:
         snapshot["rollout"] = (
             self._rollout.snapshot() if self._rollout is not None else None
         )
+        snapshot["drift"] = self.drift_snapshot()
+        snapshot["scheduler"] = {
+            "shard_retries": REGISTRY.value("repro_engine_shard_retries_total"),
+            "worker_deaths": REGISTRY.value("repro_engine_worker_deaths_total"),
+            "shard_failures": REGISTRY.value("repro_engine_shard_failures_total"),
+        }
         return snapshot
 
     def handle_reload(self, model: Optional[str] = None) -> Dict[str, Any]:
@@ -701,6 +900,7 @@ class ScanService:
             if reloaded:
                 self.metrics.observe_reload()
                 lane.fingerprint = entry.fingerprint
+                self._reset_drift(name)
                 logger.info(
                     "reloaded model %s on request: %s", name, entry.fingerprint[:12]
                 )
@@ -736,7 +936,10 @@ class ScanService:
                     respond(200, self.handle_healthz())
                 elif route == "/metrics":
                     self.metrics.observe_request(route)
-                    respond(200, self.handle_metrics())
+                    if _wants_prometheus(request.path, request.headers):
+                        respond(200, RawResponse(body=self.render_prometheus()))
+                    else:
+                        respond(200, self.handle_metrics())
                 else:
                     self.metrics.observe_request(route, error=True)
                     respond(404, {"error": f"unknown route: GET {route}"})
@@ -840,6 +1043,8 @@ class ScanService:
                     "batch worker did not drain in time; "
                     "skipping shutdown cache flush"
                 )
+            if self._tracer is not None:
+                self._tracer.flush()  # the last batch's spans hit disk
             # The loop keeps running through the drain above, writing out
             # each completed response; now flush what is left and stop.
             self._loop.shutdown(grace_s=2.0)
@@ -859,6 +1064,8 @@ class ScanService:
             logger.warning(
                 "batch worker did not drain in time; skipping shutdown cache flush"
             )
+        if self._tracer is not None:
+            self._tracer.flush()  # the last batch's spans hit disk
         # Grace period for handlers to finish writing in-flight responses,
         # then force-close whatever is left (idle keep-alive connections
         # parked in their read timeout would otherwise pin the join).
@@ -1071,6 +1278,14 @@ class _ScanRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_raw(self, status: int, raw: RawResponse) -> None:
+        """Write one pre-encoded response (the Prometheus exposition)."""
+        self.send_response(status)
+        self.send_header("Content-Type", raw.content_type)
+        self.send_header("Content-Length", str(len(raw.body)))
+        self.end_headers()
+        self.wfile.write(raw.body)
+
     def _respond_error(self, status: int, message: str) -> None:
         self._respond(status, {"error": message})
 
@@ -1106,7 +1321,10 @@ class _ScanRequestHandler(BaseHTTPRequestHandler):
             self._respond(200, service.handle_healthz())
         elif route == "/metrics":
             service.metrics.observe_request(route)
-            self._respond(200, service.handle_metrics())
+            if _wants_prometheus(self.path, self.headers):
+                self._respond_raw(200, RawResponse(body=service.render_prometheus()))
+            else:
+                self._respond(200, service.handle_metrics())
         else:
             service.metrics.observe_request(route, error=True)
             self._respond_error(404, f"unknown route: GET {route}")

@@ -1,0 +1,20 @@
+"""Known-bad R7 fixture: sloppy metric-family registrations.
+
+Expected: exactly three R7 findings — one computed (non-literal) name,
+one malformed name, and one duplicate registration site.
+"""
+
+from ..obs.metrics import REGISTRY
+
+_PREFIX = "repro_serve_"
+
+#: R7: computed name dodges the static uniqueness check.
+_DYNAMIC = REGISTRY.counter(_PREFIX + "dynamic_total", "Computed family name.")
+
+#: R7: name does not match repro_<subsystem>_<name>.
+_CAMEL = REGISTRY.gauge("reproServeQueueDepth", "Malformed family name.")
+
+_FIRST = REGISTRY.counter("repro_serve_twice_total", "The owning site.")
+
+#: R7: second registration of an already-owned family.
+_SECOND = REGISTRY.counter("repro_serve_twice_total", "A second site.")

@@ -1,0 +1,24 @@
+"""Known-good R7 twin: disciplined metric-family registrations.
+
+Literal names, `repro_<subsystem>_<name>` shape, one site per family.
+A locally-constructed registry (what unit tests use) is deliberately
+out of scope for the rule and may name things however it likes.
+"""
+
+from ..obs.metrics import REGISTRY, MetricsRegistry
+
+_SCANS = REGISTRY.counter(
+    "repro_serve_fixture_scans_total",
+    "Completed fixture scans.",
+    labels=("model",),
+)
+_QUEUE = REGISTRY.gauge(
+    "repro_serve_fixture_queue_depth", "Designs waiting in the fixture queue."
+)
+_LATENCY = REGISTRY.histogram(
+    "repro_serve_fixture_latency_seconds", "Fixture request latency."
+)
+
+#: Private registries are not checked (documented R7 blind spot).
+_PRIVATE = MetricsRegistry()
+_FREEFORM = _PRIVATE.counter("anything_goes", "Not the process-wide registry.")

@@ -368,6 +368,85 @@ class TestFeatureCacheCli:
         assert "6 feature hits" in capsys.readouterr().out
 
 
+class TestScanTrace:
+    """``scan --trace FILE``: the JSONL spans reconstruct the pipeline tree."""
+
+    @staticmethod
+    def _load_spans(path):
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    @staticmethod
+    def _assert_is_one_tree(spans):
+        """Every span shares the trace id and parents onto a known span."""
+        assert all(span["trace_id"] == "scan" for span in spans)
+        ids = {span["span_id"] for span in spans}
+        assert len(ids) == len(spans)  # unique, even across worker processes
+        roots = [span for span in spans if span["parent_id"] is None]
+        assert [root["name"] for root in roots] == ["scan"]
+        for span in spans:
+            if span["parent_id"] is not None:
+                assert span["parent_id"] in ids
+        return roots[0]
+
+    def test_trace_reconstructs_single_process_pipeline(
+        self, artifact, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "scan",
+                "--artifact", str(artifact),
+                "--generate", "3",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        assert f"wrote trace: {trace}" in capsys.readouterr().out
+        spans = self._load_spans(trace)
+        root = self._assert_is_one_tree(spans)
+        assert root["attrs"]["designs"] == 3
+        names = {span["name"] for span in spans}
+        for stage in (
+            "scan/collect",
+            "scan/cache_lookup",
+            "scan/extract",
+            "scan/infer",
+            "scan/fuse",
+            "scan/cache_flush",
+        ):
+            assert stage in names
+        # Stage spans hang off the "scan" root (directly or transitively).
+        by_id = {span["span_id"]: span for span in spans}
+        for span in spans:
+            walk = span
+            while walk["parent_id"] is not None:
+                walk = by_id[walk["parent_id"]]
+            assert walk["name"] == "scan"
+
+    def test_trace_merges_scheduler_worker_spans(self, artifact, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "scan",
+                "--artifact", str(artifact),
+                "--generate", "4",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--jobs", "2",
+                "--shard-size", "2",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        spans = self._load_spans(trace)
+        self._assert_is_one_tree(spans)
+        names = [span["name"] for span in spans]
+        assert "scheduler/scan" in names
+        assert names.count("scheduler/shard") == 2  # one per shard
+        # The worker-side stage spans were adopted into the merged trace.
+        assert "scan/extract" in names
+
+
 class TestProfileAndCacheInfo:
     def test_scan_profile_prints_stage_breakdown(self, artifact, tmp_path, capsys):
         code = main(

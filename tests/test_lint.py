@@ -44,6 +44,7 @@ CASES = {
     "r4_determinism": ("src/repro/engine/scheduler.py", "R4", 3),
     "r5_exceptions": ("src/repro/serve/handlers.py", "R5", 3),
     "r6_forksafety": ("src/repro/engine/workers.py", "R6", 2),
+    "r7_metricnames": ("src/repro/serve/custom_metrics.py", "R7", 3),
 }
 
 
@@ -174,7 +175,7 @@ def test_json_output_schema(tmp_path):
     assert payload["n_findings"] == payload["n_unwaived"] == 3
     assert payload["n_waived"] == 0 and payload["unused_waivers"] == []
     assert {rule["id"] for rule in payload["rules"]} == {
-        "R1", "R2", "R3", "R4", "R5", "R6",
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7",
     }
     for finding in payload["findings"]:
         assert set(finding) == {
@@ -190,9 +191,17 @@ def test_missing_path_is_a_usage_error():
 
 
 def test_rule_catalogue_is_complete():
-    """Six registered rules, R1..R6, each with a description."""
+    """Seven registered rules, R1..R7, each with a description."""
     rules = all_rules()
-    assert [rule.rule_id for rule in rules] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+    assert [rule.rule_id for rule in rules] == [
+        "R1",
+        "R2",
+        "R3",
+        "R4",
+        "R5",
+        "R6",
+        "R7",
+    ]
     assert all(rule.name and rule.description for rule in rules)
 
 

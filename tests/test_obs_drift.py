@@ -1,0 +1,192 @@
+"""Unit tests for conformal coverage-drift monitoring (``repro.obs.drift``).
+
+The e2e loop — a served model with deliberately stale calibration tripping
+the alarm, then clearing after recalibrate + ``POST /reload`` — lives in
+``tests/test_serve_http.py``; here we pin down the window math and the
+hysteresis state machine in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformal.metrics import coverage_outcomes
+from repro.conformal.regions import PredictionRegion
+from repro.obs.drift import (
+    STATE_ALARMING,
+    STATE_OK,
+    VERDICT_ANOMALOUS,
+    CoverageDriftMonitor,
+    outcome_from_verdict,
+)
+
+
+def monitor(**overrides):
+    """A small, fast-tripping monitor for the tests."""
+    kwargs = dict(
+        nominal=0.9, window=20, min_observations=10, trip_margin=0.15, clear_margin=0.05
+    )
+    kwargs.update(overrides)
+    return CoverageDriftMonitor(**kwargs)
+
+
+# -- outcome mapping ---------------------------------------------------------
+
+
+def test_outcome_from_verdict():
+    """Anomalous = guaranteed miss; error = no information; rest covered."""
+    assert outcome_from_verdict(VERDICT_ANOMALOUS) is False
+    assert outcome_from_verdict("error") is None
+    assert outcome_from_verdict("trojan-infected") is True
+    assert outcome_from_verdict("trojan-free") is True
+    assert outcome_from_verdict("uncertain (both labels fit)") is True
+
+
+def test_coverage_outcomes_without_labels_is_nonempty_bound():
+    """Serve-time form: non-empty regions count as (potentially) covered."""
+    regions = [
+        PredictionRegion(labels=(0,), confidence=0.9),
+        PredictionRegion(labels=(), confidence=0.9),
+        PredictionRegion(labels=(0, 1), confidence=0.9),
+    ]
+    assert list(coverage_outcomes(regions)) == [True, False, True]
+
+
+def test_coverage_outcomes_with_labels_is_exact():
+    """Offline form: the indicator of the true label being in the region."""
+    regions = [
+        PredictionRegion(labels=(0,), confidence=0.9),
+        PredictionRegion(labels=(0,), confidence=0.9),
+    ]
+    assert list(coverage_outcomes(regions, labels=[0, 1])) == [True, False]
+    with pytest.raises(ValueError):
+        coverage_outcomes(regions, labels=[0])
+
+
+# -- window math -------------------------------------------------------------
+
+
+def test_observed_coverage_is_window_mean():
+    """Coverage is the mean of the retained (bounded) window."""
+    mon = monitor(window=4, min_observations=1)
+    mon.observe([True, True, False, True])
+    assert mon.observed_coverage() == pytest.approx(0.75)
+    # Two more observations evict the two oldest (window=4).
+    mon.observe([False, False])
+    assert mon.observed_coverage() == pytest.approx(0.25)
+
+
+def test_error_outcomes_are_skipped():
+    """None entries (error records) never enter the window."""
+    mon = monitor(min_observations=1)
+    mon.observe([True, None, False, None])
+    snap = mon.snapshot()
+    assert snap["window"] == 2
+    assert snap["observations_total"] == 2
+    assert mon.observed_coverage() == pytest.approx(0.5)
+
+
+def test_mixed_confidence_levels_weight_the_nominal():
+    """The trip threshold tracks the mean nominal of the window."""
+    mon = monitor(min_observations=1)
+    mon.observe([True] * 5, nominal=0.8)
+    mon.observe([True] * 5, nominal=0.6)
+    assert mon.snapshot()["nominal_coverage"] == pytest.approx(0.7)
+
+
+# -- hysteresis --------------------------------------------------------------
+
+
+def test_alarm_needs_min_observations():
+    """Total misses below min_observations still report ok."""
+    mon = monitor(min_observations=10)
+    assert mon.observe([False] * 9) is None
+    assert mon.state == STATE_OK
+    assert mon.observe([False]) == STATE_ALARMING  # the 10th observation trips
+
+
+def test_trip_and_clear_thresholds():
+    """Trips below nominal - trip_margin; clears at nominal - clear_margin."""
+    mon = monitor(window=100, min_observations=10)
+    # 80% observed at nominal 0.9: above 0.75 trip line -> stays ok.
+    mon.observe([True] * 8 + [False] * 2)
+    assert mon.state == STATE_OK
+    # Push observed below 0.75 -> alarm.
+    transition = mon.observe([False] * 10)
+    assert transition == STATE_ALARMING
+    assert mon.is_alarming
+    # Recovery: fill the window with hits until >= 0.85 -> clears.
+    transition = None
+    while mon.is_alarming:
+        transition = mon.observe([True] * 10) or transition
+    assert transition == STATE_OK
+    assert mon.snapshot()["trips"] == 1
+
+
+def test_hysteresis_prevents_flapping():
+    """Between the clear and trip lines, the current state is sticky."""
+    # Window mean of 0.8 at nominal 0.9 sits between 0.75 (trip) and
+    # 0.85 (clear): an ok monitor stays ok...
+    ok = monitor(window=10, min_observations=10)
+    ok.observe([True] * 8 + [False] * 2)
+    assert ok.state == STATE_OK
+    # ...and an alarming monitor with the same window stays alarming.
+    alarming = monitor(window=10, min_observations=10)
+    alarming.observe([False] * 10)
+    assert alarming.state == STATE_ALARMING
+    alarming.observe([True] * 8 + [False] * 2)
+    assert alarming.state == STATE_ALARMING
+    assert alarming.observed_coverage() == pytest.approx(0.8)
+
+
+def test_reset_clears_window_and_alarm_but_keeps_trips():
+    """Hot reload resets the window; the trip counter is cumulative."""
+    mon = monitor(min_observations=10)
+    mon.observe([False] * 10)
+    assert mon.is_alarming
+    mon.reset()
+    snap = mon.snapshot()
+    assert snap["state"] == STATE_OK
+    assert snap["window"] == 0
+    assert snap["observed_coverage"] is None
+    assert snap["trips"] == 1
+    assert snap["observations_total"] == 10
+
+
+def test_observe_verdicts_path():
+    """Verdict strings feed the same machinery as booleans."""
+    mon = monitor(min_observations=4)
+    transition = mon.observe_verdicts(
+        [VERDICT_ANOMALOUS, VERDICT_ANOMALOUS, VERDICT_ANOMALOUS, "trojan-free", "error"]
+    )
+    assert transition == STATE_ALARMING
+    assert mon.snapshot()["window"] == 4  # the error record is excluded
+
+
+def test_constructor_validation():
+    """Nonsense configurations are rejected up front."""
+    with pytest.raises(ValueError):
+        CoverageDriftMonitor(nominal=1.5)
+    with pytest.raises(ValueError):
+        CoverageDriftMonitor(nominal=0.9, window=0)
+    with pytest.raises(ValueError):
+        CoverageDriftMonitor(nominal=0.9, window=5, min_observations=6)
+    with pytest.raises(ValueError):
+        CoverageDriftMonitor(nominal=0.9, trip_margin=0.05, clear_margin=0.1)
+
+
+def test_snapshot_shape():
+    """/healthz consumers rely on these exact keys."""
+    snap = monitor().snapshot()
+    assert set(snap) == {
+        "state",
+        "observed_coverage",
+        "nominal_coverage",
+        "window",
+        "window_size",
+        "min_observations",
+        "trip_margin",
+        "clear_margin",
+        "trips",
+        "observations_total",
+    }

@@ -1,0 +1,219 @@
+"""Unit tests for the metrics registry (``repro.obs.metrics``).
+
+Every test builds a private :class:`MetricsRegistry` rather than touching
+the process-wide ``REGISTRY`` — the singleton accumulates families from
+whichever modules other tests happened to import, so asserting on its
+contents would make these tests order-dependent.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    REGISTRY,
+    parse_prometheus_text,
+)
+
+
+# -- registration ------------------------------------------------------------
+
+
+def test_name_convention_is_enforced():
+    """Names must match repro_<subsystem>_<name>."""
+    registry = MetricsRegistry()
+    for bad in ("requests_total", "repro_Serve_x", "reproServeX", "repro__x", "repro_serve_"):
+        with pytest.raises(ValueError):
+            registry.counter(bad, "nope")
+
+
+def test_label_names_are_validated():
+    """Label identifiers must be Prometheus-legal."""
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("repro_test_bad_label", "x", labels=("1bad",))
+
+
+def test_reregistration_is_idempotent_for_identical_shape():
+    """Get-or-create: same name + type + labels returns the same family."""
+    registry = MetricsRegistry()
+    first = registry.counter("repro_test_hits_total", "x", labels=("model",))
+    again = registry.counter("repro_test_hits_total", "y", labels=("model",))
+    assert again is first
+
+
+def test_reregistration_with_different_shape_raises():
+    """A conflicting redefinition is an error, not a silent fork."""
+    registry = MetricsRegistry()
+    registry.counter("repro_test_hits_total", "x")
+    with pytest.raises(ValueError):
+        registry.gauge("repro_test_hits_total", "x")
+    with pytest.raises(ValueError):
+        registry.counter("repro_test_hits_total", "x", labels=("model",))
+
+
+# -- counters / gauges / histograms ------------------------------------------
+
+
+def test_counter_increments_and_rejects_decrease():
+    """Counters go up; negative increments raise."""
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_scans_total", "x")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value() == pytest.approx(3.5)
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_labeled_family_children_are_independent():
+    """Each label-value tuple owns its own time series."""
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_scans_total", "x", labels=("model",))
+    counter.labels(model="a").inc()
+    counter.labels(model="a").inc()
+    counter.labels(model="b").inc(5)
+    assert counter.value(model="a") == 2
+    assert counter.value(model="b") == 5
+    with pytest.raises(ValueError):
+        counter.labels(wrong="a")
+    with pytest.raises(ValueError):
+        counter.inc()  # labeled family has no bare child
+
+
+def test_gauge_moves_both_ways():
+    """Gauges support set() and signed inc()."""
+    registry = MetricsRegistry()
+    gauge = registry.gauge("repro_test_queue_depth", "x")
+    gauge.set(10)
+    gauge.inc(-3)
+    assert gauge.value() == 7
+
+
+def test_histogram_buckets_are_cumulative():
+    """Observations land in the first bucket whose bound contains them."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_test_latency_seconds", "x", buckets=(0.1, 1.0)
+    )
+    for value in (0.05, 0.5, 5.0):
+        histogram.observe(value)
+    child = histogram.labels()
+    cumulative, total, count = child.snapshot()
+    assert cumulative == [1, 2, 3]  # <=0.1, <=1.0, +Inf
+    assert total == pytest.approx(5.55)
+    assert count == 3
+
+
+def test_histogram_rejects_unsorted_buckets():
+    """Bucket bounds must be strictly increasing."""
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("repro_test_bad_seconds", "x", buckets=(1.0, 0.5))
+
+
+def test_value_accessor_contract():
+    """registry.value(): KeyError unknown, TypeError for histograms, 0 default."""
+    registry = MetricsRegistry()
+    registry.counter("repro_test_cold_total", "x")
+    registry.histogram("repro_test_latency_seconds", "x")
+    assert registry.value("repro_test_cold_total") == 0.0
+    with pytest.raises(KeyError):
+        registry.value("repro_test_never_registered")
+    with pytest.raises(TypeError):
+        registry.value("repro_test_latency_seconds")
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    """The per-child lock makes inc() safe from many threads."""
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_races_total", "x")
+
+    def spin():
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=spin) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value() == 8000
+
+
+# -- exposition --------------------------------------------------------------
+
+
+def test_render_parse_round_trip():
+    """render_prometheus() output parses back to the written values."""
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_scans_total", "Scans.", labels=("model",))
+    counter.labels(model="champ").inc(3)
+    gauge = registry.gauge("repro_test_alarm", "Alarm flag.")
+    gauge.set(1)
+    histogram = registry.histogram(
+        "repro_test_latency_seconds", "Latency.", buckets=(0.5,)
+    )
+    histogram.observe(0.25)
+    histogram.observe(2.0)
+
+    text = registry.render_prometheus()
+    assert "# HELP repro_test_scans_total Scans." in text
+    assert "# TYPE repro_test_scans_total counter" in text
+    assert "# TYPE repro_test_latency_seconds histogram" in text
+
+    samples = parse_prometheus_text(text)
+    assert samples[("repro_test_scans_total", (("model", "champ"),))] == 3
+    assert samples[("repro_test_alarm", ())] == 1
+    assert samples[("repro_test_latency_seconds_bucket", (("le", "0.5"),))] == 1
+    assert samples[("repro_test_latency_seconds_bucket", (("le", "+Inf"),))] == 2
+    assert samples[("repro_test_latency_seconds_sum", ())] == pytest.approx(2.25)
+    assert samples[("repro_test_latency_seconds_count", ())] == 2
+
+
+def test_label_values_are_escaped():
+    """Quotes, backslashes and newlines survive the exposition format."""
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_weird_total", "x", labels=("name",))
+    counter.labels(name='a"b\\c').inc()
+    text = registry.render_prometheus()
+    samples = parse_prometheus_text(text)
+    ((key, _labels),) = [k for k in samples if k[0] == "repro_test_weird_total"]
+    assert key == "repro_test_weird_total"
+
+
+def test_parse_rejects_malformed_lines():
+    """The parser is strict — CI uses it to validate the endpoint output."""
+    with pytest.raises(ValueError):
+        parse_prometheus_text("not a sample line at all!\n")
+    with pytest.raises(ValueError):
+        parse_prometheus_text("repro_x_y{unclosed 1\n")
+    with pytest.raises(ValueError):
+        parse_prometheus_text("repro_x_y notanumber\n")
+
+
+def test_parse_handles_infinities_and_comments():
+    """+Inf/-Inf values and #-comments are part of the format."""
+    samples = parse_prometheus_text(
+        "# HELP repro_x_y help\n# TYPE repro_x_y gauge\nrepro_x_y +Inf\n"
+    )
+    assert samples[("repro_x_y", ())] == math.inf
+
+
+# -- the process-wide registry ------------------------------------------------
+
+
+def test_default_buckets_are_increasing():
+    """Sanity: the shared latency buckets are strictly sorted."""
+    assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+def test_process_registry_exposition_parses():
+    """Whatever the imported modules registered renders to valid text."""
+    text = REGISTRY.render_prometheus()
+    parse_prometheus_text(text)  # must not raise

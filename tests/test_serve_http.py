@@ -287,3 +287,214 @@ class TestServeBackends:
     def test_unknown_backend_fails_at_construction(self, artifact):
         with pytest.raises(ValueError, match="unknown compute backend"):
             ScanService(artifact, port=0, backend="nope")
+
+
+#: The documented JSON /metrics schema (docs/SERVING.md).  The Prometheus
+#: exposition rides the same endpoint via content negotiation; this frozen
+#: set is the regression guard that negotiation never changed the default.
+METRICS_JSON_KEYS = {
+    "uptime_seconds",
+    "requests_total",
+    "requests_by_route",
+    "http_errors",
+    "scan_requests",
+    "designs_total",
+    "cache_hits",
+    "cache_hit_rate",
+    "feature_hits",
+    "design_errors",
+    "batches_total",
+    "batched_designs_total",
+    "mean_batch_designs",
+    "max_batch_designs",
+    "reloads",
+    "scans_by_model",
+    "designs_by_model",
+    "shadow_scans",
+    "shadow_designs",
+    "promotions",
+    "forced_promotions",
+    "latency_seconds",
+    "backend",
+    "backend_dtype",
+    "frontend",
+    "champion",
+    "rollout",
+    "drift",
+    "scheduler",
+}
+
+
+class TestMetricsExposition:
+    """Content negotiation on /metrics: JSON by default, Prometheus on ask."""
+
+    def test_default_json_schema_is_unchanged(self, client, corpus):
+        """A bare GET /metrics still returns the documented JSON document."""
+        client.scan_texts([(corpus[0].name, corpus[0].source)])
+        snapshot = client.metrics()
+        assert set(snapshot) == METRICS_JSON_KEYS
+        assert set(snapshot["latency_seconds"]) == {"p50", "p95", "p99", "count"}
+        assert set(snapshot["scheduler"]) == {
+            "shard_retries",
+            "worker_deaths",
+            "shard_failures",
+        }
+        for snap in snapshot["drift"].values():
+            assert snap["state"] in ("ok", "alarming")
+
+    def test_format_param_selects_prometheus(self, client, corpus):
+        """?format=prometheus returns a parseable text exposition."""
+        from repro.obs.metrics import parse_prometheus_text
+
+        client.scan_texts([(s.name, s.source) for s in corpus[:2]])
+        text = client.metrics_prometheus()
+        samples = parse_prometheus_text(text)
+        names = {name for name, _ in samples}
+        assert "repro_serve_requests_total" in names
+        assert "repro_serve_designs_total" in names
+        assert "repro_serve_scan_latency_seconds_count" in names
+        assert "repro_serve_coverage_observed" in names
+        count_keys = [
+            key
+            for key in samples
+            if key[0] == "repro_serve_scan_latency_seconds_count"
+        ]
+        assert sum(samples[key] for key in count_keys) >= 1
+
+    def test_accept_header_negotiates_prometheus(self, service):
+        """Accept: text/plain (no query param) also selects the exposition."""
+        import http.client
+
+        conn = http.client.HTTPConnection(service.host, service.port, timeout=10)
+        try:
+            conn.request("GET", "/metrics", headers={"Accept": "text/plain"})
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            assert response.status == 200
+            assert response.getheader("Content-Type", "").startswith("text/plain")
+            assert "# TYPE repro_serve_requests_total counter" in body
+        finally:
+            conn.close()
+
+    def test_format_param_overrides_accept_header(self, service):
+        """?format=json beats Accept: text/plain — the explicit ask wins."""
+        import http.client
+
+        conn = http.client.HTTPConnection(service.host, service.port, timeout=10)
+        try:
+            conn.request(
+                "GET", "/metrics?format=json", headers={"Accept": "text/plain"}
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+            assert response.status == 200
+            assert response.getheader("Content-Type", "").startswith(
+                "application/json"
+            )
+            assert set(payload) == METRICS_JSON_KEYS
+        finally:
+            conn.close()
+
+
+class TestCoverageDriftE2E:
+    """The ISSUE acceptance loop: stale calibration -> alarm -> reload -> ok."""
+
+    @staticmethod
+    def _stale_state(icp, n_per_class: int = 50):
+        """A calibration state whose scores make every region empty.
+
+        All calibration scores are pushed to -1e9: any real test score
+        exceeds every calibration score, so each label's p-value collapses
+        to 1/(n+1) < 0.1 and the region at confidence 0.9 is empty — the
+        observable signature of a stale/tampered calibration set.
+        """
+        import numpy as np
+
+        state = icp.calibration_state()
+        scores = np.full(2 * n_per_class, -1e9)
+        state["calibration_scores"] = scores
+        state["calibration_labels"] = np.array(
+            [0] * n_per_class + [1] * n_per_class
+        )
+        state["sorted_marginal"] = scores.copy()
+        for label in (0, 1):
+            state[f"sorted_label_{label}"] = np.full(n_per_class, -1e9)
+        return state
+
+    def test_stale_calibration_trips_alarm_and_reload_clears_it(
+        self, detector, corpus, tmp_path
+    ):
+        import copy
+
+        from repro.conformal.icp import InductiveConformalClassifier
+        from repro.obs.metrics import parse_prometheus_text
+
+        detector = copy.deepcopy(detector)
+        artifact = save_detector(detector, tmp_path / "artifact")
+        pairs = [(s.name, s.source) for s in corpus[:4]]
+        good_states = {
+            modality: icp.calibration_state()
+            for modality, icp in detector._icps.items()
+        }
+        with ScanService(
+            artifact,
+            port=0,
+            batch_window_s=0.0,
+            max_batch=16,
+            drift_window=16,
+            drift_min_observations=4,
+        ) as service:
+            with ScanServiceClient(service.host, service.port) as client:
+                client.wait_until_ready()
+                # Healthy traffic: status ok, no alarms.
+                client.scan_texts(pairs)
+                health = client.healthz()
+                assert health["status"] == "ok"
+                assert health["drift_alarms"] == []
+                (model_name,) = health["drift"].keys()
+
+                # Stale calibration -> new fingerprint -> hot reload.
+                for modality in detector._icps:
+                    detector._icps[modality] = (
+                        InductiveConformalClassifier.from_calibration_state(
+                            self._stale_state(detector._icps[modality])
+                        )
+                    )
+                save_detector(detector, artifact)
+                assert client.reload()["reloaded"]
+
+                # Every region is now empty; the window trips the alarm.
+                response = client.scan_texts(pairs)
+                assert all(
+                    r["decision"]["region_labels"] == []
+                    for r in response["records"]
+                )
+                health = client.healthz()
+                assert health["status"] == "degraded"
+                assert health["drift_alarms"] == [model_name]
+                snap = health["drift"][model_name]
+                assert snap["state"] == "alarming"
+                assert snap["observed_coverage"] == 0.0
+                # Both expositions carry the alarm.
+                assert client.metrics()["drift"][model_name]["state"] == "alarming"
+                samples = parse_prometheus_text(client.metrics_prometheus())
+                key = ("repro_serve_coverage_alarm", (("model", model_name),))
+                assert samples[key] == 1
+
+                # Remediation: recalibrate (restore the good calibration)
+                # and POST /reload — the window resets and the alarm clears.
+                for modality, state in good_states.items():
+                    detector._icps[modality] = (
+                        InductiveConformalClassifier.from_calibration_state(state)
+                    )
+                save_detector(detector, artifact)
+                assert client.reload()["reloaded"]
+                assert client.healthz()["status"] == "ok"
+                client.scan_texts(pairs)
+                health = client.healthz()
+                assert health["status"] == "ok"
+                assert health["drift_alarms"] == []
+                assert health["drift"][model_name]["state"] == "ok"
+                samples = parse_prometheus_text(client.metrics_prometheus())
+                key = ("repro_serve_coverage_alarm", (("model", model_name),))
+                assert samples[key] == 0

@@ -40,6 +40,7 @@ SCAN_ROOTS = (
 STRICT_PATHS = (
     "engine",
     "serve",
+    "obs",
     "conformal/icp.py",
     "nn/serialize.py",
     "tools/lint",

@@ -1,0 +1,123 @@
+"""R7 — metric-name discipline.
+
+The process-wide metrics registry (:mod:`repro.obs.metrics`) renders a
+Prometheus exposition from whatever families were registered, so naming
+mistakes become operator-facing: a typo'd family silently forks a time
+series, and a family registered from two call sites with different
+shapes raises at import time in whichever order the modules happen to
+load.  The rule makes both failure modes a lint error at the source:
+
+* every ``REGISTRY.counter(...)`` / ``REGISTRY.gauge(...)`` /
+  ``REGISTRY.histogram(...)`` call must pass its family name as a
+  **string literal** — a computed name cannot be checked statically and
+  would dodge the uniqueness check below;
+* the name must match ``repro_<subsystem>_<name>`` (lowercase,
+  underscores, counters ending ``_total`` by convention — the regex
+  enforces the shape, not the suffix);
+* each family name must be registered **exactly once** across the whole
+  linted tree — get-or-create tolerates duplicate registration at
+  runtime, but two registration sites mean neither module can be read
+  as the family's owner.
+
+Blind spot: only calls on a name imported as ``REGISTRY`` from
+``repro.obs.metrics`` are checked.  A registry reached through a module
+alias (``obs.metrics.REGISTRY.counter``) or a locally-constructed
+:class:`MetricsRegistry` (what the unit tests do on purpose) is not —
+private registries are free to name things however they like.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from ..core import CallGraph, LintConfig, Module, Project
+from ..registry import Finding, Rule, register
+
+#: The registration methods of :class:`repro.obs.metrics.MetricsRegistry`.
+_REGISTER_METHODS = {"counter", "gauge", "histogram"}
+
+#: Required family-name shape: ``repro_<subsystem>_<name>``.
+_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9]*_[a-z][a-z0-9_]*$")
+
+
+@register
+class MetricNamesRule(Rule):
+    """Flag non-literal, malformed, or multiply-registered metric names."""
+
+    rule_id = "R7"
+    name = "metric-names"
+    description = (
+        "metric families must be registered exactly once, by string "
+        "literal, matching repro_<subsystem>_<name>"
+    )
+
+    def check(
+        self, project: Project, graph: CallGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Collect every registration call, then apply the three checks."""
+        sites: Dict[str, List[Tuple[Module, ast.Call]]] = {}
+        for module in project.modules:
+            for call in self._registration_calls(module):
+                name_node = call.args[0] if call.args else None
+                if not (
+                    isinstance(name_node, ast.Constant)
+                    and isinstance(name_node.value, str)
+                ):
+                    yield self.finding(
+                        module.rel,
+                        call,
+                        "metric family name must be a string literal "
+                        "(computed names dodge the uniqueness check)",
+                    )
+                    continue
+                name = name_node.value
+                if not _NAME_RE.match(name):
+                    yield self.finding(
+                        module.rel,
+                        call,
+                        f"metric name {name!r} does not match "
+                        "repro_<subsystem>_<name> "
+                        "(lowercase letters, digits, underscores)",
+                    )
+                sites.setdefault(name, []).append((module, call))
+        for name, registrations in sorted(sites.items()):
+            if len(registrations) <= 1:
+                continue
+            first_module, first_call = registrations[0]
+            for module, call in registrations[1:]:
+                yield self.finding(
+                    module.rel,
+                    call,
+                    f"metric {name!r} is already registered at "
+                    f"{first_module.rel}:{first_call.lineno}; every family "
+                    "has exactly one registration site",
+                )
+
+    @staticmethod
+    def _registration_calls(module: Module) -> Iterator[ast.Call]:
+        """Yield ``REGISTRY.<counter|gauge|histogram>(...)`` calls.
+
+        ``REGISTRY`` must be a ``from``-import of the process-wide
+        registry in :mod:`repro.obs.metrics` (see the module docstring
+        for the documented blind spots).
+        """
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _REGISTER_METHODS
+                and isinstance(func.value, ast.Name)
+            ):
+                continue
+            imported = module.name_imports.get(func.value.id)
+            if imported is None:
+                continue
+            base, original = imported
+            if original != "REGISTRY":
+                continue
+            if base == "obs.metrics" or base.endswith(".obs.metrics"):
+                yield node

@@ -14,6 +14,8 @@ shutdown, and the drain summary on stdout.  It
    thread), routing across every registered model,
 3. asserts the ``/metrics`` batch counters prove micro-batching
    actually coalesced requests (and that per-model routing counted),
+   then scrapes ``/metrics?format=prometheus`` and validates the text
+   exposition parses with the expected counter/histogram/gauge families,
 4. exercises ``POST /reload`` and ``/healthz`` — plus ``POST /promote``
    when ``--promote`` is given, asserting the champion actually swaps,
 5. sends SIGTERM and asserts a clean drain: exit code 0 and the
@@ -43,6 +45,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.obs.metrics import parse_prometheus_text  # noqa: E402
 from repro.serve.bench import build_request_corpus  # noqa: E402
 from repro.serve.client import ScanServiceClient  # noqa: E402
 
@@ -155,6 +158,23 @@ def main() -> int:
         assert metrics["latency_seconds"]["p50"] is not None
         for name in names:
             assert metrics["scans_by_model"].get(name, 0) > 0, metrics
+
+        # Prometheus scrape: the exposition must parse (parse_prometheus_text
+        # raises on any malformed line) and agree with the JSON counters.
+        exposition = parse_prometheus_text(probe.metrics_prometheus())
+        assert exposition[("repro_serve_scan_requests_total", ())] == args.requests
+        latency_count = sum(
+            value
+            for (name, _labels), value in exposition.items()
+            if name == "repro_serve_scan_latency_seconds_count"
+        )
+        assert latency_count == args.requests, latency_count
+        for name in names:
+            nominal_key = ("repro_serve_coverage_nominal", (("model", name),))
+            alarm_key = ("repro_serve_coverage_alarm", (("model", name),))
+            assert 0.0 < exposition[nominal_key] < 1.0, exposition[nominal_key]
+            assert exposition[alarm_key] == 0.0, exposition[alarm_key]
+        print(f"prometheus exposition OK ({len(exposition)} samples)")
 
         reload_payload = probe.reload()
         assert reload_payload["reloaded"] is False  # unchanged artifacts

@@ -25,16 +25,21 @@ retrains.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
+import logging
 import os
+import struct
 import tempfile
 import zipfile
+import zlib
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.config import NoodleConfig
+from ..faults import corrupting_failpoint, failpoint
 from ..core.fusion import (
     ConformalFusionModel,
     EarlyFusionModel,
@@ -43,6 +48,8 @@ from ..core.fusion import (
 )
 from ..core.noodle import NOODLE
 from ..nn.serialize import classifier_state_dict, icp_state_dict, restore_classifier, restore_icp
+
+logger = logging.getLogger(__name__)
 
 #: Version stamped into every manifest; bumped on layout changes.
 ARTIFACT_SCHEMA_VERSION = 1
@@ -301,6 +308,7 @@ def load_detector(
     missing/corrupt artifact or an unknown detector kind.
     """
     path = Path(path)
+    failpoint("artifact.load")
     manifest = load_manifest(path)
     arrays_path = path / ARRAYS_NAME
     if not arrays_path.is_file():
@@ -348,6 +356,27 @@ def load_detector(
 # ---------------------------------------------------------------------------
 
 
+def _quarantine_sidecar(cache_path: Path, reason: Exception) -> None:
+    """Move a corrupt sidecar aside as ``<name>.corrupt`` so it is not re-read.
+
+    Mirrors the result cache's quarantine discipline: the broken file is
+    preserved for post-mortem, the engine recomputes, and the next
+    :func:`save_quantized_state` writes a fresh sidecar in its place.
+    """
+    target = cache_path.with_name(cache_path.name + ".corrupt")
+    logger.warning(
+        "quarantining corrupt quantized sidecar %s -> %s (%s: %s)",
+        cache_path,
+        target.name,
+        type(reason).__name__,
+        reason,
+    )
+    try:
+        os.replace(cache_path, target)
+    except OSError:
+        pass  # a concurrent loader may have quarantined it already
+
+
 def load_quantized_state(
     path: Union[str, Path], fingerprint: str
 ) -> Optional[Dict[str, Dict[str, np.ndarray]]]:
@@ -356,13 +385,21 @@ def load_quantized_state(
     Returns the nested ``{component: {key: array}}`` mapping expected by
     ``ConformalFusionModel.set_backend('int8', ...)``, or ``None`` when the
     sidecar is absent, unreadable, or was written for a different detector
-    fingerprint (e.g. after a retrain) — callers then re-quantize.
+    fingerprint (e.g. after a retrain) — callers then re-quantize.  A
+    corrupt sidecar (truncated archive, bad zlib stream, mangled entry) is
+    quarantined as ``*.corrupt`` so the recompute is done once, not on
+    every load.  A wrong-fingerprint sidecar is *not* corrupt — it is left
+    in place and simply ignored.
     """
     cache_path = Path(path) / QUANT_CACHE_NAME
     if not cache_path.is_file():
         return None
     try:
-        with np.load(cache_path) as archive:
+        raw = corrupting_failpoint("artifact.quantized.read", cache_path.read_bytes())
+        # Entry reads on a truncated npz raise mid-iteration (EOFError,
+        # zlib.error, struct.error — not just BadZipFile at open), so the
+        # whole decode sits under one try and any failure quarantines.
+        with np.load(io.BytesIO(raw)) as archive:
             if str(archive["__fingerprint__"]) != fingerprint:
                 return None
             state: Dict[str, Dict[str, np.ndarray]] = {}
@@ -372,7 +409,17 @@ def load_quantized_state(
                 component, _, entry = key.partition("/")
                 state.setdefault(component, {})[entry] = archive[key]
             return state
-    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+    except KeyError:
+        # Missing "__fingerprint__" (or entry) in a structurally sound
+        # archive: not ours / legacy layout — ignore without quarantining.
+        return None
+    except OSError as exc:
+        if not cache_path.is_file():
+            return None  # vanished between the stat and the read
+        _quarantine_sidecar(cache_path, exc)
+        return None
+    except (ValueError, EOFError, zipfile.BadZipFile, zlib.error, struct.error) as exc:
+        _quarantine_sidecar(cache_path, exc)
         return None
 
 

@@ -36,6 +36,7 @@ import errno
 import json
 import logging
 import os
+import random
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Set, Union
@@ -46,6 +47,14 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
 from ..core.results import ScanRecord
+from ..faults import (
+    LOCK_ACQUIRE_DEADLINE_S,
+    LOCK_RETRY_POLICY,
+    LOCK_STALE_AFTER_S,
+    RetryPolicy,
+    corrupting_failpoint,
+    failpoint,
+)
 from ..obs.metrics import REGISTRY
 
 logger = logging.getLogger(__name__)
@@ -101,14 +110,16 @@ class _NamespaceLock:
     def __init__(
         self,
         path: Path,
-        timeout: float = 10.0,
-        stale_after: float = 30.0,
-        poll_interval: float = 0.02,
+        timeout: float = LOCK_ACQUIRE_DEADLINE_S,
+        stale_after: float = LOCK_STALE_AFTER_S,
+        retry_policy: RetryPolicy = LOCK_RETRY_POLICY,
     ) -> None:
         self.path = path
         self.timeout = timeout
         self.stale_after = stale_after
-        self.poll_interval = poll_interval
+        self.retry_policy = retry_policy
+        # Per-lock jitter source so blocked writers do not poll in lockstep.
+        self._rng = random.Random()
         self._fd: Optional[int] = None
 
     def _holder_state(self) -> str:
@@ -154,6 +165,7 @@ class _NamespaceLock:
         """POSIX path: take an exclusive kernel lock on the lockfile."""
         fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
         deadline = time.monotonic() + self.timeout
+        attempt = 0
         while True:
             try:
                 fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
@@ -164,7 +176,8 @@ class _NamespaceLock:
                         f"could not acquire cache lock {self.path} "
                         f"within {self.timeout:.1f}s"
                     ) from exc
-                time.sleep(self.poll_interval)
+                attempt += 1
+                time.sleep(self.retry_policy.backoff_s(attempt, self._rng))
             else:
                 os.ftruncate(fd, 0)
                 os.write(fd, f"{os.getpid()}\n".encode("ascii"))
@@ -174,6 +187,7 @@ class _NamespaceLock:
     def _acquire_lockfile(self) -> None:
         """Fallback path: the O_CREAT|O_EXCL dance with staleness breaking."""
         deadline = time.monotonic() + self.timeout
+        attempt = 0
         while True:
             try:
                 fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -186,7 +200,8 @@ class _NamespaceLock:
                         f"could not acquire cache lock {self.path} "
                         f"within {self.timeout:.1f}s"
                     ) from exc
-                time.sleep(self.poll_interval)
+                attempt += 1
+                time.sleep(self.retry_policy.backoff_s(attempt, self._rng))
             else:
                 os.write(fd, f"{os.getpid()}\n".encode("ascii"))
                 os.close(fd)
@@ -359,7 +374,8 @@ class ScanCache:
     def _read_store_file(self, path: Path, expected_version: int) -> Dict[str, dict]:
         """Read one store file; corrupt files are quarantined, not fatal."""
         try:
-            data = json.loads(path.read_text())
+            raw = corrupting_failpoint("cache.shard.read", path.read_bytes())
+            data = json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
             _quarantine(path, exc)
             return {}
@@ -471,6 +487,7 @@ class ScanCache:
         for key in self._dirty_keys:
             by_shard.setdefault(self._shard_path(key), []).append(key)
         with self._lock:
+            failpoint("cache.flush.io")
             if self._cleared:
                 self._delete_store_files()
                 self._cleared = False

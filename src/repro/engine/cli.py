@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import threading
@@ -48,6 +49,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from .. import __version__
 from ..core.config import NoodleConfig, default_config
+from ..faults import DEFAULT_MAX_QUEUE_DEPTH, FAILPOINTS_ENV, FailpointSpecError
+from ..faults import configure as configure_failpoints
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..features.pipeline import extract_modalities
 from ..gan import AmplificationConfig, GANConfig
@@ -112,6 +115,36 @@ def _add_backend_option(parser: argparse.ArgumentParser) -> None:
         "'fused_f32' (fused float32 forward), or 'int8' (dynamic-quantized "
         "scanning; quantized weights are cached in the artifact directory)",
     )
+
+
+def _add_failpoints_option(parser: argparse.ArgumentParser) -> None:
+    """The ``--failpoints`` flag shared by ``scan`` and ``serve``."""
+    parser.add_argument(
+        "--failpoints",
+        default=None,
+        metavar="SPEC",
+        help="activate fault-injection failpoints in this process, e.g. "
+        "'cache.flush.io=error:OSError;scheduler.worker.body=kill,p=0.5' "
+        "(equivalent to setting REPRO_FAILPOINTS; scheduler worker "
+        "processes inherit the spec through the environment — see "
+        "docs/ROBUSTNESS.md for the grammar)",
+    )
+
+
+def _apply_failpoints(args: argparse.Namespace) -> bool:
+    """Activate a ``--failpoints`` spec; False (usage error) on a bad one."""
+    spec = getattr(args, "failpoints", None)
+    if spec is None:
+        return True
+    try:
+        configure_failpoints(spec)
+    except FailpointSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return False
+    # Spawned/forked scheduler workers re-read the environment, so the
+    # spec must live there too, not just in this process's registry.
+    os.environ[FAILPOINTS_ENV] = spec
+    return True
 
 
 def _add_suite_options(parser: argparse.ArgumentParser) -> None:
@@ -215,6 +248,8 @@ def _feature_store_dir(args: argparse.Namespace) -> Optional[Path]:
 
 def _cmd_scan(args: argparse.Namespace) -> int:
     if not _check_backend(args.backend):
+        return EXIT_USAGE
+    if not _apply_failpoints(args):
         return EXIT_USAGE
     if args.resume and args.no_cache:
         print("error: --resume needs the result cache; drop --no-cache", file=sys.stderr)
@@ -447,6 +482,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if not _check_backend(args.backend):
         return EXIT_USAGE
+    if not _apply_failpoints(args):
+        return EXIT_USAGE
     if args.batch_window_ms < 0:
         print("error: --batch-window-ms must be non-negative", file=sys.stderr)
         return EXIT_USAGE
@@ -500,6 +537,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             feature_store_dir=_feature_store_dir(args),
             feature_cache=False,  # the resolved dir above is the whole decision
             workers=args.workers,
+            max_queue_depth=args.max_queue_depth or None,
             allow_paths=not args.no_paths,
             flush_every=args.flush_every,
             backend=args.backend,
@@ -754,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument(
         "--verbose", action="store_true", help="print empty triage queues too"
     )
+    _add_failpoints_option(scan)
     scan.set_defaults(func=_cmd_scan)
 
     report = sub.add_parser("report", help="pretty-print a saved scan-results JSON")
@@ -878,6 +917,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="feature-extraction processes per batch scan",
     )
     serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=DEFAULT_MAX_QUEUE_DEPTH,
+        metavar="N",
+        help="admission gate: requests a batch lane may hold queued before "
+        "new scans are shed with 429 + Retry-After (0 disables the gate)",
+    )
+    serve.add_argument(
         "--flush-every",
         type=int,
         default=128,
@@ -944,6 +991,7 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default {DEFAULT_CLEAR_MARGIN}; must be < the trip margin)",
     )
     _add_backend_option(serve)
+    _add_failpoints_option(serve)
     serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser("bench", help="end-to-end scan throughput benchmark")

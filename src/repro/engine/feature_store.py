@@ -60,13 +60,16 @@ import io
 import json
 import logging
 import os
+import struct
 import threading
 import zipfile
+import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from ..faults import corrupting_failpoint, failpoint
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..features.pipeline import feature_schema_fingerprint
 from ..obs.metrics import REGISTRY
@@ -189,11 +192,10 @@ class FeatureStore:
         16-hex-prefix collision, or a hand-moved file) is ignored.
         """
         try:
-            # Own the file handle: np.load leaks its internal one when the
-            # zip header parse raises (e.g. a truncated shard).
-            with open(path, "rb") as handle, np.load(
-                handle, allow_pickle=False
-            ) as data:
+            # Read the whole file up front (no handle for np.load to leak
+            # when the zip header parse raises on a truncated shard).
+            raw = corrupting_failpoint("features.shard.read", path.read_bytes())
+            with np.load(io.BytesIO(raw), allow_pickle=False) as data:
                 meta = json.loads(bytes(data["meta"]).decode("utf-8"))
                 if meta.get("store_version") != FEATURE_STORE_VERSION:
                     return {}
@@ -203,7 +205,8 @@ class FeatureStore:
                 tabular = data["tabular"]
                 graph = data["graph"]
                 images = data["images"]
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile,
+                zlib.error, struct.error,
                 json.JSONDecodeError, UnicodeDecodeError) as exc:
             _quarantine(path, exc if isinstance(exc, Exception) else ValueError(exc))
             return {}
@@ -324,6 +327,7 @@ class FeatureStore:
         self._shards_dir.mkdir(parents=True, exist_ok=True)
         try:
             with self._lock:
+                failpoint("features.flush.io")
                 for prefix in sorted(by_prefix):
                     self._write_shard(self._next_segment_path(prefix), by_prefix[prefix])
                     if len(self._segment_paths(prefix)) >= SEGMENT_COMPACT_THRESHOLD:

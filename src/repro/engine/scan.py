@@ -21,6 +21,7 @@ an unchanged design is a dictionary lookup.
 from __future__ import annotations
 
 import hashlib
+import logging
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -35,12 +36,29 @@ from ..core.results import ScanRecord
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..features.pipeline import MultimodalFeatures, extract_design_modalities
 from ..nn.backend import DEFAULT_BACKEND, PROFILER, get_backend
+from ..obs.metrics import REGISTRY
 from ..obs.tracing import Tracer, trace_span
-from .cache import ScanCache
+from .cache import CacheLockTimeout, ScanCache
 from .feature_store import FeatureStore
+
+logger = logging.getLogger(__name__)
 
 #: File suffixes treated as HDL sources when collecting from a directory.
 HDL_SUFFIXES = (".v", ".sv", ".verilog")
+
+# Graceful-degradation telemetry: increments whenever a durability tier
+# (result cache, feature store, worker pool) failed and the engine kept
+# going without it — see docs/ROBUSTNESS.md for the degradation matrix.
+_DEGRADED = REGISTRY.counter(
+    "repro_engine_degraded_total",
+    "Scans that lost a durability/parallelism tier but continued.",
+    labels=("tier",),
+)
+
+
+def note_degraded(tier: str) -> None:
+    """Count one graceful degradation of ``tier`` (``cache``/``features``/``pool``)."""
+    _DEGRADED.labels(tier=tier).inc()
 
 
 def hash_source(source: str) -> str:
@@ -657,7 +675,9 @@ class ScanEngine:
         report.stage_seconds["infer"] = sp_infer.duration_s
         report.stage_seconds["p_value"] = sp_fuse.duration_s
 
-        # 4. persist fresh results (both tiers)
+        # 4. persist fresh results (both tiers).  Tier flushes degrade, never
+        # fail the scan: the verdicts are already computed and in memory, so
+        # a full disk or contended lock costs durability, not correctness.
         with trace_span(tracer, "scan/cache_flush") as sp_flush:
             report.records = [r for r in records if r is not None]
             if self.cache is not None:
@@ -665,9 +685,27 @@ class ScanEngine:
                     if not record.cached:
                         self.cache.put(record)
                 if flush_cache:
-                    self.cache.flush()
+                    try:
+                        self.cache.flush()
+                    except (OSError, CacheLockTimeout) as exc:
+                        note_degraded("cache")
+                        logger.warning(
+                            "result-cache flush failed (%s: %s); scan continues "
+                            "without result durability",
+                            type(exc).__name__,
+                            exc,
+                        )
             if store is not None and flush_cache:
-                store.flush()
+                try:
+                    store.flush()
+                except (OSError, CacheLockTimeout) as exc:
+                    note_degraded("features")
+                    logger.warning(
+                        "feature-store flush failed (%s: %s); scan continues "
+                        "without feature durability",
+                        type(exc).__name__,
+                        exc,
+                    )
         report.stage_seconds["cache_flush"] = sp_flush.duration_s
         report.seconds_total = time.perf_counter() - t_start
         return report

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import multiprocessing
 import pickle
 import time
@@ -43,25 +44,36 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..core.config import NoodleConfig
 from ..core.fusion import ConformalFusionModel
 from ..core.results import ScanRecord
+from ..faults import SHARD_DEADLINE_S, SHARD_RETRY_POLICY, failpoint
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import Tracer, trace_span
-from .cache import ScanCache, atomic_write_json
+from .cache import CacheLockTimeout, ScanCache, atomic_write_json
 from .feature_store import FeatureStore
-from .scan import ScanEngine, ScanReport, ScanSource, collect_sources, resolve_cache_hits
+from .scan import (
+    ScanEngine,
+    ScanReport,
+    ScanSource,
+    collect_sources,
+    note_degraded,
+    resolve_cache_hits,
+)
+
+logger = logging.getLogger(__name__)
 
 #: Default number of designs per scheduler shard.
 DEFAULT_SHARD_SIZE = 16
 
 #: Default bounded-retry budget for failed shards (total tries = 1 + retries).
-DEFAULT_MAX_RETRIES = 2
+#: Sourced from the system-wide policy table (see docs/ROBUSTNESS.md).
+DEFAULT_MAX_RETRIES = SHARD_RETRY_POLICY.max_retries
 
 #: Default per-shard result deadline (seconds).  ``multiprocessing.Pool``
 #: never delivers a result for a task whose worker was killed hard (OOM,
 #: SIGKILL), so an unbounded ``get()`` would hang the scan forever; a
 #: deadline converts that into a normal shard failure that the bounded
-#: retry re-queues.
-DEFAULT_SHARD_TIMEOUT = 600.0
+#: retry re-queues.  Sourced from :data:`repro.faults.policy.SHARD_DEADLINE_S`.
+DEFAULT_SHARD_TIMEOUT = SHARD_DEADLINE_S
 
 JOURNAL_SCHEMA_VERSION = 1
 
@@ -174,6 +186,7 @@ def _scan_shard_worker(
         trace_id, parent_span_id = trace_ctx
         tracer = Tracer(trace_id=trace_id, id_prefix=f"{shard_id}.")
     try:
+        failpoint("scheduler.worker.body")
         assert _WORKER_ENGINE is not None, "worker initializer did not run"
         _WORKER_ENGINE.tracer = tracer
         with trace_span(
@@ -578,7 +591,20 @@ class ScanScheduler:
                 fresh.append(record)
         if self.cache is not None:
             self.cache.put_many(fresh)
-            self.cache.flush()  # per-shard durability: a kill loses at most in-flight shards
+            try:
+                self.cache.flush()  # per-shard durability: a kill loses at most in-flight shards
+            except (OSError, CacheLockTimeout) as exc:
+                # Disk-full or lock contention must not fail a scan whose
+                # verdicts are already in memory: keep going without the
+                # per-shard durability (the records stay dirty and every
+                # later flush retries them).
+                note_degraded("cache")
+                logger.warning(
+                    "cache flush failed after shard %s (%s: %s); continuing degraded",
+                    shard.shard_id,
+                    type(exc).__name__,
+                    exc,
+                )
         if journal is not None:
             journal.record_shard(
                 shard.shard_id, "done", len(record_dicts), shard.attempts + 1
@@ -664,6 +690,7 @@ class ScanScheduler:
             )
             while queue:
                 batch, queue = queue, []
+                deaths_before = report.n_worker_deaths
                 if pool is not None:
                     submitted = [
                         (shard, pool.apply_async(
@@ -731,6 +758,21 @@ class ScanScheduler:
                             self._fail_shard(
                                 shard, error or "no result", sources, records, report, journal
                             )
+                if pool is not None and report.n_worker_deaths > deaths_before:
+                    # Pool workers are dying mid-corpus (OOM killer, crashing
+                    # native code): stop trusting the pool and run every
+                    # remaining shard serially in the parent instead of
+                    # burning the retry budget on replacement workers that
+                    # may die the same way.
+                    note_degraded("pool")
+                    logger.warning(
+                        "worker death detected; falling back to serial execution "
+                        "for %d remaining shard(s)",
+                        len(queue),
+                    )
+                    self._pool_broken = True
+                    self.close()
+                    pool = None
 
         report.records = [r for r in records if r is not None]
         if journal is not None:

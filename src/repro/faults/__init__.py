@@ -1,0 +1,73 @@
+"""Fault injection and unified failure policy for the scan engine and service.
+
+Two stdlib-only modules:
+
+:mod:`repro.faults.failpoints`
+    Named *failpoints* — ``failpoint("cache.flush.io")`` guards compiled
+    into the production code at every interesting I/O or worker boundary.
+    Inert (one dict lookup) unless activated through the
+    ``REPRO_FAILPOINTS`` environment variable or the ``--failpoints`` CLI
+    flag, in which case they raise injected errors, add delays, kill the
+    process or corrupt bytes — with per-site probability and hit budgets.
+    The chaos suite (``tests/test_chaos.py``) drives every degraded path
+    through the public surfaces this way.
+
+:mod:`repro.faults.policy`
+    The single home of retry/backoff/deadline policy: the
+    :class:`~repro.faults.policy.RetryPolicy` and
+    :class:`~repro.faults.policy.Deadline` primitives plus the named
+    constants (shard retries, cache-lock acquisition, hot-reload probe
+    TTL, serve admission budgets) that the engine and serve layers
+    previously hard-coded independently.
+
+See ``docs/ROBUSTNESS.md`` for the spec grammar, the policy table and
+the degradation matrix.
+"""
+
+from .failpoints import (
+    FAILPOINTS_ENV,
+    FailpointSpecError,
+    active_failpoints,
+    configure,
+    configure_from_env,
+    corrupting_failpoint,
+    failpoint,
+    failpoints_active,
+)
+from .policy import (
+    DEFAULT_MAX_PIPELINED_REQUESTS,
+    DEFAULT_MAX_QUEUE_DEPTH,
+    DEFAULT_OUTBUF_BUDGET_BYTES,
+    DEFAULT_RETRY_AFTER_S,
+    LOCK_ACQUIRE_DEADLINE_S,
+    LOCK_RETRY_POLICY,
+    LOCK_STALE_AFTER_S,
+    RELOAD_PROBE_TTL_S,
+    SHARD_DEADLINE_S,
+    SHARD_RETRY_POLICY,
+    Deadline,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAILPOINTS_ENV",
+    "FailpointSpecError",
+    "active_failpoints",
+    "configure",
+    "configure_from_env",
+    "corrupting_failpoint",
+    "failpoint",
+    "failpoints_active",
+    "Deadline",
+    "RetryPolicy",
+    "DEFAULT_MAX_PIPELINED_REQUESTS",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+    "DEFAULT_OUTBUF_BUDGET_BYTES",
+    "DEFAULT_RETRY_AFTER_S",
+    "LOCK_ACQUIRE_DEADLINE_S",
+    "LOCK_RETRY_POLICY",
+    "LOCK_STALE_AFTER_S",
+    "RELOAD_PROBE_TTL_S",
+    "SHARD_DEADLINE_S",
+    "SHARD_RETRY_POLICY",
+]

@@ -46,6 +46,7 @@ from collections import deque
 
 from ..core.results import ScanRecord
 from ..engine.scan import ScanReport, ScanSource
+from ..faults import Deadline
 from .metrics import ServiceMetrics
 
 #: Default window (seconds) the worker keeps a batch open for stragglers.
@@ -54,6 +55,12 @@ DEFAULT_BATCH_WINDOW_S = 0.025
 #: Default cap on designs per micro-batch (the forward-pass batch size).
 DEFAULT_MAX_BATCH = 64
 
+#: Error string a request sheds with when its deadline expired while it
+#: waited in the queue.  Async ``on_done`` callbacks receive it verbatim
+#: (they get ``(None, error_str)``, not an exception) and compare against
+#: this constant to map the shed to a 504 rather than a 500.
+DEADLINE_ERROR = "deadline exceeded before scan"
+
 
 class MicroBatchError(RuntimeError):
     """Raised to the submitting thread when its batch failed or was refused."""
@@ -61,6 +68,14 @@ class MicroBatchError(RuntimeError):
 
 class BatcherClosed(MicroBatchError):
     """Raised when submitting to a batcher that is shutting down."""
+
+
+class BatcherOverloaded(MicroBatchError):
+    """Raised when the queue is at its admission bound (``max_queue_depth``)."""
+
+
+class DeadlineExceeded(MicroBatchError):
+    """Raised when a request's deadline expired before its batch ran."""
 
 
 @dataclass
@@ -89,6 +104,10 @@ class _Pending:
 
     sources: List[ScanSource]
     confidence: Optional[float]
+    #: Optional request deadline; an expired request is shed with
+    #: :data:`DEADLINE_ERROR` before the forward pass instead of wasting
+    #: batch capacity on an answer nobody is waiting for.
+    deadline: Optional[Deadline] = None
     done: threading.Event = field(default_factory=threading.Event)
     result: Optional[BatchResult] = None
     error: Optional[str] = None
@@ -134,6 +153,11 @@ class MicroBatcher:
         batch's results have been handed back — i.e. off the response
         critical path.  The serving layer hangs the deferred result-cache
         flush here, so requesters never wait on disk I/O.
+    max_queue_depth:
+        Admission bound: requests submitted while this many are already
+        queued (accepted but not yet collected into a batch) raise
+        :class:`BatcherOverloaded` instead of growing the queue without
+        bound.  ``None`` (the default) disables the gate.
     quiescence_s:
         Adaptive early close: a batch is closed once this long passes
         with no new arrivals, even if the window has time left (see
@@ -151,17 +175,21 @@ class MicroBatcher:
         max_batch: int = DEFAULT_MAX_BATCH,
         metrics: Optional[ServiceMetrics] = None,
         after_batch: Optional[Callable[[], None]] = None,
+        max_queue_depth: Optional[int] = None,
         quiescence_s: Optional[float] = DEFAULT_QUIESCENCE_S,
     ) -> None:
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1 (or None)")
         self.scan_fn = scan_fn
         self.batch_window_s = batch_window_s
         self.max_batch = max_batch
         self.metrics = metrics
         self.after_batch = after_batch
+        self.max_queue_depth = max_queue_depth
         self.quiescence_s = (
             quiescence_s if quiescence_s is not None else batch_window_s
         )
@@ -184,33 +212,61 @@ class MicroBatcher:
         with self._cond:
             return self._in_flight
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet collected into a batch.
+
+        The quantity the admission gate bounds; introspection only — the
+        count is stale the moment it is read.
+        """
+        with self._cond:
+            return len(self._queue)
+
+    def _admit(self, pending: _Pending) -> None:
+        """Enqueue one request under the lock, enforcing the admission gate."""
+        with self._cond:
+            if self._closed:
+                raise BatcherClosed("scan service is shutting down")
+            if (
+                self.max_queue_depth is not None
+                and len(self._queue) >= self.max_queue_depth
+            ):
+                raise BatcherOverloaded(
+                    f"scan queue is full ({self.max_queue_depth} requests waiting)"
+                )
+            self._queue.append(pending)
+            self._in_flight += 1
+            self._cond.notify_all()
+
     # -- submitting ----------------------------------------------------------
     def submit(
         self,
         sources: Sequence[ScanSource],
         confidence: Optional[float] = None,
         timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> BatchResult:
         """Enqueue designs and block until their batch has been scanned.
 
         Called from any number of handler threads.  Raises
         :class:`BatcherClosed` when the batcher is draining/closed,
-        :class:`MicroBatchError` when the batch's scan call failed, and
-        ``TimeoutError`` if ``timeout`` elapses first.
+        :class:`BatcherOverloaded` when the queue is at its admission
+        bound, :class:`DeadlineExceeded` when ``deadline`` expired before
+        the batch ran, :class:`MicroBatchError` when the batch's scan
+        call failed, and ``TimeoutError`` if ``timeout`` elapses first.
         """
         if not sources:
             raise MicroBatchError("a scan request needs at least one source")
-        pending = _Pending(sources=list(sources), confidence=confidence)
-        with self._cond:
-            if self._closed:
-                raise BatcherClosed("scan service is shutting down")
-            self._queue.append(pending)
-            self._in_flight += 1
-            self._cond.notify_all()
+        pending = _Pending(
+            sources=list(sources), confidence=confidence, deadline=deadline
+        )
+        self._admit(pending)
         if not pending.done.wait(timeout):
             raise TimeoutError(
                 f"micro-batch result did not arrive within {timeout}s"
             )
+        if pending.error == DEADLINE_ERROR:
+            raise DeadlineExceeded(pending.error)
         if pending.error is not None:
             raise MicroBatchError(pending.error)
         assert pending.result is not None
@@ -223,6 +279,7 @@ class MicroBatcher:
         on_done: Optional[
             Callable[[Optional[BatchResult], Optional[str]], None]
         ] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         """Enqueue designs without blocking; completion arrives via callback.
 
@@ -230,22 +287,22 @@ class MicroBatcher:
         must never block — the event-loop front-end enqueues here and
         keeps multiplexing sockets.  ``on_done(result, error)`` is
         invoked from the **worker thread** once the batch executed
-        (exactly one of the two arguments is non-``None``); it must be
-        quick and must not raise.  Raises :class:`BatcherClosed` /
-        :class:`MicroBatchError` synchronously only for requests that
-        never made it into the queue.
+        (exactly one of the two arguments is non-``None``; a request shed
+        for an expired ``deadline`` gets ``error == DEADLINE_ERROR``); it
+        must be quick and must not raise.  Raises :class:`BatcherClosed`
+        / :class:`BatcherOverloaded` / :class:`MicroBatchError`
+        synchronously only for requests that never made it into the
+        queue.
         """
         if not sources:
             raise MicroBatchError("a scan request needs at least one source")
         pending = _Pending(
-            sources=list(sources), confidence=confidence, on_done=on_done
+            sources=list(sources),
+            confidence=confidence,
+            deadline=deadline,
+            on_done=on_done,
         )
-        with self._cond:
-            if self._closed:
-                raise BatcherClosed("scan service is shutting down")
-            self._queue.append(pending)
-            self._in_flight += 1
-            self._cond.notify_all()
+        self._admit(pending)
 
     # -- lifecycle -----------------------------------------------------------
     def close(self, timeout: Optional[float] = 30.0) -> bool:
@@ -311,16 +368,28 @@ class MicroBatcher:
     def _execute(self, batch: List[_Pending]) -> None:
         """Scan one collected batch and distribute slices back to requests.
 
-        Requests are grouped by requested confidence level; each group is
-        one concatenated ``scan_fn`` call (one forward pass per group —
-        in practice almost all traffic uses the default level and the
-        whole batch is a single call).
+        Requests whose deadline expired while they waited are shed first
+        (finished with :data:`DEADLINE_ERROR`, no forward pass — the
+        client stopped waiting, so scanning for it only delays everyone
+        behind it).  The rest are grouped by requested confidence level;
+        each group is one concatenated ``scan_fn`` call (one forward pass
+        per group — in practice almost all traffic uses the default level
+        and the whole batch is a single call).
         """
-        n_designs = sum(len(p.sources) for p in batch)
-        if self.metrics is not None:
-            self.metrics.observe_batch(len(batch), n_designs)
-        groups: Dict[Optional[float], List[_Pending]] = {}
+        live: List[_Pending] = []
         for pending in batch:
+            if pending.deadline is not None and pending.deadline.expired():
+                pending.error = DEADLINE_ERROR
+                pending.finish()
+            else:
+                live.append(pending)
+        if not live:
+            return
+        n_designs = sum(len(p.sources) for p in live)
+        if self.metrics is not None:
+            self.metrics.observe_batch(len(live), n_designs)
+        groups: Dict[Optional[float], List[_Pending]] = {}
+        for pending in live:
             groups.setdefault(pending.confidence, []).append(pending)
         for confidence, members in groups.items():
             concat: List[ScanSource] = []
@@ -344,7 +413,7 @@ class MicroBatcher:
                     n_cache_hits=sum(1 for r in records if r.cached),
                     n_errors=sum(1 for r in records if r.error is not None),
                     batch_designs=n_designs,
-                    batch_requests=len(batch),
+                    batch_requests=len(live),
                     confidence_level=report.confidence_level,
                     fingerprint=getattr(report, "fingerprint", ""),
                 )

@@ -40,7 +40,13 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..faults import (
+    DEFAULT_MAX_PIPELINED_REQUESTS,
+    DEFAULT_OUTBUF_BUDGET_BYTES,
+    DEFAULT_RETRY_AFTER_S,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -74,9 +80,11 @@ _REASONS = {
     404: "Not Found",
     408: "Request Timeout",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 # Request-parse phases of one connection.
@@ -137,6 +145,9 @@ class _Connection:
         "body_length",
         "keep_alive",
         "awaiting_response",
+        "pending",
+        "inflight_keep_alive",
+        "needs_continue",
         "close_after_flush",
         "closed",
         "reading_paused",
@@ -159,8 +170,20 @@ class _Connection:
         self.body_length = 0
         self.keep_alive = True
         # A request was dispatched and its respond() has not fired yet;
-        # parsing is paused so responses keep request order.
+        # later pipelined requests queue in ``pending`` so responses keep
+        # request order.
         self.awaiting_response = False
+        # Parsed-ahead pipelined units awaiting their turn, in request
+        # order.  Entries are ("request", ParsedRequest, keep_alive) or
+        # ("reject", status, payload, extra_headers, reject_reason).
+        # Invariant: non-empty only while ``awaiting_response`` is True.
+        self.pending: Deque[Tuple[Any, ...]] = deque()
+        # keep_alive as parsed for the *in-flight* request; parse-ahead
+        # may rewrite ``keep_alive`` for a later one before we respond.
+        self.inflight_keep_alive = True
+        # A deferred "100 Continue": owed to the client, but only once
+        # every earlier response has been written.
+        self.needs_continue = False
         self.close_after_flush = False
         self.closed = False
         self.reading_paused = False
@@ -193,6 +216,20 @@ class EventLoopFrontend:
         from both — a slow *scan* is the batch worker's business.
     backlog:
         Listen backlog for accept bursts.
+    max_outbuf_bytes:
+        Per-connection response buffer budget.  A client that stops
+        reading while responses accumulate past this is closed — it
+        cannot pin unbounded memory in the server.
+    max_pipelined_requests:
+        How many parsed-ahead pipelined requests one connection may
+        queue behind the in-flight one.  The next request past the
+        budget is answered 429 (with ``Retry-After``) and the
+        connection closed after that response.
+    on_reject:
+        Optional callable ``on_reject(reason)`` invoked whenever the
+        front-end sheds work for a budget reason (currently always
+        ``"connection_budget"``).  Exceptions from the hook are logged
+        and swallowed — metrics must never hurt the loop.
     """
 
     def __init__(
@@ -204,11 +241,17 @@ class EventLoopFrontend:
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
         idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
         backlog: int = DEFAULT_BACKLOG,
+        max_outbuf_bytes: int = DEFAULT_OUTBUF_BUDGET_BYTES,
+        max_pipelined_requests: int = DEFAULT_MAX_PIPELINED_REQUESTS,
+        on_reject: Optional[Callable[[str], None]] = None,
     ) -> None:
         self._service = service
         self.max_body_bytes = max_body_bytes
         self.request_timeout_s = request_timeout_s
         self.idle_timeout_s = idle_timeout_s
+        self.max_outbuf_bytes = max_outbuf_bytes
+        self.max_pipelined_requests = max_pipelined_requests
+        self._on_reject = on_reject
         self._listener = socket.create_server(
             (host, port), backlog=backlog, reuse_port=False
         )
@@ -217,7 +260,9 @@ class EventLoopFrontend:
         self._selector.register(self._listener, selectors.EVENT_READ, None)
         # Completions posted by other threads (batch workers) and drained
         # by the loop; the socketpair is the self-pipe that wakes select().
-        self._completions: Deque[Tuple[_Connection, int, Dict[str, Any]]] = deque()
+        self._completions: Deque[
+            Tuple[_Connection, int, Any, Optional[Dict[str, str]]]
+        ] = deque()
         self._completion_lock = threading.Lock()
         self._wake_recv, self._wake_send = socket.socketpair()
         self._wake_recv.setblocking(False)
@@ -319,7 +364,7 @@ class EventLoopFrontend:
     def _quiescent(self) -> bool:
         """True when nothing is in flight and every out-buffer is flushed."""
         for conn in self._connections.values():
-            if conn.awaiting_response or conn.outbuf:
+            if conn.awaiting_response or conn.outbuf or conn.pending:
                 return False
         with self._completion_lock:
             if self._completions:
@@ -449,7 +494,7 @@ class EventLoopFrontend:
         if conn.closed:
             return
         limit = self.max_body_bytes + _PIPELINE_SLACK_BYTES
-        if conn.awaiting_response and len(conn.inbuf) > limit:
+        if (conn.awaiting_response or conn.pending) and len(conn.inbuf) > limit:
             if not conn.reading_paused:
                 conn.reading_paused = True
                 self._set_mask(conn, conn.mask & ~selectors.EVENT_READ)
@@ -458,17 +503,18 @@ class EventLoopFrontend:
             self._set_mask(conn, conn.mask | selectors.EVENT_READ)
 
     def _advance(self, conn: _Connection) -> None:
-        """Parse as many complete requests out of ``inbuf`` as ordering allows.
+        """Parse as many complete requests out of ``inbuf`` as possible.
 
-        Stops whenever a request is dispatched (``awaiting_response``) —
-        pipelined successors stay buffered until the response is queued —
-        or when the buffered bytes no longer contain a complete unit.
+        Parsing continues while a response is in flight — complete
+        successors queue in ``conn.pending`` (up to the pipelining
+        budget) so responses still go out in request order.  Stops when
+        the buffered bytes no longer contain a complete unit, or for
+        good once a reject is queued (a reject always ends the
+        connection, so later bytes are irrelevant).
         """
-        while (
-            not conn.closed
-            and not conn.awaiting_response
-            and not conn.close_after_flush
-        ):
+        while not conn.closed and not conn.close_after_flush:
+            if conn.pending and conn.pending[-1][0] == "reject":
+                return
             if conn.phase == _PH_REQUEST_LINE:
                 line = self._take_line(conn)
                 if line is None:
@@ -547,32 +593,24 @@ class EventLoopFrontend:
         if "transfer-encoding" in conn.headers:
             # Content-Length framing only; refusing is honest, guessing
             # would desynchronise the connection.
-            conn.close_after_flush = True
-            self._respond_now(
-                conn,
-                501,
-                {"error": "chunked transfer encoding is not supported"},
-                keep_alive=False,
+            self._fail_request(
+                conn, 501, {"error": "chunked transfer encoding is not supported"}
             )
             return False
         try:
             length = int(conn.headers.get("content-length", 0))
         except (TypeError, ValueError):
-            conn.close_after_flush = True  # body length unknown: cannot drain
-            self._respond_now(
-                conn,
-                400,
-                {"error": "invalid Content-Length header"},
-                keep_alive=False,
+            # Body length unknown: the socket cannot be drained safely.
+            self._fail_request(
+                conn, 400, {"error": "invalid Content-Length header"}
             )
             return False
         if length < 0 or length > self.max_body_bytes:
-            conn.close_after_flush = True  # body left unread on the socket
-            self._respond_now(
+            # Body left unread on the socket; the close discards it.
+            self._fail_request(
                 conn,
                 400,
                 {"error": f"request body must be 0..{self.max_body_bytes} bytes"},
-                keep_alive=False,
             )
             return False
         conn.body_length = length
@@ -581,25 +619,76 @@ class EventLoopFrontend:
             and len(conn.inbuf) < length
         ):
             # curl withholds bodies >1 KiB until the interim 100 arrives.
-            conn.outbuf += b"HTTP/1.1 100 Continue\r\n\r\n"
-            self._flush(conn)
+            if conn.awaiting_response or conn.pending:
+                # Deferred: the interim line must not overtake queued
+                # responses for earlier pipelined requests.
+                conn.needs_continue = True
+            else:
+                conn.outbuf += b"HTTP/1.1 100 Continue\r\n\r\n"
+                self._flush(conn)
         conn.phase = _PH_BODY
         return True
 
+    def _fail_request(
+        self, conn: _Connection, status: int, payload: Dict[str, Any]
+    ) -> None:
+        """Answer a framing error in request order, then close.
+
+        With nothing in flight the error is written immediately.  While
+        earlier pipelined requests are still being answered it queues
+        behind them as a reject entry, so the client's response stream
+        stays ordered; either way the connection closes after it.
+        """
+        if conn.awaiting_response or conn.pending:
+            conn.pending.append(("reject", status, payload, None, None))
+            return
+        conn.close_after_flush = True
+        self._respond_now(conn, status, payload, keep_alive=False)
+
     # -- dispatch + responses ------------------------------------------------
     def _dispatch(self, conn: _Connection, body: bytes) -> None:
-        """Hand one complete request to the service, pausing the parser."""
+        """Hand one complete request to the service, or queue it in order.
+
+        With a response already in flight the request joins
+        ``conn.pending`` — unless the connection has hit its pipelining
+        budget, in which case a 429 reject entry is queued instead and
+        the connection will close after answering it.
+        """
         conn.phase = _PH_REQUEST_LINE
         conn.request_started = None
-        conn.awaiting_response = True
+        conn.needs_continue = False  # the withheld body arrived after all
         request = ParsedRequest(
             method=conn.method, path=conn.path, headers=conn.headers, body=body
         )
+        if conn.awaiting_response or conn.pending:
+            if len(conn.pending) >= self.max_pipelined_requests:
+                conn.pending.append(
+                    (
+                        "reject",
+                        429,
+                        {"error": "too many pipelined requests on one connection"},
+                        {"Retry-After": str(DEFAULT_RETRY_AFTER_S)},
+                        "connection_budget",
+                    )
+                )
+            else:
+                conn.pending.append(("request", request, conn.keep_alive))
+            return
+        self._dispatch_request(conn, request, conn.keep_alive)
+
+    def _dispatch_request(
+        self, conn: _Connection, request: ParsedRequest, keep_alive: bool
+    ) -> None:
+        """Put one request in flight: mark the connection, call the service."""
+        conn.awaiting_response = True
+        conn.inflight_keep_alive = keep_alive
         respond = self._make_responder(conn)
         try:
             self._service.dispatch(request, respond)
         except Exception as exc:  # never let a routing bug kill the loop
-            logger.exception("dispatch failed for %s %s", conn.method, conn.path)
+            logger.exception(
+                "dispatch failed for %s %s", request.method, request.path
+            )
             respond(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def _make_responder(self, conn: _Connection) -> Any:
@@ -612,19 +701,23 @@ class EventLoopFrontend:
         """
         fired = threading.Event()
 
-        def respond(status: int, payload: Any) -> None:
+        def respond(
+            status: int,
+            payload: Any,
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             """Queue the response for ``conn`` (thread-safe, once only)."""
             if fired.is_set():
                 logger.error("duplicate respond() for %s %s", conn.method, conn.path)
                 return
             fired.set()
             if threading.get_ident() == self._loop_ident:
-                self._apply_response(conn, status, payload)
+                self._apply_response(conn, status, payload, headers)
                 return
             if self._dead:
                 return  # loop already gone; the socket is closed anyway
             with self._completion_lock:
-                self._completions.append((conn, status, payload))
+                self._completions.append((conn, status, payload, headers))
             self._wakeup()
 
         return respond
@@ -635,26 +728,72 @@ class EventLoopFrontend:
             with self._completion_lock:
                 if not self._completions:
                     return
-                conn, status, payload = self._completions.popleft()
-            self._apply_response(conn, status, payload)
+                conn, status, payload, headers = self._completions.popleft()
+            self._apply_response(conn, status, payload, headers)
 
     def _apply_response(
-        self, conn: _Connection, status: int, payload: Any
+        self,
+        conn: _Connection,
+        status: int,
+        payload: Any,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        """Serialise + queue one response, then resume the paused parser."""
+        """Serialise + queue one response, then pump the pipelined backlog."""
         if conn.closed:
             return
         conn.awaiting_response = False
-        keep = conn.keep_alive and not self._draining
+        keep = conn.inflight_keep_alive and not self._draining
         if not keep:
             # Before the write: an optimistic flush may drain the whole
             # response right now, and the close must ride that flush.
             conn.close_after_flush = True
-        self._respond_now(conn, status, payload, keep_alive=keep)
+        self._respond_now(
+            conn, status, payload, keep_alive=keep, extra_headers=extra_headers
+        )
+        if conn.closed or conn.close_after_flush:
+            return
+        self._pump_pending(conn)
         if not conn.closed and not conn.close_after_flush:
             # Pipelined requests may already be buffered; parse on.
             self._advance(conn)
             self._maybe_pause_reading(conn)
+
+    def _pump_pending(self, conn: _Connection) -> None:
+        """After a response, start the next queued pipelined unit (if any).
+
+        A queued request goes in flight with the keep-alive it was
+        parsed with; a queued reject is written (counting its shed
+        reason) and closes the connection.  With the queue empty, a
+        deferred ``100 Continue`` owed to the client is finally written.
+        """
+        if conn.pending:
+            entry = conn.pending.popleft()
+            if entry[0] == "request":
+                _, request, keep_alive = entry
+                self._dispatch_request(conn, request, keep_alive)
+            else:
+                _, status, payload, extra_headers, reason = entry
+                if reason is not None:
+                    self._count_reject(reason)
+                conn.close_after_flush = True
+                self._respond_now(
+                    conn,
+                    status,
+                    payload,
+                    keep_alive=False,
+                    extra_headers=extra_headers,
+                )
+            return
+        if (
+            conn.needs_continue
+            and not conn.awaiting_response
+            and conn.phase == _PH_BODY
+        ):
+            # Every earlier response is out; the client may now send the
+            # body it withheld behind Expect: 100-continue.
+            conn.needs_continue = False
+            conn.outbuf += b"HTTP/1.1 100 Continue\r\n\r\n"
+            self._flush(conn)
 
     def _respond_now(
         self,
@@ -662,12 +801,14 @@ class EventLoopFrontend:
         status: int,
         payload: Any,
         keep_alive: bool = True,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         """Append one fully-framed response to the out-buffer.
 
         ``payload`` is a JSON-serialisable dict (the normal case) or a
         :class:`RawResponse` carrying pre-encoded bytes and their content
-        type.
+        type.  ``extra_headers`` adds verbatim header lines (the 429
+        path's ``Retry-After``).
         """
         if isinstance(payload, RawResponse):
             body = payload.body
@@ -678,11 +819,15 @@ class EventLoopFrontend:
             ).encode("utf-8")
             content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
+        extra = ""
+        if extra_headers:
+            extra = "".join(f"{k}: {v}\r\n" for k, v in extra_headers.items())
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         conn.outbuf += head + body
@@ -704,6 +849,18 @@ class EventLoopFrontend:
             if sent <= 0:
                 break
             del conn.outbuf[:sent]
+        if len(conn.outbuf) > self.max_outbuf_bytes:
+            # The peer stopped reading while responses piled up; holding
+            # the bytes would let one slow client pin server memory.
+            self._count_reject("connection_budget")
+            logger.warning(
+                "closing %s: out-buffer over budget (%d > %d bytes)",
+                conn.addr,
+                len(conn.outbuf),
+                self.max_outbuf_bytes,
+            )
+            self._close_conn(conn)
+            return
         if conn.outbuf:
             self._set_mask(conn, conn.mask | selectors.EVENT_WRITE)
         else:
@@ -713,6 +870,15 @@ class EventLoopFrontend:
 
     def _on_writable(self, conn: _Connection) -> None:
         self._flush(conn)
+
+    def _count_reject(self, reason: str) -> None:
+        """Report one shed unit of work to the observer hook, safely."""
+        if self._on_reject is None:
+            return
+        try:
+            self._on_reject(reason)
+        except Exception:  # a metrics hook failure must never hurt the loop
+            logger.exception("on_reject hook failed for reason %r", reason)
 
     # -- timeouts ------------------------------------------------------------
     def _sweep_timeouts(self) -> None:

@@ -83,6 +83,11 @@ _PROMOTIONS = REGISTRY.counter(
 _FORCED_PROMOTIONS = REGISTRY.counter(
     "repro_serve_forced_promotions_total", "Champion promotions forced via POST /promote."
 )
+_REJECTED = REGISTRY.counter(
+    "repro_serve_rejected_total",
+    "Requests shed by overload protection, by reason.",
+    labels=("reason",),
+)
 _LATENCY = REGISTRY.histogram(
     "repro_serve_scan_latency_seconds", "End-to-end POST /scan latency."
 )
@@ -174,6 +179,7 @@ class ServiceMetrics:
         self.shadow_designs = 0
         self.promotions = 0
         self.forced_promotions = 0
+        self.rejected_by_reason: Dict[str, int] = {}
 
     # -- recording -----------------------------------------------------------
     def observe_request(self, route: str, error: bool = False) -> None:
@@ -256,6 +262,20 @@ class ServiceMetrics:
         _SHADOW_SCANS.inc()
         _SHADOW_DESIGNS.inc(n_designs)
 
+    def observe_rejected(self, reason: str) -> None:
+        """Count one request shed by overload protection.
+
+        ``reason`` is one of ``overload`` (the global admission gate),
+        ``deadline`` (the request's ``X-Repro-Deadline-Ms`` expired), or
+        ``connection_budget`` (a per-connection pipelining/outbuf budget
+        was exceeded).
+        """
+        with self._lock:
+            self.rejected_by_reason[reason] = (
+                self.rejected_by_reason.get(reason, 0) + 1
+            )
+        _REJECTED.labels(reason=reason).inc()
+
     def observe_promotion(self, forced: bool = False) -> None:
         """Count one champion promotion (``forced`` for ``POST /promote``)."""
         with self._lock:
@@ -308,6 +328,7 @@ class ServiceMetrics:
                 "shadow_designs": self.shadow_designs,
                 "promotions": self.promotions,
                 "forced_promotions": self.forced_promotions,
+                "rejected_by_reason": dict(self.rejected_by_reason),
                 "latency_seconds": dict(
                     zip(
                         ("p50", "p95", "p99"),

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..faults import RELOAD_PROBE_TTL_S
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..engine.artifacts import MANIFEST_NAME, load_detector, prepare_quantized_state
 from ..engine.cache import ScanCache
@@ -52,10 +53,12 @@ from ..nn.backend import DEFAULT_BACKEND, get_backend
 #: outcome is trusted before the manifest is stat'ed again.  High-QPS
 #: traffic probes once per micro-batch; without the TTL that is thousands
 #: of ``stat`` calls per second against the artifact directory for a file
-#: that changes a few times a day.  250 ms keeps the steady state at ~4
-#: stats/second *per resident model* while bounding hot-reload latency
-#: well under a second (and ``POST /reload`` always bypasses the TTL).
-DEFAULT_RELOAD_TTL_S = 0.25
+#: that changes a few times a day.  The value lives in the system-wide
+#: policy table (:data:`repro.faults.policy.RELOAD_PROBE_TTL_S`): 250 ms
+#: keeps the steady state at ~4 stats/second *per resident model* while
+#: bounding hot-reload latency well under a second (and ``POST /reload``
+#: always bypasses the TTL).
+DEFAULT_RELOAD_TTL_S = RELOAD_PROBE_TTL_S
 
 
 @dataclass

@@ -60,6 +60,15 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 from .. import __version__
 from ..engine import scheduler as _scheduler  # noqa: F401 - registers repro_engine_* metric families
 from ..engine.scan import ScanReport, ScanSource, collect_sources
+from ..faults import (
+    DEFAULT_MAX_PIPELINED_REQUESTS,
+    DEFAULT_MAX_QUEUE_DEPTH,
+    DEFAULT_OUTBUF_BUDGET_BYTES,
+    DEFAULT_RETRY_AFTER_S,
+    Deadline,
+    active_failpoints,
+    failpoint,
+)
 from ..features.image import DEFAULT_IMAGE_SIZE
 from ..obs.drift import (
     DEFAULT_CLEAR_MARGIN,
@@ -72,10 +81,13 @@ from ..obs.drift import (
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import Tracer, trace_span
 from .batching import (
+    DEADLINE_ERROR,
     DEFAULT_BATCH_WINDOW_S,
     DEFAULT_MAX_BATCH,
     BatcherClosed,
+    BatcherOverloaded,
     BatchResult,
+    DeadlineExceeded,
     MicroBatchError,
     MicroBatcher,
 )
@@ -113,6 +125,13 @@ DEFAULT_MODEL_NAME = "default"
 #: Routing header naming the model a request should be scanned with
 #: (per-tenant routing without touching the JSON body).
 MODEL_HEADER = "x-repro-model"
+
+#: Deadline header: how many milliseconds the client is still willing to
+#: wait for its ``POST /scan`` answer.  A request whose deadline expires
+#: while queued is shed with 504 *before* the forward pass — under
+#: overload the server spends compute only on answers somebody still
+#: wants.
+DEADLINE_HEADER = "x-repro-deadline-ms"
 
 # Coverage-drift gauges behind the Prometheus exposition: the observed
 # coverage lower bound, the nominal target, and the hysteresis alarm
@@ -319,6 +338,18 @@ class ScanService:
         is surfaced by ``GET /healthz`` (``status: "degraded"``) and the
         coverage gauges of the Prometheus exposition; a hot reload with a
         fresh fingerprint resets the affected model's window.
+    max_queue_depth:
+        Per-lane admission bound: how many scan requests may wait in a
+        lane's micro-batch queue.  The request past the bound is answered
+        429 with ``Retry-After`` instead of queueing without limit —
+        under sustained overload, memory stays bounded and clients get an
+        honest signal.
+    max_pipelined_requests / max_outbuf_bytes:
+        Event-loop per-connection budgets (pipelined request backlog and
+        response out-buffer bytes); see
+        :class:`repro.serve.eventloop.EventLoopFrontend`.  Ignored by the
+        threaded front-end, whose one-thread-per-connection model already
+        serialises each connection.
     """
 
     def __init__(
@@ -350,6 +381,9 @@ class ScanService:
         drift_min_observations: int = DEFAULT_MIN_OBSERVATIONS,
         drift_trip_margin: float = DEFAULT_TRIP_MARGIN,
         drift_clear_margin: float = DEFAULT_CLEAR_MARGIN,
+        max_queue_depth: Optional[int] = DEFAULT_MAX_QUEUE_DEPTH,
+        max_pipelined_requests: int = DEFAULT_MAX_PIPELINED_REQUESTS,
+        max_outbuf_bytes: int = DEFAULT_OUTBUF_BUDGET_BYTES,
     ) -> None:
         if (artifact is None) == (artifacts is None):
             raise ValueError("provide exactly one of 'artifact' or 'artifacts'")
@@ -364,6 +398,7 @@ class ScanService:
         self.flush_every = max(1, flush_every)
         self.backend = backend
         self.frontend = frontend
+        self.max_queue_depth = max_queue_depth
         self.metrics = ServiceMetrics()
         self.registry = ModelRegistry(
             cache_dir=cache_dir,
@@ -428,6 +463,9 @@ class ScanService:
                 max_body_bytes=MAX_BODY_BYTES,
                 request_timeout_s=request_timeout_s,
                 idle_timeout_s=idle_timeout_s,
+                max_outbuf_bytes=max_outbuf_bytes,
+                max_pipelined_requests=max_pipelined_requests,
+                on_reject=self.metrics.observe_rejected,
             )
         for lane in self._lanes.values():
             lane.batcher = MicroBatcher(
@@ -435,6 +473,7 @@ class ScanService:
                 batch_window_s=batch_window_s,
                 max_batch=max_batch,
                 metrics=self.metrics,
+                max_queue_depth=max_queue_depth,
                 # Flush the lane's result cache after responses go out,
                 # not before: requesters never wait on disk.
                 after_batch=self._make_after_batch(lane),
@@ -651,6 +690,29 @@ class ScanService:
             )
         return name
 
+    @staticmethod
+    def deadline_from_headers(headers: Mapping[str, str]) -> Optional[Deadline]:
+        """Parse the ``X-Repro-Deadline-Ms`` header into a :class:`Deadline`.
+
+        ``None`` without the header; :class:`RequestError` when its value
+        is not a positive number of milliseconds.
+        """
+        raw = headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            ms = float(raw)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(
+                f"invalid {DEADLINE_HEADER} header: {raw!r} is not a number"
+            ) from exc
+        if ms <= 0:
+            raise RequestError(
+                f"invalid {DEADLINE_HEADER} header: must be a positive "
+                "number of milliseconds"
+            )
+        return Deadline.after_ms(ms)
+
     def _scan_response(
         self, model: str, sources: List[ScanSource], result: BatchResult
     ) -> Dict[str, Any]:
@@ -669,16 +731,28 @@ class ScanService:
             },
         }
 
-    def handle_scan(self, payload: Any, model: Optional[str] = None) -> Dict[str, Any]:
+    def handle_scan(
+        self,
+        payload: Any,
+        model: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Dict[str, Any]:
         """Serve one ``POST /scan`` body synchronously (threaded front-end).
 
         ``model`` is the routing header value, if any; the body's
         ``model`` field wins over it.  Blocks until the micro-batch ran.
+        Raises :class:`BatcherOverloaded` when the lane's queue is at its
+        admission bound and :class:`DeadlineExceeded` when ``deadline``
+        expired before the scan ran.
         """
         name = self._route(payload, model)
         sources, confidence = parse_scan_payload(payload, allow_paths=self.allow_paths)
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceeded(DEADLINE_ERROR)
         t_start = time.perf_counter()
-        result = self._lanes[name].batcher.submit(sources, confidence=confidence)
+        result = self._lanes[name].batcher.submit(
+            sources, confidence=confidence, deadline=deadline
+        )
         seconds = time.perf_counter() - t_start
         self.metrics.observe_scan(
             n_designs=len(sources),
@@ -698,23 +772,35 @@ class ScanService:
     def handle_scan_async(
         self,
         payload: Any,
-        respond: Callable[[int, Dict[str, Any]], None],
+        respond: Callable[..., None],
         model: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         """Serve one ``POST /scan`` body without blocking (event loop).
 
-        Validation problems raise synchronously (:class:`RequestError`,
-        :class:`BatcherClosed`); otherwise the request is enqueued and
-        ``respond(status, payload)`` fires from the lane's batch worker
-        once the micro-batch executed.
+        Validation and admission problems raise synchronously
+        (:class:`RequestError`, :class:`BatcherClosed`,
+        :class:`BatcherOverloaded`, :class:`DeadlineExceeded`); otherwise
+        the request is enqueued and ``respond(status, payload)`` fires
+        from the lane's batch worker once the micro-batch executed — or
+        with 504 if ``deadline`` expired while the request was queued.
         """
         name = self._route(payload, model)
         sources, confidence = parse_scan_payload(payload, allow_paths=self.allow_paths)
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceeded(DEADLINE_ERROR)
         lane = self._lanes[name]
         t_start = time.perf_counter()
 
         def on_done(result: Optional[BatchResult], error: Optional[str]) -> None:
             """Batch completion -> HTTP response (lane worker thread)."""
+            if error == DEADLINE_ERROR:
+                # Shed while queued: the client's deadline passed before
+                # the batch ran, so nobody is waiting for this answer.
+                self.metrics.observe_rejected("deadline")
+                self.metrics.observe_request("/scan", error=True)
+                respond(504, {"error": error})
+                return
             if error is not None or result is None:
                 self.metrics.observe_request("/scan", error=True)
                 respond(500, {"error": error or "scan failed"})
@@ -736,7 +822,9 @@ class ScanService:
             self.metrics.observe_request("/scan")
             respond(200, self._scan_response(name, sources, result))
 
-        lane.batcher.submit_nowait(sources, confidence=confidence, on_done=on_done)
+        lane.batcher.submit_nowait(
+            sources, confidence=confidence, on_done=on_done, deadline=deadline
+        )
 
     # -- rollout -------------------------------------------------------------
     def _maybe_shadow(
@@ -823,6 +911,9 @@ class ScanService:
         without failing the endpoint: the service still answers scans, but
         the named models' conformal guarantees look stale and an operator
         should recalibrate (the ``drift`` entry carries the evidence).
+        Active failpoints (``REPRO_FAILPOINTS`` / ``--failpoints``)
+        likewise degrade the status: a fault-injected process must never
+        look healthy to an orchestrator.
         """
         champion = self.champion
         models = {
@@ -833,8 +924,10 @@ class ScanService:
         alarming = sorted(
             name for name, snap in drift.items() if snap["state"] == STATE_ALARMING
         )
+        faults = active_failpoints()
         return {
-            "status": "degraded" if alarming else "ok",
+            "status": "degraded" if (alarming or faults) else "ok",
+            "faults": faults,
             "drift": drift,
             "drift_alarms": alarming,
             "version": __version__,
@@ -918,18 +1011,21 @@ class ScanService:
     def dispatch(
         self,
         request: ParsedRequest,
-        respond: Callable[[int, Dict[str, Any]], None],
+        respond: Callable[..., None],
     ) -> None:
         """Route one parsed request from the event-loop front-end.
 
-        ``respond`` is called exactly once — synchronously for
-        operational endpoints and errors, from a lane's batch worker for
-        scans.  Framing was already validated by the front-end; this
-        layer owns JSON parsing, routing and error-to-status mapping.
+        ``respond(status, payload[, headers])`` is called exactly once —
+        synchronously for operational endpoints and errors, from a lane's
+        batch worker for scans.  Framing was already validated by the
+        front-end; this layer owns JSON parsing, routing and
+        error-to-status mapping (429 + ``Retry-After`` for admission
+        rejects, 504 for expired deadlines).
         """
         route = request.path.split("?", 1)[0]
         method = request.method
         try:
+            failpoint("serve.dispatch")
             if method == "GET":
                 if route == "/healthz":
                     self.metrics.observe_request(route)
@@ -949,7 +1045,10 @@ class ScanService:
                     # observe_request happens in the completion callback
                     # (success and failure both), keeping counts exact.
                     self.handle_scan_async(
-                        body, respond, model=request.headers.get(MODEL_HEADER)
+                        body,
+                        respond,
+                        model=request.headers.get(MODEL_HEADER),
+                        deadline=self.deadline_from_headers(request.headers),
                     )
                 elif route == "/reload":
                     model = body.get("model") if isinstance(body, dict) else None
@@ -969,6 +1068,20 @@ class ScanService:
         except RequestError as exc:
             self.metrics.observe_request(route, error=True)
             respond(400, {"error": str(exc)})
+        except BatcherOverloaded as exc:
+            # Admission control tripped: an honest 429 with a retry hint
+            # beats queueing a request nobody may live to see answered.
+            self.metrics.observe_rejected("overload")
+            self.metrics.observe_request(route, error=True)
+            respond(
+                429,
+                {"error": str(exc)},
+                {"Retry-After": str(DEFAULT_RETRY_AFTER_S)},
+            )
+        except DeadlineExceeded as exc:
+            self.metrics.observe_rejected("deadline")
+            self.metrics.observe_request(route, error=True)
+            respond(504, {"error": str(exc)})
         except BatcherClosed as exc:
             self.metrics.observe_request(route, error=True)
             respond(503, {"error": str(exc)})
@@ -1269,12 +1382,20 @@ class _ScanRequestHandler(BaseHTTPRequestHandler):
         """Route per-request lines to ``logging`` instead of stderr."""
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+    def _respond(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         """Write one JSON response with correct framing for keep-alive."""
         body = _json_bytes(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if extra_headers:
+            for key, value in extra_headers.items():
+                self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -1377,11 +1498,25 @@ class _ScanRequestHandler(BaseHTTPRequestHandler):
         """``POST /scan`` with the error-to-status mapping in one place."""
         try:
             payload = service.handle_scan(
-                body, model=self.headers.get(MODEL_HEADER)
+                body,
+                model=self.headers.get(MODEL_HEADER),
+                deadline=service.deadline_from_headers(self.headers),
             )
         except RequestError as exc:
             service.metrics.observe_request(route, error=True)
             self._respond_error(400, str(exc))
+        except BatcherOverloaded as exc:
+            service.metrics.observe_rejected("overload")
+            service.metrics.observe_request(route, error=True)
+            self._respond(
+                429,
+                {"error": str(exc)},
+                {"Retry-After": str(DEFAULT_RETRY_AFTER_S)},
+            )
+        except DeadlineExceeded as exc:
+            service.metrics.observe_rejected("deadline")
+            service.metrics.observe_request(route, error=True)
+            self._respond_error(504, str(exc))
         except BatcherClosed as exc:
             service.metrics.observe_request(route, error=True)
             self._respond_error(503, str(exc))

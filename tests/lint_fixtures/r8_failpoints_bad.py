@@ -1,0 +1,20 @@
+"""Known-bad R8 fixture: sloppy failpoint guard sites.
+
+Expected: exactly three R8 findings — one computed (non-literal) name,
+one malformed name, and one duplicate guard site.
+"""
+
+from ..faults import corrupting_failpoint, failpoint
+
+_PREFIX = "cache."
+
+
+def flush(data: bytes) -> bytes:
+    """Guards with every naming mistake the rule flags."""
+    # R8: computed name cannot be grepped from a spec to its guard site.
+    failpoint(_PREFIX + "flush.io")
+    # R8: name is not dotted lowercase subsystem.component.event.
+    failpoint("CacheFlushIO")
+    failpoint("fixture.flush.once")
+    # R8: second guard site for an already-owned name.
+    return corrupting_failpoint("fixture.flush.once", data)

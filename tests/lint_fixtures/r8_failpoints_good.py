@@ -1,0 +1,12 @@
+"""Known-good R8 twin: disciplined failpoint guard sites.
+
+Literal dotted-lowercase names, exactly one guard site per name.
+"""
+
+from ..faults import corrupting_failpoint, failpoint
+
+
+def flush(data: bytes) -> bytes:
+    """One uniquely-named guard per fault surface."""
+    failpoint("fixture.flush.io")
+    return corrupting_failpoint("fixture.shard.read", data)

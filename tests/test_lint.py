@@ -45,6 +45,7 @@ CASES = {
     "r5_exceptions": ("src/repro/serve/handlers.py", "R5", 3),
     "r6_forksafety": ("src/repro/engine/workers.py", "R6", 2),
     "r7_metricnames": ("src/repro/serve/custom_metrics.py", "R7", 3),
+    "r8_failpoints": ("src/repro/engine/guards.py", "R8", 3),
 }
 
 
@@ -175,7 +176,7 @@ def test_json_output_schema(tmp_path):
     assert payload["n_findings"] == payload["n_unwaived"] == 3
     assert payload["n_waived"] == 0 and payload["unused_waivers"] == []
     assert {rule["id"] for rule in payload["rules"]} == {
-        "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
     }
     for finding in payload["findings"]:
         assert set(finding) == {
@@ -191,7 +192,7 @@ def test_missing_path_is_a_usage_error():
 
 
 def test_rule_catalogue_is_complete():
-    """Seven registered rules, R1..R7, each with a description."""
+    """Eight registered rules, R1..R8, each with a description."""
     rules = all_rules()
     assert [rule.rule_id for rule in rules] == [
         "R1",
@@ -201,6 +202,7 @@ def test_rule_catalogue_is_complete():
         "R5",
         "R6",
         "R7",
+        "R8",
     ]
     assert all(rule.name and rule.description for rule in rules)
 

@@ -314,6 +314,7 @@ METRICS_JSON_KEYS = {
     "shadow_designs",
     "promotions",
     "forced_promotions",
+    "rejected_by_reason",
     "latency_seconds",
     "backend",
     "backend_dtype",

@@ -41,6 +41,7 @@ STRICT_PATHS = (
     "engine",
     "serve",
     "obs",
+    "faults",
     "conformal/icp.py",
     "nn/serialize.py",
     "tools/lint",

@@ -1,0 +1,123 @@
+"""R8 — failpoint-name discipline.
+
+The fault-injection registry (:mod:`repro.faults`) matches activation
+specs (``REPRO_FAILPOINTS`` / ``--failpoints``) against guard sites by
+exact name, so naming mistakes become silent no-ops: a typo'd guard
+never fires and the chaos test that targets it quietly tests nothing.
+The rule mirrors R7's metric-name discipline for failpoints:
+
+* every ``failpoint(...)`` / ``corrupting_failpoint(...)`` call must
+  pass its name as a **string literal** — a computed name cannot be
+  grepped from a spec to its guard site;
+* the name must be dotted lowercase (``subsystem.component.event``,
+  e.g. ``cache.flush.io``) — the same grammar the spec parser accepts,
+  checked statically so a bad name fails lint instead of never firing;
+* each name must appear at **exactly one** guard site across the whole
+  linted tree — two sites sharing a name would make one spec trigger
+  faults in two places, and neither site could be read as the name's
+  owner.
+
+Blind spot: only calls on a name imported (directly or via the package
+re-export) from ``repro.faults`` are checked.  A guard reached through
+a module alias (``faults.failpoints.failpoint(...)``) is not — the
+codebase convention is the ``from``-import, and the one-site rule makes
+aliased duplicates easy to spot in review anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from ..core import CallGraph, LintConfig, Module, Project
+from ..registry import Finding, Rule, register
+
+#: The guard functions of :mod:`repro.faults.failpoints`.
+_GUARD_FUNCTIONS = {"failpoint", "corrupting_failpoint"}
+
+#: Required name shape: dotted lowercase ``subsystem.component.event``.
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+@register
+class FailpointNamesRule(Rule):
+    """Flag non-literal, malformed, or multiply-guarded failpoint names."""
+
+    rule_id = "R8"
+    name = "failpoint-names"
+    description = (
+        "failpoint names must be dotted-lowercase string literals with "
+        "exactly one guard site each"
+    )
+
+    def check(
+        self, project: Project, graph: CallGraph, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Collect every guard call, then apply the three checks."""
+        sites: Dict[str, List[Tuple[Module, ast.Call]]] = {}
+        for module in project.modules:
+            for call in self._guard_calls(module):
+                name_node = call.args[0] if call.args else None
+                if not (
+                    isinstance(name_node, ast.Constant)
+                    and isinstance(name_node.value, str)
+                ):
+                    yield self.finding(
+                        module.rel,
+                        call,
+                        "failpoint name must be a string literal (a "
+                        "computed name cannot be grepped from a spec to "
+                        "its guard site)",
+                    )
+                    continue
+                name = name_node.value
+                if not _NAME_RE.match(name):
+                    yield self.finding(
+                        module.rel,
+                        call,
+                        f"failpoint name {name!r} does not match "
+                        "subsystem.component.event (dotted lowercase "
+                        "letters, digits, underscores)",
+                    )
+                sites.setdefault(name, []).append((module, call))
+        for name, guards in sorted(sites.items()):
+            if len(guards) <= 1:
+                continue
+            first_module, first_call = guards[0]
+            for module, call in guards[1:]:
+                yield self.finding(
+                    module.rel,
+                    call,
+                    f"failpoint {name!r} is already guarded at "
+                    f"{first_module.rel}:{first_call.lineno}; every name "
+                    "has exactly one guard site",
+                )
+
+    @staticmethod
+    def _guard_calls(module: Module) -> Iterator[ast.Call]:
+        """Yield ``failpoint(...)``/``corrupting_failpoint(...)`` calls.
+
+        The callee must be a ``from``-import out of ``repro.faults`` (or
+        its ``failpoints`` submodule); see the module docstring for the
+        documented blind spots.
+        """
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Name):
+                continue
+            imported = module.name_imports.get(func.id)
+            if imported is None:
+                continue
+            base, original = imported
+            if original not in _GUARD_FUNCTIONS:
+                continue
+            if (
+                base == "faults"
+                or base.endswith(".faults")
+                or base == "faults.failpoints"
+                or base.endswith(".faults.failpoints")
+            ):
+                yield node
